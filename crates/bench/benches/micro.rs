@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for the framework's hot paths: SQL parsing
+//! and printing, Table-1 query rewriting, engine point operations, the
+//! tracked statement path, and repair analysis. These measure *real* CPU
+//! time (unlike the fig4/fig5 harnesses, which measure virtual time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use resildb_core::{Flavor, ResilientDb};
+use resildb_sql::{parse_statement, Statement};
+
+const SELECT_SQL: &str = "SELECT c.c_balance, c.c_first, o.o_id FROM customer c, orders o \
+     WHERE c.c_w_id = 1 AND c.c_d_id = 2 AND c.c_id = 17 AND o.o_w_id = 1 \
+     AND o.o_d_id = 2 AND o.o_c_id = 17 ORDER BY o.o_id DESC LIMIT 1";
+
+fn bench_sql(c: &mut Criterion) {
+    c.bench_function("sql_parse_select", |b| {
+        b.iter(|| parse_statement(std::hint::black_box(SELECT_SQL)).unwrap())
+    });
+    let ast = parse_statement(SELECT_SQL).unwrap();
+    c.bench_function("sql_print_select", |b| b.iter(|| ast.to_string()));
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let Statement::Select(sel) = parse_statement(SELECT_SQL).unwrap() else {
+        unreachable!()
+    };
+    c.bench_function("proxy_rewrite_select", |b| {
+        b.iter(|| {
+            resildb_proxy::rewrite_select(
+                std::hint::black_box(&sel),
+                resildb_proxy::TrackingGranularity::Row,
+            )
+            .unwrap()
+        })
+    });
+    let Statement::Update(upd) =
+        parse_statement("UPDATE stock SET s_quantity = 10, s_ytd = s_ytd + 5 WHERE s_w_id = 1 AND s_i_id = 7")
+            .unwrap()
+    else {
+        unreachable!()
+    };
+    c.bench_function("proxy_rewrite_update", |b| {
+        b.iter(|| {
+            resildb_proxy::rewrite_update(
+                std::hint::black_box(&upd),
+                42,
+                resildb_proxy::TrackingGranularity::Row,
+            )
+        })
+    });
+}
+
+/// A small populated database behind the tracking proxy.
+fn tracked_db() -> (ResilientDb, Box<dyn resildb_core::Connection>) {
+    let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, pad VARCHAR(64))")
+        .unwrap();
+    for chunk in 0..10 {
+        let rows: Vec<String> = (0..50)
+            .map(|i| format!("({}, {}, 'padding-data')", chunk * 50 + i, i))
+            .collect();
+        conn.execute(&format!(
+            "INSERT INTO t (id, v, pad) VALUES {}",
+            rows.join(", ")
+        ))
+        .unwrap();
+    }
+    (rdb, conn)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (rdb, _conn) = tracked_db();
+    let mut session = rdb.database().session();
+    c.bench_function("engine_point_select_by_pk", |b| {
+        b.iter(|| session.query("SELECT v FROM t WHERE id = 250").unwrap())
+    });
+    c.bench_function("engine_point_update_by_pk", |b| {
+        b.iter(|| session.execute_sql("UPDATE t SET v = v + 1 WHERE id = 250").unwrap())
+    });
+}
+
+fn bench_tracked_path(c: &mut Criterion) {
+    let (_rdb, mut conn) = tracked_db();
+    c.bench_function("tracked_select_with_harvest", |b| {
+        b.iter(|| conn.execute("SELECT v FROM t WHERE id = 250").unwrap())
+    });
+    c.bench_function("tracked_autocommit_update", |b| {
+        b.iter(|| conn.execute("UPDATE t SET v = v + 1 WHERE id = 250").unwrap())
+    });
+}
+
+fn bench_repair_analysis(c: &mut Criterion) {
+    // A history of 200 small tracked transactions.
+    let (rdb, mut conn) = tracked_db();
+    for i in 0..200 {
+        conn.execute("BEGIN").unwrap();
+        conn.execute(&format!("SELECT v FROM t WHERE id = {}", i % 500)).unwrap();
+        conn.execute(&format!("UPDATE t SET v = v + 1 WHERE id = {}", (i + 1) % 500))
+            .unwrap();
+        conn.execute("COMMIT").unwrap();
+    }
+    let tool = rdb.repair_tool();
+    c.bench_function("repair_analyze_200_txns", |b| b.iter(|| tool.analyze().unwrap()));
+    let analysis = tool.analyze().unwrap();
+    let first = *analysis.tracked_transactions().iter().next().unwrap();
+    c.bench_function("repair_closure_200_txns", |b| {
+        b.iter(|| analysis.undo_set(&[first], &[]))
+    });
+}
+
+fn bench_page_compaction(c: &mut Criterion) {
+    use resildb_engine::{Page, RowId};
+    c.bench_function("page_delete_with_migration", |b| {
+        b.iter_batched(
+            || {
+                let mut p = Page::new();
+                for i in 0..60 {
+                    p.insert(RowId(i), &[0u8; 100]);
+                }
+                p
+            },
+            |mut p| {
+                for i in 0..30 {
+                    p.delete(RowId(i * 2));
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sql, bench_rewrite, bench_engine, bench_tracked_path, bench_repair_analysis, bench_page_compaction
+);
+criterion_main!(benches);

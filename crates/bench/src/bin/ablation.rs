@@ -1,0 +1,7 @@
+//! Tracking-overhead ablation (paper §6 optimisation discussion).
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", resildb_bench::ablation::render(&resildb_bench::ablation::run(quick)));
+}

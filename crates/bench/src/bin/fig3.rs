@@ -1,0 +1,6 @@
+//! Regenerates paper Figure 3: prints the dependency-graph DOT to stdout.
+//! Pipe through GraphViz (`fig3 | dot -Tpng -o fig3.png`) to render.
+
+fn main() {
+    print!("{}", resildb_bench::fig3::render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 4: inter-transaction dependency tracking
+//! overhead over the four panels. Pass `--quick` for a reduced run.
+
+use resildb_bench::fig4::{render, run, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let cells = run(scale);
+    print!("{}", render(&cells));
+}

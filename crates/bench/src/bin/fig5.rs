@@ -1,0 +1,15 @@
+//! Regenerates paper Figure 5: rolled-back transaction counts and saved
+//! percentages vs T_detect for W in {2, 5}, tracking all dependencies vs
+//! discarding false (ytd-mediated) dependencies. `--quick` reduces the
+//! T_detect grid.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t_detects: Vec<usize> = if quick {
+        vec![20, 60]
+    } else {
+        vec![50, 100, 200, 300, 400, 500, 600, 700]
+    };
+    let points = resildb_bench::fig5::run(&[2, 5], &t_detects);
+    print!("{}", resildb_bench::fig5::render(&points));
+}

@@ -1,0 +1,10 @@
+//! Row- vs column-level tracking cost/accuracy comparison (paper §6).
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t_detect = if quick { 40 } else { 150 };
+    let cost = resildb_bench::granularity::run_cost_comparison(quick);
+    let accuracy = resildb_bench::granularity::run_accuracy_comparison(t_detect);
+    print!("{}", resildb_bench::granularity::render(&cost, &accuracy, t_detect));
+}

@@ -1,0 +1,8 @@
+//! MTTR comparison: selective repair vs restore-backup-and-replay.
+//! Pass `--quick` for a reduced grid.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let grid: Vec<usize> = if quick { vec![30] } else { vec![50, 100, 200, 400, 700] };
+    print!("{}", resildb_bench::mttr::render(&resildb_bench::mttr::run(&grid)));
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Table 2: database parameters and verified loaded
+//! cardinalities.
+
+fn main() {
+    print!("{}", resildb_bench::table2::report());
+}

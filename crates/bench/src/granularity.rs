@@ -1,0 +1,234 @@
+//! Row- vs. column-level tracking: the cost/accuracy trade-off the paper's
+//! §6 leaves open ("keeping a tr_id attribute per attribute ... is required
+//! to minimize false sharing ... and how to implement it efficiently
+//! deserves more investigation").
+//!
+//! Two measurements:
+//! * **cost** — read/write-mix throughput under row-level tracking,
+//!   column-level tracking, and no tracking;
+//! * **accuracy** — undo-set size for the Figure 5 attack with *no DBA
+//!   rules*, comparing row-level, row-level + the `w_ytd` rule, and
+//!   column-level tracking.
+
+use resildb_core::{Flavor, LinkProfile, ProxyConfig, SimContext, TrackingGranularity, Value};
+use resildb_tpcc::{Attack, AttackKind, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
+
+use crate::{costs, prepare, Setup};
+
+/// Result of the cost measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Transactions per virtual second.
+    pub tps: f64,
+    /// Penalty vs. baseline, percent.
+    pub overhead_pct: f64,
+}
+
+/// Result of the accuracy measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Undo-set size for the standard attack scenario.
+    pub rolled_back: usize,
+    /// Percentage of post-attack transactions saved.
+    pub saved_pct: f64,
+}
+
+fn run_cost(_name: &'static str, setup: Setup, pc: Option<ProxyConfig>, quick: bool) -> f64 {
+    let config = TpccConfig::scaled(10);
+    let sim = SimContext::new(costs::networked(), costs::POOL_PAGES);
+    let mut bench = prepare(
+        Flavor::Postgres,
+        setup,
+        &config,
+        sim,
+        LinkProfile::lan(),
+        pc,
+        42,
+    )
+    .expect("prepare");
+    let mix = if quick { Mix::read_write(4) } else { Mix::read_write(40) };
+    let mut runner = TpccRunner::new(config, 7).without_annotations();
+    let t0 = bench.db.sim().clock().now();
+    let committed = mix.run(&mut runner, &mut *bench.conn).expect("mix");
+    let elapsed = (bench.db.sim().clock().now() - t0).as_secs_f64();
+    committed as f64 / elapsed
+}
+
+/// Measures throughput for baseline / row / column tracking.
+pub fn run_cost_comparison(quick: bool) -> Vec<CostRow> {
+    let base = run_cost("baseline", Setup::Baseline, None, quick);
+    let mut pc_row = ProxyConfig::new(Flavor::Postgres);
+    pc_row.record_provenance = false;
+    let mut pc_col = pc_row.clone();
+    pc_col.granularity = TrackingGranularity::Column;
+    let row = run_cost("row", Setup::Tracked, Some(pc_row), quick);
+    let col = run_cost("column", Setup::Tracked, Some(pc_col), quick);
+    vec![
+        CostRow {
+            name: "no tracking",
+            tps: base,
+            overhead_pct: 0.0,
+        },
+        CostRow {
+            name: "row-level tracking (paper)",
+            tps: row,
+            overhead_pct: crate::pct(base, row),
+        },
+        CostRow {
+            name: "column-level tracking (§6)",
+            tps: col,
+            overhead_pct: crate::pct(base, col),
+        },
+    ]
+}
+
+fn run_accuracy(granularity: TrackingGranularity, t_detect: usize) -> (usize, usize, f64, f64) {
+    let mut config = TpccConfig::scaled(2);
+    config.items = 2_000;
+    let mut pc = ProxyConfig::new(Flavor::Postgres);
+    pc.record_read_only_deps = true;
+    pc.granularity = granularity;
+    let mut bench = prepare(
+        Flavor::Postgres,
+        Setup::Tracked,
+        &config,
+        SimContext::free(),
+        LinkProfile::local(),
+        Some(pc),
+        77,
+    )
+    .expect("prepare");
+    let mut runner = TpccRunner::new(config, 9);
+    Mix::standard(20, 1).run(&mut runner, &mut *bench.conn).expect("warmup");
+    Attack {
+        kind: AttackKind::ForgedPayment,
+        w_id: 1,
+        d_id: 1,
+        target_id: 1,
+    }
+    .execute(&mut *bench.conn)
+    .expect("attack");
+    Mix::standard(t_detect, 2).run(&mut runner, &mut *bench.conn).expect("load");
+
+    let analysis = resildb_core::RepairTool::new(bench.db.clone())
+        .analyze()
+        .expect("analyze");
+    let attack_id = {
+        let mut s = bench.db.session();
+        match s
+            .query(&format!(
+                "SELECT tr_id FROM annot WHERE descr = '{ATTACK_LABEL}'"
+            ))
+            .expect("annot")
+            .rows[0][0]
+        {
+            Value::Int(v) => v,
+            ref other => panic!("{other:?}"),
+        }
+    };
+    let after: Vec<i64> = analysis
+        .tracked_transactions()
+        .into_iter()
+        .filter(|&t| t > attack_id)
+        .collect();
+    let no_rules = analysis.undo_set(&[attack_id], &[]);
+    let with_rules = analysis.undo_set(&[attack_id], &crate::fig5::ytd_rules());
+    let saved = |undo: &std::collections::BTreeSet<i64>| {
+        if after.is_empty() {
+            100.0
+        } else {
+            let polluted = after.iter().filter(|t| undo.contains(t)).count();
+            100.0 * (after.len() - polluted) as f64 / after.len() as f64
+        }
+    };
+    (
+        no_rules.len(),
+        with_rules.len(),
+        saved(&no_rules),
+        saved(&with_rules),
+    )
+}
+
+/// Measures accuracy for the three configurations.
+pub fn run_accuracy_comparison(t_detect: usize) -> Vec<AccuracyRow> {
+    let (row_plain, row_rules, row_plain_saved, row_rules_saved) =
+        run_accuracy(TrackingGranularity::Row, t_detect);
+    let (col_plain, _, col_plain_saved, _) = run_accuracy(TrackingGranularity::Column, t_detect);
+    vec![
+        AccuracyRow {
+            name: "row-level, no rules",
+            rolled_back: row_plain,
+            saved_pct: row_plain_saved,
+        },
+        AccuracyRow {
+            name: "row-level + w_ytd rule (paper §5.3)",
+            rolled_back: row_rules,
+            saved_pct: row_rules_saved,
+        },
+        AccuracyRow {
+            name: "column-level, no rules (§6)",
+            rolled_back: col_plain,
+            saved_pct: col_plain_saved,
+        },
+    ]
+}
+
+/// Renders both tables.
+pub fn render(cost: &[CostRow], accuracy: &[AccuracyRow], t_detect: usize) -> String {
+    let mut out = String::from(
+        "Tracking granularity: the §6 trade-off (cost on r/w mix W=10; accuracy on the \
+         Figure 5 attack)\n\nCost:\n",
+    );
+    out.push_str(&format!("{:<38} {:>10} {:>10}\n", "configuration", "tps", "overhead"));
+    for r in cost {
+        out.push_str(&format!(
+            "{:<38} {:>10.2} {:>9.1}%\n",
+            r.name, r.tps, r.overhead_pct
+        ));
+    }
+    out.push_str(&format!("\nAccuracy (T_detect = {t_detect}):\n"));
+    out.push_str(&format!(
+        "{:<38} {:>12} {:>10}\n",
+        "configuration", "rolled back", "saved"
+    ));
+    for r in accuracy {
+        out.push_str(&format!(
+            "{:<38} {:>12} {:>9.1}%\n",
+            r.name, r.rolled_back, r.saved_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_tracking_costs_more_than_row_tracking() {
+        let rows = run_cost_comparison(true);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].tps <= rows[0].tps);
+        assert!(
+            rows[2].tps <= rows[1].tps,
+            "column ({:.2}) should not beat row ({:.2})",
+            rows[2].tps,
+            rows[1].tps
+        );
+    }
+
+    #[test]
+    fn column_tracking_is_at_least_as_accurate_as_the_rule() {
+        let rows = run_accuracy_comparison(40);
+        let row_plain = &rows[0];
+        let col = &rows[2];
+        assert!(
+            col.rolled_back <= row_plain.rolled_back,
+            "column-level must not be worse than unruled row-level: {rows:?}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§5) on the simulated substrate.
+//!
+//! | Paper artefact | Runner | Binary |
+//! |---|---|---|
+//! | Table 2 (database parameters) | [`table2::report`] | `table2` |
+//! | Figure 3 (dependency graph) | [`fig3::render`] | `fig3` |
+//! | Figure 4 (tracking overhead) | [`fig4::run`] | `fig4` |
+//! | Figure 5 (repair accuracy vs `T_detect`) | [`fig5::run`] | `fig5` |
+//! | §6 optimisation discussion | [`ablation::run`] | `ablation` |
+//! | MTTR motivation (§1) | [`mttr::run`] | `mttr` |
+//! | §6 per-attribute tracking trade-off | [`granularity`] | `granularity` |
+//!
+//! Absolute throughput numbers are virtual-time artifacts of the cost
+//! model in [`costs`]; the *relationships* (who wins, by what factor,
+//! where the crossovers sit) are the reproduction target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod costs;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod granularity;
+pub mod mttr;
+pub mod table2;
+
+use resildb_core::{
+    prepare_database, Connection, Database, Driver, Flavor, LinkProfile, NativeDriver,
+    ProxyConfig, SimContext, TrackingProxy, WireError,
+};
+use resildb_tpcc::{Loader, TpccConfig};
+
+/// How a measured configuration connects to the DBMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Plain driver, no intrusion resilience (the baseline).
+    Baseline,
+    /// Single-proxy tracking (paper Figure 1 — the architecture used in
+    /// the paper's §5 measurements).
+    Tracked,
+}
+
+/// A loaded TPC-C database plus a connection per [`Setup`].
+pub struct Bench {
+    /// The database under test.
+    pub db: Database,
+    /// The measured connection.
+    pub conn: Box<dyn Connection>,
+    /// Whether annotations are permitted on `conn`.
+    pub annotated: bool,
+}
+
+/// Builds and loads a TPC-C database for one benchmark cell.
+///
+/// # Errors
+///
+/// Load failures.
+pub fn prepare(
+    flavor: Flavor,
+    setup: Setup,
+    config: &TpccConfig,
+    sim: SimContext,
+    link: LinkProfile,
+    proxy_config: Option<ProxyConfig>,
+    seed: u64,
+) -> Result<Bench, WireError> {
+    let db = Database::new("bench", flavor, sim);
+    let conn: Box<dyn Connection> = match setup {
+        Setup::Baseline => NativeDriver::new(db.clone(), link).connect()?,
+        Setup::Tracked => {
+            let native = NativeDriver::new(db.clone(), LinkProfile::local());
+            prepare_database(&mut *native.connect()?)?;
+            let pc = proxy_config.unwrap_or_else(|| ProxyConfig::new(flavor));
+            TrackingProxy::single_proxy(db.clone(), link, pc).connect()?
+        }
+    };
+    let mut bench = Bench {
+        db,
+        conn,
+        annotated: setup == Setup::Tracked,
+    };
+    Loader::new(config.clone(), seed).load(&mut *bench.conn)?;
+    Ok(bench)
+}
+
+/// Formats an overhead percentage for report tables.
+pub fn pct(base: f64, with: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        100.0 * (base - with) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_computes_throughput_penalty() {
+        assert_eq!(pct(100.0, 90.0), 10.0);
+        assert_eq!(pct(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn prepare_builds_both_setups() {
+        let cfg = TpccConfig::tiny();
+        for setup in [Setup::Baseline, Setup::Tracked] {
+            let b = prepare(
+                Flavor::Postgres,
+                setup,
+                &cfg,
+                SimContext::free(),
+                LinkProfile::local(),
+                None,
+                1,
+            )
+            .unwrap();
+            assert_eq!(b.db.row_count("warehouse").unwrap(), 1);
+            assert_eq!(b.annotated, setup == Setup::Tracked);
+        }
+    }
+}

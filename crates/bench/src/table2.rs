@@ -1,0 +1,97 @@
+//! Table 2: test database parameters, verified against a loaded instance.
+
+use resildb_core::{Flavor, LinkProfile, SimContext};
+use resildb_tpcc::{TpccConfig, TPCC_TABLES};
+
+use crate::{prepare, Setup};
+
+/// Renders the paper's Table 2 next to this reproduction's presets, then
+/// loads the scaled preset and prints the realized cardinalities.
+pub fn report() -> String {
+    let paper = TpccConfig::paper();
+    let scaled = TpccConfig::scaled(10);
+    let mut out = String::from("Table 2: test database parameters\n\n");
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>16}\n",
+        "parameter", "paper", "scaled preset"
+    ));
+    for (name, p, s) in [
+        ("Number of warehouses", paper.warehouses, scaled.warehouses),
+        (
+            "Districts per warehouse",
+            paper.districts_per_warehouse,
+            scaled.districts_per_warehouse,
+        ),
+        (
+            "Clients per district",
+            paper.customers_per_district,
+            scaled.customers_per_district,
+        ),
+        ("Items per warehouse", paper.items, scaled.items),
+        (
+            "Orders per district",
+            paper.orders_per_district,
+            scaled.orders_per_district,
+        ),
+    ] {
+        out.push_str(&format!("{name:<28} {p:>12} {s:>16}\n"));
+    }
+
+    let bench = prepare(
+        Flavor::Postgres,
+        Setup::Baseline,
+        &scaled,
+        SimContext::free(),
+        LinkProfile::local(),
+        None,
+        42,
+    )
+    .expect("load");
+    out.push_str("\nLoaded cardinalities (scaled preset, W=10):\n");
+    let mut total_pages = 0;
+    for t in TPCC_TABLES {
+        let handle = bench.db.table(t).expect("table");
+        let guard = handle.read();
+        total_pages += guard.page_count();
+        out.push_str(&format!(
+            "{:<12} {:>8} rows {:>6} pages\n",
+            t,
+            guard.row_count(),
+            guard.page_count()
+        ));
+    }
+    out.push_str(&format!(
+        "\nTotal data pages: {total_pages} (Figure 4 buffer pool: {} pages)\n",
+        crate::costs::POOL_PAGES
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_lists_every_table_and_paper_numbers() {
+        let text = super::report();
+        assert!(text.contains("100000")); // paper items
+        assert!(text.contains("5000")); // paper clients/orders
+        for t in resildb_tpcc::TPCC_TABLES {
+            assert!(text.contains(t), "missing {t}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn scaled_w10_exceeds_the_benchmark_pool() {
+        // The footprint axis only works if W=10 does not fit in the pool.
+        let text = super::report();
+        let pages: u64 = text
+            .lines()
+            .find(|l| l.starts_with("Total data pages:"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|n| n.parse().ok())
+            .expect("total pages line");
+        assert!(
+            pages as usize > super::super::costs::POOL_PAGES,
+            "W=10 data ({pages} pages) must exceed the pool"
+        );
+    }
+}

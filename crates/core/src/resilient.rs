@@ -1,0 +1,245 @@
+//! The [`ResilientDb`] facade and its builder.
+
+use resildb_engine::{Database, Flavor, Value};
+use resildb_proxy::{prepare_database, ProxyConfig, TrackingGranularity, TrackingProxy};
+use resildb_repair::{Analysis, FalseDepRule, RepairError, RepairReport, RepairTool};
+use resildb_sim::{CostModel, SimContext};
+use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, WireError};
+
+/// Where the tracking proxy sits (paper Figures 1 and 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProxyPlacement {
+    /// Client-side single proxy (Figure 1): every statement — including
+    /// the tracker's extra ones — crosses the client↔server link.
+    #[default]
+    Single,
+    /// Client + server proxy pair (Figure 2): the tracker and its extra
+    /// statements run on the server side over a local link.
+    Dual,
+}
+
+/// Builder for [`ResilientDb`].
+///
+/// # Examples
+///
+/// ```
+/// use resildb_core::{CostModel, Flavor, LinkProfile, ProxyPlacement, ResilientDb};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rdb = ResilientDb::builder(Flavor::Sybase)
+///     .cost_model(CostModel::disk_bound_oltp(), 256)
+///     .client_link(LinkProfile::lan())
+///     .placement(ProxyPlacement::Dual)
+///     .build()?;
+/// assert_eq!(rdb.database().flavor(), Flavor::Sybase);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ResilientDbBuilder {
+    flavor: Flavor,
+    cost: CostModel,
+    pool_pages: usize,
+    link: LinkProfile,
+    placement: ProxyPlacement,
+    track_reads: bool,
+    record_deps_at_commit: bool,
+    granularity: TrackingGranularity,
+}
+
+impl ResilientDbBuilder {
+    fn new(flavor: Flavor) -> Self {
+        Self {
+            flavor,
+            cost: CostModel::free(),
+            pool_pages: usize::MAX,
+            link: LinkProfile::local(),
+            placement: ProxyPlacement::Single,
+            track_reads: true,
+            record_deps_at_commit: true,
+            granularity: TrackingGranularity::Row,
+        }
+    }
+
+    /// Uses `cost` with a buffer pool of `pool_pages` pages (defaults to a
+    /// free cost model — functional use).
+    pub fn cost_model(mut self, cost: CostModel, pool_pages: usize) -> Self {
+        self.cost = cost;
+        self.pool_pages = pool_pages;
+        self
+    }
+
+    /// Sets the client↔server link profile.
+    pub fn client_link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Chooses the proxy deployment architecture.
+    pub fn placement(mut self, placement: ProxyPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Selects row-level (paper) or column-level (§6 extension)
+    /// dependency tracking.
+    pub fn granularity(mut self, granularity: TrackingGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Disables SELECT read-dependency harvesting (ablation).
+    pub fn without_read_tracking(mut self) -> Self {
+        self.track_reads = false;
+        self
+    }
+
+    /// Disables the commit-time `trans_dep` record (ablation).
+    pub fn without_commit_records(mut self) -> Self {
+        self.record_deps_at_commit = false;
+        self
+    }
+
+    /// Creates the database, installs the tracking tables and builds the
+    /// proxy driver.
+    ///
+    /// # Errors
+    ///
+    /// Setup SQL failures.
+    pub fn build(self) -> Result<ResilientDb, WireError> {
+        let sim = SimContext::new(self.cost, self.pool_pages);
+        let db = Database::new("resildb", self.flavor, sim);
+        let native = NativeDriver::new(db.clone(), LinkProfile::local());
+        prepare_database(&mut *native.connect()?)?;
+        let mut config = ProxyConfig::new(self.flavor);
+        config.track_reads = self.track_reads;
+        config.record_deps_at_commit = self.record_deps_at_commit;
+        config.granularity = self.granularity;
+        let driver: Box<dyn Driver> = match self.placement {
+            ProxyPlacement::Single => Box::new(TrackingProxy::single_proxy(
+                db.clone(),
+                self.link,
+                config,
+            )),
+            ProxyPlacement::Dual => Box::new(TrackingProxy::dual_proxy(
+                db.clone(),
+                self.link,
+                config,
+            )),
+        };
+        Ok(ResilientDb { db, driver })
+    }
+}
+
+/// An intrusion-resilient database: an emulated DBMS with the tracking
+/// proxy in front and the repair tool attached.
+pub struct ResilientDb {
+    db: Database,
+    driver: Box<dyn Driver>,
+}
+
+impl std::fmt::Debug for ResilientDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientDb")
+            .field("flavor", &self.db.flavor())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResilientDb {
+    /// Starts a builder for `flavor`.
+    pub fn builder(flavor: Flavor) -> ResilientDbBuilder {
+        ResilientDbBuilder::new(flavor)
+    }
+
+    /// A cost-free single-proxy instance of `flavor` — the common case for
+    /// functional use and examples.
+    ///
+    /// # Errors
+    ///
+    /// Setup SQL failures.
+    pub fn new(flavor: Flavor) -> Result<Self, WireError> {
+        Self::builder(flavor).build()
+    }
+
+    /// Opens a **tracked** connection (through the proxy).
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn connect(&self) -> Result<Box<dyn Connection>, WireError> {
+        self.driver.connect()
+    }
+
+    /// Opens a raw, untracked connection — what an attacker bypassing the
+    /// client proxy would get (see the paper's Figure 2 discussion), and
+    /// what administrative tooling uses.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn connect_untracked(&self) -> Result<Box<dyn Connection>, WireError> {
+        NativeDriver::new(self.db.clone(), LinkProfile::local()).connect()
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// A repair tool for this database.
+    pub fn repair_tool(&self) -> RepairTool {
+        RepairTool::new(self.db.clone())
+    }
+
+    /// Runs the analysis phase (log scan + dependency graph).
+    ///
+    /// # Errors
+    ///
+    /// See [`RepairTool::analyze`].
+    pub fn analyze(&self) -> Result<Analysis, RepairError> {
+        self.repair_tool().analyze()
+    }
+
+    /// Full repair from an initial attack set under `rules`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RepairTool::repair`].
+    pub fn repair(
+        &self,
+        initial: &[i64],
+        rules: &[FalseDepRule],
+    ) -> Result<RepairReport, RepairError> {
+        self.repair_tool().repair(initial, rules)
+    }
+
+    /// Persists the database (data, tracking tables, full log) to `w`;
+    /// see [`Database::save_wal`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn save_wal<W: std::io::Write>(&self, w: W) -> Result<(), resildb_engine::EngineError> {
+        self.db.save_wal(w)
+    }
+
+    /// Looks up a proxy transaction id by its `ANNOTATE` label.
+    ///
+    /// # Errors
+    ///
+    /// Query failures.
+    pub fn txn_id_by_label(&self, label: &str) -> Result<Option<i64>, WireError> {
+        let mut s = self.db.session();
+        let r = s
+            .query(&format!(
+                "SELECT tr_id FROM annot WHERE descr = '{}'",
+                label.replace('\'', "''")
+            ))
+            .map_err(WireError::Db)?;
+        Ok(match r.rows.first().map(|row| row[0].clone()) {
+            Some(Value::Int(v)) => Some(v),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,126 @@
+//! Table catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{EngineError, Result};
+use crate::schema::TableSchema;
+use crate::table::Table;
+
+/// Shared handle to a table.
+pub type TableHandle = Arc<RwLock<Table>>;
+
+/// The set of tables in a database.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableHandle>,
+    next_object_id: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::TableExists`] on a name collision.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableHandle> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::TableExists(name));
+        }
+        self.next_object_id += 1;
+        let handle = Arc::new(RwLock::new(Table::new(schema, self.next_object_id)));
+        self.tables.insert(name, Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Removes a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownTable`] when absent.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableHandle> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks a table up by name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownTable`] when absent.
+    pub fn get(&self, name: &str) -> Result<TableHandle> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All table names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(name: &str) -> TableSchema {
+        let stmt =
+            resildb_sql::parse_statement(&format!("CREATE TABLE {name} (a INTEGER)")).unwrap();
+        let resildb_sql::Statement::CreateTable(c) = stmt else {
+            unreachable!()
+        };
+        TableSchema::from_create(&c).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop_cycle() {
+        let mut c = Catalog::new();
+        c.create_table(schema("t1")).unwrap();
+        assert!(c.contains("T1"));
+        assert!(c.get("t1").is_ok());
+        c.drop_table("t1").unwrap();
+        assert!(matches!(c.get("t1"), Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_create_is_error() {
+        let mut c = Catalog::new();
+        c.create_table(schema("t")).unwrap();
+        assert!(matches!(
+            c.create_table(schema("t")),
+            Err(EngineError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn object_ids_are_unique() {
+        let mut c = Catalog::new();
+        let a = c.create_table(schema("a")).unwrap();
+        let b = c.create_table(schema("b")).unwrap();
+        assert_ne!(a.read().object_id(), b.read().object_id());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut c = Catalog::new();
+        c.create_table(schema("zeta")).unwrap();
+        c.create_table(schema("alpha")).unwrap();
+        assert_eq!(c.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

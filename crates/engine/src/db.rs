@@ -1,0 +1,485 @@
+//! The database facade: sessions, transaction control, crash recovery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use resildb_sim::SimContext;
+use resildb_sql::Statement;
+
+use crate::catalog::{Catalog, TableHandle};
+use crate::error::{EngineError, Result};
+use crate::exec::{exec_statement, ExecOutcome, QueryResult, StmtCtx, UndoAction};
+use crate::flavor::Flavor;
+use crate::lock::LockManager;
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::wal::{InternalTxnId, LogOp, LogRecord, Wal};
+
+#[derive(Debug)]
+pub(crate) struct DbInner {
+    name: String,
+    flavor: Flavor,
+    sim: SimContext,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) wal: Mutex<Wal>,
+    locks: Arc<LockManager>,
+    next_txn: AtomicU64,
+}
+
+/// An embedded DBMS emulating one of the paper's three flavors.
+///
+/// `Database` is a cheaply cloneable handle; all clones share state. Open a
+/// [`Session`] to execute SQL.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_engine::{Database, Flavor};
+///
+/// # fn main() -> Result<(), resildb_engine::EngineError> {
+/// let db = Database::in_memory(Flavor::Postgres);
+/// let mut session = db.session();
+/// session.execute_sql("CREATE TABLE account (id INTEGER PRIMARY KEY, balance FLOAT)")?;
+/// session.execute_sql("INSERT INTO account (id, balance) VALUES (1, 50.0)")?;
+/// let result = session.query("SELECT balance FROM account WHERE id = 1")?;
+/// assert_eq!(result.rows[0][0], resildb_engine::Value::Float(50.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Creates a database charging costs to `sim`.
+    pub fn new(name: impl Into<String>, flavor: Flavor, sim: SimContext) -> Self {
+        Self {
+            inner: Arc::new(DbInner {
+                name: name.into(),
+                flavor,
+                sim,
+                catalog: RwLock::new(Catalog::new()),
+                wal: Mutex::new(Wal::new()),
+                locks: LockManager::new(),
+                next_txn: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Creates a cost-free in-memory database (functional testing).
+    pub fn in_memory(flavor: Flavor) -> Self {
+        Self::new("mem", flavor, SimContext::free())
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The emulated DBMS flavor.
+    pub fn flavor(&self) -> Flavor {
+        self.inner.flavor
+    }
+
+    /// The simulation context costs are charged to.
+    pub fn sim(&self) -> &SimContext {
+        &self.inner.sim
+    }
+
+    /// Opens a new session.
+    pub fn session(&self) -> Session {
+        Session {
+            db: self.clone(),
+            txn: None,
+        }
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().names()
+    }
+
+    /// Handle to a table (for introspection adapters).
+    ///
+    /// # Errors
+    ///
+    /// Unknown table.
+    pub fn table(&self, name: &str) -> Result<TableHandle> {
+        self.inner.catalog.read().get(name)
+    }
+
+    /// A snapshot copy of the full WAL (what a log-analysis tool reads).
+    pub fn wal_records(&self) -> Vec<LogRecord> {
+        self.inner.wal.lock().records().to_vec()
+    }
+
+    /// Live row count of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table.
+    pub fn row_count(&self, name: &str) -> Result<u64> {
+        Ok(self.table(name)?.read().row_count())
+    }
+
+    /// Snapshot of all live rows of a table (testing/verification aid;
+    /// charges no page reads).
+    ///
+    /// # Errors
+    ///
+    /// Unknown table.
+    pub fn snapshot_rows(&self, name: &str) -> Result<Vec<(RowId, Row)>> {
+        let handle = self.table(name)?;
+        let table = handle.read();
+        let free = SimContext::free();
+        let mut rows = Vec::new();
+        table.scan(&free, |rid, row| {
+            rows.push((rid, row));
+            Ok(())
+        })?;
+        rows.sort_by_key(|(rid, _)| *rid);
+        Ok(rows)
+    }
+
+    fn alloc_txn(&self) -> InternalTxnId {
+        InternalTxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Writes the durable form of the WAL to `w` (see
+    /// [`crate::wal_codec`]); together with [`Self::open_from_wal`] this
+    /// persists the database — including the tracking tables, and with
+    /// them the full repair capability — across process restarts.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn save_wal<W: std::io::Write>(&self, w: W) -> Result<()> {
+        crate::wal_codec::write_wal(&self.wal_records(), w)
+    }
+
+    /// Reopens a database from a durable log produced by
+    /// [`Self::save_wal`]: the log is restored verbatim and replayed, and
+    /// transaction-id/LSN sequences continue where they left off.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt logs or replay failures.
+    pub fn open_from_wal<R: std::io::Read>(
+        name: impl Into<String>,
+        flavor: Flavor,
+        sim: SimContext,
+        r: R,
+    ) -> Result<Self> {
+        let records = crate::wal_codec::read_wal(r)?;
+        let next_txn = records.iter().map(|rec| rec.txn.0 + 1).max().unwrap_or(1);
+        let db = Database::new(name, flavor, sim);
+        db.inner.wal.lock().restore(records);
+        db.inner.next_txn.store(next_txn, Ordering::Relaxed);
+        db.simulate_crash_and_recover()?;
+        Ok(db)
+    }
+
+    /// Discards all in-memory table state and rebuilds it by replaying the
+    /// WAL — the standard redo recovery a real DBMS performs after a crash.
+    /// Only operations of committed transactions are reapplied; row ids are
+    /// preserved, physical page offsets may differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay failures (which indicate WAL corruption — a bug).
+    pub fn simulate_crash_and_recover(&self) -> Result<()> {
+        let records = self.wal_records();
+        let committed: std::collections::HashSet<InternalTxnId> = records
+            .iter()
+            .filter(|r| matches!(r.op, LogOp::Commit))
+            .map(|r| r.txn)
+            .collect();
+        let mut catalog = self.inner.catalog.write();
+        *catalog = Catalog::new();
+        let free = SimContext::free();
+        for rec in &records {
+            if !committed.contains(&rec.txn) {
+                continue;
+            }
+            match &rec.op {
+                LogOp::CreateTable { schema } => {
+                    catalog.create_table(schema.clone())?;
+                }
+                LogOp::DropTable { name } => {
+                    catalog.drop_table(name)?;
+                }
+                LogOp::Insert {
+                    table, rowid, row, ..
+                } => {
+                    let handle = catalog.get(table)?;
+                    handle
+                        .write()
+                        .insert_with_rowid(*rowid, row.clone(), &free)?;
+                }
+                LogOp::Delete { table, rowid, .. } => {
+                    let handle = catalog.get(table)?;
+                    handle.write().delete(*rowid, &free)?;
+                }
+                LogOp::Update {
+                    table,
+                    rowid,
+                    after,
+                    ..
+                } => {
+                    let handle = catalog.get(table)?;
+                    handle.write().update(*rowid, after.clone(), &free)?;
+                }
+                LogOp::Commit | LogOp::Abort => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct TxnState {
+    id: InternalTxnId,
+    undo: Vec<UndoAction>,
+    explicit: bool,
+}
+
+/// One client connection to a [`Database`].
+///
+/// A session is single-threaded (`&mut self` for execution) and holds at
+/// most one open transaction. Without an explicit `BEGIN`, every statement
+/// runs in its own auto-committed transaction.
+#[derive(Debug)]
+pub struct Session {
+    db: Database,
+    txn: Option<TxnState>,
+}
+
+impl Session {
+    /// The database this session talks to.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.as_ref().is_some_and(|t| t.explicit)
+    }
+
+    /// The open transaction's internal id, if any.
+    pub fn current_txn(&self) -> Option<InternalTxnId> {
+        self.txn.as_ref().map(|t| t.id)
+    }
+
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, execution errors, or [`EngineError::Deadlock`] (after
+    /// which the transaction has been rolled back automatically).
+    pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = resildb_sql::parse_statement(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes an already-parsed statement.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::execute_sql`].
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::Begin => {
+                if self.in_transaction() {
+                    return Err(EngineError::InvalidTransactionState(
+                        "BEGIN inside an open transaction".into(),
+                    ));
+                }
+                self.txn = Some(TxnState {
+                    id: self.db.alloc_txn(),
+                    undo: Vec::new(),
+                    explicit: true,
+                });
+                Ok(ExecOutcome::TxnControl)
+            }
+            Statement::Commit => {
+                if !self.in_transaction() {
+                    return Err(EngineError::InvalidTransactionState(
+                        "COMMIT without an open transaction".into(),
+                    ));
+                }
+                self.commit_open()?;
+                Ok(ExecOutcome::TxnControl)
+            }
+            Statement::Rollback => {
+                if !self.in_transaction() {
+                    return Err(EngineError::InvalidTransactionState(
+                        "ROLLBACK without an open transaction".into(),
+                    ));
+                }
+                self.rollback_open()?;
+                Ok(ExecOutcome::TxnControl)
+            }
+            Statement::CreateTable(ct) => {
+                let schema = TableSchema::from_create(ct)?;
+                let ddl_txn = self.db.alloc_txn();
+                self.db.inner.catalog.write().create_table(schema.clone())?;
+                let mut wal = self.db.inner.wal.lock();
+                wal.append(
+                    ddl_txn,
+                    LogOp::CreateTable { schema },
+                    self.db.flavor(),
+                    None,
+                    self.db.sim(),
+                );
+                wal.append(ddl_txn, LogOp::Commit, self.db.flavor(), None, self.db.sim());
+                drop(wal);
+                self.db.sim().charge_log_force();
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::DropTable(dt) => {
+                let ddl_txn = self.db.alloc_txn();
+                self.db.inner.catalog.write().drop_table(&dt.name)?;
+                let mut wal = self.db.inner.wal.lock();
+                wal.append(
+                    ddl_txn,
+                    LogOp::DropTable {
+                        name: dt.name.to_ascii_lowercase(),
+                    },
+                    self.db.flavor(),
+                    None,
+                    self.db.sim(),
+                );
+                wal.append(ddl_txn, LogOp::Commit, self.db.flavor(), None, self.db.sim());
+                drop(wal);
+                self.db.sim().charge_log_force();
+                Ok(ExecOutcome::Ddl)
+            }
+            dml => self.execute_dml(dml),
+        }
+    }
+
+    /// Convenience: executes `sql` and returns its rows.
+    ///
+    /// # Errors
+    ///
+    /// Execution errors, or [`EngineError::Type`]-class errors when the
+    /// statement is not a query.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.execute_sql(sql)? {
+            ExecOutcome::Rows(r) => Ok(r),
+            other => Err(EngineError::Internal(format!(
+                "expected rows, statement produced {other:?}"
+            ))),
+        }
+    }
+
+    fn execute_dml(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        let implicit = self.txn.is_none();
+        if implicit {
+            self.txn = Some(TxnState {
+                id: self.db.alloc_txn(),
+                undo: Vec::new(),
+                explicit: false,
+            });
+        }
+        let result = {
+            let txn = self.txn.as_mut().expect("just ensured");
+            let mut ctx = StmtCtx {
+                catalog: &self.db.inner.catalog,
+                wal: &self.db.inner.wal,
+                locks: &self.db.inner.locks,
+                sim: &self.db.inner.sim,
+                flavor: self.db.inner.flavor,
+                txn: txn.id,
+                undo: &mut txn.undo,
+            };
+            exec_statement(&mut ctx, stmt)
+        };
+        match result {
+            Ok(outcome) => {
+                if implicit {
+                    self.commit_open()?;
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                if implicit || e == EngineError::Deadlock {
+                    // Deadlock victims are rolled back by the engine, as in
+                    // the real DBMSs; other errors in an explicit
+                    // transaction leave it open for the client to decide.
+                    let _ = self.rollback_open();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_open(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Ok(());
+        };
+        if !txn.undo.is_empty() {
+            self.db.inner.wal.lock().append(
+                txn.id,
+                LogOp::Commit,
+                self.db.flavor(),
+                None,
+                self.db.sim(),
+            );
+            self.db.sim().charge_log_force();
+        }
+        self.db.inner.locks.release_all(txn.id);
+        Ok(())
+    }
+
+    fn rollback_open(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Ok(());
+        };
+        let catalog = self.db.inner.catalog.read();
+        let sim = self.db.sim();
+        for action in txn.undo.iter().rev() {
+            match action {
+                UndoAction::UnInsert { table, rowid } => {
+                    catalog.get(table)?.write().delete(*rowid, sim)?;
+                }
+                UndoAction::ReInsert { table, rowid, row } => {
+                    catalog
+                        .get(table)?
+                        .write()
+                        .insert_with_rowid(*rowid, row.clone(), sim)?;
+                }
+                UndoAction::UnUpdate {
+                    table,
+                    rowid,
+                    before,
+                } => {
+                    catalog.get(table)?.write().update(*rowid, before.clone(), sim)?;
+                }
+            }
+        }
+        drop(catalog);
+        if !txn.undo.is_empty() {
+            self.db.inner.wal.lock().append(
+                txn.id,
+                LogOp::Abort,
+                self.db.flavor(),
+                None,
+                self.db.sim(),
+            );
+        }
+        self.db.inner.locks.release_all(txn.id);
+        Ok(())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Best-effort cleanup; a panic here would abort during unwinding.
+        if self.txn.is_some() {
+            let _ = self.rollback_open();
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while executing statements against the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// SQL text failed to parse.
+    Parse(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// A column reference matched more than one table in scope.
+    AmbiguousColumn(String),
+    /// Value/type mismatch (arithmetic on strings, NOT NULL violation, ...).
+    Type(String),
+    /// INSERT shape mismatch or other constraint problem.
+    Constraint(String),
+    /// Duplicate primary key.
+    DuplicateKey(String),
+    /// Transaction aborted to break a deadlock; the client should retry.
+    Deadlock,
+    /// Statement issued outside the state it requires (e.g. COMMIT with no
+    /// open transaction when auto-commit is off).
+    InvalidTransactionState(String),
+    /// Feature outside the supported dialect subset.
+    Unsupported(String),
+    /// Internal invariant violation — a bug in the engine.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            EngineError::TableExists(t) => write!(f, "table {t} already exists"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            EngineError::Type(m) => write!(f, "type error: {m}"),
+            EngineError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            EngineError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            EngineError::Deadlock => write!(f, "transaction aborted due to deadlock"),
+            EngineError::InvalidTransactionState(m) => {
+                write!(f, "invalid transaction state: {m}")
+            }
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<resildb_sql::ParseError> for EngineError {
+    fn from(e: resildb_sql::ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(EngineError::UnknownTable("t".into())
+            .to_string()
+            .contains("t"));
+        assert!(EngineError::Deadlock.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn parse_error_converts() {
+        let pe = resildb_sql::parse_statement("SELEC 1").unwrap_err();
+        let ee: EngineError = pe.into();
+        assert!(matches!(ee, EngineError::Parse(_)));
+    }
+}

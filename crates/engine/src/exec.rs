@@ -1,0 +1,1088 @@
+//! Statement execution: SELECT/INSERT/UPDATE/DELETE over the catalog.
+
+use std::collections::HashMap;
+
+use resildb_sql::{BinaryOp, ColumnRef, Expr, Select, SelectItem, Statement};
+use resildb_sim::SimContext;
+
+use crate::catalog::{Catalog, TableHandle};
+use crate::error::{EngineError, Result};
+use crate::expr::{eval, EmptyScope, Scope};
+use crate::flavor::Flavor;
+use crate::lock::{LockManager, ResourceId};
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::wal::{InternalTxnId, LogOp, Wal};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Rows returned by a query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (aliases respected).
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// The single value of a 1×1 result, if the shape matches.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (&self.rows[..], self.rows.first()) {
+            ([_], Some(row)) if row.len() == 1 => row.first(),
+            _ => None,
+        }
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A SELECT produced rows.
+    Rows(QueryResult),
+    /// A DML statement affected this many rows.
+    Affected(u64),
+    /// DDL completed.
+    Ddl,
+    /// BEGIN/COMMIT/ROLLBACK completed.
+    TxnControl,
+}
+
+impl ExecOutcome {
+    /// The query result, if this outcome carries rows.
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The affected-row count, if this was DML.
+    pub fn affected(&self) -> Option<u64> {
+        match self {
+            ExecOutcome::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Inverse operations collected while a transaction runs, applied in
+/// reverse order on rollback.
+#[derive(Debug, Clone)]
+pub enum UndoAction {
+    /// Undo an insert: delete `rowid`.
+    UnInsert {
+        /// Table name.
+        table: String,
+        /// Row to remove.
+        rowid: RowId,
+    },
+    /// Undo a delete: re-insert the saved image under its original id.
+    ReInsert {
+        /// Table name.
+        table: String,
+        /// Original row id.
+        rowid: RowId,
+        /// Saved pre-delete image.
+        row: Row,
+    },
+    /// Undo an update: restore the before-image.
+    UnUpdate {
+        /// Table name.
+        table: String,
+        /// Updated row id.
+        rowid: RowId,
+        /// Saved pre-update image.
+        before: Row,
+    },
+}
+
+/// Everything a statement needs from the database.
+pub(crate) struct StmtCtx<'a> {
+    pub catalog: &'a RwLock<Catalog>,
+    pub wal: &'a Mutex<Wal>,
+    pub locks: &'a LockManager,
+    pub sim: &'a SimContext,
+    pub flavor: Flavor,
+    pub txn: InternalTxnId,
+    pub undo: &'a mut Vec<UndoAction>,
+}
+
+/// One table visible to a statement, with its binding name.
+#[derive(Debug, Clone)]
+struct Binding {
+    /// The name the query uses (alias or table name), lower-cased.
+    name: String,
+    /// The underlying table name, lower-cased.
+    table: String,
+    schema: TableSchema,
+}
+
+/// One joined row: per binding, the row id and values.
+type JoinedRow = Vec<(RowId, Row)>;
+
+/// Scope over one joined row.
+struct RowsScope<'a> {
+    bindings: &'a [Binding],
+    row: &'a JoinedRow,
+    flavor: Flavor,
+}
+
+impl Scope for RowsScope<'_> {
+    fn resolve(&self, col: &ColumnRef) -> Result<Value> {
+        let name = col.column.to_ascii_lowercase();
+        if let Some(tbl) = &col.table {
+            let tbl = tbl.to_ascii_lowercase();
+            let idx = self
+                .bindings
+                .iter()
+                .position(|b| b.name == tbl)
+                .ok_or_else(|| EngineError::UnknownTable(tbl.clone()))?;
+            return self.resolve_in(idx, &name, col);
+        }
+        let mut hits = self
+            .bindings
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.schema.has_column(&name));
+        match (hits.next(), hits.next()) {
+            (Some((idx, _)), None) => self.resolve_in(idx, &name, col),
+            (Some(_), Some(_)) => Err(EngineError::AmbiguousColumn(name)),
+            (None, _) => {
+                // Pseudo row-id column for a single-table scope.
+                if Some(name.as_str()) == self.flavor.rowid_pseudocolumn()
+                    && self.bindings.len() == 1
+                {
+                    return Ok(Value::Int(self.row[0].0 .0 as i64));
+                }
+                Err(EngineError::UnknownColumn(name))
+            }
+        }
+    }
+}
+
+impl RowsScope<'_> {
+    fn resolve_in(&self, idx: usize, name: &str, col: &ColumnRef) -> Result<Value> {
+        let b = &self.bindings[idx];
+        if let Ok(ci) = b.schema.column_index(name) {
+            return Ok(self.row[idx].1 .0[ci].clone());
+        }
+        if Some(name) == self.flavor.rowid_pseudocolumn() {
+            return Ok(Value::Int(self.row[idx].0 .0 as i64));
+        }
+        Err(EngineError::UnknownColumn(col.to_string()))
+    }
+}
+
+/// Splits a predicate into its top-level AND conjuncts.
+fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        left,
+        op: BinaryOp::And,
+        right,
+    } = expr
+    {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// Which bindings a conjunct references. Pseudo row-id references count as
+/// the named (or only) binding.
+fn conjunct_bindings(
+    expr: &Expr,
+    bindings: &[Binding],
+    flavor: Flavor,
+) -> Result<Vec<usize>> {
+    let mut referenced = Vec::new();
+    let mut err = None;
+    for col in expr.referenced_columns() {
+        let name = col.column.to_ascii_lowercase();
+        let idx = if let Some(tbl) = &col.table {
+            let tbl = tbl.to_ascii_lowercase();
+            match bindings.iter().position(|b| b.name == tbl) {
+                Some(i) => i,
+                None => {
+                    err = Some(EngineError::UnknownTable(tbl));
+                    break;
+                }
+            }
+        } else {
+            let hits: Vec<usize> = bindings
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.schema.has_column(&name))
+                .map(|(i, _)| i)
+                .collect();
+            match hits.len() {
+                1 => hits[0],
+                0 if Some(name.as_str()) == flavor.rowid_pseudocolumn()
+                    && bindings.len() == 1 =>
+                {
+                    0
+                }
+                0 => {
+                    err = Some(EngineError::UnknownColumn(name));
+                    break;
+                }
+                _ => {
+                    err = Some(EngineError::AmbiguousColumn(name));
+                    break;
+                }
+            }
+        };
+        if !referenced.contains(&idx) {
+            referenced.push(idx);
+        }
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(referenced)
+}
+
+/// Extracts `column = literal` pairs from a conjunct set for one binding.
+fn equality_constants(conjuncts: &[Expr], binding: &Binding, flavor: Flavor) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for c in conjuncts {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        let (col, lit) = match (&**left, &**right) {
+            (Expr::Column(c), Expr::Literal(l)) => (c, l),
+            (Expr::Literal(l), Expr::Column(c)) => (c, l),
+            _ => continue,
+        };
+        let name = col.column.to_ascii_lowercase();
+        // Must belong to this binding.
+        if let Some(t) = &col.table {
+            if t.to_ascii_lowercase() != binding.name {
+                continue;
+            }
+        }
+        if binding.schema.has_column(&name) || Some(name.as_str()) == flavor.rowid_pseudocolumn()
+        {
+            out.push((name, Value::from_literal(lit)));
+        }
+    }
+    out
+}
+
+/// Fetches candidate rows for one binding: a point lookup via the row-id
+/// pseudo-column or the full primary key when the conjuncts allow it,
+/// otherwise a filtered scan.
+fn candidate_rows(
+    handle: &TableHandle,
+    binding: &Binding,
+    local_conjuncts: &[Expr],
+    bindings_slice: &[Binding],
+    binding_idx: usize,
+    flavor: Flavor,
+    sim: &SimContext,
+) -> Result<Vec<(RowId, Row)>> {
+    let table = handle.read();
+    let eqs = equality_constants(local_conjuncts, binding, flavor);
+    let eq_map: HashMap<&str, &Value> = eqs.iter().map(|(c, v)| (c.as_str(), v)).collect();
+
+    let mut fetched: Option<Vec<(RowId, Row)>> = None;
+    // Row-id pseudo-column lookup (used by compensating statements).
+    if let Some(pseudo) = flavor.rowid_pseudocolumn() {
+        if !binding.schema.has_column(pseudo) {
+            if let Some(Value::Int(rid)) = eq_map.get(pseudo).copied() {
+                let rid = RowId(*rid as u64);
+                fetched = Some(match table.get(rid, sim)? {
+                    Some(row) => vec![(rid, row)],
+                    None => Vec::new(),
+                });
+            }
+        }
+    }
+    // Full-primary-key lookup.
+    if fetched.is_none() && !binding.schema.primary_key.is_empty() {
+        let pk_cols: Vec<&str> = binding
+            .schema
+            .primary_key
+            .iter()
+            .map(|&i| binding.schema.columns[i].name.as_str())
+            .collect();
+        if pk_cols.iter().all(|c| eq_map.contains_key(c)) {
+            let mut key_vals = Vec::with_capacity(pk_cols.len());
+            for (c, &i) in pk_cols.iter().zip(&binding.schema.primary_key) {
+                let v = (*eq_map[c]).clone().coerce_to(binding.schema.columns[i].ty)?;
+                key_vals.push(v);
+            }
+            fetched = Some(match table.lookup_pk(&key_vals) {
+                Some(rid) => match table.get(rid, sim)? {
+                    Some(row) => vec![(rid, row)],
+                    None => Vec::new(),
+                },
+                None => Vec::new(),
+            });
+        }
+    }
+    // Prefix-index range scan: equality constants covering the first k ≥ 1
+    // primary-key columns narrow the candidates without touching every
+    // page (the access path behind TPC-C's district-scoped queries).
+    if fetched.is_none() && !binding.schema.primary_key.is_empty() {
+        let mut prefix_vals = Vec::new();
+        for &i in &binding.schema.primary_key {
+            let col = &binding.schema.columns[i];
+            match eq_map.get(col.name.as_str()) {
+                Some(&v) => prefix_vals.push(v.clone().coerce_to(col.ty)?),
+                None => break,
+            }
+        }
+        if !prefix_vals.is_empty() {
+            let mut rows = Vec::new();
+            for rid in table.lookup_pk_prefix(&prefix_vals) {
+                if let Some(row) = table.get(rid, sim)? {
+                    rows.push((rid, row));
+                }
+            }
+            fetched = Some(rows);
+        }
+    }
+    let rows = match fetched {
+        Some(rows) => rows,
+        None => {
+            let mut rows = Vec::new();
+            table.scan(sim, |rid, row| {
+                rows.push((rid, row));
+                Ok(())
+            })?;
+            rows
+        }
+    };
+    drop(table);
+
+    // Apply the binding-local predicate to whatever we fetched.
+    let mut kept = Vec::with_capacity(rows.len());
+    'rows: for (rid, row) in rows {
+        let joined: JoinedRow = {
+            // Build a joined row with placeholders for other bindings;
+            // local conjuncts only touch `binding_idx`.
+            let mut j: JoinedRow = bindings_slice
+                .iter()
+                .map(|b| (RowId(0), Row(vec![Value::Null; b.schema.columns.len()])))
+                .collect();
+            j[binding_idx] = (rid, row);
+            j
+        };
+        let scope = RowsScope {
+            bindings: bindings_slice,
+            row: &joined,
+            flavor,
+        };
+        for c in local_conjuncts {
+            if !eval(c, &scope)?.is_truthy() {
+                continue 'rows;
+            }
+        }
+        let (rid, row) = joined.into_iter().nth(binding_idx).expect("index valid");
+        kept.push((rid, row));
+    }
+    Ok(kept)
+}
+
+/// Aggregate function names.
+fn is_aggregate_fn(name: &str) -> bool {
+    matches!(name, "SUM" | "COUNT" | "MIN" | "MAX" | "AVG")
+}
+
+/// Evaluates `expr` over a group of joined rows, computing aggregate calls
+/// over the whole group and everything else against the group's first row.
+fn eval_over_group(
+    expr: &Expr,
+    bindings: &[Binding],
+    group: &[JoinedRow],
+    flavor: Flavor,
+) -> Result<Value> {
+    if !expr.contains_aggregate() {
+        let Some(first) = group.first() else {
+            return Ok(Value::Null);
+        };
+        let scope = RowsScope {
+            bindings,
+            row: first,
+            flavor,
+        };
+        return eval(expr, &scope);
+    }
+    match expr {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } if is_aggregate_fn(name) => {
+            compute_aggregate(name, args, *distinct, *star, bindings, group, flavor)
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_over_group(left, bindings, group, flavor)?;
+            let r = eval_over_group(right, bindings, group, flavor)?;
+            match op {
+                BinaryOp::Add => l.add(&r),
+                BinaryOp::Sub => l.sub(&r),
+                BinaryOp::Mul => l.mul(&r),
+                BinaryOp::Div => l.div(&r),
+                BinaryOp::Mod => l.rem(&r),
+                BinaryOp::Concat => l.concat(&r),
+                other => {
+                    let Some(ord) = l.sql_cmp(&r)? else {
+                        return Ok(Value::Null);
+                    };
+                    use std::cmp::Ordering::*;
+                    let b = match other {
+                        BinaryOp::Eq => ord == Equal,
+                        BinaryOp::Neq => ord != Equal,
+                        BinaryOp::Lt => ord == Less,
+                        BinaryOp::LtEq => ord != Greater,
+                        BinaryOp::Gt => ord == Greater,
+                        BinaryOp::GtEq => ord != Less,
+                        _ => {
+                            return Err(EngineError::Unsupported(
+                                "logical operator over aggregates".into(),
+                            ))
+                        }
+                    };
+                    Ok(Value::Bool(b))
+                }
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_over_group(expr, bindings, group, flavor)?;
+            match op {
+                resildb_sql::UnaryOp::Neg => v.neg(),
+                resildb_sql::UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Bool(!other.is_truthy()),
+                }),
+            }
+        }
+        other => Err(EngineError::Unsupported(format!(
+            "aggregate inside {other:?}"
+        ))),
+    }
+}
+
+fn compute_aggregate(
+    name: &str,
+    args: &[Expr],
+    distinct: bool,
+    star: bool,
+    bindings: &[Binding],
+    group: &[JoinedRow],
+    flavor: Flavor,
+) -> Result<Value> {
+    if star {
+        if name != "COUNT" {
+            return Err(EngineError::Unsupported(format!("{name}(*)")));
+        }
+        return Ok(Value::Int(group.len() as i64));
+    }
+    let [arg] = args else {
+        return Err(EngineError::Unsupported(format!(
+            "{name} takes exactly one argument"
+        )));
+    };
+    let mut values = Vec::with_capacity(group.len());
+    for row in group {
+        let scope = RowsScope {
+            bindings,
+            row,
+            flavor,
+        };
+        let v = eval(arg, &scope)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.to_sql_literal()));
+    }
+    match name {
+        "COUNT" => Ok(Value::Int(values.len() as i64)),
+        "SUM" | "AVG" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc = Value::Int(0);
+            for v in &values {
+                acc = acc.add(v)?;
+            }
+            if name == "AVG" {
+                acc.div(&Value::Float(values.len() as f64))
+            } else {
+                Ok(acc)
+            }
+        }
+        "MIN" | "MAX" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = v.sql_cmp(&b)?.ok_or_else(|| {
+                            EngineError::Type("NULL slipped into MIN/MAX".into())
+                        })?;
+                        let take = if name == "MIN" {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        _ => Err(EngineError::Unsupported(format!("aggregate {name}"))),
+    }
+}
+
+/// Executes a DML/query statement.
+pub(crate) fn exec_statement(ctx: &mut StmtCtx<'_>, stmt: &Statement) -> Result<ExecOutcome> {
+    match stmt {
+        Statement::Select(sel) => exec_select(ctx, sel).map(ExecOutcome::Rows),
+        Statement::Insert(ins) => exec_insert(ctx, ins).map(ExecOutcome::Affected),
+        Statement::Update(upd) => exec_update(ctx, upd).map(ExecOutcome::Affected),
+        Statement::Delete(del) => exec_delete(ctx, del).map(ExecOutcome::Affected),
+        other => Err(EngineError::Internal(format!(
+            "exec_statement got non-DML {other:?}"
+        ))),
+    }
+}
+
+fn make_bindings(ctx: &StmtCtx<'_>, from: &[resildb_sql::TableRef]) -> Result<(Vec<Binding>, Vec<TableHandle>)> {
+    let catalog = ctx.catalog.read();
+    let mut bindings = Vec::with_capacity(from.len());
+    let mut handles = Vec::with_capacity(from.len());
+    for tr in from {
+        let handle = catalog.get(&tr.name)?;
+        let schema = handle.read().schema().clone();
+        bindings.push(Binding {
+            name: tr.binding_name().to_ascii_lowercase(),
+            table: tr.name.to_ascii_lowercase(),
+            schema,
+        });
+        handles.push(handle);
+    }
+    Ok((bindings, handles))
+}
+
+fn exec_select(ctx: &mut StmtCtx<'_>, sel: &Select) -> Result<QueryResult> {
+    // FROM-less SELECT: constant evaluation.
+    if sel.from.is_empty() {
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        for (i, item) in sel.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(EngineError::Unsupported("wildcard without FROM".into()));
+            };
+            columns.push(alias.clone().unwrap_or_else(|| format!("col{}", i + 1)));
+            row.push(eval(expr, &EmptyScope)?);
+        }
+        ctx.sim.charge_statement(1);
+        return Ok(QueryResult {
+            columns,
+            rows: vec![row],
+        });
+    }
+
+    let (bindings, handles) = make_bindings(ctx, &sel.from)?;
+
+    // Decompose the WHERE clause.
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &sel.where_clause {
+        split_conjuncts(w, &mut conjuncts);
+    }
+    let mut local: Vec<Vec<Expr>> = vec![Vec::new(); bindings.len()];
+    let mut cross: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        let refs = conjunct_bindings(&c, &bindings, ctx.flavor)?;
+        match refs.as_slice() {
+            [one] => local[*one].push(c),
+            [] => cross.push(c), // constant predicate
+            _ => cross.push(c),
+        }
+    }
+
+    // Candidate rows per binding.
+    let mut candidates: Vec<Vec<(RowId, Row)>> = Vec::with_capacity(bindings.len());
+    for (i, (b, h)) in bindings.iter().zip(&handles).enumerate() {
+        candidates.push(candidate_rows(
+            h, b, &local[i], &bindings, i, ctx.flavor, ctx.sim,
+        )?);
+    }
+
+    // Join: nested loops with the cross predicates applied as early as each
+    // binding is bound (prefix filtering).
+    let mut joined: Vec<JoinedRow> = Vec::new();
+    {
+        let mut stack: JoinedRow = Vec::new();
+        join_recurse(
+            &bindings,
+            &candidates,
+            &cross,
+            ctx.flavor,
+            0,
+            &mut stack,
+            &mut joined,
+        )?;
+    }
+
+    // FOR UPDATE locks every participating row.
+    if sel.for_update {
+        for row in &joined {
+            for (idx, (rid, _)) in row.iter().enumerate() {
+                ctx.locks.lock_exclusive(
+                    ctx.txn,
+                    ResourceId::Row(bindings[idx].table.clone(), *rid),
+                )?;
+            }
+        }
+    }
+
+    let aggregate_query = !sel.group_by.is_empty()
+        || sel.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+
+    // Expand projection items (wildcards become per-column refs).
+    let mut out_columns: Vec<String> = Vec::new();
+    let mut out_exprs: Vec<Expr> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for b in &bindings {
+                    for c in &b.schema.columns {
+                        out_columns.push(c.name.clone());
+                        out_exprs.push(Expr::Column(ColumnRef::qualified(
+                            b.name.clone(),
+                            c.name.clone(),
+                        )));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let t = t.to_ascii_lowercase();
+                let b = bindings
+                    .iter()
+                    .find(|b| b.name == t)
+                    .ok_or_else(|| EngineError::UnknownTable(t.clone()))?;
+                for c in &b.schema.columns {
+                    out_columns.push(c.name.clone());
+                    out_exprs.push(Expr::Column(ColumnRef::qualified(
+                        b.name.clone(),
+                        c.name.clone(),
+                    )));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                out_columns.push(alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column(c) => c.column.to_ascii_lowercase(),
+                    other => other.to_string().to_ascii_lowercase(),
+                }));
+                out_exprs.push(expr.clone());
+            }
+        }
+    }
+
+    // Plan-time validation: every projection and sort reference must
+    // resolve even when no rows are produced (matching real DBMSs, which
+    // reject bad references regardless of data).
+    for e in &out_exprs {
+        conjunct_bindings(e, &bindings, ctx.flavor)?;
+    }
+    for ob in &sel.order_by {
+        conjunct_bindings(&ob.expr, &bindings, ctx.flavor)?;
+    }
+    for g in &sel.group_by {
+        conjunct_bindings(g, &bindings, ctx.flavor)?;
+    }
+
+    // Produce output rows plus sort keys.
+    let mut produced: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    if aggregate_query {
+        // Group rows.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<JoinedRow>> = HashMap::new();
+        if sel.group_by.is_empty() {
+            order.push(String::new());
+            groups.insert(String::new(), joined);
+        } else {
+            for row in joined {
+                let scope = RowsScope {
+                    bindings: &bindings,
+                    row: &row,
+                    flavor: ctx.flavor,
+                };
+                let mut key = String::new();
+                for g in &sel.group_by {
+                    key.push_str(&eval(g, &scope)?.to_sql_literal());
+                    key.push('\x1f');
+                }
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(row);
+            }
+        }
+        for key in order {
+            let group = &groups[&key];
+            if group.is_empty() && !sel.group_by.is_empty() {
+                continue;
+            }
+            let mut out = Vec::with_capacity(out_exprs.len());
+            for e in &out_exprs {
+                out.push(eval_over_group(e, &bindings, group, ctx.flavor)?);
+            }
+            let mut sort_key = Vec::with_capacity(sel.order_by.len());
+            for ob in &sel.order_by {
+                sort_key.push(eval_over_group(&ob.expr, &bindings, group, ctx.flavor)?);
+            }
+            produced.push((out, sort_key));
+        }
+    } else {
+        for row in &joined {
+            let scope = RowsScope {
+                bindings: &bindings,
+                row,
+                flavor: ctx.flavor,
+            };
+            let mut out = Vec::with_capacity(out_exprs.len());
+            for e in &out_exprs {
+                out.push(eval(e, &scope)?);
+            }
+            let mut sort_key = Vec::with_capacity(sel.order_by.len());
+            for ob in &sel.order_by {
+                sort_key.push(eval(&ob.expr, &scope)?);
+            }
+            produced.push((out, sort_key));
+        }
+    }
+
+    // DISTINCT: deduplicate output rows (first occurrence wins, before
+    // ordering, as SQL requires the sort keys to come from the projection).
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        produced.retain(|(row, _)| {
+            let key: Vec<String> = row.iter().map(Value::to_sql_literal).collect();
+            seen.insert(key)
+        });
+    }
+
+    // ORDER BY.
+    if !sel.order_by.is_empty() {
+        let descs: Vec<bool> = sel.order_by.iter().map(|o| o.desc).collect();
+        produced.sort_by(|a, b| {
+            for (i, desc) in descs.iter().enumerate() {
+                let ord = a.1[i]
+                    .sql_cmp(&b.1[i])
+                    .unwrap_or(None)
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let mut rows: Vec<Vec<Value>> = produced.into_iter().map(|(r, _)| r).collect();
+    if let Some(n) = sel.limit {
+        rows.truncate(n as usize);
+    }
+    ctx.sim.charge_statement(rows.len());
+    Ok(QueryResult {
+        columns: out_columns,
+        rows,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_recurse(
+    bindings: &[Binding],
+    candidates: &[Vec<(RowId, Row)>],
+    cross: &[Expr],
+    flavor: Flavor,
+    depth: usize,
+    stack: &mut JoinedRow,
+    out: &mut Vec<JoinedRow>,
+) -> Result<()> {
+    if depth == bindings.len() {
+        out.push(stack.clone());
+        return Ok(());
+    }
+    'cand: for (rid, row) in &candidates[depth] {
+        stack.push((*rid, row.clone()));
+        // Evaluate any cross predicate whose bindings are all bound. A
+        // predicate may error with UnknownColumn only through placeholder
+        // rows, which we avoid by checking reference depth.
+        if depth + 1 == bindings.len() {
+            // All bound: apply every cross predicate.
+            let scope = RowsScope {
+                bindings,
+                row: stack,
+                flavor,
+            };
+            for c in cross {
+                if !eval(c, &scope)?.is_truthy() {
+                    stack.pop();
+                    continue 'cand;
+                }
+            }
+        } else {
+            // Partially bound: only apply predicates confined to the bound
+            // prefix.
+            let scope_row: JoinedRow = (0..bindings.len())
+                .map(|i| {
+                    stack.get(i).cloned().unwrap_or_else(|| {
+                        (
+                            RowId(0),
+                            Row(vec![Value::Null; bindings[i].schema.columns.len()]),
+                        )
+                    })
+                })
+                .collect();
+            let scope = RowsScope {
+                bindings,
+                row: &scope_row,
+                flavor,
+            };
+            for c in cross {
+                let refs = conjunct_bindings(c, bindings, flavor)?;
+                if refs.iter().all(|&r| r <= depth) && !eval(c, &scope)?.is_truthy() {
+                    stack.pop();
+                    continue 'cand;
+                }
+            }
+        }
+        join_recurse(bindings, candidates, cross, flavor, depth + 1, stack, out)?;
+        stack.pop();
+    }
+    Ok(())
+}
+
+fn exec_insert(ctx: &mut StmtCtx<'_>, ins: &resildb_sql::Insert) -> Result<u64> {
+    let handle = ctx.catalog.read().get(&ins.table)?;
+    let schema = handle.read().schema().clone();
+    let mut affected = 0u64;
+    for value_row in &ins.rows {
+        let row = if ins.columns.is_empty() {
+            if value_row.len() != schema.columns.len() {
+                return Err(EngineError::Constraint(format!(
+                    "INSERT supplies {} values for {} columns",
+                    value_row.len(),
+                    schema.columns.len()
+                )));
+            }
+            let vals: Result<Vec<Value>> =
+                value_row.iter().map(|e| eval(e, &EmptyScope)).collect();
+            Row(vals?)
+        } else {
+            if value_row.len() != ins.columns.len() {
+                return Err(EngineError::Constraint(
+                    "VALUES arity differs from column list".into(),
+                ));
+            }
+            let mut vals = vec![Value::Null; schema.columns.len()];
+            for (col, e) in ins.columns.iter().zip(value_row) {
+                let idx = schema.column_index(col)?;
+                vals[idx] = eval(e, &EmptyScope)?;
+            }
+            Row(vals)
+        };
+        let (rowid, stored, loc) = handle.write().insert(row, ctx.sim)?;
+        ctx.locks
+            .lock_exclusive(ctx.txn, ResourceId::Row(schema.name.clone(), rowid))?;
+        ctx.wal.lock().append(
+            ctx.txn,
+            LogOp::Insert {
+                table: schema.name.clone(),
+                rowid,
+                row: stored,
+                loc,
+            },
+            ctx.flavor,
+            Some(&schema),
+            ctx.sim,
+        );
+        ctx.undo.push(UndoAction::UnInsert {
+            table: schema.name.clone(),
+            rowid,
+        });
+        affected += 1;
+    }
+    ctx.sim.charge_statement(affected as usize);
+    Ok(affected)
+}
+
+/// Shared match-collection for UPDATE/DELETE (single-table).
+fn collect_matches(
+    ctx: &StmtCtx<'_>,
+    handle: &TableHandle,
+    binding: &Binding,
+    where_clause: &Option<Expr>,
+) -> Result<Vec<RowId>> {
+    let bindings = std::slice::from_ref(binding);
+    let mut conjuncts = Vec::new();
+    if let Some(w) = where_clause {
+        split_conjuncts(w, &mut conjuncts);
+        // Validate references eagerly.
+        for c in &conjuncts {
+            conjunct_bindings(c, bindings, ctx.flavor)?;
+        }
+    }
+    let rows = candidate_rows(handle, binding, &conjuncts, bindings, 0, ctx.flavor, ctx.sim)?;
+    Ok(rows.into_iter().map(|(rid, _)| rid).collect())
+}
+
+/// Re-checks `where_clause` against the current image of a locked row.
+fn still_matches(
+    binding: &Binding,
+    rid: RowId,
+    row: &Row,
+    where_clause: &Option<Expr>,
+    flavor: Flavor,
+) -> Result<bool> {
+    let Some(w) = where_clause else {
+        return Ok(true);
+    };
+    let joined: JoinedRow = vec![(rid, row.clone())];
+    let scope = RowsScope {
+        bindings: std::slice::from_ref(binding),
+        row: &joined,
+        flavor,
+    };
+    Ok(eval(w, &scope)?.is_truthy())
+}
+
+fn exec_update(ctx: &mut StmtCtx<'_>, upd: &resildb_sql::Update) -> Result<u64> {
+    let handle = ctx.catalog.read().get(&upd.table)?;
+    let schema = handle.read().schema().clone();
+    let binding = Binding {
+        name: schema.name.clone(),
+        table: schema.name.clone(),
+        schema: schema.clone(),
+    };
+    let matches = collect_matches(ctx, &handle, &binding, &upd.where_clause)?;
+    let mut affected = 0u64;
+    for rid in matches {
+        ctx.locks
+            .lock_exclusive(ctx.txn, ResourceId::Row(schema.name.clone(), rid))?;
+        let Some(current) = handle.read().get(rid, ctx.sim)? else {
+            continue; // deleted concurrently
+        };
+        if !still_matches(&binding, rid, &current, &upd.where_clause, ctx.flavor)? {
+            continue;
+        }
+        // Evaluate assignments against the pre-update image.
+        let joined: JoinedRow = vec![(rid, current.clone())];
+        let scope = RowsScope {
+            bindings: std::slice::from_ref(&binding),
+            row: &joined,
+            flavor: ctx.flavor,
+        };
+        let mut new_row = current.clone();
+        for a in &upd.assignments {
+            let idx = schema.column_index(&a.column)?;
+            new_row.0[idx] = eval(&a.value, &scope)?;
+        }
+        let Some((before, after, loc)) = handle.write().update(rid, new_row, ctx.sim)? else {
+            continue;
+        };
+        let changed: Vec<usize> = (0..schema.columns.len())
+            .filter(|&i| before.0[i] != after.0[i])
+            .collect();
+        if changed.is_empty() {
+            // No column value actually changed: count the row as affected
+            // (SQL semantics) but log nothing — real DBMSs do not emit
+            // no-op row images either.
+            affected += 1;
+            continue;
+        }
+        ctx.wal.lock().append(
+            ctx.txn,
+            LogOp::Update {
+                table: schema.name.clone(),
+                rowid: rid,
+                before: before.clone(),
+                after,
+                changed,
+                loc,
+            },
+            ctx.flavor,
+            Some(&schema),
+            ctx.sim,
+        );
+        ctx.undo.push(UndoAction::UnUpdate {
+            table: schema.name.clone(),
+            rowid: rid,
+            before,
+        });
+        affected += 1;
+    }
+    ctx.sim.charge_statement(affected as usize);
+    Ok(affected)
+}
+
+fn exec_delete(ctx: &mut StmtCtx<'_>, del: &resildb_sql::Delete) -> Result<u64> {
+    let handle = ctx.catalog.read().get(&del.table)?;
+    let schema = handle.read().schema().clone();
+    let binding = Binding {
+        name: schema.name.clone(),
+        table: schema.name.clone(),
+        schema: schema.clone(),
+    };
+    let matches = collect_matches(ctx, &handle, &binding, &del.where_clause)?;
+    let mut affected = 0u64;
+    for rid in matches {
+        ctx.locks
+            .lock_exclusive(ctx.txn, ResourceId::Row(schema.name.clone(), rid))?;
+        let Some(current) = handle.read().get(rid, ctx.sim)? else {
+            continue;
+        };
+        if !still_matches(&binding, rid, &current, &del.where_clause, ctx.flavor)? {
+            continue;
+        }
+        let Some((row, loc)) = handle.write().delete(rid, ctx.sim)? else {
+            continue;
+        };
+        ctx.wal.lock().append(
+            ctx.txn,
+            LogOp::Delete {
+                table: schema.name.clone(),
+                rowid: rid,
+                row: row.clone(),
+                loc,
+            },
+            ctx.flavor,
+            Some(&schema),
+            ctx.sim,
+        );
+        ctx.undo.push(UndoAction::ReInsert {
+            table: schema.name.clone(),
+            rowid: rid,
+            row,
+        });
+        affected += 1;
+    }
+    ctx.sim.charge_statement(affected as usize);
+    Ok(affected)
+}

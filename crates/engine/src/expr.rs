@@ -1,0 +1,312 @@
+//! Scalar expression evaluation with SQL semantics.
+
+use resildb_sql::{BinaryOp, ColumnRef, Expr, UnaryOp};
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+
+/// Resolves column references during evaluation.
+pub trait Scope {
+    /// Produces the value of `col` in the current row context.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or ambiguous columns.
+    fn resolve(&self, col: &ColumnRef) -> Result<Value>;
+}
+
+/// A scope with no columns — evaluating any column reference fails. Used
+/// for `INSERT ... VALUES` expressions and other constant contexts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyScope;
+
+impl Scope for EmptyScope {
+    fn resolve(&self, col: &ColumnRef) -> Result<Value> {
+        Err(EngineError::UnknownColumn(format!(
+            "{col} (no columns in scope)"
+        )))
+    }
+}
+
+/// Evaluates `expr` in `scope`.
+///
+/// Aggregate function calls are rejected here; the executor evaluates them
+/// over row groups before scalar evaluation (see `exec`).
+///
+/// # Errors
+///
+/// Type errors, unknown columns, unsupported functions.
+pub fn eval(expr: &Expr, scope: &dyn Scope) -> Result<Value> {
+    match expr {
+        Expr::Literal(l) => Ok(Value::from_literal(l)),
+        Expr::Column(c) => scope.resolve(c),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, scope)?;
+            match op {
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Bool(!other.is_truthy()),
+                }),
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, scope),
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, scope)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = eval(expr, scope)?;
+            if needle.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let v = eval(item, scope)?;
+                if v.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if needle.sql_cmp(&v)? == Some(std::cmp::Ordering::Equal) {
+                    return Ok(Value::Bool(!*negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, scope)?;
+            let lo = eval(low, scope)?;
+            let hi = eval(high, scope)?;
+            let (Some(cl), Some(ch)) = (v.sql_cmp(&lo)?, v.sql_cmp(&hi)?) else {
+                return Ok(Value::Null);
+            };
+            let inside = cl != std::cmp::Ordering::Less && ch != std::cmp::Ordering::Greater;
+            Ok(Value::Bool(inside != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, scope)?;
+            let p = eval(pattern, scope)?;
+            match (&v, &p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    Ok(Value::Bool(like_match(s, pat) != *negated))
+                }
+                _ => Err(EngineError::Type(format!(
+                    "LIKE requires strings, got {v:?} LIKE {p:?}"
+                ))),
+            }
+        }
+        Expr::Function { name, .. } => Err(EngineError::Unsupported(format!(
+            "function {name} in scalar context"
+        ))),
+    }
+}
+
+fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, scope: &dyn Scope) -> Result<Value> {
+    // Short-circuit logic with SQL three-valued semantics.
+    match op {
+        BinaryOp::And => {
+            let l = eval(left, scope)?;
+            if !l.is_null() && !l.is_truthy() {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval(right, scope)?;
+            if !r.is_null() && !r.is_truthy() {
+                return Ok(Value::Bool(false));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(true))
+        }
+        BinaryOp::Or => {
+            let l = eval(left, scope)?;
+            if !l.is_null() && l.is_truthy() {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(right, scope)?;
+            if !r.is_null() && r.is_truthy() {
+                return Ok(Value::Bool(true));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(false))
+        }
+        _ => {
+            let l = eval(left, scope)?;
+            let r = eval(right, scope)?;
+            match op {
+                BinaryOp::Add => l.add(&r),
+                BinaryOp::Sub => l.sub(&r),
+                BinaryOp::Mul => l.mul(&r),
+                BinaryOp::Div => l.div(&r),
+                BinaryOp::Mod => l.rem(&r),
+                BinaryOp::Concat => l.concat(&r),
+                BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq => {
+                    let Some(ord) = l.sql_cmp(&r)? else {
+                        return Ok(Value::Null);
+                    };
+                    use std::cmp::Ordering::*;
+                    let b = match op {
+                        BinaryOp::Eq => ord == Equal,
+                        BinaryOp::Neq => ord != Equal,
+                        BinaryOp::Lt => ord == Less,
+                        BinaryOp::LtEq => ord != Greater,
+                        BinaryOp::Gt => ord == Greater,
+                        BinaryOp::GtEq => ord != Less,
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Bool(b))
+                }
+                BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// SQL `LIKE` matching: `%` matches any run, `_` matches one character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len characters.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resildb_sql::{parse_statement, SelectItem, Statement};
+
+    /// Evaluates the first projection of `SELECT <expr>` in an empty scope.
+    fn eval_const(expr_sql: &str) -> Result<Value> {
+        let stmt = parse_statement(&format!("SELECT {expr_sql}")).unwrap();
+        let Statement::Select(sel) = stmt else {
+            unreachable!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            unreachable!()
+        };
+        eval(expr, &EmptyScope)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_const("1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(eval_const("(1 + 2) * 3").unwrap(), Value::Int(9));
+        assert_eq!(eval_const("7 % 3").unwrap(), Value::Int(1));
+        assert_eq!(eval_const("1 / 2").unwrap(), Value::Int(0));
+        assert_eq!(eval_const("1.0 / 2").unwrap(), Value::Float(0.5));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval_const("1 < 2 AND 'a' = 'a'").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("1 > 2 OR FALSE").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("NOT 1 = 2").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval_const("NULL AND TRUE").unwrap(), Value::Null);
+        assert_eq!(eval_const("NULL AND FALSE").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("NULL OR TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("NULL OR FALSE").unwrap(), Value::Null);
+        assert_eq!(eval_const("NOT NULL").unwrap(), Value::Null);
+        assert_eq!(eval_const("NULL = NULL").unwrap(), Value::Null);
+        assert_eq!(eval_const("NULL IS NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("1 IS NOT NULL").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(eval_const("2 IN (1, 2, 3)").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("5 IN (1, 2, 3)").unwrap(), Value::Bool(false));
+        assert_eq!(eval_const("5 NOT IN (1, 2)").unwrap(), Value::Bool(true));
+        // NULL in the list makes a non-match UNKNOWN, not false.
+        assert_eq!(eval_const("5 IN (1, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval_const("1 IN (1, NULL)").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_semantics() {
+        assert_eq!(eval_const("2 BETWEEN 1 AND 3").unwrap(), Value::Bool(true));
+        assert_eq!(eval_const("0 BETWEEN 1 AND 3").unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_const("0 NOT BETWEEN 1 AND 3").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(eval_const("NULL BETWEEN 1 AND 3").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("BARBARBAR", "BAR%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("a%c", "a%c"));
+        assert!(like_match("xayc", "x%c"));
+        assert_eq!(
+            eval_const("'OUGHT' LIKE '%GH%'").unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn concat() {
+        assert_eq!(
+            eval_const("'a' || 1 || '-'").unwrap(),
+            Value::from("a1-")
+        );
+    }
+
+    #[test]
+    fn unknown_column_in_empty_scope() {
+        assert!(matches!(
+            eval_const("some_col + 1"),
+            Err(EngineError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_in_scalar_context_is_unsupported() {
+        assert!(matches!(
+            eval_const("SUM(1)"),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+}

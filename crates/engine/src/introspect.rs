@@ -1,0 +1,471 @@
+//! Per-flavor transaction-log introspection interfaces.
+//!
+//! This is where the paper's portability story gets concrete (§4): the
+//! *tracking* side is identical across DBMSs, but every DBMS exposes its
+//! transaction log differently, so each flavor gets its own adapter:
+//!
+//! * [`logminer`] — Oracle's `v$logmnr_contents` view: one row per log
+//!   record, carrying ready-made `sql_redo`/`sql_undo` statements (§4.1);
+//! * [`waldump`] — a reverse-engineered reader for the PostgreSQL WAL,
+//!   exposing full before/after row images (§4.2);
+//! * [`dbcc_log`]/[`dbcc_page`] — Sybase's `dbcc log` output, where
+//!   `MODIFY` records carry only the changed attributes in raw binary, and
+//!   the `dbcc page` command needed to recover full row contents (§4.3).
+//!
+//! Calling an adapter on the wrong flavor is an error — that mismatch is
+//! exactly what forces real repair tools to be partly database-specific.
+
+use crate::db::Database;
+use crate::error::{EngineError, Result};
+use crate::flavor::Flavor;
+use crate::row::{encode_value, Row, RowId};
+use crate::table::RowLocation;
+use crate::value::Value;
+use crate::wal::{InternalTxnId, LogOp, Lsn};
+
+/// One row of the Oracle-flavor `v$logmnr_contents` emulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogMinerRow {
+    /// System change number (our LSN).
+    pub scn: Lsn,
+    /// Internal transaction id (`XID`).
+    pub xid: InternalTxnId,
+    /// Operation name: `INSERT`, `DELETE`, `UPDATE`, `COMMIT`, `ROLLBACK`,
+    /// `DDL`.
+    pub operation: String,
+    /// Affected table, when applicable.
+    pub table_name: Option<String>,
+    /// Row id the operation addressed.
+    pub row_id: Option<RowId>,
+    /// SQL that re-applies the change.
+    pub sql_redo: Option<String>,
+    /// SQL that reverses the change.
+    pub sql_undo: Option<String>,
+}
+
+/// Builds the LogMiner view of the whole log.
+///
+/// # Errors
+///
+/// [`EngineError::Unsupported`] unless `db` is the Oracle flavor; lookup
+/// errors if a logged table has been dropped.
+pub fn logminer(db: &Database) -> Result<Vec<LogMinerRow>> {
+    if db.flavor() != Flavor::Oracle {
+        return Err(EngineError::Unsupported(format!(
+            "LogMiner is an Oracle interface, database is {}",
+            db.flavor()
+        )));
+    }
+    let records = db.wal_records();
+    let mut out = Vec::with_capacity(records.len());
+    for rec in &records {
+        let row = match &rec.op {
+            LogOp::Insert {
+                table, rowid, row, ..
+            } => {
+                let cols = column_names(db, table)?;
+                LogMinerRow {
+                    scn: rec.lsn,
+                    xid: rec.txn,
+                    operation: "INSERT".into(),
+                    table_name: Some(table.clone()),
+                    row_id: Some(*rowid),
+                    sql_redo: Some(insert_sql(table, &cols, row)),
+                    sql_undo: Some(format!("DELETE FROM {table} WHERE rowid = {}", rowid.0)),
+                }
+            }
+            LogOp::Delete {
+                table, rowid, row, ..
+            } => {
+                let cols = column_names(db, table)?;
+                LogMinerRow {
+                    scn: rec.lsn,
+                    xid: rec.txn,
+                    operation: "DELETE".into(),
+                    table_name: Some(table.clone()),
+                    row_id: Some(*rowid),
+                    sql_redo: Some(format!("DELETE FROM {table} WHERE rowid = {}", rowid.0)),
+                    sql_undo: Some(insert_sql(table, &cols, row)),
+                }
+            }
+            LogOp::Update {
+                table,
+                rowid,
+                before,
+                after,
+                changed,
+                ..
+            } => {
+                let cols = column_names(db, table)?;
+                LogMinerRow {
+                    scn: rec.lsn,
+                    xid: rec.txn,
+                    operation: "UPDATE".into(),
+                    table_name: Some(table.clone()),
+                    row_id: Some(*rowid),
+                    sql_redo: Some(update_sql(table, &cols, changed, after, *rowid)),
+                    sql_undo: Some(update_sql(table, &cols, changed, before, *rowid)),
+                }
+            }
+            LogOp::Commit => LogMinerRow {
+                scn: rec.lsn,
+                xid: rec.txn,
+                operation: "COMMIT".into(),
+                table_name: None,
+                row_id: None,
+                sql_redo: Some("COMMIT".into()),
+                sql_undo: None,
+            },
+            LogOp::Abort => LogMinerRow {
+                scn: rec.lsn,
+                xid: rec.txn,
+                operation: "ROLLBACK".into(),
+                table_name: None,
+                row_id: None,
+                sql_redo: Some("ROLLBACK".into()),
+                sql_undo: None,
+            },
+            LogOp::CreateTable { schema } => LogMinerRow {
+                scn: rec.lsn,
+                xid: rec.txn,
+                operation: "DDL".into(),
+                table_name: Some(schema.name.clone()),
+                row_id: None,
+                sql_redo: None,
+                sql_undo: None,
+            },
+            LogOp::DropTable { name } => LogMinerRow {
+                scn: rec.lsn,
+                xid: rec.txn,
+                operation: "DDL".into(),
+                table_name: Some(name.clone()),
+                row_id: None,
+                sql_redo: None,
+                sql_undo: None,
+            },
+        };
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn column_names(db: &Database, table: &str) -> Result<Vec<String>> {
+    Ok(db.table(table)?.read().schema().column_names())
+}
+
+fn insert_sql(table: &str, cols: &[String], row: &Row) -> String {
+    let vals: Vec<String> = row.values().iter().map(Value::to_sql_literal).collect();
+    format!(
+        "INSERT INTO {table} ({}) VALUES ({})",
+        cols.join(", "),
+        vals.join(", ")
+    )
+}
+
+fn update_sql(table: &str, cols: &[String], changed: &[usize], image: &Row, rowid: RowId) -> String {
+    let sets: Vec<String> = changed
+        .iter()
+        .map(|&i| format!("{} = {}", cols[i], image.values()[i].to_sql_literal()))
+        .collect();
+    format!(
+        "UPDATE {table} SET {} WHERE rowid = {}",
+        sets.join(", "),
+        rowid.0
+    )
+}
+
+/// One record of the PostgreSQL-flavor WAL reader (the paper implemented
+/// this as a reverse-engineered plugin; PostgreSQL logs complete before and
+/// after images for each row operation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalDumpRecord {
+    /// Log position.
+    pub lsn: Lsn,
+    /// Internal transaction id.
+    pub txn: InternalTxnId,
+    /// `INSERT` / `DELETE` / `UPDATE` / `COMMIT` / `ABORT` / `DDL`.
+    pub op_name: String,
+    /// Affected table.
+    pub table: Option<String>,
+    /// Affected row id (the `ctid` analogue).
+    pub rowid: Option<RowId>,
+    /// Full before-image (DELETE, UPDATE).
+    pub before: Option<Row>,
+    /// Full after-image (INSERT, UPDATE).
+    pub after: Option<Row>,
+    /// Physical location of the change.
+    pub loc: Option<RowLocation>,
+}
+
+/// Reads the PostgreSQL-flavor WAL.
+///
+/// # Errors
+///
+/// [`EngineError::Unsupported`] unless `db` is the Postgres flavor.
+pub fn waldump(db: &Database) -> Result<Vec<WalDumpRecord>> {
+    if db.flavor() != Flavor::Postgres {
+        return Err(EngineError::Unsupported(format!(
+            "waldump reads the PostgreSQL WAL, database is {}",
+            db.flavor()
+        )));
+    }
+    Ok(db
+        .wal_records()
+        .iter()
+        .map(|rec| match &rec.op {
+            LogOp::Insert {
+                table, rowid, row, loc,
+            } => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "INSERT".into(),
+                table: Some(table.clone()),
+                rowid: Some(*rowid),
+                before: None,
+                after: Some(row.clone()),
+                loc: Some(*loc),
+            },
+            LogOp::Delete {
+                table, rowid, row, loc,
+            } => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "DELETE".into(),
+                table: Some(table.clone()),
+                rowid: Some(*rowid),
+                before: Some(row.clone()),
+                after: None,
+                loc: Some(*loc),
+            },
+            LogOp::Update {
+                table,
+                rowid,
+                before,
+                after,
+                loc,
+                ..
+            } => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "UPDATE".into(),
+                table: Some(table.clone()),
+                rowid: Some(*rowid),
+                before: Some(before.clone()),
+                after: Some(after.clone()),
+                loc: Some(*loc),
+            },
+            LogOp::Commit => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "COMMIT".into(),
+                table: None,
+                rowid: None,
+                before: None,
+                after: None,
+                loc: None,
+            },
+            LogOp::Abort => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "ABORT".into(),
+                table: None,
+                rowid: None,
+                before: None,
+                after: None,
+                loc: None,
+            },
+            LogOp::CreateTable { schema } => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "DDL".into(),
+                table: Some(schema.name.clone()),
+                rowid: None,
+                before: None,
+                after: None,
+                loc: None,
+            },
+            LogOp::DropTable { name } => WalDumpRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op_name: "DDL".into(),
+                table: Some(name.clone()),
+                rowid: None,
+                before: None,
+                after: None,
+                loc: None,
+            },
+        })
+        .collect())
+}
+
+/// Operation kind in a `dbcc log` record (Sybase names updates `MODIFY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbccOp {
+    /// Row insert — `bytes` holds the complete row image.
+    Insert,
+    /// Row delete — `bytes` holds the complete pre-delete image.
+    Delete,
+    /// In-place update — `bytes` holds only the modified attributes in the
+    /// delta encoding described on [`dbcc_log`].
+    Modify,
+    /// `ENDXACT` commit marker.
+    Commit,
+    /// `ENDXACT` abort marker.
+    Abort,
+}
+
+/// One record of the Sybase-flavor `dbcc log` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbccLogRecord {
+    /// Log position.
+    pub lsn: Lsn,
+    /// Internal transaction id.
+    pub txn: InternalTxnId,
+    /// Operation kind.
+    pub op: DbccOp,
+    /// Affected table (empty for commit/abort markers).
+    pub table: String,
+    /// Page number of the change.
+    pub page: u64,
+    /// Byte offset within the page *at operation time*.
+    pub offset: usize,
+    /// Length of the affected row image.
+    pub len: usize,
+    /// Raw binary payload (see [`dbcc_log`]).
+    pub bytes: Vec<u8>,
+}
+
+/// Reads the Sybase-flavor transaction log the way `dbcc log` exposes it.
+///
+/// INSERT/DELETE records carry the complete row image (as stored on the
+/// page). `MODIFY` records carry **only the modified attributes**, encoded
+/// as a sequence of `[col_index: u16 LE][before value][after value]` groups
+/// where each value uses the tagged fixed-width encoding of
+/// [`crate::row::encode_value`]. Notably the row-id/identity attribute is
+/// absent from MODIFY records unless it was itself modified — reproducing
+/// the problem §4.3 of the paper solves with `dbcc page` and offset
+/// adjustment.
+///
+/// # Errors
+///
+/// [`EngineError::Unsupported`] unless `db` is the Sybase flavor.
+pub fn dbcc_log(db: &Database) -> Result<Vec<DbccLogRecord>> {
+    if db.flavor() != Flavor::Sybase {
+        return Err(EngineError::Unsupported(format!(
+            "dbcc log is a Sybase interface, database is {}",
+            db.flavor()
+        )));
+    }
+    let records = db.wal_records();
+    let mut out = Vec::with_capacity(records.len());
+    for rec in &records {
+        let dbcc = match &rec.op {
+            LogOp::Insert {
+                table, row, loc, ..
+            } => {
+                let schema = db.table(table)?.read().schema().clone();
+                DbccLogRecord {
+                    lsn: rec.lsn,
+                    txn: rec.txn,
+                    op: DbccOp::Insert,
+                    table: table.clone(),
+                    page: loc.page,
+                    offset: loc.offset,
+                    len: loc.len,
+                    bytes: crate::row::encode_row(&schema, row)?,
+                }
+            }
+            LogOp::Delete {
+                table, row, loc, ..
+            } => {
+                let schema = db.table(table)?.read().schema().clone();
+                DbccLogRecord {
+                    lsn: rec.lsn,
+                    txn: rec.txn,
+                    op: DbccOp::Delete,
+                    table: table.clone(),
+                    page: loc.page,
+                    offset: loc.offset,
+                    len: loc.len,
+                    bytes: crate::row::encode_row(&schema, row)?,
+                }
+            }
+            LogOp::Update {
+                table,
+                before,
+                after,
+                changed,
+                loc,
+                ..
+            } => {
+                let schema = db.table(table)?.read().schema().clone();
+                let mut bytes = Vec::new();
+                for &i in changed {
+                    bytes.extend_from_slice(&(i as u16).to_le_bytes());
+                    encode_value(&mut bytes, schema.columns[i].ty, &before.values()[i])?;
+                    encode_value(&mut bytes, schema.columns[i].ty, &after.values()[i])?;
+                }
+                DbccLogRecord {
+                    lsn: rec.lsn,
+                    txn: rec.txn,
+                    op: DbccOp::Modify,
+                    table: table.clone(),
+                    page: loc.page,
+                    offset: loc.offset,
+                    len: loc.len,
+                    bytes,
+                }
+            }
+            LogOp::Commit => DbccLogRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op: DbccOp::Commit,
+                table: String::new(),
+                page: 0,
+                offset: 0,
+                len: 0,
+                bytes: Vec::new(),
+            },
+            LogOp::Abort => DbccLogRecord {
+                lsn: rec.lsn,
+                txn: rec.txn,
+                op: DbccOp::Abort,
+                table: String::new(),
+                page: 0,
+                offset: 0,
+                len: 0,
+                bytes: Vec::new(),
+            },
+            // dbcc log does not render DDL records usefully; skip them.
+            LogOp::CreateTable { .. } | LogOp::DropTable { .. } => continue,
+        };
+        out.push(dbcc);
+    }
+    Ok(out)
+}
+
+/// Reads `len` raw bytes at `offset` of `page` in `table` — the `dbcc page`
+/// primitive the §4.3 algorithm uses to recover full row contents.
+///
+/// # Errors
+///
+/// [`EngineError::Unsupported`] on non-Sybase flavors, unknown table, or an
+/// out-of-bounds range (`EngineError::Internal`).
+pub fn dbcc_page(db: &Database, table: &str, page: u64, offset: usize, len: usize) -> Result<Vec<u8>> {
+    if db.flavor() != Flavor::Sybase {
+        return Err(EngineError::Unsupported(format!(
+            "dbcc page is a Sybase interface, database is {}",
+            db.flavor()
+        )));
+    }
+    let handle = db.table(table)?;
+    let guard = handle.read();
+    guard
+        .read_page_bytes(page, offset, len)
+        .map(<[u8]>::to_vec)
+        .ok_or_else(|| {
+            EngineError::Internal(format!(
+                "dbcc page: range {offset}+{len} out of bounds on {table} page {page}"
+            ))
+        })
+}

@@ -1,0 +1,395 @@
+//! Runtime values and SQL comparison/arithmetic semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{EngineError, Result};
+
+/// The storage type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer (also backs `NUMERIC` and `TIMESTAMP`).
+    Integer,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string with an optional declared maximum.
+    Varchar(Option<u32>),
+}
+
+impl DataType {
+    /// Maps a parsed SQL type to its storage type.
+    pub fn from_type_name(t: &resildb_sql::TypeName) -> DataType {
+        match t {
+            resildb_sql::TypeName::Integer | resildb_sql::TypeName::Timestamp => {
+                DataType::Integer
+            }
+            // NUMERIC is stored as a float for simplicity; TPC-C money
+            // amounts stay well within f64's exact-integer range.
+            resildb_sql::TypeName::Float | resildb_sql::TypeName::Numeric { .. } => {
+                DataType::Float
+            }
+            resildb_sql::TypeName::Varchar(n) => DataType::Varchar(*n),
+        }
+    }
+
+    /// The fixed on-page width (bytes) a value of this type occupies in the
+    /// simulated page layout. Fixed widths keep in-place updates
+    /// length-preserving, which matches Sybase's in-place `MODIFY`
+    /// behaviour assumed by the paper's §4.3 offset algorithm.
+    pub fn fixed_width(self) -> usize {
+        match self {
+            DataType::Integer | DataType::Float => 8,
+            DataType::Varchar(Some(n)) => n as usize + 1, // length byte + padding
+            DataType::Varchar(None) => 64,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => f.write_str("INTEGER"),
+            DataType::Float => f.write_str("FLOAT"),
+            DataType::Varchar(Some(n)) => write!(f, "VARCHAR({n})"),
+            DataType::Varchar(None) => f.write_str("TEXT"),
+        }
+    }
+}
+
+/// A runtime SQL value.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_engine::Value;
+///
+/// let sum = Value::Int(2).add(&Value::Float(0.5)).unwrap();
+/// assert_eq!(sum, Value::Float(2.5));
+/// assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean (result of predicates; storable too).
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a predicate outcome (SQL three-valued logic
+    /// collapses UNKNOWN to false at the filter boundary).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Null => false,
+            _ => false,
+        }
+    }
+
+    /// Converts a literal from the AST.
+    pub fn from_literal(l: &resildb_sql::Literal) -> Value {
+        match l {
+            resildb_sql::Literal::Int(v) => Value::Int(*v),
+            resildb_sql::Literal::Float(v) => Value::Float(*v),
+            resildb_sql::Literal::Str(s) => Value::Str(s.clone()),
+            resildb_sql::Literal::Bool(b) => Value::Bool(*b),
+            resildb_sql::Literal::Null => Value::Null,
+        }
+    }
+
+    /// Renders this value as a SQL literal (used when generating
+    /// compensating statements and LogMiner-style redo/undo SQL).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Null => "NULL".to_string(),
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL (UNKNOWN), numeric
+    /// coercion between Int and Float, error on cross-kind comparison.
+    pub fn sql_cmp(&self, other: &Value) -> Result<Option<Ordering>> {
+        if self.is_null() || other.is_null() {
+            return Ok(None);
+        }
+        let ord = match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x
+                    .partial_cmp(&y)
+                    .ok_or_else(|| EngineError::Type("NaN comparison".into()))?,
+                _ => {
+                    return Err(EngineError::Type(format!(
+                        "cannot compare {a:?} with {b:?}"
+                    )))
+                }
+            },
+        };
+        Ok(Some(ord))
+    }
+
+    fn arith(
+        &self,
+        other: &Value,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        f_op: impl Fn(f64, f64) -> f64,
+        name: &str,
+    ) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => int_op(*a, *b)
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::Type(format!("integer {name} overflow or /0"))),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Ok(Value::Float(f_op(x, y))),
+                _ => Err(EngineError::Type(format!(
+                    "cannot {name} {a:?} and {b:?}"
+                ))),
+            },
+        }
+    }
+
+    /// SQL `+` with NULL propagation and Int/Float coercion.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.arith(other, i64::checked_add, |a, b| a + b, "add")
+    }
+
+    /// SQL `-`.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.arith(other, i64::checked_sub, |a, b| a - b, "subtract")
+    }
+
+    /// SQL `*`.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.arith(other, i64::checked_mul, |a, b| a * b, "multiply")
+    }
+
+    /// SQL `/` (errors on division by zero).
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if matches!(other, Value::Int(0)) || matches!(other, Value::Float(f) if *f == 0.0) {
+            return Err(EngineError::Type("division by zero".into()));
+        }
+        self.arith(other, i64::checked_div, |a, b| a / b, "divide")
+    }
+
+    /// SQL `%`.
+    pub fn rem(&self, other: &Value) -> Result<Value> {
+        if matches!(other, Value::Int(0)) || matches!(other, Value::Float(f) if *f == 0.0) {
+            return Err(EngineError::Type("modulo by zero".into()));
+        }
+        self.arith(other, i64::checked_rem, |a, b| a % b, "mod")
+    }
+
+    /// SQL `||` string concatenation (NULL-propagating).
+    pub fn concat(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Str(format!(
+            "{}{}",
+            self.to_plain_string(),
+            other.to_plain_string()
+        )))
+    }
+
+    /// Unary minus.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(v) => v
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::Type("integer negation overflow".into())),
+            Value::Float(v) => Ok(Value::Float(-v)),
+            other => Err(EngineError::Type(format!("cannot negate {other:?}"))),
+        }
+    }
+
+    /// Coerces this value to what column type `ty` stores; used on insert
+    /// and update so stored data matches the schema.
+    pub fn coerce_to(&self, ty: DataType) -> Result<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(v), DataType::Integer) => Ok(Value::Int(*v)),
+            (Value::Int(v), DataType::Float) => Ok(Value::Float(*v as f64)),
+            (Value::Float(v), DataType::Float) => Ok(Value::Float(*v)),
+            (Value::Float(v), DataType::Integer) if v.fract() == 0.0 => Ok(Value::Int(*v as i64)),
+            (Value::Str(s), DataType::Varchar(limit)) => {
+                if let Some(n) = limit {
+                    if s.chars().count() > n as usize {
+                        return Err(EngineError::Type(format!(
+                            "string of length {} exceeds VARCHAR({n})",
+                            s.chars().count()
+                        )));
+                    }
+                }
+                Ok(Value::Str(s.clone()))
+            }
+            (Value::Bool(b), DataType::Integer) => Ok(Value::Int(i64::from(*b))),
+            (v, ty) => Err(EngineError::Type(format!("cannot store {v:?} as {ty}"))),
+        }
+    }
+
+    /// Plain (unquoted) textual form, used for concatenation and display.
+    pub fn to_plain_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_sql_literal(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_plain_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
+        assert!(Value::Int(1).mul(&Value::Null).unwrap().is_null());
+        assert!(Value::Null.concat(&Value::from("x")).unwrap().is_null());
+        assert!(Value::Null.neg().unwrap().is_null());
+    }
+
+    #[test]
+    fn numeric_coercion_in_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)).unwrap(),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)).unwrap(),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_comparison_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)).unwrap(), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn cross_kind_comparison_errors() {
+        assert!(Value::Int(1).sql_cmp(&Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert!(Value::Float(1.0).rem(&Value::Float(0.0)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MIN).neg().is_err());
+    }
+
+    #[test]
+    fn sql_literal_rendering() {
+        assert_eq!(Value::Int(3).to_sql_literal(), "3");
+        assert_eq!(Value::Float(2.0).to_sql_literal(), "2.0");
+        assert_eq!(Value::from("o'clock").to_sql_literal(), "'o''clock'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+    }
+
+    #[test]
+    fn coercion_respects_varchar_limit() {
+        let ok = Value::from("abc").coerce_to(DataType::Varchar(Some(3)));
+        assert!(ok.is_ok());
+        let too_long = Value::from("abcd").coerce_to(DataType::Varchar(Some(3)));
+        assert!(too_long.is_err());
+    }
+
+    #[test]
+    fn coercion_int_float() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Float(3.0).coerce_to(DataType::Integer).unwrap(),
+            Value::Int(3)
+        );
+        assert!(Value::Float(3.5).coerce_to(DataType::Integer).is_err());
+    }
+
+    #[test]
+    fn fixed_widths_are_positive_and_stable() {
+        assert_eq!(DataType::Integer.fixed_width(), 8);
+        assert_eq!(DataType::Varchar(Some(10)).fixed_width(), 11);
+        assert!(DataType::Varchar(None).fixed_width() > 0);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(Value::Int(7).is_truthy());
+    }
+}

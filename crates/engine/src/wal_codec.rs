@@ -1,0 +1,460 @@
+//! Binary serialization of the write-ahead log.
+//!
+//! The engine's WAL lives in memory for speed; this module provides the
+//! durable form: a length-delimited binary stream that can be written to a
+//! file and replayed later, so a database (including every tracking table
+//! and therefore the full repair capability) survives process restarts.
+//!
+//! Format, per record:
+//! `[record_len: u32][crc32: u32][lsn: u64][txn: u64][op_tag: u8]
+//! [payload...]`, all little-endian. The CRC (IEEE polynomial) covers the
+//! record body, so torn or corrupted records are detected rather than
+//! replayed. Row values use per-value tagging; schemas serialize their DDL
+//! text and are rebuilt through the normal parser.
+
+use std::io::{Read, Write};
+
+use crate::error::{EngineError, Result};
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::table::RowLocation;
+use crate::value::{DataType, Value};
+use crate::wal::{InternalTxnId, LogOp, LogRecord, Lsn};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data` — bitwise implementation,
+/// fast enough for log archival and dependency-free.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_CREATE: u8 = 4;
+const TAG_DROP: u8 = 5;
+const TAG_COMMIT: u8 = 6;
+const TAG_ABORT: u8 = 7;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.push(4);
+            buf.push(u8::from(*b));
+        }
+    }
+}
+
+fn put_row(buf: &mut Vec<u8>, row: &Row) {
+    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row.values() {
+        put_value(buf, v);
+    }
+}
+
+fn put_loc(buf: &mut Vec<u8>, loc: &RowLocation) {
+    buf.extend_from_slice(&loc.page.to_le_bytes());
+    buf.extend_from_slice(&(loc.offset as u64).to_le_bytes());
+    buf.extend_from_slice(&(loc.len as u64).to_le_bytes());
+}
+
+/// Serializes one record to its binary form (without the length prefix).
+fn encode_record(rec: &LogRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&rec.lsn.0.to_le_bytes());
+    buf.extend_from_slice(&rec.txn.0.to_le_bytes());
+    match &rec.op {
+        LogOp::Insert {
+            table,
+            rowid,
+            row,
+            loc,
+        } => {
+            buf.push(TAG_INSERT);
+            put_str(&mut buf, table);
+            buf.extend_from_slice(&rowid.0.to_le_bytes());
+            put_row(&mut buf, row);
+            put_loc(&mut buf, loc);
+        }
+        LogOp::Delete {
+            table,
+            rowid,
+            row,
+            loc,
+        } => {
+            buf.push(TAG_DELETE);
+            put_str(&mut buf, table);
+            buf.extend_from_slice(&rowid.0.to_le_bytes());
+            put_row(&mut buf, row);
+            put_loc(&mut buf, loc);
+        }
+        LogOp::Update {
+            table,
+            rowid,
+            before,
+            after,
+            changed,
+            loc,
+        } => {
+            buf.push(TAG_UPDATE);
+            put_str(&mut buf, table);
+            buf.extend_from_slice(&rowid.0.to_le_bytes());
+            put_row(&mut buf, before);
+            put_row(&mut buf, after);
+            buf.extend_from_slice(&(changed.len() as u32).to_le_bytes());
+            for &c in changed {
+                buf.extend_from_slice(&(c as u32).to_le_bytes());
+            }
+            put_loc(&mut buf, loc);
+        }
+        LogOp::CreateTable { schema } => {
+            buf.push(TAG_CREATE);
+            put_str(&mut buf, &schema_ddl(schema));
+        }
+        LogOp::DropTable { name } => {
+            buf.push(TAG_DROP);
+            put_str(&mut buf, name);
+        }
+        LogOp::Commit => buf.push(TAG_COMMIT),
+        LogOp::Abort => buf.push(TAG_ABORT),
+    }
+    buf
+}
+
+/// Renders a schema back to `CREATE TABLE` DDL (types map onto the storage
+/// types losslessly for replay purposes).
+fn schema_ddl(schema: &TableSchema) -> String {
+    let cols: Vec<String> = schema
+        .columns
+        .iter()
+        .map(|c| {
+            let ty = match c.ty {
+                DataType::Integer => "INTEGER".to_string(),
+                DataType::Float => "FLOAT".to_string(),
+                DataType::Varchar(Some(n)) => format!("VARCHAR({n})"),
+                DataType::Varchar(None) => "TEXT".to_string(),
+            };
+            let mut s = format!("{} {ty}", c.name);
+            if c.not_null {
+                s.push_str(" NOT NULL");
+            }
+            if c.identity {
+                s.push_str(" IDENTITY");
+            }
+            s
+        })
+        .collect();
+    let mut ddl = format!("CREATE TABLE {} ({}", schema.name, cols.join(", "));
+    if !schema.primary_key.is_empty() {
+        let pk: Vec<&str> = schema
+            .primary_key
+            .iter()
+            .map(|&i| schema.columns[i].name.as_str())
+            .collect();
+        ddl.push_str(&format!(", PRIMARY KEY ({})", pk.join(", ")));
+    }
+    ddl.push(')');
+    ddl
+}
+
+/// Writes the whole log to `w` in the durable format.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn write_wal<W: Write>(records: &[LogRecord], mut w: W) -> Result<()> {
+    for rec in records {
+        let body = encode_record(rec);
+        w.write_all(&(body.len() as u32).to_le_bytes())
+            .and_then(|()| w.write_all(&crc32(&body).to_le_bytes()))
+            .and_then(|()| w.write_all(&body))
+            .map_err(|e| EngineError::Internal(format!("WAL write failed: {e}")))?;
+    }
+    w.flush()
+        .map_err(|e| EngineError::Internal(format!("WAL flush failed: {e}")))?;
+    Ok(())
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos + n;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| EngineError::Internal("truncated WAL record".into()))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| EngineError::Internal("invalid UTF-8 in WAL".into()))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.i64()?),
+            2 => Value::Float(self.f64()?),
+            3 => Value::Str(self.str()?),
+            4 => Value::Bool(self.u8()? != 0),
+            t => return Err(EngineError::Internal(format!("bad value tag {t} in WAL"))),
+        })
+    }
+
+    fn row(&mut self) -> Result<Row> {
+        let n = self.u32()? as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(self.value()?);
+        }
+        Ok(Row(values))
+    }
+
+    fn loc(&mut self) -> Result<RowLocation> {
+        Ok(RowLocation {
+            page: self.u64()?,
+            offset: self.u64()? as usize,
+            len: self.u64()? as usize,
+        })
+    }
+}
+
+fn decode_record(body: &[u8]) -> Result<LogRecord> {
+    let mut c = Cursor { buf: body, pos: 0 };
+    let lsn = Lsn(c.u64()?);
+    let txn = InternalTxnId(c.u64()?);
+    let op = match c.u8()? {
+        TAG_INSERT => LogOp::Insert {
+            table: c.str()?,
+            rowid: RowId(c.u64()?),
+            row: c.row()?,
+            loc: c.loc()?,
+        },
+        TAG_DELETE => LogOp::Delete {
+            table: c.str()?,
+            rowid: RowId(c.u64()?),
+            row: c.row()?,
+            loc: c.loc()?,
+        },
+        TAG_UPDATE => {
+            let table = c.str()?;
+            let rowid = RowId(c.u64()?);
+            let before = c.row()?;
+            let after = c.row()?;
+            let n = c.u32()? as usize;
+            let mut changed = Vec::with_capacity(n);
+            for _ in 0..n {
+                changed.push(c.u32()? as usize);
+            }
+            LogOp::Update {
+                table,
+                rowid,
+                before,
+                after,
+                changed,
+                loc: c.loc()?,
+            }
+        }
+        TAG_CREATE => {
+            let ddl = c.str()?;
+            let stmt = resildb_sql::parse_statement(&ddl)
+                .map_err(|e| EngineError::Internal(format!("bad DDL in WAL: {e}")))?;
+            let resildb_sql::Statement::CreateTable(ct) = stmt else {
+                return Err(EngineError::Internal("non-DDL in CREATE record".into()));
+            };
+            LogOp::CreateTable {
+                schema: TableSchema::from_create(&ct)?,
+            }
+        }
+        TAG_DROP => LogOp::DropTable { name: c.str()? },
+        TAG_COMMIT => LogOp::Commit,
+        TAG_ABORT => LogOp::Abort,
+        t => return Err(EngineError::Internal(format!("bad op tag {t} in WAL"))),
+    };
+    Ok(LogRecord { lsn, txn, op })
+}
+
+/// Reads a durable log previously produced by [`write_wal`].
+///
+/// # Errors
+///
+/// I/O failures or a corrupt/truncated stream.
+pub fn read_wal<R: Read>(mut r: R) -> Result<Vec<LogRecord>> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)
+        .map_err(|e| EngineError::Internal(format!("WAL read failed: {e}")))?;
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let len_bytes: [u8; 4] = bytes
+            .get(pos..pos + 4)
+            .ok_or_else(|| EngineError::Internal("truncated WAL length".into()))?
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        pos += 4;
+        let crc_bytes: [u8; 4] = bytes
+            .get(pos..pos + 4)
+            .ok_or_else(|| EngineError::Internal("truncated WAL checksum".into()))?
+            .try_into()
+            .expect("4 bytes");
+        let expected_crc = u32::from_le_bytes(crc_bytes);
+        pos += 4;
+        let body = bytes
+            .get(pos..pos + len)
+            .ok_or_else(|| EngineError::Internal("truncated WAL body".into()))?;
+        pos += len;
+        if crc32(body) != expected_crc {
+            return Err(EngineError::Internal(
+                "WAL record checksum mismatch (corrupt log)".into(),
+            ));
+        }
+        records.push(decode_record(body)?);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, Flavor};
+
+    fn sample_records() -> Vec<LogRecord> {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut s = db.session();
+        s.execute_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8), f FLOAT, rid INTEGER IDENTITY)",
+        )
+        .unwrap();
+        s.execute_sql("INSERT INTO t (id, v, f) VALUES (1, 'a', 1.5), (2, NULL, -2.0)").unwrap();
+        s.execute_sql("UPDATE t SET v = 'z' WHERE id = 1").unwrap();
+        s.execute_sql("DELETE FROM t WHERE id = 2").unwrap();
+        s.execute_sql("BEGIN").unwrap();
+        s.execute_sql("INSERT INTO t (id, v, f) VALUES (3, 'x', 0.0)").unwrap();
+        s.execute_sql("ROLLBACK").unwrap();
+        db.wal_records()
+    }
+
+    #[test]
+    fn round_trips_every_record_kind() {
+        let records = sample_records();
+        assert!(records.len() >= 8);
+        let mut buf = Vec::new();
+        write_wal(&records, &mut buf).unwrap();
+        let decoded = read_wal(&buf[..]).unwrap();
+        assert_eq!(records, decoded);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_wal(&records, &mut buf).unwrap();
+        for cut in [1, 3, buf.len() / 2, buf.len() - 1] {
+            assert!(read_wal(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_an_empty_log() {
+        assert_eq!(read_wal(&[][..]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_detected() {
+        let records = sample_records();
+        let mut clean = Vec::new();
+        write_wal(&records, &mut clean).unwrap();
+        // Flip each byte in turn (sampled for speed) — every corruption
+        // must surface as an error or decode to different records, never
+        // silently reproduce the original log.
+        for i in (0..clean.len()).step_by(7) {
+            let mut buf = clean.clone();
+            buf[i] ^= 0xA5;
+            match read_wal(&buf[..]) {
+                Err(_) => {}
+                Ok(decoded) => assert_ne!(decoded, records, "undetected corruption at byte {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc_reference_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn schema_ddl_round_trips_identity_and_pk() {
+        let db = Database::in_memory(Flavor::Sybase);
+        let mut s = db.session();
+        s.execute_sql(
+            "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(4), rid INTEGER IDENTITY, \
+             PRIMARY KEY (a))",
+        )
+        .unwrap();
+        let records = db.wal_records();
+        let mut buf = Vec::new();
+        write_wal(&records, &mut buf).unwrap();
+        let decoded = read_wal(&buf[..]).unwrap();
+        let LogOp::CreateTable { schema } = &decoded[0].op else {
+            panic!("first record should be the CREATE");
+        };
+        assert_eq!(schema.primary_key, vec![0]);
+        assert_eq!(schema.identity_column(), Some(2));
+        assert!(schema.columns[0].not_null);
+    }
+}

@@ -1,0 +1,467 @@
+//! The tracking interceptor: per-connection transaction state, harvesting,
+//! and commit-time dependency recording.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use resildb_engine::{Database, EngineError, Value};
+use resildb_sim::{Micros, SimContext};
+use resildb_sql::Statement;
+use resildb_wire::{
+    dual_proxy, single_proxy, Connection, InterceptDriver, Interceptor, InterceptorFactory,
+    LinkProfile, NativeDriver, Response, WireError,
+};
+
+use crate::config::ProxyConfig;
+use crate::rewrite::{
+    rewrite_create_table, rewrite_insert, rewrite_select, rewrite_update, COLUMN_TRID_PREFIX,
+    HARVEST_ALIAS_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
+};
+use crate::setup::TRACKING_TABLES;
+
+/// A proxy-generated transaction id. Distinct from the DBMS-internal id;
+/// the repair tool correlates the two from the transaction log (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProxyTxnId(pub i64);
+
+impl std::fmt::Display for ProxyTxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ptx:{}", self.0)
+    }
+}
+
+/// Constructors for tracking-proxy drivers.
+///
+/// The proxy id sequence is shared by every connection made through one
+/// driver, mirroring the paper's single proxy process.
+#[derive(Debug)]
+pub struct TrackingProxy;
+
+impl TrackingProxy {
+    /// An [`InterceptorFactory`] running the tracker, for custom wiring.
+    /// Without a simulation context the tracker's own CPU costs are not
+    /// charged; prefer [`Self::factory_with_sim`].
+    pub fn factory(config: ProxyConfig) -> Box<dyn InterceptorFactory> {
+        Self::factory_inner(config, None)
+    }
+
+    /// Like [`Self::factory`], charging rewrite/harvest CPU to `sim`.
+    pub fn factory_with_sim(config: ProxyConfig, sim: SimContext) -> Box<dyn InterceptorFactory> {
+        Self::factory_inner(config, Some(sim))
+    }
+
+    fn factory_inner(config: ProxyConfig, sim: Option<SimContext>) -> Box<dyn InterceptorFactory> {
+        let counter = Arc::new(AtomicI64::new(1));
+        Box::new(move || {
+            Box::new(Tracker {
+                config: config.clone(),
+                counter: Arc::clone(&counter),
+                txn: None,
+                next_annotation: None,
+                sim: sim.clone(),
+            }) as Box<dyn Interceptor>
+        })
+    }
+
+    /// Figure 1 deployment: client-side proxy driver over `link`.
+    pub fn single_proxy(
+        db: Database,
+        link: LinkProfile,
+        config: ProxyConfig,
+    ) -> InterceptDriver<NativeDriver> {
+        let sim = db.sim().clone();
+        single_proxy(db, link, Self::factory_with_sim(config, sim))
+    }
+
+    /// Figure 2 deployment: client proxy + server proxy pair; the tracker
+    /// and its extra statements run on the server-side (local) leg.
+    pub fn dual_proxy(
+        db: Database,
+        link: LinkProfile,
+        config: ProxyConfig,
+    ) -> resildb_wire::DualProxyDriver {
+        let sim = db.sim().clone();
+        dual_proxy(db, link, Self::factory_with_sim(config, sim))
+    }
+}
+
+#[derive(Debug)]
+struct TxnTrack {
+    trid: i64,
+    explicit: bool,
+    deps: BTreeSet<i64>,
+    /// (dep, via_table, read_cols) — deduplicated.
+    prov: Vec<(i64, String, String)>,
+    annotation: Option<String>,
+    /// Whether the transaction executed any write statement; read-only
+    /// transactions get no tracking record unless configured otherwise.
+    wrote: bool,
+}
+
+impl TxnTrack {
+    fn new(trid: i64, explicit: bool, annotation: Option<String>) -> Self {
+        Self {
+            trid,
+            explicit,
+            deps: BTreeSet::new(),
+            prov: Vec::new(),
+            annotation,
+            wrote: false,
+        }
+    }
+}
+
+struct Tracker {
+    config: ProxyConfig,
+    counter: Arc<AtomicI64>,
+    txn: Option<TxnTrack>,
+    /// Annotation staged by `ANNOTATE` before the transaction begins.
+    next_annotation: Option<String>,
+    /// Virtual clock to charge the proxy's own CPU costs to.
+    sim: Option<SimContext>,
+}
+
+fn sql_str(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// Drops the columns flagged in `strip` from a result set.
+fn strip_columns(
+    qr: resildb_engine::QueryResult,
+    strip: &[bool],
+) -> resildb_engine::QueryResult {
+    let columns = qr
+        .columns
+        .iter()
+        .zip(strip)
+        .filter(|(_, s)| !**s)
+        .map(|(c, _)| c.clone())
+        .collect();
+    let rows = qr
+        .rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .zip(strip)
+                .filter(|(_, s)| !**s)
+                .map(|(v, _)| v)
+                .collect()
+        })
+        .collect();
+    resildb_engine::QueryResult { columns, rows }
+}
+
+fn is_tracking_table(name: &str) -> bool {
+    TRACKING_TABLES
+        .iter()
+        .any(|t| t.eq_ignore_ascii_case(name))
+}
+
+impl Tracker {
+    fn alloc_trid(&self) -> i64 {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Charges the interception/parsing/rewriting cost for one statement.
+    fn charge_rewrite(&self) {
+        if let Some(sim) = &self.sim {
+            sim.clock().advance(self.config.rewrite_cpu);
+        }
+    }
+
+    /// Charges the harvesting/stripping cost for `rows` result rows.
+    fn charge_harvest(&self, rows: usize) {
+        if let Some(sim) = &self.sim {
+            sim.clock().advance(Micros::from_nanos(
+                self.config.harvest_per_row_ns * rows as u64,
+            ));
+        }
+    }
+
+    /// Whether the finished transaction warrants tracking rows.
+    fn should_record(&self, t: &TxnTrack) -> bool {
+        self.config.record_deps_at_commit
+            && (t.wrote || self.config.record_read_only_deps)
+    }
+
+    /// Writes the provenance, annotation and (last) trans_dep rows for a
+    /// finished transaction. Ordering matters: the paper's correlation rule
+    /// is that the last log record before a COMMIT is an insert into
+    /// `trans_dep`.
+    fn write_tracking_rows(
+        &self,
+        t: &TxnTrack,
+        downstream: &mut dyn Connection,
+    ) -> Result<(), WireError> {
+        if self.config.record_provenance && !t.prov.is_empty() {
+            let tuples: Vec<String> = t
+                .prov
+                .iter()
+                .map(|(dep, table, cols)| {
+                    format!(
+                        "({}, {}, {}, {})",
+                        t.trid,
+                        dep,
+                        sql_str(table),
+                        sql_str(&cols.chars().take(200).collect::<String>())
+                    )
+                })
+                .collect();
+            downstream.execute(&format!(
+                "INSERT INTO trans_dep_prov (tr_id, dep_tr_id, via_table, read_cols) VALUES {}",
+                tuples.join(", ")
+            ))?;
+        }
+        // The annot table carries client-supplied symbolic names for graph
+        // visualisation; unannotated transactions get no row (the graph
+        // falls back to a generated `txn_<id>` label).
+        if let Some(descr) = &t.annotation {
+            downstream.execute(&format!(
+                "INSERT INTO annot (tr_id, descr) VALUES ({}, {})",
+                t.trid,
+                sql_str(&descr.chars().take(64).collect::<String>())
+            ))?;
+        }
+        // Space-separated dependency ids, split across rows at 200 chars
+        // (the column's declared width).
+        let ids: Vec<String> = t.deps.iter().map(i64::to_string).collect();
+        let mut chunks: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for id in ids {
+            if !cur.is_empty() && cur.len() + 1 + id.len() > 200 {
+                chunks.push(std::mem::take(&mut cur));
+            }
+            if !cur.is_empty() {
+                cur.push(' ');
+            }
+            cur.push_str(&id);
+        }
+        chunks.push(cur);
+        let tuples: Vec<String> = chunks
+            .iter()
+            .map(|c| format!("({}, {})", t.trid, sql_str(c)))
+            .collect();
+        downstream.execute(&format!(
+            "INSERT INTO trans_dep (tr_id, dep_tr_ids) VALUES {}",
+            tuples.join(", ")
+        ))?;
+        Ok(())
+    }
+
+    /// Whether result column `name` belongs to the tracking layer and must
+    /// be hidden from clients: harvest aliases, the `trid` stamp, the
+    /// per-column `trid__*` stamps, and (only where the flavor needed the
+    /// identity workaround) the injected `rid` column.
+    fn is_hidden_column(&self, name: &str) -> bool {
+        name.starts_with(HARVEST_ALIAS_PREFIX)
+            || name.eq_ignore_ascii_case(TRID_COLUMN)
+            || name.len() >= COLUMN_TRID_PREFIX.len()
+                && name[..COLUMN_TRID_PREFIX.len()].eq_ignore_ascii_case(COLUMN_TRID_PREFIX)
+            || self.config.flavor.rowid_pseudocolumn().is_none()
+                && name.eq_ignore_ascii_case(IDENTITY_COLUMN)
+    }
+
+    /// Strips tracking columns from a pass-through result (aggregate or
+    /// DISTINCT selects, which are not rewritten but whose wildcards can
+    /// still expose injected columns).
+    fn strip_only(&self, resp: Response) -> Response {
+        let Response::Rows(qr) = resp else {
+            return resp;
+        };
+        let strip: Vec<bool> = qr.columns.iter().map(|c| self.is_hidden_column(c)).collect();
+        if !strip.iter().any(|s| *s) {
+            return Response::Rows(qr);
+        }
+        Response::Rows(strip_columns(qr, &strip))
+    }
+
+    /// Removes harvested trid columns from a result, folding their values
+    /// into the current transaction's dependency set.
+    fn harvest_and_strip(
+        &mut self,
+        resp: Response,
+        plan: &crate::rewrite::SelectRewrite,
+    ) -> Response {
+        let Response::Rows(qr) = resp else {
+            return resp;
+        };
+        self.charge_harvest(qr.rows.len());
+        // Columns to strip: our harvest aliases plus any tracking column a
+        // wildcard expansion leaked.
+        let mut strip = vec![false; qr.columns.len()];
+        let mut harvest_cols: Vec<(usize, usize)> = Vec::new(); // (col idx, plan idx)
+        for (i, name) in qr.columns.iter().enumerate() {
+            if let Some(k) = name.strip_prefix(HARVEST_ALIAS_PREFIX) {
+                strip[i] = true;
+                if let Ok(k) = k.parse::<usize>() {
+                    harvest_cols.push((i, k));
+                }
+            } else if self.is_hidden_column(name) {
+                strip[i] = true;
+            }
+        }
+        if let Some(txn) = &mut self.txn {
+            for row in &qr.rows {
+                for &(col, k) in &harvest_cols {
+                    if let Some(Value::Int(v)) = row.get(col) {
+                        let v = *v;
+                        if v > 0 && v != txn.trid && txn.deps.insert(v) {
+                            if let Some(src) = plan.harvested.get(k) {
+                                txn.prov.push((
+                                    v,
+                                    src.table.clone(),
+                                    src.read_columns.join(","),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Response::Rows(strip_columns(qr, &strip))
+    }
+
+    /// Executes a write statement within the current transaction, opening
+    /// (and afterwards committing) an implicit one when none is active.
+    /// `make_sql` receives the current proxy transaction id for rewriting.
+    fn execute_write(
+        &mut self,
+        downstream: &mut dyn Connection,
+        make_sql: impl FnOnce(i64) -> String,
+    ) -> Result<Response, WireError> {
+        let implicit = self.txn.is_none();
+        if implicit {
+            let trid = self.alloc_trid();
+            let annotation = self.next_annotation.take();
+            downstream.execute("BEGIN")?;
+            self.txn = Some(TxnTrack::new(trid, false, annotation));
+        }
+        let trid = self.txn.as_ref().expect("ensured above").trid;
+        let result = downstream.execute(&make_sql(trid));
+        match result {
+            Ok(resp) => {
+                if let Some(t) = &mut self.txn {
+                    t.wrote = true;
+                }
+                if implicit {
+                    let t = self.txn.take().expect("created above");
+                    if self.should_record(&t) {
+                        self.write_tracking_rows(&t, downstream)?;
+                    }
+                    downstream.execute("COMMIT")?;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                if matches!(&e, WireError::Db(EngineError::Deadlock)) {
+                    // Engine already rolled the victim back.
+                    self.txn = None;
+                } else if implicit {
+                    let _ = downstream.execute("ROLLBACK");
+                    self.txn = None;
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Interceptor for Tracker {
+    fn intercept(
+        &mut self,
+        sql: &str,
+        downstream: &mut dyn Connection,
+    ) -> Result<Response, WireError> {
+        // Out-of-band annotation pseudo-command (proxy extension): names
+        // the current (or next) transaction for the `annot` table.
+        let trimmed = sql.trim();
+        if trimmed.len() >= 9 && trimmed[..9].eq_ignore_ascii_case("ANNOTATE ") {
+            let name = trimmed[9..].trim().to_string();
+            match &mut self.txn {
+                Some(t) => t.annotation = Some(name),
+                None => self.next_annotation = Some(name),
+            }
+            return Ok(Response::TxnControl);
+        }
+
+        let stmt = resildb_sql::parse_statement(sql)
+            .map_err(|e| WireError::Protocol(format!("proxy cannot parse statement: {e}")))?;
+        self.charge_rewrite();
+
+        // Statements aimed at the tracking tables themselves pass through
+        // untouched (they have no trid column).
+        if let Some(first) = stmt.referenced_tables().first() {
+            if is_tracking_table(first) {
+                return downstream.execute(sql);
+            }
+        }
+
+        match &stmt {
+            Statement::Begin => {
+                if self.txn.as_ref().is_some_and(|t| t.explicit) {
+                    return Err(WireError::Db(EngineError::InvalidTransactionState(
+                        "BEGIN inside an open transaction".into(),
+                    )));
+                }
+                let resp = downstream.execute("BEGIN")?;
+                let trid = self.alloc_trid();
+                let annotation = self.next_annotation.take();
+                self.txn = Some(TxnTrack::new(trid, true, annotation));
+                Ok(resp)
+            }
+            Statement::Commit => {
+                let Some(t) = self.txn.take() else {
+                    return downstream.execute(sql); // let the DBMS complain
+                };
+                if self.should_record(&t) {
+                    self.write_tracking_rows(&t, downstream)?;
+                }
+                downstream.execute("COMMIT")
+            }
+            Statement::Rollback => {
+                self.txn = None;
+                downstream.execute(sql)
+            }
+            Statement::CreateTable(ct) => {
+                let rewritten =
+                    rewrite_create_table(ct, self.config.flavor, self.config.granularity);
+                downstream.execute(&rewritten.to_string())
+            }
+            Statement::DropTable(_) => downstream.execute(sql),
+            Statement::Select(sel) => {
+                if !self.config.track_reads {
+                    let resp = downstream.execute(sql)?;
+                    return Ok(self.strip_only(resp));
+                }
+                match rewrite_select(sel, self.config.granularity) {
+                    Some((rewritten, plan)) => {
+                        let resp = downstream.execute(&rewritten.to_string())?;
+                        Ok(self.harvest_and_strip(resp, &plan))
+                    }
+                    None => {
+                        let resp = downstream.execute(sql)?;
+                        Ok(self.strip_only(resp))
+                    }
+                }
+            }
+            Statement::Insert(ins) => {
+                let flavor = self.config.flavor;
+                let granularity = self.config.granularity;
+                self.execute_write(downstream, |trid| {
+                    rewrite_insert(ins, trid, flavor, granularity).to_string()
+                })
+            }
+            Statement::Update(upd) => {
+                let granularity = self.config.granularity;
+                self.execute_write(downstream, |trid| {
+                    rewrite_update(upd, trid, granularity).to_string()
+                })
+            }
+            // DELETEs pass through unmodified; their dependencies are
+            // reconstructed from the log at repair time (§3.2).
+            Statement::Delete(_) => self.execute_write(downstream, |_| sql.to_string()),
+        }
+    }
+}
+

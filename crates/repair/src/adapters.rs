@@ -1,0 +1,406 @@
+//! Per-flavor log adapters: the only database-specific part of the repair
+//! tool, exactly as the paper observes (§3.3: "the repair-time logic of an
+//! intrusion-resilient DBMS is very database-specific").
+
+use resildb_engine::introspect::{self, DbccLogRecord, DbccOp};
+use resildb_engine::{
+    decode_row, decode_value, Database, EngineError, Flavor, Result, RowId, Value,
+};
+use resildb_sql::{BinaryOp, Expr, Statement};
+
+use crate::record::{NamedRow, RepairOp, RepairRecord, RowAddress};
+
+/// How compensating statements address rows for a given flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressColumn {
+    /// A row-id pseudo-column with this name (`ctid`/`rowid`).
+    Pseudo(&'static str),
+    /// The proxy-injected identity column with this name (`rid`).
+    Identity(&'static str),
+}
+
+impl AddressColumn {
+    /// The SQL column name used in WHERE clauses.
+    pub fn column_name(&self) -> &'static str {
+        match self {
+            AddressColumn::Pseudo(n) | AddressColumn::Identity(n) => n,
+        }
+    }
+}
+
+/// A flavor-specific transaction-log reader producing normalized
+/// [`RepairRecord`]s.
+pub trait LogAdapter {
+    /// Reads and normalizes the whole log.
+    ///
+    /// # Errors
+    ///
+    /// Introspection failures (wrong flavor, dropped tables, corrupt
+    /// images).
+    fn scan(&self, db: &Database) -> Result<Vec<RepairRecord>>;
+
+    /// How rows are addressed on this flavor.
+    fn address_column(&self) -> AddressColumn;
+}
+
+/// Picks the adapter matching `flavor`.
+pub fn adapter_for(flavor: Flavor) -> Box<dyn LogAdapter> {
+    match flavor {
+        Flavor::Postgres => Box::new(PostgresAdapter),
+        Flavor::Oracle => Box::new(OracleAdapter),
+        Flavor::Sybase => Box::new(SybaseAdapter),
+    }
+}
+
+// ---------------------------------------------------------------------
+// PostgreSQL: full before/after images from the (reverse-engineered) WAL.
+// ---------------------------------------------------------------------
+
+/// Adapter over [`introspect::waldump`] (paper §4.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PostgresAdapter;
+
+fn named(db: &Database, table: &str, row: &resildb_engine::Row) -> Result<NamedRow> {
+    let schema = db.table(table)?.read().schema().clone();
+    Ok(schema
+        .columns
+        .iter()
+        .zip(row.values())
+        .map(|(c, v)| (c.name.clone(), v.clone()))
+        .collect())
+}
+
+impl LogAdapter for PostgresAdapter {
+    fn scan(&self, db: &Database) -> Result<Vec<RepairRecord>> {
+        let mut out = Vec::new();
+        for rec in introspect::waldump(db)? {
+            let op = match rec.op_name.as_str() {
+                "INSERT" => {
+                    let row = rec.after.as_ref().expect("insert has after image");
+                    RepairOp::Insert {
+                        address: RowAddress::Pseudo(rec.rowid.expect("insert has rowid")),
+                        row: named(db, rec.table.as_ref().expect("has table"), row)?,
+                    }
+                }
+                "DELETE" => {
+                    let row = rec.before.as_ref().expect("delete has before image");
+                    RepairOp::Delete {
+                        address: RowAddress::Pseudo(rec.rowid.expect("delete has rowid")),
+                        row: named(db, rec.table.as_ref().expect("has table"), row)?,
+                    }
+                }
+                "UPDATE" => {
+                    let table = rec.table.as_ref().expect("has table");
+                    let before_full = named(db, table, rec.before.as_ref().expect("before"))?;
+                    let after_full = named(db, table, rec.after.as_ref().expect("after"))?;
+                    // Restrict to changed columns, the common denominator.
+                    let mut before = Vec::new();
+                    let mut after = Vec::new();
+                    for ((c, b), (_, a)) in before_full.0.iter().zip(&after_full.0) {
+                        if b != a {
+                            before.push((c.clone(), b.clone()));
+                            after.push((c.clone(), a.clone()));
+                        }
+                    }
+                    RepairOp::Update {
+                        address: RowAddress::Pseudo(rec.rowid.expect("update has rowid")),
+                        before: NamedRow(before),
+                        after: NamedRow(after),
+                    }
+                }
+                "COMMIT" => RepairOp::Commit,
+                "ABORT" => RepairOp::Abort,
+                _ => continue, // DDL
+            };
+            out.push(RepairRecord {
+                lsn: rec.lsn,
+                internal_txn: rec.txn,
+                table: rec.table.unwrap_or_default(),
+                op,
+            });
+        }
+        Ok(out)
+    }
+
+    fn address_column(&self) -> AddressColumn {
+        AddressColumn::Pseudo("ctid")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle: parse LogMiner's sql_redo / sql_undo back into row images.
+// ---------------------------------------------------------------------
+
+/// Adapter over [`introspect::logminer`] (paper §4.1): recovers row images
+/// by parsing the per-record redo/undo SQL.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleAdapter;
+
+fn parse_stmt(sql: &str) -> Result<Statement> {
+    resildb_sql::parse_statement(sql)
+        .map_err(|e| EngineError::Internal(format!("unparseable LogMiner SQL {sql:?}: {e}")))
+}
+
+fn expr_value(e: &Expr) -> Result<Value> {
+    match e {
+        Expr::Literal(l) => Ok(Value::from_literal(l)),
+        other => Err(EngineError::Internal(format!(
+            "non-literal value in LogMiner SQL: {other:?}"
+        ))),
+    }
+}
+
+/// Extracts `N` from a `WHERE rowid = N` clause.
+fn rowid_from_where(w: &Option<Expr>) -> Result<RowId> {
+    if let Some(Expr::Binary { left, op: BinaryOp::Eq, right }) = w {
+        if let (Expr::Column(c), Expr::Literal(resildb_sql::Literal::Int(n))) =
+            (&**left, &**right)
+        {
+            if c.column.eq_ignore_ascii_case("rowid") {
+                return Ok(RowId(*n as u64));
+            }
+        }
+    }
+    Err(EngineError::Internal(format!(
+        "LogMiner SQL lacks a rowid predicate: {w:?}"
+    )))
+}
+
+impl LogAdapter for OracleAdapter {
+    fn scan(&self, db: &Database) -> Result<Vec<RepairRecord>> {
+        let mut out = Vec::new();
+        for rec in introspect::logminer(db)? {
+            let op = match rec.operation.as_str() {
+                "INSERT" => {
+                    let Statement::Insert(ins) = parse_stmt(rec.sql_redo.as_ref().expect("redo"))?
+                    else {
+                        return Err(EngineError::Internal("redo of INSERT not an INSERT".into()));
+                    };
+                    let row: NamedRow = ins
+                        .columns
+                        .iter()
+                        .zip(&ins.rows[0])
+                        .map(|(c, e)| Ok((c.to_ascii_lowercase(), expr_value(e)?)))
+                        .collect::<Result<Vec<_>>>()?
+                        .into_iter()
+                        .collect();
+                    RepairOp::Insert {
+                        address: RowAddress::Pseudo(rec.row_id.expect("insert rowid")),
+                        row,
+                    }
+                }
+                "DELETE" => {
+                    // The undo of a DELETE is the re-inserting INSERT.
+                    let Statement::Insert(ins) = parse_stmt(rec.sql_undo.as_ref().expect("undo"))?
+                    else {
+                        return Err(EngineError::Internal("undo of DELETE not an INSERT".into()));
+                    };
+                    let row: NamedRow = ins
+                        .columns
+                        .iter()
+                        .zip(&ins.rows[0])
+                        .map(|(c, e)| Ok((c.to_ascii_lowercase(), expr_value(e)?)))
+                        .collect::<Result<Vec<_>>>()?
+                        .into_iter()
+                        .collect();
+                    RepairOp::Delete {
+                        address: RowAddress::Pseudo(rec.row_id.expect("delete rowid")),
+                        row,
+                    }
+                }
+                "UPDATE" => {
+                    let Statement::Update(redo) =
+                        parse_stmt(rec.sql_redo.as_ref().expect("redo"))?
+                    else {
+                        return Err(EngineError::Internal("redo of UPDATE not an UPDATE".into()));
+                    };
+                    let Statement::Update(undo) =
+                        parse_stmt(rec.sql_undo.as_ref().expect("undo"))?
+                    else {
+                        return Err(EngineError::Internal("undo of UPDATE not an UPDATE".into()));
+                    };
+                    let address = RowAddress::Pseudo(rowid_from_where(&redo.where_clause)?);
+                    let after: NamedRow = redo
+                        .assignments
+                        .iter()
+                        .map(|a| Ok((a.column.to_ascii_lowercase(), expr_value(&a.value)?)))
+                        .collect::<Result<Vec<_>>>()?
+                        .into_iter()
+                        .collect();
+                    let before: NamedRow = undo
+                        .assignments
+                        .iter()
+                        .map(|a| Ok((a.column.to_ascii_lowercase(), expr_value(&a.value)?)))
+                        .collect::<Result<Vec<_>>>()?
+                        .into_iter()
+                        .collect();
+                    RepairOp::Update {
+                        address,
+                        before,
+                        after,
+                    }
+                }
+                "COMMIT" => RepairOp::Commit,
+                "ROLLBACK" => RepairOp::Abort,
+                _ => continue, // DDL
+            };
+            out.push(RepairRecord {
+                lsn: rec.scn,
+                internal_txn: rec.xid,
+                table: rec.table_name.unwrap_or_default(),
+                op,
+            });
+        }
+        // The adapter never needed the catalog, but keep the signature
+        // honest: verify the database really is Oracle-flavored.
+        debug_assert_eq!(db.flavor(), Flavor::Oracle);
+        Ok(out)
+    }
+
+    fn address_column(&self) -> AddressColumn {
+        AddressColumn::Pseudo("rowid")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sybase: dbcc log + dbcc page + the §4.3 offset-adjustment algorithm.
+// ---------------------------------------------------------------------
+
+/// Adapter over [`introspect::dbcc_log`]/[`introspect::dbcc_page`]
+/// implementing the paper's §4.3 algorithm: `MODIFY` records lack the
+/// identity attribute, so the full row is recovered from the page after
+/// compensating for in-page row migration caused by later deletes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SybaseAdapter;
+
+/// Decodes a full-row `dbcc` image into a named row.
+fn decode_full(db: &Database, table: &str, bytes: &[u8]) -> Result<NamedRow> {
+    let schema = db.table(table)?.read().schema().clone();
+    let row = decode_row(&schema, bytes)?;
+    Ok(schema
+        .columns
+        .iter()
+        .zip(row.values())
+        .map(|(c, v)| (c.name.clone(), v.clone()))
+        .collect())
+}
+
+/// Decodes a MODIFY delta: `[col_idx u16][before][after]` groups.
+fn decode_delta(db: &Database, table: &str, bytes: &[u8]) -> Result<(NamedRow, NamedRow)> {
+    let schema = db.table(table)?.read().schema().clone();
+    let mut pos = 0;
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    while pos < bytes.len() {
+        if pos + 2 > bytes.len() {
+            return Err(EngineError::Internal("truncated dbcc delta".into()));
+        }
+        let idx = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+        pos += 2;
+        let col = schema.columns.get(idx).ok_or_else(|| {
+            EngineError::Internal(format!("dbcc delta references column {idx}"))
+        })?;
+        let (b, used) = decode_value(&bytes[pos..], col.ty)?;
+        pos += used;
+        let (a, used) = decode_value(&bytes[pos..], col.ty)?;
+        pos += used;
+        before.push((col.name.clone(), b));
+        after.push((col.name.clone(), a));
+    }
+    Ok((NamedRow(before), NamedRow(after)))
+}
+
+fn identity_address(row: &NamedRow) -> Result<RowAddress> {
+    match row.get(resildb_proxy::IDENTITY_COLUMN) {
+        Some(Value::Int(v)) => Ok(RowAddress::Identity(*v)),
+        other => Err(EngineError::Internal(format!(
+            "row image lacks the identity column: {other:?}"
+        ))),
+    }
+}
+
+/// Paper §4.3, step 2: adjusts a MODIFY record's page offset for every
+/// later DELETE on the same page. Returns either the adjusted offset, or
+/// the full row image directly when a later DELETE removed the modified
+/// row itself (its log record carries the complete image).
+fn adjust_modify_offset<'a>(
+    rm: &DbccLogRecord,
+    later: impl Iterator<Item = &'a DbccLogRecord>,
+) -> AdjustOutcome<'a> {
+    let mut off = rm.offset;
+    for rd in later {
+        if rd.op != DbccOp::Delete || rd.table != rm.table || rd.page != rm.page {
+            continue;
+        }
+        if rd.offset + rd.len <= off {
+            // Delete strictly before us in the page: we migrated down.
+            off -= rd.len;
+        } else if rd.offset <= off && off < rd.offset + rd.len {
+            // The delete removed the modified row itself; its record holds
+            // the complete image.
+            return AdjustOutcome::DeletedLater(rd);
+        }
+    }
+    AdjustOutcome::Offset(off)
+}
+
+enum AdjustOutcome<'a> {
+    Offset(usize),
+    DeletedLater(&'a DbccLogRecord),
+}
+
+impl LogAdapter for SybaseAdapter {
+    fn scan(&self, db: &Database) -> Result<Vec<RepairRecord>> {
+        let log = introspect::dbcc_log(db)?;
+        let mut out = Vec::with_capacity(log.len());
+        for (i, rec) in log.iter().enumerate() {
+            let op = match rec.op {
+                DbccOp::Insert => {
+                    let row = decode_full(db, &rec.table, &rec.bytes)?;
+                    RepairOp::Insert {
+                        address: identity_address(&row)?,
+                        row,
+                    }
+                }
+                DbccOp::Delete => {
+                    let row = decode_full(db, &rec.table, &rec.bytes)?;
+                    RepairOp::Delete {
+                        address: identity_address(&row)?,
+                        row,
+                    }
+                }
+                DbccOp::Modify => {
+                    let (before, after) = decode_delta(db, &rec.table, &rec.bytes)?;
+                    // Recover the identity attribute via the §4.3 offset
+                    // adjustment + dbcc page.
+                    let full = match adjust_modify_offset(rec, log[i + 1..].iter()) {
+                        AdjustOutcome::Offset(off) => {
+                            let bytes =
+                                introspect::dbcc_page(db, &rec.table, rec.page, off, rec.len)?;
+                            decode_full(db, &rec.table, &bytes)?
+                        }
+                        AdjustOutcome::DeletedLater(rd) => decode_full(db, &rd.table, &rd.bytes)?,
+                    };
+                    RepairOp::Update {
+                        address: identity_address(&full)?,
+                        before,
+                        after,
+                    }
+                }
+                DbccOp::Commit => RepairOp::Commit,
+                DbccOp::Abort => RepairOp::Abort,
+            };
+            out.push(RepairRecord {
+                lsn: rec.lsn,
+                internal_txn: rec.txn,
+                table: rec.table.clone(),
+                op,
+            });
+        }
+        Ok(out)
+    }
+
+    fn address_column(&self) -> AddressColumn {
+        AddressColumn::Identity(resildb_proxy::IDENTITY_COLUMN)
+    }
+}

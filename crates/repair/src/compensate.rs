@@ -1,0 +1,235 @@
+//! Compensating-statement generation and execution (paper §3.3).
+//!
+//! The transaction log is walked from the end to the beginning; every
+//! record belonging to the undo set is compensated immediately: a DELETE
+//! for a logged INSERT, an INSERT for a logged DELETE, and an UPDATE
+//! restoring the before-image for a logged UPDATE — each addressed to the
+//! one affected row via the flavor's row address. Rows re-inserted during
+//! repair receive fresh row ids, so an old→new id mapping is maintained
+//! per table and discarded when the row's original INSERT is undone.
+
+use std::collections::HashMap;
+
+use resildb_engine::{Database, InternalTxnId, Lsn, Value};
+use resildb_wire::{Connection, Response};
+
+use crate::adapters::AddressColumn;
+use crate::error::RepairError;
+use crate::record::{NamedRow, RepairOp, RepairRecord, RowAddress};
+
+/// One executed compensating statement, for audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompensatingStatement {
+    /// The log record this compensates.
+    pub lsn: Lsn,
+    /// The undone (proxy) transaction.
+    pub proxy_txn: i64,
+    /// The SQL executed.
+    pub sql: String,
+}
+
+/// Outcome of the compensation sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompensationOutcome {
+    /// Statements executed, in execution order (reverse log order).
+    pub statements: Vec<CompensatingStatement>,
+    /// Rows deleted (compensating inserts).
+    pub rows_deleted: u64,
+    /// Rows re-inserted (compensating deletes).
+    pub rows_reinserted: u64,
+    /// Rows restored to their before-image (compensating updates).
+    pub rows_restored: u64,
+}
+
+fn sql_literal(v: &Value) -> String {
+    v.to_sql_literal()
+}
+
+/// Executes the backward compensation sweep over `records`.
+///
+/// `undo_internal` is the set of DBMS-internal transaction ids to undo
+/// (already translated from the proxy-level undo set), with the proxy id
+/// attached for reporting.
+///
+/// # Errors
+///
+/// Propagates SQL failures and inconsistencies such as a compensating
+/// statement affecting an unexpected number of rows.
+pub fn run_compensation(
+    db: &Database,
+    conn: &mut dyn Connection,
+    records: &[RepairRecord],
+    undo_internal: &HashMap<InternalTxnId, i64>,
+    address: AddressColumn,
+) -> Result<CompensationOutcome, RepairError> {
+    let mut outcome = CompensationOutcome::default();
+    // Per-table old→new address remapping.
+    let mut remap: HashMap<String, HashMap<RowAddress, i64>> = HashMap::new();
+    let addr_col = address.column_name();
+
+    let current_addr = |remap: &HashMap<String, HashMap<RowAddress, i64>>,
+                        table: &str,
+                        a: &RowAddress| {
+        remap
+            .get(table)
+            .and_then(|m| m.get(a))
+            .copied()
+            .unwrap_or_else(|| a.literal())
+    };
+
+    for rec in records.iter().rev() {
+        let Some(&proxy) = undo_internal.get(&rec.internal_txn) else {
+            continue;
+        };
+        match &rec.op {
+            RepairOp::Insert { address: a, .. } => {
+                let cur = current_addr(&remap, &rec.table, a);
+                let sql = format!("DELETE FROM {} WHERE {addr_col} = {cur}", rec.table);
+                let affected = execute_affected(conn, &sql)?;
+                if affected != 1 {
+                    return Err(RepairError::Analysis(format!(
+                        "compensating delete touched {affected} rows (lsn {:?}): {sql}",
+                        rec.lsn
+                    )));
+                }
+                outcome.rows_deleted += 1;
+                // The row's history is fully unwound: drop its mapping.
+                if let Some(m) = remap.get_mut(&rec.table) {
+                    m.remove(a);
+                }
+                outcome.statements.push(CompensatingStatement {
+                    lsn: rec.lsn,
+                    proxy_txn: proxy,
+                    sql,
+                });
+            }
+            RepairOp::Delete { address: a, row } => {
+                let sql = insert_sql(&rec.table, row);
+                execute_affected(conn, &sql)?;
+                outcome.rows_reinserted += 1;
+                // With pseudo addressing the re-inserted row has a fresh
+                // row id that later (earlier-in-log) compensations must
+                // use; identity addressing keeps the id because it is
+                // ordinary column data.
+                if matches!(address, AddressColumn::Pseudo(_)) {
+                    let new_addr = discover_address(db, conn, &rec.table, row, addr_col)?;
+                    remap
+                        .entry(rec.table.clone())
+                        .or_default()
+                        .insert(*a, new_addr);
+                }
+                outcome.statements.push(CompensatingStatement {
+                    lsn: rec.lsn,
+                    proxy_txn: proxy,
+                    sql,
+                });
+            }
+            RepairOp::Update {
+                address: a,
+                before,
+                ..
+            } => {
+                if before.is_empty() {
+                    // The update changed no column values (e.g. a repeated
+                    // in-transaction write): nothing to restore.
+                    continue;
+                }
+                let cur = current_addr(&remap, &rec.table, a);
+                let sets: Vec<String> = before
+                    .0
+                    .iter()
+                    .map(|(c, v)| format!("{c} = {}", sql_literal(v)))
+                    .collect();
+                let sql = format!(
+                    "UPDATE {} SET {} WHERE {addr_col} = {cur}",
+                    rec.table,
+                    sets.join(", ")
+                );
+                let affected = execute_affected(conn, &sql)?;
+                if affected != 1 {
+                    return Err(RepairError::Analysis(format!(
+                        "compensating update touched {affected} rows (lsn {:?}): {sql}",
+                        rec.lsn
+                    )));
+                }
+                outcome.rows_restored += 1;
+                outcome.statements.push(CompensatingStatement {
+                    lsn: rec.lsn,
+                    proxy_txn: proxy,
+                    sql,
+                });
+            }
+            RepairOp::Commit | RepairOp::Abort => {}
+        }
+    }
+    Ok(outcome)
+}
+
+fn execute_affected(conn: &mut dyn Connection, sql: &str) -> Result<u64, RepairError> {
+    match conn.execute(sql)? {
+        Response::Affected(n) => Ok(n),
+        other => Err(RepairError::Analysis(format!(
+            "compensating statement produced {other:?}: {sql}"
+        ))),
+    }
+}
+
+fn insert_sql(table: &str, row: &NamedRow) -> String {
+    let cols: Vec<&str> = row.columns();
+    let vals: Vec<String> = row.0.iter().map(|(_, v)| sql_literal(v)).collect();
+    format!(
+        "INSERT INTO {table} ({}) VALUES ({})",
+        cols.join(", "),
+        vals.join(", ")
+    )
+}
+
+/// Finds the row id the DBMS gave a just re-inserted row, by matching the
+/// table's primary key (or, lacking one, the full row image) and taking
+/// the newest row id.
+fn discover_address(
+    db: &Database,
+    conn: &mut dyn Connection,
+    table: &str,
+    row: &NamedRow,
+    addr_col: &str,
+) -> Result<i64, RepairError> {
+    let schema = db
+        .table(table)
+        .map_err(RepairError::Engine)?
+        .read()
+        .schema()
+        .clone();
+    let match_cols: Vec<String> = if schema.primary_key.is_empty() {
+        row.0
+            .iter()
+            .filter(|(_, v)| !v.is_null())
+            .map(|(c, _)| c.clone())
+            .collect()
+    } else {
+        schema
+            .primary_key
+            .iter()
+            .map(|&i| schema.columns[i].name.clone())
+            .collect()
+    };
+    let conds: Vec<String> = match_cols
+        .iter()
+        .filter_map(|c| row.get(c).map(|v| format!("{c} = {}", sql_literal(v))))
+        .collect();
+    let sql = format!(
+        "SELECT {addr_col} FROM {table} WHERE {} ORDER BY {addr_col} DESC LIMIT 1",
+        conds.join(" AND ")
+    );
+    match conn.execute(&sql)? {
+        Response::Rows(r) => match r.rows.first().and_then(|row| row.first()) {
+            Some(Value::Int(v)) => Ok(*v),
+            other => Err(RepairError::Analysis(format!(
+                "could not rediscover re-inserted row in {table}: got {other:?}"
+            ))),
+        },
+        other => Err(RepairError::Analysis(format!(
+            "address discovery produced {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,398 @@
+//! The inter-transaction dependency graph, damage-closure computation,
+//! false-dependency filtering and GraphViz export (paper §3.3, §5.3,
+//! Figure 3).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// How a dependency edge arose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The dependent transaction's SELECT read a row last written by the
+    /// depended-on transaction (harvested online by the proxy).
+    Read {
+        /// Columns of the mediating table the reader referenced.
+        read_columns: Vec<String>,
+    },
+    /// The dependent transaction updated or deleted a row last written by
+    /// the depended-on transaction (reconstructed from the log at repair
+    /// time).
+    Write,
+}
+
+/// Provenance of one dependency edge (an edge may have several).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeProvenance {
+    /// Table that mediated the dependency.
+    pub table: String,
+    /// How the dependency arose.
+    pub kind: EdgeKind,
+}
+
+/// A DBA rule declaring certain dependencies ignorable (paper §5.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FalseDepRule {
+    /// Ignore every dependency mediated by this table (e.g. a scratch
+    /// table with no semantic significance).
+    IgnoreTable(String),
+    /// Ignore dependencies that exist only because of the named *derived*
+    /// columns (e.g. TPC-C `warehouse.w_ytd`, recomputable from orders):
+    /// an edge provenance is ignored when the writer changed nothing but
+    /// these columns and the reader (when known) did not read any of them.
+    IgnoreDerivedColumns {
+        /// Mediating table.
+        table: String,
+        /// Derived column names.
+        columns: Vec<String>,
+    },
+}
+
+impl FalseDepRule {
+    /// Whether this rule dismisses an edge provenance, given the columns
+    /// the *writer* (the depended-on transaction) changed in that table.
+    fn ignores(&self, prov: &EdgeProvenance, writer_changed: Option<&BTreeSet<String>>) -> bool {
+        match self {
+            FalseDepRule::IgnoreTable(t) => t.eq_ignore_ascii_case(&prov.table),
+            FalseDepRule::IgnoreDerivedColumns { table, columns } => {
+                if !table.eq_ignore_ascii_case(&prov.table) {
+                    return false;
+                }
+                // Writer must have touched nothing beyond the derived
+                // columns (the bookkeeping trid column never counts).
+                let Some(changed) = writer_changed else {
+                    return false; // inserted rows: a real dependency
+                };
+                let only_derived = changed
+                    .iter()
+                    .filter(|c| !resildb_proxy::is_tracking_column(c))
+                    .all(|c| columns.iter().any(|d| d.eq_ignore_ascii_case(c)));
+                if !only_derived {
+                    return false;
+                }
+                // And the reader (if we know what it read) must not have
+                // consumed the derived columns.
+                match &prov.kind {
+                    EdgeKind::Read { read_columns } => !read_columns
+                        .iter()
+                        .any(|c| columns.iter().any(|d| d.eq_ignore_ascii_case(c))),
+                    EdgeKind::Write => true,
+                }
+            }
+        }
+    }
+}
+
+/// The dependency graph over proxy transaction ids.
+///
+/// Edges point from a transaction to the transactions it *depends on*.
+/// Damage analysis walks the reverse direction: everything that
+/// transitively depends on the attack set is corrupted.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// txn → set of txns it depends on.
+    deps: BTreeMap<i64, BTreeSet<i64>>,
+    /// txn → set of txns depending on it.
+    rdeps: BTreeMap<i64, BTreeSet<i64>>,
+    /// (dependent, dependee) → provenance list.
+    edges: HashMap<(i64, i64), Vec<EdgeProvenance>>,
+    /// txn → symbolic name (from the `annot` table).
+    labels: BTreeMap<i64, String>,
+    /// (writer txn, table) → columns it changed there (None entry absent
+    /// means the writer inserted whole rows / unknown).
+    writer_changed: HashMap<(i64, String), BTreeSet<String>>,
+    /// (writer txn, table) → writer inserted whole rows there.
+    writer_inserted: BTreeSet<(i64, String)>,
+}
+
+impl DepGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All known transaction ids (nodes).
+    pub fn transactions(&self) -> BTreeSet<i64> {
+        let mut all: BTreeSet<i64> = self.labels.keys().copied().collect();
+        all.extend(self.deps.keys());
+        all.extend(self.rdeps.keys());
+        all
+    }
+
+    /// Adds (or extends) an edge: `dependent` depends on `dependee`.
+    pub fn add_edge(&mut self, dependent: i64, dependee: i64, prov: EdgeProvenance) {
+        if dependent == dependee {
+            return;
+        }
+        self.deps.entry(dependent).or_default().insert(dependee);
+        self.rdeps.entry(dependee).or_default().insert(dependent);
+        self.edges
+            .entry((dependent, dependee))
+            .or_default()
+            .push(prov);
+    }
+
+    /// Names a transaction (for DOT rendering).
+    pub fn set_label(&mut self, txn: i64, label: impl Into<String>) {
+        self.labels.insert(txn, label.into());
+    }
+
+    /// The label of `txn`, defaulting to `txn_<id>`.
+    pub fn label(&self, txn: i64) -> String {
+        self.labels
+            .get(&txn)
+            .cloned()
+            .unwrap_or_else(|| format!("txn_{txn}"))
+    }
+
+    /// Records which columns `writer` changed in `table` (union across its
+    /// updates), used by [`FalseDepRule::IgnoreDerivedColumns`].
+    pub fn note_writer_columns(
+        &mut self,
+        writer: i64,
+        table: &str,
+        columns: impl IntoIterator<Item = String>,
+    ) {
+        self.writer_changed
+            .entry((writer, table.to_string()))
+            .or_default()
+            .extend(columns);
+    }
+
+    /// Records that `writer` inserted whole rows into `table` (dependencies
+    /// on inserted rows are never derived-column artefacts).
+    pub fn note_writer_insert(&mut self, writer: i64, table: &str) {
+        self.writer_inserted.insert((writer, table.to_string()));
+    }
+
+    /// The direct dependencies of `txn`.
+    pub fn dependencies_of(&self, txn: i64) -> BTreeSet<i64> {
+        self.deps.get(&txn).cloned().unwrap_or_default()
+    }
+
+    /// The direct dependents of `txn`.
+    pub fn dependents_of(&self, txn: i64) -> BTreeSet<i64> {
+        self.rdeps.get(&txn).cloned().unwrap_or_default()
+    }
+
+    /// Provenance list of an edge.
+    pub fn edge(&self, dependent: i64, dependee: i64) -> &[EdgeProvenance] {
+        self.edges
+            .get(&(dependent, dependee))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    fn edge_survives(&self, dependent: i64, dependee: i64, rules: &[FalseDepRule]) -> bool {
+        let provs = self.edge(dependent, dependee);
+        if provs.is_empty() {
+            return true; // no provenance info: keep (safe side)
+        }
+        provs.iter().any(|p| {
+            let key = (dependee, p.table.clone());
+            let changed = if self.writer_inserted.contains(&key) {
+                None
+            } else {
+                self.writer_changed.get(&key)
+            };
+            !rules.iter().any(|r| r.ignores(p, changed))
+        })
+    }
+
+    /// Computes the damage closure: `initial` plus every transaction that
+    /// transitively depends on it, considering only edges that survive
+    /// `rules`. This is the paper's undo set.
+    pub fn closure(&self, initial: &[i64], rules: &[FalseDepRule]) -> BTreeSet<i64> {
+        let mut out: BTreeSet<i64> = initial.iter().copied().collect();
+        let mut frontier: Vec<i64> = initial.to_vec();
+        while let Some(t) = frontier.pop() {
+            for &dep in self.rdeps.get(&t).map_or(&BTreeSet::new(), |s| s).iter() {
+                if !out.contains(&dep) && self.edge_survives(dep, t, rules) {
+                    out.insert(dep);
+                    frontier.push(dep);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the graph in GraphViz DOT (paper Figure 3): nodes carry the
+    /// `annot` labels, transactions in `highlight` are filled red.
+    pub fn to_dot(&self, highlight: &BTreeSet<i64>) -> String {
+        let mut out = String::from("digraph trans_dep {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+        for txn in self.transactions() {
+            let style = if highlight.contains(&txn) {
+                ", style=filled, fillcolor=indianred1"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  t{} [label=\"{}\"{}];", txn, self.label(txn), style);
+        }
+        for (dependent, dependees) in &self.deps {
+            for dependee in dependees {
+                // Edges drawn from dependee to dependent: data flows from
+                // the earlier transaction to the one depending on it.
+                let _ = writeln!(out, "  t{dependee} -> t{dependent};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_edge(cols: &[&str]) -> EdgeProvenance {
+        EdgeProvenance {
+            table: "warehouse".into(),
+            kind: EdgeKind::Read {
+                read_columns: cols.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+
+    fn write_edge(table: &str) -> EdgeProvenance {
+        EdgeProvenance {
+            table: table.into(),
+            kind: EdgeKind::Write,
+        }
+    }
+
+    #[test]
+    fn closure_follows_transitive_dependents() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("t"));
+        g.add_edge(3, 2, write_edge("t"));
+        g.add_edge(4, 3, write_edge("t"));
+        g.add_edge(10, 9, write_edge("t")); // unrelated chain
+        let c = g.closure(&[1], &[]);
+        assert_eq!(c, [1, 2, 3, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn closure_of_disconnected_node_is_itself() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("t"));
+        let c = g.closure(&[99], &[]);
+        assert_eq!(c, [99].into_iter().collect());
+    }
+
+    #[test]
+    fn self_edges_are_dropped() {
+        let mut g = DepGraph::new();
+        g.add_edge(1, 1, write_edge("t"));
+        assert!(g.dependencies_of(1).is_empty());
+    }
+
+    #[test]
+    fn ignore_table_rule_cuts_edges() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("scratch"));
+        g.add_edge(3, 1, write_edge("real"));
+        let rules = vec![FalseDepRule::IgnoreTable("scratch".into())];
+        let c = g.closure(&[1], &rules);
+        assert_eq!(c, [1, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn derived_columns_rule_matches_paper_scenario() {
+        // Payment (txn 1) only bumps warehouse.w_ytd. New-Order (txn 2)
+        // reads warehouse.w_tax — a row-level false dependency. A report
+        // (txn 3) genuinely reads w_ytd — a true dependency.
+        let mut g = DepGraph::new();
+        g.note_writer_columns(1, "warehouse", ["w_ytd".to_string(), "trid".to_string()]);
+        g.add_edge(2, 1, read_edge(&["w_tax", "w_id"]));
+        g.add_edge(3, 1, read_edge(&["w_ytd", "w_id"]));
+        let rules = vec![FalseDepRule::IgnoreDerivedColumns {
+            table: "warehouse".into(),
+            columns: vec!["w_ytd".into()],
+        }];
+        assert_eq!(g.closure(&[1], &[]), [1, 2, 3].into_iter().collect());
+        assert_eq!(g.closure(&[1], &rules), [1, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn derived_rule_keeps_edges_from_inserting_writers() {
+        let mut g = DepGraph::new();
+        g.note_writer_insert(1, "warehouse");
+        g.add_edge(2, 1, read_edge(&["w_tax"]));
+        let rules = vec![FalseDepRule::IgnoreDerivedColumns {
+            table: "warehouse".into(),
+            columns: vec!["w_ytd".into()],
+        }];
+        assert_eq!(g.closure(&[1], &rules), [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn derived_rule_keeps_write_write_chains_on_other_columns() {
+        // Writer changed w_name too: not purely derived → edge stays.
+        let mut g = DepGraph::new();
+        g.note_writer_columns(1, "warehouse", ["w_ytd".to_string(), "w_name".to_string()]);
+        g.add_edge(2, 1, write_edge("warehouse"));
+        let rules = vec![FalseDepRule::IgnoreDerivedColumns {
+            table: "warehouse".into(),
+            columns: vec!["w_ytd".into()],
+        }];
+        assert_eq!(g.closure(&[1], &rules), [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn derived_rule_cuts_ytd_write_chains() {
+        // Payment → Payment chains where both only bump w_ytd.
+        let mut g = DepGraph::new();
+        g.note_writer_columns(1, "warehouse", ["w_ytd".to_string(), "trid".to_string()]);
+        g.add_edge(2, 1, write_edge("warehouse"));
+        let rules = vec![FalseDepRule::IgnoreDerivedColumns {
+            table: "warehouse".into(),
+            columns: vec!["w_ytd".into()],
+        }];
+        assert_eq!(g.closure(&[1], &rules), [1].into_iter().collect());
+    }
+
+    #[test]
+    fn multi_provenance_edge_survives_if_any_provenance_does() {
+        let mut g = DepGraph::new();
+        g.note_writer_columns(1, "warehouse", ["w_ytd".to_string()]);
+        g.note_writer_columns(1, "district", ["d_next_o_id".to_string()]);
+        g.add_edge(2, 1, read_edge(&["w_tax"])); // ignorable
+        g.add_edge(
+            2,
+            1,
+            EdgeProvenance {
+                table: "district".into(),
+                kind: EdgeKind::Read {
+                    read_columns: vec!["d_next_o_id".into()],
+                },
+            },
+        ); // real
+        let rules = vec![FalseDepRule::IgnoreDerivedColumns {
+            table: "warehouse".into(),
+            columns: vec!["w_ytd".into()],
+        }];
+        assert_eq!(g.closure(&[1], &rules), [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn dot_output_contains_labels_edges_and_highlights() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("t"));
+        g.set_label(1, "Order_0_3_0_4");
+        g.set_label(2, "Payment_0_3_0_5");
+        let dot = g.to_dot(&[1].into_iter().collect());
+        assert!(dot.starts_with("digraph trans_dep {"));
+        assert!(dot.contains("t1 [label=\"Order_0_3_0_4\", style=filled"));
+        assert!(dot.contains("t2 [label=\"Payment_0_3_0_5\"]"));
+        assert!(dot.contains("t1 -> t2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        // Mutually dependent transactions (possible with read/write mixes).
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("t"));
+        g.add_edge(1, 2, write_edge("t"));
+        let c = g.closure(&[1], &[]);
+        assert_eq!(c, [1, 2].into_iter().collect());
+    }
+}

@@ -1,0 +1,308 @@
+//! The end-to-end repair driver: analyze → choose undo set → compensate.
+
+use std::collections::{BTreeSet, HashMap};
+
+use resildb_engine::{Database, Value};
+use resildb_wire::{Driver, LinkProfile, NativeDriver};
+
+use crate::adapters::{adapter_for, LogAdapter};
+use crate::compensate::{run_compensation, CompensationOutcome};
+use crate::correlate::TxnCorrelation;
+use crate::error::RepairError;
+use crate::graph::{DepGraph, EdgeKind, EdgeProvenance, FalseDepRule};
+use crate::record::{RepairOp, RepairRecord};
+
+/// Everything the analysis phase learns from the database and its log.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Normalized log records (LSN order).
+    pub records: Vec<RepairRecord>,
+    /// Proxy ↔ internal id mapping.
+    pub correlation: TxnCorrelation,
+    /// The full dependency graph (online read deps + log-reconstructed
+    /// write deps), labelled from `annot`.
+    pub graph: DepGraph,
+}
+
+impl Analysis {
+    /// Computes the undo set for an initial attack set under the given
+    /// false-dependency rules — the "what if" primitive the paper's
+    /// interactive repair tool is built around.
+    pub fn undo_set(&self, initial: &[i64], rules: &[FalseDepRule]) -> BTreeSet<i64> {
+        self.graph.closure(initial, rules)
+    }
+
+    /// Renders the dependency graph as GraphViz DOT, highlighting
+    /// `highlight` (paper Figure 3).
+    pub fn to_dot(&self, highlight: &BTreeSet<i64>) -> String {
+        self.graph.to_dot(highlight)
+    }
+
+    /// Every tracked (committed, correlated) proxy transaction id.
+    pub fn tracked_transactions(&self) -> BTreeSet<i64> {
+        self.correlation.internal_of.keys().copied().collect()
+    }
+}
+
+/// Report of a completed repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// The proxy transactions rolled back.
+    pub undo_set: BTreeSet<i64>,
+    /// Total tracked transactions at repair time.
+    pub tracked_total: usize,
+    /// Tracked transactions whose effects survived.
+    pub saved: usize,
+    /// What the compensation sweep did.
+    pub outcome: CompensationOutcome,
+}
+
+impl RepairReport {
+    /// Percentage of tracked transactions preserved by the repair
+    /// (the right-hand column of paper Figure 5).
+    pub fn saved_percentage(&self) -> f64 {
+        if self.tracked_total == 0 {
+            100.0
+        } else {
+            100.0 * self.saved as f64 / self.tracked_total as f64
+        }
+    }
+}
+
+/// The repair tool for one database.
+pub struct RepairTool {
+    db: Database,
+    adapter: Box<dyn LogAdapter>,
+}
+
+impl std::fmt::Debug for RepairTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepairTool")
+            .field("flavor", &self.db.flavor())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RepairTool {
+    /// Creates a tool with the adapter matching the database's flavor.
+    pub fn new(db: Database) -> Self {
+        let adapter = adapter_for(db.flavor());
+        Self { db, adapter }
+    }
+
+    /// Reads the log and tracking tables and builds the dependency graph.
+    ///
+    /// # Errors
+    ///
+    /// Log introspection or tracking-table read failures.
+    pub fn analyze(&self) -> Result<Analysis, RepairError> {
+        let records = self.adapter.scan(&self.db)?;
+        let correlation = TxnCorrelation::from_records(&records);
+        let mut graph = DepGraph::new();
+
+        // 1. Online (read) dependencies from trans_dep + provenance.
+        let mut session = self.db.session();
+        let prov_rows = session
+            .query("SELECT tr_id, dep_tr_id, via_table, read_cols FROM trans_dep_prov")
+            .map_err(RepairError::Engine)?;
+        // (tr_id, dep_tr_id) → [(mediating table, columns read)]
+        type ProvMap = HashMap<(i64, i64), Vec<(String, Vec<String>)>>;
+        let mut prov: ProvMap = HashMap::new();
+        for row in &prov_rows.rows {
+            if let (Value::Int(tr), Value::Int(dep), Value::Str(table), Value::Str(cols)) =
+                (&row[0], &row[1], &row[2], &row[3])
+            {
+                prov.entry((*tr, *dep)).or_default().push((
+                    table.clone(),
+                    cols.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                ));
+            }
+        }
+        let dep_rows = session
+            .query("SELECT tr_id, dep_tr_ids FROM trans_dep")
+            .map_err(RepairError::Engine)?;
+        for row in &dep_rows.rows {
+            let (Value::Int(tr), Value::Str(deps)) = (&row[0], &row[1]) else {
+                continue;
+            };
+            for dep in deps.split_whitespace() {
+                let Ok(dep) = dep.parse::<i64>() else {
+                    continue;
+                };
+                match prov.get(&(*tr, dep)) {
+                    Some(sources) => {
+                        for (table, cols) in sources {
+                            graph.add_edge(
+                                *tr,
+                                dep,
+                                EdgeProvenance {
+                                    table: table.clone(),
+                                    kind: EdgeKind::Read {
+                                        read_columns: cols.clone(),
+                                    },
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        // No provenance recorded: keep the edge with an
+                        // unknown-table marker (it always survives rules).
+                        graph.add_edge(
+                            *tr,
+                            dep,
+                            EdgeProvenance {
+                                table: String::new(),
+                                kind: EdgeKind::Write,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // 2. Labels from annot.
+        let annot_rows = session
+            .query("SELECT tr_id, descr FROM annot")
+            .map_err(RepairError::Engine)?;
+        for row in &annot_rows.rows {
+            if let (Value::Int(tr), Value::Str(descr)) = (&row[0], &row[1]) {
+                graph.set_label(*tr, descr.clone());
+            }
+        }
+
+        // 3. Log-reconstructed dependencies (updates/deletes) and writer
+        //    column notes for false-dependency evaluation.
+        for rec in &records {
+            let Some(proxy) = correlation.proxy_id(rec.internal_txn) else {
+                continue; // uncommitted or untracked transaction
+            };
+            if rec.table.is_empty()
+                || crate::is_tracking_table(&rec.table)
+            {
+                continue;
+            }
+            match &rec.op {
+                RepairOp::Insert { .. } => graph.note_writer_insert(proxy, &rec.table),
+                RepairOp::Update { after, .. } => graph.note_writer_columns(
+                    proxy,
+                    &rec.table,
+                    after
+                        .columns()
+                        .iter()
+                        .filter(|c| !resildb_proxy::is_tracking_column(c))
+                        .map(|s| s.to_string()),
+                ),
+                _ => {}
+            }
+            // Reconstruct the overwrite dependency from the pre-image.
+            // Under column-level tracking the pre-image carries one
+            // `trid__<col>` stamp per overwritten column, giving precise
+            // per-column edges; otherwise fall back to the row `trid`.
+            let before = match &rec.op {
+                RepairOp::Update { before, .. } => Some(before),
+                RepairOp::Delete { row, .. } => Some(row),
+                _ => None,
+            };
+            if let Some(image) = before {
+                let mut column_edges = 0;
+                for (name, value) in &image.0 {
+                    let Some(col) = name.strip_prefix(resildb_proxy::COLUMN_TRID_PREFIX)
+                    else {
+                        continue;
+                    };
+                    if let resildb_engine::Value::Int(dep) = value {
+                        column_edges += 1;
+                        if *dep > 0 && *dep != proxy {
+                            graph.add_edge(
+                                proxy,
+                                *dep,
+                                EdgeProvenance {
+                                    table: rec.table.clone(),
+                                    kind: EdgeKind::Read {
+                                        read_columns: vec![col.to_string()],
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+                if column_edges == 0 {
+                    if let Some(dep) = rec.before_trid() {
+                        if dep > 0 && dep != proxy {
+                            graph.add_edge(
+                                proxy,
+                                dep,
+                                EdgeProvenance {
+                                    table: rec.table.clone(),
+                                    kind: EdgeKind::Write,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Analysis {
+            records,
+            correlation,
+            graph,
+        })
+    }
+
+    /// Full repair: analysis, closure from `initial` under `rules`, then
+    /// the backward compensation sweep (static repair — the caller is
+    /// responsible for quiescing the database, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Analysis or compensation failures.
+    pub fn repair(
+        &self,
+        initial: &[i64],
+        rules: &[FalseDepRule],
+    ) -> Result<RepairReport, RepairError> {
+        let analysis = self.analyze()?;
+        let undo_set = analysis.undo_set(initial, rules);
+        self.repair_with_undo_set(&analysis, &undo_set)
+    }
+
+    /// Executes the compensation sweep for an already-chosen undo set
+    /// (e.g. after interactive what-if adjustment by the DBA).
+    ///
+    /// # Errors
+    ///
+    /// Compensation failures.
+    pub fn repair_with_undo_set(
+        &self,
+        analysis: &Analysis,
+        undo_set: &BTreeSet<i64>,
+    ) -> Result<RepairReport, RepairError> {
+        let mut undo_internal = HashMap::new();
+        for &proxy in undo_set {
+            if let Some(internal) = analysis.correlation.internal_id(proxy) {
+                undo_internal.insert(internal, proxy);
+            }
+        }
+        let driver = NativeDriver::new(self.db.clone(), LinkProfile::local());
+        let mut conn = driver.connect()?;
+        let outcome = run_compensation(
+            &self.db,
+            conn.as_mut(),
+            &analysis.records,
+            &undo_internal,
+            self.adapter.address_column(),
+        )?;
+        let tracked = analysis.tracked_transactions();
+        let rolled_back = tracked.intersection(undo_set).count();
+        Ok(RepairReport {
+            undo_set: undo_set.clone(),
+            tracked_total: tracked.len(),
+            saved: tracked.len() - rolled_back,
+            outcome,
+        })
+    }
+}

@@ -1,0 +1,293 @@
+//! Interactive "what if" exploration of the damage perimeter — the
+//! full-scale interactive repair tool the paper's §6 plans ("allows a DBA
+//! to interact with the transaction dependency graph ... and explore the
+//! damage perimeter by conducting what-if analysis"), as a programmatic
+//! session the CLI/GUI layers can wrap.
+//!
+//! A session holds the DBA's evolving decisions — the initial attack set,
+//! active false-dependency rules, and manual inclusions/exclusions — and
+//! recomputes the undo set after every change.
+
+use std::collections::BTreeSet;
+
+use crate::graph::FalseDepRule;
+use crate::tool::Analysis;
+
+/// An interactive what-if session over one [`Analysis`].
+///
+/// # Examples
+///
+/// ```
+/// use resildb_core::{Flavor, ResilientDb};
+/// use resildb_repair::WhatIfSession;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rdb = ResilientDb::new(Flavor::Postgres)?;
+/// let mut conn = rdb.connect()?;
+/// conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")?;
+/// conn.execute("ANNOTATE attack")?;
+/// conn.execute("BEGIN")?;
+/// conn.execute("INSERT INTO t (id, v) VALUES (1, 666)")?;
+/// conn.execute("COMMIT")?;
+/// let attack = rdb.txn_id_by_label("attack")?.unwrap();
+///
+/// let analysis = rdb.analyze()?;
+/// let mut session = WhatIfSession::new(&analysis);
+/// session.add_initial(attack);
+/// assert!(session.undo_set().contains(&attack));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct WhatIfSession<'a> {
+    analysis: &'a Analysis,
+    initial: BTreeSet<i64>,
+    rules: Vec<FalseDepRule>,
+    force_include: BTreeSet<i64>,
+    force_exclude: BTreeSet<i64>,
+}
+
+impl<'a> WhatIfSession<'a> {
+    /// Starts a session with an empty attack set and no rules.
+    pub fn new(analysis: &'a Analysis) -> Self {
+        Self {
+            analysis,
+            initial: BTreeSet::new(),
+            rules: Vec::new(),
+            force_include: BTreeSet::new(),
+            force_exclude: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a transaction to the initial attack set.
+    pub fn add_initial(&mut self, txn: i64) -> &mut Self {
+        self.initial.insert(txn);
+        self
+    }
+
+    /// Removes a transaction from the initial attack set.
+    pub fn remove_initial(&mut self, txn: i64) -> &mut Self {
+        self.initial.remove(&txn);
+        self
+    }
+
+    /// Activates a false-dependency rule.
+    pub fn add_rule(&mut self, rule: FalseDepRule) -> &mut Self {
+        if !self.rules.contains(&rule) {
+            self.rules.push(rule);
+        }
+        self
+    }
+
+    /// Deactivates every rule.
+    pub fn clear_rules(&mut self) -> &mut Self {
+        self.rules.clear();
+        self
+    }
+
+    /// Forces a transaction into the undo set regardless of dependency
+    /// analysis — the DBA's remedy for the §3.1 false-*negative* cases
+    /// (dependencies the tracker cannot see, like the service-fee
+    /// example).
+    pub fn force_include(&mut self, txn: i64) -> &mut Self {
+        self.force_exclude.remove(&txn);
+        self.force_include.insert(txn);
+        self
+    }
+
+    /// Forces a transaction (and only it — its dependents remain judged
+    /// by the graph) out of the undo set: the remedy for false positives
+    /// the rules cannot express.
+    pub fn force_exclude(&mut self, txn: i64) -> &mut Self {
+        self.force_include.remove(&txn);
+        self.force_exclude.insert(txn);
+        self
+    }
+
+    /// Clears a manual decision for `txn`.
+    pub fn clear_override(&mut self, txn: i64) -> &mut Self {
+        self.force_include.remove(&txn);
+        self.force_exclude.remove(&txn);
+        self
+    }
+
+    /// The active rules.
+    pub fn rules(&self) -> &[FalseDepRule] {
+        &self.rules
+    }
+
+    /// The current initial attack set.
+    pub fn initial(&self) -> &BTreeSet<i64> {
+        &self.initial
+    }
+
+    /// Recomputes the undo set under the current decisions: graph closure
+    /// of the initial set (and of forced inclusions — their dependents are
+    /// corrupted too) under the rules, minus forced exclusions.
+    pub fn undo_set(&self) -> BTreeSet<i64> {
+        let mut seeds: Vec<i64> = self.initial.iter().copied().collect();
+        seeds.extend(self.force_include.iter().copied());
+        let mut set = self.analysis.graph.closure(&seeds, &self.rules);
+        for t in &self.force_exclude {
+            set.remove(t);
+        }
+        set
+    }
+
+    /// The transactions saved under the current decisions.
+    pub fn saved_set(&self) -> BTreeSet<i64> {
+        let undo = self.undo_set();
+        self.analysis
+            .tracked_transactions()
+            .into_iter()
+            .filter(|t| !undo.contains(t))
+            .collect()
+    }
+
+    /// Renders the graph with the current undo set highlighted
+    /// (paper Figure 3, driven interactively).
+    pub fn to_dot(&self) -> String {
+        self.analysis.to_dot(&self.undo_set())
+    }
+
+    /// A one-line summary for interactive display.
+    pub fn summary(&self) -> String {
+        let undo = self.undo_set();
+        let tracked = self.analysis.tracked_transactions().len();
+        format!(
+            "undo {} of {} tracked txns ({} rules, {} manual includes, {} manual excludes)",
+            undo.len(),
+            tracked,
+            self.rules.len(),
+            self.force_include.len(),
+            self.force_exclude.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resildb_engine::{Database, Flavor, Value};
+    use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
+    use resildb_wire::{Driver, LinkProfile, NativeDriver};
+
+    /// Three transactions: attack → dependent reader; one independent.
+    fn scenario() -> (Database, i64, i64, i64) {
+        let db = Database::in_memory(Flavor::Postgres);
+        let native = NativeDriver::new(db.clone(), LinkProfile::local());
+        prepare_database(&mut *native.connect().unwrap()).unwrap();
+        let mut config = ProxyConfig::new(Flavor::Postgres);
+        config.record_read_only_deps = true;
+        let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), config);
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        for (label, stmts) in [
+            ("attack", vec!["INSERT INTO t (id, v) VALUES (1, 666)"]),
+            (
+                "dependent",
+                vec!["SELECT v FROM t WHERE id = 1", "INSERT INTO t (id, v) VALUES (2, 1)"],
+            ),
+            ("independent", vec!["INSERT INTO t (id, v) VALUES (3, 3)"]),
+        ] {
+            conn.execute(&format!("ANNOTATE {label}")).unwrap();
+            conn.execute("BEGIN").unwrap();
+            for s in stmts {
+                conn.execute(s).unwrap();
+            }
+            conn.execute("COMMIT").unwrap();
+        }
+        let id = |label: &str| {
+            let mut s = db.session();
+            match s
+                .query(&format!("SELECT tr_id FROM annot WHERE descr = '{label}'"))
+                .unwrap()
+                .rows[0][0]
+            {
+                Value::Int(v) => v,
+                ref other => panic!("{other:?}"),
+            }
+        };
+        let (a, d, i) = (id("attack"), id("dependent"), id("independent"));
+        (db, a, d, i)
+    }
+
+    #[test]
+    fn closure_recomputes_after_each_decision() {
+        let (db, attack, dependent, independent) = scenario();
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        assert!(wi.undo_set().is_empty());
+        wi.add_initial(attack);
+        assert_eq!(wi.undo_set(), [attack, dependent].into_iter().collect());
+        assert!(wi.saved_set().contains(&independent));
+        wi.remove_initial(attack);
+        assert!(wi.undo_set().is_empty());
+    }
+
+    #[test]
+    fn force_include_pulls_in_dependents_too() {
+        let (db, attack, dependent, independent) = scenario();
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        // The DBA knows `attack` is bad but starts from the independent
+        // one; forcing the attack in also drags its dependent in.
+        wi.add_initial(independent);
+        wi.force_include(attack);
+        let undo = wi.undo_set();
+        assert!(undo.contains(&attack));
+        assert!(undo.contains(&dependent));
+        assert!(undo.contains(&independent));
+    }
+
+    #[test]
+    fn force_exclude_spares_a_single_transaction() {
+        let (db, attack, dependent, _) = scenario();
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        wi.add_initial(attack);
+        wi.force_exclude(dependent);
+        let undo = wi.undo_set();
+        assert!(undo.contains(&attack));
+        assert!(!undo.contains(&dependent));
+        wi.clear_override(dependent);
+        assert!(wi.undo_set().contains(&dependent));
+    }
+
+    #[test]
+    fn include_and_exclude_are_mutually_exclusive() {
+        let (db, attack, _, _) = scenario();
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        wi.force_exclude(attack);
+        wi.force_include(attack);
+        assert!(wi.undo_set().contains(&attack), "last decision wins");
+        wi.force_exclude(attack);
+        assert!(!wi.undo_set().contains(&attack));
+    }
+
+    #[test]
+    fn summary_and_dot_render() {
+        let (db, attack, _, _) = scenario();
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        wi.add_initial(attack);
+        assert!(wi.summary().contains("undo 2 of 3"));
+        assert!(wi.to_dot().contains("fillcolor"));
+    }
+
+    #[test]
+    fn rules_apply_and_clear() {
+        let (db, attack, _, _) = scenario();
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        wi.add_initial(attack);
+        let before = wi.undo_set().len();
+        wi.add_rule(FalseDepRule::IgnoreTable("t".into()));
+        wi.add_rule(FalseDepRule::IgnoreTable("t".into())); // deduped
+        assert_eq!(wi.rules().len(), 1);
+        assert!(wi.undo_set().len() <= before);
+        wi.clear_rules();
+        assert_eq!(wi.undo_set().len(), before);
+    }
+}

@@ -1,0 +1,202 @@
+//! LRU buffer pool deciding which page accesses hit memory.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies one logical disk page: a table (or log segment) id plus a page
+/// number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Owning object (table/index/segment) id.
+    pub object: u32,
+    /// Page number within the object.
+    pub page: u64,
+}
+
+impl PageKey {
+    /// Creates a key.
+    pub const fn new(object: u32, page: u64) -> Self {
+        Self { object, page }
+    }
+}
+
+/// Outcome of one buffer-pool access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageAccess {
+    /// Whether the page was already resident.
+    pub hit: bool,
+    /// Whether making room evicted a dirty page (costing a write-back).
+    pub evicted_dirty: bool,
+}
+
+#[derive(Debug)]
+struct Resident {
+    last_use: u64,
+    dirty: bool,
+}
+
+/// A strict-LRU page cache.
+///
+/// The pool tracks residency and dirtiness only — actual page *contents*
+/// live in the engine's tables; this type exists purely so the cost model
+/// can distinguish cache hits from disk reads, which is the mechanism behind
+/// the paper's footprint-size axis (W=1 workloads fit in cache, W=10
+/// workloads do not).
+///
+/// # Examples
+///
+/// ```
+/// use resildb_sim::{BufferPool, PageKey};
+///
+/// let mut pool = BufferPool::new(2);
+/// assert!(!pool.access(PageKey::new(0, 1), false).hit);
+/// assert!(pool.access(PageKey::new(0, 1), false).hit);
+/// ```
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    tick: u64,
+    resident: HashMap<PageKey, Resident>,
+    by_age: BTreeMap<u64, PageKey>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            resident: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    /// Touches `key`, marking it dirty if `dirty`, and reports hit/eviction.
+    pub fn access(&mut self, key: PageKey, dirty: bool) -> PageAccess {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.resident.get_mut(&key) {
+            self.by_age.remove(&entry.last_use);
+            entry.last_use = tick;
+            entry.dirty |= dirty;
+            self.by_age.insert(tick, key);
+            return PageAccess {
+                hit: true,
+                evicted_dirty: false,
+            };
+        }
+        if self.capacity == 0 {
+            // Cache disabled: every access misses; dirty accesses pay the
+            // write-back immediately.
+            return PageAccess {
+                hit: false,
+                evicted_dirty: dirty,
+            };
+        }
+        let mut evicted_dirty = false;
+        if self.resident.len() >= self.capacity {
+            if let Some((&age, &victim)) = self.by_age.iter().next() {
+                self.by_age.remove(&age);
+                if let Some(v) = self.resident.remove(&victim) {
+                    evicted_dirty = v.dirty;
+                }
+            }
+        }
+        self.resident.insert(
+            key,
+            Resident {
+                last_use: tick,
+                dirty,
+            },
+        );
+        self.by_age.insert(tick, key);
+        PageAccess {
+            hit: false,
+            evicted_dirty,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Evicts everything (dirty pages are dropped without cost — callers
+    /// flushing between benchmark phases account for that themselves).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.by_age.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut pool = BufferPool::new(2);
+        let (a, b, c) = (PageKey::new(0, 1), PageKey::new(0, 2), PageKey::new(0, 3));
+        pool.access(a, false);
+        pool.access(b, false);
+        // Touch `a` so `b` is now the LRU victim.
+        assert!(pool.access(a, false).hit);
+        pool.access(c, false);
+        assert!(pool.access(a, false).hit, "a should have survived");
+        assert!(!pool.access(b, false).hit, "b should have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_is_reported_once() {
+        let mut pool = BufferPool::new(1);
+        pool.access(PageKey::new(0, 1), true);
+        let acc = pool.access(PageKey::new(0, 2), false);
+        assert!(acc.evicted_dirty);
+        let acc2 = pool.access(PageKey::new(0, 3), false);
+        assert!(!acc2.evicted_dirty, "clean page eviction is free");
+    }
+
+    #[test]
+    fn redirtying_a_resident_page_sticks() {
+        let mut pool = BufferPool::new(2);
+        let a = PageKey::new(0, 1);
+        pool.access(a, false);
+        pool.access(a, true); // now dirty
+        pool.access(PageKey::new(0, 2), false);
+        let acc = pool.access(PageKey::new(0, 3), false); // evicts `a`
+        assert!(acc.evicted_dirty);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut pool = BufferPool::new(0);
+        let a = PageKey::new(0, 1);
+        assert!(!pool.access(a, false).hit);
+        assert!(!pool.access(a, false).hit);
+        assert_eq!(pool.len(), 0);
+        assert!(pool.access(a, true).evicted_dirty);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let mut pool = BufferPool::new(4);
+        pool.access(PageKey::new(0, 1), true);
+        assert!(!pool.is_empty());
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(!pool.access(PageKey::new(0, 1), false).hit);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut pool = BufferPool::new(3);
+        for i in 0..100 {
+            pool.access(PageKey::new(0, i), i % 2 == 0);
+            assert!(pool.len() <= 3);
+        }
+    }
+}

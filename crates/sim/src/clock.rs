@@ -1,0 +1,172 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A span (or instant, measured from simulation start) of virtual time in
+/// microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_sim::Micros;
+///
+/// let t = Micros::from_millis(2) + Micros::new(500);
+/// assert_eq!(t.as_micros(), 2_500);
+/// assert_eq!(t.as_secs_f64(), 0.0025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Micros(u64);
+
+impl Micros {
+    /// Zero duration.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Creates a span of `n` microseconds.
+    pub const fn new(n: u64) -> Self {
+        Micros(n)
+    }
+
+    /// Creates a span from nanoseconds, rounding to the nearest microsecond
+    /// (so many sub-microsecond charges still accumulate sensibly, callers
+    /// should batch nanosecond-scale costs before converting).
+    pub const fn from_nanos(n: u64) -> Self {
+        Micros((n + 500) / 1000)
+    }
+
+    /// Creates a span of `n` milliseconds.
+    pub const fn from_millis(n: u64) -> Self {
+        Micros(n * 1000)
+    }
+
+    /// Creates a span of `n` seconds.
+    pub const fn from_secs(n: u64) -> Self {
+        Micros(n * 1_000_000)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: u64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing virtual clock shared by all simulated
+/// components.
+///
+/// The clock never reads wall time: components *charge* latencies to it and
+/// the benchmark harness divides work done by elapsed virtual time. This
+/// keeps every run deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_sim::{Micros, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// clock.advance(Micros::from_millis(5));
+/// assert_eq!(clock.now(), Micros::from_millis(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        Micros(self.micros.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Micros) {
+        if d != Micros::ZERO {
+            self.micros.fetch_add(d.as_micros(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_conversions() {
+        assert_eq!(Micros::from_secs(1), Micros::from_millis(1000));
+        assert_eq!(Micros::from_nanos(1500), Micros::new(2));
+        assert_eq!(Micros::from_nanos(400), Micros::ZERO);
+        assert_eq!(Micros::new(3) * 4, Micros::new(12));
+        assert_eq!(Micros::new(5) - Micros::new(2), Micros::new(3));
+        assert_eq!(Micros::new(2).saturating_sub(Micros::new(5)), Micros::ZERO);
+    }
+
+    #[test]
+    fn display_chooses_unit() {
+        assert_eq!(Micros::new(7).to_string(), "7us");
+        assert_eq!(Micros::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(Micros::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Micros::ZERO);
+        c.advance(Micros::new(10));
+        c.advance(Micros::new(5));
+        assert_eq!(c.now(), Micros::new(15));
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic performance-simulation substrate for resildb.
+//!
+//! The DSN 2004 paper measures the tracking proxy's throughput penalty on
+//! real hardware (IDE disks, a 100 Mbps LAN). This crate replaces those
+//! physical resources with a *virtual-time* model so the benchmark harness
+//! can reproduce the **shape** of the paper's Figure 4 deterministically and
+//! in milliseconds of wall-clock time:
+//!
+//! * [`VirtualClock`] — a monotonically advancing microsecond counter that
+//!   engine components charge costs to;
+//! * [`CostModel`] — latency parameters for page I/O, log forces, per-row
+//!   CPU work and network round trips;
+//! * [`BufferPool`] — an LRU page cache deciding which logical page accesses
+//!   hit memory and which pay the disk-read cost (this is what makes the
+//!   paper's small-footprint `W=1` vs. large-footprint `W=10` axis work);
+//! * [`SimStats`] — counters for everything charged.
+//!
+//! All pieces are bundled in a cheaply cloneable [`SimContext`].
+//!
+//! # Examples
+//!
+//! ```
+//! use resildb_sim::{CostModel, PageKey, SimContext};
+//!
+//! let sim = SimContext::new(CostModel::disk_bound_oltp(), 64);
+//! // First touch of a page misses and pays the read latency.
+//! sim.charge_page_read(PageKey::new(1, 0));
+//! let after_miss = sim.clock().now();
+//! // Second touch hits the pool: only CPU-scale cost.
+//! sim.charge_page_read(PageKey::new(1, 0));
+//! assert!(sim.clock().now() - after_miss < after_miss);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod clock;
+mod cost;
+mod stats;
+
+pub use buffer::{BufferPool, PageAccess, PageKey};
+pub use clock::{Micros, VirtualClock};
+pub use cost::CostModel;
+pub use stats::SimStats;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Shared handle bundling the clock, cost model, buffer pool and counters.
+///
+/// Cloning is cheap (`Arc` internally); every clone observes the same
+/// virtual time and cache state, so a server engine and the proxy layered on
+/// top of it charge one common timeline.
+#[derive(Debug, Clone)]
+pub struct SimContext {
+    inner: Arc<SimInner>,
+}
+
+#[derive(Debug)]
+struct SimInner {
+    clock: VirtualClock,
+    cost: CostModel,
+    pool: Mutex<BufferPool>,
+    stats: SimStats,
+}
+
+impl SimContext {
+    /// Creates a context with the given cost model and buffer-pool capacity
+    /// (in pages).
+    pub fn new(cost: CostModel, pool_pages: usize) -> Self {
+        Self {
+            inner: Arc::new(SimInner {
+                clock: VirtualClock::new(),
+                cost,
+                pool: Mutex::new(BufferPool::new(pool_pages)),
+                stats: SimStats::default(),
+            }),
+        }
+    }
+
+    /// A context with zero costs — useful in functional tests where timing
+    /// is irrelevant.
+    pub fn free() -> Self {
+        Self::new(CostModel::free(), usize::MAX)
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.inner.stats
+    }
+
+    /// Records a logical read of `page`, charging the page-read latency on a
+    /// buffer-pool miss (plus a possible dirty-page write-back) and a small
+    /// in-memory access cost on a hit. Returns whether the access hit.
+    pub fn charge_page_read(&self, page: PageKey) -> PageAccess {
+        let access = self.inner.pool.lock().access(page, false);
+        self.apply_access_cost(&access);
+        access
+    }
+
+    /// Records a logical write of `page`; same cache behaviour as
+    /// [`Self::charge_page_read`] but the page is left dirty so its eventual
+    /// eviction pays the write-back cost.
+    pub fn charge_page_write(&self, page: PageKey) -> PageAccess {
+        let access = self.inner.pool.lock().access(page, true);
+        self.apply_access_cost(&access);
+        access
+    }
+
+    fn apply_access_cost(&self, access: &PageAccess) {
+        let cost = &self.inner.cost;
+        if access.hit {
+            self.inner.stats.page_hits.add(1);
+            self.inner.clock.advance(cost.buffer_hit);
+        } else {
+            self.inner.stats.page_misses.add(1);
+            self.inner.clock.advance(cost.page_read);
+        }
+        if access.evicted_dirty {
+            self.inner.stats.pages_written.add(1);
+            self.inner.clock.advance(cost.page_write);
+        }
+    }
+
+    /// Charges a write-ahead-log append of `bytes` bytes. Log appends are
+    /// sequential; the force (fsync) cost is charged separately at commit
+    /// via [`Self::charge_log_force`].
+    pub fn charge_log_append(&self, bytes: usize) {
+        self.inner.stats.log_bytes.add(bytes as u64);
+        self.inner
+            .clock
+            .advance(Micros::from_nanos(self.inner.cost.log_append_per_byte_ns * bytes as u64));
+    }
+
+    /// Charges the synchronous log force performed at commit.
+    pub fn charge_log_force(&self) {
+        self.inner.stats.log_forces.add(1);
+        self.inner.clock.advance(self.inner.cost.log_force);
+    }
+
+    /// Charges fixed per-statement CPU cost plus per-row processing for
+    /// `rows` rows touched.
+    pub fn charge_statement(&self, rows: usize) {
+        self.inner.stats.statements.add(1);
+        self.inner.stats.rows_touched.add(rows as u64);
+        let c = &self.inner.cost;
+        self.inner
+            .clock
+            .advance(c.cpu_per_statement + c.cpu_per_row * rows as u64);
+    }
+
+    /// Charges one client↔server round trip carrying `bytes` bytes.
+    pub fn charge_round_trip(&self, bytes: usize) {
+        self.inner.stats.round_trips.add(1);
+        self.inner.stats.network_bytes.add(bytes as u64);
+        let c = &self.inner.cost;
+        self.inner
+            .clock
+            .advance(c.network_rtt + Micros::from_nanos(c.network_per_byte_ns * bytes as u64));
+    }
+
+    /// Charges one round trip over an explicitly described link — used by
+    /// the wire layer, where the client↔server and proxy↔server legs can
+    /// have different latencies (paper Figure 2's dual-proxy deployment).
+    pub fn charge_link(&self, rtt: Micros, per_byte_ns: u64, bytes: usize) {
+        self.inner.stats.round_trips.add(1);
+        self.inner.stats.network_bytes.add(bytes as u64);
+        self.inner
+            .clock
+            .advance(rtt + Micros::from_nanos(per_byte_ns * bytes as u64));
+    }
+
+    /// Drops every cached page (e.g. between benchmark phases).
+    pub fn flush_pool(&self) {
+        self.inner.pool.lock().clear();
+    }
+
+    /// Buffer-pool occupancy in pages (for diagnostics).
+    pub fn pool_len(&self) -> usize {
+        self.inner.pool.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_costs_differ() {
+        let sim = SimContext::new(CostModel::disk_bound_oltp(), 8);
+        sim.charge_page_read(PageKey::new(1, 0));
+        let t_miss = sim.clock().now();
+        sim.charge_page_read(PageKey::new(1, 0));
+        let t_hit = sim.clock().now() - t_miss;
+        assert!(t_hit < t_miss, "hit {t_hit:?} should be cheaper than miss {t_miss:?}");
+        assert_eq!(sim.stats().page_hits.get(), 1);
+        assert_eq!(sim.stats().page_misses.get(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_charges_write_back() {
+        let sim = SimContext::new(CostModel::disk_bound_oltp(), 1);
+        sim.charge_page_write(PageKey::new(1, 0));
+        assert_eq!(sim.stats().pages_written.get(), 0);
+        // Evicts the dirty page.
+        sim.charge_page_read(PageKey::new(1, 1));
+        assert_eq!(sim.stats().pages_written.get(), 1);
+    }
+
+    #[test]
+    fn free_context_never_advances() {
+        let sim = SimContext::free();
+        sim.charge_page_read(PageKey::new(1, 0));
+        sim.charge_statement(100);
+        sim.charge_round_trip(4096);
+        sim.charge_log_append(1 << 20);
+        sim.charge_log_force();
+        assert_eq!(sim.clock().now(), Micros::ZERO);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let sim = SimContext::new(CostModel::disk_bound_oltp(), 8);
+        let other = sim.clone();
+        sim.charge_log_force();
+        assert_eq!(sim.clock().now(), other.clock().now());
+        assert!(other.clock().now() > Micros::ZERO);
+    }
+
+    #[test]
+    fn statement_cost_scales_with_rows() {
+        let sim = SimContext::new(CostModel::disk_bound_oltp(), 8);
+        sim.charge_statement(0);
+        let t0 = sim.clock().now();
+        sim.charge_statement(1000);
+        assert!(sim.clock().now() - t0 > t0);
+    }
+}

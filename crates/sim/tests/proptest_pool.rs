@@ -1,0 +1,79 @@
+//! Property tests for the LRU buffer pool against a naive reference model.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use resildb_sim::{BufferPool, PageKey};
+
+/// A deliberately simple LRU reference: a deque of (key, dirty), most
+/// recently used at the back.
+#[derive(Debug, Default)]
+struct ModelPool {
+    capacity: usize,
+    entries: VecDeque<(PageKey, bool)>,
+}
+
+impl ModelPool {
+    fn access(&mut self, key: PageKey, dirty: bool) -> (bool, bool) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let (k, d) = self.entries.remove(pos).expect("pos valid");
+            self.entries.push_back((k, d || dirty));
+            return (true, false);
+        }
+        if self.capacity == 0 {
+            return (false, dirty);
+        }
+        let mut evicted_dirty = false;
+        if self.entries.len() >= self.capacity {
+            let (_, d) = self.entries.pop_front().expect("nonempty");
+            evicted_dirty = d;
+        }
+        self.entries.push_back((key, dirty));
+        (false, evicted_dirty)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pool_matches_reference_lru(
+        capacity in 0usize..8,
+        accesses in proptest::collection::vec((0u32..4, 0u64..12, any::<bool>()), 1..200),
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        let mut model = ModelPool { capacity, ..ModelPool::default() };
+        for (object, page, dirty) in accesses {
+            let key = PageKey::new(object, page);
+            let got = pool.access(key, dirty);
+            let (hit, evicted_dirty) = model.access(key, dirty);
+            prop_assert_eq!(got.hit, hit, "hit mismatch on {:?}", key);
+            prop_assert_eq!(got.evicted_dirty, evicted_dirty, "eviction mismatch on {:?}", key);
+            prop_assert!(pool.len() <= capacity);
+            prop_assert_eq!(pool.len(), model.entries.len());
+        }
+    }
+
+    #[test]
+    fn clear_always_resets(
+        capacity in 1usize..6,
+        accesses in proptest::collection::vec((0u64..10, any::<bool>()), 1..50),
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        for (page, dirty) in &accesses {
+            pool.access(PageKey::new(0, *page), *dirty);
+        }
+        pool.clear();
+        prop_assert!(pool.is_empty());
+        // Every *distinct* page misses on its first access after a clear.
+        let mut seen = std::collections::HashSet::new();
+        for (page, _) in accesses.iter() {
+            if seen.len() >= capacity {
+                break;
+            }
+            if seen.insert(*page) {
+                prop_assert!(!pool.access(PageKey::new(0, *page), false).hit);
+            }
+        }
+    }
+}

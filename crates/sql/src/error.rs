@@ -1,0 +1,61 @@
+//! Parse-error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when lexing or parsing SQL text fails.
+///
+/// Carries a human-readable message and the byte offset in the input at
+/// which the problem was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseError {
+    /// Creates a new parse error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset into the original input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = ParseError::new("unexpected token", 17);
+        assert_eq!(e.to_string(), "unexpected token at offset 17");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.offset(), 17);
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(ParseError::new("x", 0));
+    }
+}

@@ -1,0 +1,401 @@
+//! Hand-written SQL lexer.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, Token};
+
+/// Converts SQL text into a stream of [`Token`]s.
+///
+/// The lexer handles `--` line comments, `/* */` block comments,
+/// single-quoted strings with `''` escaping, and double-quoted identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_sql::{Lexer, Token};
+///
+/// # fn main() -> Result<(), resildb_sql::ParseError> {
+/// let tokens = Lexer::new("SELECT 1").tokenize()?;
+/// assert_eq!(tokens.len(), 3); // SELECT, 1, <eof>
+/// assert_eq!(tokens[1].0, Token::Int(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lexes the whole input, returning `(token, byte_offset)` pairs ending
+    /// with [`Token::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on an unterminated string/comment or an
+    /// unexpected character.
+    pub fn tokenize(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                out.push((Token::Eof, start));
+                return Ok(out);
+            };
+            let token = match c {
+                b',' => self.single(Token::Comma),
+                b'(' => self.single(Token::LParen),
+                b')' => self.single(Token::RParen),
+                b';' => self.single(Token::Semicolon),
+                b'.' => self.single(Token::Dot),
+                b'*' => self.single(Token::Star),
+                b'=' => self.single(Token::Eq),
+                b'+' => self.single(Token::Plus),
+                b'-' => self.single(Token::Minus),
+                b'/' => self.single(Token::Slash),
+                b'%' => self.single(Token::Percent),
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => self.single(Token::LtEq),
+                        Some(b'>') => self.single(Token::Neq),
+                        _ => Token::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.single(Token::GtEq)
+                    } else {
+                        Token::Gt
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.single(Token::Neq)
+                    } else {
+                        return Err(ParseError::new("expected '=' after '!'", self.pos));
+                    }
+                }
+                b'|' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'|') {
+                        self.single(Token::Concat)
+                    } else {
+                        return Err(ParseError::new("expected '|' after '|'", self.pos));
+                    }
+                }
+                b'\'' => self.lex_string()?,
+                b'"' => self.lex_quoted_ident()?,
+                b'0'..=b'9' => self.lex_number()?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.lex_word(),
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character {:?}", other as char),
+                        self.pos,
+                    ));
+                }
+            };
+            out.push((token, start));
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.pos + n).copied()
+    }
+
+    fn single(&mut self, t: Token) -> Token {
+        self.pos += 1;
+        t
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(ParseError::new("unterminated block comment", start));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(b'\'') => {
+                    if self.peek_at(1) == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(Token::Str(value));
+                    }
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = &self.input[self.pos..];
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(ParseError::new("unterminated string literal", start)),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        self.pos += 1;
+        let ident_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let name = self.input[ident_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(Token::Ident(name));
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::new("unterminated quoted identifier", start))
+    }
+
+    fn lex_number(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut look = 1;
+            if matches!(self.peek_at(1), Some(b'+' | b'-')) {
+                look = 2;
+            }
+            if matches!(self.peek_at(look), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += look + 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| ParseError::new(format!("invalid float literal {text:?}"), start))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| ParseError::new(format!("integer literal out of range {text:?}"), start))
+        }
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == b'_' || c == b'$' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let word = &self.input[start..self.pos];
+        match Keyword::from_ident(word) {
+            Some(kw) => Token::Keyword(kw),
+            None => Token::Ident(word.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        Lexer::new(input)
+            .tokenize()
+            .expect("lex ok")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT a FROM t WHERE x = 1;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("a".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("t".into()),
+                Token::Keyword(Keyword::Where),
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Int(1),
+                Token::Semicolon,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let t = toks("<> != <= >= < > || + - * / %");
+        assert_eq!(
+            t,
+            vec![
+                Token::Neq,
+                Token::Neq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Concat,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping_doubles_quotes() {
+        let t = toks("'it''s'");
+        assert_eq!(t, vec![Token::Str("it's".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn strings_preserve_unicode() {
+        let t = toks("'naïve λ'");
+        assert_eq!(t, vec![Token::Str("naïve λ".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("SELECT -- line comment\n 1 /* block\ncomment */ + 2");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let t = toks("42 3.25 1e3 2.5E-2");
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_integer_without_digits_is_separate() {
+        // `t1.a` style qualification must not be eaten by number lexing.
+        let t = toks("1.a");
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(1),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_keep_case() {
+        let t = toks("\"Mixed Case\"");
+        assert_eq!(t, vec![Token::Ident("Mixed Case".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::new("'abc").tokenize().unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = Lexer::new("/* abc").tokenize().unwrap_err();
+        assert!(err.message().contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn dollar_allowed_inside_identifier() {
+        // Oracle exposes views like v$logmnr_contents.
+        let t = toks("v$logmnr_contents");
+        assert_eq!(
+            t,
+            vec![Token::Ident("v$logmnr_contents".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reports_offset() {
+        let err = Lexer::new("SELECT ^").tokenize().unwrap_err();
+        assert_eq!(err.offset(), 7);
+    }
+}

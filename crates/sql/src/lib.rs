@@ -1,0 +1,99 @@
+//! SQL front-end for the resildb intrusion-resilient DBMS framework.
+//!
+//! This crate implements the SQL dialect shared by the [`resildb`
+//! engine](https://docs.rs/resildb-engine), the transaction-dependency
+//! tracking proxy and the repair tool. It covers the statement classes the
+//! DSN 2004 paper's intercepting proxy needs to understand and rewrite:
+//!
+//! * `SELECT` with joins (`FROM` list + `WHERE`), aggregates, `GROUP BY`,
+//!   `ORDER BY` and `LIMIT`;
+//! * `INSERT`, `UPDATE`, `DELETE`;
+//! * `CREATE TABLE` / `DROP TABLE` (the proxy intercepts `CREATE TABLE` to
+//!   inject the `trid` tracking column);
+//! * `BEGIN` / `COMMIT` / `ROLLBACK`.
+//!
+//! The AST is value-oriented and printable: every parsed statement can be
+//! rendered back to SQL text with [`Statement`]'s `Display` impl, and the
+//! rendered text re-parses to the same AST (a property the test-suite
+//! verifies). This round-trip guarantee is what makes text-level query
+//! rewriting — the heart of the paper's portable tracking mechanism — safe.
+//!
+//! # Examples
+//!
+//! ```
+//! use resildb_sql::{parse_statement, Statement};
+//!
+//! # fn main() -> Result<(), resildb_sql::ParseError> {
+//! let stmt = parse_statement("SELECT w_name, w_ytd FROM warehouse WHERE w_id = 3")?;
+//! match &stmt {
+//!     Statement::Select(sel) => assert_eq!(sel.from[0].name, "warehouse"),
+//!     _ => unreachable!(),
+//! }
+//! // Round-trip: printing yields canonical SQL.
+//! assert_eq!(
+//!     stmt.to_string(),
+//!     "SELECT w_name, w_ytd FROM warehouse WHERE w_id = 3"
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod printer;
+mod token;
+
+pub use ast::{
+    Assignment, BinaryOp, ColumnDef, ColumnRef, CreateTable, Delete, DropTable, Expr, Insert,
+    Literal, OrderByItem, Select, SelectItem, Statement, TableRef, TypeName, UnaryOp, Update,
+};
+pub use error::ParseError;
+pub use lexer::Lexer;
+pub use parser::Parser;
+pub use token::{Keyword, Token};
+
+/// Parses a single SQL statement (a trailing semicolon is permitted).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the input is not a single well-formed statement
+/// in the supported dialect.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), resildb_sql::ParseError> {
+/// let stmt = resildb_sql::parse_statement("DELETE FROM new_order WHERE no_o_id = 7")?;
+/// assert!(matches!(stmt, resildb_sql::Statement::Delete(_)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    Parser::new(input)?.parse_single_statement()
+}
+
+/// Parses a semicolon-separated script into a list of statements.
+///
+/// Empty statements (stray semicolons) are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on the first malformed statement.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), resildb_sql::ParseError> {
+/// let stmts = resildb_sql::parse_statements("BEGIN; COMMIT;")?;
+/// assert_eq!(stmts.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>, ParseError> {
+    Parser::new(input)?.parse_statements()
+}

@@ -1,0 +1,219 @@
+//! Property-based tests: any AST the generator produces must print to SQL
+//! text that re-parses to the identical AST. This is the core guarantee the
+//! tracking proxy's rewrite-and-resend pipeline depends on.
+
+use proptest::prelude::*;
+use resildb_sql::{
+    Assignment, BinaryOp, ColumnRef, Delete, Expr, Insert, Literal, OrderByItem, Select,
+    SelectItem, Statement, TableRef, UnaryOp, Update,
+};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Identifiers that are not keywords: start with a letter, keep short.
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        resildb_sql::Keyword::from_ident(s).is_none()
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Literal::Int(v as i64)),
+        // Finite, printable floats; avoid NaN/inf which have no SQL literal.
+        (-1.0e6f64..1.0e6).prop_map(Literal::Float),
+        "[ -~]{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(ident_strategy()), ident_strategy()).prop_map(|(t, c)| {
+        Expr::Column(ColumnRef {
+            table: t,
+            column: c,
+        })
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::Literal),
+        column_strategy(),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        let bin_op = prop_oneof![
+            Just(BinaryOp::Or),
+            Just(BinaryOp::And),
+            Just(BinaryOp::Eq),
+            Just(BinaryOp::Neq),
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::LtEq),
+            Just(BinaryOp::Gt),
+            Just(BinaryOp::GtEq),
+            Just(BinaryOp::Add),
+            Just(BinaryOp::Sub),
+            Just(BinaryOp::Mul),
+            Just(BinaryOp::Div),
+            Just(BinaryOp::Mod),
+            Just(BinaryOp::Concat),
+        ];
+        prop_oneof![
+            (inner.clone(), bin_op, inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n,
+            }),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n,
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, n)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: n,
+                }
+            ),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(e, p, n)| Expr::Like {
+                expr: Box::new(e),
+                pattern: Box::new(p),
+                negated: n,
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (ident_strategy(), proptest::collection::vec(inner, 0..3)).prop_map(
+                |(name, args)| Expr::Function {
+                    name: name.to_ascii_uppercase(),
+                    args,
+                    distinct: false,
+                    star: false,
+                }
+            ),
+        ]
+    })
+}
+
+fn select_strategy() -> impl Strategy<Value = Statement> {
+    (
+        proptest::collection::vec(
+            (expr_strategy(), proptest::option::of(ident_strategy()))
+                .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            1..4,
+        ),
+        proptest::collection::vec(
+            (ident_strategy(), proptest::option::of(ident_strategy()))
+                .prop_map(|(name, alias)| TableRef { name, alias }),
+            0..3,
+        ),
+        proptest::option::of(expr_strategy()),
+        proptest::collection::vec(
+            (expr_strategy(), any::<bool>()).prop_map(|(expr, desc)| OrderByItem { expr, desc }),
+            0..3,
+        ),
+        proptest::option::of(0u64..1000),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(items, from, where_clause, order_by, limit, for_update, distinct)| {
+            Statement::Select(Select {
+                distinct,
+                items,
+                from: from.clone(),
+                where_clause,
+                group_by: Vec::new(),
+                order_by,
+                limit,
+                // FOR UPDATE without FROM is still printable/parsable.
+                for_update: for_update && !from.is_empty(),
+            })
+        })
+}
+
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        select_strategy(),
+        (
+            ident_strategy(),
+            proptest::collection::vec(ident_strategy(), 1..5)
+        )
+            .prop_flat_map(|(table, columns)| {
+                let width = columns.len();
+                (
+                    Just(table),
+                    Just(columns),
+                    proptest::collection::vec(
+                        proptest::collection::vec(expr_strategy(), width..=width),
+                        1..3,
+                    ),
+                )
+            })
+            .prop_map(|(table, columns, rows)| Statement::Insert(Insert {
+                table,
+                columns,
+                rows
+            })),
+        (
+            ident_strategy(),
+            proptest::collection::vec(
+                (ident_strategy(), expr_strategy())
+                    .prop_map(|(column, value)| Assignment { column, value }),
+                1..4
+            ),
+            proptest::option::of(expr_strategy()),
+        )
+            .prop_map(|(table, assignments, where_clause)| Statement::Update(Update {
+                table,
+                assignments,
+                where_clause,
+            })),
+        (ident_strategy(), proptest::option::of(expr_strategy())).prop_map(
+            |(table, where_clause)| Statement::Delete(Delete {
+                table,
+                where_clause
+            })
+        ),
+        Just(Statement::Begin),
+        Just(Statement::Commit),
+        Just(Statement::Rollback),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn printed_statement_reparses_identically(stmt in statement_strategy()) {
+        let printed = stmt.to_string();
+        let reparsed = resildb_sql::parse_statement(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed for {printed:?}: {e}")))?;
+        prop_assert_eq!(stmt, reparsed, "printed text: {}", printed);
+    }
+
+    #[test]
+    fn printed_expression_reparses_identically(expr in expr_strategy()) {
+        let sql = format!("SELECT {expr}");
+        let reparsed = resildb_sql::parse_statement(&sql)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed for {sql:?}: {e}")))?;
+        let Statement::Select(sel) = reparsed else { unreachable!() };
+        let SelectItem::Expr { expr: got, .. } = &sel.items[0] else { unreachable!() };
+        prop_assert_eq!(&expr, got, "printed text: {}", sql);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,64}") {
+        let _ = resildb_sql::parse_statement(&input);
+    }
+}

@@ -1,0 +1,96 @@
+//! Attack/error scenarios for the §5.3 repair-accuracy experiments.
+
+use resildb_wire::{Connection, WireError};
+
+/// What the malicious/erroneous transaction does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// A forged payment: bumps `w_ytd`/`d_ytd` and a victim customer's
+    /// balance — the scenario whose damage spreads through the warehouse
+    /// and district rows (and whose spread is mostly *false* sharing,
+    /// making it the natural subject of Figure 5's false-dependency
+    /// comparison).
+    ForgedPayment,
+    /// Corrupts a victim customer's balance only.
+    BalanceCorruption,
+    /// Corrupts an item price — every later New-Order reading the item is
+    /// polluted.
+    PriceCorruption,
+}
+
+/// An injectable attack transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attack {
+    /// What to corrupt.
+    pub kind: AttackKind,
+    /// Target warehouse.
+    pub w_id: u32,
+    /// Target district (ignored by [`AttackKind::PriceCorruption`]).
+    pub d_id: u32,
+    /// Target customer or item id.
+    pub target_id: u32,
+}
+
+/// Annotation label given to injected attack transactions.
+pub const ATTACK_LABEL: &str = "ATTACK";
+
+impl Attack {
+    /// Executes the attack as one annotated transaction through `conn`
+    /// (normally the tracking proxy — the paper's threat model is a
+    /// malicious *client*, whose statements flow through the proxy like
+    /// anyone else's).
+    ///
+    /// # Errors
+    ///
+    /// SQL failures.
+    pub fn execute(&self, conn: &mut dyn Connection) -> Result<(), WireError> {
+        conn.execute(&format!("ANNOTATE {ATTACK_LABEL}"))?;
+        conn.execute("BEGIN")?;
+        let (w, d, t) = (self.w_id, self.d_id, self.target_id);
+        match self.kind {
+            AttackKind::ForgedPayment => {
+                conn.execute(&format!(
+                    "UPDATE warehouse SET w_ytd = w_ytd + 1000000.0 WHERE w_id = {w}"
+                ))?;
+                conn.execute(&format!(
+                    "UPDATE district SET d_ytd = d_ytd + 1000000.0 \
+                     WHERE d_w_id = {w} AND d_id = {d}"
+                ))?;
+                conn.execute(&format!(
+                    "UPDATE customer SET c_balance = c_balance + 1000000.0 \
+                     WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {t}"
+                ))?;
+            }
+            AttackKind::BalanceCorruption => {
+                conn.execute(&format!(
+                    "UPDATE customer SET c_balance = 999999.0 \
+                     WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {t}"
+                ))?;
+            }
+            AttackKind::PriceCorruption => {
+                conn.execute(&format!(
+                    "UPDATE item SET i_price = 0.01 WHERE i_id = {t}"
+                ))?;
+            }
+        }
+        conn.execute("COMMIT")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_fields_are_plain_data() {
+        let a = Attack {
+            kind: AttackKind::ForgedPayment,
+            w_id: 1,
+            d_id: 2,
+            target_id: 3,
+        };
+        assert_eq!(a.kind, AttackKind::ForgedPayment);
+        assert_eq!((a.w_id, a.d_id, a.target_id), (1, 2, 3));
+    }
+}

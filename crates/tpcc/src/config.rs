@@ -1,0 +1,122 @@
+//! Database sizing parameters (paper Table 2).
+
+/// TPC-C population parameters.
+///
+/// [`TpccConfig::paper`] reproduces Table 2 of the paper exactly; the
+/// scaled presets keep the same *structure* at sizes the simulated engine
+/// loads in milliseconds, which is what the benchmark harness uses (the
+/// harness prints the preset used next to each result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpccConfig {
+    /// Number of warehouses (the TPC-C scale factor `W`).
+    pub warehouses: u32,
+    /// Districts per warehouse.
+    pub districts_per_warehouse: u32,
+    /// Customers ("clients") per district.
+    pub customers_per_district: u32,
+    /// Items in the catalogue (stocked by every warehouse).
+    pub items: u32,
+    /// Initially loaded orders per district.
+    pub orders_per_district: u32,
+    /// Maximum order lines per order (TPC-C draws 5–15; the loader and
+    /// New-Order draw `1..=max_order_lines`).
+    pub max_order_lines: u32,
+}
+
+impl TpccConfig {
+    /// The paper's Table 2 parameters: 10 warehouses, 30 districts per
+    /// warehouse, 5000 clients per district, 100 000 items, 5000 orders
+    /// per district.
+    pub fn paper() -> Self {
+        Self {
+            warehouses: 10,
+            districts_per_warehouse: 30,
+            customers_per_district: 5000,
+            items: 100_000,
+            orders_per_district: 5000,
+            max_order_lines: 15,
+        }
+    }
+
+    /// A scaled-down configuration with `warehouses` warehouses keeping
+    /// the paper's structure: several districts, enough customers and
+    /// orders for dependency chains to form, a few hundred items.
+    pub fn scaled(warehouses: u32) -> Self {
+        Self {
+            warehouses,
+            districts_per_warehouse: 3,
+            customers_per_district: 50,
+            items: 500,
+            orders_per_district: 30,
+            max_order_lines: 5,
+        }
+    }
+
+    /// The smallest useful configuration (unit tests).
+    pub fn tiny() -> Self {
+        Self {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 5,
+            items: 20,
+            orders_per_district: 3,
+            max_order_lines: 3,
+        }
+    }
+
+    /// Total customers in the database.
+    pub fn total_customers(&self) -> u64 {
+        u64::from(self.warehouses)
+            * u64::from(self.districts_per_warehouse)
+            * u64::from(self.customers_per_district)
+    }
+
+    /// Total initially loaded orders.
+    pub fn total_orders(&self) -> u64 {
+        u64::from(self.warehouses)
+            * u64::from(self.districts_per_warehouse)
+            * u64::from(self.orders_per_district)
+    }
+
+    /// Total stock rows (items × warehouses).
+    pub fn total_stock(&self) -> u64 {
+        u64::from(self.warehouses) * u64::from(self.items)
+    }
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self::scaled(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_table_2() {
+        let c = TpccConfig::paper();
+        assert_eq!(c.warehouses, 10);
+        assert_eq!(c.districts_per_warehouse, 30);
+        assert_eq!(c.customers_per_district, 5000);
+        assert_eq!(c.items, 100_000);
+        assert_eq!(c.orders_per_district, 5000);
+    }
+
+    #[test]
+    fn totals_multiply_out() {
+        let c = TpccConfig::paper();
+        assert_eq!(c.total_customers(), 10 * 30 * 5000);
+        assert_eq!(c.total_orders(), 10 * 30 * 5000);
+        assert_eq!(c.total_stock(), 10 * 100_000);
+    }
+
+    #[test]
+    fn scaled_keeps_structure() {
+        let c = TpccConfig::scaled(4);
+        assert_eq!(c.warehouses, 4);
+        assert!(c.districts_per_warehouse > 1);
+        assert!(c.customers_per_district > 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! TPC-C workload for the resildb evaluation (paper §5).
+//!
+//! The paper benchmarks its intrusion-resilience mechanism with TPC-C: a
+//! wholesale supplier with `W` warehouses, each containing districts,
+//! customers, stock and orders, exercised by five transaction types
+//! (order placement, payment, delivery, order-status, stock-level).
+//!
+//! This crate provides the schema, a deterministic loader (paper Table 2's
+//! parameters available as [`TpccConfig::paper`], scaled-down presets for
+//! simulation speed), the five transactions implemented over the
+//! [`resildb_wire::Connection`] abstraction (so they run identically with
+//! and without the tracking proxy), the workload mixes of §5.2 and the
+//! attack scenarios of §5.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use resildb_engine::{Database, Flavor};
+//! use resildb_tpcc::{Loader, TpccConfig, TpccRunner};
+//! use resildb_wire::{Driver, LinkProfile, NativeDriver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let db = Database::in_memory(Flavor::Postgres);
+//! let driver = NativeDriver::new(db.clone(), LinkProfile::local());
+//! let config = TpccConfig::tiny();
+//! Loader::new(config.clone(), 42).load(&mut *driver.connect()?)?;
+//! assert_eq!(db.row_count("warehouse")?, 1);
+//!
+//! // Without the tracking proxy, disable ANNOTATE pseudo-statements.
+//! let mut runner = TpccRunner::new(config, 7).without_annotations();
+//! runner.new_order(&mut *driver.connect()?)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod config;
+mod loader;
+mod mix;
+mod schema;
+mod txn;
+
+pub use attack::{Attack, AttackKind, ATTACK_LABEL};
+pub use config::TpccConfig;
+pub use loader::Loader;
+pub use mix::{Mix, MixKind};
+pub use schema::{create_tables, TPCC_TABLES};
+pub use txn::{TpccRunner, TxnKind, TxnStats};

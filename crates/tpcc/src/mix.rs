@@ -1,0 +1,130 @@
+//! The §5.2 workload mixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use resildb_wire::{Connection, WireError};
+
+use crate::txn::{TpccRunner, TxnKind};
+
+/// A named transaction mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// The paper's read-intensive workload: 100 Stock-Level transactions.
+    ReadIntensive,
+    /// The paper's read/write-intensive workload: 200 New-Order,
+    /// 200 Payment and 100 Delivery transactions.
+    ReadWrite,
+    /// The standard weighted TPC-C mix (≈45 % New-Order, 43 % Payment,
+    /// 4 % each of the rest), used for the §5.3 accuracy experiments.
+    Standard,
+}
+
+/// A concrete sequence of transactions to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    kinds: Vec<TxnKind>,
+}
+
+impl Mix {
+    /// Builds the paper's read-intensive mix, scaled to `n` transactions
+    /// (the paper uses `n = 100`).
+    pub fn read_intensive(n: usize) -> Self {
+        Self {
+            kinds: vec![TxnKind::StockLevel; n],
+        }
+    }
+
+    /// Builds the paper's read/write mix scaled by `scale`: per unit,
+    /// 2 New-Order, 2 Payment, 1 Delivery (the paper's 200/200/100 is
+    /// `scale = 100`), interleaved deterministically.
+    pub fn read_write(scale: usize) -> Self {
+        let mut kinds = Vec::with_capacity(scale * 5);
+        for _ in 0..scale {
+            kinds.push(TxnKind::NewOrder);
+            kinds.push(TxnKind::Payment);
+            kinds.push(TxnKind::NewOrder);
+            kinds.push(TxnKind::Payment);
+            kinds.push(TxnKind::Delivery);
+        }
+        Self { kinds }
+    }
+
+    /// Builds `n` transactions drawn from the standard TPC-C weights with
+    /// a deterministic seed.
+    pub fn standard(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kinds = (0..n)
+            .map(|_| match rng.gen_range(0..100) {
+                0..=44 => TxnKind::NewOrder,
+                45..=87 => TxnKind::Payment,
+                88..=91 => TxnKind::Delivery,
+                92..=95 => TxnKind::OrderStatus,
+                _ => TxnKind::StockLevel,
+            })
+            .collect();
+        Self { kinds }
+    }
+
+    /// Builds the mix for a [`MixKind`] at the paper's sizes.
+    pub fn of(kind: MixKind, seed: u64) -> Self {
+        match kind {
+            MixKind::ReadIntensive => Self::read_intensive(100),
+            MixKind::ReadWrite => Self::read_write(100),
+            MixKind::Standard => Self::standard(500, seed),
+        }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The transaction kinds, in execution order.
+    pub fn kinds(&self) -> &[TxnKind] {
+        &self.kinds
+    }
+
+    /// Runs the whole mix on `conn`, returning the number of committed
+    /// transactions.
+    ///
+    /// # Errors
+    ///
+    /// Non-retryable SQL failures.
+    pub fn run(&self, runner: &mut TpccRunner, conn: &mut dyn Connection) -> Result<u64, WireError> {
+        let before = runner.stats.committed;
+        for &kind in &self.kinds {
+            runner.run(conn, kind)?;
+        }
+        Ok(runner.stats.committed - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mixes_have_paper_sizes() {
+        assert_eq!(Mix::of(MixKind::ReadIntensive, 0).len(), 100);
+        let rw = Mix::of(MixKind::ReadWrite, 0);
+        assert_eq!(rw.len(), 500);
+        let orders = rw.kinds().iter().filter(|k| **k == TxnKind::NewOrder).count();
+        let pays = rw.kinds().iter().filter(|k| **k == TxnKind::Payment).count();
+        let delivs = rw.kinds().iter().filter(|k| **k == TxnKind::Delivery).count();
+        assert_eq!((orders, pays, delivs), (200, 200, 100));
+    }
+
+    #[test]
+    fn standard_mix_is_deterministic_and_weighted() {
+        let a = Mix::standard(1000, 7);
+        let b = Mix::standard(1000, 7);
+        assert_eq!(a, b);
+        let orders = a.kinds().iter().filter(|k| **k == TxnKind::NewOrder).count();
+        assert!((300..600).contains(&orders), "NewOrder count {orders}");
+    }
+}

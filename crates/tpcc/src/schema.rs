@@ -1,0 +1,101 @@
+//! The nine TPC-C tables.
+
+use resildb_wire::{Connection, WireError};
+
+/// Names of all TPC-C tables, in creation order.
+pub const TPCC_TABLES: [&str; 9] = [
+    "warehouse",
+    "district",
+    "customer",
+    "history",
+    "new_order",
+    "orders",
+    "order_line",
+    "item",
+    "stock",
+];
+
+const DDL: [&str; 9] = [
+    "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_name VARCHAR(10), \
+     w_street_1 VARCHAR(20), w_city VARCHAR(20), w_state CHAR(2), w_zip CHAR(9), \
+     w_tax NUMERIC(4,4), w_ytd NUMERIC(12,2))",
+    "CREATE TABLE district (d_id INTEGER, d_w_id INTEGER, d_name VARCHAR(10), \
+     d_street_1 VARCHAR(20), d_city VARCHAR(20), d_state CHAR(2), d_zip CHAR(9), \
+     d_tax NUMERIC(4,4), d_ytd NUMERIC(12,2), d_next_o_id INTEGER, \
+     PRIMARY KEY (d_w_id, d_id))",
+    "CREATE TABLE customer (c_id INTEGER, c_d_id INTEGER, c_w_id INTEGER, \
+     c_first VARCHAR(16), c_last VARCHAR(16), c_street_1 VARCHAR(20), \
+     c_city VARCHAR(20), c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16), \
+     c_credit CHAR(2), c_credit_lim NUMERIC(12,2), c_discount NUMERIC(4,4), \
+     c_balance NUMERIC(12,2), c_ytd_payment NUMERIC(12,2), \
+     c_payment_cnt INTEGER, c_delivery_cnt INTEGER, c_data VARCHAR(250), \
+     PRIMARY KEY (c_w_id, c_d_id, c_id))",
+    "CREATE TABLE history (h_c_id INTEGER, h_c_d_id INTEGER, h_c_w_id INTEGER, \
+     h_d_id INTEGER, h_w_id INTEGER, h_date INTEGER, h_amount NUMERIC(6,2), \
+     h_data VARCHAR(24))",
+    "CREATE TABLE new_order (no_o_id INTEGER, no_d_id INTEGER, no_w_id INTEGER, \
+     PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+    "CREATE TABLE orders (o_id INTEGER, o_d_id INTEGER, o_w_id INTEGER, \
+     o_c_id INTEGER, o_entry_d INTEGER, o_carrier_id INTEGER, o_ol_cnt INTEGER, \
+     o_all_local INTEGER, PRIMARY KEY (o_w_id, o_d_id, o_id))",
+    "CREATE TABLE order_line (ol_o_id INTEGER, ol_d_id INTEGER, ol_w_id INTEGER, \
+     ol_number INTEGER, ol_i_id INTEGER, ol_supply_w_id INTEGER, \
+     ol_delivery_d INTEGER, ol_quantity INTEGER, ol_amount NUMERIC(6,2), \
+     ol_dist_info CHAR(24), PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+    "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_im_id INTEGER, \
+     i_name VARCHAR(24), i_price NUMERIC(5,2), i_data VARCHAR(50))",
+    "CREATE TABLE stock (s_i_id INTEGER, s_w_id INTEGER, s_quantity INTEGER, \
+     s_dist_01 CHAR(24), s_dist_02 CHAR(24), s_dist_03 CHAR(24), \
+     s_ytd NUMERIC(8,2), s_order_cnt INTEGER, s_remote_cnt INTEGER, \
+     s_data VARCHAR(50), PRIMARY KEY (s_w_id, s_i_id))",
+];
+
+/// Issues the nine `CREATE TABLE` statements over `conn`. Run this through
+/// the tracking proxy so every table transparently receives its `trid`
+/// column (and, on Sybase, the identity column).
+///
+/// # Errors
+///
+/// DDL failures (e.g. tables already exist).
+pub fn create_tables(conn: &mut dyn Connection) -> Result<(), WireError> {
+    for ddl in DDL {
+        conn.execute(ddl)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resildb_engine::{Database, Flavor};
+    use resildb_wire::{Driver, LinkProfile, NativeDriver};
+
+    #[test]
+    fn creates_all_nine_tables() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = NativeDriver::new(db.clone(), LinkProfile::local());
+        create_tables(&mut *driver.connect().unwrap()).unwrap();
+        let names = db.table_names();
+        for t in TPCC_TABLES {
+            assert!(names.contains(&t.to_string()), "{t} missing");
+        }
+    }
+
+    #[test]
+    fn through_proxy_tables_gain_trid() {
+        let db = Database::in_memory(Flavor::Sybase);
+        let native = NativeDriver::new(db.clone(), LinkProfile::local());
+        resildb_proxy::prepare_database(&mut *native.connect().unwrap()).unwrap();
+        let proxy = resildb_proxy::TrackingProxy::single_proxy(
+            db.clone(),
+            LinkProfile::local(),
+            resildb_proxy::ProxyConfig::new(Flavor::Sybase),
+        );
+        create_tables(&mut *proxy.connect().unwrap()).unwrap();
+        for t in TPCC_TABLES {
+            let schema = db.table(t).unwrap().read().schema().clone();
+            assert!(schema.has_column("trid"), "{t} lacks trid");
+            assert!(schema.has_column("rid"), "{t} lacks rid");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Wire-layer error type.
+
+use std::error::Error;
+use std::fmt;
+
+use resildb_engine::EngineError;
+
+/// Errors crossing the client/server boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The DBMS rejected or failed the statement.
+    Db(EngineError),
+    /// The proxy or transport itself failed.
+    Protocol(String),
+    /// The connection pool is exhausted.
+    PoolExhausted,
+}
+
+impl WireError {
+    /// True when retrying the whole transaction may succeed (deadlock
+    /// victim).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WireError::Db(EngineError::Deadlock))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Db(e) => write!(f, "database error: {e}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+            WireError::PoolExhausted => f.write_str("connection pool exhausted"),
+        }
+    }
+}
+
+impl Error for WireError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WireError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for WireError {
+    fn from(e: EngineError) -> Self {
+        WireError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlocks_are_retryable() {
+        assert!(WireError::Db(EngineError::Deadlock).is_retryable());
+        assert!(!WireError::Protocol("x".into()).is_retryable());
+        assert!(!WireError::Db(EngineError::UnknownTable("t".into())).is_retryable());
+    }
+
+    #[test]
+    fn source_chains_to_engine_error() {
+        let e = WireError::Db(EngineError::Deadlock);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

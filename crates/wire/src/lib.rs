@@ -1,0 +1,55 @@
+//! Client/server wire layer: drivers, proxy placements, connection pooling.
+//!
+//! The paper's tracking mechanism lives in a *JDBC proxy driver* that
+//! intercepts SQL text between a client and its DBMS (Figures 1 and 2).
+//! This crate reproduces that plumbing:
+//!
+//! * [`Driver`]/[`Connection`] — the JDBC-like abstraction clients code
+//!   against;
+//! * [`NativeDriver`] — the "real JDBC driver": talks straight to a
+//!   [`resildb_engine::Database`] over a (simulated) link;
+//! * [`Interceptor`] + [`InterceptDriver`] — the proxy-placement mechanism:
+//!   an interceptor sees every statement and may rewrite it, issue extra
+//!   statements, and post-process results (the dependency-tracking logic
+//!   itself lives in `resildb-proxy`);
+//! * [`single_proxy`]/[`dual_proxy`] — the two deployment architectures of
+//!   the paper: client-side single proxy (Figure 1) and client+server
+//!   proxy pair with a plain-text proxy protocol (Figure 2);
+//! * [`ConnectionPool`] — the server-side connection pooling process of
+//!   Figure 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use resildb_engine::{Database, Flavor};
+//! use resildb_wire::{Driver, LinkProfile, NativeDriver, Response};
+//!
+//! # fn main() -> Result<(), resildb_wire::WireError> {
+//! let db = Database::in_memory(Flavor::Postgres);
+//! let driver = NativeDriver::new(db, LinkProfile::local());
+//! let mut conn = driver.connect()?;
+//! conn.execute("CREATE TABLE t (a INTEGER)")?;
+//! match conn.execute("INSERT INTO t (a) VALUES (1)")? {
+//!     resildb_wire::Response::Affected(n) => assert_eq!(n, 1),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod error;
+mod message;
+mod pool;
+mod proxy;
+
+pub use driver::{Connection, Driver, LinkProfile, NativeDriver};
+pub use error::WireError;
+pub use message::{response_wire_bytes, Response};
+pub use pool::{ConnectionPool, PooledConnection};
+pub use proxy::{
+    dual_proxy, single_proxy, DualProxyDriver, InterceptDriver, Interceptor, InterceptorFactory,
+};

@@ -1,0 +1,107 @@
+//! Wire messages and size accounting.
+
+use resildb_engine::{ExecOutcome, QueryResult, Value};
+
+/// Successful statement outcome as seen by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query's rows.
+    Rows(QueryResult),
+    /// DML affected-row count.
+    Affected(u64),
+    /// DDL completed.
+    Ddl,
+    /// BEGIN/COMMIT/ROLLBACK completed.
+    TxnControl,
+}
+
+impl Response {
+    /// The rows, if this is a query response.
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            Response::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The affected-row count, if DML.
+    pub fn affected(&self) -> Option<u64> {
+        match self {
+            Response::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecOutcome> for Response {
+    fn from(o: ExecOutcome) -> Self {
+        match o {
+            ExecOutcome::Rows(r) => Response::Rows(r),
+            ExecOutcome::Affected(n) => Response::Affected(n),
+            ExecOutcome::Ddl => Response::Ddl,
+            ExecOutcome::TxnControl => Response::TxnControl,
+        }
+    }
+}
+
+fn value_wire_bytes(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::Bool(_) => 1,
+        Value::Null => 1,
+    }
+}
+
+/// Estimated size of a response on the wire, used to charge network
+/// transfer costs. Result sets dominate; scalar responses cost a fixed
+/// small header. The proxy's extra `trid` columns therefore widen SELECT
+/// responses, which is one of the overhead sources Figure 4 measures.
+pub fn response_wire_bytes(resp: &Response) -> usize {
+    const HEADER: usize = 16;
+    match resp {
+        Response::Rows(r) => {
+            let names: usize = r.columns.iter().map(|c| 2 + c.len()).sum();
+            let data: usize = r
+                .rows
+                .iter()
+                .map(|row| 4 + row.iter().map(value_wire_bytes).sum::<usize>())
+                .sum();
+            HEADER + names + data
+        }
+        _ => HEADER,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_results_cost_more() {
+        let narrow = Response::Rows(QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::Int(1)]],
+        });
+        let wide = Response::Rows(QueryResult {
+            columns: vec!["a".into(), "trid".into()],
+            rows: vec![vec![Value::Int(1), Value::Int(42)]],
+        });
+        assert!(response_wire_bytes(&wide) > response_wire_bytes(&narrow));
+    }
+
+    #[test]
+    fn scalar_responses_are_header_sized() {
+        assert_eq!(response_wire_bytes(&Response::Affected(5)), 16);
+        assert_eq!(response_wire_bytes(&Response::Ddl), 16);
+    }
+
+    #[test]
+    fn conversion_from_outcome() {
+        assert_eq!(
+            Response::from(ExecOutcome::Affected(3)).affected(),
+            Some(3)
+        );
+        assert!(Response::from(ExecOutcome::TxnControl).rows().is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Server-side connection pooling (the pooling process of paper Figure 2).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::driver::{Connection, Driver};
+use crate::error::WireError;
+use crate::message::Response;
+
+/// A bounded pool of connections created from one driver.
+///
+/// Checked-out connections return to the pool on drop. The pool is
+/// intentionally simple: it never validates idle connections (our simulated
+/// transports cannot go stale) and fails fast when `max` connections are
+/// simultaneously out.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_engine::{Database, Flavor};
+/// use resildb_wire::{Connection, ConnectionPool, LinkProfile, NativeDriver};
+///
+/// # fn main() -> Result<(), resildb_wire::WireError> {
+/// let db = Database::in_memory(Flavor::Oracle);
+/// let pool = ConnectionPool::new(NativeDriver::new(db, LinkProfile::local()), 4);
+/// let mut conn = pool.get()?;
+/// conn.execute("CREATE TABLE t (a INTEGER)")?;
+/// drop(conn); // returns to the pool
+/// assert_eq!(pool.idle(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ConnectionPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    driver: Box<dyn Driver>,
+    idle: Mutex<Vec<Box<dyn Connection>>>,
+    max: usize,
+    out: Mutex<usize>,
+}
+
+impl std::fmt::Debug for ConnectionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectionPool")
+            .field("max", &self.inner.max)
+            .field("idle", &self.idle())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConnectionPool {
+    /// Creates a pool over `driver` with at most `max` live connections.
+    pub fn new(driver: impl Driver + 'static, max: usize) -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                driver: Box::new(driver),
+                idle: Mutex::new(Vec::new()),
+                max,
+                out: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// Checks a connection out, creating one if none are idle.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::PoolExhausted`] when `max` connections are already out;
+    /// driver errors when creating a fresh connection fails.
+    pub fn get(&self) -> Result<PooledConnection, WireError> {
+        {
+            let mut out = self.inner.out.lock();
+            if *out >= self.inner.max {
+                return Err(WireError::PoolExhausted);
+            }
+            *out += 1;
+        }
+        let existing = self.inner.idle.lock().pop();
+        let conn = match existing {
+            Some(c) => c,
+            None => match self.inner.driver.connect() {
+                Ok(c) => c,
+                Err(e) => {
+                    *self.inner.out.lock() -= 1;
+                    return Err(e);
+                }
+            },
+        };
+        Ok(PooledConnection {
+            pool: Arc::clone(&self.inner),
+            conn: Some(conn),
+        })
+    }
+
+    /// Number of idle connections.
+    pub fn idle(&self) -> usize {
+        self.inner.idle.lock().len()
+    }
+
+    /// Number of checked-out connections.
+    pub fn in_use(&self) -> usize {
+        *self.inner.out.lock()
+    }
+}
+
+impl Clone for ConnectionPool {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A pooled connection; returns to its pool on drop.
+pub struct PooledConnection {
+    pool: Arc<PoolInner>,
+    conn: Option<Box<dyn Connection>>,
+}
+
+impl std::fmt::Debug for PooledConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledConnection").finish_non_exhaustive()
+    }
+}
+
+impl Connection for PooledConnection {
+    fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
+        self.conn
+            .as_mut()
+            .expect("connection present until drop")
+            .execute(sql)
+    }
+}
+
+impl Drop for PooledConnection {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.pool.idle.lock().push(conn);
+        }
+        *self.pool.out.lock() -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{LinkProfile, NativeDriver};
+    use resildb_engine::{Database, Flavor};
+
+    fn pool(max: usize) -> ConnectionPool {
+        let db = Database::in_memory(Flavor::Postgres);
+        ConnectionPool::new(NativeDriver::new(db, LinkProfile::local()), max)
+    }
+
+    #[test]
+    fn connections_are_reused() {
+        let p = pool(2);
+        let c1 = p.get().unwrap();
+        drop(c1);
+        assert_eq!(p.idle(), 1);
+        let _c2 = p.get().unwrap();
+        assert_eq!(p.idle(), 0, "idle connection was reused, not recreated");
+        assert_eq!(p.in_use(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_fails_fast() {
+        let p = pool(1);
+        let _held = p.get().unwrap();
+        assert!(matches!(p.get(), Err(WireError::PoolExhausted)));
+    }
+
+    #[test]
+    fn checked_out_connection_executes() {
+        let p = pool(1);
+        let mut c = p.get().unwrap();
+        c.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        c.execute("INSERT INTO t (a) VALUES (1)").unwrap();
+        let r = c.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(
+            r.rows().unwrap().rows[0][0],
+            resildb_engine::Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn clone_shares_the_pool() {
+        let p = pool(1);
+        let p2 = p.clone();
+        let _held = p.get().unwrap();
+        assert!(matches!(p2.get(), Err(WireError::PoolExhausted)));
+    }
+}

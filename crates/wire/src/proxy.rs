@@ -1,0 +1,261 @@
+//! Proxy placement architectures (paper Figures 1 and 2).
+//!
+//! The tracking logic is supplied as an [`Interceptor`]; this module wires
+//! it into the connection path in the two deployments the paper describes:
+//!
+//! * **Single proxy** (Figure 1): the interceptor runs inside the client's
+//!   proxy JDBC driver; every statement it issues (original or extra)
+//!   crosses the client↔server link.
+//! * **Dual proxy** (Figure 2): the client-side proxy only ships the SQL
+//!   text over a plain-text proxy protocol; the interceptor runs in the
+//!   server-side proxy, whose own connection to the DBMS is a local link —
+//!   so the *extra* statements the tracker issues stay on the server
+//!   machine. This also closes the bypass attack: clients that skip the
+//!   client proxy can be firewalled off from the DBMS port.
+
+use resildb_engine::Database;
+
+use crate::driver::{Connection, Driver, LinkProfile, NativeDriver};
+use crate::error::WireError;
+use crate::message::{response_wire_bytes, Response};
+
+/// Statement-interception hook: receives each client statement plus the
+/// downstream connection, and produces the response the client sees.
+pub trait Interceptor: Send {
+    /// Handles one client statement. Implementations may rewrite `sql`,
+    /// execute any number of statements on `downstream`, and post-process
+    /// results (e.g. strip harvested `trid` columns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates downstream errors; may add its own protocol errors.
+    fn intercept(
+        &mut self,
+        sql: &str,
+        downstream: &mut dyn Connection,
+    ) -> Result<Response, WireError>;
+}
+
+/// Factory producing one [`Interceptor`] per connection (each connection
+/// tracks its own open transaction).
+pub trait InterceptorFactory: Send + Sync {
+    /// Creates the interceptor for a new connection.
+    fn make(&self) -> Box<dyn Interceptor>;
+}
+
+impl<F> InterceptorFactory for F
+where
+    F: Fn() -> Box<dyn Interceptor> + Send + Sync,
+{
+    fn make(&self) -> Box<dyn Interceptor> {
+        self()
+    }
+}
+
+/// A driver wrapping `inner` connections with an interceptor.
+pub struct InterceptDriver<D> {
+    inner: D,
+    factory: Box<dyn InterceptorFactory>,
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for InterceptDriver<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InterceptDriver")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: Driver> InterceptDriver<D> {
+    /// Wraps `inner` so every connection runs `factory`'s interceptor.
+    pub fn new(inner: D, factory: Box<dyn InterceptorFactory>) -> Self {
+        Self { inner, factory }
+    }
+}
+
+impl<D: Driver> Driver for InterceptDriver<D> {
+    fn connect(&self) -> Result<Box<dyn Connection>, WireError> {
+        Ok(Box::new(InterceptConnection {
+            inner: self.inner.connect()?,
+            interceptor: self.factory.make(),
+        }))
+    }
+}
+
+struct InterceptConnection {
+    inner: Box<dyn Connection>,
+    interceptor: Box<dyn Interceptor>,
+}
+
+impl Connection for InterceptConnection {
+    fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
+        self.interceptor.intercept(sql, self.inner.as_mut())
+    }
+}
+
+/// Builds the Figure 1 architecture: a client-side proxy driver whose
+/// interceptor talks to the DBMS over the client↔server link, so every
+/// statement the tracker issues pays that link's latency.
+pub fn single_proxy(
+    db: Database,
+    client_link: LinkProfile,
+    factory: Box<dyn InterceptorFactory>,
+) -> InterceptDriver<NativeDriver> {
+    InterceptDriver::new(NativeDriver::new(db, client_link), factory)
+}
+
+/// Builds the Figure 2 architecture: the client proxy ships SQL text over
+/// `client_link` to a server-side proxy, which runs the interceptor against
+/// the DBMS over a local link.
+pub fn dual_proxy(
+    db: Database,
+    client_link: LinkProfile,
+    factory: Box<dyn InterceptorFactory>,
+) -> DualProxyDriver {
+    DualProxyDriver {
+        db: db.clone(),
+        client_link,
+        server_side: InterceptDriver::new(NativeDriver::new(db, LinkProfile::local()), factory),
+    }
+}
+
+/// Driver for the dual-proxy deployment (see [`dual_proxy`]).
+pub struct DualProxyDriver {
+    db: Database,
+    client_link: LinkProfile,
+    server_side: InterceptDriver<NativeDriver>,
+}
+
+impl std::fmt::Debug for DualProxyDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DualProxyDriver")
+            .field("client_link", &self.client_link)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Driver for DualProxyDriver {
+    fn connect(&self) -> Result<Box<dyn Connection>, WireError> {
+        Ok(Box::new(DualProxyConnection {
+            db: self.db.clone(),
+            client_link: self.client_link,
+            server_conn: self.server_side.connect()?,
+        }))
+    }
+}
+
+struct DualProxyConnection {
+    db: Database,
+    client_link: LinkProfile,
+    server_conn: Box<dyn Connection>,
+}
+
+impl Connection for DualProxyConnection {
+    fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
+        // Client proxy → server proxy: plain-text proxy protocol, one round
+        // trip carrying the original SQL and the final response.
+        let response = self.server_conn.execute(sql)?;
+        let bytes = sql.len() + response_wire_bytes(&response);
+        self.db
+            .sim()
+            .charge_link(self.client_link.rtt, self.client_link.per_byte_ns, bytes);
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resildb_engine::Flavor;
+
+    /// An interceptor that upper-cases nothing but counts statements and
+    /// issues one extra bookkeeping statement per INSERT.
+    struct Counting {
+        extra_table_ready: bool,
+    }
+
+    impl Interceptor for Counting {
+        fn intercept(
+            &mut self,
+            sql: &str,
+            downstream: &mut dyn Connection,
+        ) -> Result<Response, WireError> {
+            if !self.extra_table_ready && sql.trim_start().to_ascii_uppercase().starts_with("INSERT") {
+                downstream.execute("CREATE TABLE audit (n INTEGER)")?;
+                self.extra_table_ready = true;
+            }
+            let resp = downstream.execute(sql)?;
+            if sql.trim_start().to_ascii_uppercase().starts_with("INSERT") {
+                downstream.execute("INSERT INTO audit (n) VALUES (1)")?;
+            }
+            Ok(resp)
+        }
+    }
+
+    fn factory() -> Box<dyn InterceptorFactory> {
+        Box::new(|| {
+            Box::new(Counting {
+                extra_table_ready: false,
+            }) as Box<dyn Interceptor>
+        })
+    }
+
+    #[test]
+    fn single_proxy_intercepts_and_issues_extras() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = single_proxy(db.clone(), LinkProfile::local(), factory());
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        conn.execute("INSERT INTO t (a) VALUES (5)").unwrap();
+        assert_eq!(db.row_count("audit").unwrap(), 1);
+    }
+
+    #[test]
+    fn dual_proxy_extra_statements_avoid_client_link() {
+        // Same workload on both architectures over an expensive client
+        // link: dual proxy must spend less virtual time because the audit
+        // statements stay on the local leg.
+        let run = |dual: bool| {
+            let sim = resildb_sim::SimContext::new(resildb_sim::CostModel::free(), 64);
+            let db = Database::new("x", Flavor::Postgres, sim);
+            let link = LinkProfile::lan();
+            let driver: Box<dyn Driver> = if dual {
+                Box::new(dual_proxy(db.clone(), link, factory()))
+            } else {
+                Box::new(single_proxy(db.clone(), link, factory()))
+            };
+            let mut conn = driver.connect().unwrap();
+            conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+            for i in 0..20 {
+                conn.execute(&format!("INSERT INTO t (a) VALUES ({i})")).unwrap();
+            }
+            db.sim().clock().now()
+        };
+        let single_time = run(false);
+        let dual_time = run(true);
+        assert!(
+            dual_time < single_time,
+            "dual proxy ({dual_time}) should beat single proxy ({single_time}) \
+             when extra statements are frequent"
+        );
+    }
+
+    #[test]
+    fn dual_proxy_still_tracks() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = dual_proxy(db.clone(), LinkProfile::lan(), factory());
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        conn.execute("INSERT INTO t (a) VALUES (5)").unwrap();
+        conn.execute("INSERT INTO t (a) VALUES (6)").unwrap();
+        assert_eq!(db.row_count("audit").unwrap(), 2);
+    }
+
+    #[test]
+    fn interceptor_errors_propagate() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = single_proxy(db, LinkProfile::local(), factory());
+        let mut conn = driver.connect().unwrap();
+        assert!(conn.execute("SELECT * FROM nope").is_err());
+    }
+}

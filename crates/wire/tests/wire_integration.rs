@@ -1,0 +1,140 @@
+//! Wire-layer integration: pooling over proxy drivers, concurrent clients,
+//! and cost accounting across the deployment architectures.
+
+use resildb_engine::{Database, Flavor};
+use resildb_sim::{CostModel, Micros, SimContext};
+use resildb_wire::{
+    dual_proxy, single_proxy, Connection, ConnectionPool, Driver, Interceptor,
+    InterceptorFactory, LinkProfile, NativeDriver, Response, WireError,
+};
+
+/// A pass-through interceptor that tags a session-local statement count
+/// into a bookkeeping table, proving per-connection interceptor state.
+struct Counting {
+    statements: u64,
+}
+
+impl Interceptor for Counting {
+    fn intercept(
+        &mut self,
+        sql: &str,
+        downstream: &mut dyn Connection,
+    ) -> Result<Response, WireError> {
+        self.statements += 1;
+        downstream.execute(sql)
+    }
+}
+
+fn factory() -> Box<dyn InterceptorFactory> {
+    Box::new(|| Box::new(Counting { statements: 0 }) as Box<dyn Interceptor>)
+}
+
+#[test]
+fn pool_over_proxy_driver_keeps_interceptors_per_connection() {
+    let db = Database::in_memory(Flavor::Postgres);
+    let driver = single_proxy(db.clone(), LinkProfile::local(), factory());
+    let pool = ConnectionPool::new(driver, 2);
+    {
+        let mut c1 = pool.get().unwrap();
+        c1.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let mut c2 = pool.get().unwrap();
+        c2.execute("INSERT INTO t (a) VALUES (1)").unwrap();
+        assert_eq!(pool.in_use(), 2);
+    }
+    assert_eq!(pool.idle(), 2);
+    assert_eq!(db.row_count("t").unwrap(), 1);
+}
+
+#[test]
+fn concurrent_pooled_clients_share_one_database() {
+    let db = Database::in_memory(Flavor::Oracle);
+    {
+        let mut c = NativeDriver::new(db.clone(), LinkProfile::local())
+            .connect()
+            .unwrap();
+        c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    }
+    let pool = ConnectionPool::new(
+        NativeDriver::new(db.clone(), LinkProfile::local()),
+        8,
+    );
+    let mut handles = Vec::new();
+    for t in 0..4i64 {
+        let pool = pool.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut conn = pool.get().unwrap();
+            for i in 0..10 {
+                conn.execute(&format!(
+                    "INSERT INTO t (id, v) VALUES ({}, {i})",
+                    t * 100 + i
+                ))
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(db.row_count("t").unwrap(), 40);
+    // Between 1 and 4 connections were created depending on scheduling;
+    // all of them must be back in the pool.
+    assert_eq!(pool.in_use(), 0);
+    assert!((1..=4).contains(&pool.idle()), "idle: {}", pool.idle());
+}
+
+#[test]
+fn network_bytes_scale_with_result_width() {
+    let sim = SimContext::new(CostModel::free(), 64);
+    let db = Database::new("x", Flavor::Postgres, sim);
+    let mut conn = NativeDriver::new(db.clone(), LinkProfile::lan())
+        .connect()
+        .unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER, pad VARCHAR(100))").unwrap();
+    for i in 0..20 {
+        conn.execute(&format!(
+            "INSERT INTO t (a, pad) VALUES ({i}, 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx')"
+        ))
+        .unwrap();
+    }
+    let before = db.sim().stats().network_bytes.get();
+    conn.execute("SELECT a FROM t").unwrap();
+    let narrow = db.sim().stats().network_bytes.get() - before;
+    let before = db.sim().stats().network_bytes.get();
+    conn.execute("SELECT a, pad FROM t").unwrap();
+    let wide = db.sim().stats().network_bytes.get() - before;
+    assert!(
+        wide > narrow + 20 * 40,
+        "padding columns must show up on the wire: narrow {narrow}, wide {wide}"
+    );
+}
+
+#[test]
+fn dual_proxy_charges_client_link_once_per_client_statement() {
+    let sim = SimContext::new(CostModel::free(), 64);
+    let db = Database::new("x", Flavor::Postgres, sim);
+    let driver = dual_proxy(db.clone(), LinkProfile::lan(), factory());
+    let mut conn = driver.connect().unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    conn.execute("INSERT INTO t (a) VALUES (1)").unwrap();
+    // Each client statement = 1 client-proxy round trip + 1 local
+    // (server-proxy → DBMS) round trip.
+    assert_eq!(db.sim().stats().round_trips.get(), 4);
+    // The LAN leg dominates the clock: >= 2 × 200us.
+    assert!(db.sim().clock().now() >= Micros::new(2 * 200));
+}
+
+#[test]
+fn pool_recovers_capacity_after_connect_failure() {
+    /// A driver that fails every connection attempt.
+    struct Broken;
+    impl Driver for Broken {
+        fn connect(&self) -> Result<Box<dyn Connection>, WireError> {
+            Err(WireError::Protocol("down".into()))
+        }
+    }
+    let pool = ConnectionPool::new(Broken, 1);
+    assert!(pool.get().is_err());
+    // The failed checkout must not leak capacity.
+    assert_eq!(pool.in_use(), 0);
+    assert!(pool.get().is_err(), "still failing, but not exhausted");
+}

@@ -1,0 +1,89 @@
+//! The paper's portability demonstration: the identical scenario repaired
+//! on all three DBMS flavors, printing what each flavor's log pipeline
+//! actually looks like on the way (LogMiner redo/undo SQL for Oracle, raw
+//! WAL records for PostgreSQL, `dbcc log` records for Sybase).
+//!
+//! Run with: `cargo run --example portability`
+
+use resildb_core::{Flavor, ResilientDb, Value};
+use resildb_engine::introspect;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for flavor in Flavor::ALL {
+        println!("==================== {flavor} ====================");
+        let rdb = ResilientDb::new(flavor)?;
+        let mut conn = rdb.connect()?;
+        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)")?;
+        conn.execute("INSERT INTO acct (id, bal) VALUES (1, 100.0), (2, 50.0)")?;
+        conn.execute("ANNOTATE attack")?;
+        conn.execute("BEGIN")?;
+        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1")?;
+        conn.execute("COMMIT")?;
+        conn.execute("ANNOTATE dependent")?;
+        conn.execute("BEGIN")?;
+        conn.execute("SELECT bal FROM acct WHERE id = 1")?;
+        conn.execute("UPDATE acct SET bal = bal + 7.0 WHERE id = 2")?;
+        conn.execute("COMMIT")?;
+
+        // Show this flavor's native log interface, as the repair adapter
+        // sees it.
+        match flavor {
+            Flavor::Oracle => {
+                println!("v$logmnr_contents (UPDATE rows):");
+                for row in introspect::logminer(rdb.database())? {
+                    if row.operation == "UPDATE" {
+                        println!("  redo: {}", row.sql_redo.as_deref().unwrap_or("-"));
+                        println!("  undo: {}", row.sql_undo.as_deref().unwrap_or("-"));
+                    }
+                }
+            }
+            Flavor::Postgres => {
+                println!("WAL records (UPDATEs, full images):");
+                for rec in introspect::waldump(rdb.database())? {
+                    if rec.op_name == "UPDATE" {
+                        println!(
+                            "  {} row {:?} page {:?}: {:?} -> {:?}",
+                            rec.table.as_deref().unwrap_or("-"),
+                            rec.rowid,
+                            rec.loc.map(|l| (l.page, l.offset)),
+                            rec.before.as_ref().map(|r| r.values().len()),
+                            rec.after.as_ref().map(|r| r.values().len()),
+                        );
+                    }
+                }
+            }
+            Flavor::Sybase => {
+                println!("dbcc log (MODIFY records carry only changed attributes):");
+                for rec in introspect::dbcc_log(rdb.database())? {
+                    if rec.op == introspect::DbccOp::Modify {
+                        println!(
+                            "  {} page {} offset {} len {}: {} delta bytes",
+                            rec.table,
+                            rec.page,
+                            rec.offset,
+                            rec.len,
+                            rec.bytes.len()
+                        );
+                    }
+                }
+            }
+        }
+
+        // The repair itself is flavor-independent from the caller's view.
+        let attack = rdb.txn_id_by_label("attack")?.expect("tracked");
+        let report = rdb.repair(&[attack], &[])?;
+        let mut s = rdb.database().session();
+        let rows = s.query("SELECT id, bal FROM acct ORDER BY id")?.rows;
+        println!(
+            "repair rolled back {} txns; final state: acct1={} acct2={}",
+            report.undo_set.len(),
+            rows[0][1],
+            rows[1][1]
+        );
+        assert_eq!(rows[0][1], Value::Float(100.0));
+        assert_eq!(rows[1][1], Value::Float(50.0));
+        println!();
+    }
+    println!("identical outcome on all three flavors — the framework is portable.");
+    Ok(())
+}

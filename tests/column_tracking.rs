@@ -1,0 +1,142 @@
+//! End-to-end tests of column-level (per-attribute) dependency tracking —
+//! the §6 extension: false sharing disappears *without* any DBA rules.
+
+use resildb_core::{Flavor, ResilientDb, TrackingGranularity, Value};
+
+#[test]
+fn facade_exposes_column_granularity() {
+    let rdb = ResilientDb::builder(Flavor::Postgres)
+        .granularity(TrackingGranularity::Column)
+        .build()
+        .unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    let schema = rdb.database().table("t").unwrap().read().schema().clone();
+    assert!(schema.has_column("trid"));
+    assert!(schema.has_column("trid__a"));
+    assert!(schema.has_column("trid__b"));
+}
+
+#[test]
+fn false_sharing_vanishes_without_rules() {
+    // The paper's §5.3 scenario, with NO DBA rules at all.
+    let rdb = ResilientDb::builder(Flavor::Postgres)
+        .granularity(TrackingGranularity::Column)
+        .build()
+        .unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute(
+        "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)",
+    )
+    .unwrap();
+    conn.execute("INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 0.05, 0.0)").unwrap();
+
+    // Attack bumps only w_ytd.
+    conn.execute("ANNOTATE attack").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("UPDATE warehouse SET w_ytd = w_ytd + 5000.0 WHERE w_id = 1").unwrap();
+    conn.execute("COMMIT").unwrap();
+
+    // A New-Order-like txn reads w_tax of the same row and writes.
+    conn.execute("ANNOTATE neworder").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("SELECT w_tax FROM warehouse WHERE w_id = 1").unwrap();
+    conn.execute("UPDATE warehouse SET w_tax = 0.06 WHERE w_id = 1").unwrap();
+    conn.execute("COMMIT").unwrap();
+
+    // An audit txn genuinely reads w_ytd and writes.
+    conn.execute("ANNOTATE audit").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap();
+    conn.execute("UPDATE warehouse SET w_tax = 0.07 WHERE w_id = 1").unwrap();
+    conn.execute("COMMIT").unwrap();
+
+    let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
+    let neworder = rdb.txn_id_by_label("neworder").unwrap().unwrap();
+    let audit = rdb.txn_id_by_label("audit").unwrap().unwrap();
+
+    let analysis = rdb.analyze().unwrap();
+    let undo = analysis.undo_set(&[attack], &[]); // NO rules
+    assert!(
+        !undo.contains(&neworder),
+        "w_tax reader must not depend on a w_ytd writer: {undo:?}"
+    );
+    assert!(
+        undo.contains(&audit),
+        "w_ytd reader genuinely depends on the attack: {undo:?}"
+    );
+}
+
+#[test]
+fn per_column_write_write_chains_are_precise() {
+    // Two writers touch disjoint columns of one row; a third overwrites
+    // one of them. Only the matching chain is dependent.
+    let rdb = ResilientDb::builder(Flavor::Oracle)
+        .granularity(TrackingGranularity::Column)
+        .build()
+        .unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)").unwrap();
+    conn.execute("INSERT INTO t (id, a, b) VALUES (1, 0, 0)").unwrap();
+    for (label, stmt) in [
+        ("writes_a", "UPDATE t SET a = 1 WHERE id = 1"),
+        ("writes_b", "UPDATE t SET b = 2 WHERE id = 1"),
+        ("overwrites_a", "UPDATE t SET a = 3 WHERE id = 1"),
+    ] {
+        conn.execute(&format!("ANNOTATE {label}")).unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute(stmt).unwrap();
+        conn.execute("COMMIT").unwrap();
+    }
+    let writes_a = rdb.txn_id_by_label("writes_a").unwrap().unwrap();
+    let writes_b = rdb.txn_id_by_label("writes_b").unwrap().unwrap();
+    let overwrites_a = rdb.txn_id_by_label("overwrites_a").unwrap().unwrap();
+    let analysis = rdb.analyze().unwrap();
+    assert!(analysis.graph.dependencies_of(overwrites_a).contains(&writes_a));
+    assert!(
+        !analysis.graph.dependencies_of(overwrites_a).contains(&writes_b),
+        "disjoint-column writers must not chain: {:?}",
+        analysis.graph.dependencies_of(overwrites_a)
+    );
+}
+
+#[test]
+fn column_level_repair_round_trips_on_all_flavors() {
+    for flavor in Flavor::ALL {
+        let rdb = ResilientDb::builder(flavor)
+            .granularity(TrackingGranularity::Column)
+            .build()
+            .unwrap();
+        let mut conn = rdb.connect().unwrap();
+        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT, note VARCHAR(8))")
+            .unwrap();
+        conn.execute("INSERT INTO acct (id, bal, note) VALUES (1, 100.0, 'ok'), (2, 50.0, 'ok')")
+            .unwrap();
+        conn.execute("ANNOTATE attack").unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1").unwrap();
+        conn.execute("COMMIT").unwrap();
+        // Dependent via the *bal* column specifically.
+        conn.execute("ANNOTATE dep").unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("SELECT bal FROM acct WHERE id = 1").unwrap();
+        conn.execute("UPDATE acct SET bal = bal + 1.0 WHERE id = 2").unwrap();
+        conn.execute("COMMIT").unwrap();
+        // Independent: touches only the note column of the same row.
+        conn.execute("ANNOTATE indep").unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("SELECT note FROM acct WHERE id = 1").unwrap();
+        conn.execute("UPDATE acct SET note = 'seen' WHERE id = 2").unwrap();
+        conn.execute("COMMIT").unwrap();
+
+        let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
+        let indep = rdb.txn_id_by_label("indep").unwrap().unwrap();
+        let report = rdb.repair(&[attack], &[]).unwrap();
+        assert!(!report.undo_set.contains(&indep), "{flavor}: {report:?}");
+        let mut s = rdb.database().session();
+        let r = s.query("SELECT bal, note FROM acct ORDER BY id").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(100.0), "{flavor}");
+        assert_eq!(r.rows[1][0], Value::Float(50.0), "{flavor}");
+        assert_eq!(r.rows[1][1], Value::from("seen"), "{flavor}: indep preserved");
+    }
+}

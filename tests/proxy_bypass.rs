@@ -1,0 +1,88 @@
+//! The bypass attack the paper's Figure 2 discussion warns about: a client
+//! that connects with the standard driver, skipping the proxy, is not
+//! tracked — its transactions cannot be identified or selectively rolled
+//! back. These tests document that limitation and show the dual-proxy
+//! deployment's tracking still covers proxied clients.
+
+use resildb_core::{Flavor, ProxyPlacement, ResilientDb, Value};
+
+#[test]
+fn bypassing_attacker_is_invisible_to_dependency_tracking() {
+    let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+    let mut good = rdb.connect().unwrap();
+    good.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    good.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
+
+    // The attacker uses a standard driver, bypassing the proxy.
+    let mut evil = rdb.connect_untracked().unwrap();
+    evil.execute("UPDATE t SET v = 666 WHERE id = 1").unwrap();
+
+    let analysis = rdb.analyze().unwrap();
+    // Only the legitimate transaction is tracked.
+    assert_eq!(analysis.tracked_transactions().len(), 1);
+
+    // The attacker's write IS in the log (it cannot hide from the WAL)…
+    let updates = analysis
+        .records
+        .iter()
+        .filter(|r| matches!(r.op, resildb_repair::RepairOp::Update { .. }))
+        .count();
+    assert_eq!(updates, 1);
+    // …but it has no proxy id, so the selective-undo machinery cannot
+    // address it: no correlation entry exists.
+    let update_rec = analysis
+        .records
+        .iter()
+        .find(|r| matches!(r.op, resildb_repair::RepairOp::Update { .. }))
+        .unwrap();
+    assert_eq!(
+        analysis.correlation.proxy_id(update_rec.internal_txn),
+        None,
+        "bypass transaction must be uncorrelated"
+    );
+}
+
+#[test]
+fn bypass_write_does_not_break_later_tracking_or_repair() {
+    let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+    let mut good = rdb.connect().unwrap();
+    good.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    good.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
+
+    let mut evil = rdb.connect_untracked().unwrap();
+    // The bypass write leaves the trid column untouched (it does not even
+    // know about it), so the row still appears to be last written by the
+    // loader transaction.
+    evil.execute("UPDATE t SET v = 666 WHERE id = 1").unwrap();
+
+    // A tracked attack afterwards is still fully repairable.
+    good.execute("ANNOTATE attack").unwrap();
+    good.execute("BEGIN").unwrap();
+    good.execute("UPDATE t SET v = 777 WHERE id = 1").unwrap();
+    good.execute("COMMIT").unwrap();
+    let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
+    rdb.repair(&[attack], &[]).unwrap();
+    let mut s = rdb.database().session();
+    let r = s.query("SELECT v FROM t WHERE id = 1").unwrap();
+    // Repair restores the pre-attack image — which includes the bypass
+    // write (the framework cannot distinguish it from legitimate data).
+    assert_eq!(r.rows[0][0], Value::Int(666));
+}
+
+#[test]
+fn dual_proxy_tracks_proxied_clients_end_to_end() {
+    let rdb = ResilientDb::builder(Flavor::Sybase)
+        .placement(ProxyPlacement::Dual)
+        .build()
+        .unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("ANNOTATE attack").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 666)").unwrap();
+    conn.execute("COMMIT").unwrap();
+    let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
+    let report = rdb.repair(&[attack], &[]).unwrap();
+    assert_eq!(report.undo_set.len(), 1);
+    assert_eq!(rdb.database().row_count("t").unwrap(), 0);
+}
