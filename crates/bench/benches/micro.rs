@@ -33,10 +33,10 @@ fn bench_rewrite(c: &mut Criterion) {
             .unwrap()
         })
     });
-    let Statement::Update(upd) =
-        parse_statement("UPDATE stock SET s_quantity = 10, s_ytd = s_ytd + 5 WHERE s_w_id = 1 AND s_i_id = 7")
-            .unwrap()
-    else {
+    let Statement::Update(upd) = parse_statement(
+        "UPDATE stock SET s_quantity = 10, s_ytd = s_ytd + 5 WHERE s_w_id = 1 AND s_i_id = 7",
+    )
+    .unwrap() else {
         unreachable!()
     };
     c.bench_function("proxy_rewrite_update", |b| {
@@ -46,6 +46,42 @@ fn bench_rewrite(c: &mut Criterion) {
                 42,
                 resildb_proxy::TrackingGranularity::Row,
             )
+        })
+    });
+}
+
+fn bench_rewrite_cache(c: &mut Criterion) {
+    use resildb_sql::{collect_params, parse_template, scan_statement, SqlTemplate};
+
+    // Cold: what every occurrence of the statement pays without the cache —
+    // lex + parse, clone-rewrite, print.
+    c.bench_function("rewrite_cold", |b| {
+        b.iter(|| {
+            let Statement::Select(sel) = parse_statement(std::hint::black_box(SELECT_SQL)).unwrap()
+            else {
+                unreachable!()
+            };
+            let (rewritten, _plan) =
+                resildb_proxy::rewrite_select(&sel, resildb_proxy::TrackingGranularity::Row)
+                    .unwrap();
+            rewritten.to_string()
+        })
+    });
+
+    // Cached: what a rewrite-cache hit pays — fingerprint-scan the incoming
+    // text, then splice its literals into the pre-rewritten template.
+    let scan = scan_statement(SELECT_SQL).unwrap();
+    let Statement::Select(sel) = parse_template(SELECT_SQL, &scan).unwrap() else {
+        unreachable!()
+    };
+    let (rewritten, _plan) =
+        resildb_proxy::rewrite_select(&sel, resildb_proxy::TrackingGranularity::Row).unwrap();
+    let stmt = Statement::Select(rewritten);
+    let tmpl = SqlTemplate::new(stmt.to_string(), &collect_params(&stmt)).unwrap();
+    c.bench_function("rewrite_cached", |b| {
+        b.iter(|| {
+            let scan = scan_statement(std::hint::black_box(SELECT_SQL)).unwrap();
+            tmpl.splice(SELECT_SQL, &scan.spans, 0)
         })
     });
 }
@@ -76,7 +112,11 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| session.query("SELECT v FROM t WHERE id = 250").unwrap())
     });
     c.bench_function("engine_point_update_by_pk", |b| {
-        b.iter(|| session.execute_sql("UPDATE t SET v = v + 1 WHERE id = 250").unwrap())
+        b.iter(|| {
+            session
+                .execute_sql("UPDATE t SET v = v + 1 WHERE id = 250")
+                .unwrap()
+        })
     });
 }
 
@@ -86,7 +126,10 @@ fn bench_tracked_path(c: &mut Criterion) {
         b.iter(|| conn.execute("SELECT v FROM t WHERE id = 250").unwrap())
     });
     c.bench_function("tracked_autocommit_update", |b| {
-        b.iter(|| conn.execute("UPDATE t SET v = v + 1 WHERE id = 250").unwrap())
+        b.iter(|| {
+            conn.execute("UPDATE t SET v = v + 1 WHERE id = 250")
+                .unwrap()
+        })
     });
 }
 
@@ -95,13 +138,19 @@ fn bench_repair_analysis(c: &mut Criterion) {
     let (rdb, mut conn) = tracked_db();
     for i in 0..200 {
         conn.execute("BEGIN").unwrap();
-        conn.execute(&format!("SELECT v FROM t WHERE id = {}", i % 500)).unwrap();
-        conn.execute(&format!("UPDATE t SET v = v + 1 WHERE id = {}", (i + 1) % 500))
+        conn.execute(&format!("SELECT v FROM t WHERE id = {}", i % 500))
             .unwrap();
+        conn.execute(&format!(
+            "UPDATE t SET v = v + 1 WHERE id = {}",
+            (i + 1) % 500
+        ))
+        .unwrap();
         conn.execute("COMMIT").unwrap();
     }
     let tool = rdb.repair_tool();
-    c.bench_function("repair_analyze_200_txns", |b| b.iter(|| tool.analyze().unwrap()));
+    c.bench_function("repair_analyze_200_txns", |b| {
+        b.iter(|| tool.analyze().unwrap())
+    });
     let analysis = tool.analyze().unwrap();
     let first = *analysis.tracked_transactions().iter().next().unwrap();
     c.bench_function("repair_closure_200_txns", |b| {
@@ -134,6 +183,6 @@ fn bench_page_compaction(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sql, bench_rewrite, bench_engine, bench_tracked_path, bench_repair_analysis, bench_page_compaction
+    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_page_compaction
 );
 criterion_main!(benches);

@@ -87,7 +87,10 @@ pub fn render(rows: &[AblationRow]) -> String {
     let mut out = String::from(
         "Ablation: tracking-overhead decomposition (read/write mix, W=10, networked)\n\n",
     );
-    out.push_str(&format!("{:<34} {:>12} {:>10}\n", "configuration", "tps", "overhead"));
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>10}\n",
+        "configuration", "tps", "overhead"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:<34} {:>12.2} {:>9.1}%\n",

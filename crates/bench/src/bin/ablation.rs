@@ -3,5 +3,8 @@
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", resildb_bench::ablation::render(&resildb_bench::ablation::run(quick)));
+    print!(
+        "{}",
+        resildb_bench::ablation::render(&resildb_bench::ablation::run(quick))
+    );
 }

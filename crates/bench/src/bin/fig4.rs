@@ -1,14 +1,21 @@
 //! Regenerates paper Figure 4: inter-transaction dependency tracking
-//! overhead over the four panels. Pass `--quick` for a reduced run.
+//! overhead over the four panels. Pass `--quick` for a reduced run and
+//! `--no-rewrite-cache` to disable the proxy's statement-template cache
+//! (the ablation isolating what cached rewrites buy back).
 
-use resildb_bench::fig4::{render, run, Scale};
+use resildb_bench::fig4::{render, run_with, Scale};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
-    let cells = run(scale);
+    let rewrite_cache = !args.iter().any(|a| a == "--no-rewrite-cache");
+    if !rewrite_cache {
+        println!("(proxy statement-template rewrite cache DISABLED)");
+    }
+    let cells = run_with(scale, rewrite_cache);
     print!("{}", render(&cells));
 }

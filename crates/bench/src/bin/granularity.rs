@@ -6,5 +6,8 @@ fn main() {
     let t_detect = if quick { 40 } else { 150 };
     let cost = resildb_bench::granularity::run_cost_comparison(quick);
     let accuracy = resildb_bench::granularity::run_accuracy_comparison(t_detect);
-    print!("{}", resildb_bench::granularity::render(&cost, &accuracy, t_detect));
+    print!(
+        "{}",
+        resildb_bench::granularity::render(&cost, &accuracy, t_detect)
+    );
 }

@@ -3,6 +3,13 @@
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let grid: Vec<usize> = if quick { vec![30] } else { vec![50, 100, 200, 400, 700] };
-    print!("{}", resildb_bench::mttr::render(&resildb_bench::mttr::run(&grid)));
+    let grid: Vec<usize> = if quick {
+        vec![30]
+    } else {
+        vec![50, 100, 200, 400, 700]
+    };
+    print!(
+        "{}",
+        resildb_bench::mttr::render(&resildb_bench::mttr::run(&grid))
+    );
 }

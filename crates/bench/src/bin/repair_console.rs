@@ -13,8 +13,8 @@
 
 use std::io::{BufRead, Write as _};
 
-use resildb_core::{FalseDepRule, Flavor, LinkProfile, ProxyConfig, SimContext, Value};
 use resildb_core::WhatIfSession;
+use resildb_core::{FalseDepRule, Flavor, LinkProfile, ProxyConfig, SimContext, Value};
 use resildb_tpcc::{Attack, AttackKind, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
 
 const HELP: &str = "\
@@ -51,7 +51,9 @@ fn main() {
     .expect("prepare demo database");
     let mut conn = bench.conn;
     let mut runner = TpccRunner::new(config, 3);
-    Mix::standard(8, 1).run(&mut runner, &mut *conn).expect("warmup");
+    Mix::standard(8, 1)
+        .run(&mut runner, &mut *conn)
+        .expect("warmup");
     Attack {
         kind: AttackKind::ForgedPayment,
         w_id: 1,
@@ -60,7 +62,9 @@ fn main() {
     }
     .execute(&mut *conn)
     .expect("attack");
-    Mix::standard(10, 2).run(&mut runner, &mut *conn).expect("post-attack");
+    Mix::standard(10, 2)
+        .run(&mut runner, &mut *conn)
+        .expect("post-attack");
     drop(conn);
     let db = bench.db;
 

@@ -58,6 +58,7 @@ fn throughput(
     read_intensive: bool,
     large_footprint: bool,
     scale: Scale,
+    rewrite_cache: bool,
 ) -> (f64, f64) {
     let cost = if networked {
         costs::networked()
@@ -80,8 +81,10 @@ fn throughput(
     let mut pc = resildb_core::ProxyConfig::new(flavor);
     pc.record_provenance = false;
     pc.record_read_only_deps = true;
-    let mut bench =
-        prepare(flavor, setup, &config, sim, link, Some(pc), 42).expect("prepare");
+    if !rewrite_cache {
+        pc = pc.without_rewrite_cache();
+    }
+    let mut bench = prepare(flavor, setup, &config, sim, link, Some(pc), 42).expect("prepare");
 
     let mix = match (read_intensive, scale) {
         (true, Scale::Full) => Mix::read_intensive(100),
@@ -104,17 +107,42 @@ fn throughput(
     let stats = bench.db.sim().stats();
     let hits = (stats.page_hits.get() - h0) as f64;
     let misses = (stats.page_misses.get() - m0) as f64;
-    let ratio = if hits + misses == 0.0 { 1.0 } else { hits / (hits + misses) };
+    let ratio = if hits + misses == 0.0 {
+        1.0
+    } else {
+        hits / (hits + misses)
+    };
     (tps, ratio)
 }
 
-/// Runs one cell (baseline + proxy).
+/// Runs one cell (baseline + proxy) with the proxy's rewrite cache on.
 pub fn run_cell(
     flavor: Flavor,
     networked: bool,
     read_intensive: bool,
     large_footprint: bool,
     scale: Scale,
+) -> Cell {
+    run_cell_with(
+        flavor,
+        networked,
+        read_intensive,
+        large_footprint,
+        scale,
+        true,
+    )
+}
+
+/// Runs one cell, optionally with the proxy's statement-template rewrite
+/// cache disabled (`fig4 --no-rewrite-cache` — the ablation showing what
+/// the cache buys back of the tracking overhead).
+pub fn run_cell_with(
+    flavor: Flavor,
+    networked: bool,
+    read_intensive: bool,
+    large_footprint: bool,
+    scale: Scale,
+    rewrite_cache: bool,
 ) -> Cell {
     let (base_tps, base_hit_ratio) = throughput(
         flavor,
@@ -123,6 +151,7 @@ pub fn run_cell(
         read_intensive,
         large_footprint,
         scale,
+        rewrite_cache,
     );
     let (proxy_tps, _) = throughput(
         flavor,
@@ -131,6 +160,7 @@ pub fn run_cell(
         read_intensive,
         large_footprint,
         scale,
+        rewrite_cache,
     );
     Cell {
         flavor,
@@ -145,17 +175,23 @@ pub fn run_cell(
 
 /// Runs all 24 cells of Figure 4 (4 panels × 3 flavors × 2 links).
 pub fn run(scale: Scale) -> Vec<Cell> {
+    run_with(scale, true)
+}
+
+/// Runs all 24 cells, optionally with the rewrite cache disabled.
+pub fn run_with(scale: Scale, rewrite_cache: bool) -> Vec<Cell> {
     let mut out = Vec::with_capacity(24);
     for read_intensive in [true, false] {
         for large_footprint in [true, false] {
             for flavor in Flavor::ALL {
                 for networked in [false, true] {
-                    out.push(run_cell(
+                    out.push(run_cell_with(
                         flavor,
                         networked,
                         read_intensive,
                         large_footprint,
                         scale,
+                        rewrite_cache,
                     ));
                 }
             }
@@ -168,10 +204,26 @@ pub fn run(scale: Scale) -> Vec<Cell> {
 pub fn render(cells: &[Cell]) -> String {
     let mut out = String::new();
     for (ri, footprint_large, title) in [
-        (true, true, "Read intensive transactions, W=10 (large footprint)"),
-        (false, true, "Read/write intensive transactions, W=10 (large footprint)"),
-        (true, false, "Read intensive transactions, W=1 (small footprint)"),
-        (false, false, "Read/write intensive transactions, W=1 (small footprint)"),
+        (
+            true,
+            true,
+            "Read intensive transactions, W=10 (large footprint)",
+        ),
+        (
+            false,
+            true,
+            "Read/write intensive transactions, W=10 (large footprint)",
+        ),
+        (
+            true,
+            false,
+            "Read intensive transactions, W=1 (small footprint)",
+        ),
+        (
+            false,
+            false,
+            "Read/write intensive transactions, W=1 (small footprint)",
+        ),
     ] {
         out.push_str(&format!("\n=== {title} ===\n"));
         out.push_str(&format!(
@@ -182,7 +234,11 @@ pub fn render(cells: &[Cell]) -> String {
             .iter()
             .filter(|c| c.read_intensive == ri && c.large_footprint == footprint_large)
         {
-            let marker = if c.is_headline() { "  <- headline (paper: 6-13%)" } else { "" };
+            let marker = if c.is_headline() {
+                "  <- headline (paper: 6-13%)"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{:<12} {:>10} {:>14.2} {:>14.2} {:>9.1}%{}\n",
                 c.flavor.name(),
@@ -224,6 +280,22 @@ mod tests {
             "W=1 ({:.2}) must cache better than W=10 ({:.2})",
             small.base_hit_ratio,
             large.base_hit_ratio
+        );
+    }
+
+    #[test]
+    fn rewrite_cache_reduces_tracking_overhead() {
+        let on = run_cell_with(Flavor::Postgres, false, true, false, Scale::Quick, true);
+        let off = run_cell_with(Flavor::Postgres, false, true, false, Scale::Quick, false);
+        assert_eq!(
+            on.base_tps, off.base_tps,
+            "the baseline has no proxy and must not see the cache knob"
+        );
+        assert!(
+            on.proxy_tps > off.proxy_tps,
+            "cached rewrites must beat cold rewrites: {} vs {}",
+            on.proxy_tps,
+            off.proxy_tps
         );
     }
 

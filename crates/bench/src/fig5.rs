@@ -154,7 +154,11 @@ pub fn render(points: &[Point]) -> String {
         out.push_str(&format!("\n=== W = {w} ===\n"));
         out.push_str(&format!(
             "{:>9} {:>18} {:>20} {:>16} {:>18}\n",
-            "T_detect", "rolled back (all)", "rolled back (no-false)", "saved % (all)", "saved % (no-false)"
+            "T_detect",
+            "rolled back (all)",
+            "rolled back (no-false)",
+            "saved % (all)",
+            "saved % (no-false)"
         ));
         for p in points.iter().filter(|p| p.w == w) {
             out.push_str(&format!(

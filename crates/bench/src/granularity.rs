@@ -50,7 +50,11 @@ fn run_cost(_name: &'static str, setup: Setup, pc: Option<ProxyConfig>, quick: b
         42,
     )
     .expect("prepare");
-    let mix = if quick { Mix::read_write(4) } else { Mix::read_write(40) };
+    let mix = if quick {
+        Mix::read_write(4)
+    } else {
+        Mix::read_write(40)
+    };
     let mut runner = TpccRunner::new(config, 7).without_annotations();
     let t0 = bench.db.sim().clock().now();
     let committed = mix.run(&mut runner, &mut *bench.conn).expect("mix");
@@ -103,7 +107,9 @@ fn run_accuracy(granularity: TrackingGranularity, t_detect: usize) -> (usize, us
     )
     .expect("prepare");
     let mut runner = TpccRunner::new(config, 9);
-    Mix::standard(20, 1).run(&mut runner, &mut *bench.conn).expect("warmup");
+    Mix::standard(20, 1)
+        .run(&mut runner, &mut *bench.conn)
+        .expect("warmup");
     Attack {
         kind: AttackKind::ForgedPayment,
         w_id: 1,
@@ -112,7 +118,9 @@ fn run_accuracy(granularity: TrackingGranularity, t_detect: usize) -> (usize, us
     }
     .execute(&mut *bench.conn)
     .expect("attack");
-    Mix::standard(t_detect, 2).run(&mut runner, &mut *bench.conn).expect("load");
+    Mix::standard(t_detect, 2)
+        .run(&mut runner, &mut *bench.conn)
+        .expect("load");
 
     let analysis = resildb_core::RepairTool::new(bench.db.clone())
         .analyze()
@@ -183,7 +191,10 @@ pub fn render(cost: &[CostRow], accuracy: &[AccuracyRow], t_detect: usize) -> St
         "Tracking granularity: the §6 trade-off (cost on r/w mix W=10; accuracy on the \
          Figure 5 attack)\n\nCost:\n",
     );
-    out.push_str(&format!("{:<38} {:>10} {:>10}\n", "configuration", "tps", "overhead"));
+    out.push_str(&format!(
+        "{:<38} {:>10} {:>10}\n",
+        "configuration", "tps", "overhead"
+    ));
     for r in cost {
         out.push_str(&format!(
             "{:<38} {:>10.2} {:>9.1}%\n",

@@ -28,8 +28,8 @@ pub mod mttr;
 pub mod table2;
 
 use resildb_core::{
-    prepare_database, Connection, Database, Driver, Flavor, LinkProfile, NativeDriver,
-    ProxyConfig, SimContext, TrackingProxy, WireError,
+    prepare_database, Connection, Database, Driver, Flavor, LinkProfile, NativeDriver, ProxyConfig,
+    SimContext, TrackingProxy, WireError,
 };
 use resildb_tpcc::{Loader, TpccConfig};
 

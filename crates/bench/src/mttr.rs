@@ -47,7 +47,9 @@ fn workload(runner: &mut TpccRunner, conn: &mut dyn resildb_core::Connection, t_
     }
     .execute(conn)
     .expect("attack");
-    Mix::standard(t_detect, 12).run(runner, conn).expect("post-attack");
+    Mix::standard(t_detect, 12)
+        .run(runner, conn)
+        .expect("post-attack");
 }
 
 /// Runs one point.
@@ -90,9 +92,7 @@ pub fn run_point(t_detect: usize) -> MttrPoint {
         }
     };
     let undo = analysis.undo_set(&[attack], &crate::fig5::ytd_rules());
-    let report = tool
-        .repair_with_undo_set(&analysis, &undo)
-        .expect("repair");
+    let report = tool.repair_with_undo_set(&analysis, &undo).expect("repair");
     let selective_repair = bench.db.sim().clock().now() - t0;
 
     // --- world B: untracked database; restore backup + replay ----------
@@ -104,10 +104,16 @@ pub fn run_point(t_detect: usize) -> MttrPoint {
         .connect()
         .expect("connect");
     let t0 = db.sim().clock().now();
-    Loader::new(config.clone(), 5).load(conn).expect("restore backup");
+    Loader::new(config.clone(), 5)
+        .load(conn)
+        .expect("restore backup");
     let mut replay = TpccRunner::new(config, 9).without_annotations();
-    Mix::standard(25, 11).run(&mut replay, conn).expect("replay warmup");
-    Mix::standard(t_detect, 12).run(&mut replay, conn).expect("replay rest");
+    Mix::standard(25, 11)
+        .run(&mut replay, conn)
+        .expect("replay warmup");
+    Mix::standard(t_detect, 12)
+        .run(&mut replay, conn)
+        .expect("replay rest");
     let restore_and_replay = db.sim().clock().now() - t0;
 
     MttrPoint {

@@ -59,12 +59,16 @@ pub use resilient::{ProxyPlacement, ResilientDb, ResilientDbBuilder};
 
 // The framework's building blocks, re-exported for downstream users.
 pub use resildb_engine::{
-    Database, EngineError, ExecOutcome, Flavor, QueryResult, Session, Value,
+    Database, EngineError, ExecOutcome, Flavor, PreparedStatement, QueryResult, Session,
+    StmtCacheStats, Value,
 };
 pub use resildb_proxy::{prepare_database, ProxyConfig, TrackingGranularity, TrackingProxy};
 pub use resildb_repair::{
-    detect, Analysis, AnomalyRule, DepGraph, Detection, FalseDepRule, RepairError,
-    RepairReport, RepairTool, WhatIfSession,
+    detect, Analysis, AnomalyRule, DepGraph, Detection, FalseDepRule, RepairError, RepairReport,
+    RepairTool, WhatIfSession,
 };
 pub use resildb_sim::{CostModel, Micros, SimContext};
-pub use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, Response, WireError};
+pub use resildb_sql::Literal;
+pub use resildb_wire::{
+    Connection, Driver, LinkProfile, NativeDriver, Response, StatementHandle, WireError,
+};

@@ -116,16 +116,12 @@ impl ResilientDbBuilder {
         config.record_deps_at_commit = self.record_deps_at_commit;
         config.granularity = self.granularity;
         let driver: Box<dyn Driver> = match self.placement {
-            ProxyPlacement::Single => Box::new(TrackingProxy::single_proxy(
-                db.clone(),
-                self.link,
-                config,
-            )),
-            ProxyPlacement::Dual => Box::new(TrackingProxy::dual_proxy(
-                db.clone(),
-                self.link,
-                config,
-            )),
+            ProxyPlacement::Single => {
+                Box::new(TrackingProxy::single_proxy(db.clone(), self.link, config))
+            }
+            ProxyPlacement::Dual => {
+                Box::new(TrackingProxy::dual_proxy(db.clone(), self.link, config))
+            }
         };
         Ok(ResilientDb { db, driver })
     }

@@ -4,8 +4,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use resildb_sim::SimContext;
-use resildb_sql::Statement;
+use resildb_sim::{LruMap, SimContext};
+use resildb_sql::{
+    bind_statement, parse_span_literal, parse_template, scan_statement, Literal, Statement,
+    StatementScan,
+};
 
 use crate::catalog::{Catalog, TableHandle};
 use crate::error::{EngineError, Result};
@@ -16,6 +19,29 @@ use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::wal::{InternalTxnId, LogOp, LogRecord, Wal};
 
+/// Statement shapes the engine keeps parsed (see
+/// [`Database::stmt_cache_stats`]). Sized for TPC-C-like workloads, whose
+/// working set is a few dozen shapes.
+const STMT_CACHE_CAPACITY: usize = 256;
+
+/// A parsed statement template cached by shape fingerprint: the literal
+/// positions hold `?` parameters that are re-bound from the incoming text
+/// on every hit.
+#[derive(Debug)]
+struct CachedStatement {
+    template: Statement,
+    params: usize,
+}
+
+/// Point-in-time counters of the engine's parsed-statement cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StmtCacheStats {
+    /// Statements served by binding a cached template (lex+parse skipped).
+    pub hits: u64,
+    /// Statements that took the cold parse path despite being scannable.
+    pub misses: u64,
+}
+
 #[derive(Debug)]
 pub(crate) struct DbInner {
     name: String,
@@ -25,6 +51,9 @@ pub(crate) struct DbInner {
     pub(crate) wal: Mutex<Wal>,
     locks: Arc<LockManager>,
     next_txn: AtomicU64,
+    stmt_cache: Mutex<LruMap<u128, Arc<CachedStatement>>>,
+    stmt_cache_hits: AtomicU64,
+    stmt_cache_misses: AtomicU64,
 }
 
 /// An embedded DBMS emulating one of the paper's three flavors.
@@ -64,6 +93,9 @@ impl Database {
                 wal: Mutex::new(Wal::new()),
                 locks: LockManager::new(),
                 next_txn: AtomicU64::new(1),
+                stmt_cache: Mutex::new(LruMap::new(STMT_CACHE_CAPACITY)),
+                stmt_cache_hits: AtomicU64::new(0),
+                stmt_cache_misses: AtomicU64::new(0),
             }),
         }
     }
@@ -145,6 +177,51 @@ impl Database {
 
     fn alloc_txn(&self) -> InternalTxnId {
         InternalTxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Counters of the parsed-statement cache shared by all sessions.
+    pub fn stmt_cache_stats(&self) -> StmtCacheStats {
+        StmtCacheStats {
+            hits: self.inner.stmt_cache_hits.load(Ordering::Relaxed),
+            misses: self.inner.stmt_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Parses `sql`, serving repeated statement shapes from the shared
+    /// template cache. A hit re-binds the cached template with the literals
+    /// scanned from the incoming text, producing the exact AST a cold parse
+    /// would; any doubt (unscannable text, kind drift, unparsable literal)
+    /// falls through to the cold parser.
+    fn parse_cached(&self, sql: &str) -> Result<Statement> {
+        let Some(scan) = scan_statement(sql) else {
+            return Ok(resildb_sql::parse_statement(sql)?);
+        };
+        let cached = self
+            .inner
+            .stmt_cache
+            .lock()
+            .get(&scan.fingerprint)
+            .map(Arc::clone);
+        if let Some(entry) = cached {
+            if entry.params == scan.spans.len() {
+                if let Some(stmt) = bind_scanned(&entry.template, sql, &scan) {
+                    self.inner.stmt_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(stmt);
+                }
+            }
+        }
+        self.inner.stmt_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let stmt = resildb_sql::parse_statement(sql)?;
+        if let Some(template) = parse_template(sql, &scan) {
+            self.inner.stmt_cache.lock().insert(
+                scan.fingerprint,
+                Arc::new(CachedStatement {
+                    template,
+                    params: scan.spans.len(),
+                }),
+            );
+        }
+        Ok(stmt)
     }
 
     /// Writes the durable form of the WAL to `w` (see
@@ -238,6 +315,41 @@ impl Database {
     }
 }
 
+/// Re-binds a cached template with the literal values scanned from `sql`.
+/// `None` on any mismatch — the caller falls back to a cold parse.
+fn bind_scanned(template: &Statement, sql: &str, scan: &StatementScan) -> Option<Statement> {
+    let mut values = Vec::with_capacity(scan.spans.len());
+    for span in &scan.spans {
+        values.push(parse_span_literal(sql, span)?);
+    }
+    bind_statement(template, &values).ok()
+}
+
+/// A statement parsed once via [`Session::prepare`] and executable many
+/// times with different `?`-parameter bindings — the engine half of the
+/// driver-level prepared-statement API.
+///
+/// Cloning is cheap (the parsed template is shared), and a prepared
+/// statement may outlive the session that created it: it is bound to the
+/// database, not the session.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    template: Arc<Statement>,
+    params: u32,
+}
+
+impl PreparedStatement {
+    /// Number of `?` placeholders the statement expects.
+    pub fn param_count(&self) -> u32 {
+        self.params
+    }
+
+    /// The parsed template (placeholders included) — for diagnostics.
+    pub fn statement(&self) -> &Statement {
+        &self.template
+    }
+}
+
 #[derive(Debug)]
 struct TxnState {
     id: InternalTxnId,
@@ -279,7 +391,45 @@ impl Session {
     /// Parse errors, execution errors, or [`EngineError::Deadlock`] (after
     /// which the transaction has been rolled back automatically).
     pub fn execute_sql(&mut self, sql: &str) -> Result<ExecOutcome> {
-        let stmt = resildb_sql::parse_statement(sql)?;
+        let stmt = self.db.parse_cached(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Parses `sql` (which may contain `?` placeholders) into a reusable
+    /// [`PreparedStatement`], paying the parse cost once.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        let (stmt, params) = resildb_sql::parse_prepared(sql)?;
+        Ok(PreparedStatement {
+            template: Arc::new(stmt),
+            params,
+        })
+    }
+
+    /// Executes a prepared statement with `params` bound to its `?`
+    /// placeholders in source order.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Constraint`] on a parameter-count mismatch, plus
+    /// everything [`Self::execute_sql`] can return.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &PreparedStatement,
+        params: &[Literal],
+    ) -> Result<ExecOutcome> {
+        if params.len() != prepared.params as usize {
+            return Err(EngineError::Constraint(format!(
+                "prepared statement expects {} parameters, {} bound",
+                prepared.params,
+                params.len()
+            )));
+        }
+        let stmt =
+            bind_statement(&prepared.template, params).map_err(resildb_sql::ParseError::from)?;
         self.execute(&stmt)
     }
 
@@ -333,7 +483,13 @@ impl Session {
                     None,
                     self.db.sim(),
                 );
-                wal.append(ddl_txn, LogOp::Commit, self.db.flavor(), None, self.db.sim());
+                wal.append(
+                    ddl_txn,
+                    LogOp::Commit,
+                    self.db.flavor(),
+                    None,
+                    self.db.sim(),
+                );
                 drop(wal);
                 self.db.sim().charge_log_force();
                 Ok(ExecOutcome::Ddl)
@@ -351,7 +507,13 @@ impl Session {
                     None,
                     self.db.sim(),
                 );
-                wal.append(ddl_txn, LogOp::Commit, self.db.flavor(), None, self.db.sim());
+                wal.append(
+                    ddl_txn,
+                    LogOp::Commit,
+                    self.db.flavor(),
+                    None,
+                    self.db.sim(),
+                );
                 drop(wal);
                 self.db.sim().charge_log_force();
                 Ok(ExecOutcome::Ddl)
@@ -456,7 +618,10 @@ impl Session {
                     rowid,
                     before,
                 } => {
-                    catalog.get(table)?.write().update(*rowid, before.clone(), sim)?;
+                    catalog
+                        .get(table)?
+                        .write()
+                        .update(*rowid, before.clone(), sim)?;
                 }
             }
         }
@@ -481,5 +646,109 @@ impl Drop for Session {
         if self.txn.is_some() {
             let _ = self.rollback_open();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn stmt_cache_hits_on_repeated_shapes() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut s = db.session();
+        s.execute_sql("CREATE TABLE t (a INTEGER)").unwrap();
+        for i in 0..5 {
+            s.execute_sql(&format!("INSERT INTO t (a) VALUES ({i})"))
+                .unwrap();
+        }
+        let stats = db.stmt_cache_stats();
+        assert_eq!(stats.misses, 1, "one cold parse per statement shape");
+        assert_eq!(
+            stats.hits, 4,
+            "subsequent literal variants bind the template"
+        );
+        assert_eq!(db.row_count("t").unwrap(), 5);
+    }
+
+    #[test]
+    fn cache_is_shared_across_sessions() {
+        let db = Database::in_memory(Flavor::Postgres);
+        db.session()
+            .execute_sql("CREATE TABLE t (a INTEGER)")
+            .unwrap();
+        db.session()
+            .execute_sql("INSERT INTO t (a) VALUES (1)")
+            .unwrap();
+        db.session()
+            .execute_sql("INSERT INTO t (a) VALUES (2)")
+            .unwrap();
+        let stats = db.stmt_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cached_execution_matches_cold() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut s = db.session();
+        s.execute_sql("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        for (a, b) in [(1, "x"), (2, "y"), (3, "z")] {
+            s.execute_sql(&format!("INSERT INTO t (a, b) VALUES ({a}, '{b}')"))
+                .unwrap();
+        }
+        // Warm the SELECT shape, then hit it with a different literal.
+        let cold = s.query("SELECT b FROM t WHERE a = 1").unwrap();
+        assert_eq!(cold.rows, vec![vec![Value::Str("x".into())]]);
+        let warm = s.query("SELECT b FROM t WHERE a = 3").unwrap();
+        assert_eq!(warm.rows, vec![vec![Value::Str("z".into())]]);
+        assert!(db.stmt_cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn negative_literals_are_not_mismatched_by_the_cache() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut s = db.session();
+        s.execute_sql("CREATE TABLE t (a INTEGER)").unwrap();
+        s.execute_sql("INSERT INTO t (a) VALUES (5)").unwrap();
+        s.execute_sql("INSERT INTO t (a) VALUES (-5)").unwrap();
+        let rows = s.query("SELECT a FROM t WHERE a = -5").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(-5)]]);
+    }
+
+    #[test]
+    fn prepared_statements_bind_and_execute() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut s = db.session();
+        s.execute_sql("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        let ins = s.prepare("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
+        assert_eq!(ins.param_count(), 2);
+        for (a, b) in [(1, "x"), (2, "y")] {
+            s.execute_prepared(&ins, &[Literal::Int(a), Literal::Str(b.into())])
+                .unwrap();
+        }
+        let sel = s.prepare("SELECT b FROM t WHERE a = ?").unwrap();
+        match s.execute_prepared(&sel, &[Literal::Int(2)]).unwrap() {
+            ExecOutcome::Rows(r) => {
+                assert_eq!(r.rows, vec![vec![Value::Str("y".into())]]);
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_arity_mismatch_is_a_constraint_error() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut s = db.session();
+        s.execute_sql("CREATE TABLE t (a INTEGER)").unwrap();
+        let ins = s.prepare("INSERT INTO t (a) VALUES (?)").unwrap();
+        assert!(matches!(
+            s.execute_prepared(&ins, &[]),
+            Err(EngineError::Constraint(_))
+        ));
+        assert!(matches!(
+            s.execute_prepared(&ins, &[Literal::Int(1), Literal::Int(2)]),
+            Err(EngineError::Constraint(_))
+        ));
     }
 }

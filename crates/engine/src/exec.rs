@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use resildb_sql::{BinaryOp, ColumnRef, Expr, Select, SelectItem, Statement};
 use resildb_sim::SimContext;
+use resildb_sql::{BinaryOp, ColumnRef, Expr, Select, SelectItem, Statement};
 
 use crate::catalog::{Catalog, TableHandle};
 use crate::error::{EngineError, Result};
@@ -192,11 +192,7 @@ fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
 
 /// Which bindings a conjunct references. Pseudo row-id references count as
 /// the named (or only) binding.
-fn conjunct_bindings(
-    expr: &Expr,
-    bindings: &[Binding],
-    flavor: Flavor,
-) -> Result<Vec<usize>> {
+fn conjunct_bindings(expr: &Expr, bindings: &[Binding], flavor: Flavor) -> Result<Vec<usize>> {
     let mut referenced = Vec::new();
     let mut err = None;
     for col in expr.referenced_columns() {
@@ -219,11 +215,7 @@ fn conjunct_bindings(
                 .collect();
             match hits.len() {
                 1 => hits[0],
-                0 if Some(name.as_str()) == flavor.rowid_pseudocolumn()
-                    && bindings.len() == 1 =>
-                {
-                    0
-                }
+                0 if Some(name.as_str()) == flavor.rowid_pseudocolumn() && bindings.len() == 1 => 0,
                 0 => {
                     err = Some(EngineError::UnknownColumn(name));
                     break;
@@ -245,7 +237,11 @@ fn conjunct_bindings(
 }
 
 /// Extracts `column = literal` pairs from a conjunct set for one binding.
-fn equality_constants(conjuncts: &[Expr], binding: &Binding, flavor: Flavor) -> Vec<(String, Value)> {
+fn equality_constants(
+    conjuncts: &[Expr],
+    binding: &Binding,
+    flavor: Flavor,
+) -> Vec<(String, Value)> {
     let mut out = Vec::new();
     for c in conjuncts {
         let Expr::Binary {
@@ -268,8 +264,7 @@ fn equality_constants(conjuncts: &[Expr], binding: &Binding, flavor: Flavor) -> 
                 continue;
             }
         }
-        if binding.schema.has_column(&name) || Some(name.as_str()) == flavor.rowid_pseudocolumn()
-        {
+        if binding.schema.has_column(&name) || Some(name.as_str()) == flavor.rowid_pseudocolumn() {
             out.push((name, Value::from_literal(lit)));
         }
     }
@@ -316,7 +311,9 @@ fn candidate_rows(
         if pk_cols.iter().all(|c| eq_map.contains_key(c)) {
             let mut key_vals = Vec::with_capacity(pk_cols.len());
             for (c, &i) in pk_cols.iter().zip(&binding.schema.primary_key) {
-                let v = (*eq_map[c]).clone().coerce_to(binding.schema.columns[i].ty)?;
+                let v = (*eq_map[c])
+                    .clone()
+                    .coerce_to(binding.schema.columns[i].ty)?;
                 key_vals.push(v);
             }
             fetched = Some(match table.lookup_pk(&key_vals) {
@@ -531,9 +528,9 @@ fn compute_aggregate(
                 best = Some(match best {
                     None => v,
                     Some(b) => {
-                        let ord = v.sql_cmp(&b)?.ok_or_else(|| {
-                            EngineError::Type("NULL slipped into MIN/MAX".into())
-                        })?;
+                        let ord = v
+                            .sql_cmp(&b)?
+                            .ok_or_else(|| EngineError::Type("NULL slipped into MIN/MAX".into()))?;
                         let take = if name == "MIN" {
                             ord == std::cmp::Ordering::Less
                         } else {
@@ -566,7 +563,10 @@ pub(crate) fn exec_statement(ctx: &mut StmtCtx<'_>, stmt: &Statement) -> Result<
     }
 }
 
-fn make_bindings(ctx: &StmtCtx<'_>, from: &[resildb_sql::TableRef]) -> Result<(Vec<Binding>, Vec<TableHandle>)> {
+fn make_bindings(
+    ctx: &StmtCtx<'_>,
+    from: &[resildb_sql::TableRef],
+) -> Result<(Vec<Binding>, Vec<TableHandle>)> {
     let catalog = ctx.catalog.read();
     let mut bindings = Vec::with_capacity(from.len());
     let mut handles = Vec::with_capacity(from.len());
@@ -648,10 +648,8 @@ fn exec_select(ctx: &mut StmtCtx<'_>, sel: &Select) -> Result<QueryResult> {
     if sel.for_update {
         for row in &joined {
             for (idx, (rid, _)) in row.iter().enumerate() {
-                ctx.locks.lock_exclusive(
-                    ctx.txn,
-                    ResourceId::Row(bindings[idx].table.clone(), *rid),
-                )?;
+                ctx.locks
+                    .lock_exclusive(ctx.txn, ResourceId::Row(bindings[idx].table.clone(), *rid))?;
             }
         }
     }
@@ -892,8 +890,7 @@ fn exec_insert(ctx: &mut StmtCtx<'_>, ins: &resildb_sql::Insert) -> Result<u64> 
                     schema.columns.len()
                 )));
             }
-            let vals: Result<Vec<Value>> =
-                value_row.iter().map(|e| eval(e, &EmptyScope)).collect();
+            let vals: Result<Vec<Value>> = value_row.iter().map(|e| eval(e, &EmptyScope)).collect();
             Row(vals?)
         } else {
             if value_row.len() != ins.columns.len() {
@@ -949,7 +946,9 @@ fn collect_matches(
             conjunct_bindings(c, bindings, ctx.flavor)?;
         }
     }
-    let rows = candidate_rows(handle, binding, &conjuncts, bindings, 0, ctx.flavor, ctx.sim)?;
+    let rows = candidate_rows(
+        handle, binding, &conjuncts, bindings, 0, ctx.flavor, ctx.sim,
+    )?;
     Ok(rows.into_iter().map(|(rid, _)| rid).collect())
 }
 

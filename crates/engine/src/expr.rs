@@ -39,6 +39,9 @@ impl Scope for EmptyScope {
 pub fn eval(expr: &Expr, scope: &dyn Scope) -> Result<Value> {
     match expr {
         Expr::Literal(l) => Ok(Value::from_literal(l)),
+        Expr::Param(idx) => Err(EngineError::Unsupported(format!(
+            "unbound parameter ?{idx} (parameters must be bound before execution)"
+        ))),
         Expr::Column(c) => scope.resolve(c),
         Expr::Unary { op, expr } => {
             let v = eval(expr, scope)?;
@@ -105,9 +108,7 @@ pub fn eval(expr: &Expr, scope: &dyn Scope) -> Result<Value> {
             let p = eval(pattern, scope)?;
             match (&v, &p) {
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                (Value::Str(s), Value::Str(pat)) => {
-                    Ok(Value::Bool(like_match(s, pat) != *negated))
-                }
+                (Value::Str(s), Value::Str(pat)) => Ok(Value::Bool(like_match(s, pat) != *negated)),
                 _ => Err(EngineError::Type(format!(
                     "LIKE requires strings, got {v:?} LIKE {p:?}"
                 ))),
@@ -233,7 +234,10 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(eval_const("1 < 2 AND 'a' = 'a'").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_const("1 < 2 AND 'a' = 'a'").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_const("1 > 2 OR FALSE").unwrap(), Value::Bool(false));
         assert_eq!(eval_const("NOT 1 = 2").unwrap(), Value::Bool(true));
     }
@@ -288,10 +292,7 @@ mod tests {
 
     #[test]
     fn concat() {
-        assert_eq!(
-            eval_const("'a' || 1 || '-'").unwrap(),
-            Value::from("a1-")
-        );
+        assert_eq!(eval_const("'a' || 1 || '-'").unwrap(), Value::from("a1-"));
     }
 
     #[test]

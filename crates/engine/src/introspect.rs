@@ -162,7 +162,13 @@ fn insert_sql(table: &str, cols: &[String], row: &Row) -> String {
     )
 }
 
-fn update_sql(table: &str, cols: &[String], changed: &[usize], image: &Row, rowid: RowId) -> String {
+fn update_sql(
+    table: &str,
+    cols: &[String],
+    changed: &[usize],
+    image: &Row,
+    rowid: RowId,
+) -> String {
     let sets: Vec<String> = changed
         .iter()
         .map(|&i| format!("{} = {}", cols[i], image.values()[i].to_sql_literal()))
@@ -214,7 +220,10 @@ pub fn waldump(db: &Database) -> Result<Vec<WalDumpRecord>> {
         .iter()
         .map(|rec| match &rec.op {
             LogOp::Insert {
-                table, rowid, row, loc,
+                table,
+                rowid,
+                row,
+                loc,
             } => WalDumpRecord {
                 lsn: rec.lsn,
                 txn: rec.txn,
@@ -226,7 +235,10 @@ pub fn waldump(db: &Database) -> Result<Vec<WalDumpRecord>> {
                 loc: Some(*loc),
             },
             LogOp::Delete {
-                table, rowid, row, loc,
+                table,
+                rowid,
+                row,
+                loc,
             } => WalDumpRecord {
                 lsn: rec.lsn,
                 txn: rec.txn,
@@ -451,7 +463,13 @@ pub fn dbcc_log(db: &Database) -> Result<Vec<DbccLogRecord>> {
 ///
 /// [`EngineError::Unsupported`] on non-Sybase flavors, unknown table, or an
 /// out-of-bounds range (`EngineError::Internal`).
-pub fn dbcc_page(db: &Database, table: &str, page: u64, offset: usize, len: usize) -> Result<Vec<u8>> {
+pub fn dbcc_page(
+    db: &Database,
+    table: &str,
+    page: u64,
+    offset: usize,
+    len: usize,
+) -> Result<Vec<u8>> {
     if db.flavor() != Flavor::Sybase {
         return Err(EngineError::Unsupported(format!(
             "dbcc page is a Sybase interface, database is {}",

@@ -67,7 +67,7 @@ pub mod introspect;
 pub mod wal_codec;
 
 pub use catalog::{Catalog, TableHandle};
-pub use db::{Database, Session};
+pub use db::{Database, PreparedStatement, Session, StmtCacheStats};
 pub use error::{EngineError, Result};
 pub use exec::{ExecOutcome, QueryResult, UndoAction};
 pub use expr::{eval, like_match, EmptyScope, Scope};

@@ -119,11 +119,7 @@ impl LockManager {
 
     /// Number of locks currently held by `txn` (diagnostics).
     pub fn held_by(&self, txn: InternalTxnId) -> usize {
-        self.state
-            .lock()
-            .owned
-            .get(&txn)
-            .map_or(0, |s| s.len())
+        self.state.lock().owned.get(&txn).map_or(0, |s| s.len())
     }
 }
 

@@ -213,9 +213,8 @@ pub fn decode_row(schema: &TableSchema, bytes: &[u8]) -> Result<Row> {
             }
             (3, DataType::Varchar(_)) => {
                 let len = payload[0] as usize;
-                let s = std::str::from_utf8(&payload[1..1 + len]).map_err(|_| {
-                    EngineError::Internal("invalid UTF-8 in row image".into())
-                })?;
+                let s = std::str::from_utf8(&payload[1..1 + len])
+                    .map_err(|_| EngineError::Internal("invalid UTF-8 in row image".into()))?;
                 Value::Str(s.to_string())
             }
             (tag, ty) => {
@@ -235,10 +234,9 @@ mod tests {
     use super::*;
 
     fn schema() -> TableSchema {
-        let stmt = resildb_sql::parse_statement(
-            "CREATE TABLE t (a INTEGER, b VARCHAR(6), c FLOAT)",
-        )
-        .unwrap();
+        let stmt =
+            resildb_sql::parse_statement("CREATE TABLE t (a INTEGER, b VARCHAR(6), c FLOAT)")
+                .unwrap();
         let resildb_sql::Statement::CreateTable(c) = stmt else {
             unreachable!()
         };

@@ -51,7 +51,10 @@ impl TableSchema {
         let mut pk_from_cols = Vec::new();
         for (i, c) in stmt.columns.iter().enumerate() {
             let name = c.name.to_ascii_lowercase();
-            if columns.iter().any(|existing: &Column| existing.name == name) {
+            if columns
+                .iter()
+                .any(|existing: &Column| existing.name == name)
+            {
                 return Err(EngineError::Constraint(format!(
                     "duplicate column {name} in table {}",
                     stmt.name

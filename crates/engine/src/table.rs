@@ -372,7 +372,11 @@ impl Table {
 
     /// Scans all rows in storage order, charging one page read per page.
     /// The callback receives `(rowid, row)`.
-    pub fn scan(&self, sim: &SimContext, mut f: impl FnMut(RowId, Row) -> Result<()>) -> Result<()> {
+    pub fn scan(
+        &self,
+        sim: &SimContext,
+        mut f: impl FnMut(RowId, Row) -> Result<()>,
+    ) -> Result<()> {
         for (page_no, page) in self.pages.iter().enumerate() {
             if page.row_count() == 0 {
                 continue;
@@ -497,14 +501,20 @@ mod tests {
     fn identity_fills_and_advances() {
         let mut t = table("CREATE TABLE t (a INTEGER, rid INTEGER IDENTITY)");
         let s = sim();
-        let (r1, _, _) = t.insert(row(vec![Value::Int(10), Value::Null]), &s).unwrap();
-        let (r2, _, _) = t.insert(row(vec![Value::Int(20), Value::Null]), &s).unwrap();
+        let (r1, _, _) = t
+            .insert(row(vec![Value::Int(10), Value::Null]), &s)
+            .unwrap();
+        let (r2, _, _) = t
+            .insert(row(vec![Value::Int(20), Value::Null]), &s)
+            .unwrap();
         assert_eq!(t.get(r1, &s).unwrap().unwrap().0[1], Value::Int(1));
         assert_eq!(t.get(r2, &s).unwrap().unwrap().0[1], Value::Int(2));
         // Explicit value bumps the counter past itself.
         t.insert(row(vec![Value::Int(30), Value::Int(10)]), &s)
             .unwrap();
-        let (r4, _, _) = t.insert(row(vec![Value::Int(40), Value::Null]), &s).unwrap();
+        let (r4, _, _) = t
+            .insert(row(vec![Value::Int(40), Value::Null]), &s)
+            .unwrap();
         assert_eq!(t.get(r4, &s).unwrap().unwrap().0[1], Value::Int(11));
     }
 
@@ -570,7 +580,8 @@ mod tests {
 
     #[test]
     fn pk_prefix_lookup_returns_matching_rows_only() {
-        let mut t = table("CREATE TABLE ol (w INTEGER, d INTEGER, o INTEGER, PRIMARY KEY (w, d, o))");
+        let mut t =
+            table("CREATE TABLE ol (w INTEGER, d INTEGER, o INTEGER, PRIMARY KEY (w, d, o))");
         let s = sim();
         for w in 1..=2 {
             for d in 1..=3 {
@@ -581,12 +592,10 @@ mod tests {
             }
         }
         assert_eq!(t.lookup_pk_prefix(&[Value::Int(1)]).len(), 12);
+        assert_eq!(t.lookup_pk_prefix(&[Value::Int(2), Value::Int(3)]).len(), 4);
         assert_eq!(
-            t.lookup_pk_prefix(&[Value::Int(2), Value::Int(3)]).len(),
-            4
-        );
-        assert_eq!(
-            t.lookup_pk_prefix(&[Value::Int(2), Value::Int(3), Value::Int(4)]).len(),
+            t.lookup_pk_prefix(&[Value::Int(2), Value::Int(3), Value::Int(4)])
+                .len(),
             1
         );
         assert!(t.lookup_pk_prefix(&[Value::Int(9)]).is_empty());
@@ -599,12 +608,14 @@ mod tests {
         let mut t = table("CREATE TABLE t2 (a INTEGER, b INTEGER, PRIMARY KEY (a, b))");
         let s = sim();
         for a in [1, 9, 10, 100] {
-            t.insert(row(vec![Value::Int(a), Value::Int(1)]), &s).unwrap();
+            t.insert(row(vec![Value::Int(a), Value::Int(1)]), &s)
+                .unwrap();
         }
         assert_eq!(t.lookup_pk_prefix(&[Value::Int(1)]).len(), 1);
         assert_eq!(t.lookup_pk_prefix(&[Value::Int(10)]).len(), 1);
         // Negative keys order below positive ones.
-        t.insert(row(vec![Value::Int(-5), Value::Int(1)]), &s).unwrap();
+        t.insert(row(vec![Value::Int(-5), Value::Int(1)]), &s)
+            .unwrap();
         assert_eq!(t.lookup_pk_prefix(&[Value::Int(-5)]).len(), 1);
     }
 

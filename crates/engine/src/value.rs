@@ -20,14 +20,10 @@ impl DataType {
     /// Maps a parsed SQL type to its storage type.
     pub fn from_type_name(t: &resildb_sql::TypeName) -> DataType {
         match t {
-            resildb_sql::TypeName::Integer | resildb_sql::TypeName::Timestamp => {
-                DataType::Integer
-            }
+            resildb_sql::TypeName::Integer | resildb_sql::TypeName::Timestamp => DataType::Integer,
             // NUMERIC is stored as a float for simplicity; TPC-C money
             // amounts stay well within f64's exact-integer range.
-            resildb_sql::TypeName::Float | resildb_sql::TypeName::Numeric { .. } => {
-                DataType::Float
-            }
+            resildb_sql::TypeName::Float | resildb_sql::TypeName::Numeric { .. } => DataType::Float,
             resildb_sql::TypeName::Varchar(n) => DataType::Varchar(*n),
         }
     }
@@ -175,9 +171,7 @@ impl Value {
                 .ok_or_else(|| EngineError::Type(format!("integer {name} overflow or /0"))),
             (a, b) => match (a.as_f64(), b.as_f64()) {
                 (Some(x), Some(y)) => Ok(Value::Float(f_op(x, y))),
-                _ => Err(EngineError::Type(format!(
-                    "cannot {name} {a:?} and {b:?}"
-                ))),
+                _ => Err(EngineError::Type(format!("cannot {name} {a:?} and {b:?}"))),
             },
         }
     }

@@ -220,8 +220,20 @@ mod tests {
     fn lsns_are_sequential() {
         let mut wal = Wal::new();
         let sim = SimContext::free();
-        let a = wal.append(InternalTxnId(1), LogOp::Commit, Flavor::Postgres, None, &sim);
-        let b = wal.append(InternalTxnId(2), LogOp::Commit, Flavor::Postgres, None, &sim);
+        let a = wal.append(
+            InternalTxnId(1),
+            LogOp::Commit,
+            Flavor::Postgres,
+            None,
+            &sim,
+        );
+        let b = wal.append(
+            InternalTxnId(2),
+            LogOp::Commit,
+            Flavor::Postgres,
+            None,
+            &sim,
+        );
         assert_eq!(a, Lsn(0));
         assert_eq!(b, Lsn(1));
         assert_eq!(wal.len(), 2);
@@ -268,9 +280,6 @@ mod tests {
     #[test]
     fn op_table_extraction() {
         assert_eq!(LogOp::Commit.table(), None);
-        assert_eq!(
-            LogOp::DropTable { name: "x".into() }.table(),
-            Some("x")
-        );
+        assert_eq!(LogOp::DropTable { name: "x".into() }.table(), Some("x"));
     }
 }

@@ -379,11 +379,13 @@ mod tests {
             "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8), f FLOAT, rid INTEGER IDENTITY)",
         )
         .unwrap();
-        s.execute_sql("INSERT INTO t (id, v, f) VALUES (1, 'a', 1.5), (2, NULL, -2.0)").unwrap();
+        s.execute_sql("INSERT INTO t (id, v, f) VALUES (1, 'a', 1.5), (2, NULL, -2.0)")
+            .unwrap();
         s.execute_sql("UPDATE t SET v = 'z' WHERE id = 1").unwrap();
         s.execute_sql("DELETE FROM t WHERE id = 2").unwrap();
         s.execute_sql("BEGIN").unwrap();
-        s.execute_sql("INSERT INTO t (id, v, f) VALUES (3, 'x', 0.0)").unwrap();
+        s.execute_sql("INSERT INTO t (id, v, f) VALUES (3, 'x', 0.0)")
+            .unwrap();
         s.execute_sql("ROLLBACK").unwrap();
         db.wal_records()
     }

@@ -1,8 +1,6 @@
 //! End-to-end engine tests: SQL in, correct state and log out.
 
-use resildb_engine::{
-    introspect, Database, EngineError, ExecOutcome, Flavor, LogOp, Value,
-};
+use resildb_engine::{introspect, Database, EngineError, ExecOutcome, Flavor, LogOp, Value};
 
 fn db() -> Database {
     Database::in_memory(Flavor::Postgres)
@@ -10,8 +8,10 @@ fn db() -> Database {
 
 fn setup_accounts(db: &Database) {
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE account (id INTEGER PRIMARY KEY, owner VARCHAR(16), balance FLOAT)")
-        .unwrap();
+    s.execute_sql(
+        "CREATE TABLE account (id INTEGER PRIMARY KEY, owner VARCHAR(16), balance FLOAT)",
+    )
+    .unwrap();
     s.execute_sql(
         "INSERT INTO account (id, owner, balance) VALUES \
          (1, 'alice', 100.0), (2, 'bob', 50.0), (3, 'carol', 75.0)",
@@ -25,8 +25,13 @@ fn basic_crud_cycle() {
     setup_accounts(&db);
     let mut s = db.session();
 
-    let r = s.query("SELECT owner FROM account WHERE balance > 60 ORDER BY owner").unwrap();
-    assert_eq!(r.rows, vec![vec![Value::from("alice")], vec![Value::from("carol")]]);
+    let r = s
+        .query("SELECT owner FROM account WHERE balance > 60 ORDER BY owner")
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::from("alice")], vec![Value::from("carol")]]
+    );
 
     assert_eq!(
         s.execute_sql("UPDATE account SET balance = balance - 10 WHERE id = 1")
@@ -37,7 +42,8 @@ fn basic_crud_cycle() {
     assert_eq!(r.rows[0][0], Value::Float(90.0));
 
     assert_eq!(
-        s.execute_sql("DELETE FROM account WHERE owner = 'bob'").unwrap(),
+        s.execute_sql("DELETE FROM account WHERE owner = 'bob'")
+            .unwrap(),
         ExecOutcome::Affected(1)
     );
     assert_eq!(db.row_count("account").unwrap(), 2);
@@ -50,13 +56,15 @@ fn explicit_transaction_commit_and_rollback() {
     let mut s = db.session();
 
     s.execute_sql("BEGIN").unwrap();
-    s.execute_sql("UPDATE account SET balance = 0.0 WHERE id = 1").unwrap();
+    s.execute_sql("UPDATE account SET balance = 0.0 WHERE id = 1")
+        .unwrap();
     s.execute_sql("ROLLBACK").unwrap();
     let r = s.query("SELECT balance FROM account WHERE id = 1").unwrap();
     assert_eq!(r.rows[0][0], Value::Float(100.0), "rollback must restore");
 
     s.execute_sql("BEGIN").unwrap();
-    s.execute_sql("UPDATE account SET balance = 0.0 WHERE id = 1").unwrap();
+    s.execute_sql("UPDATE account SET balance = 0.0 WHERE id = 1")
+        .unwrap();
     s.execute_sql("COMMIT").unwrap();
     let r = s.query("SELECT balance FROM account WHERE id = 1").unwrap();
     assert_eq!(r.rows[0][0], Value::Float(0.0));
@@ -76,7 +84,11 @@ fn rollback_restores_deletes_and_inserts() {
     let mut s = db.session();
     let r = s.query("SELECT owner FROM account WHERE id = 2").unwrap();
     assert_eq!(r.rows[0][0], Value::from("bob"));
-    assert!(s.query("SELECT id FROM account WHERE id = 9").unwrap().rows.is_empty());
+    assert!(s
+        .query("SELECT id FROM account WHERE id = 9")
+        .unwrap()
+        .rows
+        .is_empty());
 }
 
 #[test]
@@ -102,9 +114,11 @@ fn txn_control_outside_transaction_errors() {
 fn joins_with_aliases() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE w (w_id INTEGER PRIMARY KEY, w_name VARCHAR(8))").unwrap();
+    s.execute_sql("CREATE TABLE w (w_id INTEGER PRIMARY KEY, w_name VARCHAR(8))")
+        .unwrap();
     s.execute_sql("CREATE TABLE d (d_id INTEGER, d_w_id INTEGER, d_name VARCHAR(8), PRIMARY KEY (d_w_id, d_id))").unwrap();
-    s.execute_sql("INSERT INTO w (w_id, w_name) VALUES (1, 'one'), (2, 'two')").unwrap();
+    s.execute_sql("INSERT INTO w (w_id, w_name) VALUES (1, 'one'), (2, 'two')")
+        .unwrap();
     s.execute_sql(
         "INSERT INTO d (d_id, d_w_id, d_name) VALUES (1, 1, 'd11'), (2, 1, 'd12'), (1, 2, 'd21')",
     )
@@ -125,12 +139,15 @@ fn aggregates_and_group_by() {
     let db = db();
     setup_accounts(&db);
     let mut s = db.session();
-    let r = s.query("SELECT COUNT(*), SUM(balance), MIN(owner) FROM account").unwrap();
+    let r = s
+        .query("SELECT COUNT(*), SUM(balance), MIN(owner) FROM account")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(3));
     assert_eq!(r.rows[0][1], Value::Float(225.0));
     assert_eq!(r.rows[0][2], Value::from("alice"));
 
-    s.execute_sql("CREATE TABLE sale (region VARCHAR(4), amt INTEGER)").unwrap();
+    s.execute_sql("CREATE TABLE sale (region VARCHAR(4), amt INTEGER)")
+        .unwrap();
     s.execute_sql(
         "INSERT INTO sale (region, amt) VALUES ('e', 1), ('e', 2), ('w', 10), ('w', 20), ('w', 30)",
     )
@@ -167,7 +184,9 @@ fn wildcard_and_qualified_wildcard() {
     let mut s = db.session();
     let r = s.query("SELECT * FROM account WHERE id = 1").unwrap();
     assert_eq!(r.columns, vec!["id", "owner", "balance"]);
-    let r = s.query("SELECT account.* FROM account WHERE id = 1").unwrap();
+    let r = s
+        .query("SELECT account.* FROM account WHERE id = 1")
+        .unwrap();
     assert_eq!(r.rows[0].len(), 3);
 }
 
@@ -176,8 +195,13 @@ fn limit_and_order_desc() {
     let db = db();
     setup_accounts(&db);
     let mut s = db.session();
-    let r = s.query("SELECT owner FROM account ORDER BY balance DESC LIMIT 2").unwrap();
-    assert_eq!(r.rows, vec![vec![Value::from("alice")], vec![Value::from("carol")]]);
+    let r = s
+        .query("SELECT owner FROM account ORDER BY balance DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::from("alice")], vec![Value::from("carol")]]
+    );
 }
 
 #[test]
@@ -185,12 +209,21 @@ fn ctid_pseudocolumn_lookup_on_postgres_flavor() {
     let db = db();
     setup_accounts(&db);
     let mut s = db.session();
-    let r = s.query("SELECT ctid, owner FROM account WHERE id = 2").unwrap();
-    let Value::Int(ctid) = r.rows[0][0] else { panic!() };
-    let r2 = s.query(&format!("SELECT owner FROM account WHERE ctid = {ctid}")).unwrap();
+    let r = s
+        .query("SELECT ctid, owner FROM account WHERE id = 2")
+        .unwrap();
+    let Value::Int(ctid) = r.rows[0][0] else {
+        panic!()
+    };
+    let r2 = s
+        .query(&format!("SELECT owner FROM account WHERE ctid = {ctid}"))
+        .unwrap();
     assert_eq!(r2.rows[0][0], Value::from("bob"));
     // Compensation-style update by ctid:
-    s.execute_sql(&format!("UPDATE account SET balance = 42.0 WHERE ctid = {ctid}")).unwrap();
+    s.execute_sql(&format!(
+        "UPDATE account SET balance = 42.0 WHERE ctid = {ctid}"
+    ))
+    .unwrap();
     let r3 = s.query("SELECT balance FROM account WHERE id = 2").unwrap();
     assert_eq!(r3.rows[0][0], Value::Float(42.0));
 }
@@ -217,23 +250,30 @@ fn wal_records_row_operations_with_locations() {
     setup_accounts(&db);
     let mut s = db.session();
     s.execute_sql("BEGIN").unwrap();
-    s.execute_sql("UPDATE account SET balance = 1.0 WHERE id = 1").unwrap();
+    s.execute_sql("UPDATE account SET balance = 1.0 WHERE id = 1")
+        .unwrap();
     s.execute_sql("DELETE FROM account WHERE id = 3").unwrap();
     s.execute_sql("COMMIT").unwrap();
     let wal = db.wal_records();
     let update = wal
         .iter()
         .find_map(|r| match &r.op {
-            LogOp::Update { table, changed, before, after, .. } if table == "account" => {
-                Some((changed.clone(), before.clone(), after.clone()))
-            }
+            LogOp::Update {
+                table,
+                changed,
+                before,
+                after,
+                ..
+            } if table == "account" => Some((changed.clone(), before.clone(), after.clone())),
             _ => None,
         })
         .expect("update logged");
     assert_eq!(update.0, vec![2], "only balance changed");
     assert_eq!(update.1 .0[2], Value::Float(100.0));
     assert_eq!(update.2 .0[2], Value::Float(1.0));
-    assert!(wal.iter().any(|r| matches!(&r.op, LogOp::Delete { table, .. } if table == "account")));
+    assert!(wal
+        .iter()
+        .any(|r| matches!(&r.op, LogOp::Delete { table, .. } if table == "account")));
     // The explicit txn ends with exactly one commit record.
     let commits = wal.iter().filter(|r| matches!(r.op, LogOp::Commit)).count();
     assert!(commits >= 2); // setup txns + explicit txn
@@ -245,11 +285,14 @@ fn crash_recovery_replays_committed_and_skips_aborted() {
     setup_accounts(&db);
     let mut s = db.session();
     // Committed change.
-    s.execute_sql("UPDATE account SET balance = 7.0 WHERE id = 1").unwrap();
+    s.execute_sql("UPDATE account SET balance = 7.0 WHERE id = 1")
+        .unwrap();
     // Aborted change.
     s.execute_sql("BEGIN").unwrap();
-    s.execute_sql("UPDATE account SET balance = 999.0 WHERE id = 2").unwrap();
-    s.execute_sql("INSERT INTO account (id, owner, balance) VALUES (4, 'eve', 0.0)").unwrap();
+    s.execute_sql("UPDATE account SET balance = 999.0 WHERE id = 2")
+        .unwrap();
+    s.execute_sql("INSERT INTO account (id, owner, balance) VALUES (4, 'eve', 0.0)")
+        .unwrap();
     s.execute_sql("ROLLBACK").unwrap();
     drop(s);
 
@@ -257,14 +300,22 @@ fn crash_recovery_replays_committed_and_skips_aborted() {
 
     let mut s = db.session();
     assert_eq!(
-        s.query("SELECT balance FROM account WHERE id = 1").unwrap().rows[0][0],
+        s.query("SELECT balance FROM account WHERE id = 1")
+            .unwrap()
+            .rows[0][0],
         Value::Float(7.0)
     );
     assert_eq!(
-        s.query("SELECT balance FROM account WHERE id = 2").unwrap().rows[0][0],
+        s.query("SELECT balance FROM account WHERE id = 2")
+            .unwrap()
+            .rows[0][0],
         Value::Float(50.0)
     );
-    assert!(s.query("SELECT id FROM account WHERE id = 4").unwrap().rows.is_empty());
+    assert!(s
+        .query("SELECT id FROM account WHERE id = 4")
+        .unwrap()
+        .rows
+        .is_empty());
     assert_eq!(db.row_count("account").unwrap(), 3);
 }
 
@@ -301,8 +352,10 @@ fn logminer_only_on_oracle_flavor() {
 fn logminer_redo_undo_sql_round_trip() {
     let db = Database::in_memory(Flavor::Oracle);
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8))").unwrap();
-    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 'x')").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8))")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 'x')")
+        .unwrap();
     s.execute_sql("UPDATE t SET v = 'y' WHERE id = 1").unwrap();
     let rows = introspect::logminer(&db).unwrap();
     let upd = rows.iter().find(|r| r.operation == "UPDATE").unwrap();
@@ -324,11 +377,16 @@ fn logminer_redo_undo_sql_round_trip() {
 fn dbcc_log_modify_carries_only_changed_attributes() {
     let db = Database::in_memory(Flavor::Sybase);
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (a INTEGER, b VARCHAR(8), rid INTEGER IDENTITY)").unwrap();
-    s.execute_sql("INSERT INTO t (a, b) VALUES (1, 'x')").unwrap();
+    s.execute_sql("CREATE TABLE t (a INTEGER, b VARCHAR(8), rid INTEGER IDENTITY)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (a, b) VALUES (1, 'x')")
+        .unwrap();
     s.execute_sql("UPDATE t SET a = 2 WHERE a = 1").unwrap();
     let log = introspect::dbcc_log(&db).unwrap();
-    let modify = log.iter().find(|r| r.op == introspect::DbccOp::Modify).unwrap();
+    let modify = log
+        .iter()
+        .find(|r| r.op == introspect::DbccOp::Modify)
+        .unwrap();
     // Delta encoding: u16 col index + before + after for ONE column.
     let expected = 2 + 2 * (1 + 8);
     assert_eq!(modify.bytes.len(), expected);
@@ -338,7 +396,11 @@ fn dbcc_log_modify_carries_only_changed_attributes() {
     let schema = db.table("t").unwrap().read().schema().clone();
     let row = resildb_engine::decode_row(&schema, &raw).unwrap();
     assert_eq!(row.0[0], Value::Int(2));
-    assert_eq!(row.0[2], Value::Int(1), "identity column recovered from page");
+    assert_eq!(
+        row.0[2],
+        Value::Int(1),
+        "identity column recovered from page"
+    );
 }
 
 #[test]
@@ -352,7 +414,8 @@ fn deadlock_victim_is_rolled_back() {
     let handle = std::thread::spawn(move || {
         let mut s = db2.session();
         s.execute_sql("BEGIN").unwrap();
-        s.execute_sql("UPDATE account SET balance = 201.0 WHERE id = 2").unwrap();
+        s.execute_sql("UPDATE account SET balance = 201.0 WHERE id = 2")
+            .unwrap();
         b2.wait();
         // Now try to touch row 1 (other session holds it).
         let r = s.execute_sql("UPDATE account SET balance = 101.0 WHERE id = 1");
@@ -363,7 +426,8 @@ fn deadlock_victim_is_rolled_back() {
     });
     let mut s = db.session();
     s.execute_sql("BEGIN").unwrap();
-    s.execute_sql("UPDATE account SET balance = 102.0 WHERE id = 1").unwrap();
+    s.execute_sql("UPDATE account SET balance = 102.0 WHERE id = 1")
+        .unwrap();
     barrier.wait();
     std::thread::sleep(std::time::Duration::from_millis(100));
     let mine = s.execute_sql("UPDATE account SET balance = 202.0 WHERE id = 2");
@@ -387,12 +451,14 @@ fn select_for_update_blocks_conflicting_writer() {
     setup_accounts(&db);
     let mut s1 = db.session();
     s1.execute_sql("BEGIN").unwrap();
-    s1.query("SELECT * FROM account WHERE id = 1 FOR UPDATE").unwrap();
+    s1.query("SELECT * FROM account WHERE id = 1 FOR UPDATE")
+        .unwrap();
     let db2 = db.clone();
     let handle = std::thread::spawn(move || {
         let mut s2 = db2.session();
         let start = std::time::Instant::now();
-        s2.execute_sql("UPDATE account SET balance = 0.0 WHERE id = 1").unwrap();
+        s2.execute_sql("UPDATE account SET balance = 0.0 WHERE id = 1")
+            .unwrap();
         start.elapsed()
     });
     std::thread::sleep(std::time::Duration::from_millis(120));
@@ -415,7 +481,10 @@ fn duplicate_key_error_in_autocommit_leaves_clean_state() {
     assert!(matches!(err, EngineError::DuplicateKey(_)));
     assert_eq!(db.row_count("account").unwrap(), 3);
     // Session still usable.
-    assert_eq!(s.query("SELECT COUNT(*) FROM account").unwrap().rows[0][0], Value::Int(3));
+    assert_eq!(
+        s.query("SELECT COUNT(*) FROM account").unwrap().rows[0][0],
+        Value::Int(3)
+    );
 }
 
 #[test]
@@ -424,7 +493,8 @@ fn multi_statement_error_in_explicit_txn_keeps_txn_open() {
     setup_accounts(&db);
     let mut s = db.session();
     s.execute_sql("BEGIN").unwrap();
-    s.execute_sql("UPDATE account SET balance = 5.0 WHERE id = 1").unwrap();
+    s.execute_sql("UPDATE account SET balance = 5.0 WHERE id = 1")
+        .unwrap();
     assert!(s.execute_sql("SELECT nope FROM account").is_err());
     assert!(s.in_transaction(), "non-deadlock errors keep the txn open");
     s.execute_sql("ROLLBACK").unwrap();
@@ -437,9 +507,13 @@ fn like_and_between_in_where() {
     let db = db();
     setup_accounts(&db);
     let mut s = db.session();
-    let r = s.query("SELECT owner FROM account WHERE owner LIKE '%ol'").unwrap();
+    let r = s
+        .query("SELECT owner FROM account WHERE owner LIKE '%ol'")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::from("carol")]]);
-    let r = s.query("SELECT id FROM account WHERE balance BETWEEN 50.0 AND 75.0 ORDER BY id").unwrap();
+    let r = s
+        .query("SELECT id FROM account WHERE balance BETWEEN 50.0 AND 75.0 ORDER BY id")
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
 }
 
@@ -448,9 +522,13 @@ fn in_list_and_not_in() {
     let db = db();
     setup_accounts(&db);
     let mut s = db.session();
-    let r = s.query("SELECT id FROM account WHERE id IN (1, 3) ORDER BY id").unwrap();
+    let r = s
+        .query("SELECT id FROM account WHERE id IN (1, 3) ORDER BY id")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
-    let r = s.query("SELECT id FROM account WHERE id NOT IN (1, 3)").unwrap();
+    let r = s
+        .query("SELECT id FROM account WHERE id NOT IN (1, 3)")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
 }
 
@@ -472,7 +550,8 @@ fn sessions_share_one_database() {
     setup_accounts(&db);
     let mut s1 = db.session();
     let mut s2 = db.session();
-    s1.execute_sql("INSERT INTO account (id, owner, balance) VALUES (10, 'dan', 5.0)").unwrap();
+    s1.execute_sql("INSERT INTO account (id, owner, balance) VALUES (10, 'dan', 5.0)")
+        .unwrap();
     let r = s2.query("SELECT owner FROM account WHERE id = 10").unwrap();
     assert_eq!(r.rows[0][0], Value::from("dan"));
 }

@@ -11,12 +11,18 @@ fn db() -> Database {
 fn three_way_join_with_cross_predicates() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE a (id INTEGER PRIMARY KEY, x INTEGER)").unwrap();
-    s.execute_sql("CREATE TABLE b (id INTEGER PRIMARY KEY, a_id INTEGER)").unwrap();
-    s.execute_sql("CREATE TABLE c (id INTEGER PRIMARY KEY, b_id INTEGER, v VARCHAR(4))").unwrap();
-    s.execute_sql("INSERT INTO a (id, x) VALUES (1, 10), (2, 20)").unwrap();
-    s.execute_sql("INSERT INTO b (id, a_id) VALUES (1, 1), (2, 2), (3, 1)").unwrap();
-    s.execute_sql("INSERT INTO c (id, b_id, v) VALUES (1, 1, 'p'), (2, 3, 'q'), (3, 2, 'r')").unwrap();
+    s.execute_sql("CREATE TABLE a (id INTEGER PRIMARY KEY, x INTEGER)")
+        .unwrap();
+    s.execute_sql("CREATE TABLE b (id INTEGER PRIMARY KEY, a_id INTEGER)")
+        .unwrap();
+    s.execute_sql("CREATE TABLE c (id INTEGER PRIMARY KEY, b_id INTEGER, v VARCHAR(4))")
+        .unwrap();
+    s.execute_sql("INSERT INTO a (id, x) VALUES (1, 10), (2, 20)")
+        .unwrap();
+    s.execute_sql("INSERT INTO b (id, a_id) VALUES (1, 1), (2, 2), (3, 1)")
+        .unwrap();
+    s.execute_sql("INSERT INTO c (id, b_id, v) VALUES (1, 1, 'p'), (2, 3, 'q'), (3, 2, 'r')")
+        .unwrap();
     let r = s
         .query(
             "SELECT a.x, c.v FROM a, b, c \
@@ -36,10 +42,14 @@ fn three_way_join_with_cross_predicates() {
 fn ambiguous_unqualified_column_is_an_error() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t1 (id INTEGER, v INTEGER)").unwrap();
-    s.execute_sql("CREATE TABLE t2 (id INTEGER, w INTEGER)").unwrap();
-    s.execute_sql("INSERT INTO t1 (id, v) VALUES (1, 1)").unwrap();
-    s.execute_sql("INSERT INTO t2 (id, w) VALUES (1, 1)").unwrap();
+    s.execute_sql("CREATE TABLE t1 (id INTEGER, v INTEGER)")
+        .unwrap();
+    s.execute_sql("CREATE TABLE t2 (id INTEGER, w INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t1 (id, v) VALUES (1, 1)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t2 (id, w) VALUES (1, 1)")
+        .unwrap();
     let err = s.query("SELECT id FROM t1, t2").unwrap_err();
     assert!(matches!(err, EngineError::AmbiguousColumn(_)), "{err}");
     // Qualified access works.
@@ -65,10 +75,16 @@ fn unknown_table_alias_in_projection_is_an_error() {
 fn nulls_sort_stably_and_compare_unknown() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 3), (2, NULL), (3, 1)").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 3), (2, NULL), (3, 1)")
+        .unwrap();
     // NULL never matches an equality or range predicate.
-    assert!(s.query("SELECT id FROM t WHERE v = 1 AND id = 2").unwrap().rows.is_empty());
+    assert!(s
+        .query("SELECT id FROM t WHERE v = 1 AND id = 2")
+        .unwrap()
+        .rows
+        .is_empty());
     let r = s.query("SELECT id FROM t WHERE v > 0 ORDER BY v").unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(3)], vec![Value::Int(1)]]);
     // IS NULL finds it.
@@ -113,10 +129,16 @@ fn prefix_index_and_full_scan_agree() {
 fn update_changing_pk_reindexes() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 10)").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 10)")
+        .unwrap();
     s.execute_sql("UPDATE t SET id = 2 WHERE id = 1").unwrap();
-    assert!(s.query("SELECT v FROM t WHERE id = 1").unwrap().rows.is_empty());
+    assert!(s
+        .query("SELECT v FROM t WHERE id = 1")
+        .unwrap()
+        .rows
+        .is_empty());
     assert_eq!(
         s.query("SELECT v FROM t WHERE id = 2").unwrap().rows[0][0],
         Value::Int(10)
@@ -127,9 +149,13 @@ fn update_changing_pk_reindexes() {
 fn update_to_conflicting_pk_is_rejected() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)").unwrap();
-    let err = s.execute_sql("UPDATE t SET id = 2 WHERE id = 1").unwrap_err();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+        .unwrap();
+    let err = s
+        .execute_sql("UPDATE t SET id = 2 WHERE id = 1")
+        .unwrap_err();
     assert!(matches!(err, EngineError::DuplicateKey(_)));
     // Auto-commit statement rolled back: both rows intact.
     assert_eq!(db.row_count("t").unwrap(), 2);
@@ -143,8 +169,10 @@ fn update_to_conflicting_pk_is_rejected() {
 fn division_by_zero_surfaces_and_aborts_statement() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 0), (2, 5)").unwrap();
+    s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (id, v) VALUES (1, 0), (2, 5)")
+        .unwrap();
     let err = s.query("SELECT 10 / v FROM t").unwrap_err();
     assert!(matches!(err, EngineError::Type(_)));
 }
@@ -153,9 +181,13 @@ fn division_by_zero_surfaces_and_aborts_statement() {
 fn order_by_expression_and_multiple_keys() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
-    s.execute_sql("INSERT INTO t (a, b) VALUES (1, 3), (2, 1), (1, 1), (2, 2)").unwrap();
-    let r = s.query("SELECT a, b FROM t ORDER BY a DESC, a * 10 + b").unwrap();
+    s.execute_sql("CREATE TABLE t (a INTEGER, b INTEGER)")
+        .unwrap();
+    s.execute_sql("INSERT INTO t (a, b) VALUES (1, 3), (2, 1), (1, 1), (2, 2)")
+        .unwrap();
+    let r = s
+        .query("SELECT a, b FROM t ORDER BY a DESC, a * 10 + b")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![
@@ -171,7 +203,8 @@ fn order_by_expression_and_multiple_keys() {
 fn group_by_composite_key_and_having_free_filtering() {
     let db = db();
     let mut s = db.session();
-    s.execute_sql("CREATE TABLE t (r VARCHAR(2), q INTEGER, amt INTEGER)").unwrap();
+    s.execute_sql("CREATE TABLE t (r VARCHAR(2), q INTEGER, amt INTEGER)")
+        .unwrap();
     s.execute_sql(
         "INSERT INTO t (r, q, amt) VALUES ('e', 1, 5), ('e', 1, 7), ('e', 2, 1), ('w', 1, 9)",
     )
@@ -190,8 +223,10 @@ fn concurrent_tpcc_style_counter_updates_are_serializable() {
     let db = db();
     {
         let mut s = db.session();
-        s.execute_sql("CREATE TABLE counter (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
-        s.execute_sql("INSERT INTO counter (id, n) VALUES (1, 0)").unwrap();
+        s.execute_sql("CREATE TABLE counter (id INTEGER PRIMARY KEY, n INTEGER)")
+            .unwrap();
+        s.execute_sql("INSERT INTO counter (id, n) VALUES (1, 0)")
+            .unwrap();
     }
     let mut handles = Vec::new();
     for _ in 0..4 {
@@ -224,8 +259,10 @@ fn concurrent_transfers_preserve_total_balance() {
     let db = db();
     {
         let mut s = db.session();
-        s.execute_sql("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)").unwrap();
-        s.execute_sql("INSERT INTO acct (id, bal) VALUES (1, 500), (2, 500), (3, 500)").unwrap();
+        s.execute_sql("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)")
+            .unwrap();
+        s.execute_sql("INSERT INTO acct (id, bal) VALUES (1, 500), (2, 500), (3, 500)")
+            .unwrap();
     }
     let mut handles = Vec::new();
     for t in 0..3i64 {
@@ -238,9 +275,7 @@ fn concurrent_transfers_preserve_total_balance() {
                 loop {
                     let attempt = (|| -> Result<(), EngineError> {
                         s.execute_sql("BEGIN")?;
-                        s.execute_sql(&format!(
-                            "UPDATE acct SET bal = bal - 5 WHERE id = {from}"
-                        ))?;
+                        s.execute_sql(&format!("UPDATE acct SET bal = bal - 5 WHERE id = {from}"))?;
                         s.execute_sql(&format!("UPDATE acct SET bal = bal + 5 WHERE id = {to}"))?;
                         s.execute_sql("COMMIT")?;
                         Ok(())

@@ -9,10 +9,21 @@ use resildb_engine::{Database, Flavor, Value};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { id: i64, v: i64 },
-    UpdateSet { id: i64, v: i64 },
-    UpdateAdd { id: i64, delta: i64 },
-    Delete { id: i64 },
+    Insert {
+        id: i64,
+        v: i64,
+    },
+    UpdateSet {
+        id: i64,
+        v: i64,
+    },
+    UpdateAdd {
+        id: i64,
+        delta: i64,
+    },
+    Delete {
+        id: i64,
+    },
     /// BEGIN, apply the inner ops, ROLLBACK — must leave no trace.
     RolledBack(Vec<Op>),
 }

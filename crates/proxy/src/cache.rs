@@ -1,0 +1,192 @@
+//! Shared statement-template rewrite cache.
+//!
+//! The proxy's steady-state workload is a small set of statement *shapes*
+//! executed with varying literals (TPC-C has a few dozen). Cold, every
+//! occurrence pays lex + parse + clone-rewrite + print. The cache keys on
+//! the literal-masked fingerprint from [`resildb_sql::scan_statement`] and
+//! stores the finished rewrite as a [`resildb_sql::SqlTemplate`]; replaying
+//! a hit costs a hash lookup plus one text splice.
+//!
+//! One cache is shared by every connection of a [`crate::TrackingProxy`]
+//! factory (the proxy process of the paper), so concurrent clients warm it
+//! for each other. Entries are immutable behind `Arc`, and the map itself
+//! sits behind a mutex held only for the lookup/insert instant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use resildb_sim::LruMap;
+use resildb_sql::SqlTemplate;
+
+use crate::rewrite::SelectRewrite;
+
+/// How a cached statement shape is replayed.
+///
+/// The variants mirror the branches of the cold interception path exactly;
+/// a hit must behave byte-identically to what the cold path would have
+/// done for the same SQL.
+#[derive(Debug)]
+pub(crate) enum CacheEntry {
+    /// Statement on a tracking table: forwarded untouched, no transaction
+    /// bookkeeping.
+    PassthroughRaw,
+    /// SELECT that is not rewritten (aggregates, DISTINCT, no FROM, or
+    /// read tracking disabled): forwarded raw, tracking columns stripped
+    /// from the result.
+    PassthroughStrip,
+    /// Rewritten SELECT: splice literals into the template, execute, then
+    /// harvest dependencies per the cached plan.
+    Select {
+        /// Printed rewrite with literal splice slots.
+        tmpl: SqlTemplate,
+        /// Harvest plan (identical to what the cold rewrite computes —
+        /// it depends only on the statement shape, never on literals).
+        plan: SelectRewrite,
+    },
+    /// Rewritten INSERT/UPDATE: splice literals and the current trid,
+    /// execute under write-transaction bookkeeping.
+    Write {
+        /// Printed rewrite with literal and trid splice slots.
+        tmpl: SqlTemplate,
+    },
+    /// DELETE: forwarded raw, but under write-transaction bookkeeping.
+    WriteRaw,
+}
+
+impl CacheEntry {
+    /// Whether this entry may be replayed for a statement with
+    /// `literal_spans` masked literals. Template-backed entries demand an
+    /// exact slot match — the guard against fingerprint collisions and
+    /// scanner drift; raw entries execute the incoming text and need none.
+    fn admits(&self, literal_spans: usize) -> bool {
+        match self {
+            CacheEntry::Select { tmpl, .. } | CacheEntry::Write { tmpl } => {
+                tmpl.literal_slots() == literal_spans
+            }
+            _ => true,
+        }
+    }
+}
+
+/// Point-in-time counters of a [`RewriteCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RewriteCacheStats {
+    /// Lookups that replayed a cached template.
+    pub hits: u64,
+    /// Lookups that fell through to the cold rewrite path.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Statement shapes currently cached.
+    pub entries: usize,
+}
+
+/// Concurrency-safe statement-shape → rewrite-template cache shared by all
+/// connections of one proxy factory.
+#[derive(Debug)]
+pub struct RewriteCache {
+    entries: Mutex<LruMap<u128, Arc<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RewriteCache {
+    /// Creates a cache holding up to `capacity` statement shapes
+    /// (least-recently-used eviction). Zero capacity disables it.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(LruMap::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups can ever succeed (capacity > 0).
+    pub(crate) fn enabled(&self) -> bool {
+        self.entries.lock().capacity() > 0
+    }
+
+    /// Fetches the entry for `fingerprint` if present and admissible for a
+    /// statement with `literal_spans` masked literals. Counts a hit or a
+    /// miss either way.
+    pub(crate) fn lookup(
+        &self,
+        fingerprint: u128,
+        literal_spans: usize,
+    ) -> Option<Arc<CacheEntry>> {
+        let hit = {
+            let mut map = self.entries.lock();
+            map.get(&fingerprint)
+                .filter(|e| e.admits(literal_spans))
+                .map(Arc::clone)
+        };
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores `entry` under `fingerprint`, evicting the least recently
+    /// used shape if at capacity.
+    pub(crate) fn insert(&self, fingerprint: u128, entry: CacheEntry) {
+        if self.entries.lock().insert(fingerprint, Arc::new(entry)) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RewriteCacheStats {
+        RewriteCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = RewriteCache::new(4);
+        assert!(cache.lookup(1, 0).is_none());
+        cache.insert(1, CacheEntry::WriteRaw);
+        assert!(cache.lookup(1, 0).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn slot_mismatch_is_a_miss() {
+        let cache = RewriteCache::new(4);
+        let tmpl = SqlTemplate::new("SELECT ?".into(), &[0]).unwrap();
+        cache.insert(7, CacheEntry::Write { tmpl });
+        assert!(cache.lookup(7, 2).is_none(), "wrong span count must miss");
+        assert!(cache.lookup(7, 1).is_some());
+    }
+
+    #[test]
+    fn eviction_is_counted() {
+        let cache = RewriteCache::new(1);
+        cache.insert(1, CacheEntry::WriteRaw);
+        cache.insert(2, CacheEntry::WriteRaw);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(1, 0).is_none());
+        assert!(cache.lookup(2, 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = RewriteCache::new(0);
+        assert!(!cache.enabled());
+        cache.insert(1, CacheEntry::WriteRaw);
+        assert!(cache.lookup(1, 0).is_none());
+    }
+}

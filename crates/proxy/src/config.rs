@@ -53,6 +53,15 @@ pub struct ProxyConfig {
     /// charged to the virtual clock when the proxy is built with a
     /// simulation context.
     pub rewrite_cpu: Micros,
+    /// CPU cost of replaying a cached rewrite (fingerprint hash + literal
+    /// splice) — charged instead of [`Self::rewrite_cpu`] on a rewrite-
+    /// cache hit. The cold/cached ratio here models the measured speedup
+    /// of the template path over lex+parse+clone+print.
+    pub rewrite_cached_cpu: Micros,
+    /// Capacity (in statement shapes) of the shared rewrite cache; `0`
+    /// disables caching so every statement takes the cold rewrite path
+    /// (ablation benchmarks, `fig4 --no-rewrite-cache`).
+    pub rewrite_cache_capacity: usize,
     /// Per-row cost (nanoseconds) of harvesting and stripping trid columns
     /// from a result set.
     pub harvest_per_row_ns: u64,
@@ -70,6 +79,8 @@ impl ProxyConfig {
             record_provenance: true,
             record_read_only_deps: false,
             rewrite_cpu: Micros::new(50),
+            rewrite_cached_cpu: Micros::new(5),
+            rewrite_cache_capacity: 256,
             harvest_per_row_ns: 1_000,
             granularity: TrackingGranularity::Row,
         }
@@ -81,6 +92,13 @@ impl ProxyConfig {
             granularity: TrackingGranularity::Column,
             ..Self::new(flavor)
         }
+    }
+
+    /// This configuration with the rewrite cache disabled — every
+    /// statement pays the full lex+parse+rewrite+print cost.
+    pub fn without_rewrite_cache(mut self) -> Self {
+        self.rewrite_cache_capacity = 0;
+        self
     }
 }
 
@@ -104,5 +122,14 @@ mod tests {
         let c = ProxyConfig::column_level(Flavor::Oracle);
         assert_eq!(c.granularity, TrackingGranularity::Column);
         assert!(c.track_reads);
+    }
+
+    #[test]
+    fn rewrite_cache_defaults_and_disable() {
+        let c = ProxyConfig::new(Flavor::Postgres);
+        assert!(c.rewrite_cache_capacity > 0);
+        assert!(c.rewrite_cached_cpu < c.rewrite_cpu);
+        let off = c.without_rewrite_cache();
+        assert_eq!(off.rewrite_cache_capacity, 0);
     }
 }

@@ -48,11 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod rewrite;
 mod setup;
 mod tracker;
 
+pub use cache::{RewriteCache, RewriteCacheStats};
 pub use config::{ProxyConfig, TrackingGranularity};
 pub use rewrite::{
     is_tracking_column, rewrite_create_table, rewrite_insert, rewrite_select, rewrite_update,

@@ -75,14 +75,18 @@ pub fn rewrite_select(
     let mut rewritten = sel.clone();
     let mut harvested = Vec::with_capacity(sel.from.len());
     let mut k = 0;
-    let mut append = |rewritten: &mut Select, binding: &str, column: &str, source: HarvestSource| {
-        rewritten.items.push(SelectItem::Expr {
-            expr: Expr::Column(ColumnRef::qualified(binding.to_string(), column.to_string())),
-            alias: Some(format!("{HARVEST_ALIAS_PREFIX}{k}")),
-        });
-        harvested.push(source);
-        k += 1;
-    };
+    let mut append =
+        |rewritten: &mut Select, binding: &str, column: &str, source: HarvestSource| {
+            rewritten.items.push(SelectItem::Expr {
+                expr: Expr::Column(ColumnRef::qualified(
+                    binding.to_string(),
+                    column.to_string(),
+                )),
+                alias: Some(format!("{HARVEST_ALIAS_PREFIX}{k}")),
+            });
+            harvested.push(source);
+            k += 1;
+        };
     for t in &sel.from {
         let binding = t.binding_name().to_string();
         let table = t.name.to_ascii_lowercase();
@@ -168,9 +172,16 @@ fn columns_read_for(sel: &Select, binding: &str) -> Vec<String> {
 
 /// Rewrites an UPDATE per Table 1: appends `trid = <cur_trid>` to the SET
 /// list (unless the client, illegally, already assigns it).
-pub fn rewrite_update(
+pub fn rewrite_update(upd: &Update, cur_trid: i64, granularity: TrackingGranularity) -> Update {
+    rewrite_update_with(upd, Expr::int(cur_trid), granularity)
+}
+
+/// [`rewrite_update`] generalised over the stamped expression, so the
+/// rewrite cache can build a template with a `?` splice slot
+/// (`Expr::Param(TRID_PARAM)`) where the literal trid would go.
+pub(crate) fn rewrite_update_with(
     upd: &Update,
-    cur_trid: i64,
+    trid_expr: Expr,
     granularity: TrackingGranularity,
 ) -> Update {
     let mut rewritten = upd.clone();
@@ -191,7 +202,7 @@ pub fn rewrite_update(
             {
                 rewritten.assignments.push(Assignment {
                     column: stamp,
-                    value: Expr::int(cur_trid),
+                    value: trid_expr.clone(),
                 });
             }
         }
@@ -203,7 +214,7 @@ pub fn rewrite_update(
     {
         rewritten.assignments.push(Assignment {
             column: TRID_COLUMN.to_string(),
-            value: Expr::int(cur_trid),
+            value: trid_expr,
         });
     }
     rewritten
@@ -221,13 +232,25 @@ pub fn rewrite_insert(
     flavor: Flavor,
     granularity: TrackingGranularity,
 ) -> Insert {
+    rewrite_insert_with(ins, Expr::int(cur_trid), flavor, granularity)
+}
+
+/// [`rewrite_insert`] generalised over the stamped expression, so the
+/// rewrite cache can build a template with a `?` splice slot
+/// (`Expr::Param(TRID_PARAM)`) where the literal trid would go.
+pub(crate) fn rewrite_insert_with(
+    ins: &Insert,
+    trid_expr: Expr,
+    flavor: Flavor,
+    granularity: TrackingGranularity,
+) -> Insert {
     let mut rewritten = ins.clone();
     if rewritten.columns.is_empty() {
         // Positional inserts cannot name the per-column stamps (the proxy
         // is schema-less); only the row stamp is appended. Column-level
         // deployments should use explicit column lists.
         for row in &mut rewritten.rows {
-            row.push(Expr::int(cur_trid));
+            row.push(trid_expr.clone());
             if flavor.rowid_pseudocolumn().is_none() {
                 row.push(Expr::Literal(resildb_sql::Literal::Null));
             }
@@ -250,13 +273,13 @@ pub fn rewrite_insert(
             for col in listed {
                 rewritten.columns.push(format!("{COLUMN_TRID_PREFIX}{col}"));
                 for row in &mut rewritten.rows {
-                    row.push(Expr::int(cur_trid));
+                    row.push(trid_expr.clone());
                 }
             }
         }
         rewritten.columns.push(TRID_COLUMN.to_string());
         for row in &mut rewritten.rows {
-            row.push(Expr::int(cur_trid));
+            row.push(trid_expr.clone());
         }
     }
     rewritten
@@ -284,7 +307,9 @@ pub fn rewrite_create_table(
         for col in user_cols {
             let stamp = format!("{COLUMN_TRID_PREFIX}{col}");
             if !has(&rewritten, &stamp) {
-                rewritten.columns.push(ColumnDef::new(stamp, TypeName::Integer));
+                rewritten
+                    .columns
+                    .push(ColumnDef::new(stamp, TypeName::Integer));
             }
         }
     }
@@ -342,7 +367,10 @@ mod tests {
     #[test]
     fn table1_row3_aggregate_select_unchanged() {
         let s = sel("SELECT SUM(t.a) FROM t WHERE c = 1 GROUP BY t.b");
-        assert!(rewrite_select(&s, TrackingGranularity::Row).is_none(), "aggregates are not rewritten");
+        assert!(
+            rewrite_select(&s, TrackingGranularity::Row).is_none(),
+            "aggregates are not rewritten"
+        );
         // Plain aggregates without GROUP BY are also left alone.
         let s2 = sel("SELECT COUNT(*) FROM t");
         assert!(rewrite_select(&s2, TrackingGranularity::Row).is_none());
@@ -406,8 +434,7 @@ mod tests {
 
     #[test]
     fn insert_without_column_list_appends_positionally() {
-        let Statement::Insert(i) = parse_statement("INSERT INTO t VALUES (1, 'v')").unwrap()
-        else {
+        let Statement::Insert(i) = parse_statement("INSERT INTO t VALUES (1, 'v')").unwrap() else {
             unreachable!()
         };
         let pg = rewrite_insert(&i, 7, Flavor::Postgres, TrackingGranularity::Row);
@@ -418,13 +445,15 @@ mod tests {
 
     #[test]
     fn multi_row_insert_stamps_every_tuple() {
-        let Statement::Insert(i) =
-            parse_statement("INSERT INTO t (a) VALUES (1), (2)").unwrap()
+        let Statement::Insert(i) = parse_statement("INSERT INTO t (a) VALUES (1), (2)").unwrap()
         else {
             unreachable!()
         };
         let r = rewrite_insert(&i, 9, Flavor::Oracle, TrackingGranularity::Row);
-        assert_eq!(r.to_string(), "INSERT INTO t (a, trid) VALUES (1, 9), (2, 9)");
+        assert_eq!(
+            r.to_string(),
+            "INSERT INTO t (a, trid) VALUES (1, 9), (2, 9)"
+        );
     }
 
     #[test]
@@ -456,12 +485,15 @@ mod tests {
         let r = rewrite_create_table(&ct, Flavor::Postgres, TrackingGranularity::Row);
         assert_eq!(r.columns.len(), 2, "no duplicate trid column");
 
-        let Statement::Update(u) =
-            parse_statement("UPDATE t SET a = 1, trid = 5").unwrap()
-        else {
+        let Statement::Update(u) = parse_statement("UPDATE t SET a = 1, trid = 5").unwrap() else {
             unreachable!()
         };
-        assert_eq!(rewrite_update(&u, 9, TrackingGranularity::Row).assignments.len(), 2);
+        assert_eq!(
+            rewrite_update(&u, 9, TrackingGranularity::Row)
+                .assignments
+                .len(),
+            2
+        );
     }
 
     #[test]
@@ -515,8 +547,7 @@ mod tests {
 
     #[test]
     fn column_level_insert_stamps_listed_columns() {
-        let Statement::Insert(i) =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap()
+        let Statement::Insert(i) = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap()
         else {
             unreachable!()
         };

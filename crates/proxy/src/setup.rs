@@ -50,9 +50,7 @@ pub fn prepare_database(conn: &mut dyn Connection) -> Result<(), WireError> {
         "CREATE TABLE trans_dep (tr_id INTEGER, dep_tr_ids VARCHAR(200), \
          rid INTEGER IDENTITY)",
     )?;
-    conn.execute(
-        "CREATE TABLE annot (tr_id INTEGER, descr VARCHAR(64), rid INTEGER IDENTITY)",
-    )?;
+    conn.execute("CREATE TABLE annot (tr_id INTEGER, descr VARCHAR(64), rid INTEGER IDENTITY)")?;
     conn.execute(
         "CREATE TABLE trans_dep_prov (tr_id INTEGER, dep_tr_id INTEGER, \
          via_table VARCHAR(32), read_cols VARCHAR(200), rid INTEGER IDENTITY)",

@@ -7,16 +7,20 @@ use std::sync::Arc;
 
 use resildb_engine::{Database, EngineError, Value};
 use resildb_sim::{Micros, SimContext};
-use resildb_sql::Statement;
+use resildb_sql::{
+    collect_params, parse_template, scan_statement, Expr, SqlTemplate, Statement, StatementScan,
+    TRID_PARAM,
+};
 use resildb_wire::{
     dual_proxy, single_proxy, Connection, InterceptDriver, Interceptor, InterceptorFactory,
     LinkProfile, NativeDriver, Response, WireError,
 };
 
+use crate::cache::{CacheEntry, RewriteCache};
 use crate::config::ProxyConfig;
 use crate::rewrite::{
-    rewrite_create_table, rewrite_insert, rewrite_select, rewrite_update, COLUMN_TRID_PREFIX,
-    HARVEST_ALIAS_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
+    rewrite_create_table, rewrite_insert, rewrite_insert_with, rewrite_select, rewrite_update,
+    rewrite_update_with, COLUMN_TRID_PREFIX, HARVEST_ALIAS_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
 };
 use crate::setup::TRACKING_TABLES;
 
@@ -43,25 +47,32 @@ impl TrackingProxy {
     /// Without a simulation context the tracker's own CPU costs are not
     /// charged; prefer [`Self::factory_with_sim`].
     pub fn factory(config: ProxyConfig) -> Box<dyn InterceptorFactory> {
-        Self::factory_inner(config, None)
+        Self::factory_inner(config, None).0
     }
 
     /// Like [`Self::factory`], charging rewrite/harvest CPU to `sim`.
     pub fn factory_with_sim(config: ProxyConfig, sim: SimContext) -> Box<dyn InterceptorFactory> {
-        Self::factory_inner(config, Some(sim))
+        Self::factory_inner(config, Some(sim)).0
     }
 
-    fn factory_inner(config: ProxyConfig, sim: Option<SimContext>) -> Box<dyn InterceptorFactory> {
+    fn factory_inner(
+        config: ProxyConfig,
+        sim: Option<SimContext>,
+    ) -> (Box<dyn InterceptorFactory>, Arc<RewriteCache>) {
         let counter = Arc::new(AtomicI64::new(1));
-        Box::new(move || {
+        let cache = Arc::new(RewriteCache::new(config.rewrite_cache_capacity));
+        let handle = Arc::clone(&cache);
+        let factory = Box::new(move || {
             Box::new(Tracker {
                 config: config.clone(),
                 counter: Arc::clone(&counter),
+                cache: Arc::clone(&cache),
                 txn: None,
                 next_annotation: None,
                 sim: sim.clone(),
             }) as Box<dyn Interceptor>
-        })
+        });
+        (factory, handle)
     }
 
     /// Figure 1 deployment: client-side proxy driver over `link`.
@@ -70,8 +81,20 @@ impl TrackingProxy {
         link: LinkProfile,
         config: ProxyConfig,
     ) -> InterceptDriver<NativeDriver> {
+        Self::single_proxy_with_cache(db, link, config).0
+    }
+
+    /// Like [`Self::single_proxy`], additionally returning a handle to the
+    /// shared rewrite cache so callers can inspect hit/miss/eviction
+    /// counters.
+    pub fn single_proxy_with_cache(
+        db: Database,
+        link: LinkProfile,
+        config: ProxyConfig,
+    ) -> (InterceptDriver<NativeDriver>, Arc<RewriteCache>) {
         let sim = db.sim().clone();
-        single_proxy(db, link, Self::factory_with_sim(config, sim))
+        let (factory, cache) = Self::factory_inner(config, Some(sim));
+        (single_proxy(db, link, factory), cache)
     }
 
     /// Figure 2 deployment: client proxy + server proxy pair; the tracker
@@ -115,6 +138,9 @@ impl TxnTrack {
 struct Tracker {
     config: ProxyConfig,
     counter: Arc<AtomicI64>,
+    /// Statement-shape → rewrite-template cache shared across all
+    /// connections of this proxy factory.
+    cache: Arc<RewriteCache>,
     txn: Option<TxnTrack>,
     /// Annotation staged by `ANNOTATE` before the transaction begins.
     next_annotation: Option<String>,
@@ -127,10 +153,7 @@ fn sql_str(s: &str) -> String {
 }
 
 /// Drops the columns flagged in `strip` from a result set.
-fn strip_columns(
-    qr: resildb_engine::QueryResult,
-    strip: &[bool],
-) -> resildb_engine::QueryResult {
+fn strip_columns(qr: resildb_engine::QueryResult, strip: &[bool]) -> resildb_engine::QueryResult {
     let columns = qr
         .columns
         .iter()
@@ -153,9 +176,7 @@ fn strip_columns(
 }
 
 fn is_tracking_table(name: &str) -> bool {
-    TRACKING_TABLES
-        .iter()
-        .any(|t| t.eq_ignore_ascii_case(name))
+    TRACKING_TABLES.iter().any(|t| t.eq_ignore_ascii_case(name))
 }
 
 impl Tracker {
@@ -170,6 +191,14 @@ impl Tracker {
         }
     }
 
+    /// Charges the much smaller replay cost of a rewrite-cache hit
+    /// (fingerprint hash + literal splice).
+    fn charge_rewrite_cached(&self) {
+        if let Some(sim) = &self.sim {
+            sim.clock().advance(self.config.rewrite_cached_cpu);
+        }
+    }
+
     /// Charges the harvesting/stripping cost for `rows` result rows.
     fn charge_harvest(&self, rows: usize) {
         if let Some(sim) = &self.sim {
@@ -181,8 +210,7 @@ impl Tracker {
 
     /// Whether the finished transaction warrants tracking rows.
     fn should_record(&self, t: &TxnTrack) -> bool {
-        self.config.record_deps_at_commit
-            && (t.wrote || self.config.record_read_only_deps)
+        self.config.record_deps_at_commit && (t.wrote || self.config.record_read_only_deps)
     }
 
     /// Writes the provenance, annotation and (last) trans_dep rows for a
@@ -269,7 +297,11 @@ impl Tracker {
         let Response::Rows(qr) = resp else {
             return resp;
         };
-        let strip: Vec<bool> = qr.columns.iter().map(|c| self.is_hidden_column(c)).collect();
+        let strip: Vec<bool> = qr
+            .columns
+            .iter()
+            .map(|c| self.is_hidden_column(c))
+            .collect();
         if !strip.iter().any(|s| *s) {
             return Response::Rows(qr);
         }
@@ -308,11 +340,8 @@ impl Tracker {
                         let v = *v;
                         if v > 0 && v != txn.trid && txn.deps.insert(v) {
                             if let Some(src) = plan.harvested.get(k) {
-                                txn.prov.push((
-                                    v,
-                                    src.table.clone(),
-                                    src.read_columns.join(","),
-                                ));
+                                txn.prov
+                                    .push((v, src.table.clone(), src.read_columns.join(",")));
                             }
                         }
                     }
@@ -365,30 +394,100 @@ impl Tracker {
             }
         }
     }
-}
 
-impl Interceptor for Tracker {
-    fn intercept(
+    /// Builds the cache entry replaying what the cold path does for this
+    /// statement shape. Returns `None` for shapes that must stay cold
+    /// (template construction failed, or a statement class the scanner
+    /// should not have admitted).
+    fn build_entry(&self, sql: &str, scan: &StatementScan, cold: &Statement) -> Option<CacheEntry> {
+        // Mirror the cold dispatch: tracking-table statements first.
+        if let Some(first) = cold.referenced_tables().first() {
+            if is_tracking_table(first) {
+                return Some(CacheEntry::PassthroughRaw);
+            }
+        }
+        match cold {
+            Statement::Select(_) => {
+                if !self.config.track_reads {
+                    return Some(CacheEntry::PassthroughStrip);
+                }
+                let Statement::Select(sel) = parse_template(sql, scan)? else {
+                    return None;
+                };
+                match rewrite_select(&sel, self.config.granularity) {
+                    Some((rewritten, plan)) => {
+                        let stmt = Statement::Select(rewritten);
+                        let order = collect_params(&stmt);
+                        let tmpl = SqlTemplate::new(stmt.to_string(), &order)?;
+                        Some(CacheEntry::Select { tmpl, plan })
+                    }
+                    None => Some(CacheEntry::PassthroughStrip),
+                }
+            }
+            Statement::Insert(_) => {
+                let Statement::Insert(ins) = parse_template(sql, scan)? else {
+                    return None;
+                };
+                let rewritten = rewrite_insert_with(
+                    &ins,
+                    Expr::Param(TRID_PARAM),
+                    self.config.flavor,
+                    self.config.granularity,
+                );
+                let stmt = Statement::Insert(rewritten);
+                let order = collect_params(&stmt);
+                let tmpl = SqlTemplate::new(stmt.to_string(), &order)?;
+                Some(CacheEntry::Write { tmpl })
+            }
+            Statement::Update(_) => {
+                let Statement::Update(upd) = parse_template(sql, scan)? else {
+                    return None;
+                };
+                let rewritten =
+                    rewrite_update_with(&upd, Expr::Param(TRID_PARAM), self.config.granularity);
+                let stmt = Statement::Update(rewritten);
+                let order = collect_params(&stmt);
+                let tmpl = SqlTemplate::new(stmt.to_string(), &order)?;
+                Some(CacheEntry::Write { tmpl })
+            }
+            Statement::Delete(_) => Some(CacheEntry::WriteRaw),
+            _ => None,
+        }
+    }
+
+    /// Replays a cached statement shape for the incoming `sql`.
+    fn execute_cached(
         &mut self,
+        entry: &CacheEntry,
+        sql: &str,
+        scan: &StatementScan,
+        downstream: &mut dyn Connection,
+    ) -> Result<Response, WireError> {
+        match entry {
+            CacheEntry::PassthroughRaw => downstream.execute(sql),
+            CacheEntry::PassthroughStrip => {
+                let resp = downstream.execute(sql)?;
+                Ok(self.strip_only(resp))
+            }
+            CacheEntry::Select { tmpl, plan } => {
+                let rewritten = tmpl.splice(sql, &scan.spans, 0);
+                let resp = downstream.execute(&rewritten)?;
+                Ok(self.harvest_and_strip(resp, plan))
+            }
+            CacheEntry::Write { tmpl } => {
+                self.execute_write(downstream, |trid| tmpl.splice(sql, &scan.spans, trid))
+            }
+            CacheEntry::WriteRaw => self.execute_write(downstream, |_| sql.to_string()),
+        }
+    }
+
+    /// The cold interception path: full parse, rewrite and print.
+    fn execute_cold(
+        &mut self,
+        stmt: &Statement,
         sql: &str,
         downstream: &mut dyn Connection,
     ) -> Result<Response, WireError> {
-        // Out-of-band annotation pseudo-command (proxy extension): names
-        // the current (or next) transaction for the `annot` table.
-        let trimmed = sql.trim();
-        if trimmed.len() >= 9 && trimmed[..9].eq_ignore_ascii_case("ANNOTATE ") {
-            let name = trimmed[9..].trim().to_string();
-            match &mut self.txn {
-                Some(t) => t.annotation = Some(name),
-                None => self.next_annotation = Some(name),
-            }
-            return Ok(Response::TxnControl);
-        }
-
-        let stmt = resildb_sql::parse_statement(sql)
-            .map_err(|e| WireError::Protocol(format!("proxy cannot parse statement: {e}")))?;
-        self.charge_rewrite();
-
         // Statements aimed at the tracking tables themselves pass through
         // untouched (they have no trid column).
         if let Some(first) = stmt.referenced_tables().first() {
@@ -397,7 +496,7 @@ impl Interceptor for Tracker {
             }
         }
 
-        match &stmt {
+        match stmt {
             Statement::Begin => {
                 if self.txn.as_ref().is_some_and(|t| t.explicit) {
                     return Err(WireError::Db(EngineError::InvalidTransactionState(
@@ -465,3 +564,47 @@ impl Interceptor for Tracker {
     }
 }
 
+impl Interceptor for Tracker {
+    fn intercept(
+        &mut self,
+        sql: &str,
+        downstream: &mut dyn Connection,
+    ) -> Result<Response, WireError> {
+        // Out-of-band annotation pseudo-command (proxy extension): names
+        // the current (or next) transaction for the `annot` table.
+        let trimmed = sql.trim();
+        if trimmed.len() >= 9 && trimmed[..9].eq_ignore_ascii_case("ANNOTATE ") {
+            let name = trimmed[9..].trim().to_string();
+            match &mut self.txn {
+                Some(t) => t.annotation = Some(name),
+                None => self.next_annotation = Some(name),
+            }
+            return Ok(Response::TxnControl);
+        }
+
+        // Template fast path: statements whose shape is already cached are
+        // replayed with a fingerprint lookup plus literal splice instead of
+        // the full lex/parse/rewrite/print pipeline.
+        if self.cache.enabled() {
+            if let Some(scan) = scan_statement(sql) {
+                if let Some(entry) = self.cache.lookup(scan.fingerprint, scan.spans.len()) {
+                    self.charge_rewrite_cached();
+                    return self.execute_cached(&entry, sql, &scan, downstream);
+                }
+                let stmt = resildb_sql::parse_statement(sql).map_err(|e| {
+                    WireError::Protocol(format!("proxy cannot parse statement: {e}"))
+                })?;
+                self.charge_rewrite();
+                if let Some(entry) = self.build_entry(sql, &scan, &stmt) {
+                    self.cache.insert(scan.fingerprint, entry);
+                }
+                return self.execute_cold(&stmt, sql, downstream);
+            }
+        }
+
+        let stmt = resildb_sql::parse_statement(sql)
+            .map_err(|e| WireError::Protocol(format!("proxy cannot parse statement: {e}")))?;
+        self.charge_rewrite();
+        self.execute_cold(&stmt, sql, downstream)
+    }
+}

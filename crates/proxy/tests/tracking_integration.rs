@@ -67,11 +67,13 @@ fn sybase_tables_also_gain_identity_rid() {
 #[test]
 fn writes_stamp_trid_and_commit_records_dependencies() {
     let (db, mut conn) = tracked(Flavor::Postgres);
-    conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)").unwrap();
+    conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)")
+        .unwrap();
 
     // Txn A: insert two rows.
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO acct (id, bal) VALUES (1, 10.0), (2, 20.0)").unwrap();
+    conn.execute("INSERT INTO acct (id, bal) VALUES (1, 10.0), (2, 20.0)")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     // Txn B: read row 1, update row 2 — B depends on A via the read.
@@ -81,7 +83,8 @@ fn writes_stamp_trid_and_commit_records_dependencies() {
     let rows = r.rows().unwrap();
     assert_eq!(rows.columns, vec!["bal"]);
     assert_eq!(rows.rows[0], vec![Value::Float(10.0)]);
-    conn.execute("UPDATE acct SET bal = 99.0 WHERE id = 2").unwrap();
+    conn.execute("UPDATE acct SET bal = 99.0 WHERE id = 2")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     // Find the two proxy txn ids from trans_dep.
@@ -90,8 +93,12 @@ fn writes_stamp_trid_and_commit_records_dependencies() {
         .query("SELECT tr_id, dep_tr_ids FROM trans_dep ORDER BY tr_id")
         .unwrap();
     assert_eq!(recs.rows.len(), 2);
-    let Value::Int(a) = recs.rows[0][0] else { panic!() };
-    let Value::Int(b) = recs.rows[1][0] else { panic!() };
+    let Value::Int(a) = recs.rows[0][0] else {
+        panic!()
+    };
+    let Value::Int(b) = recs.rows[1][0] else {
+        panic!()
+    };
 
     assert_eq!(deps_of(&db, a), Vec::<i64>::new(), "first txn has no deps");
     assert_eq!(deps_of(&db, b), vec![a], "reader depends on writer");
@@ -108,10 +115,13 @@ fn provenance_records_table_and_read_columns() {
     let (db, mut conn) = tracked(Flavor::Postgres);
     conn.execute("CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)")
         .unwrap();
-    conn.execute("INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 0.05, 0.0)").unwrap();
+    conn.execute("INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 0.05, 0.0)")
+        .unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("SELECT w_tax FROM warehouse WHERE w_id = 1").unwrap();
-    conn.execute("UPDATE warehouse SET w_ytd = 1.0 WHERE w_id = 1").unwrap();
+    conn.execute("SELECT w_tax FROM warehouse WHERE w_id = 1")
+        .unwrap();
+    conn.execute("UPDATE warehouse SET w_ytd = 1.0 WHERE w_id = 1")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     let mut s = db.session();
@@ -120,9 +130,14 @@ fn provenance_records_table_and_read_columns() {
         .unwrap();
     assert_eq!(prov.rows.len(), 1);
     assert_eq!(prov.rows[0][0], Value::from("warehouse"));
-    let Value::Str(cols) = &prov.rows[0][1] else { panic!() };
+    let Value::Str(cols) = &prov.rows[0][1] else {
+        panic!()
+    };
     assert!(cols.contains("w_tax") && cols.contains("w_id"));
-    assert!(!cols.contains("w_ytd"), "reader never touched w_ytd: {cols}");
+    assert!(
+        !cols.contains("w_ytd"),
+        "reader never touched w_ytd: {cols}"
+    );
 }
 
 #[test]
@@ -136,7 +151,9 @@ fn autocommit_write_gets_its_own_tracked_transaction() {
     assert_eq!(db.row_count("annot").unwrap(), 0);
     // Distinct proxy ids.
     let mut s = db.session();
-    let r = s.query("SELECT COUNT(DISTINCT tr_id) FROM trans_dep").unwrap();
+    let r = s
+        .query("SELECT COUNT(DISTINCT tr_id) FROM trans_dep")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(2));
 }
 
@@ -148,7 +165,11 @@ fn rollback_discards_tracking_state() {
     conn.execute("INSERT INTO t (a) VALUES (1)").unwrap();
     conn.execute("ROLLBACK").unwrap();
     assert_eq!(db.row_count("t").unwrap(), 0);
-    assert_eq!(db.row_count("trans_dep").unwrap(), 0, "no record for aborted txn");
+    assert_eq!(
+        db.row_count("trans_dep").unwrap(),
+        0,
+        "no record for aborted txn"
+    );
 }
 
 #[test]
@@ -189,14 +210,17 @@ fn aggregate_selects_pass_through_untracked() {
     conn.execute("COMMIT").unwrap();
     // The aggregate read produced no dependency (paper limitation).
     let mut s = db.session();
-    let r = s.query("SELECT dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 1").unwrap();
+    let r = s
+        .query("SELECT dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 1")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::from(""));
 }
 
 #[test]
 fn dependency_on_deleted_then_read_rows_via_select() {
     let (db, mut conn) = tracked_readonly_deps(Flavor::Postgres);
-    conn.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        .unwrap();
     conn.execute("INSERT INTO t (a, b) VALUES (1, 0)").unwrap();
     conn.execute("BEGIN").unwrap();
     conn.execute("SELECT b FROM t WHERE a = 1").unwrap();
@@ -212,8 +236,10 @@ fn dependency_on_deleted_then_read_rows_via_select() {
 #[test]
 fn wildcard_select_strips_trid_from_client_view() {
     let (_db, mut conn) = tracked(Flavor::Postgres);
-    conn.execute("CREATE TABLE t (a INTEGER, b VARCHAR(4))").unwrap();
-    conn.execute("INSERT INTO t (a, b) VALUES (1, 'x')").unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER, b VARCHAR(4))")
+        .unwrap();
+    conn.execute("INSERT INTO t (a, b) VALUES (1, 'x')")
+        .unwrap();
     let r = conn.execute("SELECT * FROM t").unwrap();
     let rows = r.rows().unwrap();
     assert_eq!(rows.columns, vec!["a", "b"], "trid hidden from wildcard");
@@ -223,17 +249,30 @@ fn wildcard_select_strips_trid_from_client_view() {
 #[test]
 fn join_select_harvests_from_both_tables() {
     let (db, mut conn) = tracked_readonly_deps(Flavor::Postgres);
-    conn.execute("CREATE TABLE t1 (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    conn.execute("CREATE TABLE t2 (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    conn.execute("INSERT INTO t1 (id, v) VALUES (1, 10)").unwrap(); // txn X
-    conn.execute("INSERT INTO t2 (id, v) VALUES (1, 20)").unwrap(); // txn Y
+    conn.execute("CREATE TABLE t1 (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("CREATE TABLE t2 (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t1 (id, v) VALUES (1, 10)")
+        .unwrap(); // txn X
+    conn.execute("INSERT INTO t2 (id, v) VALUES (1, 20)")
+        .unwrap(); // txn Y
     conn.execute("BEGIN").unwrap();
-    conn.execute("SELECT t1.v, t2.v FROM t1, t2 WHERE t1.id = t2.id").unwrap();
+    conn.execute("SELECT t1.v, t2.v FROM t1, t2 WHERE t1.id = t2.id")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
     let mut s = db.session();
-    let r = s.query("SELECT dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 1").unwrap();
-    let Value::Str(ids) = &r.rows[0][0] else { panic!() };
-    assert_eq!(ids.split_whitespace().count(), 2, "deps on both writers: {ids}");
+    let r = s
+        .query("SELECT dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 1")
+        .unwrap();
+    let Value::Str(ids) = &r.rows[0][0] else {
+        panic!()
+    };
+    assert_eq!(
+        ids.split_whitespace().count(),
+        2,
+        "deps on both writers: {ids}"
+    );
 }
 
 #[test]
@@ -252,7 +291,9 @@ fn tracking_disabled_reads_record_nothing() {
     conn.execute("INSERT INTO t (a) VALUES (2)").unwrap();
     conn.execute("COMMIT").unwrap();
     let mut s = db.session();
-    let r = s.query("SELECT dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 1").unwrap();
+    let r = s
+        .query("SELECT dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 1")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::from(""), "no read deps harvested");
 }
 
@@ -262,7 +303,9 @@ fn queries_on_tracking_tables_pass_through() {
     conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
     conn.execute("INSERT INTO t (a) VALUES (1)").unwrap();
     // Reading trans_dep through the proxy must not try to harvest trid.
-    let r = conn.execute("SELECT tr_id, dep_tr_ids FROM trans_dep").unwrap();
+    let r = conn
+        .execute("SELECT tr_id, dep_tr_ids FROM trans_dep")
+        .unwrap();
     assert_eq!(r.rows().unwrap().rows.len(), 1);
 }
 
@@ -305,11 +348,13 @@ fn trans_dep_insert_is_last_before_commit_in_wal() {
 #[test]
 fn long_dependency_sets_split_across_rows() {
     let (db, mut conn) = tracked_readonly_deps(Flavor::Postgres);
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     // 120 separate writer transactions (enough that the space-separated
     // id list exceeds the 200-char column width).
     for i in 0..120 {
-        conn.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, {i})")).unwrap();
+        conn.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, {i})"))
+            .unwrap();
     }
     // One reader that touches all 60 rows.
     conn.execute("BEGIN").unwrap();
@@ -319,11 +364,19 @@ fn long_dependency_sets_split_across_rows() {
     let r = s
         .query("SELECT tr_id, dep_tr_ids FROM trans_dep ORDER BY tr_id DESC LIMIT 2")
         .unwrap();
-    let Value::Int(reader) = r.rows[0][0] else { panic!() };
+    let Value::Int(reader) = r.rows[0][0] else {
+        panic!()
+    };
     let rows = s
-        .query(&format!("SELECT dep_tr_ids FROM trans_dep WHERE tr_id = {reader}"))
+        .query(&format!(
+            "SELECT dep_tr_ids FROM trans_dep WHERE tr_id = {reader}"
+        ))
         .unwrap();
-    assert!(rows.rows.len() > 1, "long dep set must split; got {} row(s)", rows.rows.len());
+    assert!(
+        rows.rows.len() > 1,
+        "long dep set must split; got {} row(s)",
+        rows.rows.len()
+    );
     let total: usize = rows
         .rows
         .iter()

@@ -152,9 +152,13 @@ fn expr_value(e: &Expr) -> Result<Value> {
 
 /// Extracts `N` from a `WHERE rowid = N` clause.
 fn rowid_from_where(w: &Option<Expr>) -> Result<RowId> {
-    if let Some(Expr::Binary { left, op: BinaryOp::Eq, right }) = w {
-        if let (Expr::Column(c), Expr::Literal(resildb_sql::Literal::Int(n))) =
-            (&**left, &**right)
+    if let Some(Expr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    }) = w
+    {
+        if let (Expr::Column(c), Expr::Literal(resildb_sql::Literal::Int(n))) = (&**left, &**right)
         {
             if c.column.eq_ignore_ascii_case("rowid") {
                 return Ok(RowId(*n as u64));
@@ -209,13 +213,11 @@ impl LogAdapter for OracleAdapter {
                     }
                 }
                 "UPDATE" => {
-                    let Statement::Update(redo) =
-                        parse_stmt(rec.sql_redo.as_ref().expect("redo"))?
+                    let Statement::Update(redo) = parse_stmt(rec.sql_redo.as_ref().expect("redo"))?
                     else {
                         return Err(EngineError::Internal("redo of UPDATE not an UPDATE".into()));
                     };
-                    let Statement::Update(undo) =
-                        parse_stmt(rec.sql_undo.as_ref().expect("undo"))?
+                    let Statement::Update(undo) = parse_stmt(rec.sql_undo.as_ref().expect("undo"))?
                     else {
                         return Err(EngineError::Internal("undo of UPDATE not an UPDATE".into()));
                     };
@@ -297,9 +299,10 @@ fn decode_delta(db: &Database, table: &str, bytes: &[u8]) -> Result<(NamedRow, N
         }
         let idx = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
         pos += 2;
-        let col = schema.columns.get(idx).ok_or_else(|| {
-            EngineError::Internal(format!("dbcc delta references column {idx}"))
-        })?;
+        let col = schema
+            .columns
+            .get(idx)
+            .ok_or_else(|| EngineError::Internal(format!("dbcc delta references column {idx}")))?;
         let (b, used) = decode_value(&bytes[pos..], col.ty)?;
         pos += used;
         let (a, used) = decode_value(&bytes[pos..], col.ty)?;

@@ -67,15 +67,14 @@ pub fn run_compensation(
     let mut remap: HashMap<String, HashMap<RowAddress, i64>> = HashMap::new();
     let addr_col = address.column_name();
 
-    let current_addr = |remap: &HashMap<String, HashMap<RowAddress, i64>>,
-                        table: &str,
-                        a: &RowAddress| {
-        remap
-            .get(table)
-            .and_then(|m| m.get(a))
-            .copied()
-            .unwrap_or_else(|| a.literal())
-    };
+    let current_addr =
+        |remap: &HashMap<String, HashMap<RowAddress, i64>>, table: &str, a: &RowAddress| {
+            remap
+                .get(table)
+                .and_then(|m| m.get(a))
+                .copied()
+                .unwrap_or_else(|| a.literal())
+        };
 
     for rec in records.iter().rev() {
         let Some(&proxy) = undo_internal.get(&rec.internal_txn) else {
@@ -125,9 +124,7 @@ pub fn run_compensation(
                 });
             }
             RepairOp::Update {
-                address: a,
-                before,
-                ..
+                address: a, before, ..
             } => {
                 if before.is_empty() {
                     // The update changed no column values (e.g. a repeated

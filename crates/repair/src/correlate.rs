@@ -32,7 +32,9 @@ impl TxnCorrelation {
         for rec in records {
             match &rec.op {
                 RepairOp::Insert { row, .. }
-                    if rec.table.eq_ignore_ascii_case(resildb_proxy::TRANS_DEP_TABLE) =>
+                    if rec
+                        .table
+                        .eq_ignore_ascii_case(resildb_proxy::TRANS_DEP_TABLE) =>
                 {
                     if let Some(Value::Int(tr_id)) = row.get("tr_id") {
                         last_trans_dep_insert.insert(rec.internal_txn, *tr_id);

@@ -92,8 +92,7 @@ fn check_value_spike(
 /// and uncommitted ones were already rolled back.
 pub fn detect(analysis: &Analysis, rules: &[AnomalyRule]) -> Vec<Detection> {
     let mut detections: Vec<Detection> = Vec::new();
-    let mut write_counts: std::collections::HashMap<i64, usize> =
-        std::collections::HashMap::new();
+    let mut write_counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
 
     let flag = |detections: &mut Vec<Detection>, proxy: i64, lsn: Lsn, reason: String| {
         if !detections.iter().any(|d| d.proxy_txn == proxy) {
@@ -180,12 +179,16 @@ mod tests {
     #[test]
     fn value_spike_flags_the_forged_update_only() {
         let (db, mut conn) = setup();
-        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)").unwrap();
-        conn.execute("INSERT INTO acct (id, bal) VALUES (1, 100.0)").unwrap();
-        conn.execute("UPDATE acct SET bal = bal + 10.0 WHERE id = 1").unwrap();
+        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)")
+            .unwrap();
+        conn.execute("INSERT INTO acct (id, bal) VALUES (1, 100.0)")
+            .unwrap();
+        conn.execute("UPDATE acct SET bal = bal + 10.0 WHERE id = 1")
+            .unwrap();
         conn.execute("ANNOTATE attack").unwrap();
         conn.execute("BEGIN").unwrap();
-        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1").unwrap();
+        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1")
+            .unwrap();
         conn.execute("COMMIT").unwrap();
 
         let analysis = crate::RepairTool::new(db.clone()).analyze().unwrap();
@@ -209,9 +212,11 @@ mod tests {
     #[test]
     fn large_write_set_flags_blanket_updates() {
         let (db, mut conn) = setup();
-        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .unwrap();
         for i in 0..10 {
-            conn.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, 0)")).unwrap();
+            conn.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, 0)"))
+                .unwrap();
         }
         // The blanket update touches every row in one transaction.
         conn.execute("UPDATE t SET v = 1").unwrap();
@@ -242,8 +247,10 @@ mod tests {
     #[test]
     fn clean_history_produces_no_detections() {
         let (db, mut conn) = setup();
-        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT)").unwrap();
-        conn.execute("INSERT INTO t (id, v) VALUES (1, 1.0)").unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (1, 1.0)")
+            .unwrap();
         conn.execute("UPDATE t SET v = 2.0 WHERE id = 1").unwrap();
         let analysis = crate::RepairTool::new(db).analyze().unwrap();
         let rules = vec![

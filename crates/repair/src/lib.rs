@@ -49,9 +49,9 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
-pub mod detect;
 mod compensate;
 mod correlate;
+pub mod detect;
 mod error;
 mod graph;
 mod record;
@@ -59,8 +59,8 @@ mod tool;
 mod whatif;
 
 pub use compensate::{run_compensation, CompensatingStatement, CompensationOutcome};
-pub use detect::{detect, AnomalyRule, Detection};
 pub use correlate::TxnCorrelation;
+pub use detect::{detect, AnomalyRule, Detection};
 pub use error::RepairError;
 pub use graph::{DepGraph, EdgeKind, EdgeProvenance, FalseDepRule};
 pub use record::{NamedRow, RepairOp, RepairRecord, RowAddress};

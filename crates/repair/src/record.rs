@@ -178,7 +178,9 @@ mod tests {
 
     #[test]
     fn changed_columns_reflect_op_kind() {
-        let after: NamedRow = [("bal".to_string(), Value::Float(2.0))].into_iter().collect();
+        let after: NamedRow = [("bal".to_string(), Value::Float(2.0))]
+            .into_iter()
+            .collect();
         let upd = rec(RepairOp::Update {
             address: RowAddress::Pseudo(RowId(1)),
             before: NamedRow::default(),

@@ -179,9 +179,7 @@ impl RepairTool {
             let Some(proxy) = correlation.proxy_id(rec.internal_txn) else {
                 continue; // uncommitted or untracked transaction
             };
-            if rec.table.is_empty()
-                || crate::is_tracking_table(&rec.table)
-            {
+            if rec.table.is_empty() || crate::is_tracking_table(&rec.table) {
                 continue;
             }
             match &rec.op {
@@ -209,8 +207,7 @@ impl RepairTool {
             if let Some(image) = before {
                 let mut column_edges = 0;
                 for (name, value) in &image.0 {
-                    let Some(col) = name.strip_prefix(resildb_proxy::COLUMN_TRID_PREFIX)
-                    else {
+                    let Some(col) = name.strip_prefix(resildb_proxy::COLUMN_TRID_PREFIX) else {
                         continue;
                     };
                     if let resildb_engine::Value::Int(dep) = value {

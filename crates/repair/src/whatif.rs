@@ -181,12 +181,16 @@ mod tests {
         config.record_read_only_deps = true;
         let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), config);
         let mut conn = driver.connect().unwrap();
-        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .unwrap();
         for (label, stmts) in [
             ("attack", vec!["INSERT INTO t (id, v) VALUES (1, 666)"]),
             (
                 "dependent",
-                vec!["SELECT v FROM t WHERE id = 1", "INSERT INTO t (id, v) VALUES (2, 1)"],
+                vec![
+                    "SELECT v FROM t WHERE id = 1",
+                    "INSERT INTO t (id, v) VALUES (2, 1)",
+                ],
             ),
             ("independent", vec!["INSERT INTO t (id, v) VALUES (3, 3)"]),
         ] {

@@ -46,9 +46,7 @@ impl Fixture {
     fn txn_id(&self, name: &str) -> i64 {
         let mut s = self.db.session();
         let r = s
-            .query(&format!(
-                "SELECT tr_id FROM annot WHERE descr = '{name}'"
-            ))
+            .query(&format!("SELECT tr_id FROM annot WHERE descr = '{name}'"))
             .unwrap();
         match r.rows.first().map(|row| &row[0]) {
             Some(Value::Int(v)) => *v,
@@ -61,7 +59,10 @@ impl Fixture {
         let r = s
             .query(&format!("SELECT bal FROM acct WHERE id = {id}"))
             .unwrap();
-        r.rows.first().map(|row| row[0].clone()).unwrap_or(Value::Null)
+        r.rows
+            .first()
+            .map(|row| row[0].clone())
+            .unwrap_or(Value::Null)
     }
 }
 
@@ -72,9 +73,7 @@ fn selective_undo_scenario(flavor: Flavor) {
     fx.exec("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)");
     fx.txn(
         "load",
-        &[
-            "INSERT INTO acct (id, bal) VALUES (1, 100.0), (2, 50.0), (3, 75.0)",
-        ],
+        &["INSERT INTO acct (id, bal) VALUES (1, 100.0), (2, 50.0), (3, 75.0)"],
     );
     // The attack: inflate account 1.
     fx.txn("attack", &["UPDATE acct SET bal = 1000000.0 WHERE id = 1"]);
@@ -87,7 +86,10 @@ fn selective_undo_scenario(flavor: Flavor) {
         ],
     );
     // An independent transaction touching only account 3.
-    fx.txn("independent", &["UPDATE acct SET bal = bal - 5.0 WHERE id = 3"]);
+    fx.txn(
+        "independent",
+        &["UPDATE acct SET bal = bal - 5.0 WHERE id = 3"],
+    );
 
     let attack = fx.txn_id("attack");
     let dependent = fx.txn_id("dependent");
@@ -97,16 +99,31 @@ fn selective_undo_scenario(flavor: Flavor) {
     let analysis = tool.analyze().unwrap();
     let undo = analysis.undo_set(&[attack], &[]);
     assert!(undo.contains(&attack));
-    assert!(undo.contains(&dependent), "reader of poisoned row is corrupted");
+    assert!(
+        undo.contains(&dependent),
+        "reader of poisoned row is corrupted"
+    );
     assert!(!undo.contains(&independent), "unrelated txn must be spared");
 
     let report = tool.repair_with_undo_set(&analysis, &undo).unwrap();
     assert_eq!(report.undo_set, undo);
 
     // Attack effect gone, dependent effect gone, independent kept.
-    assert_eq!(fx.balance(1), Value::Float(100.0), "{flavor}: attack undone");
-    assert_eq!(fx.balance(2), Value::Float(50.0), "{flavor}: dependent undone");
-    assert_eq!(fx.balance(3), Value::Float(70.0), "{flavor}: independent preserved");
+    assert_eq!(
+        fx.balance(1),
+        Value::Float(100.0),
+        "{flavor}: attack undone"
+    );
+    assert_eq!(
+        fx.balance(2),
+        Value::Float(50.0),
+        "{flavor}: dependent undone"
+    );
+    assert_eq!(
+        fx.balance(3),
+        Value::Float(70.0),
+        "{flavor}: independent preserved"
+    );
 }
 
 #[test]
@@ -188,7 +205,10 @@ fn sybase_modify_offset_adjustment_with_later_deletes() {
     // Attack updates row 3 (MODIFY logged at its then-offset)...
     fx.txn("attack", &["UPDATE t SET v = 999 WHERE id = 3"]);
     // ...then an unrelated txn deletes rows 1 and 2, shifting row 3 left.
-    fx.txn("cleanup", &["DELETE FROM t WHERE id = 1", "DELETE FROM t WHERE id = 2"]);
+    fx.txn(
+        "cleanup",
+        &["DELETE FROM t WHERE id = 1", "DELETE FROM t WHERE id = 2"],
+    );
 
     let attack = fx.txn_id("attack");
     let cleanup = fx.txn_id("cleanup");
@@ -201,7 +221,11 @@ fn sybase_modify_offset_adjustment_with_later_deletes() {
     let mut s = fx.db.session();
     let r = s.query("SELECT v FROM t WHERE id = 3").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(30), "attack on row 3 undone");
-    assert!(s.query("SELECT v FROM t WHERE id = 1").unwrap().rows.is_empty());
+    assert!(s
+        .query("SELECT v FROM t WHERE id = 1")
+        .unwrap()
+        .rows
+        .is_empty());
 }
 
 /// The MODIFY row itself deleted later: its identity comes from the
@@ -223,15 +247,17 @@ fn sybase_modify_of_row_deleted_later() {
     assert_eq!(report.undo_set.len(), 2);
     let mut s = fx.db.session();
     let r = s.query("SELECT v FROM t WHERE id = 2").unwrap();
-    assert_eq!(r.rows[0][0], Value::Int(20), "row restored to pre-attack value");
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(20),
+        "row restored to pre-attack value"
+    );
 }
 
 #[test]
 fn false_dependency_rule_shrinks_undo_set() {
     let mut fx = fixture(Flavor::Postgres);
-    fx.exec(
-        "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)",
-    );
+    fx.exec("CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)");
     fx.txn(
         "load",
         &["INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 0.05, 0.0)"],
@@ -261,8 +287,14 @@ fn false_dependency_rule_shrinks_undo_set() {
         columns: vec!["w_ytd".into()],
     }];
     let filtered = analysis.undo_set(&[attack], &rules);
-    assert!(!filtered.contains(&neworder), "w_tax reader is a false dependent");
-    assert!(filtered.contains(&audit), "w_ytd reader is a true dependent");
+    assert!(
+        !filtered.contains(&neworder),
+        "w_tax reader is a false dependent"
+    );
+    assert!(
+        filtered.contains(&audit),
+        "w_ytd reader is a true dependent"
+    );
 }
 
 #[test]
@@ -273,7 +305,9 @@ fn repair_removes_tracking_rows_of_undone_transactions() {
     fx.txn("attack", &["INSERT INTO t (a) VALUES (666)"]);
     let attack = fx.txn_id("attack");
     let before = fx.db.row_count("trans_dep").unwrap();
-    RepairTool::new(fx.db.clone()).repair(&[attack], &[]).unwrap();
+    RepairTool::new(fx.db.clone())
+        .repair(&[attack], &[])
+        .unwrap();
     let after = fx.db.row_count("trans_dep").unwrap();
     assert_eq!(after, before - 1, "undone txn's trans_dep row removed");
     let mut s = fx.db.session();
@@ -315,7 +349,9 @@ fn log_reconstructed_update_dependency_without_select() {
     // trans_dep knows nothing...
     let mut s = fx.db.session();
     let r = s
-        .query(&format!("SELECT dep_tr_ids FROM trans_dep WHERE tr_id = {t2}"))
+        .query(&format!(
+            "SELECT dep_tr_ids FROM trans_dep WHERE tr_id = {t2}"
+        ))
         .unwrap();
     assert_eq!(r.rows[0][0], Value::from(""));
     // ...but the graph has the reconstructed edge.
@@ -329,7 +365,13 @@ fn repairing_full_history_restores_empty_tables() {
     let mut fx = fixture(Flavor::Oracle);
     fx.exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
     fx.txn("a", &["INSERT INTO t (id, v) VALUES (1, 1)"]);
-    fx.txn("b", &["UPDATE t SET v = 2 WHERE id = 1", "INSERT INTO t (id, v) VALUES (2, 2)"]);
+    fx.txn(
+        "b",
+        &[
+            "UPDATE t SET v = 2 WHERE id = 1",
+            "INSERT INTO t (id, v) VALUES (2, 2)",
+        ],
+    );
     fx.txn("c", &["DELETE FROM t WHERE id = 2"]);
     let a = fx.txn_id("a");
     let report = RepairTool::new(fx.db.clone()).repair(&[a], &[]).unwrap();
@@ -344,7 +386,13 @@ fn what_if_analysis_with_ignore_table() {
     let mut fx = fixture(Flavor::Postgres);
     fx.exec("CREATE TABLE data (id INTEGER PRIMARY KEY, v INTEGER)");
     fx.exec("CREATE TABLE scratch (id INTEGER PRIMARY KEY, v INTEGER)");
-    fx.txn("attack", &["INSERT INTO scratch (id, v) VALUES (1, 0)", "INSERT INTO data (id, v) VALUES (1, 0)"]);
+    fx.txn(
+        "attack",
+        &[
+            "INSERT INTO scratch (id, v) VALUES (1, 0)",
+            "INSERT INTO data (id, v) VALUES (1, 0)",
+        ],
+    );
     fx.txn("via_scratch", &["SELECT v FROM scratch WHERE id = 1"]);
     fx.txn("via_data", &["SELECT v FROM data WHERE id = 1"]);
     let attack = fx.txn_id("attack");

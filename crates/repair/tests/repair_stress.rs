@@ -35,8 +35,10 @@ fn txn_id(db: &Database, label: &str) -> i64 {
 #[test]
 fn aborted_transactions_do_not_confuse_analysis_or_repair() {
     let (db, mut conn) = tracked(Flavor::Postgres);
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    conn.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+        .unwrap();
 
     // An aborted transaction that would have been dependent.
     conn.execute("BEGIN").unwrap();
@@ -100,7 +102,8 @@ fn sybase_offset_adjustment_across_many_pages_and_deletes() {
     conn.execute("ANNOTATE attack").unwrap();
     conn.execute("BEGIN").unwrap();
     for i in [3, 37, 71, 105] {
-        conn.execute(&format!("UPDATE t SET v = 9999 WHERE id = {i}")).unwrap();
+        conn.execute(&format!("UPDATE t SET v = 9999 WHERE id = {i}"))
+            .unwrap();
     }
     conn.execute("COMMIT").unwrap();
 
@@ -110,7 +113,8 @@ fn sybase_offset_adjustment_across_many_pages_and_deletes() {
     conn.execute("BEGIN").unwrap();
     for i in (0..120).step_by(5) {
         if ![3, 37, 71, 105].contains(&i) {
-            conn.execute(&format!("DELETE FROM t WHERE id = {i}")).unwrap();
+            conn.execute(&format!("DELETE FROM t WHERE id = {i}"))
+                .unwrap();
         }
     }
     conn.execute("COMMIT").unwrap();
@@ -120,13 +124,18 @@ fn sybase_offset_adjustment_across_many_pages_and_deletes() {
     let tool = RepairTool::new(db.clone());
     let analysis = tool.analyze().unwrap();
     let undo = analysis.undo_set(&[attack], &[]);
-    assert!(!undo.contains(&cleanup), "cleanup deleted untouched rows only");
+    assert!(
+        !undo.contains(&cleanup),
+        "cleanup deleted untouched rows only"
+    );
     tool.repair_with_undo_set(&analysis, &undo).unwrap();
 
     let mut s = db.session();
     for i in [3, 37, 71, 105] {
         assert_eq!(
-            s.query(&format!("SELECT v FROM t WHERE id = {i}")).unwrap().rows[0][0],
+            s.query(&format!("SELECT v FROM t WHERE id = {i}"))
+                .unwrap()
+                .rows[0][0],
             Value::Int(i),
             "row {i} restored"
         );
@@ -136,18 +145,22 @@ fn sybase_offset_adjustment_across_many_pages_and_deletes() {
 #[test]
 fn deep_dependency_chain_closure_and_repair() {
     let (db, mut conn) = tracked(Flavor::Oracle);
-    conn.execute("CREATE TABLE chain (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE chain (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("ANNOTATE t0").unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO chain (id, v) VALUES (0, 0)").unwrap();
+    conn.execute("INSERT INTO chain (id, v) VALUES (0, 0)")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
     // 80 transactions, each reading the previous row and inserting the
     // next — one long genuine dependency chain.
     for i in 1..=80 {
         conn.execute(&format!("ANNOTATE t{i}")).unwrap();
         conn.execute("BEGIN").unwrap();
-        conn.execute(&format!("SELECT v FROM chain WHERE id = {}", i - 1)).unwrap();
-        conn.execute(&format!("INSERT INTO chain (id, v) VALUES ({i}, {i})")).unwrap();
+        conn.execute(&format!("SELECT v FROM chain WHERE id = {}", i - 1))
+            .unwrap();
+        conn.execute(&format!("INSERT INTO chain (id, v) VALUES ({i}, {i})"))
+            .unwrap();
         conn.execute("COMMIT").unwrap();
     }
     let t0 = txn_id(&db, "t0");
@@ -164,14 +177,17 @@ fn deep_dependency_chain_closure_and_repair() {
 #[test]
 fn mid_chain_attack_spares_the_prefix() {
     let (db, mut conn) = tracked(Flavor::Postgres);
-    conn.execute("CREATE TABLE chain (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE chain (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     for i in 0..=20 {
         conn.execute(&format!("ANNOTATE t{i}")).unwrap();
         conn.execute("BEGIN").unwrap();
         if i > 0 {
-            conn.execute(&format!("SELECT v FROM chain WHERE id = {}", i - 1)).unwrap();
+            conn.execute(&format!("SELECT v FROM chain WHERE id = {}", i - 1))
+                .unwrap();
         }
-        conn.execute(&format!("INSERT INTO chain (id, v) VALUES ({i}, {i})")).unwrap();
+        conn.execute(&format!("INSERT INTO chain (id, v) VALUES ({i}, {i})"))
+            .unwrap();
         conn.execute("COMMIT").unwrap();
     }
     let mid = txn_id(&db, "t10");
@@ -196,7 +212,8 @@ fn concurrent_tracked_clients_share_the_proxy_id_sequence() {
     ));
     {
         let mut conn = driver.connect().unwrap();
-        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .unwrap();
     }
     let mut handles = Vec::new();
     for t in 0..4i64 {
@@ -224,15 +241,18 @@ fn concurrent_tracked_clients_share_the_proxy_id_sequence() {
 #[test]
 fn repair_restores_multi_table_transactions_atomically() {
     let (db, mut conn) = tracked(Flavor::Sybase);
-    conn.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    conn.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("INSERT INTO a (id, v) VALUES (1, 1)").unwrap();
     conn.execute("INSERT INTO b (id, v) VALUES (1, 1)").unwrap();
     conn.execute("ANNOTATE attack").unwrap();
     conn.execute("BEGIN").unwrap();
     conn.execute("UPDATE a SET v = 666 WHERE id = 1").unwrap();
     conn.execute("DELETE FROM b WHERE id = 1").unwrap();
-    conn.execute("INSERT INTO a (id, v) VALUES (2, 666)").unwrap();
+    conn.execute("INSERT INTO a (id, v) VALUES (2, 666)")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     let attack = txn_id(&db, "attack");

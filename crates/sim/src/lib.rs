@@ -37,11 +37,13 @@
 mod buffer;
 mod clock;
 mod cost;
+mod lru;
 mod stats;
 
 pub use buffer::{BufferPool, PageAccess, PageKey};
 pub use clock::{Micros, VirtualClock};
 pub use cost::CostModel;
+pub use lru::LruMap;
 pub use stats::SimStats;
 
 use std::sync::Arc;
@@ -139,9 +141,9 @@ impl SimContext {
     /// via [`Self::charge_log_force`].
     pub fn charge_log_append(&self, bytes: usize) {
         self.inner.stats.log_bytes.add(bytes as u64);
-        self.inner
-            .clock
-            .advance(Micros::from_nanos(self.inner.cost.log_append_per_byte_ns * bytes as u64));
+        self.inner.clock.advance(Micros::from_nanos(
+            self.inner.cost.log_append_per_byte_ns * bytes as u64,
+        ));
     }
 
     /// Charges the synchronous log force performed at commit.
@@ -204,7 +206,10 @@ mod tests {
         let t_miss = sim.clock().now();
         sim.charge_page_read(PageKey::new(1, 0));
         let t_hit = sim.clock().now() - t_miss;
-        assert!(t_hit < t_miss, "hit {t_hit:?} should be cheaper than miss {t_miss:?}");
+        assert!(
+            t_hit < t_miss,
+            "hit {t_hit:?} should be cheaper than miss {t_miss:?}"
+        );
         assert_eq!(sim.stats().page_hits.get(), 1);
         assert_eq!(sim.stats().page_misses.get(), 1);
     }

@@ -1,0 +1,143 @@
+//! A generic bounded least-recently-used map.
+//!
+//! Shared by the proxy's statement-template rewrite cache and the engine's
+//! parsed-statement cache; the [`BufferPool`](crate::BufferPool) keeps its
+//! own specialised implementation because it must also track dirtiness and
+//! report write-back evictions.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A strict-LRU map holding at most `capacity` entries; capacity 0 disables
+/// the map entirely (every `get` misses, every `insert` is dropped).
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<K, (u64, V)>,
+    by_age: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Creates a map bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        self.by_age.remove(&entry.0);
+        entry.0 = tick;
+        self.by_age.insert(tick, key.clone());
+        Some(&entry.1)
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when
+    /// full. Returns whether an older entry was evicted to make room.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.entries.insert(key.clone(), (tick, value)) {
+            self.by_age.remove(&old.0);
+            self.by_age.insert(tick, key);
+            return false;
+        }
+        self.by_age.insert(tick, key);
+        let mut evicted = false;
+        if self.entries.len() > self.capacity {
+            if let Some((&age, victim)) = self.by_age.iter().next() {
+                let victim = victim.clone();
+                self.by_age.remove(&age);
+                self.entries.remove(&victim);
+                evicted = true;
+            }
+        }
+        evicted
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_age.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut m = LruMap::new(2);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get(&"a"), Some(&1));
+        assert!(m.insert("c", 3), "b should be evicted");
+        assert_eq!(m.get(&"b"), None);
+        assert_eq!(m.get(&"a"), Some(&1));
+        assert_eq!(m.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut m = LruMap::new(2);
+        m.insert(1, "x");
+        m.insert(2, "y");
+        assert!(!m.insert(1, "z"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&"z"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut m = LruMap::new(0);
+        assert!(!m.insert(1, 1));
+        assert_eq!(m.get(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut m = LruMap::new(3);
+        for i in 0..50 {
+            m.insert(i, i);
+            assert!(m.len() <= 3);
+        }
+        assert_eq!(m.capacity(), 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = LruMap::new(4);
+        m.insert(1, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+    }
+}

@@ -350,6 +350,11 @@ impl BinaryOp {
     }
 }
 
+/// Parameter index marking the proxy's transaction-id splice slot in a
+/// cached statement template (see `Expr::Param`). Ordinary prepared-
+/// statement parameters are numbered from zero and never reach this value.
+pub const TRID_PARAM: u32 = u32::MAX;
+
 /// A scalar or boolean expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
@@ -357,6 +362,9 @@ pub enum Expr {
     Column(ColumnRef),
     /// Literal value.
     Literal(Literal),
+    /// Positional parameter placeholder (`?`), bound before execution.
+    /// [`TRID_PARAM`] marks the tracking proxy's transaction-id slot.
+    Param(u32),
     /// Unary operation.
     Unary {
         /// Operator.
@@ -493,7 +501,7 @@ impl Expr {
                 expr.walk(f);
                 pattern.walk(f);
             }
-            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
         }
     }
 

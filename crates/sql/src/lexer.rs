@@ -65,6 +65,7 @@ impl<'a> Lexer<'a> {
                 b'-' => self.single(Token::Minus),
                 b'/' => self.single(Token::Slash),
                 b'%' => self.single(Token::Percent),
+                b'?' => self.single(Token::Question),
                 b'<' => {
                     self.pos += 1;
                     match self.peek() {
@@ -232,9 +233,9 @@ impl<'a> Lexer<'a> {
                 .map(Token::Float)
                 .map_err(|_| ParseError::new(format!("invalid float literal {text:?}"), start))
         } else {
-            text.parse::<i64>()
-                .map(Token::Int)
-                .map_err(|_| ParseError::new(format!("integer literal out of range {text:?}"), start))
+            text.parse::<i64>().map(Token::Int).map_err(|_| {
+                ParseError::new(format!("integer literal out of range {text:?}"), start)
+            })
         }
     }
 

@@ -46,15 +46,21 @@ mod error;
 mod lexer;
 mod parser;
 mod printer;
+mod template;
 mod token;
 
 pub use ast::{
     Assignment, BinaryOp, ColumnDef, ColumnRef, CreateTable, Delete, DropTable, Expr, Insert,
     Literal, OrderByItem, Select, SelectItem, Statement, TableRef, TypeName, UnaryOp, Update,
+    TRID_PARAM,
 };
 pub use error::ParseError;
 pub use lexer::Lexer;
 pub use parser::Parser;
+pub use template::{
+    bind_statement, collect_params, parse_span_literal, parse_template, scan_statement, BindError,
+    LiteralKind, LiteralSpan, SqlTemplate, StatementScan, TemplateSlot,
+};
 pub use token::{Keyword, Token};
 
 /// Parses a single SQL statement (a trailing semicolon is permitted).
@@ -96,4 +102,31 @@ pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
 /// ```
 pub fn parse_statements(input: &str) -> Result<Vec<Statement>, ParseError> {
     Parser::new(input)?.parse_statements()
+}
+
+/// Parses a single statement that may contain `?` parameter placeholders,
+/// returning it together with the number of placeholders (numbered
+/// left-to-right from zero in source order). Bind concrete values with
+/// [`bind_statement`] before executing the statement.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the input is not a single well-formed
+/// statement in the supported dialect.
+///
+/// # Examples
+///
+/// ```
+/// use resildb_sql::{bind_statement, parse_prepared, Literal};
+///
+/// # fn main() -> Result<(), resildb_sql::ParseError> {
+/// let (stmt, params) = parse_prepared("SELECT a FROM t WHERE id = ? AND b < ?")?;
+/// assert_eq!(params, 2);
+/// let bound = bind_statement(&stmt, &[Literal::Int(7), Literal::Int(9)])?;
+/// assert_eq!(bound.to_string(), "SELECT a FROM t WHERE id = 7 AND b < 9");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_prepared(input: &str) -> Result<(Statement, u32), ParseError> {
+    Parser::new(input)?.parse_single_with_param_count()
 }

@@ -26,6 +26,7 @@ use crate::token::{Keyword, Token};
 pub struct Parser {
     tokens: Vec<(Token, usize)>,
     pos: usize,
+    next_param: u32,
 }
 
 impl Parser {
@@ -35,10 +36,17 @@ impl Parser {
     ///
     /// Returns [`ParseError`] if lexing fails.
     pub fn new(input: &str) -> Result<Self, ParseError> {
-        Ok(Self {
-            tokens: Lexer::new(input).tokenize()?,
+        Ok(Self::from_tokens(Lexer::new(input).tokenize()?))
+    }
+
+    /// Prepares a parser over an already-lexed token stream (must end with
+    /// [`Token::Eof`]).
+    pub fn from_tokens(tokens: Vec<(Token, usize)>) -> Self {
+        Self {
+            tokens,
             pos: 0,
-        })
+            next_param: 0,
+        }
     }
 
     /// Parses exactly one statement; trailing semicolons are allowed but any
@@ -52,6 +60,20 @@ impl Parser {
         while self.eat(&Token::Semicolon) {}
         self.expect(&Token::Eof)?;
         Ok(stmt)
+    }
+
+    /// Like [`Self::parse_single_statement`] but also reports how many `?`
+    /// parameter placeholders the statement contains. Placeholders are
+    /// numbered left-to-right from zero in source order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed or trailing input.
+    pub fn parse_single_with_param_count(mut self) -> Result<(Statement, u32), ParseError> {
+        let stmt = self.parse_statement()?;
+        while self.eat(&Token::Semicolon) {}
+        self.expect(&Token::Eof)?;
+        Ok((stmt, self.next_param))
     }
 
     /// Parses a semicolon-separated list of statements until end of input.
@@ -145,9 +167,7 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            Token::Keyword(
-                k @ (Keyword::Key | Keyword::Text | Keyword::Work | Keyword::Of),
-            ) => {
+            Token::Keyword(k @ (Keyword::Key | Keyword::Text | Keyword::Work | Keyword::Of)) => {
                 self.advance();
                 Ok(k.as_str().to_ascii_lowercase())
             }
@@ -647,6 +667,12 @@ impl Parser {
             Token::Str(s) => {
                 self.advance();
                 Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Token::Question => {
+                self.advance();
+                let idx = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(idx))
             }
             Token::Keyword(Keyword::Null) => {
                 self.advance();

@@ -64,7 +64,7 @@ fn expr_prec(e: &Expr) -> u8 {
         Expr::Unary {
             op: UnaryOp::Neg, ..
         } => 7,
-        Expr::Column(_) | Expr::Literal(_) | Expr::Function { .. } => 8,
+        Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) | Expr::Function { .. } => 8,
     }
 }
 
@@ -96,6 +96,7 @@ impl Display for Expr {
         match self {
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Param(_) => f.write_str("?"),
             Expr::Unary {
                 op: UnaryOp::Not,
                 expr,
@@ -172,7 +173,11 @@ impl Display for Expr {
                 negated,
             } => {
                 write_child(f, expr, 4, true)?;
-                f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
+                f.write_str(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                })?;
                 write_child(f, low, 4, false)?;
                 f.write_str(" AND ")?;
                 write_child(f, high, 4, false)
@@ -408,7 +413,10 @@ mod tests {
         let printed = ast.to_string();
         let reparsed =
             parse_statement(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
-        assert_eq!(ast, reparsed, "round-trip changed AST for {sql:?} -> {printed:?}");
+        assert_eq!(
+            ast, reparsed,
+            "round-trip changed AST for {sql:?} -> {printed:?}"
+        );
     }
 
     #[test]
@@ -472,16 +480,12 @@ mod tests {
     #[test]
     fn canonical_text_examples() {
         let ast = parse_statement("select   a ,b from  t where a=1 and b<>2").unwrap();
-        assert_eq!(
-            ast.to_string(),
-            "SELECT a, b FROM t WHERE a = 1 AND b <> 2"
-        );
+        assert_eq!(ast.to_string(), "SELECT a, b FROM t WHERE a = 1 AND b <> 2");
     }
 
     #[test]
     fn update_with_trid_prints_like_paper_table1() {
-        let ast =
-            parse_statement("UPDATE t SET a1 = 1, a2 = 'v', trid = 42 WHERE c = 1").unwrap();
+        let ast = parse_statement("UPDATE t SET a1 = 1, a2 = 'v', trid = 42 WHERE c = 1").unwrap();
         assert_eq!(
             ast.to_string(),
             "UPDATE t SET a1 = 1, a2 = 'v', trid = 42 WHERE c = 1"

@@ -1,0 +1,946 @@
+//! Statement-template machinery for the rewrite cache.
+//!
+//! The tracking proxy rewrites every statement it forwards (paper Table 1).
+//! Doing that work from scratch — lex, parse, clone, print — on every
+//! statement is the dominant proxy CPU cost. This module lets the proxy do
+//! the full rewrite **once per statement shape** and replay it with a hash
+//! lookup plus a literal splice:
+//!
+//! 1. [`scan_statement`] makes one allocation-light pass over the raw SQL,
+//!    producing a literal-masking [fingerprint](StatementScan::fingerprint)
+//!    (same shape ⇒ same fingerprint, à la `pg_stat_statements`) and the
+//!    byte spans of the maskable literals.
+//! 2. On a cache miss, [`parse_template`] re-lexes the statement with those
+//!    literals replaced by `?` placeholders, yielding a [`Statement`] whose
+//!    [`Expr::Param`] nodes stand in for the literals. The proxy rewrites
+//!    that AST as usual and captures the printed text as a [`SqlTemplate`].
+//! 3. On a hit, [`SqlTemplate::splice`] copies the statement's own literal
+//!    text (and the current transaction id) into the cached text — no
+//!    parsing at all.
+//!
+//! Masking is deliberately conservative; see [`scan_statement`] for the
+//! exact rules. Whenever the scanner, the lexer and the parser do not agree
+//! perfectly, callers fall back to the cold path, so the cache can only
+//! reproduce what the cold path would have produced.
+
+use crate::ast::{Expr, Literal, SelectItem, Statement, TRID_PARAM};
+use crate::error::ParseError;
+use crate::lexer::Lexer;
+use crate::parser::Parser;
+use crate::token::Token;
+use std::fmt;
+
+/// Kind of a maskable literal found by [`scan_statement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteralKind {
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (decimal point and/or exponent).
+    Float,
+    /// Single-quoted string literal (span includes the quotes).
+    Str,
+}
+
+/// Byte span of one maskable literal in the raw SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiteralSpan {
+    /// Byte offset of the literal's first character.
+    pub start: usize,
+    /// Byte offset one past the literal's last character.
+    pub end: usize,
+    /// What the literal is.
+    pub kind: LiteralKind,
+}
+
+impl LiteralSpan {
+    /// The literal's source text within `raw`.
+    pub fn text<'a>(&self, raw: &'a str) -> &'a str {
+        &raw[self.start..self.end]
+    }
+}
+
+/// Result of fingerprinting one statement: the shape hash plus the literal
+/// spans that were masked out of it, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementScan {
+    /// 128-bit shape fingerprint (two independent 64-bit FNV-1a variants).
+    ///
+    /// Not cryptographic: collisions are guarded against only by the
+    /// slot-count check cached templates perform, which is adequate for the
+    /// deterministic, non-adversarial workloads this framework simulates.
+    pub fingerprint: u128,
+    /// Maskable literals in source order. Statements with the same
+    /// fingerprint have literals of possibly different values (and kinds)
+    /// at the same token positions.
+    pub spans: Vec<LiteralSpan>,
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Byte written between tokens so adjacent tokens hash distinctly.
+const SEP: u8 = 0x1f;
+/// Byte hashed in place of a masked literal.
+const MASKED: u8 = 0x11;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prev {
+    Start,
+    LimitKw,
+    Minus,
+    Other,
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    h1: u64,
+    h2: u64,
+    spans: Vec<LiteralSpan>,
+    prev: Prev,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(sql: &'a str) -> Self {
+        Self {
+            bytes: sql.as_bytes(),
+            pos: 0,
+            h1: FNV_OFFSET_A,
+            h2: FNV_OFFSET_B,
+            spans: Vec::new(),
+            prev: Prev::Start,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<u8> {
+        self.bytes.get(self.pos + n).copied()
+    }
+
+    fn hash_byte(&mut self, b: u8) {
+        self.h1 = (self.h1 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.h2 = (self.h2 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn hash_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash_byte(b);
+        }
+    }
+
+    /// Skips whitespace and comments (not hashed — they cannot change the
+    /// parse). Returns `false` on an unterminated block comment.
+    fn skip_trivia(&mut self) -> bool {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => return false,
+                        }
+                    }
+                }
+                _ => return true,
+            }
+        }
+    }
+
+    /// Scans past a number, mirroring the lexer's rules exactly.
+    /// Returns its kind, or `None` for an integer too long to fit `i64`
+    /// (the cold path must surface that error).
+    fn scan_number(&mut self) -> Option<LiteralKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let int_digits = self.pos - start;
+        let mut kind = LiteralKind::Int;
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            kind = LiteralKind::Float;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut look = 1;
+            if matches!(self.peek_at(1), Some(b'+' | b'-')) {
+                look = 2;
+            }
+            if matches!(self.peek_at(look), Some(c) if c.is_ascii_digit()) {
+                kind = LiteralKind::Float;
+                self.pos += look + 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        if kind == LiteralKind::Int && int_digits > 18 {
+            return None; // may overflow i64; let the cold path report it
+        }
+        Some(kind)
+    }
+
+    /// Scans past a `'...'` string (with `''` escapes). Returns `false` if
+    /// unterminated.
+    fn scan_string(&mut self) -> bool {
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek() {
+                Some(b'\'') => {
+                    if self.peek_at(1) == Some(b'\'') {
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return true;
+                    }
+                }
+                Some(_) => self.pos += 1,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// Fingerprints `sql`, masking the literals a cached template can splice
+/// back in. Returns `None` whenever the statement must take the cold
+/// (full-parse) path instead:
+///
+/// * the first keyword is not `SELECT` / `INSERT` / `UPDATE` / `DELETE`
+///   (DDL and transaction control are not worth caching);
+/// * the text contains a `?` anywhere — template text marks splice slots
+///   with `?`, so raw placeholders would be ambiguous;
+/// * the text does not lex cleanly (the cold path must surface the error).
+///
+/// Masking rules — a literal is replaced by a placeholder **unless**:
+///
+/// * it is a number directly following the `LIMIT` keyword (the grammar
+///   requires a plain integer there);
+/// * it is a number directly following a `-` token — the parser folds
+///   `-5` into a single negative literal, so masking would change the AST
+///   shape the engine plans from (point lookups match `Expr::Literal`);
+/// * integers longer than 18 digits (possible `i64` overflow) refuse the
+///   whole statement so the cold path can report the range error.
+pub fn scan_statement(sql: &str) -> Option<StatementScan> {
+    let bytes = sql.as_bytes();
+    if bytes.contains(&b'?') {
+        return None;
+    }
+    let mut s = Scanner::new(sql);
+    loop {
+        if !s.skip_trivia() {
+            return None;
+        }
+        let start = s.pos;
+        let Some(c) = s.peek() else {
+            break;
+        };
+        s.hash_byte(SEP);
+        match c {
+            b',' | b'(' | b')' | b';' | b'.' | b'*' | b'=' | b'+' | b'/' | b'%' => {
+                s.pos += 1;
+                s.hash_byte(c);
+                s.prev = Prev::Other;
+            }
+            b'-' => {
+                s.pos += 1;
+                s.hash_byte(c);
+                s.prev = Prev::Minus;
+            }
+            b'<' | b'>' => {
+                s.pos += 1;
+                if matches!(
+                    (c, s.peek()),
+                    (b'<', Some(b'=' | b'>')) | (b'>', Some(b'='))
+                ) {
+                    s.pos += 1;
+                }
+                s.hash_bytes(&bytes[start..s.pos]);
+                s.prev = Prev::Other;
+            }
+            b'!' => {
+                s.pos += 1;
+                if s.peek() != Some(b'=') {
+                    return None;
+                }
+                s.pos += 1;
+                // `!=` and `<>` lex to the same token; hash them alike.
+                s.hash_bytes(b"<>");
+                s.prev = Prev::Other;
+            }
+            b'|' => {
+                s.pos += 1;
+                if s.peek() != Some(b'|') {
+                    return None;
+                }
+                s.pos += 1;
+                s.hash_bytes(b"||");
+                s.prev = Prev::Other;
+            }
+            b'\'' => {
+                if !s.scan_string() {
+                    return None;
+                }
+                s.hash_byte(MASKED);
+                s.spans.push(LiteralSpan {
+                    start,
+                    end: s.pos,
+                    kind: LiteralKind::Str,
+                });
+                s.prev = Prev::Other;
+            }
+            b'"' => {
+                s.pos += 1;
+                loop {
+                    match s.peek() {
+                        Some(b'"') => {
+                            s.pos += 1;
+                            break;
+                        }
+                        Some(_) => s.pos += 1,
+                        None => return None,
+                    }
+                }
+                s.hash_bytes(&bytes[start..s.pos]);
+                s.prev = Prev::Other;
+            }
+            b'0'..=b'9' => {
+                let kind = s.scan_number()?;
+                if matches!(s.prev, Prev::LimitKw | Prev::Minus) {
+                    s.hash_bytes(&bytes[start..s.pos]);
+                } else {
+                    s.hash_byte(MASKED);
+                    s.spans.push(LiteralSpan {
+                        start,
+                        end: s.pos,
+                        kind,
+                    });
+                }
+                s.prev = Prev::Other;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                while matches!(s.peek(), Some(c) if c == b'_' || c == b'$' || c.is_ascii_alphanumeric())
+                {
+                    s.pos += 1;
+                }
+                let word = &bytes[start..s.pos];
+                if s.prev == Prev::Start
+                    && !(word.eq_ignore_ascii_case(b"select")
+                        || word.eq_ignore_ascii_case(b"insert")
+                        || word.eq_ignore_ascii_case(b"update")
+                        || word.eq_ignore_ascii_case(b"delete"))
+                {
+                    return None;
+                }
+                s.hash_bytes(word);
+                s.prev = if word.eq_ignore_ascii_case(b"limit") {
+                    Prev::LimitKw
+                } else {
+                    Prev::Other
+                };
+            }
+            _ => return None,
+        }
+    }
+    if s.prev == Prev::Start {
+        return None; // empty statement
+    }
+    Some(StatementScan {
+        fingerprint: (u128::from(s.h1) << 64) | u128::from(s.h2),
+        spans: s.spans,
+    })
+}
+
+/// Parses `sql` with the literals in `scan.spans` replaced by parameter
+/// placeholders, producing the statement **template**: an AST identical to
+/// the cold parse except that each masked literal is an [`Expr::Param`]
+/// numbered by its source position (`Param(k)` ⇔ `scan.spans[k]`).
+///
+/// Returns `None` when the scanner's view of the text disagrees with the
+/// lexer/parser in any way (different token boundaries, a placeholder that
+/// lands somewhere the grammar cannot accept one, a parse error) — callers
+/// must then use the cold path.
+pub fn parse_template(sql: &str, scan: &StatementScan) -> Option<Statement> {
+    let mut tokens = Lexer::new(sql).tokenize().ok()?;
+    let mut next_span = 0usize;
+    for (tok, off) in tokens.iter_mut() {
+        let Some(span) = scan.spans.get(next_span) else {
+            break;
+        };
+        if *off == span.start {
+            if !matches!(tok, Token::Int(_) | Token::Float(_) | Token::Str(_)) {
+                return None;
+            }
+            *tok = Token::Question;
+            next_span += 1;
+        }
+    }
+    if next_span != scan.spans.len() {
+        return None;
+    }
+    let (stmt, params) = Parser::from_tokens(tokens)
+        .parse_single_with_param_count()
+        .ok()?;
+    (params as usize == scan.spans.len()).then_some(stmt)
+}
+
+fn collect_expr_params(e: &Expr, out: &mut Vec<u32>) {
+    e.walk(&mut |node| {
+        if let Expr::Param(i) = node {
+            out.push(*i);
+        }
+    });
+}
+
+/// Lists the parameter indices of `stmt` in **printed order** — the order
+/// in which the `Display` impls emit the corresponding `?` characters.
+///
+/// The clause walk below mirrors [`crate::printer`] exactly; within one
+/// expression, pre-order traversal matches print order because every
+/// `Display` arm emits its operands left-to-right.
+pub fn collect_params(stmt: &Statement) -> Vec<u32> {
+    let mut out = Vec::new();
+    match stmt {
+        Statement::Select(s) => {
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_expr_params(expr, &mut out);
+                }
+            }
+            if let Some(w) = &s.where_clause {
+                collect_expr_params(w, &mut out);
+            }
+            for e in &s.group_by {
+                collect_expr_params(e, &mut out);
+            }
+            for o in &s.order_by {
+                collect_expr_params(&o.expr, &mut out);
+            }
+        }
+        Statement::Insert(i) => {
+            for row in &i.rows {
+                for e in row {
+                    collect_expr_params(e, &mut out);
+                }
+            }
+        }
+        Statement::Update(u) => {
+            for a in &u.assignments {
+                collect_expr_params(&a.value, &mut out);
+            }
+            if let Some(w) = &u.where_clause {
+                collect_expr_params(w, &mut out);
+            }
+        }
+        Statement::Delete(d) => {
+            if let Some(w) = &d.where_clause {
+                collect_expr_params(w, &mut out);
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// What a `?` in a cached template's text stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateSlot {
+    /// The k-th masked literal of the incoming statement
+    /// (`scan.spans[k]` from [`scan_statement`]).
+    Literal(usize),
+    /// The proxy's current transaction id.
+    Trid,
+}
+
+/// A fully rewritten statement captured as text with splice slots.
+///
+/// Built once on a cache miss from the printed rewrite of a template AST;
+/// replayed on hits by [`Self::splice`], which costs one pass over the
+/// text plus the literal copies — no lexing, parsing or printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlTemplate {
+    text: String,
+    slots: Vec<(usize, TemplateSlot)>,
+    literal_slots: usize,
+}
+
+impl SqlTemplate {
+    /// Captures `text` (the printed rewrite, with `?` at every splice
+    /// point) against `param_order`, the printed-order parameter indices
+    /// from [`collect_params`].
+    ///
+    /// Returns `None` if the number of `?` characters does not equal
+    /// `param_order.len()` — the safety net that guarantees every `?` in
+    /// the text is a real slot (templating refuses raw SQL containing `?`,
+    /// and the rewrites never inject string literals).
+    pub fn new(text: String, param_order: &[u32]) -> Option<Self> {
+        let mut slots = Vec::with_capacity(param_order.len());
+        let mut literal_slots = 0usize;
+        let mut order = param_order.iter();
+        for (off, b) in text.bytes().enumerate() {
+            if b == b'?' {
+                let &idx = order.next()?;
+                let slot = if idx == TRID_PARAM {
+                    TemplateSlot::Trid
+                } else {
+                    literal_slots += 1;
+                    TemplateSlot::Literal(idx as usize)
+                };
+                slots.push((off, slot));
+            }
+        }
+        if order.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            text,
+            slots,
+            literal_slots,
+        })
+    }
+
+    /// Number of literal (non-trid) splice slots. A hit must check this
+    /// equals the incoming scan's span count before splicing (fingerprint-
+    /// collision and logic-drift guard).
+    pub fn literal_slots(&self) -> usize {
+        self.literal_slots
+    }
+
+    /// The template text (placeholders included) — for diagnostics.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Renders the final SQL by copying each masked literal's source text
+    /// from `raw` (per `spans`) and the decimal rendering of `trid` into
+    /// the slots.
+    ///
+    /// Callers must have verified `spans.len() == self.literal_slots()`;
+    /// out-of-range slots panic (indicating a missed verification).
+    pub fn splice(&self, raw: &str, spans: &[LiteralSpan], trid: i64) -> String {
+        let mut trid_buf = itoa_buf();
+        let trid_text = format_i64(trid, &mut trid_buf);
+        let extra: usize = spans.iter().map(|s| s.end - s.start).sum();
+        let mut out = String::with_capacity(self.text.len() + extra + trid_text.len());
+        let mut at = 0usize;
+        for &(off, slot) in &self.slots {
+            out.push_str(&self.text[at..off]);
+            match slot {
+                TemplateSlot::Literal(k) => out.push_str(spans[k].text(raw)),
+                TemplateSlot::Trid => out.push_str(trid_text),
+            }
+            at = off + 1; // skip the '?'
+        }
+        out.push_str(&self.text[at..]);
+        out
+    }
+}
+
+/// Fixed buffer for rendering an `i64` without allocating.
+fn itoa_buf() -> [u8; 21] {
+    [0u8; 21]
+}
+
+fn format_i64(v: i64, buf: &mut [u8; 21]) -> &str {
+    let mut u = v.unsigned_abs();
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (u % 10) as u8;
+        u /= 10;
+        if u == 0 {
+            break;
+        }
+    }
+    if v < 0 {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+/// Parses the typed value of a masked literal from its source text,
+/// mirroring the lexer's literal rules (including `''` unescaping).
+/// Returns `None` for out-of-range values — callers fall back cold.
+pub fn parse_span_literal(raw: &str, span: &LiteralSpan) -> Option<Literal> {
+    let text = span.text(raw);
+    match span.kind {
+        LiteralKind::Int => text.parse::<i64>().ok().map(Literal::Int),
+        LiteralKind::Float => text.parse::<f64>().ok().map(Literal::Float),
+        LiteralKind::Str => {
+            let body = text.strip_prefix('\'')?.strip_suffix('\'')?;
+            Some(Literal::Str(body.replace("''", "'")))
+        }
+    }
+}
+
+/// Error binding parameter values into a statement template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError(String);
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bind error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl From<BindError> for ParseError {
+    fn from(e: BindError) -> Self {
+        ParseError::new(e.0, 0)
+    }
+}
+
+fn bind_expr(e: &Expr, params: &[Literal]) -> Result<Expr, BindError> {
+    Ok(match e {
+        Expr::Param(i) => {
+            if *i == TRID_PARAM {
+                return Err(BindError("trid slot cannot be bound as a value".into()));
+            }
+            let lit = params.get(*i as usize).ok_or_else(|| {
+                BindError(format!(
+                    "parameter ?{i} out of range ({} values bound)",
+                    params.len()
+                ))
+            })?;
+            Expr::Literal(lit.clone())
+        }
+        Expr::Column(_) | Expr::Literal(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(bind_expr(expr, params)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(bind_expr(left, params)?),
+            op: *op,
+            right: Box::new(bind_expr(right, params)?),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| bind_expr(a, params))
+                .collect::<Result<_, _>>()?,
+            distinct: *distinct,
+            star: *star,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, params)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(bind_expr(expr, params)?),
+            list: list
+                .iter()
+                .map(|e| bind_expr(e, params))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(bind_expr(expr, params)?),
+            low: Box::new(bind_expr(low, params)?),
+            high: Box::new(bind_expr(high, params)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(bind_expr(expr, params)?),
+            pattern: Box::new(bind_expr(pattern, params)?),
+            negated: *negated,
+        },
+    })
+}
+
+fn bind_opt(e: &Option<Expr>, params: &[Literal]) -> Result<Option<Expr>, BindError> {
+    e.as_ref().map(|e| bind_expr(e, params)).transpose()
+}
+
+/// Substitutes `params[i]` for every `Param(i)` in `stmt`, producing the
+/// statement the cold path would have parsed from the literal-bearing SQL.
+///
+/// # Errors
+///
+/// A parameter index with no bound value, or a [`TRID_PARAM`] slot (those
+/// exist only in proxy-side templates, which splice text instead).
+pub fn bind_statement(stmt: &Statement, params: &[Literal]) -> Result<Statement, BindError> {
+    Ok(match stmt {
+        Statement::Select(s) => {
+            let mut out = s.clone();
+            for item in &mut out.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    *expr = bind_expr(expr, params)?;
+                }
+            }
+            out.where_clause = bind_opt(&s.where_clause, params)?;
+            out.group_by = s
+                .group_by
+                .iter()
+                .map(|e| bind_expr(e, params))
+                .collect::<Result<_, _>>()?;
+            for o in &mut out.order_by {
+                o.expr = bind_expr(&o.expr, params)?;
+            }
+            Statement::Select(out)
+        }
+        Statement::Insert(i) => {
+            let mut out = i.clone();
+            out.rows = i
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|e| bind_expr(e, params)).collect())
+                .collect::<Result<_, _>>()?;
+            Statement::Insert(out)
+        }
+        Statement::Update(u) => {
+            let mut out = u.clone();
+            for a in &mut out.assignments {
+                a.value = bind_expr(&a.value, params)?;
+            }
+            out.where_clause = bind_opt(&u.where_clause, params)?;
+            Statement::Update(out)
+        }
+        Statement::Delete(d) => {
+            let mut out = d.clone();
+            out.where_clause = bind_opt(&d.where_clause, params)?;
+            Statement::Delete(out)
+        }
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    #[test]
+    fn same_shape_same_fingerprint() {
+        let a = scan_statement("SELECT a FROM t WHERE x = 1 AND y = 'foo'").unwrap();
+        let b = scan_statement("SELECT a FROM t WHERE x = 942 AND y = 'bar''s'").unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.spans[0].kind, LiteralKind::Int);
+        assert_eq!(a.spans[1].kind, LiteralKind::Str);
+        assert_eq!(
+            b.spans[1].text("SELECT a FROM t WHERE x = 942 AND y = 'bar''s'"),
+            "'bar''s'"
+        );
+    }
+
+    #[test]
+    fn different_shape_different_fingerprint() {
+        let a = scan_statement("SELECT a FROM t WHERE x = 1").unwrap();
+        let b = scan_statement("SELECT a FROM t WHERE y = 1").unwrap();
+        let c = scan_statement("SELECT a FROM t WHERE x > 1").unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn whitespace_and_comments_do_not_change_fingerprint() {
+        let a = scan_statement("SELECT a FROM t WHERE x = 1").unwrap();
+        let b = scan_statement("SELECT  a /* hi */ FROM t -- c\n WHERE x = 2").unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn neq_spellings_share_fingerprint() {
+        let a = scan_statement("SELECT a FROM t WHERE x <> 1").unwrap();
+        let b = scan_statement("SELECT a FROM t WHERE x != 1").unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn limit_and_negative_numbers_stay_unmasked() {
+        let scan = scan_statement("SELECT a FROM t WHERE x = -5 AND y = 3 LIMIT 7").unwrap();
+        // Only the `3` is maskable.
+        assert_eq!(scan.spans.len(), 1);
+        assert_eq!(
+            scan.spans[0].text("SELECT a FROM t WHERE x = -5 AND y = 3 LIMIT 7"),
+            "3"
+        );
+        // Different LIMIT ⇒ different fingerprint (it is part of the shape).
+        let other = scan_statement("SELECT a FROM t WHERE x = -5 AND y = 3 LIMIT 9").unwrap();
+        assert_ne!(scan.fingerprint, other.fingerprint);
+    }
+
+    #[test]
+    fn non_dml_and_placeholders_refuse_templating() {
+        assert!(scan_statement("BEGIN").is_none());
+        assert!(scan_statement("CREATE TABLE t (a INTEGER)").is_none());
+        assert!(scan_statement("COMMIT").is_none());
+        assert!(scan_statement("SELECT a FROM t WHERE x = ?").is_none());
+        assert!(scan_statement("").is_none());
+        assert!(scan_statement("SELECT 'unterminated").is_none());
+        assert!(scan_statement("SELECT 99999999999999999999").is_none());
+    }
+
+    #[test]
+    fn template_binds_back_to_cold_ast() {
+        for sql in [
+            "SELECT a, b FROM t WHERE x = 1 AND y = 'foo' ORDER BY a LIMIT 3",
+            "SELECT COUNT(*) FROM stock WHERE s_quantity < 10",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2.5, 'it''s')",
+            "UPDATE t SET a = a + 1, b = 'y' WHERE c BETWEEN 1 AND 5",
+            "DELETE FROM t WHERE a IN (1, 2, 3) AND b LIKE 'BAR%'",
+            "SELECT a FROM t WHERE x = -5 AND y = 1e3",
+        ] {
+            let scan = scan_statement(sql).unwrap_or_else(|| panic!("scan {sql:?}"));
+            let tmpl = parse_template(sql, &scan).unwrap_or_else(|| panic!("template {sql:?}"));
+            let values: Vec<Literal> = scan
+                .spans
+                .iter()
+                .map(|s| parse_span_literal(sql, s).unwrap())
+                .collect();
+            let bound = bind_statement(&tmpl, &values).unwrap();
+            let cold = parse_statement(sql).unwrap();
+            assert_eq!(bound, cold, "bind mismatch for {sql:?}");
+        }
+    }
+
+    #[test]
+    fn splice_reproduces_statement_text() {
+        let sql = "SELECT a FROM t WHERE x = 42 AND y = 'v'";
+        let scan = scan_statement(sql).unwrap();
+        let tmpl_stmt = parse_template(sql, &scan).unwrap();
+        let order = collect_params(&tmpl_stmt);
+        assert_eq!(order, vec![0, 1]);
+        let tmpl = SqlTemplate::new(tmpl_stmt.to_string(), &order).unwrap();
+        assert_eq!(tmpl.literal_slots(), 2);
+        let spliced = tmpl.splice(sql, &scan.spans, 0);
+        assert_eq!(spliced, "SELECT a FROM t WHERE x = 42 AND y = 'v'");
+        // A second statement of the same shape splices its own literals.
+        let sql2 = "SELECT a FROM t WHERE x = 7 AND y = 'it''s'";
+        let scan2 = scan_statement(sql2).unwrap();
+        assert_eq!(scan.fingerprint, scan2.fingerprint);
+        assert_eq!(tmpl.splice(sql2, &scan2.spans, 0), sql2);
+    }
+
+    #[test]
+    fn splice_renders_trid_slot() {
+        let tmpl = SqlTemplate::new(
+            "UPDATE t SET a = ?, trid = ? WHERE c = ?".into(),
+            &[0, TRID_PARAM, 1],
+        )
+        .unwrap();
+        assert_eq!(tmpl.literal_slots(), 2);
+        let sql = "UPDATE x SET a = 10 WHERE c = 20"; // spans below point here
+        let spans = [
+            LiteralSpan {
+                start: 17,
+                end: 19,
+                kind: LiteralKind::Int,
+            },
+            LiteralSpan {
+                start: 30,
+                end: 32,
+                kind: LiteralKind::Int,
+            },
+        ];
+        assert_eq!(
+            tmpl.splice(sql, &spans, 42),
+            "UPDATE t SET a = 10, trid = 42 WHERE c = 20"
+        );
+    }
+
+    #[test]
+    fn template_new_rejects_count_mismatch() {
+        assert!(SqlTemplate::new("SELECT ?".into(), &[]).is_none());
+        assert!(SqlTemplate::new("SELECT 1".into(), &[0]).is_none());
+    }
+
+    #[test]
+    fn collect_params_matches_print_order() {
+        for sql in [
+            "SELECT a + 1, b FROM t WHERE x = 2 AND y IN (3, 4) GROUP BY z ORDER BY w",
+            "UPDATE t SET a = 1, b = 2 WHERE c = 3",
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+            "DELETE FROM t WHERE a BETWEEN 1 AND 2 OR b LIKE 'x%'",
+        ] {
+            let scan = scan_statement(sql).unwrap();
+            let tmpl = parse_template(sql, &scan).unwrap();
+            let order = collect_params(&tmpl);
+            // The printed text's k-th `?` must correspond to order[k]; we
+            // check by splicing the original literals back and comparing
+            // against the cold print.
+            let sql_tmpl = SqlTemplate::new(tmpl.to_string(), &order).unwrap();
+            let cold = parse_statement(sql).unwrap().to_string();
+            assert_eq!(sql_tmpl.splice(sql, &scan.spans, 0), cold, "for {sql:?}");
+        }
+    }
+
+    #[test]
+    fn bind_rejects_missing_and_trid_params() {
+        let stmt = parse_template(
+            "SELECT a FROM t WHERE x = 1",
+            &scan_statement("SELECT a FROM t WHERE x = 1").unwrap(),
+        )
+        .unwrap();
+        assert!(bind_statement(&stmt, &[]).is_err());
+        let trid_stmt = Statement::Select(crate::Select {
+            items: vec![SelectItem::Expr {
+                expr: Expr::Param(TRID_PARAM),
+                alias: None,
+            }],
+            ..Default::default()
+        });
+        assert!(bind_statement(&trid_stmt, &[Literal::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn span_literals_parse_with_lexer_semantics() {
+        let sql = "SELECT 1, 2.5, 1e3, 'it''s'";
+        let scan = scan_statement(sql).unwrap();
+        let vals: Vec<Literal> = scan
+            .spans
+            .iter()
+            .map(|s| parse_span_literal(sql, s).unwrap())
+            .collect();
+        assert_eq!(
+            vals,
+            vec![
+                Literal::Int(1),
+                Literal::Float(2.5),
+                Literal::Float(1000.0),
+                Literal::Str("it's".into()),
+            ]
+        );
+    }
+}

@@ -244,6 +244,9 @@ pub enum Token {
     Percent,
     /// `||`
     Concat,
+    /// `?` — a positional parameter placeholder (prepared statements and
+    /// cached statement templates).
+    Question,
     /// End of input.
     Eof,
 }
@@ -273,6 +276,7 @@ impl fmt::Display for Token {
             Token::Slash => f.write_str("/"),
             Token::Percent => f.write_str("%"),
             Token::Concat => f.write_str("||"),
+            Token::Question => f.write_str("?"),
             Token::Eof => f.write_str("<eof>"),
         }
     }

@@ -94,14 +94,14 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 op: UnaryOp::Not,
                 expr: Box::new(e),
             }),
-            (ident_strategy(), proptest::collection::vec(inner, 0..3)).prop_map(
-                |(name, args)| Expr::Function {
+            (ident_strategy(), proptest::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
                     name: name.to_ascii_uppercase(),
                     args,
                     distinct: false,
                     star: false,
                 }
-            ),
+            }),
         ]
     })
 }
@@ -127,19 +127,21 @@ fn select_strategy() -> impl Strategy<Value = Statement> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(items, from, where_clause, order_by, limit, for_update, distinct)| {
-            Statement::Select(Select {
-                distinct,
-                items,
-                from: from.clone(),
-                where_clause,
-                group_by: Vec::new(),
-                order_by,
-                limit,
-                // FOR UPDATE without FROM is still printable/parsable.
-                for_update: for_update && !from.is_empty(),
-            })
-        })
+        .prop_map(
+            |(items, from, where_clause, order_by, limit, for_update, distinct)| {
+                Statement::Select(Select {
+                    distinct,
+                    items,
+                    from: from.clone(),
+                    where_clause,
+                    group_by: Vec::new(),
+                    order_by,
+                    limit,
+                    // FOR UPDATE without FROM is still printable/parsable.
+                    for_update: for_update && !from.is_empty(),
+                })
+            },
+        )
 }
 
 fn statement_strategy() -> impl Strategy<Value = Statement> {
@@ -174,11 +176,13 @@ fn statement_strategy() -> impl Strategy<Value = Statement> {
             ),
             proptest::option::of(expr_strategy()),
         )
-            .prop_map(|(table, assignments, where_clause)| Statement::Update(Update {
-                table,
-                assignments,
-                where_clause,
-            })),
+            .prop_map(
+                |(table, assignments, where_clause)| Statement::Update(Update {
+                    table,
+                    assignments,
+                    where_clause,
+                })
+            ),
         (ident_strategy(), proptest::option::of(expr_strategy())).prop_map(
             |(table, where_clause)| Statement::Delete(Delete {
                 table,

@@ -68,9 +68,7 @@ impl Attack {
                 ))?;
             }
             AttackKind::PriceCorruption => {
-                conn.execute(&format!(
-                    "UPDATE item SET i_price = 0.01 WHERE i_id = {t}"
-                ))?;
+                conn.execute(&format!("UPDATE item SET i_price = 0.01 WHERE i_id = {t}"))?;
             }
         }
         conn.execute("COMMIT")?;

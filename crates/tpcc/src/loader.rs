@@ -81,10 +81,18 @@ impl Loader {
                 self.rng.gen_range(1..=10_000)
             ));
             if rows.len() >= self.batch {
-                Self::flush(conn, "item (i_id, i_im_id, i_name, i_price, i_data)", &mut rows)?;
+                Self::flush(
+                    conn,
+                    "item (i_id, i_im_id, i_name, i_price, i_data)",
+                    &mut rows,
+                )?;
             }
         }
-        Self::flush(conn, "item (i_id, i_im_id, i_name, i_price, i_data)", &mut rows)
+        Self::flush(
+            conn,
+            "item (i_id, i_im_id, i_name, i_price, i_data)",
+            &mut rows,
+        )
     }
 
     fn load_warehouse(&mut self, conn: &mut dyn Connection, w: u32) -> Result<(), WireError> {
@@ -117,7 +125,12 @@ impl Loader {
         Self::flush(conn, cols, &mut rows)
     }
 
-    fn load_district(&mut self, conn: &mut dyn Connection, w: u32, d: u32) -> Result<(), WireError> {
+    fn load_district(
+        &mut self,
+        conn: &mut dyn Connection,
+        w: u32,
+        d: u32,
+    ) -> Result<(), WireError> {
         let tax: f64 = self.rng.gen_range(0..=2000) as f64 / 10_000.0;
         let next_o_id = self.config.orders_per_district + 1;
         conn.execute(&format!(
@@ -130,7 +143,12 @@ impl Loader {
         Ok(())
     }
 
-    fn load_customers(&mut self, conn: &mut dyn Connection, w: u32, d: u32) -> Result<(), WireError> {
+    fn load_customers(
+        &mut self,
+        conn: &mut dyn Connection,
+        w: u32,
+        d: u32,
+    ) -> Result<(), WireError> {
         let cols = "customer (c_id, c_d_id, c_w_id, c_first, c_last, c_street_1, c_city, \
                     c_state, c_zip, c_phone, c_credit, c_credit_lim, c_discount, c_balance, \
                     c_ytd_payment, c_payment_cnt, c_delivery_cnt, c_data)";
@@ -151,7 +169,8 @@ impl Loader {
         }
         Self::flush(conn, cols, &mut rows)?;
         // One history row per customer.
-        let hcols = "history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount, h_data)";
+        let hcols =
+            "history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount, h_data)";
         let mut rows = Vec::new();
         for c in 1..=self.config.customers_per_district {
             rows.push(format!("({c}, {d}, {w}, {d}, {w}, 0, 10.0, 'init')"));
@@ -163,7 +182,8 @@ impl Loader {
     }
 
     fn load_orders(&mut self, conn: &mut dyn Connection, w: u32, d: u32) -> Result<(), WireError> {
-        let ocols = "orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local)";
+        let ocols =
+            "orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local)";
         let olcols = "order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, \
                       ol_delivery_d, ol_quantity, ol_amount, ol_dist_info)";
         let nocols = "new_order (no_o_id, no_d_id, no_w_id)";
@@ -230,8 +250,13 @@ mod tests {
         let db = Database::in_memory(Flavor::Postgres);
         let driver = NativeDriver::new(db.clone(), LinkProfile::local());
         let cfg = TpccConfig::tiny();
-        Loader::new(cfg.clone(), 1).load(&mut *driver.connect().unwrap()).unwrap();
-        assert_eq!(db.row_count("warehouse").unwrap(), u64::from(cfg.warehouses));
+        Loader::new(cfg.clone(), 1)
+            .load(&mut *driver.connect().unwrap())
+            .unwrap();
+        assert_eq!(
+            db.row_count("warehouse").unwrap(),
+            u64::from(cfg.warehouses)
+        );
         assert_eq!(
             db.row_count("district").unwrap(),
             u64::from(cfg.warehouses * cfg.districts_per_warehouse)

@@ -95,7 +95,11 @@ impl Mix {
     /// # Errors
     ///
     /// Non-retryable SQL failures.
-    pub fn run(&self, runner: &mut TpccRunner, conn: &mut dyn Connection) -> Result<u64, WireError> {
+    pub fn run(
+        &self,
+        runner: &mut TpccRunner,
+        conn: &mut dyn Connection,
+    ) -> Result<u64, WireError> {
         let before = runner.stats.committed;
         for &kind in &self.kinds {
             runner.run(conn, kind)?;
@@ -113,9 +117,21 @@ mod tests {
         assert_eq!(Mix::of(MixKind::ReadIntensive, 0).len(), 100);
         let rw = Mix::of(MixKind::ReadWrite, 0);
         assert_eq!(rw.len(), 500);
-        let orders = rw.kinds().iter().filter(|k| **k == TxnKind::NewOrder).count();
-        let pays = rw.kinds().iter().filter(|k| **k == TxnKind::Payment).count();
-        let delivs = rw.kinds().iter().filter(|k| **k == TxnKind::Delivery).count();
+        let orders = rw
+            .kinds()
+            .iter()
+            .filter(|k| **k == TxnKind::NewOrder)
+            .count();
+        let pays = rw
+            .kinds()
+            .iter()
+            .filter(|k| **k == TxnKind::Payment)
+            .count();
+        let delivs = rw
+            .kinds()
+            .iter()
+            .filter(|k| **k == TxnKind::Delivery)
+            .count();
         assert_eq!((orders, pays, delivs), (200, 200, 100));
     }
 
@@ -124,7 +140,11 @@ mod tests {
         let a = Mix::standard(1000, 7);
         let b = Mix::standard(1000, 7);
         assert_eq!(a, b);
-        let orders = a.kinds().iter().filter(|k| **k == TxnKind::NewOrder).count();
+        let orders = a
+            .kinds()
+            .iter()
+            .filter(|k| **k == TxnKind::NewOrder)
+            .count();
         assert!((300..600).contains(&orders), "NewOrder count {orders}");
     }
 }

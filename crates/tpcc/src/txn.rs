@@ -154,7 +154,10 @@ impl TpccRunner {
             })
             .collect();
         self.begin(conn, TxnKind::NewOrder, w, d, c)?;
-        query(conn, &format!("SELECT w_tax FROM warehouse WHERE w_id = {w}"))?;
+        query(
+            conn,
+            &format!("SELECT w_tax FROM warehouse WHERE w_id = {w}"),
+        )?;
         let r = query(
             conn,
             &format!("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"),
@@ -173,7 +176,8 @@ impl TpccRunner {
         conn.execute(&format!(
             "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, \
              o_ol_cnt, o_all_local) VALUES ({o_id}, {d}, {w}, {c}, {}, NULL, {}, 1)",
-            self.seq, lines.len()
+            self.seq,
+            lines.len()
         ))?;
         conn.execute(&format!(
             "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES ({o_id}, {d}, {w})"
@@ -407,10 +411,7 @@ impl TpccRunner {
     }
 }
 
-fn query(
-    conn: &mut dyn Connection,
-    sql: &str,
-) -> Result<resildb_engine::QueryResult, WireError> {
+fn query(conn: &mut dyn Connection, sql: &str) -> Result<resildb_engine::QueryResult, WireError> {
     match conn.execute(sql)? {
         Response::Rows(r) => Ok(r),
         other => Err(WireError::Protocol(format!(

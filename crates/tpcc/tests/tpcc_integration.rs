@@ -35,7 +35,9 @@ fn every_transaction_kind_runs_without_proxy() {
         TxnKind::OrderStatus,
         TxnKind::StockLevel,
     ] {
-        runner.run(&mut *conn, kind).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        runner
+            .run(&mut *conn, kind)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
     }
     assert_eq!(runner.stats.committed, 5);
 }
@@ -88,18 +90,29 @@ fn payment_moves_money() {
     let cfg = TpccConfig::tiny();
     Loader::new(cfg.clone(), 3).load(&mut *conn).unwrap();
     let mut s = db.session();
-    let before = match s.query("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap().rows[0][0] {
+    let before = match s
+        .query("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+        .unwrap()
+        .rows[0][0]
+    {
         Value::Float(v) => v,
         ref other => panic!("{other:?}"),
     };
     let mut runner = TpccRunner::new(cfg, 5).without_annotations();
     runner.payment(&mut *conn).unwrap();
-    let after = match s.query("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap().rows[0][0] {
+    let after = match s
+        .query("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+        .unwrap()
+        .rows[0][0]
+    {
         Value::Float(v) => v,
         ref other => panic!("{other:?}"),
     };
     assert!(after > before, "w_ytd must grow: {before} -> {after}");
-    assert_eq!(db.row_count("history").unwrap(), TpccConfig::tiny().total_customers() + 1);
+    assert_eq!(
+        db.row_count("history").unwrap(),
+        TpccConfig::tiny().total_customers() + 1
+    );
 }
 
 #[test]
@@ -120,7 +133,9 @@ fn mixes_run_to_completion() {
     let cfg = TpccConfig::tiny();
     Loader::new(cfg.clone(), 3).load(&mut *conn).unwrap();
     let mut runner = TpccRunner::new(cfg, 5).without_annotations();
-    let committed = Mix::read_intensive(10).run(&mut runner, &mut *conn).unwrap();
+    let committed = Mix::read_intensive(10)
+        .run(&mut runner, &mut *conn)
+        .unwrap();
     assert_eq!(committed, 10);
     let committed = Mix::read_write(4).run(&mut runner, &mut *conn).unwrap();
     assert_eq!(committed, 20);

@@ -1,7 +1,8 @@
 //! JDBC-like driver abstraction and the native driver.
 
-use resildb_engine::{Database, Session};
+use resildb_engine::{Database, PreparedStatement, Session};
 use resildb_sim::Micros;
+use resildb_sql::Literal;
 
 use crate::error::WireError;
 use crate::message::{response_wire_bytes, Response};
@@ -34,6 +35,12 @@ impl LinkProfile {
     }
 }
 
+/// Server-side handle to a statement prepared on one connection (the JDBC
+/// `PreparedStatement` analogue). Handles are connection-scoped: a handle
+/// from one connection is meaningless on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatementHandle(u64);
+
 /// An open connection executing SQL text.
 pub trait Connection: Send {
     /// Executes one statement.
@@ -43,6 +50,44 @@ pub trait Connection: Send {
     /// [`WireError::Db`] for DBMS errors (deadlock victims have been rolled
     /// back), [`WireError::Protocol`] for transport problems.
     fn execute(&mut self, sql: &str) -> Result<Response, WireError>;
+
+    /// Prepares `sql` (which may contain `?` placeholders) server-side,
+    /// paying the parse cost once, and returns a handle for repeated
+    /// execution.
+    ///
+    /// The default refuses: a connection type must opt in. In particular
+    /// the dependency-tracking proxy connections deliberately do **not** —
+    /// a client-prepared statement would bypass the proxy's SQL rewriting
+    /// and with it the trid stamping the repair capability rests on.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] when unsupported; [`WireError::Db`] for
+    /// parse errors.
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle, WireError> {
+        let _ = sql;
+        Err(WireError::Protocol(
+            "prepared statements are not supported on this connection".into(),
+        ))
+    }
+
+    /// Executes a previously prepared statement with `params` bound to its
+    /// `?` placeholders in source order.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] when unsupported or the handle is unknown;
+    /// [`WireError::Db`] for binding and execution errors.
+    fn execute_prepared(
+        &mut self,
+        handle: StatementHandle,
+        params: &[Literal],
+    ) -> Result<Response, WireError> {
+        let _ = (handle, params);
+        Err(WireError::Protocol(
+            "prepared statements are not supported on this connection".into(),
+        ))
+    }
 }
 
 /// A connection factory (the JDBC `Driver` analogue).
@@ -86,6 +131,7 @@ impl Driver for NativeDriver {
             session: self.db.session(),
             db: self.db.clone(),
             link: self.link,
+            prepared: Vec::new(),
         }))
     }
 }
@@ -94,6 +140,7 @@ struct NativeConnection {
     session: Session,
     db: Database,
     link: LinkProfile,
+    prepared: Vec<PreparedStatement>,
 }
 
 impl Connection for NativeConnection {
@@ -101,7 +148,45 @@ impl Connection for NativeConnection {
         let outcome = self.session.execute_sql(sql)?;
         let response = Response::from(outcome);
         let bytes = sql.len() + response_wire_bytes(&response);
-        self.db.sim().charge_link(self.link.rtt, self.link.per_byte_ns, bytes);
+        self.db
+            .sim()
+            .charge_link(self.link.rtt, self.link.per_byte_ns, bytes);
+        Ok(response)
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle, WireError> {
+        let prepared = self.session.prepare(sql)?;
+        self.prepared.push(prepared);
+        // One round trip carrying the statement text; the reply is a
+        // fixed-size handle acknowledgement.
+        self.db
+            .sim()
+            .charge_link(self.link.rtt, self.link.per_byte_ns, sql.len() + 8);
+        Ok(StatementHandle((self.prepared.len() - 1) as u64))
+    }
+
+    fn execute_prepared(
+        &mut self,
+        handle: StatementHandle,
+        params: &[Literal],
+    ) -> Result<Response, WireError> {
+        let prepared = self
+            .prepared
+            .get(handle.0 as usize)
+            .cloned()
+            .ok_or_else(|| WireError::Protocol(format!("unknown statement handle {}", handle.0)))?;
+        let outcome = self.session.execute_prepared(&prepared, params)?;
+        let response = Response::from(outcome);
+        // The request carries only the handle and the bound values — the
+        // wire-cost advantage of prepared execution over statement text.
+        let request_bytes: usize = 8 + params
+            .iter()
+            .map(|p| p.to_string().len() + 1)
+            .sum::<usize>();
+        let bytes = request_bytes + response_wire_bytes(&response);
+        self.db
+            .sim()
+            .charge_link(self.link.rtt, self.link.per_byte_ns, bytes);
         Ok(response)
     }
 }
@@ -133,6 +218,65 @@ mod tests {
         let mut conn = driver.connect().unwrap();
         let err = conn.execute("SELECT * FROM missing").unwrap_err();
         assert!(matches!(err, WireError::Db(_)));
+    }
+
+    #[test]
+    fn prepared_statements_execute_with_bindings() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = NativeDriver::new(db, LinkProfile::local());
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        let ins = conn.prepare("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
+        conn.execute_prepared(ins, &[Literal::Int(1), Literal::Str("x".into())])
+            .unwrap();
+        conn.execute_prepared(ins, &[Literal::Int(2), Literal::Str("y".into())])
+            .unwrap();
+        let sel = conn.prepare("SELECT b FROM t WHERE a = ?").unwrap();
+        let resp = conn.execute_prepared(sel, &[Literal::Int(2)]).unwrap();
+        assert_eq!(
+            resp.rows().unwrap().rows,
+            vec![vec![resildb_engine::Value::Str("y".into())]]
+        );
+    }
+
+    #[test]
+    fn prepared_charges_fewer_wire_bytes_than_text() {
+        let sim = SimContext::new(CostModel::free(), 64);
+        let db = Database::new("t", Flavor::Postgres, sim);
+        let driver = NativeDriver::new(db.clone(), LinkProfile::lan());
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        let handle = conn.prepare("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
+        let before = db.sim().stats().network_bytes.get();
+        conn.execute_prepared(handle, &[Literal::Int(1), Literal::Str("abc".into())])
+            .unwrap();
+        let prepared_bytes = db.sim().stats().network_bytes.get() - before;
+        let before = db.sim().stats().network_bytes.get();
+        conn.execute("INSERT INTO t (a, b) VALUES (2, 'abc')")
+            .unwrap();
+        let text_bytes = db.sim().stats().network_bytes.get() - before;
+        assert!(
+            prepared_bytes < text_bytes,
+            "prepared request ({prepared_bytes}B) must beat statement text ({text_bytes}B)"
+        );
+    }
+
+    #[test]
+    fn bad_handles_and_arity_are_errors() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = NativeDriver::new(db, LinkProfile::local());
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        assert!(matches!(
+            conn.execute_prepared(StatementHandle(99), &[]),
+            Err(WireError::Protocol(_))
+        ));
+        let h = conn.prepare("INSERT INTO t (a) VALUES (?)").unwrap();
+        assert!(matches!(
+            conn.execute_prepared(h, &[]),
+            Err(WireError::Db(_))
+        ));
+        assert!(matches!(conn.prepare("SELEC ?"), Err(WireError::Db(_))));
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod message;
 mod pool;
 mod proxy;
 
-pub use driver::{Connection, Driver, LinkProfile, NativeDriver};
+pub use driver::{Connection, Driver, LinkProfile, NativeDriver, StatementHandle};
 pub use error::WireError;
 pub use message::{response_wire_bytes, Response};
 pub use pool::{ConnectionPool, PooledConnection};

@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn conversion_from_outcome() {
-        assert_eq!(
-            Response::from(ExecOutcome::Affected(3)).affected(),
-            Some(3)
-        );
+        assert_eq!(Response::from(ExecOutcome::Affected(3)).affected(), Some(3));
         assert!(Response::from(ExecOutcome::TxnControl).rows().is_none());
     }
 }

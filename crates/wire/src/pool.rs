@@ -180,10 +180,7 @@ mod tests {
         c.execute("CREATE TABLE t (a INTEGER)").unwrap();
         c.execute("INSERT INTO t (a) VALUES (1)").unwrap();
         let r = c.execute("SELECT COUNT(*) FROM t").unwrap();
-        assert_eq!(
-            r.rows().unwrap().rows[0][0],
-            resildb_engine::Value::Int(1)
-        );
+        assert_eq!(r.rows().unwrap().rows[0][0], resildb_engine::Value::Int(1));
     }
 
     #[test]

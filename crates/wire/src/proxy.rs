@@ -180,7 +180,9 @@ mod tests {
             sql: &str,
             downstream: &mut dyn Connection,
         ) -> Result<Response, WireError> {
-            if !self.extra_table_ready && sql.trim_start().to_ascii_uppercase().starts_with("INSERT") {
+            if !self.extra_table_ready
+                && sql.trim_start().to_ascii_uppercase().starts_with("INSERT")
+            {
                 downstream.execute("CREATE TABLE audit (n INTEGER)")?;
                 self.extra_table_ready = true;
             }
@@ -227,7 +229,8 @@ mod tests {
             let mut conn = driver.connect().unwrap();
             conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
             for i in 0..20 {
-                conn.execute(&format!("INSERT INTO t (a) VALUES ({i})")).unwrap();
+                conn.execute(&format!("INSERT INTO t (a) VALUES ({i})"))
+                    .unwrap();
             }
             db.sim().clock().now()
         };

@@ -4,8 +4,8 @@
 use resildb_engine::{Database, Flavor};
 use resildb_sim::{CostModel, Micros, SimContext};
 use resildb_wire::{
-    dual_proxy, single_proxy, Connection, ConnectionPool, Driver, Interceptor,
-    InterceptorFactory, LinkProfile, NativeDriver, Response, WireError,
+    dual_proxy, single_proxy, Connection, ConnectionPool, Driver, Interceptor, InterceptorFactory,
+    LinkProfile, NativeDriver, Response, WireError,
 };
 
 /// A pass-through interceptor that tags a session-local statement count
@@ -52,12 +52,10 @@ fn concurrent_pooled_clients_share_one_database() {
         let mut c = NativeDriver::new(db.clone(), LinkProfile::local())
             .connect()
             .unwrap();
-        c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .unwrap();
     }
-    let pool = ConnectionPool::new(
-        NativeDriver::new(db.clone(), LinkProfile::local()),
-        8,
-    );
+    let pool = ConnectionPool::new(NativeDriver::new(db.clone(), LinkProfile::local()), 8);
     let mut handles = Vec::new();
     for t in 0..4i64 {
         let pool = pool.clone();
@@ -89,7 +87,8 @@ fn network_bytes_scale_with_result_width() {
     let mut conn = NativeDriver::new(db.clone(), LinkProfile::lan())
         .connect()
         .unwrap();
-    conn.execute("CREATE TABLE t (a INTEGER, pad VARCHAR(100))").unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER, pad VARCHAR(100))")
+        .unwrap();
     for i in 0..20 {
         conn.execute(&format!(
             "INSERT INTO t (a, pad) VALUES ({i}, 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx')"

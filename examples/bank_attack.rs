@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = rdb.analyze()?;
 
     let naive = analysis.undo_set(&[attack], &[]);
-    println!("row-level tracking flags the balance reader: {}", naive.contains(&reader));
+    println!(
+        "row-level tracking flags the balance reader: {}",
+        naive.contains(&reader)
+    );
 
     // The DBA knows the shared row's overlap is only last_login: a
     // column-aware rule discards the false dependency.
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         columns: vec!["last_login".into()],
     }];
     let precise = analysis.undo_set(&[attack], &rules);
-    println!("after discarding last_login-only deps:     {}", precise.contains(&reader));
+    println!(
+        "after discarding last_login-only deps:     {}",
+        precise.contains(&reader)
+    );
     assert!(naive.contains(&reader) && !precise.contains(&reader));
 
     // ---- false negative: the paper's service-fee example ----------------
@@ -97,6 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut s = rdb.database().session();
     let r = s.query("SELECT balance FROM account WHERE id = 1")?;
     assert_eq!(r.rows[0][0], Value::Float(49.0)); // 50 - 1 (legit) restored
-    println!("account 1 balance after full manual repair: {}", r.rows[0][0]);
+    println!(
+        "account 1 balance after full manual repair: {}",
+        r.rows[0][0]
+    );
     Ok(())
 }

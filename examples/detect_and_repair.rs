@@ -11,15 +11,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rdb = ResilientDb::new(Flavor::Postgres)?;
     let mut conn = rdb.connect()?;
     conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)")?;
-    conn.execute(
-        "INSERT INTO acct (id, bal) VALUES (1, 120.0), (2, 80.0), (3, 310.0), (4, 55.0)",
-    )?;
+    conn.execute("INSERT INTO acct (id, bal) VALUES (1, 120.0), (2, 80.0), (3, 310.0), (4, 55.0)")?;
 
     // Normal traffic: small transfers.
     for (from, to) in [(1, 2), (3, 4), (2, 3)] {
         conn.execute("BEGIN")?;
         conn.execute(&format!("SELECT bal FROM acct WHERE id = {from}"))?;
-        conn.execute(&format!("UPDATE acct SET bal = bal - 10.0 WHERE id = {from}"))?;
+        conn.execute(&format!(
+            "UPDATE acct SET bal = bal - 10.0 WHERE id = {from}"
+        ))?;
         conn.execute(&format!("UPDATE acct SET bal = bal + 10.0 WHERE id = {to}"))?;
         conn.execute("COMMIT")?;
     }

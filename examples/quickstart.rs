@@ -13,7 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Ordinary application work — the proxy tracks dependencies
     //    transparently; the application needs no changes.
-    conn.execute("CREATE TABLE account (id INTEGER PRIMARY KEY, owner VARCHAR(16), balance FLOAT)")?;
+    conn.execute(
+        "CREATE TABLE account (id INTEGER PRIMARY KEY, owner VARCHAR(16), balance FLOAT)",
+    )?;
     conn.execute(
         "INSERT INTO account (id, owner, balance) VALUES \
          (1, 'alice', 100.0), (2, 'bob', 50.0), (3, 'carol', 75.0)",
@@ -60,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut s = rdb.database().session();
     println!("\nfinal state:");
-    for row in s.query("SELECT id, owner, balance FROM account ORDER BY id")?.rows {
+    for row in s
+        .query("SELECT id, owner, balance FROM account ORDER BY id")?
+        .rows
+    {
         println!("  {} {} {}", row[0], row[1], row[2]);
     }
     // alice: 100 (attack undone), bob: 50 (polluted transfer undone),

@@ -71,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Repair with the filtered set and verify the forged money is gone.
     let before = w_ytd(&rdb)?;
-    let report = rdb.repair_tool().repair_with_undo_set(&analysis, &filtered)?;
+    let report = rdb
+        .repair_tool()
+        .repair_with_undo_set(&analysis, &filtered)?;
     let after = w_ytd(&rdb)?;
     println!(
         "repair executed {} compensating statements; w_ytd {before:.2} -> {after:.2}",

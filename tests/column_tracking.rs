@@ -10,7 +10,8 @@ fn facade_exposes_column_granularity() {
         .build()
         .unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)")
+        .unwrap();
     let schema = rdb.database().table("t").unwrap().read().schema().clone();
     assert!(schema.has_column("trid"));
     assert!(schema.has_column("trid__a"));
@@ -25,30 +26,34 @@ fn false_sharing_vanishes_without_rules() {
         .build()
         .unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute(
-        "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)",
-    )
-    .unwrap();
-    conn.execute("INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 0.05, 0.0)").unwrap();
+    conn.execute("CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)")
+        .unwrap();
+    conn.execute("INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 0.05, 0.0)")
+        .unwrap();
 
     // Attack bumps only w_ytd.
     conn.execute("ANNOTATE attack").unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("UPDATE warehouse SET w_ytd = w_ytd + 5000.0 WHERE w_id = 1").unwrap();
+    conn.execute("UPDATE warehouse SET w_ytd = w_ytd + 5000.0 WHERE w_id = 1")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     // A New-Order-like txn reads w_tax of the same row and writes.
     conn.execute("ANNOTATE neworder").unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("SELECT w_tax FROM warehouse WHERE w_id = 1").unwrap();
-    conn.execute("UPDATE warehouse SET w_tax = 0.06 WHERE w_id = 1").unwrap();
+    conn.execute("SELECT w_tax FROM warehouse WHERE w_id = 1")
+        .unwrap();
+    conn.execute("UPDATE warehouse SET w_tax = 0.06 WHERE w_id = 1")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     // An audit txn genuinely reads w_ytd and writes.
     conn.execute("ANNOTATE audit").unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap();
-    conn.execute("UPDATE warehouse SET w_tax = 0.07 WHERE w_id = 1").unwrap();
+    conn.execute("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+        .unwrap();
+    conn.execute("UPDATE warehouse SET w_tax = 0.07 WHERE w_id = 1")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
 
     let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
@@ -76,8 +81,10 @@ fn per_column_write_write_chains_are_precise() {
         .build()
         .unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)").unwrap();
-    conn.execute("INSERT INTO t (id, a, b) VALUES (1, 0, 0)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t (id, a, b) VALUES (1, 0, 0)")
+        .unwrap();
     for (label, stmt) in [
         ("writes_a", "UPDATE t SET a = 1 WHERE id = 1"),
         ("writes_b", "UPDATE t SET b = 2 WHERE id = 1"),
@@ -92,9 +99,15 @@ fn per_column_write_write_chains_are_precise() {
     let writes_b = rdb.txn_id_by_label("writes_b").unwrap().unwrap();
     let overwrites_a = rdb.txn_id_by_label("overwrites_a").unwrap().unwrap();
     let analysis = rdb.analyze().unwrap();
-    assert!(analysis.graph.dependencies_of(overwrites_a).contains(&writes_a));
+    assert!(analysis
+        .graph
+        .dependencies_of(overwrites_a)
+        .contains(&writes_a));
     assert!(
-        !analysis.graph.dependencies_of(overwrites_a).contains(&writes_b),
+        !analysis
+            .graph
+            .dependencies_of(overwrites_a)
+            .contains(&writes_b),
         "disjoint-column writers must not chain: {:?}",
         analysis.graph.dependencies_of(overwrites_a)
     );
@@ -114,19 +127,22 @@ fn column_level_repair_round_trips_on_all_flavors() {
             .unwrap();
         conn.execute("ANNOTATE attack").unwrap();
         conn.execute("BEGIN").unwrap();
-        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1").unwrap();
+        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1")
+            .unwrap();
         conn.execute("COMMIT").unwrap();
         // Dependent via the *bal* column specifically.
         conn.execute("ANNOTATE dep").unwrap();
         conn.execute("BEGIN").unwrap();
         conn.execute("SELECT bal FROM acct WHERE id = 1").unwrap();
-        conn.execute("UPDATE acct SET bal = bal + 1.0 WHERE id = 2").unwrap();
+        conn.execute("UPDATE acct SET bal = bal + 1.0 WHERE id = 2")
+            .unwrap();
         conn.execute("COMMIT").unwrap();
         // Independent: touches only the note column of the same row.
         conn.execute("ANNOTATE indep").unwrap();
         conn.execute("BEGIN").unwrap();
         conn.execute("SELECT note FROM acct WHERE id = 1").unwrap();
-        conn.execute("UPDATE acct SET note = 'seen' WHERE id = 2").unwrap();
+        conn.execute("UPDATE acct SET note = 'seen' WHERE id = 2")
+            .unwrap();
         conn.execute("COMMIT").unwrap();
 
         let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
@@ -137,6 +153,10 @@ fn column_level_repair_round_trips_on_all_flavors() {
         let r = s.query("SELECT bal, note FROM acct ORDER BY id").unwrap();
         assert_eq!(r.rows[0][0], Value::Float(100.0), "{flavor}");
         assert_eq!(r.rows[1][0], Value::Float(50.0), "{flavor}");
-        assert_eq!(r.rows[1][1], Value::from("seen"), "{flavor}: indep preserved");
+        assert_eq!(
+            r.rows[1][1],
+            Value::from("seen"),
+            "{flavor}: indep preserved"
+        );
     }
 }

@@ -8,7 +8,8 @@ use resildb_core::{Flavor, ResilientDb, Value};
 fn tracking_tables_survive_crash_recovery() {
     let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
     conn.execute("BEGIN").unwrap();
     conn.execute("SELECT v FROM t WHERE id = 1").unwrap();
@@ -25,7 +26,8 @@ fn tracking_tables_survive_crash_recovery() {
 fn repair_works_after_crash_recovery() {
     let rdb = ResilientDb::new(Flavor::Oracle).unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
     conn.execute("ANNOTATE attack").unwrap();
     conn.execute("BEGIN").unwrap();
@@ -46,7 +48,8 @@ fn repair_works_after_crash_recovery() {
 fn uncommitted_transaction_lost_in_crash_never_tracked() {
     let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
     conn.execute("BEGIN").unwrap();
     conn.execute("INSERT INTO t (id) VALUES (1)").unwrap();
     // Crash before COMMIT: the open transaction is gone.

@@ -62,8 +62,12 @@ fn tpcc_attack_analysis_and_repair_pipeline() {
     // The forged w_ytd inflation is gone: w_ytd is consistent with the
     // sum of recorded payments (all legitimate payments are ≤ 5000).
     let mut s = rdb.database().session();
-    let r = s.query("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap();
-    let Value::Float(ytd) = r.rows[0][0] else { panic!() };
+    let r = s
+        .query("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+        .unwrap();
+    let Value::Float(ytd) = r.rows[0][0] else {
+        panic!()
+    };
     assert!(
         ytd < 1_000_000.0,
         "forged million must be rolled back, got {ytd}"
@@ -74,10 +78,12 @@ fn tpcc_attack_analysis_and_repair_pipeline() {
 fn double_repair_is_detected_not_silently_reapplied() {
     let rdb = ResilientDb::new(Flavor::Oracle).unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("ANNOTATE attack").unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO t (id, v) VALUES (1, 666)").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 666)")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
     let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
     let report = rdb.repair(&[attack], &[]).unwrap();
@@ -99,7 +105,8 @@ fn dual_proxy_placement_tracks_identically() {
         .build()
         .unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
     conn.execute("BEGIN").unwrap();
     conn.execute("SELECT v FROM t WHERE id = 1").unwrap();
@@ -116,7 +123,11 @@ fn dual_proxy_placement_tracks_identically() {
 fn untracked_admin_connection_does_not_pollute_tracking() {
     let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
     let mut admin = rdb.connect_untracked().unwrap();
-    admin.execute("CREATE TABLE t (id INTEGER, trid INTEGER)").unwrap();
-    admin.execute("INSERT INTO t (id, trid) VALUES (1, NULL)").unwrap();
+    admin
+        .execute("CREATE TABLE t (id INTEGER, trid INTEGER)")
+        .unwrap();
+    admin
+        .execute("INSERT INTO t (id, trid) VALUES (1, NULL)")
+        .unwrap();
     assert_eq!(rdb.database().row_count("trans_dep").unwrap(), 0);
 }

@@ -5,10 +5,7 @@
 use resildb_core::{Database, Flavor, ResilientDb, SimContext, Value};
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "resildb-{tag}-{}.wal",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("resildb-{tag}-{}.wal", std::process::id()))
 }
 
 #[test]
@@ -17,8 +14,10 @@ fn save_and_reopen_preserves_data_and_counters() {
     {
         let db = Database::in_memory(Flavor::Postgres);
         let mut s = db.session();
-        s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8))").unwrap();
-        s.execute_sql("INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b')").unwrap();
+        s.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8))")
+            .unwrap();
+        s.execute_sql("INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
         s.execute_sql("UPDATE t SET v = 'z' WHERE id = 2").unwrap();
         db.save_wal(std::fs::File::create(&path).unwrap()).unwrap();
     }
@@ -39,7 +38,8 @@ fn save_and_reopen_preserves_data_and_counters() {
         ]
     );
     // New activity continues with fresh ids and is itself recoverable.
-    s.execute_sql("INSERT INTO t (id, v) VALUES (3, 'c')").unwrap();
+    s.execute_sql("INSERT INTO t (id, v) VALUES (3, 'c')")
+        .unwrap();
     db.simulate_crash_and_recover().unwrap();
     assert_eq!(db.row_count("t").unwrap(), 3);
     std::fs::remove_file(&path).ok();
@@ -51,13 +51,17 @@ fn repair_still_works_after_reopen() {
     {
         let rdb = ResilientDb::new(Flavor::Oracle).unwrap();
         let mut conn = rdb.connect().unwrap();
-        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)").unwrap();
-        conn.execute("INSERT INTO acct (id, bal) VALUES (1, 100.0), (2, 50.0)").unwrap();
+        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)")
+            .unwrap();
+        conn.execute("INSERT INTO acct (id, bal) VALUES (1, 100.0), (2, 50.0)")
+            .unwrap();
         conn.execute("ANNOTATE attack").unwrap();
         conn.execute("BEGIN").unwrap();
-        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1").unwrap();
+        conn.execute("UPDATE acct SET bal = 1000000.0 WHERE id = 1")
+            .unwrap();
         conn.execute("COMMIT").unwrap();
-        conn.execute("UPDATE acct SET bal = bal + 1.0 WHERE id = 2").unwrap();
+        conn.execute("UPDATE acct SET bal = bal + 1.0 WHERE id = 2")
+            .unwrap();
         rdb.database()
             .save_wal(std::fs::File::create(&path).unwrap())
             .unwrap();

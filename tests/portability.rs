@@ -82,7 +82,8 @@ fn all_flavors_expose_a_working_log_adapter() {
     for flavor in Flavor::ALL {
         let rdb = ResilientDb::new(flavor).unwrap();
         let mut conn = rdb.connect().unwrap();
-        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .unwrap();
         conn.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
         conn.execute("UPDATE t SET v = 2 WHERE id = 1").unwrap();
         conn.execute("DELETE FROM t WHERE id = 1").unwrap();

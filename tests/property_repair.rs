@@ -82,7 +82,8 @@ fn generate_workload(seed: u64, txn_count: usize) -> Vec<Txn> {
 
 fn run_workload(rdb: &ResilientDb, txns: &[Txn]) {
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     for txn in txns {
         conn.execute(&format!("ANNOTATE {}", txn.label)).unwrap();
         conn.execute("BEGIN").unwrap();

@@ -10,7 +10,8 @@ use resildb_core::{Flavor, ProxyPlacement, ResilientDb, Value};
 fn bypassing_attacker_is_invisible_to_dependency_tracking() {
     let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
     let mut good = rdb.connect().unwrap();
-    good.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    good.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     good.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
 
     // The attacker uses a standard driver, bypassing the proxy.
@@ -46,7 +47,8 @@ fn bypassing_attacker_is_invisible_to_dependency_tracking() {
 fn bypass_write_does_not_break_later_tracking_or_repair() {
     let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
     let mut good = rdb.connect().unwrap();
-    good.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    good.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     good.execute("INSERT INTO t (id, v) VALUES (1, 1)").unwrap();
 
     let mut evil = rdb.connect_untracked().unwrap();
@@ -76,10 +78,12 @@ fn dual_proxy_tracks_proxied_clients_end_to_end() {
         .build()
         .unwrap();
     let mut conn = rdb.connect().unwrap();
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     conn.execute("ANNOTATE attack").unwrap();
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO t (id, v) VALUES (1, 666)").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 666)")
+        .unwrap();
     conn.execute("COMMIT").unwrap();
     let attack = rdb.txn_id_by_label("attack").unwrap().unwrap();
     let report = rdb.repair(&[attack], &[]).unwrap();

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use resildb_core::{
-    Connection, Database, Driver, Flavor, LinkProfile, NativeDriver, ResilientDb, Response,
-    TrackingGranularity, Value,
+    prepare_database, Connection, Database, Driver, Flavor, LinkProfile, NativeDriver, ProxyConfig,
+    ResilientDb, Response, TrackingGranularity, TrackingProxy, Value, WireError,
 };
 
 const COLUMNS: [&str; 4] = ["id", "grp", "amt", "name"];
@@ -34,7 +34,11 @@ fn generate_query(seed: u64) -> String {
                 0 => COLUMNS[rng.gen_range(0..COLUMNS.len())].to_string(),
                 1 => format!("amt + {}", rng.gen_range(0..10)),
                 2 => "grp * 10 + id".to_string(),
-                _ => format!("{} AS x{}", COLUMNS[rng.gen_range(0..3)], rng.gen_range(0..9)),
+                _ => format!(
+                    "{} AS x{}",
+                    COLUMNS[rng.gen_range(0..3)],
+                    rng.gen_range(0..9)
+                ),
             })
             .collect();
         sql.push_str(&items.join(", "));
@@ -43,11 +47,24 @@ fn generate_query(seed: u64) -> String {
     if rng.gen_bool(0.8) {
         let conds: Vec<String> = (0..rng.gen_range(1..=3))
             .map(|_| match rng.gen_range(0..5) {
-                0 => format!("id {} {}", ["=", "<", ">", "<=", ">="][rng.gen_range(0..5)], rng.gen_range(0..30)),
+                0 => format!(
+                    "id {} {}",
+                    ["=", "<", ">", "<=", ">="][rng.gen_range(0..5)],
+                    rng.gen_range(0..30)
+                ),
                 1 => format!("grp = {}", rng.gen_range(0..4)),
-                2 => format!("amt BETWEEN {} AND {}", rng.gen_range(0..50), rng.gen_range(50..120)),
+                2 => format!(
+                    "amt BETWEEN {} AND {}",
+                    rng.gen_range(0..50),
+                    rng.gen_range(50..120)
+                ),
                 3 => format!("name LIKE 'n%{}'", rng.gen_range(0..10)),
-                _ => format!("id IN ({}, {}, {})", rng.gen_range(0..30), rng.gen_range(0..30), rng.gen_range(0..30)),
+                _ => format!(
+                    "id IN ({}, {}, {})",
+                    rng.gen_range(0..30),
+                    rng.gen_range(0..30),
+                    rng.gen_range(0..30)
+                ),
             })
             .collect();
         sql.push_str(" WHERE ");
@@ -69,8 +86,7 @@ fn generate_query(seed: u64) -> String {
 /// Aggregate variants, exercised separately (they pass through unrewritten).
 fn generate_aggregate_query(seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
-    let agg = ["COUNT(*)", "SUM(amt)", "MIN(amt)", "MAX(id)", "AVG(amt)"]
-        [rng.gen_range(0..5)];
+    let agg = ["COUNT(*)", "SUM(amt)", "MIN(amt)", "MAX(id)", "AVG(amt)"][rng.gen_range(0..5)];
     let mut sql = format!("SELECT grp, {agg} FROM t");
     if rng.gen_bool(0.6) {
         sql.push_str(&format!(" WHERE id < {}", rng.gen_range(5..30)));
@@ -80,8 +96,10 @@ fn generate_aggregate_query(seed: u64) -> String {
 }
 
 fn load(conn: &mut dyn Connection) {
-    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, amt INTEGER, name VARCHAR(8))")
-        .unwrap();
+    conn.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, amt INTEGER, name VARCHAR(8))",
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(424242);
     for id in 0..30 {
         let grp = rng.gen_range(0..4);
@@ -124,7 +142,11 @@ fn check_transparency(seed: u64, granularity: TrackingGranularity, aggregate: bo
     load(&mut *tracked);
 
     let expected = rows_of(raw.execute(&sql).unwrap_or_else(|e| panic!("{sql}: {e}")));
-    let got = rows_of(tracked.execute(&sql).unwrap_or_else(|e| panic!("{sql}: {e}")));
+    let got = rows_of(
+        tracked
+            .execute(&sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}")),
+    );
     assert_eq!(expected, got, "proxy changed the result of {sql:?}");
 }
 
@@ -145,4 +167,152 @@ proptest! {
     fn tracked_aggregates_equal_untracked(seed in any::<u64>()) {
         check_transparency(seed, TrackingGranularity::Row, true);
     }
+}
+
+// --- Rewrite-cache transparency -----------------------------------------
+//
+// The statement-template rewrite cache must be invisible twice over: a
+// warm replay through one proxy must return byte-identical results to the
+// cold first pass, and an entire workload run with the cache must leave
+// client responses AND the recorded dependency rows identical to a run
+// without it.
+
+/// A deterministic mixed workload: schema + bulk load, then transactions
+/// combining generated reads with writes. Statement shapes repeat with
+/// varying literals — the cache's intended steady state.
+fn generate_workload(seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stmts = vec![
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, amt INTEGER, name VARCHAR(8))"
+            .to_string(),
+    ];
+    for id in 0..20 {
+        stmts.push(format!(
+            "INSERT INTO t (id, grp, amt, name) VALUES ({id}, {}, {}, 'n{}')",
+            rng.gen_range(0..4),
+            rng.gen_range(0..120),
+            id % 10
+        ));
+    }
+    for i in 0..8 {
+        stmts.push("BEGIN".to_string());
+        stmts.push(generate_query(rng.gen_range(0..u64::MAX)));
+        match rng.gen_range(0..3) {
+            0 => stmts.push(format!(
+                "UPDATE t SET amt = amt + {} WHERE grp = {}",
+                rng.gen_range(1..9),
+                rng.gen_range(0..4)
+            )),
+            1 => stmts.push(format!(
+                "INSERT INTO t (id, grp, amt, name) VALUES ({}, {}, {}, 'w{}')",
+                100 + i,
+                rng.gen_range(0..4),
+                rng.gen_range(0..120),
+                i
+            )),
+            _ => stmts.push(format!("DELETE FROM t WHERE id = {}", rng.gen_range(0..20))),
+        }
+        stmts.push("COMMIT".to_string());
+    }
+    stmts
+}
+
+/// Runs `stmts` through a fresh tracked database, returning the printed
+/// client-visible response of every statement, the final contents of the
+/// three tracking tables, and the rewrite-cache hit count.
+fn run_workload(stmts: &[String], cache: bool) -> (Vec<String>, Vec<String>, u64) {
+    let db = Database::in_memory(Flavor::Postgres);
+    prepare_database(
+        &mut *NativeDriver::new(db.clone(), LinkProfile::local())
+            .connect()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut config = ProxyConfig::new(Flavor::Postgres);
+    if !cache {
+        config = config.without_rewrite_cache();
+    }
+    let (driver, cache_handle) =
+        TrackingProxy::single_proxy_with_cache(db.clone(), LinkProfile::local(), config);
+    let mut conn = driver.connect().unwrap();
+    let responses: Vec<String> = stmts
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?}",
+                conn.execute(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+            )
+        })
+        .collect();
+    let tracking: Vec<String> = ["trans_dep", "trans_dep_prov", "annot"]
+        .iter()
+        .map(|t| format!("{:?}", db.snapshot_rows(t).unwrap()))
+        .collect();
+    (responses, tracking, cache_handle.stats().hits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache on vs cache off over the same workload: every client-visible
+    /// response and every recorded dependency/provenance/annotation row
+    /// must be byte-identical — the cache may only change the CPU cost.
+    #[test]
+    fn cached_workload_is_byte_identical_to_uncached(seed in any::<u64>()) {
+        let stmts = generate_workload(seed);
+        let (warm_resp, warm_deps, hits) = run_workload(&stmts, true);
+        let (cold_resp, cold_deps, cold_hits) = run_workload(&stmts, false);
+        prop_assert_eq!(cold_hits, 0, "disabled cache must never hit");
+        prop_assert!(hits > 0, "repeated statement shapes must hit the cache");
+        prop_assert_eq!(&warm_resp, &cold_resp, "client-visible results diverged");
+        prop_assert_eq!(&warm_deps, &cold_deps, "dependency rows diverged");
+    }
+
+    /// Replaying a read-only query set twice through ONE proxy: the second
+    /// (warm) pass is served from the cache and must return byte-identical
+    /// results to the cold first pass.
+    #[test]
+    fn warm_replay_matches_cold_through_one_proxy(seed in any::<u64>()) {
+        let queries: Vec<String> = (0..6).map(|i| generate_query(seed.wrapping_add(i))).collect();
+        let db = Database::in_memory(Flavor::Postgres);
+        prepare_database(
+            &mut *NativeDriver::new(db.clone(), LinkProfile::local()).connect().unwrap(),
+        )
+        .unwrap();
+        let (driver, cache) = TrackingProxy::single_proxy_with_cache(
+            db,
+            LinkProfile::local(),
+            ProxyConfig::new(Flavor::Postgres),
+        );
+        let mut conn = driver.connect().unwrap();
+        load(&mut *conn);
+        let cold: Vec<String> = queries
+            .iter()
+            .map(|q| format!("{:?}", conn.execute(q).unwrap_or_else(|e| panic!("{q}: {e}"))))
+            .collect();
+        let hits_after_cold = cache.stats().hits;
+        let warm: Vec<String> = queries
+            .iter()
+            .map(|q| format!("{:?}", conn.execute(q).unwrap_or_else(|e| panic!("{q}: {e}"))))
+            .collect();
+        prop_assert_eq!(&warm, &cold, "warm replay diverged from cold pass");
+        prop_assert!(
+            cache.stats().hits >= hits_after_cold + queries.len() as u64,
+            "every replayed query must hit the cache"
+        );
+    }
+}
+
+/// Client-side prepared statements would bypass the proxy's rewriting (no
+/// trid stamping, no harvested reads), so the tracking connections must
+/// refuse them rather than silently punching a hole in the audit trail.
+#[test]
+fn tracking_proxy_refuses_client_prepared_statements() {
+    let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    assert!(matches!(
+        conn.prepare("INSERT INTO t (a) VALUES (?)"),
+        Err(WireError::Protocol(_))
+    ));
 }
