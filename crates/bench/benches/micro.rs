@@ -158,6 +158,23 @@ fn bench_repair_analysis(c: &mut Criterion) {
     });
 }
 
+fn bench_failpoints(c: &mut Criterion) {
+    use resildb_core::failpoints;
+
+    // The disarmed fast path every WAL append / proxy statement pays: one
+    // relaxed atomic load. Guards the "zero-cost when disarmed" claim next
+    // to rewrite_cached, which must not regress from failpoint plumbing.
+    let (rdb, mut conn) = tracked_db();
+    let sim = rdb.database().sim().clone();
+    assert!(!sim.faults().active());
+    c.bench_function("failpoint_check_disarmed", |b| {
+        b.iter(|| sim.fault_check(std::hint::black_box(failpoints::ENGINE_WAL_APPEND)))
+    });
+    c.bench_function("tracked_select_failpoints_disarmed", |b| {
+        b.iter(|| conn.execute("SELECT v FROM t WHERE id = 250").unwrap())
+    });
+}
+
 fn bench_page_compaction(c: &mut Criterion) {
     use resildb_engine::{Page, RowId};
     c.bench_function("page_delete_with_migration", |b| {
@@ -183,6 +200,6 @@ fn bench_page_compaction(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_page_compaction
+    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_failpoints, bench_page_compaction
 );
 criterion_main!(benches);

@@ -67,7 +67,9 @@ pub use resildb_repair::{
     detect, Analysis, AnomalyRule, DepGraph, Detection, FalseDepRule, RepairError, RepairReport,
     RepairTool, WhatIfSession,
 };
-pub use resildb_sim::{CostModel, Micros, SimContext};
+pub use resildb_sim::{
+    failpoints, CostModel, FaultAction, FaultPlan, FaultTrigger, InjectedFault, Micros, SimContext,
+};
 pub use resildb_sql::Literal;
 pub use resildb_wire::{
     Connection, Driver, LinkProfile, NativeDriver, Response, StatementHandle, WireError,

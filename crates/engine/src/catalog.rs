@@ -52,6 +52,13 @@ impl Catalog {
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
+    /// Puts a handle removed by [`Self::drop_table`] back, undoing a DROP
+    /// whose log write failed.
+    pub fn restore_table(&mut self, handle: TableHandle) {
+        let name = handle.read().schema().name.clone();
+        self.tables.insert(name, handle);
+    }
+
     /// Looks a table up by name (case-insensitive).
     ///
     /// # Errors

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use resildb_sim::{LruMap, SimContext};
+use resildb_sim::{failpoints, LruMap, SimContext};
 use resildb_sql::{
     bind_statement, parse_span_literal, parse_template, scan_statement, Literal, Statement,
     StatementScan,
@@ -475,46 +475,63 @@ impl Session {
                 let schema = TableSchema::from_create(ct)?;
                 let ddl_txn = self.db.alloc_txn();
                 self.db.inner.catalog.write().create_table(schema.clone())?;
-                let mut wal = self.db.inner.wal.lock();
-                wal.append(
-                    ddl_txn,
-                    LogOp::CreateTable { schema },
-                    self.db.flavor(),
-                    None,
-                    self.db.sim(),
-                );
-                wal.append(
-                    ddl_txn,
-                    LogOp::Commit,
-                    self.db.flavor(),
-                    None,
-                    self.db.sim(),
-                );
-                drop(wal);
+                let logged = (|| -> Result<()> {
+                    let mut wal = self.db.inner.wal.lock();
+                    wal.append(
+                        ddl_txn,
+                        LogOp::CreateTable {
+                            schema: schema.clone(),
+                        },
+                        self.db.flavor(),
+                        None,
+                        self.db.sim(),
+                    )?;
+                    wal.append(
+                        ddl_txn,
+                        LogOp::Commit,
+                        self.db.flavor(),
+                        None,
+                        self.db.sim(),
+                    )?;
+                    Ok(())
+                })();
+                if let Err(e) = logged {
+                    // Unlogged DDL must not survive: take the catalog change
+                    // back so memory and log agree.
+                    let _ = self.db.inner.catalog.write().drop_table(&schema.name);
+                    return Err(e);
+                }
                 self.db.sim().charge_log_force();
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable(dt) => {
                 let ddl_txn = self.db.alloc_txn();
-                self.db.inner.catalog.write().drop_table(&dt.name)?;
-                let mut wal = self.db.inner.wal.lock();
-                wal.append(
-                    ddl_txn,
-                    LogOp::DropTable {
-                        name: dt.name.to_ascii_lowercase(),
-                    },
-                    self.db.flavor(),
-                    None,
-                    self.db.sim(),
-                );
-                wal.append(
-                    ddl_txn,
-                    LogOp::Commit,
-                    self.db.flavor(),
-                    None,
-                    self.db.sim(),
-                );
-                drop(wal);
+                let dropped = self.db.inner.catalog.write().drop_table(&dt.name)?;
+                let logged = (|| -> Result<()> {
+                    let mut wal = self.db.inner.wal.lock();
+                    wal.append(
+                        ddl_txn,
+                        LogOp::DropTable {
+                            name: dt.name.to_ascii_lowercase(),
+                        },
+                        self.db.flavor(),
+                        None,
+                        self.db.sim(),
+                    )?;
+                    wal.append(
+                        ddl_txn,
+                        LogOp::Commit,
+                        self.db.flavor(),
+                        None,
+                        self.db.sim(),
+                    )?;
+                    Ok(())
+                })();
+                if let Err(e) = logged {
+                    // Put the table back: the DROP was never made durable.
+                    self.db.inner.catalog.write().restore_table(dropped);
+                    return Err(e);
+                }
                 self.db.sim().charge_log_force();
                 Ok(ExecOutcome::Ddl)
             }
@@ -583,13 +600,32 @@ impl Session {
             return Ok(());
         };
         if !txn.undo.is_empty() {
-            self.db.inner.wal.lock().append(
-                txn.id,
-                LogOp::Commit,
-                self.db.flavor(),
-                None,
-                self.db.sim(),
-            );
+            let logged = (|| -> Result<()> {
+                if self
+                    .db
+                    .sim()
+                    .fault_check(failpoints::ENGINE_WAL_COMMIT)
+                    .is_some()
+                {
+                    return Err(EngineError::Injected(failpoints::ENGINE_WAL_COMMIT.into()));
+                }
+                self.db.inner.wal.lock().append(
+                    txn.id,
+                    LogOp::Commit,
+                    self.db.flavor(),
+                    None,
+                    self.db.sim(),
+                )?;
+                Ok(())
+            })();
+            if let Err(e) = logged {
+                // A commit that cannot reach the log aborts, as in real
+                // DBMSs: reinstate the transaction and roll it back so no
+                // unlogged writes survive and the locks are released.
+                self.txn = Some(txn);
+                let _ = self.rollback_open();
+                return Err(e);
+            }
             self.db.sim().charge_log_force();
         }
         self.db.inner.locks.release_all(txn.id);
@@ -627,7 +663,10 @@ impl Session {
         }
         drop(catalog);
         if !txn.undo.is_empty() {
-            self.db.inner.wal.lock().append(
+            // The abort record is advisory — recovery treats transactions
+            // without a commit record as aborted — so rollback must succeed
+            // (and release its locks) even when the log is failing.
+            let _ = self.db.inner.wal.lock().append(
                 txn.id,
                 LogOp::Abort,
                 self.db.flavor(),

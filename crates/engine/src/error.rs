@@ -31,6 +31,9 @@ pub enum EngineError {
     Unsupported(String),
     /// Internal invariant violation — a bug in the engine.
     Internal(String),
+    /// Failure injected by an armed failpoint (test harness only; names the
+    /// failpoint that fired).
+    Injected(String),
 }
 
 impl fmt::Display for EngineError {
@@ -50,6 +53,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
+            EngineError::Injected(p) => write!(f, "injected fault at failpoint {p}"),
         }
     }
 }

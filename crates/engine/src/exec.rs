@@ -908,6 +908,12 @@ fn exec_insert(ctx: &mut StmtCtx<'_>, ins: &resildb_sql::Insert) -> Result<u64> 
         let (rowid, stored, loc) = handle.write().insert(row, ctx.sim)?;
         ctx.locks
             .lock_exclusive(ctx.txn, ResourceId::Row(schema.name.clone(), rowid))?;
+        // Undo entry first: the row is already in the table, so a failed
+        // append must still be rolled back by the transaction's undo chain.
+        ctx.undo.push(UndoAction::UnInsert {
+            table: schema.name.clone(),
+            rowid,
+        });
         ctx.wal.lock().append(
             ctx.txn,
             LogOp::Insert {
@@ -919,11 +925,7 @@ fn exec_insert(ctx: &mut StmtCtx<'_>, ins: &resildb_sql::Insert) -> Result<u64> 
             ctx.flavor,
             Some(&schema),
             ctx.sim,
-        );
-        ctx.undo.push(UndoAction::UnInsert {
-            table: schema.name.clone(),
-            rowid,
-        });
+        )?;
         affected += 1;
     }
     ctx.sim.charge_statement(affected as usize);
@@ -1016,12 +1018,19 @@ fn exec_update(ctx: &mut StmtCtx<'_>, upd: &resildb_sql::Update) -> Result<u64> 
             affected += 1;
             continue;
         }
+        // Undo entry first so a failed append still rolls the in-place
+        // update back.
+        ctx.undo.push(UndoAction::UnUpdate {
+            table: schema.name.clone(),
+            rowid: rid,
+            before: before.clone(),
+        });
         ctx.wal.lock().append(
             ctx.txn,
             LogOp::Update {
                 table: schema.name.clone(),
                 rowid: rid,
-                before: before.clone(),
+                before,
                 after,
                 changed,
                 loc,
@@ -1029,12 +1038,7 @@ fn exec_update(ctx: &mut StmtCtx<'_>, upd: &resildb_sql::Update) -> Result<u64> 
             ctx.flavor,
             Some(&schema),
             ctx.sim,
-        );
-        ctx.undo.push(UndoAction::UnUpdate {
-            table: schema.name.clone(),
-            rowid: rid,
-            before,
-        });
+        )?;
         affected += 1;
     }
     ctx.sim.charge_statement(affected as usize);
@@ -1063,23 +1067,24 @@ fn exec_delete(ctx: &mut StmtCtx<'_>, del: &resildb_sql::Delete) -> Result<u64> 
         let Some((row, loc)) = handle.write().delete(rid, ctx.sim)? else {
             continue;
         };
+        // Undo entry first so a failed append still re-inserts the row.
+        ctx.undo.push(UndoAction::ReInsert {
+            table: schema.name.clone(),
+            rowid: rid,
+            row: row.clone(),
+        });
         ctx.wal.lock().append(
             ctx.txn,
             LogOp::Delete {
                 table: schema.name.clone(),
                 rowid: rid,
-                row: row.clone(),
+                row,
                 loc,
             },
             ctx.flavor,
             Some(&schema),
             ctx.sim,
-        );
-        ctx.undo.push(UndoAction::ReInsert {
-            table: schema.name.clone(),
-            rowid: rid,
-            row,
-        });
+        )?;
         affected += 1;
     }
     ctx.sim.charge_statement(affected as usize);

@@ -7,8 +7,9 @@
 //! record a repair tool can actually see is flavor-specific and exposed via
 //! [`crate::introspect`].
 
-use resildb_sim::SimContext;
+use resildb_sim::{failpoints, SimContext};
 
+use crate::error::{EngineError, Result};
 use crate::flavor::Flavor;
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
@@ -154,7 +155,9 @@ impl Wal {
     }
 
     /// Appends a record, charging its byte cost to `sim` according to the
-    /// flavor's logging policy. Returns the assigned LSN.
+    /// flavor's logging policy. Returns the assigned LSN, or an injected
+    /// error when the `engine.wal_append` failpoint fires (a full log disk
+    /// in miniature: nothing is charged and no record is written).
     pub fn append(
         &mut self,
         txn: InternalTxnId,
@@ -162,12 +165,15 @@ impl Wal {
         flavor: Flavor,
         schema: Option<&TableSchema>,
         sim: &SimContext,
-    ) -> Lsn {
+    ) -> Result<Lsn> {
+        if sim.fault_check(failpoints::ENGINE_WAL_APPEND).is_some() {
+            return Err(EngineError::Injected(failpoints::ENGINE_WAL_APPEND.into()));
+        }
         sim.charge_log_append(op.logged_bytes(flavor, schema));
         let lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
         self.records.push(LogRecord { lsn, txn, op });
-        lsn
+        Ok(lsn)
     }
 
     /// All records in LSN order.
@@ -220,20 +226,24 @@ mod tests {
     fn lsns_are_sequential() {
         let mut wal = Wal::new();
         let sim = SimContext::free();
-        let a = wal.append(
-            InternalTxnId(1),
-            LogOp::Commit,
-            Flavor::Postgres,
-            None,
-            &sim,
-        );
-        let b = wal.append(
-            InternalTxnId(2),
-            LogOp::Commit,
-            Flavor::Postgres,
-            None,
-            &sim,
-        );
+        let a = wal
+            .append(
+                InternalTxnId(1),
+                LogOp::Commit,
+                Flavor::Postgres,
+                None,
+                &sim,
+            )
+            .unwrap();
+        let b = wal
+            .append(
+                InternalTxnId(2),
+                LogOp::Commit,
+                Flavor::Postgres,
+                None,
+                &sim,
+            )
+            .unwrap();
         assert_eq!(a, Lsn(0));
         assert_eq!(b, Lsn(1));
         assert_eq!(wal.len(), 2);
@@ -273,7 +283,8 @@ mod tests {
             Flavor::Oracle,
             Some(&schema()),
             &sim,
-        );
+        )
+        .unwrap();
         assert!(sim.stats().log_bytes.get() > 0);
     }
 

@@ -20,10 +20,13 @@ pub const COLUMN_TRID_PREFIX: &str = "trid__";
 /// Whether `name` is one of the columns the tracking layer injects
 /// (`trid`, `trid__<col>`, or the Sybase identity `rid`).
 pub fn is_tracking_column(name: &str) -> bool {
+    // `get` rather than direct slicing: the prefix length may fall inside a
+    // multi-byte character of a non-ASCII column name.
     name.eq_ignore_ascii_case(TRID_COLUMN)
         || name.eq_ignore_ascii_case(IDENTITY_COLUMN)
-        || name.len() >= COLUMN_TRID_PREFIX.len()
-            && name[..COLUMN_TRID_PREFIX.len()].eq_ignore_ascii_case(COLUMN_TRID_PREFIX)
+        || name
+            .get(..COLUMN_TRID_PREFIX.len())
+            .is_some_and(|p| p.eq_ignore_ascii_case(COLUMN_TRID_PREFIX))
 }
 
 /// Name of the identity column injected on flavors without a row-id

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use resildb_engine::{Database, EngineError, Value};
-use resildb_sim::{Micros, SimContext};
+use resildb_sim::{failpoints, InjectedFault, Micros, SimContext};
 use resildb_sql::{
     collect_params, parse_template, scan_statement, Expr, SqlTemplate, Statement, StatementScan,
     TRID_PARAM,
@@ -213,6 +213,31 @@ impl Tracker {
         self.config.record_deps_at_commit && (t.wrote || self.config.record_read_only_deps)
     }
 
+    /// Evaluates a proxy failpoint against the shared fault plan (inert
+    /// when the tracker runs without a simulation context).
+    fn fault(&self, name: &str) -> Result<(), WireError> {
+        let Some(sim) = &self.sim else {
+            return Ok(());
+        };
+        match sim.fault_check(name) {
+            None => Ok(()),
+            Some(InjectedFault::Disconnect) => Err(WireError::ConnectionDropped),
+            Some(InjectedFault::Error) => Err(WireError::Protocol(format!(
+                "injected fault at failpoint {name}"
+            ))),
+            Some(InjectedFault::Delay(_)) => unreachable!("fault_check consumes delays"),
+        }
+    }
+
+    /// Forgets the current transaction and rolls the downstream one back,
+    /// so proxy and engine agree it is gone. The rollback is best-effort:
+    /// on a dead connection or an engine-aborted transaction (deadlock)
+    /// there is nothing left to roll back and the attempt fails harmlessly.
+    fn abort_txn(&mut self, downstream: &mut dyn Connection) {
+        self.txn = None;
+        let _ = downstream.execute("ROLLBACK");
+    }
+
     /// Writes the provenance, annotation and (last) trans_dep rows for a
     /// finished transaction. Ordering matters: the paper's correlation rule
     /// is that the last log record before a COMMIT is an insert into
@@ -270,10 +295,12 @@ impl Tracker {
             .iter()
             .map(|c| format!("({}, {})", t.trid, sql_str(c)))
             .collect();
+        self.fault(failpoints::PROXY_BEFORE_TRANS_DEP_INSERT)?;
         downstream.execute(&format!(
             "INSERT INTO trans_dep (tr_id, dep_tr_ids) VALUES {}",
             tuples.join(", ")
         ))?;
+        self.fault(failpoints::PROXY_AFTER_TRANS_DEP_INSERT)?;
         Ok(())
     }
 
@@ -282,10 +309,14 @@ impl Tracker {
     /// per-column `trid__*` stamps, and (only where the flavor needed the
     /// identity workaround) the injected `rid` column.
     fn is_hidden_column(&self, name: &str) -> bool {
+        // `get` rather than direct slicing: a multi-byte column name whose
+        // char boundaries straddle the prefix length must compare unequal,
+        // not panic.
         name.starts_with(HARVEST_ALIAS_PREFIX)
             || name.eq_ignore_ascii_case(TRID_COLUMN)
-            || name.len() >= COLUMN_TRID_PREFIX.len()
-                && name[..COLUMN_TRID_PREFIX.len()].eq_ignore_ascii_case(COLUMN_TRID_PREFIX)
+            || name
+                .get(..COLUMN_TRID_PREFIX.len())
+                .is_some_and(|p| p.eq_ignore_ascii_case(COLUMN_TRID_PREFIX))
             || self.config.flavor.rowid_pseudocolumn().is_none()
                 && name.eq_ignore_ascii_case(IDENTITY_COLUMN)
     }
@@ -314,9 +345,10 @@ impl Tracker {
         &mut self,
         resp: Response,
         plan: &crate::rewrite::SelectRewrite,
-    ) -> Response {
+    ) -> Result<Response, WireError> {
+        self.fault(failpoints::PROXY_HARVEST)?;
         let Response::Rows(qr) = resp else {
-            return resp;
+            return Ok(resp);
         };
         self.charge_harvest(qr.rows.len());
         // Columns to strip: our harvest aliases plus any tracking column a
@@ -348,7 +380,7 @@ impl Tracker {
                 }
             }
         }
-        Response::Rows(strip_columns(qr, &strip))
+        Ok(Response::Rows(strip_columns(qr, &strip)))
     }
 
     /// Executes a write statement within the current transaction, opening
@@ -374,17 +406,31 @@ impl Tracker {
                     t.wrote = true;
                 }
                 if implicit {
+                    // Tracking rows and COMMIT form one atomic unit (§3.3):
+                    // any failure before the COMMIT succeeds aborts the
+                    // whole transaction, on both sides.
                     let t = self.txn.take().expect("created above");
-                    if self.should_record(&t) {
-                        self.write_tracking_rows(&t, downstream)?;
+                    let finished = if self.should_record(&t) {
+                        self.write_tracking_rows(&t, downstream)
+                    } else {
+                        Ok(())
                     }
-                    downstream.execute("COMMIT")?;
+                    .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT))
+                    .and_then(|()| downstream.execute("COMMIT").map(|_| ()));
+                    if let Err(e) = finished {
+                        self.abort_txn(downstream);
+                        return Err(e);
+                    }
                 }
                 Ok(resp)
             }
             Err(e) => {
-                if matches!(&e, WireError::Db(EngineError::Deadlock)) {
-                    // Engine already rolled the victim back.
+                if matches!(
+                    &e,
+                    WireError::Db(EngineError::Deadlock) | WireError::ConnectionDropped
+                ) {
+                    // Engine already rolled the victim back (deadlock), or
+                    // the server did when the connection died.
                     self.txn = None;
                 } else if implicit {
                     let _ = downstream.execute("ROLLBACK");
@@ -472,7 +518,7 @@ impl Tracker {
             CacheEntry::Select { tmpl, plan } => {
                 let rewritten = tmpl.splice(sql, &scan.spans, 0);
                 let resp = downstream.execute(&rewritten)?;
-                Ok(self.harvest_and_strip(resp, plan))
+                self.harvest_and_strip(resp, plan)
             }
             CacheEntry::Write { tmpl } => {
                 self.execute_write(downstream, |trid| tmpl.splice(sql, &scan.spans, trid))
@@ -513,10 +559,31 @@ impl Tracker {
                 let Some(t) = self.txn.take() else {
                     return downstream.execute(sql); // let the DBMS complain
                 };
-                if self.should_record(&t) {
-                    self.write_tracking_rows(&t, downstream)?;
+                // §3.3: the dependency record is atomic with the
+                // transaction — if it cannot be written, nothing commits.
+                // The engine's transaction is still open at that point, so
+                // it must be rolled back; returning the error with the
+                // proxy state cleared but the engine transaction open would
+                // leave the two permanently diverged.
+                let recorded = if self.should_record(&t) {
+                    self.write_tracking_rows(&t, downstream)
+                } else {
+                    Ok(())
                 }
-                downstream.execute("COMMIT")
+                .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT));
+                if let Err(e) = recorded {
+                    self.abort_txn(downstream);
+                    return Err(e);
+                }
+                match downstream.execute("COMMIT") {
+                    Ok(resp) => Ok(resp),
+                    Err(e) => {
+                        // A COMMIT that fails did not commit; make sure the
+                        // engine side is closed too.
+                        self.abort_txn(downstream);
+                        Err(e)
+                    }
+                }
             }
             Statement::Rollback => {
                 self.txn = None;
@@ -536,7 +603,7 @@ impl Tracker {
                 match rewrite_select(sel, self.config.granularity) {
                     Some((rewritten, plan)) => {
                         let resp = downstream.execute(&rewritten.to_string())?;
-                        Ok(self.harvest_and_strip(resp, &plan))
+                        self.harvest_and_strip(resp, &plan)
                     }
                     None => {
                         let resp = downstream.execute(sql)?;
@@ -571,9 +638,14 @@ impl Interceptor for Tracker {
         downstream: &mut dyn Connection,
     ) -> Result<Response, WireError> {
         // Out-of-band annotation pseudo-command (proxy extension): names
-        // the current (or next) transaction for the `annot` table.
+        // the current (or next) transaction for the `annot` table. `get`
+        // rather than byte slicing: position 9 of a multi-byte statement
+        // need not be a char boundary.
         let trimmed = sql.trim();
-        if trimmed.len() >= 9 && trimmed[..9].eq_ignore_ascii_case("ANNOTATE ") {
+        if trimmed
+            .get(..9)
+            .is_some_and(|p| p.eq_ignore_ascii_case("ANNOTATE "))
+        {
             let name = trimmed[9..].trim().to_string();
             match &mut self.txn {
                 Some(t) => t.annotation = Some(name),
@@ -581,6 +653,25 @@ impl Interceptor for Tracker {
             }
             return Ok(Response::TxnControl);
         }
+
+        let result = self.intercept_statement(sql, downstream);
+        if matches!(result, Err(WireError::ConnectionDropped)) {
+            // The server rolls an open transaction back when its peer
+            // disappears; mirror that so the proxy never believes in a
+            // transaction the engine no longer has.
+            self.txn = None;
+        }
+        result
+    }
+}
+
+impl Tracker {
+    fn intercept_statement(
+        &mut self,
+        sql: &str,
+        downstream: &mut dyn Connection,
+    ) -> Result<Response, WireError> {
+        self.fault(failpoints::PROXY_BEFORE_REWRITE)?;
 
         // Template fast path: statements whose shape is already cached are
         // replayed with a fingerprint lookup plus literal splice instead of

@@ -11,7 +11,8 @@
 use std::collections::HashMap;
 
 use resildb_engine::{Database, InternalTxnId, Lsn, Value};
-use resildb_wire::{Connection, Response};
+use resildb_sim::{failpoints, InjectedFault};
+use resildb_wire::{Connection, Response, WireError};
 
 use crate::adapters::AddressColumn;
 use crate::error::RepairError;
@@ -54,8 +55,41 @@ fn sql_literal(v: &Value) -> String {
 /// # Errors
 ///
 /// Propagates SQL failures and inconsistencies such as a compensating
-/// statement affecting an unexpected number of rows.
+/// statement affecting an unexpected number of rows. The sweep runs inside
+/// one transaction: on any error the database is rolled back to its
+/// pre-repair state — a half-applied repair is worse than no repair.
 pub fn run_compensation(
+    db: &Database,
+    conn: &mut dyn Connection,
+    records: &[RepairRecord],
+    undo_internal: &HashMap<InternalTxnId, i64>,
+    address: AddressColumn,
+) -> Result<CompensationOutcome, RepairError> {
+    conn.execute("BEGIN")?;
+    let result = sweep(db, conn, records, undo_internal, address).and_then(|outcome| {
+        repair_fault(db, failpoints::REPAIR_BEFORE_COMMIT)?;
+        conn.execute("COMMIT")?;
+        Ok(outcome)
+    });
+    if result.is_err() {
+        let _ = conn.execute("ROLLBACK");
+    }
+    result
+}
+
+/// Maps an injected repair-layer fault to a [`RepairError`].
+fn repair_fault(db: &Database, name: &str) -> Result<(), RepairError> {
+    match db.sim().fault_check(name) {
+        None => Ok(()),
+        Some(InjectedFault::Disconnect) => Err(RepairError::Wire(WireError::ConnectionDropped)),
+        Some(InjectedFault::Error) => Err(RepairError::Wire(WireError::Protocol(format!(
+            "injected fault at failpoint {name}"
+        )))),
+        Some(InjectedFault::Delay(_)) => unreachable!("fault_check consumes delays"),
+    }
+}
+
+fn sweep(
     db: &Database,
     conn: &mut dyn Connection,
     records: &[RepairRecord],
@@ -80,6 +114,9 @@ pub fn run_compensation(
         let Some(&proxy) = undo_internal.get(&rec.internal_txn) else {
             continue;
         };
+        if !outcome.statements.is_empty() {
+            repair_fault(db, failpoints::REPAIR_MID_SWEEP)?;
+        }
         match &rec.op {
             RepairOp::Insert { address: a, .. } => {
                 let cur = current_addr(&remap, &rec.table, a);

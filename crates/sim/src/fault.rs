@@ -1,0 +1,358 @@
+//! Deterministic fault injection: named failpoints with scripted triggers.
+//!
+//! The paper's central claims are *failure* properties — the dependency
+//! record is atomic with the transaction it describes (§3.3), and repair
+//! leaves the database in a consistent pre-attack state — so the test
+//! harness needs a way to make the interesting failures happen on demand.
+//! A [`FaultPlan`] is a registry of **failpoints**: named code locations
+//! (`proxy.before_trans_dep_insert`, `wire.conn_drop`, …) that the wire,
+//! proxy, engine and repair layers evaluate at their fault-sensitive
+//! moments. A disarmed plan is a single relaxed atomic load per
+//! evaluation; an armed failpoint can inject an error, a connection drop,
+//! extra latency, or a one-shot panic, on the hit its trigger scripts.
+//!
+//! The plan lives on the [`crate::SimContext`] every component already
+//! shares, so arming a fault on the database's context reaches all layers
+//! at once.
+//!
+//! # Examples
+//!
+//! ```
+//! use resildb_sim::{FaultAction, FaultTrigger, SimContext};
+//!
+//! let sim = SimContext::free();
+//! sim.faults().arm(
+//!     "engine.wal_append",
+//!     FaultAction::Error,
+//!     FaultTrigger::OnHit(3),
+//! );
+//! assert!(sim.fault_check("engine.wal_append").is_none()); // hit 1
+//! assert!(sim.fault_check("engine.wal_append").is_none()); // hit 2
+//! assert!(sim.fault_check("engine.wal_append").is_some()); // hit 3 fires
+//! assert_eq!(sim.faults().hits("engine.wal_append"), 3);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::Micros;
+
+/// Well-known failpoint names, one per fault-sensitive code location.
+///
+/// The constants are defined here — next to the registry — so tests, docs
+/// and the injection sites themselves share one spelling. Layers own their
+/// prefix: `wire.*`, `proxy.*`, `engine.*`, `repair.*`.
+pub mod failpoints {
+    /// Wire layer, evaluated on every statement a native connection
+    /// carries: a [`super::FaultAction::Disconnect`] severs the connection
+    /// (the server rolls its open transaction back, every later use fails).
+    pub const WIRE_CONN_DROP: &str = "wire.conn_drop";
+    /// Wire layer: extra link latency ([`super::FaultAction::Delay`])
+    /// charged to the virtual clock on top of the link profile.
+    pub const WIRE_LATENCY: &str = "wire.latency";
+    /// Engine: one WAL record append (row operation, DDL, commit, abort).
+    pub const ENGINE_WAL_APPEND: &str = "engine.wal_append";
+    /// Engine: the commit-record append + log force of a transaction with
+    /// writes. A failure here aborts the transaction, as in real DBMSs.
+    pub const ENGINE_WAL_COMMIT: &str = "engine.wal_commit";
+    /// Proxy: before a statement is parsed/rewritten (nothing has reached
+    /// the DBMS yet).
+    pub const PROXY_BEFORE_REWRITE: &str = "proxy.before_rewrite";
+    /// Proxy: before harvested trid columns are folded into the
+    /// transaction's dependency set and stripped from the result.
+    pub const PROXY_HARVEST: &str = "proxy.harvest";
+    /// Proxy: after provenance/annotation rows, right before the
+    /// commit-time `trans_dep` insert (§3.3's atomicity-critical write).
+    pub const PROXY_BEFORE_TRANS_DEP_INSERT: &str = "proxy.before_trans_dep_insert";
+    /// Proxy: after the `trans_dep` insert, before COMMIT is forwarded.
+    pub const PROXY_AFTER_TRANS_DEP_INSERT: &str = "proxy.after_trans_dep_insert";
+    /// Proxy: immediately before the COMMIT is forwarded downstream.
+    pub const PROXY_BEFORE_COMMIT: &str = "proxy.before_commit";
+    /// Repair: between two compensating statements of the sweep.
+    pub const REPAIR_MID_SWEEP: &str = "repair.mid_sweep";
+    /// Repair: after the last compensating statement, before the sweep's
+    /// enclosing transaction commits.
+    pub const REPAIR_BEFORE_COMMIT: &str = "repair.before_commit";
+}
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with an injected error (each layer maps it to
+    /// its own error type).
+    Error,
+    /// Sever the (simulated) connection: the call fails and the owning
+    /// connection becomes unusable.
+    Disconnect,
+    /// Charge extra latency to the virtual clock, then continue normally.
+    Delay(Micros),
+    /// Panic at the failpoint. Panics are one-shot: the failpoint disarms
+    /// itself before unwinding so recovery code can run.
+    Panic,
+}
+
+/// When an armed failpoint fires, in terms of its (1-based) hit count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on the first hit after arming, never again.
+    Once,
+    /// Fire on exactly the `n`th hit (1-based) counted from arming.
+    OnHit(u64),
+    /// Fire on the first `n` hits.
+    Times(u64),
+    /// Never fire — a counting-only probe (see [`FaultPlan::trace`]).
+    Never,
+}
+
+/// The fault a caller must surface after evaluating a failpoint.
+///
+/// `Delay` is applied to the clock inside [`crate::SimContext::fault_check`]
+/// and never escapes it; `Panic` unwinds from inside [`FaultPlan::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fail the operation with an injected error.
+    Error,
+    /// Treat the connection as lost.
+    Disconnect,
+    /// Extra latency to charge (only returned by [`FaultPlan::check`];
+    /// [`crate::SimContext::fault_check`] consumes it).
+    Delay(Micros),
+}
+
+#[derive(Debug, Default)]
+struct FailpointState {
+    armed: Option<(FaultAction, FaultTrigger)>,
+    /// Hits observed while the plan was active, including before arming
+    /// this particular point (counting starts when *any* point is armed).
+    hits: u64,
+    /// Hits counted since this point was last armed (trigger arithmetic).
+    hits_since_armed: u64,
+    /// Times the point fired since it was last armed.
+    fired: u64,
+}
+
+/// A registry of named failpoints shared by every layer of one simulation.
+///
+/// Disarmed evaluation is one relaxed atomic load — cheap enough to leave
+/// compiled into release builds and benchmarked hot paths.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Number of currently armed failpoints; the fast-path gate.
+    armed: AtomicUsize,
+    points: Mutex<HashMap<String, FailpointState>>,
+}
+
+impl FaultPlan {
+    /// Creates an empty (fully disarmed) plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms failpoint `name` with `action`, fired per `trigger`. Re-arming
+    /// an armed point replaces its script and restarts its trigger
+    /// arithmetic.
+    pub fn arm(&self, name: &str, action: FaultAction, trigger: FaultTrigger) {
+        let mut points = self.points.lock();
+        let state = points.entry(name.to_string()).or_default();
+        if state.armed.is_none() {
+            self.armed.fetch_add(1, Ordering::Relaxed);
+        }
+        state.armed = Some((action, trigger));
+        state.hits_since_armed = 0;
+        state.fired = 0;
+    }
+
+    /// Arms a counting-only probe: `name`'s hits are recorded (and the
+    /// plan is kept active) but nothing is ever injected.
+    pub fn trace(&self, name: &str) {
+        self.arm(name, FaultAction::Error, FaultTrigger::Never);
+    }
+
+    /// Disarms failpoint `name` (hit counters are kept).
+    pub fn disarm(&self, name: &str) {
+        let mut points = self.points.lock();
+        if let Some(state) = points.get_mut(name) {
+            if state.armed.take().is_some() {
+                self.armed.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Disarms every failpoint (hit counters are kept).
+    pub fn disarm_all(&self) {
+        let mut points = self.points.lock();
+        for state in points.values_mut() {
+            if state.armed.take().is_some() {
+                self.armed.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Hits recorded for `name` while the plan was active.
+    pub fn hits(&self, name: &str) -> u64 {
+        self.points.lock().get(name).map_or(0, |s| s.hits)
+    }
+
+    /// Times `name` fired since it was last armed.
+    pub fn fired(&self, name: &str) -> u64 {
+        self.points.lock().get(name).map_or(0, |s| s.fired)
+    }
+
+    /// Whether any failpoint is currently armed.
+    pub fn active(&self) -> bool {
+        self.armed.load(Ordering::Relaxed) != 0
+    }
+
+    /// Evaluates failpoint `name`: counts the hit (when the plan is
+    /// active) and returns the fault to inject, if the point is armed and
+    /// its trigger fires. [`FaultAction::Panic`] unwinds from here after
+    /// disarming itself.
+    pub fn check(&self, name: &str) -> Option<InjectedFault> {
+        if self.armed.load(Ordering::Relaxed) == 0 {
+            return None; // fast path: fully disarmed plan
+        }
+        let mut points = self.points.lock();
+        let state = points.entry(name.to_string()).or_default();
+        state.hits += 1;
+        let (action, trigger) = state.armed?;
+        state.hits_since_armed += 1;
+        let fire = match trigger {
+            FaultTrigger::Always => true,
+            FaultTrigger::Once => state.fired == 0,
+            FaultTrigger::OnHit(n) => state.hits_since_armed == n,
+            FaultTrigger::Times(n) => state.fired < n,
+            FaultTrigger::Never => false,
+        };
+        if !fire {
+            return None;
+        }
+        state.fired += 1;
+        match action {
+            FaultAction::Error => Some(InjectedFault::Error),
+            FaultAction::Disconnect => Some(InjectedFault::Disconnect),
+            FaultAction::Delay(d) => Some(InjectedFault::Delay(d)),
+            FaultAction::Panic => {
+                // One-shot: disarm before unwinding so cleanup code that
+                // re-traverses the failpoint is not re-panicked.
+                state.armed = None;
+                self.armed.fetch_sub(1, Ordering::Relaxed);
+                drop(points);
+                panic!("injected panic at failpoint {name}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_injects_and_counts_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.check("x").is_none());
+        assert_eq!(plan.hits("x"), 0, "inactive plans must not count hits");
+        assert!(!plan.active());
+    }
+
+    #[test]
+    fn always_fires_every_hit() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::Always);
+        for _ in 0..3 {
+            assert_eq!(plan.check("p"), Some(InjectedFault::Error));
+        }
+        assert_eq!(plan.fired("p"), 3);
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Disconnect, FaultTrigger::Once);
+        assert_eq!(plan.check("p"), Some(InjectedFault::Disconnect));
+        assert!(plan.check("p").is_none());
+        assert_eq!((plan.hits("p"), plan.fired("p")), (2, 1));
+    }
+
+    #[test]
+    fn on_hit_fires_on_the_nth_hit_after_arming() {
+        let plan = FaultPlan::new();
+        plan.trace("p");
+        plan.check("p"); // pre-arming traffic must not advance the script
+        plan.arm("p", FaultAction::Error, FaultTrigger::OnHit(2));
+        assert!(plan.check("p").is_none());
+        assert_eq!(plan.check("p"), Some(InjectedFault::Error));
+        assert!(plan.check("p").is_none());
+    }
+
+    #[test]
+    fn times_fires_first_n_hits() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::Times(2));
+        assert!(plan.check("p").is_some());
+        assert!(plan.check("p").is_some());
+        assert!(plan.check("p").is_none());
+    }
+
+    #[test]
+    fn trace_counts_without_injecting() {
+        let plan = FaultPlan::new();
+        plan.trace("observed");
+        for _ in 0..5 {
+            assert!(plan.check("observed").is_none());
+        }
+        assert_eq!(plan.hits("observed"), 5);
+        // Other names are counted too while the plan is active.
+        plan.check("bystander");
+        assert_eq!(plan.hits("bystander"), 1);
+    }
+
+    #[test]
+    fn disarm_stops_injection_and_keeps_counters() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::Always);
+        plan.check("p");
+        plan.disarm("p");
+        assert!(!plan.active());
+        assert!(plan.check("p").is_none());
+        assert_eq!(plan.hits("p"), 1, "hits stop with the plan inactive");
+        plan.trace("q");
+        plan.check("p");
+        assert_eq!(plan.hits("p"), 2, "active again via the probe");
+    }
+
+    #[test]
+    fn rearming_restarts_the_trigger() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::Once);
+        assert!(plan.check("p").is_some());
+        assert!(plan.check("p").is_none());
+        plan.arm("p", FaultAction::Error, FaultTrigger::Once);
+        assert!(plan.check("p").is_some(), "re-arming resets `fired`");
+    }
+
+    #[test]
+    fn panic_action_is_one_shot() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Panic, FaultTrigger::Always);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.check("p")));
+        assert!(caught.is_err());
+        assert!(!plan.active(), "panic disarms its failpoint");
+        assert!(plan.check("p").is_none());
+    }
+
+    #[test]
+    fn disarm_all_clears_every_point() {
+        let plan = FaultPlan::new();
+        plan.arm("a", FaultAction::Error, FaultTrigger::Always);
+        plan.arm("b", FaultAction::Error, FaultTrigger::Always);
+        plan.disarm_all();
+        assert!(!plan.active());
+        assert!(plan.check("a").is_none());
+        assert!(plan.check("b").is_none());
+    }
+}

@@ -37,12 +37,14 @@
 mod buffer;
 mod clock;
 mod cost;
+mod fault;
 mod lru;
 mod stats;
 
 pub use buffer::{BufferPool, PageAccess, PageKey};
 pub use clock::{Micros, VirtualClock};
 pub use cost::CostModel;
+pub use fault::{failpoints, FaultAction, FaultPlan, FaultTrigger, InjectedFault};
 pub use lru::LruMap;
 pub use stats::SimStats;
 
@@ -66,6 +68,7 @@ struct SimInner {
     cost: CostModel,
     pool: Mutex<BufferPool>,
     stats: SimStats,
+    faults: FaultPlan,
 }
 
 impl SimContext {
@@ -78,6 +81,7 @@ impl SimContext {
                 cost,
                 pool: Mutex::new(BufferPool::new(pool_pages)),
                 stats: SimStats::default(),
+                faults: FaultPlan::new(),
             }),
         }
     }
@@ -101,6 +105,25 @@ impl SimContext {
     /// Cumulative counters.
     pub fn stats(&self) -> &SimStats {
         &self.inner.stats
+    }
+
+    /// The fault-injection plan shared by every layer of this simulation.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
+    }
+
+    /// Evaluates failpoint `name`, applying [`FaultAction::Delay`] faults to
+    /// the virtual clock in place; only faults the caller must surface
+    /// (error / disconnect) are returned.
+    pub fn fault_check(&self, name: &str) -> Option<InjectedFault> {
+        match self.inner.faults.check(name)? {
+            InjectedFault::Delay(d) => {
+                self.inner.stats.injected_delays.add(1);
+                self.inner.clock.advance(d);
+                None
+            }
+            other => Some(other),
+        }
     }
 
     /// Records a logical read of `page`, charging the page-read latency on a

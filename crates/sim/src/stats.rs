@@ -42,6 +42,7 @@ pub struct SimStats {
     pub rows_touched: Counter,
     pub round_trips: Counter,
     pub network_bytes: Counter,
+    pub injected_delays: Counter,
 }
 
 impl SimStats {

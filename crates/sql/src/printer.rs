@@ -9,6 +9,31 @@
 use std::fmt::{self, Display, Formatter, Write as _};
 
 use crate::ast::*;
+use crate::token::Keyword;
+
+/// Whether `ident` lexes back as a single bare identifier token: plain
+/// ASCII shape and not a keyword.
+fn is_plain_ident(ident: &str) -> bool {
+    let mut bytes = ident.bytes();
+    let Some(first) = bytes.next() else {
+        return false;
+    };
+    (first == b'_' || first.is_ascii_alphabetic())
+        && bytes.all(|c| c == b'_' || c == b'$' || c.is_ascii_alphanumeric())
+        && Keyword::from_ident(ident).is_none()
+}
+
+/// Writes an identifier, double-quoting it when it would not survive a
+/// lex/parse round trip bare (non-ASCII names, punctuation, keyword
+/// collisions). The lexer has no escape for `"` inside quoted identifiers,
+/// so such names cannot be produced by parsing and are printed as-is.
+fn write_ident(f: &mut Formatter<'_>, ident: &str) -> fmt::Result {
+    if is_plain_ident(ident) || ident.contains('"') {
+        f.write_str(ident)
+    } else {
+        write!(f, "\"{ident}\"")
+    }
+}
 
 /// Escapes a string literal body (`'` doubled) and wraps it in quotes.
 fn write_str_literal(f: &mut Formatter<'_>, s: &str) -> fmt::Result {
@@ -45,10 +70,10 @@ impl Display for Literal {
 impl Display for ColumnRef {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
         if let Some(t) = &self.table {
-            write!(f, "{t}.{}", self.column)
-        } else {
-            f.write_str(&self.column)
+            write_ident(f, t)?;
+            f.write_char('.')?;
         }
+        write_ident(f, &self.column)
     }
 }
 
@@ -199,11 +224,15 @@ impl Display for SelectItem {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
         match self {
             SelectItem::Wildcard => f.write_char('*'),
-            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::QualifiedWildcard(t) => {
+                write_ident(f, t)?;
+                f.write_str(".*")
+            }
             SelectItem::Expr { expr, alias } => {
                 write!(f, "{expr}")?;
                 if let Some(a) = alias {
-                    write!(f, " AS {a}")?;
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
                 }
                 Ok(())
             }
@@ -213,9 +242,10 @@ impl Display for SelectItem {
 
 impl Display for TableRef {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name)?;
+        write_ident(f, &self.name)?;
         if let Some(a) = &self.alias {
-            write!(f, " {a}")?;
+            f.write_char(' ')?;
+            write_ident(f, a)?;
         }
         Ok(())
     }
@@ -278,14 +308,15 @@ impl Display for Select {
 
 impl Display for Insert {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
-        write!(f, "INSERT INTO {}", self.table)?;
+        f.write_str("INSERT INTO ")?;
+        write_ident(f, &self.table)?;
         if !self.columns.is_empty() {
             f.write_str(" (")?;
             for (i, c) in self.columns.iter().enumerate() {
                 if i > 0 {
                     f.write_str(", ")?;
                 }
-                f.write_str(c)?;
+                write_ident(f, c)?;
             }
             f.write_char(')')?;
         }
@@ -309,12 +340,15 @@ impl Display for Insert {
 
 impl Display for Update {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
-        write!(f, "UPDATE {} SET ", self.table)?;
+        f.write_str("UPDATE ")?;
+        write_ident(f, &self.table)?;
+        f.write_str(" SET ")?;
         for (i, a) in self.assignments.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
-            write!(f, "{} = {}", a.column, a.value)?;
+            write_ident(f, &a.column)?;
+            write!(f, " = {}", a.value)?;
         }
         if let Some(w) = &self.where_clause {
             write!(f, " WHERE {w}")?;
@@ -325,7 +359,8 @@ impl Display for Update {
 
 impl Display for Delete {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
-        write!(f, "DELETE FROM {}", self.table)?;
+        f.write_str("DELETE FROM ")?;
+        write_ident(f, &self.table)?;
         if let Some(w) = &self.where_clause {
             write!(f, " WHERE {w}")?;
         }
@@ -350,7 +385,8 @@ impl Display for TypeName {
 
 impl Display for ColumnDef {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {}", self.name, self.ty)?;
+        write_ident(f, &self.name)?;
+        write!(f, " {}", self.ty)?;
         if self.not_null {
             f.write_str(" NOT NULL")?;
         }
@@ -366,7 +402,9 @@ impl Display for ColumnDef {
 
 impl Display for CreateTable {
     fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
-        write!(f, "CREATE TABLE {} (", self.name)?;
+        f.write_str("CREATE TABLE ")?;
+        write_ident(f, &self.name)?;
+        f.write_str(" (")?;
         for (i, c) in self.columns.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
@@ -379,7 +417,7 @@ impl Display for CreateTable {
                 if i > 0 {
                     f.write_str(", ")?;
                 }
-                f.write_str(c)?;
+                write_ident(f, c)?;
             }
             f.write_char(')')?;
         }
@@ -395,7 +433,10 @@ impl Display for Statement {
             Statement::Update(s) => write!(f, "{s}"),
             Statement::Delete(s) => write!(f, "{s}"),
             Statement::CreateTable(s) => write!(f, "{s}"),
-            Statement::DropTable(d) => write!(f, "DROP TABLE {}", d.name),
+            Statement::DropTable(d) => {
+                f.write_str("DROP TABLE ")?;
+                write_ident(f, &d.name)
+            }
             Statement::Begin => f.write_str("BEGIN"),
             Statement::Commit => f.write_str("COMMIT"),
             Statement::Rollback => f.write_str("ROLLBACK"),
@@ -467,6 +508,29 @@ mod tests {
     #[test]
     fn string_escaping_round_trips() {
         round_trip("SELECT 'it''s', '100%'");
+    }
+
+    #[test]
+    fn quoted_identifiers_round_trip() {
+        for sql in [
+            "SELECT \"café\" FROM \"größe\"",
+            "SELECT t.\"naïve col\" AS \"über\" FROM \"таблица\" t",
+            "INSERT INTO \"señal\" (\"año\", b) VALUES (1, 2)",
+            "UPDATE \"δ\" SET \"ε\" = 1 WHERE \"ζ\" > 0",
+            "DELETE FROM \"façade\" WHERE \"état\" = 'x'",
+            "CREATE TABLE \"crème\" (\"brûlée\" INTEGER, PRIMARY KEY (\"brûlée\"))",
+            "DROP TABLE \"Łódź\"",
+            "SELECT \"select\" FROM \"from\"", // keyword collisions
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn plain_identifiers_stay_unquoted() {
+        let ast = parse_statement("SELECT \"plain\" FROM \"t\"").unwrap();
+        // Quoting is canonicalised away when the name needs none.
+        assert_eq!(ast.to_string(), "SELECT plain FROM t");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! JDBC-like driver abstraction and the native driver.
 
 use resildb_engine::{Database, PreparedStatement, Session};
-use resildb_sim::Micros;
+use resildb_sim::{failpoints, InjectedFault, Micros};
 use resildb_sql::Literal;
 
 use crate::error::WireError;
@@ -132,6 +132,7 @@ impl Driver for NativeDriver {
             db: self.db.clone(),
             link: self.link,
             prepared: Vec::new(),
+            dropped: false,
         }))
     }
 }
@@ -141,10 +142,38 @@ struct NativeConnection {
     db: Database,
     link: LinkProfile,
     prepared: Vec<PreparedStatement>,
+    /// Set when a `wire.conn_drop` fault severed this connection; every
+    /// later call fails fast with [`WireError::ConnectionDropped`].
+    dropped: bool,
+}
+
+impl NativeConnection {
+    /// Evaluates the wire-level failpoints for one carried statement. A
+    /// drop rolls the server-side transaction back (the server notices the
+    /// lost peer) and poisons the connection.
+    fn check_faults(&mut self) -> Result<(), WireError> {
+        if self.dropped {
+            return Err(WireError::ConnectionDropped);
+        }
+        let sim = self.db.sim().clone();
+        sim.fault_check(failpoints::WIRE_LATENCY); // Delay applied in place
+        match sim.fault_check(failpoints::WIRE_CONN_DROP) {
+            None => Ok(()),
+            Some(InjectedFault::Disconnect) | Some(InjectedFault::Error) => {
+                self.dropped = true;
+                if self.session.in_transaction() {
+                    let _ = self.session.execute_sql("ROLLBACK");
+                }
+                Err(WireError::ConnectionDropped)
+            }
+            Some(InjectedFault::Delay(_)) => unreachable!("fault_check consumes delays"),
+        }
+    }
 }
 
 impl Connection for NativeConnection {
     fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
+        self.check_faults()?;
         let outcome = self.session.execute_sql(sql)?;
         let response = Response::from(outcome);
         let bytes = sql.len() + response_wire_bytes(&response);
@@ -155,6 +184,7 @@ impl Connection for NativeConnection {
     }
 
     fn prepare(&mut self, sql: &str) -> Result<StatementHandle, WireError> {
+        self.check_faults()?;
         let prepared = self.session.prepare(sql)?;
         self.prepared.push(prepared);
         // One round trip carrying the statement text; the reply is a
@@ -170,6 +200,7 @@ impl Connection for NativeConnection {
         handle: StatementHandle,
         params: &[Literal],
     ) -> Result<Response, WireError> {
+        self.check_faults()?;
         let prepared = self
             .prepared
             .get(handle.0 as usize)

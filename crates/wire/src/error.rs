@@ -14,6 +14,9 @@ pub enum WireError {
     Protocol(String),
     /// The connection pool is exhausted.
     PoolExhausted,
+    /// The connection was lost mid-use; any open transaction was rolled
+    /// back server-side and the connection cannot be used again.
+    ConnectionDropped,
 }
 
 impl WireError {
@@ -30,6 +33,7 @@ impl fmt::Display for WireError {
             WireError::Db(e) => write!(f, "database error: {e}"),
             WireError::Protocol(m) => write!(f, "protocol error: {m}"),
             WireError::PoolExhausted => f.write_str("connection pool exhausted"),
+            WireError::ConnectionDropped => f.write_str("connection dropped"),
         }
     }
 }

@@ -1,0 +1,574 @@
+//! Fault-injection suite: the paper's failure-atomicity claims under every
+//! named failpoint.
+//!
+//! Three invariants are asserted across wire, proxy, engine and repair
+//! injections:
+//!
+//! 1. dependency records are never half-written — `trans_dep` (and the
+//!    provenance/annotation tables) either describe a committed
+//!    transaction or carry nothing of it;
+//! 2. proxy and engine transaction state never diverge — after any failed
+//!    commit the connection supports a fresh `BEGIN` and a fresh
+//!    connection sees no leftover effects;
+//! 3. a failed repair sweep rolls the database back to its pre-repair
+//!    state.
+
+use resildb_core::{
+    failpoints, FaultAction, FaultTrigger, Flavor, Micros, ResilientDb, Response, Value, WireError,
+};
+
+/// Tracked database with `t(id, v)` seeded through the proxy.
+fn setup() -> ResilientDb {
+    let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    for id in 1..=3 {
+        conn.execute(&format!("INSERT INTO t (id, v) VALUES ({id}, {id})"))
+            .unwrap();
+    }
+    rdb
+}
+
+fn counts(rdb: &ResilientDb) -> (u64, u64, u64) {
+    let db = rdb.database();
+    (
+        db.row_count("t").unwrap(),
+        db.row_count("trans_dep").unwrap(),
+        db.row_count("trans_dep_prov").unwrap(),
+    )
+}
+
+/// Sorted full contents of `table`, for before/after state comparison.
+fn snapshot(rdb: &ResilientDb, table: &str) -> Vec<String> {
+    let mut rows: Vec<String> = rdb
+        .database()
+        .snapshot_rows(table)
+        .unwrap()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// After a failed commit, the same connection must accept a fresh
+/// transaction end-to-end (invariant 2): before the divergence fix the
+/// proxy forgot the transaction while the engine kept it open, so the next
+/// BEGIN died with "BEGIN inside an open transaction".
+fn assert_connection_recovers(rdb: &ResilientDb, conn: &mut dyn resildb_core::Connection) {
+    let (t, deps, _) = counts(rdb);
+    conn.execute("BEGIN").expect("fresh BEGIN after failure");
+    conn.execute("INSERT INTO t (id, v) VALUES (90, 90)")
+        .unwrap();
+    conn.execute("COMMIT").unwrap();
+    assert_eq!(counts(rdb).0, t + 1, "recovered transaction applies");
+    assert_eq!(counts(rdb).1, deps + 1, "and is tracked");
+    conn.execute("DELETE FROM t WHERE id = 90").unwrap();
+}
+
+// --- proxy failpoints ---------------------------------------------------
+
+#[test]
+fn failed_trans_dep_insert_aborts_the_whole_transaction() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_BEFORE_TRANS_DEP_INSERT,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (10, 10)")
+        .unwrap();
+    let err = conn.execute("COMMIT").unwrap_err();
+    assert!(matches!(err, WireError::Protocol(_)), "got {err}");
+
+    // Invariant 1: nothing of the transaction is visible — not the user
+    // write, not a half-written dependency record.
+    assert_eq!(
+        counts(&rdb),
+        before,
+        "injected commit failure must leak nothing"
+    );
+    // Invariant 2: proxy and engine agree the transaction is gone.
+    assert_connection_recovers(&rdb, &mut *conn);
+    assert_eq!(
+        rdb.database()
+            .sim()
+            .faults()
+            .fired(failpoints::PROXY_BEFORE_TRANS_DEP_INSERT),
+        1
+    );
+}
+
+#[test]
+fn failure_after_trans_dep_insert_leaves_no_half_record() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_AFTER_TRANS_DEP_INSERT,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("SELECT v FROM t WHERE id = 1").unwrap();
+    conn.execute("UPDATE t SET v = 99 WHERE id = 1").unwrap();
+    conn.execute("COMMIT").unwrap_err();
+
+    // The trans_dep row WAS inserted downstream before the fault — the
+    // §3.3 atomicity guarantee is exactly that the rollback takes it away
+    // with the rest of the transaction.
+    assert_eq!(counts(&rdb), before);
+    let mut s = rdb.database().session();
+    assert_eq!(
+        s.query("SELECT v FROM t WHERE id = 1").unwrap().rows[0][0],
+        Value::Int(1),
+        "user update must be rolled back"
+    );
+    assert_connection_recovers(&rdb, &mut *conn);
+}
+
+#[test]
+fn failure_just_before_commit_forwarding_aborts_cleanly() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_BEFORE_COMMIT,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (11, 11)")
+        .unwrap();
+    conn.execute("COMMIT").unwrap_err();
+
+    assert_eq!(counts(&rdb), before);
+    assert_connection_recovers(&rdb, &mut *conn);
+}
+
+#[test]
+fn rewrite_failpoint_fails_statement_without_touching_the_dbms() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_BEFORE_REWRITE,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    conn.execute("INSERT INTO t (id, v) VALUES (12, 12)")
+        .unwrap_err();
+    assert_eq!(
+        counts(&rdb),
+        before,
+        "statement failed before reaching the DBMS"
+    );
+    // The implicit-transaction path must be reusable immediately.
+    conn.execute("INSERT INTO t (id, v) VALUES (12, 12)")
+        .unwrap();
+    assert_eq!(counts(&rdb).0, before.0 + 1);
+}
+
+#[test]
+fn harvest_failure_in_explicit_transaction_leaves_it_open_and_consistent() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_HARVEST,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("SELECT v FROM t WHERE id = 2").unwrap_err();
+    // The failure hit result post-processing: the transaction is still
+    // open on both sides and the client decides its fate.
+    conn.execute("UPDATE t SET v = 20 WHERE id = 2").unwrap();
+    conn.execute("ROLLBACK").unwrap();
+    let mut s = rdb.database().session();
+    assert_eq!(
+        s.query("SELECT v FROM t WHERE id = 2").unwrap().rows[0][0],
+        Value::Int(2)
+    );
+    assert_connection_recovers(&rdb, &mut *conn);
+}
+
+// --- engine failpoints --------------------------------------------------
+
+#[test]
+fn engine_commit_record_failure_aborts_transaction_on_both_sides() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    rdb.database().sim().faults().arm(
+        failpoints::ENGINE_WAL_COMMIT,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (13, 13)")
+        .unwrap();
+    let err = conn.execute("COMMIT").unwrap_err();
+    assert!(
+        matches!(&err, WireError::Db(e) if e.to_string().contains("engine.wal_commit")),
+        "got {err}"
+    );
+
+    // The engine rolled back user write AND tracking rows together.
+    assert_eq!(counts(&rdb), before);
+    assert_connection_recovers(&rdb, &mut *conn);
+}
+
+#[test]
+fn wal_append_failure_mid_statement_rolls_back_every_row() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    // Fail the SECOND row append of a three-row INSERT: the first row is
+    // already in the table and must be undone.
+    rdb.database().sim().faults().arm(
+        failpoints::ENGINE_WAL_APPEND,
+        FaultAction::Error,
+        FaultTrigger::OnHit(2),
+    );
+    conn.execute("INSERT INTO t (id, v) VALUES (14, 14), (15, 15), (16, 16)")
+        .unwrap_err();
+    rdb.database().sim().faults().disarm_all();
+
+    assert_eq!(counts(&rdb), before, "partial multi-row insert must vanish");
+    conn.execute("INSERT INTO t (id, v) VALUES (14, 14)")
+        .unwrap();
+    assert_eq!(counts(&rdb).0, before.0 + 1);
+}
+
+// --- wire failpoints ----------------------------------------------------
+
+#[test]
+fn connection_drop_mid_transaction_rolls_back_and_poisons_the_connection() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let before = counts(&rdb);
+
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (17, 17)")
+        .unwrap();
+    rdb.database().sim().faults().arm(
+        failpoints::WIRE_CONN_DROP,
+        FaultAction::Disconnect,
+        FaultTrigger::Once,
+    );
+    assert!(matches!(
+        conn.execute("INSERT INTO t (id, v) VALUES (18, 18)"),
+        Err(WireError::ConnectionDropped)
+    ));
+    // Every later use of the severed connection fails fast.
+    assert!(matches!(
+        conn.execute("SELECT v FROM t"),
+        Err(WireError::ConnectionDropped)
+    ));
+
+    // The server rolled the open transaction back: a fresh connection sees
+    // no leftover state, and nothing was half-tracked.
+    assert_eq!(counts(&rdb), before);
+    let mut fresh = rdb.connect().unwrap();
+    assert_connection_recovers(&rdb, &mut *fresh);
+}
+
+#[test]
+fn latency_fault_charges_the_virtual_clock_and_nothing_else() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let sim = rdb.database().sim().clone();
+
+    let t0 = sim.clock().now();
+    sim.faults().arm(
+        failpoints::WIRE_LATENCY,
+        FaultAction::Delay(Micros::new(250_000)),
+        FaultTrigger::Once,
+    );
+    let resp = conn.execute("SELECT v FROM t WHERE id = 1").unwrap();
+    assert!(matches!(resp, Response::Rows(_)));
+    assert!(
+        sim.clock().now() - t0 >= Micros::new(250_000),
+        "injected latency must reach the virtual clock"
+    );
+    assert_eq!(sim.stats().injected_delays.get(), 1);
+}
+
+// --- repair failpoints --------------------------------------------------
+
+/// Stages two annotated attack transactions whose repair needs multiple
+/// compensating statements, then returns the attack transaction ids.
+fn stage_attack(rdb: &ResilientDb) -> Vec<i64> {
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("ANNOTATE attack1").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("UPDATE t SET v = 666 WHERE id = 1").unwrap();
+    conn.execute("UPDATE t SET v = 667 WHERE id = 2").unwrap();
+    conn.execute("COMMIT").unwrap();
+    conn.execute("ANNOTATE attack2").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (50, 668)")
+        .unwrap();
+    conn.execute("COMMIT").unwrap();
+    vec![
+        rdb.txn_id_by_label("attack1").unwrap().expect("tracked"),
+        rdb.txn_id_by_label("attack2").unwrap().expect("tracked"),
+    ]
+}
+
+#[test]
+fn failed_mid_sweep_repair_rolls_back_to_pre_repair_state() {
+    let rdb = setup();
+    let attacks = stage_attack(&rdb);
+    let tainted = snapshot(&rdb, "t");
+
+    // Fail between compensating statements: some compensations have
+    // already executed when the sweep dies.
+    rdb.database().sim().faults().arm(
+        failpoints::REPAIR_MID_SWEEP,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    rdb.repair(&attacks, &[]).unwrap_err();
+
+    // Invariant 3: the half-done sweep must leave no trace.
+    assert_eq!(
+        snapshot(&rdb, "t"),
+        tainted,
+        "failed repair must roll back to the pre-repair state"
+    );
+
+    // With the fault cleared the same repair succeeds fully.
+    rdb.database().sim().faults().disarm_all();
+    rdb.repair(&attacks, &[]).unwrap();
+    let mut s = rdb.database().session();
+    let r = s.query("SELECT v FROM t WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    let r = s.query("SELECT v FROM t WHERE id = 2").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(2));
+    assert_eq!(
+        s.query("SELECT v FROM t WHERE id = 50").unwrap().rows.len(),
+        0
+    );
+}
+
+#[test]
+fn failure_before_repair_commit_rolls_back_the_entire_sweep() {
+    let rdb = setup();
+    let attacks = stage_attack(&rdb);
+    let tainted = snapshot(&rdb, "t");
+
+    rdb.database().sim().faults().arm(
+        failpoints::REPAIR_BEFORE_COMMIT,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    rdb.repair(&attacks, &[]).unwrap_err();
+    assert_eq!(snapshot(&rdb, "t"), tainted);
+
+    rdb.database().sim().faults().disarm_all();
+    rdb.repair(&attacks, &[]).unwrap();
+    let mut s = rdb.database().session();
+    assert_eq!(
+        s.query("SELECT v FROM t WHERE id = 1").unwrap().rows[0][0],
+        Value::Int(1)
+    );
+}
+
+// --- registry mechanics through the full stack --------------------------
+
+#[test]
+fn panic_failpoint_is_one_shot_and_survivable() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_BEFORE_REWRITE,
+        FaultAction::Panic,
+        FaultTrigger::Always,
+    );
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = conn.execute("SELECT v FROM t");
+    }));
+    assert!(caught.is_err(), "panic failpoint must unwind");
+
+    // One-shot: the failpoint disarmed itself, the stack is usable again.
+    assert!(!rdb.database().sim().faults().active());
+    conn.execute("SELECT v FROM t").unwrap();
+}
+
+#[test]
+fn hit_counters_observe_traffic_and_scripts_fire_on_the_exact_hit() {
+    let rdb = setup();
+    let faults = rdb.database().sim().faults();
+    let mut conn = rdb.connect().unwrap();
+
+    // A counting-only probe on the WAL: three single-row inserts are three
+    // row appends plus three commit records.
+    faults.trace(failpoints::ENGINE_WAL_APPEND);
+    for id in 30..33 {
+        conn.execute(&format!("INSERT INTO t (id, v) VALUES ({id}, 0)"))
+            .unwrap();
+    }
+    let hits = faults.hits(failpoints::ENGINE_WAL_APPEND);
+    assert!(hits >= 6, "expected >= 6 WAL appends, saw {hits}");
+
+    // Scripted trigger through the stack: only the 2nd statement fails.
+    faults.arm(
+        failpoints::PROXY_BEFORE_REWRITE,
+        FaultAction::Error,
+        FaultTrigger::OnHit(2),
+    );
+    conn.execute("SELECT v FROM t WHERE id = 30").unwrap();
+    conn.execute("SELECT v FROM t WHERE id = 31").unwrap_err();
+    conn.execute("SELECT v FROM t WHERE id = 32").unwrap();
+    assert_eq!(faults.fired(failpoints::PROXY_BEFORE_REWRITE), 1);
+    faults.disarm_all();
+}
+
+#[test]
+fn disarmed_plan_is_invisible_to_the_workload() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let faults = rdb.database().sim().faults();
+
+    conn.execute("BEGIN").unwrap();
+    conn.execute("SELECT v FROM t").unwrap();
+    conn.execute("UPDATE t SET v = 5 WHERE id = 3").unwrap();
+    conn.execute("COMMIT").unwrap();
+
+    assert!(!faults.active());
+    for p in [
+        failpoints::WIRE_CONN_DROP,
+        failpoints::ENGINE_WAL_APPEND,
+        failpoints::PROXY_BEFORE_TRANS_DEP_INSERT,
+        failpoints::REPAIR_MID_SWEEP,
+    ] {
+        assert_eq!(faults.hits(p), 0, "inactive plans must not even count {p}");
+    }
+}
+
+// --- organic regressions (no failpoints) for the satellite bugfixes ------
+
+/// Commit-path divergence, triggered without any failpoint: dropping the
+/// `trans_dep` table makes the commit-time tracking insert fail for real.
+/// Before the fix the proxy forgot the transaction while the engine kept
+/// it open, so the connection was wedged ("BEGIN inside an open
+/// transaction" forever); the engine transaction also stayed open holding
+/// its locks.
+#[test]
+fn organic_tracking_failure_rolls_back_and_frees_the_connection() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let mut admin = rdb.connect_untracked().unwrap();
+
+    admin.execute("DROP TABLE trans_dep").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (60, 60)")
+        .unwrap();
+    let err = conn.execute("COMMIT").unwrap_err();
+    assert!(matches!(err, WireError::Db(_)), "got {err}");
+
+    // The user write must be gone (the whole transaction aborted)...
+    assert_eq!(rdb.database().row_count("t").unwrap(), 3);
+    // ...and the connection must not be wedged.
+    conn.execute("BEGIN")
+        .expect("connection must survive a failed commit");
+    conn.execute("ROLLBACK").unwrap();
+    // The engine side holds no leftover locks either: another connection
+    // can write the same rows.
+    admin
+        .execute("UPDATE t SET v = 1 WHERE id = 1")
+        .expect("no stale locks after aborted commit");
+}
+
+/// UTF-8 regression: multi-byte *column names* used to panic the proxy's
+/// hidden-column check (`name[..6]`) whenever byte 6 fell inside a
+/// character, and multi-byte *statements* used to panic the ANNOTATE
+/// prefix check (`trimmed[..9]`).
+#[test]
+fn non_ascii_identifiers_and_statements_do_not_panic_the_proxy() {
+    let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+    let mut conn = rdb.connect().unwrap();
+
+    // Byte 9 of this statement is inside 'é': the old ANNOTATE check
+    // sliced right through it.
+    let resp = conn.execute("SELECT 'é'").unwrap();
+    match resp {
+        Response::Rows(r) => assert_eq!(r.rows[0][0], Value::Str("é".into())),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    // Column name with a char boundary straddling byte 6 ("abcdeé"): the
+    // old hidden-column check sliced `name[..6]` and panicked.
+    conn.execute("CREATE TABLE \"tablé\" (id INTEGER PRIMARY KEY, \"abcdeé\" INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO \"tablé\" (id, \"abcdeé\") VALUES (1, 7)")
+        .unwrap();
+    let resp = conn.execute("SELECT * FROM \"tablé\"").unwrap();
+    match resp {
+        Response::Rows(r) => {
+            assert_eq!(r.columns, vec!["id".to_string(), "abcdeé".to_string()]);
+            assert_eq!(r.rows, vec![vec![Value::Int(1), Value::Int(7)]]);
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    conn.execute("UPDATE \"tablé\" SET \"abcdeé\" = 8 WHERE id = 1")
+        .unwrap();
+    conn.execute("DELETE FROM \"tablé\" WHERE id = 1").unwrap();
+}
+
+/// Repair-atomicity regression without failpoints: tampering makes a
+/// compensating statement fail AFTER other compensations already ran.
+/// Before the fix the earlier compensations stayed applied (half-repaired
+/// database); now the failed sweep rolls back whole.
+#[test]
+fn organic_repair_failure_is_atomic() {
+    let rdb = setup();
+
+    // Attack 1 updates row 1; attack 2 inserts row 51.
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("ANNOTATE a1").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("UPDATE t SET v = 666 WHERE id = 1").unwrap();
+    conn.execute("COMMIT").unwrap();
+    conn.execute("ANNOTATE a2").unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (51, 667)")
+        .unwrap();
+    conn.execute("COMMIT").unwrap();
+    let attacks = vec![
+        rdb.txn_id_by_label("a1").unwrap().unwrap(),
+        rdb.txn_id_by_label("a2").unwrap().unwrap(),
+    ];
+
+    // Tamper: delete row 1 out-of-band so attack 1's compensating UPDATE
+    // affects zero rows and the sweep errors. The sweep runs backward, so
+    // attack 2's compensating DELETE of row 51 executes first.
+    let mut admin = rdb.connect_untracked().unwrap();
+    admin.execute("DELETE FROM t WHERE id = 1").unwrap();
+    let pre_repair = snapshot(&rdb, "t");
+
+    rdb.repair(&attacks, &[]).unwrap_err();
+    assert_eq!(
+        snapshot(&rdb, "t"),
+        pre_repair,
+        "row 51 must survive the failed sweep: its compensation was rolled back"
+    );
+    assert!(
+        snapshot(&rdb, "t").iter().any(|r| r.contains("51")),
+        "sanity: the tampered snapshot still holds attack 2's row"
+    );
+}

@@ -11,8 +11,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use resildb_core::{
-    prepare_database, Connection, Database, Driver, Flavor, LinkProfile, NativeDriver, ProxyConfig,
-    ResilientDb, Response, TrackingGranularity, TrackingProxy, Value, WireError,
+    failpoints, prepare_database, Connection, Database, Driver, FaultAction, FaultTrigger, Flavor,
+    LinkProfile, NativeDriver, ProxyConfig, ResilientDb, Response, TrackingGranularity,
+    TrackingProxy, Value, WireError,
 };
 
 const COLUMNS: [&str; 4] = ["id", "grp", "amt", "name"];
@@ -300,6 +301,175 @@ proptest! {
             cache.stats().hits >= hits_after_cold + queries.len() as u64,
             "every replayed query must hit the cache"
         );
+    }
+}
+
+// --- Non-ASCII identifier transparency ----------------------------------
+//
+// Harvest and strip work on raw identifier strings; multi-byte characters
+// must never panic the proxy (the hidden-column and ANNOTATE checks used
+// to slice at fixed byte offsets) and must survive the rewrite → print →
+// re-parse round trip intact.
+
+const IDENT_CHARS: [char; 10] = ['a', 'b', 'é', 'ß', 'λ', 'ж', '日', 'ü', 'ñ', 'φ'];
+
+fn gen_ident(rng: &mut StdRng, prefix: &str) -> String {
+    let mut s = String::from(prefix);
+    for _ in 0..rng.gen_range(1..=5) {
+        s.push(IDENT_CHARS[rng.gen_range(0..IDENT_CHARS.len())]);
+    }
+    s
+}
+
+/// Same statements against an untracked database and a tracked one: every
+/// client-visible response must match, identifiers and all.
+fn check_non_ascii_transparency(seed: u64, granularity: TrackingGranularity) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = gen_ident(&mut rng, "t_");
+    let c1 = gen_ident(&mut rng, "c1_");
+    let c2 = gen_ident(&mut rng, "c2_");
+
+    let mut stmts = vec![format!(
+        "CREATE TABLE \"{table}\" (id INTEGER PRIMARY KEY, \"{c1}\" INTEGER, \"{c2}\" VARCHAR(16))"
+    )];
+    for id in 0..8 {
+        stmts.push(format!(
+            "INSERT INTO \"{table}\" (id, \"{c1}\", \"{c2}\") VALUES ({id}, {}, 'vé{id}')",
+            rng.gen_range(0..50)
+        ));
+    }
+    let pivot = rng.gen_range(0..50);
+    stmts.push(format!("SELECT * FROM \"{table}\" ORDER BY id"));
+    stmts.push(format!(
+        "SELECT \"{c1}\", \"{c2}\" FROM \"{table}\" WHERE \"{c1}\" >= {pivot} ORDER BY id"
+    ));
+    stmts.push(format!(
+        "UPDATE \"{table}\" SET \"{c1}\" = \"{c1}\" + 1 WHERE id < {}",
+        rng.gen_range(0..8)
+    ));
+    stmts.push(format!(
+        "DELETE FROM \"{table}\" WHERE id = {}",
+        rng.gen_range(0..8)
+    ));
+    stmts.push(format!("SELECT * FROM \"{table}\" ORDER BY id"));
+
+    let raw_db = Database::in_memory(Flavor::Postgres);
+    let mut raw = NativeDriver::new(raw_db, LinkProfile::local())
+        .connect()
+        .unwrap();
+    let rdb = ResilientDb::builder(Flavor::Postgres)
+        .granularity(granularity)
+        .build()
+        .unwrap();
+    let mut tracked = rdb.connect().unwrap();
+
+    for s in &stmts {
+        let expected = format!(
+            "{:?}",
+            raw.execute(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+        );
+        let got = format!(
+            "{:?}",
+            tracked.execute(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+        );
+        assert_eq!(expected, got, "proxy changed the result of {s:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn non_ascii_identifiers_are_transparent_row_level(seed in any::<u64>()) {
+        check_non_ascii_transparency(seed, TrackingGranularity::Row);
+    }
+
+    #[test]
+    fn non_ascii_identifiers_are_transparent_column_level(seed in any::<u64>()) {
+        check_non_ascii_transparency(seed, TrackingGranularity::Column);
+    }
+}
+
+// --- COMMIT-failure transparency ------------------------------------------
+//
+// An explicit-transaction COMMIT that fails inside the proxy must behave
+// identically with and without the rewrite cache: same client-visible
+// error, same surviving data, same recorded dependency rows.
+
+/// Runs `stmts` through a tracked database; once `arm_at` statements have
+/// executed, arms `proxy.before_commit` to fail on its `fail_hit`-th hit
+/// from that point. Errors are captured as part of the response stream.
+fn run_commit_failure_workload(
+    stmts: &[String],
+    cache: bool,
+    arm_at: usize,
+    fail_hit: u64,
+) -> (Vec<String>, Vec<String>) {
+    let db = Database::in_memory(Flavor::Postgres);
+    prepare_database(
+        &mut *NativeDriver::new(db.clone(), LinkProfile::local())
+            .connect()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut config = ProxyConfig::new(Flavor::Postgres);
+    if !cache {
+        config = config.without_rewrite_cache();
+    }
+    let (driver, _cache) =
+        TrackingProxy::single_proxy_with_cache(db.clone(), LinkProfile::local(), config);
+    let mut conn = driver.connect().unwrap();
+    let mut responses = Vec::with_capacity(stmts.len());
+    for (i, s) in stmts.iter().enumerate() {
+        if i == arm_at {
+            db.sim().faults().arm(
+                failpoints::PROXY_BEFORE_COMMIT,
+                FaultAction::Error,
+                FaultTrigger::OnHit(fail_hit),
+            );
+        }
+        responses.push(match conn.execute(s) {
+            Ok(r) => format!("{r:?}"),
+            Err(e) => format!("error: {e}"),
+        });
+    }
+    assert_eq!(
+        db.sim().faults().fired(failpoints::PROXY_BEFORE_COMMIT),
+        1,
+        "exactly one commit must have been failed"
+    );
+    let tracking: Vec<String> = ["trans_dep", "trans_dep_prov", "annot"]
+        .iter()
+        .map(|t| format!("{:?}", db.snapshot_rows(t).unwrap()))
+        .collect();
+    (responses, tracking)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One explicit-transaction COMMIT fails mid-workload. With the cache
+    /// and without it, the client sees the same error in the same place,
+    /// the aborted transaction leaks nothing, and the surviving workload
+    /// records identical dependency rows.
+    #[test]
+    fn commit_failure_is_identical_with_and_without_rewrite_cache(seed in any::<u64>()) {
+        let stmts = generate_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        // Statements 0..=20 are schema + load; the 8 explicit transaction
+        // blocks follow. Fail one of their COMMITs.
+        let arm_at = 21;
+        let fail_hit = rng.gen_range(1..=8);
+        let (warm_resp, warm_deps) =
+            run_commit_failure_workload(&stmts, true, arm_at, fail_hit);
+        let (cold_resp, cold_deps) =
+            run_commit_failure_workload(&stmts, false, arm_at, fail_hit);
+        prop_assert!(
+            warm_resp.iter().any(|r| r.starts_with("error: ")),
+            "the injected commit failure must surface to the client"
+        );
+        prop_assert_eq!(&warm_resp, &cold_resp, "client-visible results diverged");
+        prop_assert_eq!(&warm_deps, &cold_deps, "dependency rows diverged");
     }
 }
 
