@@ -1,0 +1,172 @@
+//! Workload trackability linter.
+//!
+//! Classifies every statement of a SQL workload against the rewriting
+//! proxy's soundness contract and reports coverage, reason histograms and
+//! inferred derivable (false-dependency) columns. With no input files the
+//! built-in TPC-C corpus is linted, which is what the CI coverage gate
+//! runs.
+//!
+//! ```text
+//! resildb-lint [OPTIONS] [FILE...]
+//!
+//!   FILE                 workload file, one SQL statement per line
+//!                        (blank lines and `--` comments ignored);
+//!                        omitted = built-in TPC-C corpus
+//!   --json               machine-readable JSON report on stdout
+//!   --verbose            list every non-sound statement
+//!   --granularity <g>    row (default) or column
+//!   --min-coverage <f>   fail (exit 1) if sound coverage < f (0..=1)
+//!   --baseline <file>    read the minimum coverage from a baseline file
+//!                        (first non-comment line, a fraction in 0..=1)
+//! ```
+//!
+//! Exit status: 0 on success, 1 when coverage falls below the requested
+//! minimum, 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use resildb_analyze::{Analyzer, CoverageReport, Granularity};
+
+struct Options {
+    files: Vec<String>,
+    json: bool,
+    verbose: bool,
+    granularity: Granularity,
+    min_coverage: Option<f64>,
+}
+
+fn usage() -> String {
+    "usage: resildb-lint [--json] [--verbose] [--granularity row|column] \
+     [--min-coverage <0..1>] [--baseline <file>] [FILE...]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        json: false,
+        verbose: false,
+        granularity: Granularity::Row,
+        min_coverage: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--granularity" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--granularity needs a value".to_string())?;
+                opts.granularity = match v.as_str() {
+                    "row" => Granularity::Row,
+                    "column" => Granularity::Column,
+                    other => return Err(format!("unknown granularity `{other}`")),
+                };
+            }
+            "--min-coverage" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--min-coverage needs a value".to_string())?;
+                let f: f64 = v.parse().map_err(|_| format!("invalid coverage `{v}`"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("coverage `{v}` not in 0..=1"));
+                }
+                opts.min_coverage = Some(f);
+            }
+            "--baseline" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| "--baseline needs a file".to_string())?;
+                opts.min_coverage = Some(read_baseline(path)?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{}", usage()))
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Reads a baseline file: the first line that is neither blank nor a `#`
+/// comment must parse as a fraction in `0..=1`.
+fn read_baseline(path: &str) -> Result<f64, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: f64 = line
+            .parse()
+            .map_err(|_| format!("baseline {path}: invalid fraction `{line}`"))?;
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("baseline {path}: `{line}` not in 0..=1"));
+        }
+        return Ok(f);
+    }
+    Err(format!("baseline {path}: no coverage line found"))
+}
+
+/// Loads a workload file: one statement per line, blank lines and `--`
+/// comment lines skipped, trailing `;` trimmed.
+fn load_workload(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("--"))
+        .map(|l| l.trim_end_matches(';').trim_end().to_string())
+        .collect())
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_args(args)?;
+    let corpus: Vec<String> = if opts.files.is_empty() {
+        resildb_tpcc::statement_corpus()
+    } else {
+        let mut all = Vec::new();
+        for f in &opts.files {
+            all.extend(load_workload(f)?);
+        }
+        all
+    };
+    let analyzer = Analyzer::new(opts.granularity);
+    let report = CoverageReport::analyze(&analyzer, &corpus);
+    if opts.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text(opts.verbose));
+    }
+    if let Some(min) = opts.min_coverage {
+        let got = report.sound_coverage();
+        if got < min {
+            eprintln!(
+                "FAIL: sound coverage {:.2}% below required {:.2}%",
+                got * 100.0,
+                min * 100.0
+            );
+            return Ok(ExitCode::from(1));
+        }
+        eprintln!(
+            "OK: sound coverage {:.2}% >= required {:.2}%",
+            got * 100.0,
+            min * 100.0
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The tracking layer's column vocabulary.
+//!
+//! These names are the contract between the rewriting proxy (which injects
+//! and stamps the columns), the repair tool (which reads them from log
+//! pre-images) and the static analyzer (which must know which identifiers
+//! a client statement may not touch). They live here, in the lowest layer
+//! that all three share, and are re-exported by `resildb-proxy` for
+//! backward compatibility.
+
+/// Name of the injected last-writer column.
+pub const TRID_COLUMN: &str = "trid";
+
+/// Prefix of the per-column last-writer stamps used by column-level
+/// tracking: column `c` gets a companion `trid__c INTEGER`.
+pub const COLUMN_TRID_PREFIX: &str = "trid__";
+
+/// Name of the identity column injected on flavors without a row-id
+/// pseudo-column (Sybase, paper §4.3).
+pub const IDENTITY_COLUMN: &str = "rid";
+
+/// Whether `name` is one of the columns the tracking layer injects
+/// (`trid`, `trid__<col>`, or the Sybase identity `rid`).
+pub fn is_tracking_column(name: &str) -> bool {
+    // `get` rather than direct slicing: the prefix length may fall inside a
+    // multi-byte character of a non-ASCII column name.
+    name.eq_ignore_ascii_case(TRID_COLUMN)
+        || name.eq_ignore_ascii_case(IDENTITY_COLUMN)
+        || name
+            .get(..COLUMN_TRID_PREFIX.len())
+            .is_some_and(|p| p.eq_ignore_ascii_case(COLUMN_TRID_PREFIX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracking_column_predicate() {
+        assert!(is_tracking_column("trid"));
+        assert!(is_tracking_column("TRID"));
+        assert!(is_tracking_column("TRID__w_ytd"));
+        assert!(is_tracking_column("rid"));
+        assert!(!is_tracking_column("w_ytd"));
+        assert!(!is_tracking_column("trident"));
+        assert!(!is_tracking_column("tri"));
+        assert!(!is_tracking_column("ütrid"));
+    }
+}

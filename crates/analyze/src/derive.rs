@@ -1,0 +1,406 @@
+//! Derivable-column (false-dependency) inference.
+//!
+//! The paper (§5.3) relies on the DBA to hand-identify *false
+//! dependencies*: columns like TPC-C's `w_ytd` whose writes spread damage
+//! closures without carrying real information flow, because they are pure
+//! accumulators nobody reads. This pass infers those candidates statically
+//! from the workload, Ultraverse-style: a column is **derivable** when
+//!
+//! 1. it is updated somewhere as a commutative self-increment
+//!    (`col = col + expr` or `col = col - expr`, `expr` free of column
+//!    references), and
+//! 2. no statement in the corpus updates it any other way, and
+//! 3. no statement in the corpus *reads* it (projection, predicate,
+//!    grouping/ordering, or inside another assignment's value).
+//!
+//! Condition 3 is what keeps the inference sound where a syntactic
+//! accumulator is actually consumed — TPC-C's `d_next_o_id` is written
+//! only as `d_next_o_id + 1` but *read* by New-Order and Stock-Level, so
+//! it never becomes a candidate, while `w_ytd`/`d_ytd`/`c_ytd_payment`
+//! do. The inferred set feeds the repair tool's false-dependency discard
+//! rules in place of hand-maintained DBA input.
+
+use std::collections::BTreeSet;
+
+use resildb_sql::{BinaryOp, Expr, Select, SelectItem, Statement};
+
+use crate::classify::SchemaSnapshot;
+use crate::columns::is_tracking_column;
+
+/// One inferred false-dependency candidate: writes that touch only this
+/// column can be discarded from damage closures when the reader did not
+/// consume it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DerivableColumn {
+    /// Table the column belongs to (lower-cased).
+    pub table: String,
+    /// Column name (lower-cased).
+    pub column: String,
+}
+
+impl std::fmt::Display for DerivableColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+type ColKey = (String, String);
+
+#[derive(Debug, Default)]
+struct DeriveState {
+    /// (table, column) updated as `col = col ± expr` at least once.
+    incremented: BTreeSet<ColKey>,
+    /// (table, column) assigned in any other form.
+    otherwise_written: BTreeSet<ColKey>,
+    /// (table, column) read anywhere.
+    read: BTreeSet<ColKey>,
+    /// Tables read through a wildcard the schema cannot expand: every
+    /// column of such a table must be assumed read.
+    fully_read: BTreeSet<String>,
+}
+
+/// Whether `value` is a commutative self-increment of `column` on `table`:
+/// `col + e`, `col - e`, or `e + col`, with `e` free of column references.
+fn is_self_increment(column: &str, value: &Expr) -> bool {
+    let Expr::Binary { left, op, right } = value else {
+        return false;
+    };
+    let is_col = |e: &Expr| matches!(e, Expr::Column(c) if c.column.eq_ignore_ascii_case(column));
+    let no_cols = |e: &Expr| e.referenced_columns().is_empty();
+    match op {
+        BinaryOp::Add => (is_col(left) && no_cols(right)) || (no_cols(left) && is_col(right)),
+        BinaryOp::Sub => is_col(left) && no_cols(right),
+        _ => false,
+    }
+}
+
+fn mark_read(state: &mut DeriveState, table: &str, column: &str) {
+    if !is_tracking_column(column) {
+        state
+            .read
+            .insert((table.to_string(), column.to_ascii_lowercase()));
+    }
+}
+
+/// Attributes every column `expr` references to tables in `scope`
+/// (binding-name → table-name pairs), resolving unqualified references
+/// through the schema when possible and conservatively to every scope
+/// table otherwise.
+fn mark_expr_reads(
+    state: &mut DeriveState,
+    scope: &[(String, String)],
+    schema: Option<&SchemaSnapshot>,
+    expr: &Expr,
+) {
+    for c in expr.referenced_columns() {
+        match &c.table {
+            Some(qualifier) => {
+                // Resolve the qualifier through the FROM bindings; an
+                // unknown qualifier is attributed to every scope table.
+                let mut resolved = false;
+                for (binding, table) in scope {
+                    if binding.eq_ignore_ascii_case(qualifier) {
+                        mark_read(state, table, &c.column);
+                        resolved = true;
+                    }
+                }
+                if !resolved {
+                    for (_, table) in scope {
+                        mark_read(state, table, &c.column);
+                    }
+                }
+            }
+            None => {
+                let owners: Vec<&str> = match schema {
+                    Some(snap) => scope
+                        .iter()
+                        .filter(|(_, table)| snap.has_column(table, &c.column))
+                        .map(|(_, table)| table.as_str())
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if owners.is_empty() {
+                    // Unknown schema or unknown column: every scope table
+                    // may own it (false-positive-safe: more reads, fewer
+                    // candidates).
+                    for (_, table) in scope {
+                        mark_read(state, table, &c.column);
+                    }
+                } else {
+                    for table in owners {
+                        mark_read(state, table, &c.column);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn visit_select(state: &mut DeriveState, sel: &Select, schema: Option<&SchemaSnapshot>) {
+    let scope: Vec<(String, String)> = sel
+        .from
+        .iter()
+        .map(|t| {
+            (
+                t.binding_name().to_ascii_lowercase(),
+                t.name.to_ascii_lowercase(),
+            )
+        })
+        .collect();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (_, table) in &scope {
+                    expand_wildcard(state, table, schema);
+                }
+            }
+            SelectItem::QualifiedWildcard(qualifier) => {
+                let mut resolved = false;
+                for (binding, table) in &scope {
+                    if binding.eq_ignore_ascii_case(qualifier) {
+                        expand_wildcard(state, table, schema);
+                        resolved = true;
+                    }
+                }
+                if !resolved {
+                    for (_, table) in &scope {
+                        expand_wildcard(state, table, schema);
+                    }
+                }
+            }
+            SelectItem::Expr { expr, .. } => mark_expr_reads(state, &scope, schema, expr),
+        }
+    }
+    for e in sel
+        .where_clause
+        .iter()
+        .chain(sel.group_by.iter())
+        .chain(sel.order_by.iter().map(|o| &o.expr))
+    {
+        mark_expr_reads(state, &scope, schema, e);
+    }
+}
+
+fn expand_wildcard(state: &mut DeriveState, table: &str, schema: Option<&SchemaSnapshot>) {
+    match schema.and_then(|s| s.columns(table)) {
+        Some(cols) => {
+            for c in cols {
+                mark_read(state, table, c);
+            }
+        }
+        None => {
+            state.fully_read.insert(table.to_string());
+        }
+    }
+}
+
+/// Runs the inference over a parsed workload corpus.
+pub fn infer_derivable_columns(
+    stmts: &[Statement],
+    schema: Option<&SchemaSnapshot>,
+) -> Vec<DerivableColumn> {
+    let mut state = DeriveState::default();
+    for stmt in stmts {
+        match stmt {
+            Statement::Update(upd) => {
+                let table = upd.table.to_ascii_lowercase();
+                let scope = vec![(table.clone(), table.clone())];
+                for a in &upd.assignments {
+                    if is_tracking_column(&a.column) {
+                        continue;
+                    }
+                    let key = (table.clone(), a.column.to_ascii_lowercase());
+                    if is_self_increment(&a.column, &a.value) {
+                        state.incremented.insert(key);
+                        // The self-reference inside the increment is not a
+                        // read: nothing downstream consumes the value.
+                    } else {
+                        state.otherwise_written.insert(key);
+                        mark_expr_reads(&mut state, &scope, schema, &a.value);
+                    }
+                }
+                if let Some(w) = &upd.where_clause {
+                    mark_expr_reads(&mut state, &scope, schema, w);
+                }
+            }
+            Statement::Select(sel) => visit_select(&mut state, sel, schema),
+            Statement::Delete(del) => {
+                let table = del.table.to_ascii_lowercase();
+                let scope = vec![(table.clone(), table)];
+                if let Some(w) = &del.where_clause {
+                    mark_expr_reads(&mut state, &scope, schema, w);
+                }
+            }
+            Statement::Insert(ins) => {
+                // VALUES tuples rarely reference columns, but if they do,
+                // those are reads of the target table.
+                let table = ins.table.to_ascii_lowercase();
+                let scope = vec![(table.clone(), table)];
+                for e in ins.rows.iter().flatten() {
+                    mark_expr_reads(&mut state, &scope, schema, e);
+                }
+            }
+            _ => {}
+        }
+    }
+    state
+        .incremented
+        .iter()
+        .filter(|key| {
+            !state.otherwise_written.contains(*key)
+                && !state.read.contains(*key)
+                && !state.fully_read.contains(&key.0)
+        })
+        .map(|(table, column)| DerivableColumn {
+            table: table.clone(),
+            column: column.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(stmts: &[&str]) -> Vec<Statement> {
+        stmts
+            .iter()
+            .map(|s| resildb_sql::parse_statement(s).unwrap())
+            .collect()
+    }
+
+    fn infer(stmts: &[&str]) -> Vec<String> {
+        infer_derivable_columns(&parse(stmts), None)
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn pure_accumulator_is_derivable() {
+        let cols = infer(&[
+            "UPDATE warehouse SET w_ytd = w_ytd + 100.0 WHERE w_id = 1",
+            "SELECT w_tax FROM warehouse WHERE w_id = 1",
+        ]);
+        assert_eq!(cols, ["warehouse.w_ytd"]);
+    }
+
+    #[test]
+    fn read_accumulator_is_not_derivable() {
+        // d_next_o_id is self-incremented but also read: a real flow.
+        let cols = infer(&[
+            "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_id = 1",
+            "SELECT d_next_o_id FROM district WHERE d_id = 1",
+        ]);
+        assert!(cols.is_empty(), "{cols:?}");
+    }
+
+    #[test]
+    fn reads_in_predicates_disqualify() {
+        let cols = infer(&["UPDATE t SET a = a + 1", "SELECT b FROM t WHERE a > 10"]);
+        assert!(cols.is_empty(), "{cols:?}");
+    }
+
+    #[test]
+    fn non_increment_write_disqualifies() {
+        let cols = infer(&["UPDATE t SET a = a + 1", "UPDATE t SET a = 0"]);
+        assert!(cols.is_empty(), "{cols:?}");
+    }
+
+    #[test]
+    fn increment_forms_accepted_and_rejected() {
+        // e + col is commutative; e - col is not an increment.
+        assert_eq!(infer(&["UPDATE t SET a = 1 + a"]), ["t.a"]);
+        assert!(infer(&["UPDATE t SET a = 1 - a"]).is_empty());
+        assert!(infer(&["UPDATE t SET a = a * 2"]).is_empty());
+        // Increment by another column is not self-contained.
+        assert!(infer(&["UPDATE t SET a = a + b"]).is_empty());
+    }
+
+    #[test]
+    fn read_inside_other_assignment_disqualifies() {
+        // `b = a` reads a, so a is not derivable; b itself is not an
+        // increment either.
+        let cols = infer(&["UPDATE t SET a = a + 1", "UPDATE t SET b = a"]);
+        assert!(cols.is_empty(), "{cols:?}");
+    }
+
+    #[test]
+    fn wildcard_without_schema_disqualifies_table() {
+        let cols = infer(&["UPDATE t SET a = a + 1", "SELECT * FROM t"]);
+        assert!(cols.is_empty(), "{cols:?}");
+    }
+
+    #[test]
+    fn wildcard_with_schema_expands_precisely() {
+        let mut schema = SchemaSnapshot::new();
+        schema.add_table("t", ["a", "b"]);
+        schema.add_table("u", ["x"]);
+        let stmts = parse(&[
+            "UPDATE t SET a = a + 1",
+            "UPDATE u SET x = x + 1",
+            "SELECT t.* FROM t, u",
+        ]);
+        let cols = infer_derivable_columns(&stmts, Some(&schema));
+        // t.* reads t.a → only u.x survives.
+        assert_eq!(
+            cols,
+            [DerivableColumn {
+                table: "u".into(),
+                column: "x".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn unqualified_read_resolves_through_schema() {
+        let mut schema = SchemaSnapshot::new();
+        schema.add_table("t", ["a", "b"]);
+        schema.add_table("u", ["x", "a"]);
+        // `a` exists in both tables → read marks both; `b` only in t.
+        let stmts = parse(&[
+            "UPDATE t SET a = a + 1",
+            "UPDATE u SET a = a + 1",
+            "UPDATE u SET x = x + 1",
+            "SELECT b FROM t, u WHERE a = 1",
+        ]);
+        let cols = infer_derivable_columns(&stmts, Some(&schema));
+        assert_eq!(
+            cols,
+            [DerivableColumn {
+                table: "u".into(),
+                column: "x".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn tracking_columns_never_become_candidates() {
+        assert!(infer(&["UPDATE t SET trid = trid + 1"]).is_empty());
+    }
+
+    #[test]
+    fn tpcc_shaped_workload_infers_the_paper_columns() {
+        let cols = infer(&[
+            // Payment
+            "UPDATE warehouse SET w_ytd = w_ytd + 100.0 WHERE w_id = 1",
+            "SELECT w_name, w_street_1, w_city FROM warehouse WHERE w_id = 1",
+            "UPDATE district SET d_ytd = d_ytd + 100.0 WHERE d_w_id = 1 AND d_id = 2",
+            "SELECT d_name FROM district WHERE d_w_id = 1 AND d_id = 2",
+            "SELECT c_balance, c_credit FROM customer WHERE c_id = 3",
+            "UPDATE customer SET c_balance = c_balance - 100.0, \
+             c_ytd_payment = c_ytd_payment + 100.0, c_payment_cnt = c_payment_cnt + 1 \
+             WHERE c_id = 3",
+            // New-Order
+            "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 2",
+            "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = 1 AND d_id = 2",
+        ]);
+        assert!(cols.contains(&"warehouse.w_ytd".to_string()), "{cols:?}");
+        assert!(cols.contains(&"district.d_ytd".to_string()), "{cols:?}");
+        assert!(cols.contains(&"customer.c_ytd_payment".to_string()));
+        assert!(cols.contains(&"customer.c_payment_cnt".to_string()));
+        // c_balance is read → excluded; d_next_o_id is read → excluded.
+        assert!(!cols.contains(&"customer.c_balance".to_string()));
+        assert!(!cols.contains(&"district.d_next_o_id".to_string()));
+    }
+}

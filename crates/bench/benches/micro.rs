@@ -3,6 +3,8 @@
 //! tracked statement path, and repair analysis. These measure *real* CPU
 //! time (unlike the fig4/fig5 harnesses, which measure virtual time).
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use resildb_core::{Flavor, ResilientDb};
@@ -30,6 +32,7 @@ fn bench_rewrite(c: &mut Criterion) {
                 std::hint::black_box(&sel),
                 resildb_proxy::TrackingGranularity::Row,
             )
+            .rewritten()
             .unwrap()
         })
     });
@@ -63,6 +66,7 @@ fn bench_rewrite_cache(c: &mut Criterion) {
             };
             let (rewritten, _plan) =
                 resildb_proxy::rewrite_select(&sel, resildb_proxy::TrackingGranularity::Row)
+                    .rewritten()
                     .unwrap();
             rewritten.to_string()
         })
@@ -75,7 +79,9 @@ fn bench_rewrite_cache(c: &mut Criterion) {
         unreachable!()
     };
     let (rewritten, _plan) =
-        resildb_proxy::rewrite_select(&sel, resildb_proxy::TrackingGranularity::Row).unwrap();
+        resildb_proxy::rewrite_select(&sel, resildb_proxy::TrackingGranularity::Row)
+            .rewritten()
+            .unwrap();
     let stmt = Statement::Select(rewritten);
     let tmpl = SqlTemplate::new(stmt.to_string(), &collect_params(&stmt)).unwrap();
     c.bench_function("rewrite_cached", |b| {
@@ -175,6 +181,46 @@ fn bench_failpoints(c: &mut Criterion) {
     });
 }
 
+fn bench_enforcement(c: &mut Criterion) {
+    use resildb_analyze::{classify_statement, Granularity};
+    use resildb_engine::Database;
+    use resildb_proxy::{prepare_database, EnforcementPolicy, ProxyConfig, TrackingProxy};
+    use resildb_wire::{Driver, LinkProfile, NativeDriver};
+
+    // The raw classifier cost a cold statement pays once per shape.
+    let stmt = parse_statement(SELECT_SQL).unwrap();
+    c.bench_function("analyzer_classify_select", |b| {
+        b.iter(|| classify_statement(std::hint::black_box(&stmt), Granularity::Row))
+    });
+
+    // Steady-state tracked selects with the rewrite cache warm: the only
+    // difference between the two is the memoised-verdict inspection, which
+    // must stay invisible next to parse/splice/execute. This guards the
+    // claim that enforcement costs nothing on the hot path.
+    let proxied = |policy: EnforcementPolicy| {
+        let db = Database::in_memory(resildb_engine::Flavor::Postgres);
+        let native = NativeDriver::new(db.clone(), LinkProfile::local());
+        prepare_database(&mut *native.connect().unwrap()).unwrap();
+        let config = ProxyConfig::new(resildb_engine::Flavor::Postgres).with_enforcement(policy);
+        let driver = TrackingProxy::single_proxy(db, LinkProfile::local(), config);
+        let mut conn = driver.connect().unwrap();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (250, 1)")
+            .unwrap();
+        conn.execute("SELECT v FROM t WHERE id = 250").unwrap(); // warm cache
+        conn
+    };
+    let mut off = proxied(EnforcementPolicy::Allow);
+    c.bench_function("tracked_select_enforcement_off", |b| {
+        b.iter(|| off.execute("SELECT v FROM t WHERE id = 250").unwrap())
+    });
+    let mut warn = proxied(EnforcementPolicy::Warn);
+    c.bench_function("tracked_select_enforcement_warn", |b| {
+        b.iter(|| warn.execute("SELECT v FROM t WHERE id = 250").unwrap())
+    });
+}
+
 fn bench_page_compaction(c: &mut Criterion) {
     use resildb_engine::{Page, RowId};
     c.bench_function("page_delete_with_migration", |b| {
@@ -200,6 +246,6 @@ fn bench_page_compaction(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_failpoints, bench_page_compaction
+    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_failpoints, bench_enforcement, bench_page_compaction
 );
 criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Tracking-overhead ablation (paper §6 optimisation discussion).
 //! Pass `--quick` for a reduced run.
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     print!(

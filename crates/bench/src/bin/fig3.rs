@@ -1,6 +1,8 @@
 //! Regenerates paper Figure 3: prints the dependency-graph DOT to stdout.
 //! Pipe through GraphViz (`fig3 | dot -Tpng -o fig3.png`) to render.
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 fn main() {
     print!("{}", resildb_bench::fig3::render());
 }

@@ -3,6 +3,8 @@
 //! `--no-rewrite-cache` to disable the proxy's statement-template cache
 //! (the ablation isolating what cached rewrites buy back).
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_bench::fig4::{render, run_with, Scale};
 
 fn main() {

@@ -3,6 +3,8 @@
 //! discarding false (ytd-mediated) dependencies. `--quick` reduces the
 //! T_detect grid.
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let t_detects: Vec<usize> = if quick {

@@ -1,6 +1,8 @@
 //! Row- vs column-level tracking cost/accuracy comparison (paper §6).
 //! Pass `--quick` for a reduced run.
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let t_detect = if quick { 40 } else { 150 };

@@ -1,6 +1,8 @@
 //! MTTR comparison: selective repair vs restore-backup-and-replay.
 //! Pass `--quick` for a reduced grid.
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let grid: Vec<usize> = if quick {

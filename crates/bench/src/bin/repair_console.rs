@@ -11,6 +11,8 @@
 //!
 //! Commands can also be piped: `echo "closure\nrepair\nquit" | repair_console`.
 
+// Harness target: setup failures panic with context by design.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::io::{BufRead, Write as _};
 
 use resildb_core::WhatIfSession;

@@ -16,6 +16,9 @@
 //! where the crossovers sit) are the reproduction target.
 
 #![forbid(unsafe_code)]
+// A measurement harness, not a library: a failed setup step has no
+// meaningful recovery, so panicking with context is the right behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -51,6 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod resilient;
@@ -58,11 +59,17 @@ mod resilient;
 pub use resilient::{ProxyPlacement, ResilientDb, ResilientDbBuilder};
 
 // The framework's building blocks, re-exported for downstream users.
+pub use resildb_analyze::{
+    infer_derivable_columns, Analyzer, CoverageReport, DerivableColumn, SchemaSnapshot, Verdict,
+};
 pub use resildb_engine::{
     Database, EngineError, ExecOutcome, Flavor, PreparedStatement, QueryResult, Session,
     StmtCacheStats, Value,
 };
-pub use resildb_proxy::{prepare_database, ProxyConfig, TrackingGranularity, TrackingProxy};
+pub use resildb_proxy::{
+    prepare_database, EnforcementPolicy, ProxyConfig, TrackerStats, TrackerStatsSnapshot,
+    TrackingGranularity, TrackingProxy,
+};
 pub use resildb_repair::{
     detect, Analysis, AnomalyRule, DepGraph, Detection, FalseDepRule, RepairError, RepairReport,
     RepairTool, WhatIfSession,
@@ -70,7 +77,7 @@ pub use resildb_repair::{
 pub use resildb_sim::{
     failpoints, CostModel, FaultAction, FaultPlan, FaultTrigger, InjectedFault, Micros, SimContext,
 };
-pub use resildb_sql::Literal;
+pub use resildb_sql::{parse_statement, Literal, Statement};
 pub use resildb_wire::{
     Connection, Driver, LinkProfile, NativeDriver, Response, StatementHandle, WireError,
 };

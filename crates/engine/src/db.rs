@@ -564,7 +564,9 @@ impl Session {
             });
         }
         let result = {
-            let txn = self.txn.as_mut().expect("just ensured");
+            let Some(txn) = self.txn.as_mut() else {
+                return Err(EngineError::Internal("transaction state missing".into()));
+            };
             let mut ctx = StmtCtx {
                 catalog: &self.db.inner.catalog,
                 wal: &self.db.inner.wal,

@@ -383,7 +383,10 @@ fn candidate_rows(
                 continue 'rows;
             }
         }
-        let (rid, row) = joined.into_iter().nth(binding_idx).expect("index valid");
+        let (rid, row) = joined
+            .into_iter()
+            .nth(binding_idx)
+            .ok_or_else(|| EngineError::Internal("join binding index out of range".into()))?;
         kept.push((rid, row));
     }
     Ok(kept)

@@ -280,7 +280,9 @@ impl Table {
             .ok_or_else(|| EngineError::Internal(format!("directory stale for {rowid}")))?
             .to_vec();
         let row = decode_row(&self.schema, &image)?;
-        let slot: Slot = page.delete(rowid).expect("image_of found it");
+        let slot: Slot = page
+            .delete(rowid)
+            .ok_or_else(|| EngineError::Internal(format!("directory stale for {rowid}")))?;
         self.directory.remove(&rowid);
         if let Some(key) = self.pk_key(&row) {
             self.pk_index.remove(&key);
@@ -349,7 +351,9 @@ impl Table {
         }
         let image = encode_row(&self.schema, &new_row)?;
         let page = &mut self.pages[page_no as usize];
-        let slot = page.update(rowid, &image).expect("image_of found it");
+        let slot = page
+            .update(rowid, &image)
+            .ok_or_else(|| EngineError::Internal(format!("directory stale for {rowid}")))?;
         if old_key != new_key {
             if let Some(ok) = old_key {
                 self.pk_index.remove(&ok);

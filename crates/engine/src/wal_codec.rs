@@ -220,20 +220,26 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| EngineError::Internal("WAL slice length mismatch".into()))
+    }
+
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 
     fn str(&mut self) -> Result<String> {
@@ -343,14 +349,14 @@ pub fn read_wal<R: Read>(mut r: R) -> Result<Vec<LogRecord>> {
             .get(pos..pos + 4)
             .ok_or_else(|| EngineError::Internal("truncated WAL length".into()))?
             .try_into()
-            .expect("4 bytes");
+            .map_err(|_| EngineError::Internal("truncated WAL length".into()))?;
         let len = u32::from_le_bytes(len_bytes) as usize;
         pos += 4;
         let crc_bytes: [u8; 4] = bytes
             .get(pos..pos + 4)
             .ok_or_else(|| EngineError::Internal("truncated WAL checksum".into()))?
             .try_into()
-            .expect("4 bytes");
+            .map_err(|_| EngineError::Internal("truncated WAL checksum".into()))?;
         let expected_crc = u32::from_le_bytes(crc_bytes);
         pos += 4;
         let body = bytes

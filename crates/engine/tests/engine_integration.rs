@@ -1,5 +1,7 @@
 //! End-to-end engine tests: SQL in, correct state and log out.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{introspect, Database, EngineError, ExecOutcome, Flavor, LogOp, Value};
 
 fn db() -> Database {

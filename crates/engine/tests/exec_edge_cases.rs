@@ -1,6 +1,8 @@
 //! Executor edge cases: resolution errors, three-way joins, prefix-index
 //! access paths, NULL handling in sorts, and concurrent sessions.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{Database, EngineError, Flavor, Value};
 
 fn db() -> Database {

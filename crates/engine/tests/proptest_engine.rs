@@ -2,6 +2,8 @@
 //! in-memory model under arbitrary sequences of inserts, updates, deletes
 //! and transactional rollbacks — on every flavor.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use resildb_analyze::Verdict;
 use resildb_sim::LruMap;
 use resildb_sql::SqlTemplate;
 
@@ -69,6 +70,18 @@ impl CacheEntry {
     }
 }
 
+/// A cached statement shape: the replay recipe plus the static analyzer's
+/// verdict for the shape, computed once on the cold path so enforcement
+/// and statistics cost one enum inspection on hits.
+#[derive(Debug)]
+pub(crate) struct CachedShape {
+    /// How to replay the shape.
+    pub(crate) entry: CacheEntry,
+    /// Trackability verdict; `None` for the proxy's own tracking-table
+    /// statements, which are exempt from classification and enforcement.
+    pub(crate) verdict: Option<Verdict>,
+}
+
 /// Point-in-time counters of a [`RewriteCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RewriteCacheStats {
@@ -86,7 +99,7 @@ pub struct RewriteCacheStats {
 /// connections of one proxy factory.
 #[derive(Debug)]
 pub struct RewriteCache {
-    entries: Mutex<LruMap<u128, Arc<CacheEntry>>>,
+    entries: Mutex<LruMap<u128, Arc<CachedShape>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -116,11 +129,11 @@ impl RewriteCache {
         &self,
         fingerprint: u128,
         literal_spans: usize,
-    ) -> Option<Arc<CacheEntry>> {
+    ) -> Option<Arc<CachedShape>> {
         let hit = {
             let mut map = self.entries.lock();
             map.get(&fingerprint)
-                .filter(|e| e.admits(literal_spans))
+                .filter(|e| e.entry.admits(literal_spans))
                 .map(Arc::clone)
         };
         match &hit {
@@ -132,8 +145,8 @@ impl RewriteCache {
 
     /// Stores `entry` under `fingerprint`, evicting the least recently
     /// used shape if at capacity.
-    pub(crate) fn insert(&self, fingerprint: u128, entry: CacheEntry) {
-        if self.entries.lock().insert(fingerprint, Arc::new(entry)) {
+    pub(crate) fn insert(&self, fingerprint: u128, shape: CachedShape) {
+        if self.entries.lock().insert(fingerprint, Arc::new(shape)) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -153,11 +166,18 @@ impl RewriteCache {
 mod tests {
     use super::*;
 
+    fn raw(entry: CacheEntry) -> CachedShape {
+        CachedShape {
+            entry,
+            verdict: Some(Verdict::Sound),
+        }
+    }
+
     #[test]
     fn lookup_counts_hits_and_misses() {
         let cache = RewriteCache::new(4);
         assert!(cache.lookup(1, 0).is_none());
-        cache.insert(1, CacheEntry::WriteRaw);
+        cache.insert(1, raw(CacheEntry::WriteRaw));
         assert!(cache.lookup(1, 0).is_some());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -167,7 +187,7 @@ mod tests {
     fn slot_mismatch_is_a_miss() {
         let cache = RewriteCache::new(4);
         let tmpl = SqlTemplate::new("SELECT ?".into(), &[0]).unwrap();
-        cache.insert(7, CacheEntry::Write { tmpl });
+        cache.insert(7, raw(CacheEntry::Write { tmpl }));
         assert!(cache.lookup(7, 2).is_none(), "wrong span count must miss");
         assert!(cache.lookup(7, 1).is_some());
     }
@@ -175,8 +195,8 @@ mod tests {
     #[test]
     fn eviction_is_counted() {
         let cache = RewriteCache::new(1);
-        cache.insert(1, CacheEntry::WriteRaw);
-        cache.insert(2, CacheEntry::WriteRaw);
+        cache.insert(1, raw(CacheEntry::WriteRaw));
+        cache.insert(2, raw(CacheEntry::WriteRaw));
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.lookup(1, 0).is_none());
         assert!(cache.lookup(2, 0).is_some());
@@ -186,7 +206,7 @@ mod tests {
     fn zero_capacity_disables() {
         let cache = RewriteCache::new(0);
         assert!(!cache.enabled());
-        cache.insert(1, CacheEntry::WriteRaw);
+        cache.insert(1, raw(CacheEntry::WriteRaw));
         assert!(cache.lookup(1, 0).is_none());
     }
 }

@@ -23,6 +23,38 @@ pub enum TrackingGranularity {
     Column,
 }
 
+impl From<TrackingGranularity> for resildb_analyze::Granularity {
+    fn from(g: TrackingGranularity) -> Self {
+        match g {
+            TrackingGranularity::Row => resildb_analyze::Granularity::Row,
+            TrackingGranularity::Column => resildb_analyze::Granularity::Column,
+        }
+    }
+}
+
+/// What the proxy does with statements the static analyzer says the
+/// tracking layer cannot soundly follow (aggregate/DISTINCT reads,
+/// tracking-column writes, unparsable statements).
+///
+/// The paper treats these as documented limitations and forwards them
+/// silently; with the analyzer in the loop the operator can choose the
+/// contract instead. `Reject` turns the soundness guarantee from "best
+/// effort" into an invariant: every statement the DBMS executes is one
+/// whose dependencies the repair capability can see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementPolicy {
+    /// Forward untracked statements silently (the paper's behaviour).
+    #[default]
+    Allow,
+    /// Forward untracked statements but count them in
+    /// [`crate::TrackerStats`], so deployments can audit how much of the
+    /// workload escapes tracking.
+    Warn,
+    /// Refuse untracked statements with a client-visible error before
+    /// they reach the DBMS. Degraded statements still pass.
+    Reject,
+}
+
 /// Configuration of the tracking proxy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyConfig {
@@ -67,6 +99,9 @@ pub struct ProxyConfig {
     pub harvest_per_row_ns: u64,
     /// Row-level (paper) or column-level (§6 extension) tracking.
     pub granularity: TrackingGranularity,
+    /// What to do with statements the static analyzer classifies as
+    /// untracked (dependencies invisible to the tracking layer).
+    pub enforcement: EnforcementPolicy,
 }
 
 impl ProxyConfig {
@@ -83,6 +118,7 @@ impl ProxyConfig {
             rewrite_cache_capacity: 256,
             harvest_per_row_ns: 1_000,
             granularity: TrackingGranularity::Row,
+            enforcement: EnforcementPolicy::Allow,
         }
     }
 
@@ -98,6 +134,12 @@ impl ProxyConfig {
     /// statement pays the full lex+parse+rewrite+print cost.
     pub fn without_rewrite_cache(mut self) -> Self {
         self.rewrite_cache_capacity = 0;
+        self
+    }
+
+    /// This configuration with `policy` applied to untracked statements.
+    pub fn with_enforcement(mut self, policy: EnforcementPolicy) -> Self {
+        self.enforcement = policy;
         self
     }
 }

@@ -47,6 +47,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod cache;
 mod config;
@@ -55,10 +56,11 @@ mod setup;
 mod tracker;
 
 pub use cache::{RewriteCache, RewriteCacheStats};
-pub use config::{ProxyConfig, TrackingGranularity};
+pub use config::{EnforcementPolicy, ProxyConfig, TrackingGranularity};
 pub use rewrite::{
     is_tracking_column, rewrite_create_table, rewrite_insert, rewrite_select, rewrite_update,
-    SelectRewrite, COLUMN_TRID_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
+    HarvestSource, SelectOutcome, SelectRewrite, SelectSkip, COLUMN_TRID_PREFIX, IDENTITY_COLUMN,
+    TRID_COLUMN,
 };
 pub use setup::{prepare_database, ANNOT_TABLE, PROV_TABLE, TRACKING_TABLES, TRANS_DEP_TABLE};
-pub use tracker::{ProxyTxnId, TrackingProxy};
+pub use tracker::{ProxyTxnId, TrackerStats, TrackerStatsSnapshot, TrackingProxy};

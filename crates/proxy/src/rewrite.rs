@@ -9,29 +9,11 @@ use resildb_engine::Flavor;
 
 use crate::config::TrackingGranularity;
 
-/// Name of the injected last-writer column.
-pub const TRID_COLUMN: &str = "trid";
-
-/// Prefix of the per-column last-writer stamps used by
-/// [`TrackingGranularity::Column`]: column `c` gets a companion
-/// `trid__c INTEGER`.
-pub const COLUMN_TRID_PREFIX: &str = "trid__";
-
-/// Whether `name` is one of the columns the tracking layer injects
-/// (`trid`, `trid__<col>`, or the Sybase identity `rid`).
-pub fn is_tracking_column(name: &str) -> bool {
-    // `get` rather than direct slicing: the prefix length may fall inside a
-    // multi-byte character of a non-ASCII column name.
-    name.eq_ignore_ascii_case(TRID_COLUMN)
-        || name.eq_ignore_ascii_case(IDENTITY_COLUMN)
-        || name
-            .get(..COLUMN_TRID_PREFIX.len())
-            .is_some_and(|p| p.eq_ignore_ascii_case(COLUMN_TRID_PREFIX))
-}
-
-/// Name of the identity column injected on flavors without a row-id
-/// pseudo-column (Sybase, paper §4.3).
-pub const IDENTITY_COLUMN: &str = "rid";
+// The tracking-column vocabulary is shared with the static analyzer and
+// the repair tool; it lives in `resildb-analyze` (the lowest common layer)
+// and is re-exported here for the proxy's historical public API.
+use resildb_analyze::{columns_read_for, select_has_aggregate};
+pub use resildb_analyze::{is_tracking_column, COLUMN_TRID_PREFIX, IDENTITY_COLUMN, TRID_COLUMN};
 
 /// Prefix of the aliases given to harvested trid projection items, so the
 /// tracker can strip them from results unambiguously.
@@ -56,24 +38,73 @@ pub struct HarvestSource {
     pub read_columns: Vec<String>,
 }
 
+/// Why [`rewrite_select`] left a SELECT untouched. Distinguishing the
+/// cases matters for soundness accounting: an aggregate or DISTINCT
+/// passthrough *loses* read dependencies (the paper's documented
+/// limitation), while a FROM-less select never had any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectSkip {
+    /// Aggregate or `GROUP BY` query: per-row trids are meaningless under
+    /// aggregation, so its reads go untracked.
+    Aggregate,
+    /// `SELECT DISTINCT`: appending trid columns would change which rows
+    /// are duplicates, so its reads go untracked.
+    Distinct,
+    /// No FROM clause (`SELECT 1`): reads no table, nothing to track.
+    NoFrom,
+}
+
+impl SelectSkip {
+    /// Whether the passthrough loses dependencies (as opposed to the
+    /// benign FROM-less case).
+    pub fn loses_dependencies(self) -> bool {
+        !matches!(self, SelectSkip::NoFrom)
+    }
+}
+
+/// The outcome of [`rewrite_select`]: either a rewritten statement with
+/// its harvest plan, or an explicit record of why the statement was passed
+/// through unmodified. Earlier revisions returned `Option` here, which
+/// made "rewritten dependencies" and "silently dropped dependencies"
+/// indistinguishable to callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectOutcome {
+    /// The SELECT was rewritten; harvest `plan` describes the appended
+    /// trid columns.
+    Rewritten {
+        /// The rewritten statement.
+        select: Select,
+        /// Provenance of the appended harvest columns.
+        plan: SelectRewrite,
+    },
+    /// The SELECT is forwarded as-is, for the recorded reason.
+    Passthrough(SelectSkip),
+}
+
+impl SelectOutcome {
+    /// The rewritten parts, for callers that only care about success.
+    pub fn rewritten(self) -> Option<(Select, SelectRewrite)> {
+        match self {
+            SelectOutcome::Rewritten { select, plan } => Some((select, plan)),
+            SelectOutcome::Passthrough(_) => None,
+        }
+    }
+}
+
 /// Rewrites a SELECT per Table 1: appends one `t.trid AS __tridN` item per
-/// FROM-table. Aggregate/grouped queries are returned unmodified (`None`),
-/// exactly as in the paper — per-row trids are meaningless under
-/// aggregation, a documented source of lost dependencies.
-pub fn rewrite_select(
-    sel: &Select,
-    granularity: TrackingGranularity,
-) -> Option<(Select, SelectRewrite)> {
-    let has_aggregate = !sel.group_by.is_empty()
-        || sel.items.iter().any(|i| match i {
-            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        });
-    // DISTINCT selects are also left alone: appending per-row trid columns
-    // would change which rows are duplicates. Like aggregates, their reads
-    // go untracked (a documented limitation).
-    if has_aggregate || sel.distinct || sel.from.is_empty() {
-        return None;
+/// FROM-table. Aggregate/grouped and DISTINCT queries are passed through
+/// with an explicit [`SelectSkip`], exactly as in the paper — per-row
+/// trids are meaningless under aggregation, a documented source of lost
+/// dependencies.
+pub fn rewrite_select(sel: &Select, granularity: TrackingGranularity) -> SelectOutcome {
+    if select_has_aggregate(sel) {
+        return SelectOutcome::Passthrough(SelectSkip::Aggregate);
+    }
+    if sel.distinct {
+        return SelectOutcome::Passthrough(SelectSkip::Distinct);
+    }
+    if sel.from.is_empty() {
+        return SelectOutcome::Passthrough(SelectSkip::NoFrom);
     }
     let mut rewritten = sel.clone();
     let mut harvested = Vec::with_capacity(sel.from.len());
@@ -133,44 +164,10 @@ pub fn rewrite_select(
             }
         }
     }
-    Some((rewritten, SelectRewrite { harvested }))
-}
-
-/// Columns of `binding` referenced anywhere in the statement (projection,
-/// WHERE, ORDER BY). Unqualified references are attributed to every
-/// binding, which errs toward keeping dependencies (false-positive-safe).
-fn columns_read_for(sel: &Select, binding: &str) -> Vec<String> {
-    let mut cols: Vec<String> = Vec::new();
-    let mut push = |c: &ColumnRef| {
-        let attribute = match &c.table {
-            Some(t) => t.eq_ignore_ascii_case(binding),
-            None => true,
-        };
-        if attribute {
-            let name = c.column.to_ascii_lowercase();
-            if !is_tracking_column(&name) && !cols.contains(&name) {
-                cols.push(name);
-            }
-        }
-    };
-    for item in &sel.items {
-        if let SelectItem::Expr { expr, .. } = item {
-            for c in expr.referenced_columns() {
-                push(&c);
-            }
-        }
+    SelectOutcome::Rewritten {
+        select: rewritten,
+        plan: SelectRewrite { harvested },
     }
-    if let Some(w) = &sel.where_clause {
-        for c in w.referenced_columns() {
-            push(&c);
-        }
-    }
-    for ob in &sel.order_by {
-        for c in ob.expr.referenced_columns() {
-            push(&c);
-        }
-    }
-    cols
 }
 
 /// Rewrites an UPDATE per Table 1: appends `trid = <cur_trid>` to the SET
@@ -346,7 +343,9 @@ mod tests {
     #[test]
     fn table1_row1_multi_table_select() {
         let s = sel("SELECT t1.a1, t1.a2, t2.a3 FROM t1, t2 WHERE t1.x = t2.x");
-        let (r, plan) = rewrite_select(&s, TrackingGranularity::Row).unwrap();
+        let (r, plan) = rewrite_select(&s, TrackingGranularity::Row)
+            .rewritten()
+            .unwrap();
         assert_eq!(
             r.to_string(),
             "SELECT t1.a1, t1.a2, t2.a3, t1.trid AS __trid0, t2.trid AS __trid1 \
@@ -360,7 +359,9 @@ mod tests {
     #[test]
     fn table1_row2_single_table_select() {
         let s = sel("SELECT t.a FROM t WHERE c = 1");
-        let (r, _) = rewrite_select(&s, TrackingGranularity::Row).unwrap();
+        let (r, _) = rewrite_select(&s, TrackingGranularity::Row)
+            .rewritten()
+            .unwrap();
         assert_eq!(
             r.to_string(),
             "SELECT t.a, t.trid AS __trid0 FROM t WHERE c = 1"
@@ -370,13 +371,17 @@ mod tests {
     #[test]
     fn table1_row3_aggregate_select_unchanged() {
         let s = sel("SELECT SUM(t.a) FROM t WHERE c = 1 GROUP BY t.b");
-        assert!(
-            rewrite_select(&s, TrackingGranularity::Row).is_none(),
+        assert_eq!(
+            rewrite_select(&s, TrackingGranularity::Row),
+            SelectOutcome::Passthrough(SelectSkip::Aggregate),
             "aggregates are not rewritten"
         );
         // Plain aggregates without GROUP BY are also left alone.
         let s2 = sel("SELECT COUNT(*) FROM t");
-        assert!(rewrite_select(&s2, TrackingGranularity::Row).is_none());
+        assert_eq!(
+            rewrite_select(&s2, TrackingGranularity::Row),
+            SelectOutcome::Passthrough(SelectSkip::Aggregate)
+        );
     }
 
     #[test]
@@ -412,7 +417,9 @@ mod tests {
     #[test]
     fn select_with_alias_uses_alias_for_trid() {
         let s = sel("SELECT c.c_balance FROM customer c WHERE c.c_id = 7");
-        let (r, plan) = rewrite_select(&s, TrackingGranularity::Row).unwrap();
+        let (r, plan) = rewrite_select(&s, TrackingGranularity::Row)
+            .rewritten()
+            .unwrap();
         assert!(r.to_string().contains("c.trid AS __trid0"));
         assert_eq!(plan.harvested[0].table, "customer");
     }
@@ -420,7 +427,9 @@ mod tests {
     #[test]
     fn provenance_captures_read_columns() {
         let s = sel("SELECT w.w_tax FROM warehouse w WHERE w.w_id = 3 ORDER BY w.w_name");
-        let (_, plan) = rewrite_select(&s, TrackingGranularity::Row).unwrap();
+        let (_, plan) = rewrite_select(&s, TrackingGranularity::Row)
+            .rewritten()
+            .unwrap();
         assert_eq!(
             plan.harvested[0].read_columns,
             vec!["w_tax", "w_id", "w_name"]
@@ -430,7 +439,9 @@ mod tests {
     #[test]
     fn unqualified_columns_attributed_to_all_tables() {
         let s = sel("SELECT a FROM t1, t2 WHERE b = 1");
-        let (_, plan) = rewrite_select(&s, TrackingGranularity::Row).unwrap();
+        let (_, plan) = rewrite_select(&s, TrackingGranularity::Row)
+            .rewritten()
+            .unwrap();
         assert_eq!(plan.harvested[0].read_columns, vec!["a", "b"]);
         assert_eq!(plan.harvested[1].read_columns, vec!["a", "b"]);
     }
@@ -502,13 +513,17 @@ mod tests {
     #[test]
     fn distinct_select_is_not_rewritten() {
         let s = sel("SELECT DISTINCT ol_i_id FROM order_line WHERE ol_w_id = 1");
-        assert!(rewrite_select(&s, TrackingGranularity::Row).is_none());
+        let out = rewrite_select(&s, TrackingGranularity::Row);
+        assert_eq!(out, SelectOutcome::Passthrough(SelectSkip::Distinct));
+        assert!(SelectSkip::Distinct.loses_dependencies());
     }
 
     #[test]
     fn select_without_from_is_not_rewritten() {
         let s = sel("SELECT 1");
-        assert!(rewrite_select(&s, TrackingGranularity::Row).is_none());
+        let out = rewrite_select(&s, TrackingGranularity::Row);
+        assert_eq!(out, SelectOutcome::Passthrough(SelectSkip::NoFrom));
+        assert!(!SelectSkip::NoFrom.loses_dependencies());
     }
 
     // ---- column-level tracking (§6 extension) --------------------------
@@ -516,7 +531,9 @@ mod tests {
     #[test]
     fn column_level_select_harvests_per_column_stamps() {
         let s = sel("SELECT w.w_tax FROM warehouse w WHERE w.w_id = 3");
-        let (r, plan) = rewrite_select(&s, TrackingGranularity::Column).unwrap();
+        let (r, plan) = rewrite_select(&s, TrackingGranularity::Column)
+            .rewritten()
+            .unwrap();
         assert_eq!(
             r.to_string(),
             "SELECT w.w_tax, w.trid__w_tax AS __trid0, w.trid__w_id AS __trid1 FROM warehouse w WHERE w.w_id = 3"
@@ -529,7 +546,9 @@ mod tests {
     #[test]
     fn column_level_wildcard_falls_back_to_row_stamp() {
         let s = sel("SELECT * FROM t");
-        let (r, plan) = rewrite_select(&s, TrackingGranularity::Column).unwrap();
+        let (r, plan) = rewrite_select(&s, TrackingGranularity::Column)
+            .rewritten()
+            .unwrap();
         assert!(r.to_string().contains("t.trid AS __trid0"));
         assert_eq!(plan.harvested.len(), 1);
     }

@@ -2,7 +2,7 @@
 //! and commit-time dependency recording.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use resildb_engine::{Database, EngineError, Value};
@@ -16,8 +16,10 @@ use resildb_wire::{
     LinkProfile, NativeDriver, Response, WireError,
 };
 
-use crate::cache::{CacheEntry, RewriteCache};
-use crate::config::ProxyConfig;
+use resildb_analyze::{classify_statement, Verdict};
+
+use crate::cache::{CacheEntry, CachedShape, RewriteCache};
+use crate::config::{EnforcementPolicy, ProxyConfig};
 use crate::rewrite::{
     rewrite_create_table, rewrite_insert, rewrite_insert_with, rewrite_select, rewrite_update,
     rewrite_update_with, COLUMN_TRID_PREFIX, HARVEST_ALIAS_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
@@ -33,6 +35,57 @@ impl std::fmt::Display for ProxyTxnId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "ptx:{}", self.0)
     }
+}
+
+/// Shared counters of the static-analysis enforcement layer: how many
+/// statements of each verdict class the proxy saw, and how many the
+/// [`EnforcementPolicy::Reject`] policy refused. Counted only when the
+/// policy is `Warn` or `Reject`; under `Allow` (the paper's behaviour) the
+/// classifier stays entirely off the statement path.
+#[derive(Debug, Default)]
+pub struct TrackerStats {
+    sound: AtomicU64,
+    degraded: AtomicU64,
+    untracked: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl TrackerStats {
+    fn count(&self, verdict: &Verdict) {
+        let counter = match verdict {
+            Verdict::Sound => &self.sound,
+            Verdict::Degraded(_) => &self.degraded,
+            Verdict::Untracked(_) => &self.untracked,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> TrackerStatsSnapshot {
+        TrackerStatsSnapshot {
+            sound: self.sound.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            untracked: self.untracked.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`TrackerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackerStatsSnapshot {
+    /// Statements classified fully soundly tracked.
+    pub sound: u64,
+    /// Statements classified degraded (tracked, but coarser).
+    pub degraded: u64,
+    /// Statements classified untracked (dependencies lost).
+    pub untracked: u64,
+    /// Untracked statements refused under [`EnforcementPolicy::Reject`].
+    pub rejected: u64,
 }
 
 /// Constructors for tracking-proxy drivers.
@@ -58,21 +111,28 @@ impl TrackingProxy {
     fn factory_inner(
         config: ProxyConfig,
         sim: Option<SimContext>,
-    ) -> (Box<dyn InterceptorFactory>, Arc<RewriteCache>) {
+    ) -> (
+        Box<dyn InterceptorFactory>,
+        Arc<RewriteCache>,
+        Arc<TrackerStats>,
+    ) {
         let counter = Arc::new(AtomicI64::new(1));
         let cache = Arc::new(RewriteCache::new(config.rewrite_cache_capacity));
-        let handle = Arc::clone(&cache);
+        let stats = Arc::new(TrackerStats::default());
+        let cache_handle = Arc::clone(&cache);
+        let stats_handle = Arc::clone(&stats);
         let factory = Box::new(move || {
             Box::new(Tracker {
                 config: config.clone(),
                 counter: Arc::clone(&counter),
                 cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
                 txn: None,
                 next_annotation: None,
                 sim: sim.clone(),
             }) as Box<dyn Interceptor>
         });
-        (factory, handle)
+        (factory, cache_handle, stats_handle)
     }
 
     /// Figure 1 deployment: client-side proxy driver over `link`.
@@ -93,8 +153,20 @@ impl TrackingProxy {
         config: ProxyConfig,
     ) -> (InterceptDriver<NativeDriver>, Arc<RewriteCache>) {
         let sim = db.sim().clone();
-        let (factory, cache) = Self::factory_inner(config, Some(sim));
+        let (factory, cache, _) = Self::factory_inner(config, Some(sim));
         (single_proxy(db, link, factory), cache)
+    }
+
+    /// Like [`Self::single_proxy`], additionally returning a handle to the
+    /// shared enforcement statistics (verdict and rejection counters).
+    pub fn single_proxy_with_stats(
+        db: Database,
+        link: LinkProfile,
+        config: ProxyConfig,
+    ) -> (InterceptDriver<NativeDriver>, Arc<TrackerStats>) {
+        let sim = db.sim().clone();
+        let (factory, _, stats) = Self::factory_inner(config, Some(sim));
+        (single_proxy(db, link, factory), stats)
     }
 
     /// Figure 2 deployment: client proxy + server proxy pair; the tracker
@@ -141,6 +213,8 @@ struct Tracker {
     /// Statement-shape → rewrite-template cache shared across all
     /// connections of this proxy factory.
     cache: Arc<RewriteCache>,
+    /// Enforcement counters shared across all connections.
+    stats: Arc<TrackerStats>,
     txn: Option<TxnTrack>,
     /// Annotation staged by `ANNOTATE` before the transaction begins.
     next_annotation: Option<String>,
@@ -227,6 +301,35 @@ impl Tracker {
             ))),
             Some(InjectedFault::Delay(_)) => unreachable!("fault_check consumes delays"),
         }
+    }
+
+    /// Classifies `stmt` for enforcement, or `None` when the statement is
+    /// exempt (the proxy's own tracking-table bookkeeping) or the policy
+    /// is [`EnforcementPolicy::Allow`] (classifier off the statement
+    /// path, the paper's behaviour).
+    fn classify_for_enforcement(&self, stmt: &Statement) -> Option<Verdict> {
+        if self.config.enforcement == EnforcementPolicy::Allow {
+            return None;
+        }
+        if let Some(first) = stmt.referenced_tables().first() {
+            if is_tracking_table(first) {
+                return None;
+            }
+        }
+        Some(classify_statement(stmt, self.config.granularity.into()))
+    }
+
+    /// Counts `verdict` and, under [`EnforcementPolicy::Reject`], refuses
+    /// untracked statements before they reach the DBMS.
+    fn enforce(&self, verdict: &Verdict) -> Result<(), WireError> {
+        self.stats.count(verdict);
+        if verdict.is_untracked() && self.config.enforcement == EnforcementPolicy::Reject {
+            self.stats.count_rejected();
+            return Err(WireError::Protocol(format!(
+                "statement refused by tracking enforcement policy: {verdict}"
+            )));
+        }
+        Ok(())
     }
 
     /// Forgets the current transaction and rolls the downstream one back,
@@ -398,7 +501,9 @@ impl Tracker {
             downstream.execute("BEGIN")?;
             self.txn = Some(TxnTrack::new(trid, false, annotation));
         }
-        let trid = self.txn.as_ref().expect("ensured above").trid;
+        let Some(trid) = self.txn.as_ref().map(|t| t.trid) else {
+            return Err(WireError::Protocol("transaction state missing".into()));
+        };
         let result = downstream.execute(&make_sql(trid));
         match result {
             Ok(resp) => {
@@ -409,7 +514,9 @@ impl Tracker {
                     // Tracking rows and COMMIT form one atomic unit (§3.3):
                     // any failure before the COMMIT succeeds aborts the
                     // whole transaction, on both sides.
-                    let t = self.txn.take().expect("created above");
+                    let Some(t) = self.txn.take() else {
+                        return Err(WireError::Protocol("transaction state missing".into()));
+                    };
                     let finished = if self.should_record(&t) {
                         self.write_tracking_rows(&t, downstream)
                     } else {
@@ -461,13 +568,15 @@ impl Tracker {
                     return None;
                 };
                 match rewrite_select(&sel, self.config.granularity) {
-                    Some((rewritten, plan)) => {
-                        let stmt = Statement::Select(rewritten);
+                    crate::rewrite::SelectOutcome::Rewritten { select, plan } => {
+                        let stmt = Statement::Select(select);
                         let order = collect_params(&stmt);
                         let tmpl = SqlTemplate::new(stmt.to_string(), &order)?;
                         Some(CacheEntry::Select { tmpl, plan })
                     }
-                    None => Some(CacheEntry::PassthroughStrip),
+                    crate::rewrite::SelectOutcome::Passthrough(_) => {
+                        Some(CacheEntry::PassthroughStrip)
+                    }
                 }
             }
             Statement::Insert(_) => {
@@ -601,11 +710,14 @@ impl Tracker {
                     return Ok(self.strip_only(resp));
                 }
                 match rewrite_select(sel, self.config.granularity) {
-                    Some((rewritten, plan)) => {
-                        let resp = downstream.execute(&rewritten.to_string())?;
+                    crate::rewrite::SelectOutcome::Rewritten { select, plan } => {
+                        let resp = downstream.execute(&select.to_string())?;
                         self.harvest_and_strip(resp, &plan)
                     }
-                    None => {
+                    // The skip reason is already accounted for by the
+                    // statically computed verdict (enforcement layer); here
+                    // the statement is simply forwarded.
+                    crate::rewrite::SelectOutcome::Passthrough(_) => {
                         let resp = downstream.execute(sql)?;
                         Ok(self.strip_only(resp))
                     }
@@ -678,16 +790,31 @@ impl Tracker {
         // the full lex/parse/rewrite/print pipeline.
         if self.cache.enabled() {
             if let Some(scan) = scan_statement(sql) {
-                if let Some(entry) = self.cache.lookup(scan.fingerprint, scan.spans.len()) {
+                if let Some(shape) = self.cache.lookup(scan.fingerprint, scan.spans.len()) {
                     self.charge_rewrite_cached();
-                    return self.execute_cached(&entry, sql, &scan, downstream);
+                    // The verdict was computed once on the cold path; on
+                    // hits enforcement costs one enum inspection.
+                    if let Some(v) = &shape.verdict {
+                        self.enforce(v)?;
+                    }
+                    return self.execute_cached(&shape.entry, sql, &scan, downstream);
                 }
                 let stmt = resildb_sql::parse_statement(sql).map_err(|e| {
                     WireError::Protocol(format!("proxy cannot parse statement: {e}"))
                 })?;
                 self.charge_rewrite();
+                let verdict = self.classify_for_enforcement(&stmt);
                 if let Some(entry) = self.build_entry(sql, &scan, &stmt) {
-                    self.cache.insert(scan.fingerprint, entry);
+                    self.cache.insert(
+                        scan.fingerprint,
+                        CachedShape {
+                            entry,
+                            verdict: verdict.clone(),
+                        },
+                    );
+                }
+                if let Some(v) = &verdict {
+                    self.enforce(v)?;
                 }
                 return self.execute_cold(&stmt, sql, downstream);
             }
@@ -696,6 +823,9 @@ impl Tracker {
         let stmt = resildb_sql::parse_statement(sql)
             .map_err(|e| WireError::Protocol(format!("proxy cannot parse statement: {e}")))?;
         self.charge_rewrite();
+        if let Some(v) = self.classify_for_enforcement(&stmt) {
+            self.enforce(&v)?;
+        }
         self.execute_cold(&stmt, sql, downstream)
     }
 }

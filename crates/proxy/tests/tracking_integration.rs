@@ -1,5 +1,7 @@
 //! End-to-end tests of the tracking proxy against a live engine.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, WireError};

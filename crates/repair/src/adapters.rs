@@ -60,6 +60,11 @@ pub fn adapter_for(flavor: Flavor) -> Box<dyn LogAdapter> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PostgresAdapter;
 
+/// A log-record field the adapter cannot proceed without.
+fn require<T>(v: Option<T>, what: &str) -> Result<T> {
+    v.ok_or_else(|| EngineError::Internal(format!("log record missing {what}")))
+}
+
 fn named(db: &Database, table: &str, row: &resildb_engine::Row) -> Result<NamedRow> {
     let schema = db.table(table)?.read().schema().clone();
     Ok(schema
@@ -76,23 +81,31 @@ impl LogAdapter for PostgresAdapter {
         for rec in introspect::waldump(db)? {
             let op = match rec.op_name.as_str() {
                 "INSERT" => {
-                    let row = rec.after.as_ref().expect("insert has after image");
+                    let row = require(rec.after.as_ref(), "insert after image")?;
                     RepairOp::Insert {
-                        address: RowAddress::Pseudo(rec.rowid.expect("insert has rowid")),
-                        row: named(db, rec.table.as_ref().expect("has table"), row)?,
+                        address: RowAddress::Pseudo(require(rec.rowid, "insert rowid")?),
+                        row: named(db, require(rec.table.as_ref(), "table name")?, row)?,
                     }
                 }
                 "DELETE" => {
-                    let row = rec.before.as_ref().expect("delete has before image");
+                    let row = require(rec.before.as_ref(), "delete before image")?;
                     RepairOp::Delete {
-                        address: RowAddress::Pseudo(rec.rowid.expect("delete has rowid")),
-                        row: named(db, rec.table.as_ref().expect("has table"), row)?,
+                        address: RowAddress::Pseudo(require(rec.rowid, "delete rowid")?),
+                        row: named(db, require(rec.table.as_ref(), "table name")?, row)?,
                     }
                 }
                 "UPDATE" => {
-                    let table = rec.table.as_ref().expect("has table");
-                    let before_full = named(db, table, rec.before.as_ref().expect("before"))?;
-                    let after_full = named(db, table, rec.after.as_ref().expect("after"))?;
+                    let table = require(rec.table.as_ref(), "table name")?;
+                    let before_full = named(
+                        db,
+                        table,
+                        require(rec.before.as_ref(), "update before image")?,
+                    )?;
+                    let after_full = named(
+                        db,
+                        table,
+                        require(rec.after.as_ref(), "update after image")?,
+                    )?;
                     // Restrict to changed columns, the common denominator.
                     let mut before = Vec::new();
                     let mut after = Vec::new();
@@ -103,7 +116,7 @@ impl LogAdapter for PostgresAdapter {
                         }
                     }
                     RepairOp::Update {
-                        address: RowAddress::Pseudo(rec.rowid.expect("update has rowid")),
+                        address: RowAddress::Pseudo(require(rec.rowid, "update rowid")?),
                         before: NamedRow(before),
                         after: NamedRow(after),
                     }
@@ -176,7 +189,8 @@ impl LogAdapter for OracleAdapter {
         for rec in introspect::logminer(db)? {
             let op = match rec.operation.as_str() {
                 "INSERT" => {
-                    let Statement::Insert(ins) = parse_stmt(rec.sql_redo.as_ref().expect("redo"))?
+                    let Statement::Insert(ins) =
+                        parse_stmt(require(rec.sql_redo.as_ref(), "redo SQL")?)?
                     else {
                         return Err(EngineError::Internal("redo of INSERT not an INSERT".into()));
                     };
@@ -189,13 +203,14 @@ impl LogAdapter for OracleAdapter {
                         .into_iter()
                         .collect();
                     RepairOp::Insert {
-                        address: RowAddress::Pseudo(rec.row_id.expect("insert rowid")),
+                        address: RowAddress::Pseudo(require(rec.row_id, "insert rowid")?),
                         row,
                     }
                 }
                 "DELETE" => {
                     // The undo of a DELETE is the re-inserting INSERT.
-                    let Statement::Insert(ins) = parse_stmt(rec.sql_undo.as_ref().expect("undo"))?
+                    let Statement::Insert(ins) =
+                        parse_stmt(require(rec.sql_undo.as_ref(), "undo SQL")?)?
                     else {
                         return Err(EngineError::Internal("undo of DELETE not an INSERT".into()));
                     };
@@ -208,16 +223,18 @@ impl LogAdapter for OracleAdapter {
                         .into_iter()
                         .collect();
                     RepairOp::Delete {
-                        address: RowAddress::Pseudo(rec.row_id.expect("delete rowid")),
+                        address: RowAddress::Pseudo(require(rec.row_id, "delete rowid")?),
                         row,
                     }
                 }
                 "UPDATE" => {
-                    let Statement::Update(redo) = parse_stmt(rec.sql_redo.as_ref().expect("redo"))?
+                    let Statement::Update(redo) =
+                        parse_stmt(require(rec.sql_redo.as_ref(), "redo SQL")?)?
                     else {
                         return Err(EngineError::Internal("redo of UPDATE not an UPDATE".into()));
                     };
-                    let Statement::Update(undo) = parse_stmt(rec.sql_undo.as_ref().expect("undo"))?
+                    let Statement::Update(undo) =
+                        parse_stmt(require(rec.sql_undo.as_ref(), "undo SQL")?)?
                     else {
                         return Err(EngineError::Internal("undo of UPDATE not an UPDATE".into()));
                     };

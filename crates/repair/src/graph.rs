@@ -48,6 +48,26 @@ pub enum FalseDepRule {
 }
 
 impl FalseDepRule {
+    /// Builds [`FalseDepRule::IgnoreDerivedColumns`] rules from the static
+    /// analyzer's derivable-column inference, one rule per table. This
+    /// replaces hand-maintained DBA rule lists for the pure-accumulator
+    /// pattern (TPC-C's `w_ytd` et al.): a column the workload only ever
+    /// self-increments and never reads cannot carry information flow, so
+    /// dependencies that exist only through it are false.
+    pub fn from_derivable_columns(cols: &[resildb_analyze::DerivableColumn]) -> Vec<FalseDepRule> {
+        let mut by_table: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for c in cols {
+            let cols = by_table.entry(c.table.clone()).or_default();
+            if !cols.iter().any(|x| x.eq_ignore_ascii_case(&c.column)) {
+                cols.push(c.column.clone());
+            }
+        }
+        by_table
+            .into_iter()
+            .map(|(table, columns)| FalseDepRule::IgnoreDerivedColumns { table, columns })
+            .collect()
+    }
+
     /// Whether this rule dismisses an edge provenance, given the columns
     /// the *writer* (the depended-on transaction) changed in that table.
     fn ignores(&self, prov: &EdgeProvenance, writer_changed: Option<&BTreeSet<String>>) -> bool {
@@ -70,11 +90,17 @@ impl FalseDepRule {
                     return false;
                 }
                 // And the reader (if we know what it read) must not have
-                // consumed the derived columns.
+                // consumed the derived columns. Empty provenance means the
+                // read columns are *unknown* (wildcard selects leave none),
+                // not "read nothing": the reader may well have consumed the
+                // derived column, so the edge must be kept.
                 match &prov.kind {
-                    EdgeKind::Read { read_columns } => !read_columns
-                        .iter()
-                        .any(|c| columns.iter().any(|d| d.eq_ignore_ascii_case(c))),
+                    EdgeKind::Read { read_columns } => {
+                        !read_columns.is_empty()
+                            && !read_columns
+                                .iter()
+                                .any(|c| columns.iter().any(|d| d.eq_ignore_ascii_case(c)))
+                    }
                     EdgeKind::Write => true,
                 }
             }
@@ -295,6 +321,38 @@ mod tests {
     }
 
     #[test]
+    fn rules_from_derivable_columns_group_per_table() {
+        let derivable = vec![
+            resildb_analyze::DerivableColumn {
+                table: "warehouse".into(),
+                column: "w_ytd".into(),
+            },
+            resildb_analyze::DerivableColumn {
+                table: "district".into(),
+                column: "d_ytd".into(),
+            },
+            resildb_analyze::DerivableColumn {
+                table: "warehouse".into(),
+                column: "W_YTD".into(), // case-insensitive duplicate
+            },
+        ];
+        let rules = FalseDepRule::from_derivable_columns(&derivable);
+        assert_eq!(
+            rules,
+            vec![
+                FalseDepRule::IgnoreDerivedColumns {
+                    table: "district".into(),
+                    columns: vec!["d_ytd".into()],
+                },
+                FalseDepRule::IgnoreDerivedColumns {
+                    table: "warehouse".into(),
+                    columns: vec!["w_ytd".into()],
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn derived_columns_rule_matches_paper_scenario() {
         // Payment (txn 1) only bumps warehouse.w_ytd. New-Order (txn 2)
         // reads warehouse.w_tax — a row-level false dependency. A report
@@ -347,6 +405,20 @@ mod tests {
             columns: vec!["w_ytd".into()],
         }];
         assert_eq!(g.closure(&[1], &rules), [1].into_iter().collect());
+    }
+
+    #[test]
+    fn unknown_read_columns_keep_the_edge() {
+        // A wildcard select records no read columns; the reader may have
+        // consumed w_ytd, so the derived-column rule must not discard it.
+        let mut g = DepGraph::new();
+        g.note_writer_columns(1, "warehouse", ["w_ytd".to_string(), "trid".to_string()]);
+        g.add_edge(2, 1, read_edge(&[]));
+        let rules = vec![FalseDepRule::IgnoreDerivedColumns {
+            table: "warehouse".into(),
+            columns: vec!["w_ytd".into()],
+        }];
+        assert_eq!(g.closure(&[1], &rules), [1, 2].into_iter().collect());
     }
 
     #[test]

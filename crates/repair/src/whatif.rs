@@ -85,6 +85,19 @@ impl<'a> WhatIfSession<'a> {
         self
     }
 
+    /// Activates [`FalseDepRule::IgnoreDerivedColumns`] rules built from
+    /// the static analyzer's derivable-column inference (one rule per
+    /// table), the machine-checked replacement for hand-written DBA rules.
+    pub fn add_inferred_rules(
+        &mut self,
+        derivable: &[resildb_analyze::DerivableColumn],
+    ) -> &mut Self {
+        for rule in FalseDepRule::from_derivable_columns(derivable) {
+            self.add_rule(rule);
+        }
+        self
+    }
+
     /// Forces a transaction into the undo set regardless of dependency
     /// analysis — the DBA's remedy for the §3.1 false-*negative* cases
     /// (dependencies the tracker cannot see, like the service-fee
@@ -278,6 +291,87 @@ mod tests {
         wi.add_initial(attack);
         assert!(wi.summary().contains("undo 2 of 3"));
         assert!(wi.to_dot().contains("fillcolor"));
+    }
+
+    #[test]
+    fn inferred_derivable_columns_shrink_the_undo_set() {
+        // End to end: the static analyzer infers `warehouse.w_ytd` from the
+        // workload's own statements, the session consumes the inference via
+        // `add_inferred_rules`, and the Payment→New-Order row-level false
+        // dependency disappears from the undo set.
+        let db = Database::in_memory(Flavor::Postgres);
+        let native = NativeDriver::new(db.clone(), LinkProfile::local());
+        prepare_database(&mut *native.connect().unwrap()).unwrap();
+        let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), {
+            let mut c = ProxyConfig::new(Flavor::Postgres);
+            c.record_read_only_deps = true;
+            c
+        });
+        let mut conn = driver.connect().unwrap();
+        conn.execute(
+            "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_tax INTEGER, w_ytd INTEGER)",
+        )
+        .unwrap();
+        conn.execute("CREATE TABLE orders (o_id INTEGER PRIMARY KEY, o_w_id INTEGER)")
+            .unwrap();
+        conn.execute("INSERT INTO warehouse (w_id, w_tax, w_ytd) VALUES (1, 7, 0)")
+            .unwrap();
+
+        // The application's statement corpus: Payment bumps the year-to-
+        // date accumulator, New-Order reads the tax rate from the same row.
+        let payment = ["UPDATE warehouse SET w_ytd = w_ytd + 10 WHERE w_id = 1"];
+        let neworder = [
+            "SELECT w_tax FROM warehouse WHERE w_id = 1",
+            "INSERT INTO orders (o_id, o_w_id) VALUES (1, 1)",
+        ];
+        for (label, stmts) in [("payment", &payment[..]), ("neworder", &neworder[..])] {
+            conn.execute(&format!("ANNOTATE {label}")).unwrap();
+            conn.execute("BEGIN").unwrap();
+            for s in stmts {
+                conn.execute(s).unwrap();
+            }
+            conn.execute("COMMIT").unwrap();
+        }
+        let id = |label: &str| {
+            let mut s = db.session();
+            match s
+                .query(&format!("SELECT tr_id FROM annot WHERE descr = '{label}'"))
+                .unwrap()
+                .rows[0][0]
+            {
+                Value::Int(v) => v,
+                ref other => panic!("{other:?}"),
+            }
+        };
+        let (payment_id, neworder_id) = (id("payment"), id("neworder"));
+
+        // Static inference over the same corpus finds the accumulator.
+        let corpus: Vec<resildb_sql::Statement> = payment
+            .iter()
+            .chain(&neworder)
+            .map(|s| resildb_sql::parse_statement(s).unwrap())
+            .collect();
+        let derivable = resildb_analyze::infer_derivable_columns(&corpus, None);
+        assert_eq!(
+            derivable.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+            ["warehouse.w_ytd"]
+        );
+
+        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let mut wi = WhatIfSession::new(&analysis);
+        wi.add_initial(payment_id);
+        assert!(
+            wi.undo_set().contains(&neworder_id),
+            "row-level tracking makes New-Order depend on Payment"
+        );
+        wi.add_inferred_rules(&derivable);
+        assert_eq!(wi.rules().len(), 1);
+        let undo = wi.undo_set();
+        assert!(undo.contains(&payment_id));
+        assert!(
+            !undo.contains(&neworder_id),
+            "the inferred w_ytd rule discards the false dependency: {undo:?}"
+        );
     }
 
     #[test]

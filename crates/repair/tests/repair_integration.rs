@@ -1,5 +1,7 @@
 //! End-to-end repair scenarios: attack, analyze, selectively undo, verify.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::collections::BTreeSet;
 
 use resildb_engine::{Database, Flavor, Value};

@@ -2,6 +2,8 @@
 //! multi-page Sybase offset adjustment, deep dependency chains, and
 //! concurrent tracked clients.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
 use resildb_repair::RepairTool;

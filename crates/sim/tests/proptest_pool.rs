@@ -1,5 +1,7 @@
 //! Property tests for the LRU buffer pool against a naive reference model.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::collections::VecDeque;
 
 use proptest::prelude::*;

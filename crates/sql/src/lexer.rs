@@ -175,9 +175,12 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one full UTF-8 character.
+                    // Consume one full UTF-8 character (peek saw a byte,
+                    // so the iterator cannot be empty).
                     let rest = &self.input[self.pos..];
-                    let ch = rest.chars().next().expect("peeked non-empty");
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    };
                     value.push(ch);
                     self.pos += ch.len_utf8();
                 }

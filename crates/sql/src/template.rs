@@ -575,7 +575,8 @@ fn format_i64(v: i64, buf: &mut [u8; 21]) -> &str {
         i -= 1;
         buf[i] = b'-';
     }
-    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+    // The buffer holds only ASCII digits and an optional sign.
+    std::str::from_utf8(&buf[i..]).unwrap_or("0")
 }
 
 /// Parses the typed value of a masked literal from its source text,

@@ -2,6 +2,8 @@
 //! text that re-parses to the identical AST. This is the core guarantee the
 //! tracking proxy's rewrite-and-resend pipeline depends on.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use resildb_sql::{
     Assignment, BinaryOp, ColumnRef, Delete, Expr, Insert, Literal, OrderByItem, Select,

@@ -1,0 +1,111 @@
+//! A deterministic TPC-C statement corpus for the static analyzer.
+//!
+//! `resildb-lint` ships a built-in workload so soundness coverage can be
+//! gated in CI without checked-in SQL fixtures. Rather than duplicating
+//! the transaction SQL (which would drift from [`crate::TpccRunner`]), the
+//! corpus is *recorded*: the five transactions run against a real
+//! in-memory database behind a connection wrapper that captures every
+//! statement as submitted. The schema DDL is included so the analyzer can
+//! build a schema snapshot and the derivability pass can expand wildcards.
+
+use resildb_engine::{Database, Flavor};
+use resildb_sql::Literal;
+use resildb_wire::{
+    Connection, Driver, LinkProfile, NativeDriver, Response, StatementHandle, WireError,
+};
+
+use crate::{Loader, TpccConfig, TpccRunner, TxnKind};
+
+/// The schema DDL, one `CREATE TABLE` per TPC-C table in creation order.
+pub fn ddl_statements() -> &'static [&'static str] {
+    crate::schema::ddl()
+}
+
+struct RecordingConnection {
+    inner: Box<dyn Connection>,
+    recorded: Vec<String>,
+}
+
+impl Connection for RecordingConnection {
+    fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
+        self.recorded.push(sql.to_string());
+        self.inner.execute(sql)
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle, WireError> {
+        self.recorded.push(sql.to_string());
+        self.inner.prepare(sql)
+    }
+
+    fn execute_prepared(
+        &mut self,
+        handle: StatementHandle,
+        params: &[Literal],
+    ) -> Result<Response, WireError> {
+        self.inner.execute_prepared(handle, params)
+    }
+}
+
+/// Records the statements of a deterministic TPC-C run: the nine
+/// `CREATE TABLE`s followed by `rounds` rounds of all five transaction
+/// types against a freshly loaded tiny database. Same seed, same corpus.
+///
+/// # Panics
+///
+/// Only if the bundled engine cannot execute its own workload, which
+/// would be a bug in this crate.
+#[allow(clippy::expect_used)]
+pub fn record_corpus(rounds: usize, seed: u64) -> Vec<String> {
+    let db = Database::in_memory(Flavor::Postgres);
+    let driver = NativeDriver::new(db, LinkProfile::local());
+    let config = TpccConfig::tiny();
+    {
+        let mut conn = driver.connect().expect("in-memory connect");
+        Loader::new(config.clone(), seed)
+            .load(&mut *conn)
+            .expect("tpcc load");
+    }
+    let mut recorder = RecordingConnection {
+        inner: driver.connect().expect("in-memory connect"),
+        recorded: ddl_statements().iter().map(ToString::to_string).collect(),
+    };
+    // ANNOTATE pseudo-statements only exist behind the proxy; the recorder
+    // talks to the engine directly, so they are disabled here.
+    let mut runner = TpccRunner::new(config, seed).without_annotations();
+    for _ in 0..rounds {
+        for kind in [
+            TxnKind::NewOrder,
+            TxnKind::Payment,
+            TxnKind::Delivery,
+            TxnKind::OrderStatus,
+            TxnKind::StockLevel,
+        ] {
+            runner
+                .run(&mut recorder, kind)
+                .expect("tpcc transaction on fresh tiny load");
+        }
+    }
+    recorder.recorded
+}
+
+/// The default lint corpus: three rounds of the five transactions plus the
+/// schema DDL, from a fixed seed.
+pub fn statement_corpus() -> Vec<String> {
+    record_corpus(3, 42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_nontrivial() {
+        let a = statement_corpus();
+        let b = statement_corpus();
+        assert_eq!(a, b);
+        assert!(a.len() > 50, "only {} statements", a.len());
+        assert_eq!(&a[..9], ddl_statements());
+        assert!(a.iter().any(|s| s.contains("w_ytd = w_ytd +")));
+        assert!(a.iter().skip(9).any(|s| s.starts_with("BEGIN")));
+    }
+}

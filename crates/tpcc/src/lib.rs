@@ -34,10 +34,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod attack;
 mod config;
+mod corpus;
 mod loader;
 mod mix;
 mod schema;
@@ -45,6 +47,7 @@ mod txn;
 
 pub use attack::{Attack, AttackKind, ATTACK_LABEL};
 pub use config::TpccConfig;
+pub use corpus::{ddl_statements, record_corpus, statement_corpus};
 pub use loader::Loader;
 pub use mix::{Mix, MixKind};
 pub use schema::{create_tables, TPCC_TABLES};

@@ -50,6 +50,11 @@ const DDL: [&str; 9] = [
      s_data VARCHAR(50), PRIMARY KEY (s_w_id, s_i_id))",
 ];
 
+/// The DDL strings, for corpus recording.
+pub(crate) fn ddl() -> &'static [&'static str] {
+    &DDL
+}
+
 /// Issues the nine `CREATE TABLE` statements over `conn`. Run this through
 /// the tracking proxy so every table transparently receives its `trid`
 /// column (and, on Sybase, the identity column).

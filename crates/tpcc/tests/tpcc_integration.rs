@@ -1,5 +1,7 @@
 //! TPC-C workloads run end-to-end, with and without the tracking proxy.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
 use resildb_tpcc::{Attack, AttackKind, Loader, Mix, MixKind, TpccConfig, TpccRunner, TxnKind};

@@ -128,10 +128,12 @@ impl std::fmt::Debug for PooledConnection {
 
 impl Connection for PooledConnection {
     fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
-        self.conn
-            .as_mut()
-            .expect("connection present until drop")
-            .execute(sql)
+        match self.conn.as_mut() {
+            Some(conn) => conn.execute(sql),
+            None => Err(WireError::Protocol(
+                "pooled connection already returned".into(),
+            )),
+        }
     }
 }
 

@@ -1,6 +1,8 @@
 //! Wire-layer integration: pooling over proxy drivers, concurrent clients,
 //! and cost accounting across the deployment architectures.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{Database, Flavor};
 use resildb_sim::{CostModel, Micros, SimContext};
 use resildb_wire::{

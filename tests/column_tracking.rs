@@ -1,6 +1,8 @@
 //! End-to-end tests of column-level (per-attribute) dependency tracking —
 //! the §6 extension: false sharing disappears *without* any DBA rules.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{Flavor, ResilientDb, TrackingGranularity, Value};
 
 #[test]

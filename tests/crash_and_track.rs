@@ -2,6 +2,8 @@
 //! dependency records live in regular tables and the WAL, so they survive
 //! a crash, and repair still works afterwards.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{Flavor, ResilientDb, Value};
 
 #[test]

@@ -1,6 +1,8 @@
 //! Cross-crate end-to-end test: TPC-C workload through the facade, attack
 //! injection, dependency analysis, selective repair, state verification.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{FalseDepRule, Flavor, ResilientDb, Value};
 use resildb_tpcc::{Attack, AttackKind, Loader, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
 

@@ -13,6 +13,8 @@
 //! 3. a failed repair sweep rolls the database back to its pre-repair
 //!    state.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{
     failpoints, FaultAction, FaultTrigger, Flavor, Micros, ResilientDb, Response, Value, WireError,
 };

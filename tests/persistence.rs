@@ -2,6 +2,8 @@
 //! "new process" retains its data, its tracking state, and — crucially —
 //! its repairability.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{Database, Flavor, ResilientDb, SimContext, Value};
 
 fn temp_path(tag: &str) -> std::path::PathBuf {

@@ -2,6 +2,8 @@
 //! and repair produce identical logical results on all three flavors, even
 //! though each flavor's log pipeline is completely different.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{Flavor, ResilientDb, Value};
 
 /// Runs a fixed banking scenario on one flavor and returns

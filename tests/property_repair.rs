@@ -12,6 +12,8 @@
 //! dependency through absence, which row-based read-set tracking cannot
 //! see — the false-negative class the paper's §3.1 discusses.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

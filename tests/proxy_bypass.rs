@@ -4,6 +4,8 @@
 //! back. These tests document that limitation and show the dual-proxy
 //! deployment's tracking still covers proxied clients.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_core::{Flavor, ProxyPlacement, ResilientDb, Value};
 
 #[test]

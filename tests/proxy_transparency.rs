@@ -7,6 +7,8 @@
 //! modifications" extends to application-visible semantics — turned into
 //! an executable property.
 
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,223 @@
+//! Integration tests for the static trackability analyzer wired into the
+//! proxy enforcement path, plus a differential property test checking the
+//! analyzer's verdicts against what the dynamic tracker actually records.
+
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use resildb_analyze::{Analyzer, Granularity};
+use resildb_engine::{Database, Flavor, Value};
+use resildb_proxy::{prepare_database, EnforcementPolicy, ProxyConfig, TrackingProxy};
+use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, WireError};
+
+/// A tracking proxy plus its statistics handle over a fresh database.
+fn proxy_with(
+    policy: EnforcementPolicy,
+    read_only_deps: bool,
+) -> (
+    Database,
+    Box<dyn Connection>,
+    std::sync::Arc<resildb_proxy::TrackerStats>,
+) {
+    let db = Database::in_memory(Flavor::Postgres);
+    let native = NativeDriver::new(db.clone(), LinkProfile::local());
+    prepare_database(&mut *native.connect().unwrap()).unwrap();
+    let mut config = ProxyConfig::new(Flavor::Postgres).with_enforcement(policy);
+    config.record_read_only_deps = read_only_deps;
+    let (driver, stats) =
+        TrackingProxy::single_proxy_with_stats(db.clone(), LinkProfile::local(), config);
+    let conn = driver.connect().unwrap();
+    (db, conn, stats)
+}
+
+#[test]
+fn reject_policy_refuses_untracked_statements() {
+    let (db, mut conn, stats) = proxy_with(EnforcementPolicy::Reject, false);
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        .unwrap();
+
+    // An aggregate read loses its row-level dependencies: refused before
+    // it reaches the DBMS.
+    let err = conn.execute("SELECT COUNT(v) FROM t").unwrap_err();
+    match err {
+        WireError::Protocol(msg) => {
+            assert!(msg.contains("refused"), "{msg}");
+            assert!(msg.contains("U-AGG"), "{msg}");
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+
+    // Trackable statements pass unharmed.
+    let resp = conn.execute("SELECT v FROM t WHERE id = 1").unwrap();
+    match resp {
+        resildb_wire::Response::Rows(r) => assert_eq!(r.rows, vec![vec![Value::Int(10)]]),
+        other => panic!("{other:?}"),
+    }
+
+    let snap = stats.snapshot();
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(snap.untracked, 1);
+    assert!(snap.sound >= 2, "{snap:?}");
+    // The refused statement left no trace in the dependency tables.
+    assert_eq!(db.row_count("trans_dep").unwrap(), 1); // the INSERT only
+}
+
+#[test]
+fn reject_policy_applies_on_rewrite_cache_hits_too() {
+    let (_db, mut conn, stats) = proxy_with(EnforcementPolicy::Reject, false);
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    // Same statement shape twice: the second execution takes the cached
+    // path and must still be refused via the memoised verdict.
+    assert!(conn.execute("SELECT MAX(v) FROM t").is_err());
+    assert!(conn.execute("SELECT MAX(v) FROM t").is_err());
+    assert_eq!(stats.snapshot().rejected, 2);
+}
+
+#[test]
+fn warn_policy_forwards_but_counts() {
+    let (_db, mut conn, stats) = proxy_with(EnforcementPolicy::Warn, false);
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        .unwrap();
+    // Forwarded despite being untracked…
+    conn.execute("SELECT COUNT(v) FROM t").unwrap();
+    // …but the audit trail knows.
+    let snap = stats.snapshot();
+    assert_eq!(snap.untracked, 1);
+    assert_eq!(snap.rejected, 0);
+    assert!(snap.sound >= 2, "{snap:?}");
+}
+
+#[test]
+fn allow_policy_keeps_the_classifier_off_the_statement_path() {
+    let (_db, mut conn, stats) = proxy_with(EnforcementPolicy::Allow, false);
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        .unwrap();
+    conn.execute("SELECT COUNT(v) FROM t").unwrap();
+    // The paper's behaviour: nothing classified, nothing counted.
+    let snap = stats.snapshot();
+    assert_eq!(
+        (snap.sound, snap.degraded, snap.untracked, snap.rejected),
+        (0, 0, 0, 0)
+    );
+}
+
+/// Reader statement shapes spanning the verdict lattice.
+#[derive(Debug, Clone)]
+enum ReaderShape {
+    /// `SELECT v FROM t WHERE id = k` — sound.
+    Point,
+    /// `SELECT id, v FROM t` — sound.
+    Scan,
+    /// `SELECT COUNT(v) FROM t` — untracked (U-AGG).
+    Count,
+    /// `SELECT MAX(v) FROM t` — untracked (U-AGG).
+    Max,
+    /// `SELECT DISTINCT v FROM t` — untracked (U-DISTINCT).
+    Distinct,
+}
+
+impl ReaderShape {
+    fn sql(&self, k: i64) -> String {
+        match self {
+            ReaderShape::Point => format!("SELECT v FROM t WHERE id = {k}"),
+            ReaderShape::Scan => "SELECT id, v FROM t".into(),
+            ReaderShape::Count => "SELECT COUNT(v) FROM t".into(),
+            ReaderShape::Max => "SELECT MAX(v) FROM t".into(),
+            ReaderShape::Distinct => "SELECT DISTINCT v FROM t".into(),
+        }
+    }
+}
+
+fn reader_shape() -> impl Strategy<Value = ReaderShape> {
+    prop_oneof![
+        Just(ReaderShape::Point),
+        Just(ReaderShape::Scan),
+        Just(ReaderShape::Count),
+        Just(ReaderShape::Max),
+        Just(ReaderShape::Distinct),
+    ]
+}
+
+/// The proxy transaction id recorded in `annot` for `label`.
+fn txn_id(db: &Database, label: &str) -> i64 {
+    let mut s = db.session();
+    match s
+        .query(&format!("SELECT tr_id FROM annot WHERE descr = '{label}'"))
+        .unwrap()
+        .rows[0][0]
+    {
+        Value::Int(v) => v,
+        ref other => panic!("{other:?}"),
+    }
+}
+
+/// Every dependency recorded for `reader` (dep lists may span rows).
+fn deps_of(db: &Database, reader: i64) -> Vec<i64> {
+    let mut s = db.session();
+    s.query(&format!(
+        "SELECT dep_tr_ids FROM trans_dep WHERE tr_id = {reader}"
+    ))
+    .unwrap()
+    .rows
+    .iter()
+    .flat_map(|row| match &row[0] {
+        Value::Str(list) => list
+            .split_whitespace()
+            .map(|t| t.parse::<i64>().unwrap())
+            .collect::<Vec<_>>(),
+        other => panic!("{other:?}"),
+    })
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Differential check of the static verdict against the dynamic
+    /// tracker: a statement the analyzer calls *sound* must yield the
+    /// writer in the reader's recorded dependency set, and a statement it
+    /// calls *untracked* must demonstrably lose that dependency.
+    #[test]
+    fn static_verdict_predicts_dynamic_dependency_capture(
+        k in 1i64..50,
+        shape in reader_shape(),
+    ) {
+        let (db, mut conn, _stats) = proxy_with(EnforcementPolicy::Allow, true);
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+
+        conn.execute("ANNOTATE writer").unwrap();
+        conn.execute(&format!("INSERT INTO t (id, v) VALUES ({k}, {k})")).unwrap();
+
+        let sql = shape.sql(k);
+        conn.execute("ANNOTATE reader").unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute(&sql).unwrap();
+        conn.execute("COMMIT").unwrap();
+
+        let writer = txn_id(&db, "writer");
+        let reader = txn_id(&db, "reader");
+        let deps = deps_of(&db, reader);
+
+        let verdict = Analyzer::new(Granularity::Row).classify_sql(&sql);
+        if verdict.is_sound() {
+            prop_assert!(
+                deps.contains(&writer),
+                "sound {sql:?} must capture writer {writer} in {deps:?}"
+            );
+        } else {
+            prop_assert!(verdict.is_untracked(), "{sql:?} → {verdict}");
+            prop_assert!(
+                !deps.contains(&writer),
+                "untracked {sql:?} should demonstrably miss writer {writer}, got {deps:?}"
+            );
+        }
+    }
+}
