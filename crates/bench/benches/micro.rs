@@ -201,7 +201,9 @@ fn bench_enforcement(c: &mut Criterion) {
         let db = Database::in_memory(resildb_engine::Flavor::Postgres);
         let native = NativeDriver::new(db.clone(), LinkProfile::local());
         prepare_database(&mut *native.connect().unwrap()).unwrap();
-        let config = ProxyConfig::new(resildb_engine::Flavor::Postgres).with_enforcement(policy);
+        let config = ProxyConfig::builder(resildb_engine::Flavor::Postgres)
+            .enforcement(policy)
+            .build();
         let driver = TrackingProxy::single_proxy(db, LinkProfile::local(), config);
         let mut conn = driver.connect().unwrap();
         conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
@@ -218,6 +220,34 @@ fn bench_enforcement(c: &mut Criterion) {
     let mut warn = proxied(EnforcementPolicy::Warn);
     c.bench_function("tracked_select_enforcement_warn", |b| {
         b.iter(|| warn.execute("SELECT v FROM t WHERE id = 250").unwrap())
+    });
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    use resildb_core::Telemetry;
+
+    // The disabled-telemetry fast path every instrumented site pays when
+    // no recorder is attached: one relaxed atomic load, no clock read.
+    // Guards the "near-zero cost when disabled" claim, mirroring
+    // failpoint_check_disarmed.
+    let disabled = Telemetry::disabled();
+    c.bench_function("telemetry_span_disabled", |b| {
+        b.iter(|| disabled.owned_span(std::hint::black_box("engine.execute")))
+    });
+    let recording = Telemetry::recording();
+    c.bench_function("telemetry_span_recording", |b| {
+        b.iter(|| recording.owned_span(std::hint::black_box("engine.execute")))
+    });
+
+    // The cached-rewrite hot path with telemetry disabled must look
+    // exactly like it did before the instrumentation landed — compare
+    // against tracked_select_with_harvest across PRs. ResilientDb enables
+    // recording by default, so flip it off first.
+    let (rdb, mut conn) = tracked_db();
+    rdb.telemetry().set_enabled(false);
+    conn.execute("SELECT v FROM t WHERE id = 250").unwrap(); // warm cache
+    c.bench_function("tracked_select_telemetry_disabled", |b| {
+        b.iter(|| conn.execute("SELECT v FROM t WHERE id = 250").unwrap())
     });
 }
 
@@ -246,6 +276,6 @@ fn bench_page_compaction(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_failpoints, bench_enforcement, bench_page_compaction
+    targets = bench_sql, bench_rewrite, bench_rewrite_cache, bench_engine, bench_tracked_path, bench_repair_analysis, bench_failpoints, bench_enforcement, bench_telemetry, bench_page_compaction
 );
 criterion_main!(benches);

@@ -1,11 +1,35 @@
 //! Regenerates paper Figure 4: inter-transaction dependency tracking
-//! overhead over the four panels. Pass `--quick` for a reduced run and
+//! overhead over the four panels. Pass `--quick` for a reduced run,
 //! `--no-rewrite-cache` to disable the proxy's statement-template cache
-//! (the ablation isolating what cached rewrites buy back).
+//! (the ablation isolating what cached rewrites buy back), and
+//! `--json-out [PATH]` to also emit a machine-readable report (cells plus
+//! per-stage telemetry histograms; default `BENCH_pr4.json`).
 
 // Harness target: setup failures panic with context by design.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use resildb_bench::fig4::{render, run_with, Scale};
+use resildb_bench::fig4::{render, run_probed, Cell, Scale};
+use resildb_bench::json::{self, Probe};
+
+fn cells_json(cells: &[Cell]) -> String {
+    let items: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"flavor\":{},\"networked\":{},\"read_intensive\":{},\
+                 \"large_footprint\":{},\"base_tps\":{},\"proxy_tps\":{},\
+                 \"overhead_pct\":{}}}",
+                json::json_str(c.flavor.name()),
+                c.networked,
+                c.read_intensive,
+                c.large_footprint,
+                json::json_f64(c.base_tps),
+                json::json_f64(c.proxy_tps),
+                json::json_f64(c.overhead_pct()),
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,6 +42,13 @@ fn main() {
     if !rewrite_cache {
         println!("(proxy statement-template rewrite cache DISABLED)");
     }
-    let cells = run_with(scale, rewrite_cache);
+    let json_out = json::json_out_path(&args);
+    let probe = json_out.as_ref().map(|_| Probe::new());
+    let cells = run_probed(scale, rewrite_cache, probe.as_ref());
     print!("{}", render(&cells));
+    if let (Some(path), Some(probe)) = (json_out, probe) {
+        json::write_report(&path, "fig4", &cells_json(&cells), &probe.snapshot())
+            .expect("write json report");
+        println!("\nJSON report written to {path}");
+    }
 }

@@ -1,17 +1,46 @@
 //! MTTR comparison: selective repair vs restore-backup-and-replay.
-//! Pass `--quick` for a reduced grid.
+//! Pass `--quick` for a reduced grid; `--json-out [PATH]` additionally
+//! emits a machine-readable report (default `BENCH_pr4.json`).
 
 // Harness target: setup failures panic with context by design.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
+use resildb_bench::json::{self, Probe};
+use resildb_bench::mttr::MttrPoint;
+
+fn points_json(points: &[MttrPoint]) -> String {
+    let items: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"t_detect\":{},\"selective_repair_us\":{},\
+                 \"compensating_statements\":{},\"restore_and_replay_us\":{},\
+                 \"speedup\":{}}}",
+                p.t_detect,
+                p.selective_repair.as_micros(),
+                p.compensating_statements,
+                p.restore_and_replay.as_micros(),
+                json::json_f64(p.speedup()),
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let grid: Vec<usize> = if quick {
         vec![30]
     } else {
         vec![50, 100, 200, 400, 700]
     };
-    print!(
-        "{}",
-        resildb_bench::mttr::render(&resildb_bench::mttr::run(&grid))
-    );
+    let json_out = json::json_out_path(&args);
+    let probe = json_out.as_ref().map(|_| Probe::new());
+    let points = resildb_bench::mttr::run_probed(&grid, probe.as_ref());
+    print!("{}", resildb_bench::mttr::render(&points));
+    if let (Some(path), Some(probe)) = (json_out, probe) {
+        json::write_report(&path, "mttr", &points_json(&points), &probe.snapshot())
+            .expect("write json report");
+        println!("\nJSON report written to {path}");
+    }
 }

@@ -39,8 +39,9 @@ fn main() {
     // Demo scenario: small TPC-C database, some traffic, one forged
     // payment, more traffic.
     let config = TpccConfig::tiny();
-    let mut pc = ProxyConfig::new(Flavor::Postgres);
-    pc.record_read_only_deps = true;
+    let pc = ProxyConfig::builder(Flavor::Postgres)
+        .record_read_only_deps(true)
+        .build();
     let bench = resildb_bench::prepare(
         Flavor::Postgres,
         resildb_bench::Setup::Tracked,

@@ -2,23 +2,33 @@
 //! dependency graph from a small TPC-C run, with paper-style node labels
 //! (`Order_w_d_c_seq`, `Payment_...`, `Deliv_...`).
 
-use resildb_core::{Flavor, LinkProfile, ProxyConfig, SimContext};
+use resildb_core::{CostModel, Flavor, LinkProfile, ProxyConfig};
 use resildb_tpcc::{Mix, TpccConfig, TpccRunner};
 
+use crate::json::Probe;
 use crate::{prepare, Setup};
 
 /// Runs a small annotated TPC-C mix and renders the dependency graph as
 /// DOT, highlighting the damage closure of the earliest New-Order
 /// transaction.
 pub fn render() -> String {
+    render_probed(None)
+}
+
+/// Like [`render`], with an optional telemetry probe attached (the
+/// analysis pass populates the `repair.*` phase histograms).
+pub fn render_probed(probe: Option<&Probe>) -> String {
     let config = TpccConfig::tiny();
-    let mut pc = ProxyConfig::new(Flavor::Postgres);
-    pc.record_read_only_deps = true;
+    let mut builder = ProxyConfig::builder(Flavor::Postgres).record_read_only_deps(true);
+    if let Some(probe) = probe {
+        builder = builder.telemetry(probe.telemetry().clone());
+    }
+    let pc = builder.build();
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,
         &config,
-        SimContext::free(),
+        crate::sim_context(CostModel::free(), usize::MAX, probe.map(Probe::telemetry)),
         LinkProfile::local(),
         Some(pc),
         3,
@@ -48,6 +58,9 @@ pub fn render() -> String {
         Some(id) => analysis.undo_set(&[id], &[]),
         None => Default::default(),
     };
+    if let Some(probe) = probe {
+        probe.capture(&*bench.conn);
+    }
     analysis.to_dot(&highlight)
 }
 

@@ -5,9 +5,10 @@
 //! throughput for the three flavors in the local and networked
 //! configurations.
 
-use resildb_core::{Flavor, LinkProfile, SimContext};
+use resildb_core::{Flavor, LinkProfile};
 use resildb_tpcc::{Mix, TpccConfig, TpccRunner};
 
+use crate::json::Probe;
 use crate::{costs, prepare, Setup};
 
 /// One bar pair of one panel.
@@ -51,6 +52,7 @@ pub enum Scale {
     Full,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn throughput(
     flavor: Flavor,
     setup: Setup,
@@ -59,6 +61,7 @@ fn throughput(
     large_footprint: bool,
     scale: Scale,
     rewrite_cache: bool,
+    probe: Option<&Probe>,
 ) -> (f64, f64) {
     let cost = if networked {
         costs::networked()
@@ -72,18 +75,22 @@ fn throughput(
     };
     let w = if large_footprint { 10 } else { 1 };
     let config = TpccConfig::scaled(w);
-    let sim = SimContext::new(cost, costs::POOL_PAGES);
+    let sim = crate::sim_context(cost, costs::POOL_PAGES, probe.map(Probe::telemetry));
     // Paper-literal tracking set: trans_dep + annot only (column-level
     // provenance is this implementation's extension and would overstate
     // the paper's overhead), and a dependency record for *every* commit,
     // read-only transactions included (paper §3.2's unconditional
     // commit-time insert).
-    let mut pc = resildb_core::ProxyConfig::new(flavor);
-    pc.record_provenance = false;
-    pc.record_read_only_deps = true;
+    let mut builder = resildb_core::ProxyConfig::builder(flavor)
+        .record_provenance(false)
+        .record_read_only_deps(true);
     if !rewrite_cache {
-        pc = pc.without_rewrite_cache();
+        builder = builder.rewrite_cache_capacity(0);
     }
+    if let Some(probe) = probe {
+        builder = builder.telemetry(probe.telemetry().clone());
+    }
+    let pc = builder.build();
     let mut bench = prepare(flavor, setup, &config, sim, link, Some(pc), 42).expect("prepare");
 
     let mix = match (read_intensive, scale) {
@@ -112,6 +119,11 @@ fn throughput(
     } else {
         hits / (hits + misses)
     };
+    // The tracked connection's metrics fold carries the proxy counters the
+    // registry alone cannot see (rewrite cache, enforcement).
+    if let (Some(probe), Setup::Tracked) = (probe, setup) {
+        probe.capture(&*bench.conn);
+    }
     (tps, ratio)
 }
 
@@ -144,6 +156,29 @@ pub fn run_cell_with(
     scale: Scale,
     rewrite_cache: bool,
 ) -> Cell {
+    run_cell_probed(
+        flavor,
+        networked,
+        read_intensive,
+        large_footprint,
+        scale,
+        rewrite_cache,
+        None,
+    )
+}
+
+/// Runs one cell with an optional telemetry probe attached to the
+/// simulation contexts and the proxy (`--json-out` instrumented runs).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_probed(
+    flavor: Flavor,
+    networked: bool,
+    read_intensive: bool,
+    large_footprint: bool,
+    scale: Scale,
+    rewrite_cache: bool,
+    probe: Option<&Probe>,
+) -> Cell {
     let (base_tps, base_hit_ratio) = throughput(
         flavor,
         Setup::Baseline,
@@ -152,6 +187,7 @@ pub fn run_cell_with(
         large_footprint,
         scale,
         rewrite_cache,
+        probe,
     );
     let (proxy_tps, _) = throughput(
         flavor,
@@ -161,6 +197,7 @@ pub fn run_cell_with(
         large_footprint,
         scale,
         rewrite_cache,
+        probe,
     );
     Cell {
         flavor,
@@ -180,18 +217,24 @@ pub fn run(scale: Scale) -> Vec<Cell> {
 
 /// Runs all 24 cells, optionally with the rewrite cache disabled.
 pub fn run_with(scale: Scale, rewrite_cache: bool) -> Vec<Cell> {
+    run_probed(scale, rewrite_cache, None)
+}
+
+/// Runs all 24 cells with an optional telemetry probe shared across them.
+pub fn run_probed(scale: Scale, rewrite_cache: bool, probe: Option<&Probe>) -> Vec<Cell> {
     let mut out = Vec::with_capacity(24);
     for read_intensive in [true, false] {
         for large_footprint in [true, false] {
             for flavor in Flavor::ALL {
                 for networked in [false, true] {
-                    out.push(run_cell_with(
+                    out.push(run_cell_probed(
                         flavor,
                         networked,
                         read_intensive,
                         large_footprint,
                         scale,
                         rewrite_cache,
+                        probe,
                     ));
                 }
             }

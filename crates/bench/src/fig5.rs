@@ -3,9 +3,10 @@
 //! `T_detect` (expressed, as in the paper, in transactions committed since
 //! the intrusion), with and without false-dependency discarding.
 
-use resildb_core::{FalseDepRule, Flavor, LinkProfile, ProxyConfig, SimContext};
+use resildb_core::{CostModel, FalseDepRule, Flavor, LinkProfile, ProxyConfig};
 use resildb_tpcc::{Attack, AttackKind, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
 
+use crate::json::Probe;
 use crate::{prepare, Setup};
 
 /// One point of the Figure 5 curves (both variants).
@@ -51,16 +52,24 @@ pub fn fig5_config(w: u32) -> TpccConfig {
 
 /// Runs one (W, T_detect) experiment and measures both variants.
 pub fn run_point(w: u32, t_detect: usize, seed: u64) -> Point {
+    run_point_probed(w, t_detect, seed, None)
+}
+
+/// Like [`run_point`], with an optional telemetry probe attached.
+pub fn run_point_probed(w: u32, t_detect: usize, seed: u64, probe: Option<&Probe>) -> Point {
     let config = fig5_config(w);
     // Costs are irrelevant here; track read-only transactions too so the
     // saved-percentage accounts for every transaction, as in the paper.
-    let mut pc = ProxyConfig::new(Flavor::Postgres);
-    pc.record_read_only_deps = true;
+    let mut builder = ProxyConfig::builder(Flavor::Postgres).record_read_only_deps(true);
+    if let Some(probe) = probe {
+        builder = builder.telemetry(probe.telemetry().clone());
+    }
+    let pc = builder.build();
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,
         &config,
-        SimContext::free(),
+        crate::sim_context(CostModel::free(), usize::MAX, probe.map(Probe::telemetry)),
         LinkProfile::local(),
         Some(pc),
         seed,
@@ -122,6 +131,9 @@ pub fn run_point(w: u32, t_detect: usize, seed: u64) -> Point {
 
     let (rolled_back_all, saved_pct_all) = measure(&[]);
     let (rolled_back_filtered, saved_pct_filtered) = measure(&ytd_rules());
+    if let Some(probe) = probe {
+        probe.capture(&*bench.conn);
+    }
 
     Point {
         w,
@@ -135,10 +147,15 @@ pub fn run_point(w: u32, t_detect: usize, seed: u64) -> Point {
 
 /// Runs the full grid.
 pub fn run(ws: &[u32], t_detects: &[usize]) -> Vec<Point> {
+    run_probed(ws, t_detects, None)
+}
+
+/// Runs the full grid with an optional telemetry probe shared across it.
+pub fn run_probed(ws: &[u32], t_detects: &[usize], probe: Option<&Probe>) -> Vec<Point> {
     let mut out = Vec::new();
     for &w in ws {
         for &t in t_detects {
-            out.push(run_point(w, t, 1000 + u64::from(w)));
+            out.push(run_point_probed(w, t, 1000 + u64::from(w), probe));
         }
     }
     out

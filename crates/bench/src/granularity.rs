@@ -65,10 +65,13 @@ fn run_cost(_name: &'static str, setup: Setup, pc: Option<ProxyConfig>, quick: b
 /// Measures throughput for baseline / row / column tracking.
 pub fn run_cost_comparison(quick: bool) -> Vec<CostRow> {
     let base = run_cost("baseline", Setup::Baseline, None, quick);
-    let mut pc_row = ProxyConfig::new(Flavor::Postgres);
-    pc_row.record_provenance = false;
-    let mut pc_col = pc_row.clone();
-    pc_col.granularity = TrackingGranularity::Column;
+    let pc_row = ProxyConfig::builder(Flavor::Postgres)
+        .record_provenance(false)
+        .build();
+    let pc_col = ProxyConfig::builder(Flavor::Postgres)
+        .record_provenance(false)
+        .granularity(TrackingGranularity::Column)
+        .build();
     let row = run_cost("row", Setup::Tracked, Some(pc_row), quick);
     let col = run_cost("column", Setup::Tracked, Some(pc_col), quick);
     vec![
@@ -93,9 +96,10 @@ pub fn run_cost_comparison(quick: bool) -> Vec<CostRow> {
 fn run_accuracy(granularity: TrackingGranularity, t_detect: usize) -> (usize, usize, f64, f64) {
     let mut config = TpccConfig::scaled(2);
     config.items = 2_000;
-    let mut pc = ProxyConfig::new(Flavor::Postgres);
-    pc.record_read_only_deps = true;
-    pc.granularity = granularity;
+    let pc = ProxyConfig::builder(Flavor::Postgres)
+        .record_read_only_deps(true)
+        .granularity(granularity)
+        .build();
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,

@@ -1,0 +1,162 @@
+//! Machine-readable benchmark output (`--json-out`).
+//!
+//! Every figure binary can emit one JSON document combining its figure
+//! results with a telemetry snapshot of an instrumented run — per-stage
+//! latency histograms (p50/p95/p99) for the proxy rewrite, engine
+//! execute/WAL/commit and repair phases, plus the layer counters. The CI
+//! `bench-smoke` job runs `fig4 --quick --json-out` and fails when the
+//! required metric keys are missing from the artifact.
+
+use std::cell::RefCell;
+
+use resildb_core::{telemetry::export, Connection, MetricsSnapshot, Telemetry};
+
+/// Default output path of `--json-out` when no explicit path follows.
+pub const DEFAULT_JSON_PATH: &str = "BENCH_pr4.json";
+
+/// Parses `--json-out [PATH]` from a binary's argument list. Returns
+/// `None` when the flag is absent; the default path when the flag is last
+/// or followed by another flag.
+pub fn json_out_path(args: &[String]) -> Option<String> {
+    let at = args.iter().position(|a| a == "--json-out")?;
+    Some(match args.get(at + 1) {
+        Some(next) if !next.starts_with("--") => next.clone(),
+        _ => DEFAULT_JSON_PATH.to_string(),
+    })
+}
+
+/// A telemetry probe shared by the instrumented cells of one figure run:
+/// one recording domain threaded through every simulation context and
+/// proxy configuration, plus the last captured per-connection metrics
+/// fold (which adds the proxy rewrite-cache/enforcement counters and the
+/// simulation substrate counters to the registry's spans).
+#[derive(Debug)]
+pub struct Probe {
+    telemetry: Telemetry,
+    captured: RefCell<Option<MetricsSnapshot>>,
+}
+
+impl Default for Probe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Probe {
+    /// A probe with a fresh recording telemetry domain.
+    pub fn new() -> Self {
+        Self {
+            telemetry: Telemetry::recording(),
+            captured: RefCell::new(None),
+        }
+    }
+
+    /// The shared telemetry domain, for `SimContext::with_telemetry` and
+    /// `ProxyConfigBuilder::telemetry`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Captures the full metrics fold of `conn` (registry spans + the
+    /// connection's layer counters), replacing any earlier capture. Call
+    /// it at the end of a measured cell; the span histograms are
+    /// cumulative across cells because the domain is shared.
+    pub fn capture(&self, conn: &dyn Connection) {
+        *self.captured.borrow_mut() = Some(conn.metrics());
+    }
+
+    /// The final snapshot: the last capture if any, else the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.captured
+            .borrow()
+            .clone()
+            .unwrap_or_else(|| self.telemetry.snapshot())
+    }
+}
+
+/// Writes the combined document: `results` must already be a JSON value
+/// (array or object) rendered by the caller.
+///
+/// # Errors
+///
+/// File I/O failures.
+pub fn write_report(
+    path: &str,
+    bench: &str,
+    results: &str,
+    snapshot: &MetricsSnapshot,
+) -> std::io::Result<()> {
+    let doc = format!(
+        "{{\"bench\":\"{bench}\",\"results\":{results},\"metrics\":{}}}\n",
+        export::to_json(snapshot)
+    );
+    std::fs::write(path, doc)
+}
+
+/// Escapes a string for inclusion in hand-rolled JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values render as `0`).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_out_parsing() {
+        assert_eq!(json_out_path(&args(&["fig4"])), None);
+        assert_eq!(
+            json_out_path(&args(&["fig4", "--json-out"])),
+            Some(DEFAULT_JSON_PATH.to_string())
+        );
+        assert_eq!(
+            json_out_path(&args(&["fig4", "--json-out", "out.json", "--quick"])),
+            Some("out.json".to_string())
+        );
+        assert_eq!(
+            json_out_path(&args(&["fig4", "--json-out", "--quick"])),
+            Some(DEFAULT_JSON_PATH.to_string())
+        );
+    }
+
+    #[test]
+    fn probe_falls_back_to_registry_snapshot() {
+        let probe = Probe::new();
+        probe.telemetry().count("x", 3);
+        assert_eq!(probe.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn json_helpers_escape_and_format() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -27,12 +27,13 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod granularity;
+pub mod json;
 pub mod mttr;
 pub mod table2;
 
 use resildb_core::{
-    prepare_database, Connection, Database, Driver, Flavor, LinkProfile, NativeDriver, ProxyConfig,
-    SimContext, TrackingProxy, WireError,
+    prepare_database, Connection, CostModel, Database, Driver, Flavor, LinkProfile, NativeDriver,
+    ProxyConfig, SimContext, Telemetry, TrackingProxy, WireError,
 };
 use resildb_tpcc::{Loader, TpccConfig};
 
@@ -87,6 +88,19 @@ pub fn prepare(
     };
     Loader::new(config.clone(), seed).load(&mut *bench.conn)?;
     Ok(bench)
+}
+
+/// Builds a simulation context, recording into `telemetry` when a probe
+/// is attached (`--json-out` instrumented runs).
+pub fn sim_context(
+    cost: CostModel,
+    pool_pages: usize,
+    telemetry: Option<&Telemetry>,
+) -> SimContext {
+    match telemetry {
+        Some(tel) => SimContext::with_telemetry(cost, pool_pages, tel.clone()),
+        None => SimContext::new(cost, pool_pages),
+    }
 }
 
 /// Formats an overhead percentage for report tables.

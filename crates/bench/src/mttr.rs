@@ -15,6 +15,7 @@
 use resildb_core::{Driver as _, Flavor, LinkProfile, Micros, ProxyConfig, SimContext};
 use resildb_tpcc::{Attack, AttackKind, Loader, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
 
+use crate::json::Probe;
 use crate::{costs, prepare, Setup};
 
 /// One measured detection-latency point.
@@ -54,12 +55,26 @@ fn workload(runner: &mut TpccRunner, conn: &mut dyn resildb_core::Connection, t_
 
 /// Runs one point.
 pub fn run_point(t_detect: usize) -> MttrPoint {
+    run_point_probed(t_detect, None)
+}
+
+/// Like [`run_point`], with an optional telemetry probe attached to the
+/// tracked (world A) run — the repair sweep populates the `repair.*`
+/// phase histograms.
+pub fn run_point_probed(t_detect: usize, probe: Option<&Probe>) -> MttrPoint {
     let config = TpccConfig::scaled(2);
 
     // --- world A: tracked database, attacked, selectively repaired -----
-    let sim = SimContext::new(costs::networked(), costs::POOL_PAGES);
-    let mut pc = ProxyConfig::new(Flavor::Postgres);
-    pc.record_read_only_deps = true;
+    let sim = crate::sim_context(
+        costs::networked(),
+        costs::POOL_PAGES,
+        probe.map(Probe::telemetry),
+    );
+    let mut builder = ProxyConfig::builder(Flavor::Postgres).record_read_only_deps(true);
+    if let Some(probe) = probe {
+        builder = builder.telemetry(probe.telemetry().clone());
+    }
+    let pc = builder.build();
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,
@@ -94,6 +109,9 @@ pub fn run_point(t_detect: usize) -> MttrPoint {
     let undo = analysis.undo_set(&[attack], &crate::fig5::ytd_rules());
     let report = tool.repair_with_undo_set(&analysis, &undo).expect("repair");
     let selective_repair = bench.db.sim().clock().now() - t0;
+    if let Some(probe) = probe {
+        probe.capture(&*bench.conn);
+    }
 
     // --- world B: untracked database; restore backup + replay ----------
     // The DBA reloads the backup (initial population) and re-runs every
@@ -126,7 +144,15 @@ pub fn run_point(t_detect: usize) -> MttrPoint {
 
 /// Runs the sweep.
 pub fn run(t_detects: &[usize]) -> Vec<MttrPoint> {
-    t_detects.iter().map(|&t| run_point(t)).collect()
+    run_probed(t_detects, None)
+}
+
+/// Runs the sweep with an optional telemetry probe shared across points.
+pub fn run_probed(t_detects: &[usize], probe: Option<&Probe>) -> Vec<MttrPoint> {
+    t_detects
+        .iter()
+        .map(|&t| run_point_probed(t, probe))
+        .collect()
 }
 
 /// Renders the comparison table.

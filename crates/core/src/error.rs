@@ -1,0 +1,219 @@
+//! The facade's unified error type.
+//!
+//! Every layer of the stack has its own error enum — [`EngineError`] for
+//! the DBMS, [`WireError`] for the driver/transport, [`RepairError`] for
+//! the repair tool, [`resildb_sql::ParseError`] for the standalone parser.
+//! Embedders working through [`crate::ResilientDb`] and the unified
+//! [`crate::Session`] trait get one [`enum@Error`] instead, with lossless
+//! `source()` chains back to the layer errors and a flat [`ErrorKind`]
+//! for match-based handling (retry on [`ErrorKind::Deadlock`], reconnect
+//! on [`ErrorKind::ConnectionLost`], ...).
+
+use std::fmt;
+
+use resildb_engine::EngineError;
+use resildb_repair::RepairError;
+use resildb_wire::WireError;
+
+/// Any failure surfaced by the `resildb` facade.
+///
+/// Marked `#[non_exhaustive]`: future layers (replication, snapshots, ...)
+/// may add variants without a semver break, so downstream matches need a
+/// wildcard arm — or better, match on [`Error::kind`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The DBMS engine rejected or failed a statement.
+    Engine(EngineError),
+    /// The driver, proxy transport, or connection pool failed.
+    Wire(WireError),
+    /// The repair tool's analysis or compensation sweep failed.
+    Repair(RepairError),
+    /// Standalone SQL parsing failed (analyzer / template paths).
+    Parse(resildb_sql::ParseError),
+    /// An I/O failure (WAL archives, exported reports).
+    Io(std::io::Error),
+}
+
+/// Flat classification of an [`enum@Error`], stable across layers.
+///
+/// Also `#[non_exhaustive]` — match with a wildcard arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// SQL text failed to parse (any layer).
+    Parse,
+    /// The statement was valid but the engine refused or failed it
+    /// (unknown table, constraint violation, type error, ...).
+    Statement,
+    /// The transaction was aborted as a deadlock victim; retrying the
+    /// whole transaction may succeed.
+    Deadlock,
+    /// The connection was lost mid-use and cannot be reused.
+    ConnectionLost,
+    /// The connection pool is exhausted.
+    PoolExhausted,
+    /// The wire protocol or transport itself failed.
+    Protocol,
+    /// Repair-time analysis found inconsistent log or dependency data.
+    Analysis,
+    /// A test-harness failpoint injected this failure.
+    Injected,
+    /// An I/O failure.
+    Io,
+    /// Anything not covered by a more specific kind.
+    Other,
+}
+
+fn engine_kind(e: &EngineError) -> ErrorKind {
+    match e {
+        EngineError::Parse(_) => ErrorKind::Parse,
+        EngineError::Deadlock => ErrorKind::Deadlock,
+        EngineError::Injected(_) => ErrorKind::Injected,
+        _ => ErrorKind::Statement,
+    }
+}
+
+fn wire_kind(e: &WireError) -> ErrorKind {
+    match e {
+        WireError::Db(inner) => engine_kind(inner),
+        WireError::Protocol(_) => ErrorKind::Protocol,
+        WireError::PoolExhausted => ErrorKind::PoolExhausted,
+        WireError::ConnectionDropped => ErrorKind::ConnectionLost,
+    }
+}
+
+impl Error {
+    /// The flat classification of this error, recursing through wrapper
+    /// layers: a deadlock is [`ErrorKind::Deadlock`] whether it surfaced
+    /// from the engine directly, through the wire driver, or inside the
+    /// repair tool's compensation sweep.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Engine(e) => engine_kind(e),
+            Error::Wire(e) => wire_kind(e),
+            Error::Repair(RepairError::Engine(e)) => engine_kind(e),
+            Error::Repair(RepairError::Wire(e)) => wire_kind(e),
+            Error::Repair(RepairError::Analysis(_)) => ErrorKind::Analysis,
+            Error::Parse(_) => ErrorKind::Parse,
+            Error::Io(_) => ErrorKind::Io,
+        }
+    }
+
+    /// True when retrying the whole transaction may succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.kind() == ErrorKind::Deadlock
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "{e}"),
+            Error::Wire(e) => write!(f, "{e}"),
+            Error::Repair(e) => write!(f, "{e}"),
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            Error::Wire(e) => Some(e),
+            Error::Repair(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<RepairError> for Error {
+    fn from(e: RepairError) -> Self {
+        Error::Repair(e)
+    }
+}
+
+impl From<resildb_sql::ParseError> for Error {
+    fn from(e: resildb_sql::ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_recurse_through_layers() {
+        assert_eq!(
+            Error::from(EngineError::Deadlock).kind(),
+            ErrorKind::Deadlock
+        );
+        assert_eq!(
+            Error::from(WireError::Db(EngineError::Deadlock)).kind(),
+            ErrorKind::Deadlock
+        );
+        assert_eq!(
+            Error::from(RepairError::Wire(WireError::Db(EngineError::Deadlock))).kind(),
+            ErrorKind::Deadlock
+        );
+        assert_eq!(
+            Error::from(RepairError::Analysis("bad".into())).kind(),
+            ErrorKind::Analysis
+        );
+        assert_eq!(
+            Error::from(WireError::ConnectionDropped).kind(),
+            ErrorKind::ConnectionLost
+        );
+        assert_eq!(Error::from(WireError::PoolExhausted).kind(), {
+            ErrorKind::PoolExhausted
+        });
+        assert_eq!(
+            Error::from(EngineError::Injected("wal.append".into())).kind(),
+            ErrorKind::Injected
+        );
+    }
+
+    #[test]
+    fn retryability_matches_wire_layer() {
+        assert!(Error::from(EngineError::Deadlock).is_retryable());
+        assert!(!Error::from(WireError::PoolExhausted).is_retryable());
+    }
+
+    #[test]
+    fn source_chain_reaches_the_layer_error() {
+        use std::error::Error as _;
+        let err = Error::from(WireError::Db(EngineError::Deadlock));
+        let src = err.source().expect("wire source");
+        assert!(src.downcast_ref::<WireError>().is_some());
+        let inner = src.source().expect("engine source");
+        assert!(inner.downcast_ref::<EngineError>().is_some());
+    }
+
+    #[test]
+    fn display_forwards_the_layer_message() {
+        let e = Error::from(EngineError::UnknownTable("t".into()));
+        assert_eq!(e.to_string(), "unknown table t");
+    }
+}

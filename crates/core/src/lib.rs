@@ -16,14 +16,18 @@
 //!
 //! This crate is the facade: [`ResilientDb`] wires an emulated DBMS
 //! ([`resildb_engine`], with PostgreSQL/Oracle/Sybase-like [`Flavor`]s),
-//! the proxy deployment of your choice and the repair tool together.
+//! the proxy deployment of your choice and the repair tool together. Every
+//! way of executing SQL — raw engine session, untracked native connection,
+//! tracked proxy connection — implements the unified [`Session`] trait,
+//! fails with the unified [`enum@Error`], and reports into one telemetry
+//! domain surfaced by [`ResilientDb::metrics`].
 //!
 //! # Quickstart
 //!
 //! ```
-//! use resildb_core::{Flavor, ResilientDb};
+//! use resildb_core::{Error, Flavor, ResilientDb};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), Error> {
 //! let rdb = ResilientDb::new(Flavor::Postgres)?;
 //! let mut conn = rdb.connect()?;
 //! conn.execute("CREATE TABLE account (id INTEGER PRIMARY KEY, balance FLOAT)")?;
@@ -54,28 +58,33 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
+mod error;
 mod resilient;
+mod session;
 
+pub use error::{Error, ErrorKind};
 pub use resilient::{ProxyPlacement, ResilientDb, ResilientDbBuilder};
+pub use session::Session;
 
 // The framework's building blocks, re-exported for downstream users.
 pub use resildb_analyze::{
     infer_derivable_columns, Analyzer, CoverageReport, DerivableColumn, SchemaSnapshot, Verdict,
 };
 pub use resildb_engine::{
-    Database, EngineError, ExecOutcome, Flavor, PreparedStatement, QueryResult, Session,
-    StmtCacheStats, Value,
+    Database, EngineError, ExecOutcome, Flavor, PreparedStatement, QueryResult,
+    Session as EngineSession, StmtCacheStats, Value,
 };
 pub use resildb_proxy::{
-    prepare_database, EnforcementPolicy, ProxyConfig, TrackerStats, TrackerStatsSnapshot,
-    TrackingGranularity, TrackingProxy,
+    prepare_database, EnforcementPolicy, ProxyConfig, ProxyConfigBuilder, TrackerStats,
+    TrackerStatsSnapshot, TrackingGranularity, TrackingProxy,
 };
 pub use resildb_repair::{
     detect, Analysis, AnomalyRule, DepGraph, Detection, FalseDepRule, RepairError, RepairReport,
     RepairTool, WhatIfSession,
 };
 pub use resildb_sim::{
-    failpoints, CostModel, FaultAction, FaultPlan, FaultTrigger, InjectedFault, Micros, SimContext,
+    failpoints, telemetry, CostModel, FaultAction, FaultPlan, FaultTrigger, HistogramSnapshot,
+    InjectedFault, MetricsSnapshot, Micros, SimContext, Telemetry,
 };
 pub use resildb_sql::{parse_statement, Literal, Statement};
 pub use resildb_wire::{

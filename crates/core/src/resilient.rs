@@ -1,9 +1,13 @@
 //! The [`ResilientDb`] facade and its builder.
 
+use std::sync::Arc;
+
 use resildb_engine::{Database, Flavor, Value};
-use resildb_proxy::{prepare_database, ProxyConfig, TrackingGranularity, TrackingProxy};
+use resildb_proxy::{
+    prepare_database, ProxyConfig, RewriteCache, TrackerStats, TrackingGranularity, TrackingProxy,
+};
 use resildb_repair::{Analysis, FalseDepRule, RepairError, RepairReport, RepairTool};
-use resildb_sim::{CostModel, SimContext};
+use resildb_sim::{CostModel, MetricsSnapshot, SimContext, Telemetry};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, WireError};
 
 /// Where the tracking proxy sits (paper Figures 1 and 2).
@@ -23,9 +27,9 @@ pub enum ProxyPlacement {
 /// # Examples
 ///
 /// ```
-/// use resildb_core::{CostModel, Flavor, LinkProfile, ProxyPlacement, ResilientDb};
+/// use resildb_core::{CostModel, Error, Flavor, LinkProfile, ProxyPlacement, ResilientDb};
 ///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # fn main() -> Result<(), Error> {
 /// let rdb = ResilientDb::builder(Flavor::Sybase)
 ///     .cost_model(CostModel::disk_bound_oltp(), 256)
 ///     .client_link(LinkProfile::lan())
@@ -107,23 +111,38 @@ impl ResilientDbBuilder {
     ///
     /// Setup SQL failures.
     pub fn build(self) -> Result<ResilientDb, WireError> {
-        let sim = SimContext::new(self.cost, self.pool_pages);
+        // The facade owns the full stack, so it turns telemetry on: one
+        // recording domain shared by engine, wire, proxy and repair spans.
+        let telemetry = Telemetry::recording();
+        let sim = SimContext::with_telemetry(self.cost, self.pool_pages, telemetry.clone());
         let db = Database::new("resildb", self.flavor, sim);
         let native = NativeDriver::new(db.clone(), LinkProfile::local());
         prepare_database(&mut *native.connect()?)?;
-        let mut config = ProxyConfig::new(self.flavor);
-        config.track_reads = self.track_reads;
-        config.record_deps_at_commit = self.record_deps_at_commit;
-        config.granularity = self.granularity;
-        let driver: Box<dyn Driver> = match self.placement {
+        let config = ProxyConfig::builder(self.flavor)
+            .track_reads(self.track_reads)
+            .record_deps_at_commit(self.record_deps_at_commit)
+            .granularity(self.granularity)
+            .telemetry(telemetry.clone())
+            .build();
+        let (driver, rewrite_cache, tracker_stats): (Box<dyn Driver>, _, _) = match self.placement {
             ProxyPlacement::Single => {
-                Box::new(TrackingProxy::single_proxy(db.clone(), self.link, config))
+                let (driver, cache, stats) =
+                    TrackingProxy::single_proxy_instrumented(db.clone(), self.link, config);
+                (Box::new(driver), cache, stats)
             }
             ProxyPlacement::Dual => {
-                Box::new(TrackingProxy::dual_proxy(db.clone(), self.link, config))
+                let (driver, cache, stats) =
+                    TrackingProxy::dual_proxy_instrumented(db.clone(), self.link, config);
+                (Box::new(driver), cache, stats)
             }
         };
-        Ok(ResilientDb { db, driver })
+        Ok(ResilientDb {
+            db,
+            driver,
+            telemetry,
+            rewrite_cache,
+            tracker_stats,
+        })
     }
 }
 
@@ -132,6 +151,9 @@ impl ResilientDbBuilder {
 pub struct ResilientDb {
     db: Database,
     driver: Box<dyn Driver>,
+    telemetry: Telemetry,
+    rewrite_cache: Arc<RewriteCache>,
+    tracker_stats: Arc<TrackerStats>,
 }
 
 impl std::fmt::Debug for ResilientDb {
@@ -181,6 +203,27 @@ impl ResilientDb {
     /// The underlying database handle.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The telemetry domain every layer of this instance records into.
+    /// Recording is on by default; disable it with
+    /// [`Telemetry::set_enabled`] to measure the instrumentation-free
+    /// fast path.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// One metrics snapshot covering all four layers: proxy (rewrite
+    /// cache, enforcement), engine (statement cache, commits, span
+    /// histograms), simulation substrate (buffer pool, WAL, link), and
+    /// repair (phase histograms). Render it with
+    /// [`resildb_sim::telemetry::export::to_text`] or
+    /// [`resildb_sim::telemetry::export::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.db.metrics();
+        self.rewrite_cache.fold_metrics(&mut snap);
+        self.tracker_stats.fold_metrics(&mut snap);
+        snap
     }
 
     /// A repair tool for this database.

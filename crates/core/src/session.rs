@@ -1,0 +1,153 @@
+//! The unified `Session` trait — one execution surface over every way of
+//! talking to the database.
+//!
+//! The stack grew three distinct "execute SQL" surfaces: raw engine
+//! sessions ([`resildb_engine::Session`]), wire connections
+//! ([`resildb_wire::Connection`], including the tracking-proxy
+//! connections), and the facade's convenience methods. [`Session`]
+//! unifies them: generic code — benchmarks, integration tests, workload
+//! drivers — is written once against the trait and runs unchanged over an
+//! embedded engine session, an untracked native connection, or a fully
+//! tracked proxy connection. Errors surface as the unified
+//! [`crate::Error`], and every implementation exposes the same
+//! [`MetricsSnapshot`] so telemetry assertions are uniform too.
+//!
+//! The old inherent methods on each type remain; the trait is additive.
+
+use resildb_sim::MetricsSnapshot;
+use resildb_sql::Literal;
+use resildb_wire::{Connection, Response, StatementHandle};
+
+use crate::error::Error;
+
+/// One logical database session: execute SQL, prepare statements, read
+/// metrics — regardless of which layer of the stack carries it.
+pub trait Session {
+    /// Executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Engine`] / [`Error::Wire`] depending on the failing layer;
+    /// check [`Error::kind`] for retryable deadlocks.
+    fn execute(&mut self, sql: &str) -> Result<Response, Error>;
+
+    /// Prepares `sql` (with `?` placeholders) for repeated execution,
+    /// paying the parse cost once.
+    ///
+    /// Tracking-proxy connections refuse ([`crate::ErrorKind::Protocol`]):
+    /// client-side preparation would bypass the proxy's SQL rewriting and
+    /// with it the trid stamping the repair capability rests on.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures, or refusal where unsupported.
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle, Error>;
+
+    /// Executes a previously prepared statement with `params` bound to its
+    /// `?` placeholders in source order.
+    ///
+    /// # Errors
+    ///
+    /// Unknown handles, binding arity mismatches, execution failures.
+    fn execute_prepared(
+        &mut self,
+        handle: StatementHandle,
+        params: &[Literal],
+    ) -> Result<Response, Error>;
+
+    /// A metrics snapshot for the database behind this session, including
+    /// any layer-specific counters (a tracked connection folds in the
+    /// proxy's rewrite-cache and enforcement stats).
+    fn metrics(&self) -> MetricsSnapshot;
+}
+
+/// Every wire connection — native, pooled, or tracking-proxy — is a
+/// [`Session`]. (`Box<dyn Connection>` is what [`resildb_wire::Driver`]
+/// hands out, so this is the impl facade users touch.)
+impl Session for Box<dyn Connection> {
+    fn execute(&mut self, sql: &str) -> Result<Response, Error> {
+        Ok(Connection::execute(self.as_mut(), sql)?)
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle, Error> {
+        Ok(Connection::prepare(self.as_mut(), sql)?)
+    }
+
+    fn execute_prepared(
+        &mut self,
+        handle: StatementHandle,
+        params: &[Literal],
+    ) -> Result<Response, Error> {
+        Ok(Connection::execute_prepared(self.as_mut(), handle, params)?)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Connection::metrics(self.as_ref())
+    }
+}
+
+/// A raw engine session is a [`Session`] too — no wire layer, no link
+/// charges, no tracking. Prepared statements live in the session's slot
+/// table, addressed through [`StatementHandle::raw`].
+impl Session for resildb_engine::Session {
+    fn execute(&mut self, sql: &str) -> Result<Response, Error> {
+        Ok(Response::from(self.execute_sql(sql)?))
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle, Error> {
+        Ok(StatementHandle::from_raw(self.prepare_slot(sql)?))
+    }
+
+    fn execute_prepared(
+        &mut self,
+        handle: StatementHandle,
+        params: &[Literal],
+    ) -> Result<Response, Error> {
+        Ok(Response::from(self.execute_slot(handle.raw(), params)?))
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.database().metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resildb_engine::{Database, Flavor};
+
+    fn exercise<S: Session>(session: &mut S) {
+        session.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let ins = session.prepare("INSERT INTO t (a) VALUES (?)").unwrap();
+        session.execute_prepared(ins, &[Literal::Int(7)]).unwrap();
+        let resp = session.execute("SELECT a FROM t").unwrap();
+        assert_eq!(resp.rows().unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn engine_session_implements_the_trait() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut session = db.session();
+        exercise(&mut session);
+    }
+
+    #[test]
+    fn boxed_connection_implements_the_trait() {
+        use resildb_wire::{Driver, LinkProfile, NativeDriver};
+        let db = Database::in_memory(Flavor::Postgres);
+        let driver = NativeDriver::new(db, LinkProfile::local());
+        let mut conn = driver.connect().unwrap();
+        exercise(&mut conn);
+    }
+
+    #[test]
+    fn errors_carry_unified_kinds() {
+        let db = Database::in_memory(Flavor::Postgres);
+        let mut session = db.session();
+        let err = Session::execute(&mut session, "SELECT * FROM missing").unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::Statement);
+        let err = Session::execute_prepared(&mut session, StatementHandle::from_raw(42), &[])
+            .unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::Statement);
+    }
+}

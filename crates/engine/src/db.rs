@@ -4,7 +4,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use resildb_sim::{failpoints, LruMap, SimContext};
+use resildb_sim::telemetry::names as span_names;
+use resildb_sim::{failpoints, LruMap, MetricsSnapshot, SimContext};
 use resildb_sql::{
     bind_statement, parse_span_literal, parse_template, scan_statement, Literal, Statement,
     StatementScan,
@@ -125,6 +126,7 @@ impl Database {
         Session {
             db: self.clone(),
             txn: None,
+            prepared: Vec::new(),
         }
     }
 
@@ -177,6 +179,38 @@ impl Database {
 
     fn alloc_txn(&self) -> InternalTxnId {
         InternalTxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// A metrics snapshot covering this engine and its simulation context:
+    /// telemetry span histograms (`engine.*`, and — when a proxy shares
+    /// the [`SimContext`] — `proxy.*`/`repair.*` too), parsed-statement
+    /// cache counters, simulation charge counters and failpoint hits.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let sim = self.sim();
+        let mut snap = sim.telemetry().snapshot();
+        let sc = self.stmt_cache_stats();
+        snap.set_counter("engine.stmt_cache.hits", sc.hits);
+        snap.set_counter("engine.stmt_cache.misses", sc.misses);
+        let stats = sim.stats();
+        snap.set_counter("sim.page_hits", stats.page_hits.get());
+        snap.set_counter("sim.page_misses", stats.page_misses.get());
+        snap.set_counter("sim.pages_written", stats.pages_written.get());
+        snap.set_counter("sim.log_bytes", stats.log_bytes.get());
+        snap.set_counter("sim.log_forces", stats.log_forces.get());
+        snap.set_counter("sim.statements", stats.statements.get());
+        snap.set_counter("sim.rows_touched", stats.rows_touched.get());
+        snap.set_counter("sim.round_trips", stats.round_trips.get());
+        snap.set_counter("sim.network_bytes", stats.network_bytes.get());
+        snap.set_counter("sim.injected_delays", stats.injected_delays.get());
+        let hits = stats.page_hits.get();
+        let total = hits + stats.page_misses.get();
+        if total > 0 {
+            snap.set_gauge("sim.pool.hit_ratio", hits as f64 / total as f64);
+        }
+        for (name, hits) in sim.faults().hit_counts() {
+            snap.set_counter(&format!("fault.hits.{name}"), hits);
+        }
+        snap
     }
 
     /// Counters of the parsed-statement cache shared by all sessions.
@@ -366,6 +400,7 @@ struct TxnState {
 pub struct Session {
     db: Database,
     txn: Option<TxnState>,
+    prepared: Vec<PreparedStatement>,
 }
 
 impl Session {
@@ -433,12 +468,46 @@ impl Session {
         self.execute(&stmt)
     }
 
+    /// Prepares `sql` and stores the statement in a session-local slot,
+    /// returning the slot index — the handle-based shape the unified
+    /// `Session` trait (resildb-core) exposes.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors.
+    pub fn prepare_slot(&mut self, sql: &str) -> Result<u64> {
+        let prepared = self.prepare(sql)?;
+        self.prepared.push(prepared);
+        Ok((self.prepared.len() - 1) as u64)
+    }
+
+    /// Executes the prepared statement stored in `slot` (from
+    /// [`Self::prepare_slot`]) with `params` bound.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Constraint`] on an unknown slot, plus everything
+    /// [`Self::execute_prepared`] can return.
+    pub fn execute_slot(&mut self, slot: u64, params: &[Literal]) -> Result<ExecOutcome> {
+        let prepared = self
+            .prepared
+            .get(slot as usize)
+            .cloned()
+            .ok_or_else(|| EngineError::Constraint(format!("unknown prepared slot {slot}")))?;
+        self.execute_prepared(&prepared, params)
+    }
+
     /// Executes an already-parsed statement.
     ///
     /// # Errors
     ///
     /// See [`Self::execute_sql`].
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        let _span = self
+            .db
+            .sim()
+            .telemetry()
+            .owned_span(span_names::ENGINE_EXECUTE);
         match stmt {
             Statement::Begin => {
                 if self.in_transaction() {
@@ -601,6 +670,11 @@ impl Session {
         let Some(txn) = self.txn.take() else {
             return Ok(());
         };
+        let _span = self
+            .db
+            .sim()
+            .telemetry()
+            .owned_span(span_names::ENGINE_COMMIT);
         if !txn.undo.is_empty() {
             let logged = (|| -> Result<()> {
                 if self
@@ -631,6 +705,10 @@ impl Session {
             self.db.sim().charge_log_force();
         }
         self.db.inner.locks.release_all(txn.id);
+        self.db
+            .sim()
+            .telemetry()
+            .count(span_names::ENGINE_COMMIT_COUNT, 1);
         Ok(())
     }
 

@@ -166,6 +166,9 @@ impl Wal {
         schema: Option<&TableSchema>,
         sim: &SimContext,
     ) -> Result<Lsn> {
+        let _span = sim
+            .telemetry()
+            .span(resildb_sim::telemetry::names::ENGINE_WAL_APPEND);
         if sim.fault_check(failpoints::ENGINE_WAL_APPEND).is_some() {
             return Err(EngineError::Injected(failpoints::ENGINE_WAL_APPEND.into()));
         }

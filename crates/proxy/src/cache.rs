@@ -160,6 +160,16 @@ impl RewriteCache {
             entries: self.entries.lock().len(),
         }
     }
+
+    /// Folds the counters into `snap` under the `proxy.rewrite_cache.*`
+    /// metric names.
+    pub fn fold_metrics(&self, snap: &mut resildb_sim::MetricsSnapshot) {
+        let s = self.stats();
+        snap.set_counter("proxy.rewrite_cache.hits", s.hits);
+        snap.set_counter("proxy.rewrite_cache.misses", s.misses);
+        snap.set_counter("proxy.rewrite_cache.evictions", s.evictions);
+        snap.set_counter("proxy.rewrite_cache.entries", s.entries as u64);
+    }
 }
 
 #[cfg(test)]

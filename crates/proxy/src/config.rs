@@ -1,7 +1,7 @@
 //! Proxy configuration.
 
 use resildb_engine::Flavor;
-use resildb_sim::Micros;
+use resildb_sim::{Micros, Telemetry};
 
 /// Granularity of dependency tracking.
 ///
@@ -102,6 +102,11 @@ pub struct ProxyConfig {
     /// What to do with statements the static analyzer classifies as
     /// untracked (dependencies invisible to the tracking layer).
     pub enforcement: EnforcementPolicy,
+    /// Telemetry domain the proxy's spans and counters record into. When
+    /// `None` (the default) the proxy records into the simulation
+    /// context's domain, which is disabled unless the embedder enabled it
+    /// (the `ResilientDb` facade does).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl ProxyConfig {
@@ -119,6 +124,28 @@ impl ProxyConfig {
             harvest_per_row_ns: 1_000,
             granularity: TrackingGranularity::Row,
             enforcement: EnforcementPolicy::Allow,
+            telemetry: None,
+        }
+    }
+
+    /// A builder starting from the standard configuration for `flavor`.
+    ///
+    /// ```
+    /// use resildb_proxy::{EnforcementPolicy, ProxyConfig};
+    /// use resildb_engine::Flavor;
+    ///
+    /// let config = ProxyConfig::builder(Flavor::Postgres)
+    ///     .rewrite_cache_capacity(64)
+    ///     .enforcement(EnforcementPolicy::Warn)
+    ///     .record_read_only_deps(true)
+    ///     .build();
+    /// assert_eq!(config.rewrite_cache_capacity, 64);
+    /// assert_eq!(config.enforcement, EnforcementPolicy::Warn);
+    /// assert!(config.record_read_only_deps);
+    /// ```
+    pub fn builder(flavor: Flavor) -> ProxyConfigBuilder {
+        ProxyConfigBuilder {
+            config: Self::new(flavor),
         }
     }
 
@@ -144,6 +171,88 @@ impl ProxyConfig {
     }
 }
 
+/// Builder for [`ProxyConfig`]; see [`ProxyConfig::builder`].
+///
+/// Every field has a setter so adding config fields (telemetry recorders,
+/// sharding, …) stays non-breaking for builder users.
+#[derive(Debug, Clone)]
+pub struct ProxyConfigBuilder {
+    config: ProxyConfig,
+}
+
+impl ProxyConfigBuilder {
+    /// Whether SELECTs are rewritten to harvest read dependencies.
+    pub fn track_reads(mut self, on: bool) -> Self {
+        self.config.track_reads = on;
+        self
+    }
+
+    /// Whether dependency records are written at commit.
+    pub fn record_deps_at_commit(mut self, on: bool) -> Self {
+        self.config.record_deps_at_commit = on;
+        self
+    }
+
+    /// Whether column-level provenance rows are written at commit.
+    pub fn record_provenance(mut self, on: bool) -> Self {
+        self.config.record_provenance = on;
+        self
+    }
+
+    /// Whether read-only transactions also get a `trans_dep` record.
+    pub fn record_read_only_deps(mut self, on: bool) -> Self {
+        self.config.record_read_only_deps = on;
+        self
+    }
+
+    /// CPU cost of a cold statement rewrite.
+    pub fn rewrite_cpu(mut self, cost: Micros) -> Self {
+        self.config.rewrite_cpu = cost;
+        self
+    }
+
+    /// CPU cost of replaying a cached rewrite.
+    pub fn rewrite_cached_cpu(mut self, cost: Micros) -> Self {
+        self.config.rewrite_cached_cpu = cost;
+        self
+    }
+
+    /// Rewrite-cache capacity in statement shapes (`0` disables).
+    pub fn rewrite_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.rewrite_cache_capacity = capacity;
+        self
+    }
+
+    /// Per-row cost (ns) of harvesting/stripping trid columns.
+    pub fn harvest_per_row_ns(mut self, ns: u64) -> Self {
+        self.config.harvest_per_row_ns = ns;
+        self
+    }
+
+    /// Row-level or column-level tracking.
+    pub fn granularity(mut self, granularity: TrackingGranularity) -> Self {
+        self.config.granularity = granularity;
+        self
+    }
+
+    /// Policy for statements the analyzer classifies as untracked.
+    pub fn enforcement(mut self, policy: EnforcementPolicy) -> Self {
+        self.config.enforcement = policy;
+        self
+    }
+
+    /// Telemetry domain for the proxy's spans and counters.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.config.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ProxyConfig {
+        self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +273,31 @@ mod tests {
         let c = ProxyConfig::column_level(Flavor::Oracle);
         assert_eq!(c.granularity, TrackingGranularity::Column);
         assert!(c.track_reads);
+    }
+
+    #[test]
+    fn builder_matches_field_mutation() {
+        let built = ProxyConfig::builder(Flavor::Oracle)
+            .track_reads(false)
+            .rewrite_cache_capacity(8)
+            .granularity(TrackingGranularity::Column)
+            .enforcement(EnforcementPolicy::Reject)
+            .build();
+        let mut manual = ProxyConfig::new(Flavor::Oracle);
+        manual.track_reads = false;
+        manual.rewrite_cache_capacity = 8;
+        manual.granularity = TrackingGranularity::Column;
+        manual.enforcement = EnforcementPolicy::Reject;
+        assert_eq!(built, manual);
+    }
+
+    #[test]
+    fn builder_telemetry_attaches_a_domain() {
+        let tel = resildb_sim::Telemetry::recording();
+        let c = ProxyConfig::builder(Flavor::Postgres)
+            .telemetry(tel.clone())
+            .build();
+        assert_eq!(c.telemetry, Some(tel));
     }
 
     #[test]

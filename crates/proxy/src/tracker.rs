@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use resildb_engine::{Database, EngineError, Value};
-use resildb_sim::{failpoints, InjectedFault, Micros, SimContext};
+use resildb_sim::telemetry::names as span_names;
+use resildb_sim::{failpoints, InjectedFault, MetricsSnapshot, Micros, OwnedSpan, SimContext};
 use resildb_sql::{
     collect_params, parse_template, scan_statement, Expr, SqlTemplate, Statement, StatementScan,
     TRID_PARAM,
@@ -72,6 +73,16 @@ impl TrackerStats {
             untracked: self.untracked.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Folds the counters into `snap` under the `proxy.enforcement.*`
+    /// metric names.
+    pub fn fold_metrics(&self, snap: &mut MetricsSnapshot) {
+        let s = self.snapshot();
+        snap.set_counter("proxy.enforcement.sound", s.sound);
+        snap.set_counter("proxy.enforcement.degraded", s.degraded);
+        snap.set_counter("proxy.enforcement.untracked", s.untracked);
+        snap.set_counter("proxy.enforcement.rejected", s.rejected);
     }
 }
 
@@ -169,6 +180,24 @@ impl TrackingProxy {
         (single_proxy(db, link, factory), stats)
     }
 
+    /// Like [`Self::single_proxy`], additionally returning handles to both
+    /// the shared rewrite cache and the enforcement statistics — what the
+    /// `ResilientDb` facade retains so `metrics()` can fold every proxy
+    /// counter into one snapshot.
+    pub fn single_proxy_instrumented(
+        db: Database,
+        link: LinkProfile,
+        config: ProxyConfig,
+    ) -> (
+        InterceptDriver<NativeDriver>,
+        Arc<RewriteCache>,
+        Arc<TrackerStats>,
+    ) {
+        let sim = db.sim().clone();
+        let (factory, cache, stats) = Self::factory_inner(config, Some(sim));
+        (single_proxy(db, link, factory), cache, stats)
+    }
+
     /// Figure 2 deployment: client proxy + server proxy pair; the tracker
     /// and its extra statements run on the server-side (local) leg.
     pub fn dual_proxy(
@@ -176,8 +205,23 @@ impl TrackingProxy {
         link: LinkProfile,
         config: ProxyConfig,
     ) -> resildb_wire::DualProxyDriver {
+        Self::dual_proxy_instrumented(db, link, config).0
+    }
+
+    /// Like [`Self::dual_proxy`], additionally returning the rewrite-cache
+    /// and enforcement-stats handles.
+    pub fn dual_proxy_instrumented(
+        db: Database,
+        link: LinkProfile,
+        config: ProxyConfig,
+    ) -> (
+        resildb_wire::DualProxyDriver,
+        Arc<RewriteCache>,
+        Arc<TrackerStats>,
+    ) {
         let sim = db.sim().clone();
-        dual_proxy(db, link, Self::factory_with_sim(config, sim))
+        let (factory, cache, stats) = Self::factory_inner(config, Some(sim));
+        (dual_proxy(db, link, factory), cache, stats)
     }
 }
 
@@ -256,6 +300,16 @@ fn is_tracking_table(name: &str) -> bool {
 impl Tracker {
     fn alloc_trid(&self) -> i64 {
         self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a telemetry span: in the domain named by the config when
+    /// set, else the simulation context's domain (disabled by default, so
+    /// this costs one relaxed atomic load on untelemetered deployments).
+    fn tel_span(&self, name: &'static str) -> Option<OwnedSpan> {
+        match &self.config.telemetry {
+            Some(t) => Some(t.owned_span(name)),
+            None => self.sim.as_ref().map(|s| s.telemetry().owned_span(name)),
+        }
     }
 
     /// Charges the interception/parsing/rewriting cost for one statement.
@@ -350,6 +404,7 @@ impl Tracker {
         t: &TxnTrack,
         downstream: &mut dyn Connection,
     ) -> Result<(), WireError> {
+        let _span = self.tel_span(span_names::PROXY_TRANS_DEP_INSERT);
         if self.config.record_provenance && !t.prov.is_empty() {
             let tuples: Vec<String> = t
                 .prov
@@ -449,6 +504,7 @@ impl Tracker {
         resp: Response,
         plan: &crate::rewrite::SelectRewrite,
     ) -> Result<Response, WireError> {
+        let _span = self.tel_span(span_names::PROXY_HARVEST);
         self.fault(failpoints::PROXY_HARVEST)?;
         let Response::Rows(qr) = resp else {
             return Ok(resp);
@@ -775,6 +831,11 @@ impl Interceptor for Tracker {
         }
         result
     }
+
+    fn fold_metrics(&self, snap: &mut MetricsSnapshot) {
+        self.cache.fold_metrics(snap);
+        self.stats.fold_metrics(snap);
+    }
 }
 
 impl Tracker {
@@ -790,7 +851,11 @@ impl Tracker {
         // the full lex/parse/rewrite/print pipeline.
         if self.cache.enabled() {
             if let Some(scan) = scan_statement(sql) {
-                if let Some(shape) = self.cache.lookup(scan.fingerprint, scan.spans.len()) {
+                let hit = {
+                    let _span = self.tel_span(span_names::PROXY_CACHE_LOOKUP);
+                    self.cache.lookup(scan.fingerprint, scan.spans.len())
+                };
+                if let Some(shape) = hit {
                     self.charge_rewrite_cached();
                     // The verdict was computed once on the cold path; on
                     // hits enforcement costs one enum inspection.
@@ -799,6 +864,7 @@ impl Tracker {
                     }
                     return self.execute_cached(&shape.entry, sql, &scan, downstream);
                 }
+                let rewrite_span = self.tel_span(span_names::PROXY_REWRITE);
                 let stmt = resildb_sql::parse_statement(sql).map_err(|e| {
                     WireError::Protocol(format!("proxy cannot parse statement: {e}"))
                 })?;
@@ -813,6 +879,7 @@ impl Tracker {
                         },
                     );
                 }
+                drop(rewrite_span);
                 if let Some(v) = &verdict {
                     self.enforce(v)?;
                 }
@@ -820,10 +887,13 @@ impl Tracker {
             }
         }
 
+        let rewrite_span = self.tel_span(span_names::PROXY_REWRITE);
         let stmt = resildb_sql::parse_statement(sql)
             .map_err(|e| WireError::Protocol(format!("proxy cannot parse statement: {e}")))?;
         self.charge_rewrite();
-        if let Some(v) = self.classify_for_enforcement(&stmt) {
+        let verdict = self.classify_for_enforcement(&stmt);
+        drop(rewrite_span);
+        if let Some(v) = verdict {
             self.enforce(&v)?;
         }
         self.execute_cold(&stmt, sql, downstream)

@@ -14,8 +14,9 @@ fn tracked(flavor: Flavor) -> (Database, Box<dyn Connection>) {
 /// Like [`tracked`] but also records dependency rows for read-only
 /// transactions (several tests observe trans_dep for pure readers).
 fn tracked_readonly_deps(flavor: Flavor) -> (Database, Box<dyn Connection>) {
-    let mut config = ProxyConfig::new(flavor);
-    config.record_read_only_deps = true;
+    let config = ProxyConfig::builder(flavor)
+        .record_read_only_deps(true)
+        .build();
     tracked_with(config)
 }
 
@@ -282,8 +283,9 @@ fn tracking_disabled_reads_record_nothing() {
     let db = Database::in_memory(Flavor::Postgres);
     let native = NativeDriver::new(db.clone(), LinkProfile::local());
     prepare_database(&mut *native.connect().unwrap()).unwrap();
-    let mut config = ProxyConfig::new(Flavor::Postgres);
-    config.track_reads = false;
+    let config = ProxyConfig::builder(Flavor::Postgres)
+        .track_reads(false)
+        .build();
     let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), config);
     let mut conn = driver.connect().unwrap();
     conn.execute("CREATE TABLE t (a INTEGER)").unwrap();

@@ -3,6 +3,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use resildb_engine::{Database, Value};
+use resildb_sim::telemetry::names as span_names;
 use resildb_wire::{Driver, LinkProfile, NativeDriver};
 
 use crate::adapters::{adapter_for, LogAdapter};
@@ -96,8 +97,16 @@ impl RepairTool {
     ///
     /// Log introspection or tracking-table read failures.
     pub fn analyze(&self) -> Result<Analysis, RepairError> {
-        let records = self.adapter.scan(&self.db)?;
-        let correlation = TxnCorrelation::from_records(&records);
+        let telemetry = self.db.sim().telemetry();
+        let records = {
+            let _span = telemetry.span(span_names::REPAIR_LOG_SCAN);
+            self.adapter.scan(&self.db)?
+        };
+        let correlation = {
+            let _span = telemetry.span(span_names::REPAIR_CORRELATE);
+            TxnCorrelation::from_records(&records)
+        };
+        let _span = telemetry.span(span_names::REPAIR_GRAPH_BUILD);
         let mut graph = DepGraph::new();
 
         // 1. Online (read) dependencies from trans_dep + provenance.
@@ -263,7 +272,10 @@ impl RepairTool {
         rules: &[FalseDepRule],
     ) -> Result<RepairReport, RepairError> {
         let analysis = self.analyze()?;
-        let undo_set = analysis.undo_set(initial, rules);
+        let undo_set = {
+            let _span = self.db.sim().telemetry().span(span_names::REPAIR_CLOSURE);
+            analysis.undo_set(initial, rules)
+        };
         self.repair_with_undo_set(&analysis, &undo_set)
     }
 
@@ -278,6 +290,11 @@ impl RepairTool {
         analysis: &Analysis,
         undo_set: &BTreeSet<i64>,
     ) -> Result<RepairReport, RepairError> {
+        let _span = self
+            .db
+            .sim()
+            .telemetry()
+            .span(span_names::REPAIR_COMPENSATE);
         let mut undo_internal = HashMap::new();
         for &proxy in undo_set {
             if let Some(internal) = analysis.correlation.internal_id(proxy) {

@@ -190,8 +190,9 @@ mod tests {
         let db = Database::in_memory(Flavor::Postgres);
         let native = NativeDriver::new(db.clone(), LinkProfile::local());
         prepare_database(&mut *native.connect().unwrap()).unwrap();
-        let mut config = ProxyConfig::new(Flavor::Postgres);
-        config.record_read_only_deps = true;
+        let config = ProxyConfig::builder(Flavor::Postgres)
+            .record_read_only_deps(true)
+            .build();
         let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), config);
         let mut conn = driver.connect().unwrap();
         conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
@@ -303,9 +304,9 @@ mod tests {
         let native = NativeDriver::new(db.clone(), LinkProfile::local());
         prepare_database(&mut *native.connect().unwrap()).unwrap();
         let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), {
-            let mut c = ProxyConfig::new(Flavor::Postgres);
-            c.record_read_only_deps = true;
-            c
+            ProxyConfig::builder(Flavor::Postgres)
+                .record_read_only_deps(true)
+                .build()
         });
         let mut conn = driver.connect().unwrap();
         conn.execute(

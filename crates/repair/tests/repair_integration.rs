@@ -20,8 +20,9 @@ fn fixture(flavor: Flavor) -> Fixture {
     prepare_database(&mut *native.connect().unwrap()).unwrap();
     // Track read-only transactions too: several scenarios below assert on
     // the undo-set membership of pure readers (paper-literal behaviour).
-    let mut config = ProxyConfig::new(flavor);
-    config.record_read_only_deps = true;
+    let config = ProxyConfig::builder(flavor)
+        .record_read_only_deps(true)
+        .build();
     let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), config);
     let conn = driver.connect().unwrap();
     Fixture { db, conn }

@@ -13,8 +13,9 @@ fn tracked(flavor: Flavor) -> (Database, Box<dyn Connection>) {
     let db = Database::in_memory(flavor);
     let native = NativeDriver::new(db.clone(), LinkProfile::local());
     prepare_database(&mut *native.connect().unwrap()).unwrap();
-    let mut config = ProxyConfig::new(flavor);
-    config.record_read_only_deps = true;
+    let config = ProxyConfig::builder(flavor)
+        .record_read_only_deps(true)
+        .build();
     let driver = TrackingProxy::single_proxy(db.clone(), LinkProfile::local(), config);
     let conn = driver.connect().unwrap();
     (db, conn)

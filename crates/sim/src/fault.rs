@@ -202,6 +202,19 @@ impl FaultPlan {
         self.points.lock().get(name).map_or(0, |s| s.fired)
     }
 
+    /// All failpoints with a non-zero hit count, sorted by name — used to
+    /// fold `fault.hits.*` counters into a metrics snapshot.
+    pub fn hit_counts(&self) -> Vec<(String, u64)> {
+        let points = self.points.lock();
+        let mut counts: Vec<(String, u64)> = points
+            .iter()
+            .filter(|(_, s)| s.hits > 0)
+            .map(|(name, s)| (name.clone(), s.hits))
+            .collect();
+        counts.sort();
+        counts
+    }
+
     /// Whether any failpoint is currently armed.
     pub fn active(&self) -> bool {
         self.armed.load(Ordering::Relaxed) != 0

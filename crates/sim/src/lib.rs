@@ -49,6 +49,14 @@ pub use fault::{failpoints, FaultAction, FaultPlan, FaultTrigger, InjectedFault}
 pub use lru::LruMap;
 pub use stats::SimStats;
 
+// Telemetry (spans, histograms, metric registry) rides on the simulation
+// context so every layer sharing a `SimContext` also shares one metrics
+// domain. Re-exported here so downstream crates need no extra dependency.
+pub use resildb_telemetry as telemetry;
+pub use resildb_telemetry::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, OwnedSpan, Recorder, Span, Telemetry,
+};
+
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -70,12 +78,23 @@ struct SimInner {
     pool: Mutex<BufferPool>,
     stats: SimStats,
     faults: FaultPlan,
+    telemetry: Telemetry,
 }
 
 impl SimContext {
     /// Creates a context with the given cost model and buffer-pool capacity
-    /// (in pages).
+    /// (in pages). Telemetry starts *disabled* — span guards cost one
+    /// relaxed atomic load — so raw engine paths and benchmarks pay
+    /// nothing; use [`Self::with_telemetry`] (or the facade, which
+    /// enables recording) to collect spans.
     pub fn new(cost: CostModel, pool_pages: usize) -> Self {
+        Self::with_telemetry(cost, pool_pages, Telemetry::disabled())
+    }
+
+    /// Creates a context recording into the given telemetry domain.
+    /// Sharing one [`Telemetry`] across several contexts (e.g. benchmark
+    /// cells) accumulates their spans into a single registry.
+    pub fn with_telemetry(cost: CostModel, pool_pages: usize, telemetry: Telemetry) -> Self {
         Self {
             inner: Arc::new(SimInner {
                 clock: VirtualClock::new(),
@@ -83,6 +102,7 @@ impl SimContext {
                 pool: Mutex::new(BufferPool::new(pool_pages)),
                 stats: SimStats::default(),
                 faults: FaultPlan::new(),
+                telemetry,
             }),
         }
     }
@@ -111,6 +131,11 @@ impl SimContext {
     /// The fault-injection plan shared by every layer of this simulation.
     pub fn faults(&self) -> &FaultPlan {
         &self.inner.faults
+    }
+
+    /// The telemetry domain shared by every layer of this simulation.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Evaluates failpoint `name`, applying [`FaultAction::Delay`] faults to

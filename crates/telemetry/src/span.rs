@@ -1,0 +1,318 @@
+//! Lightweight span guards and the [`Telemetry`] handle.
+//!
+//! [`Telemetry::span`] is the single instrumentation primitive threaded
+//! through the statement and repair pipelines. When telemetry is
+//! disabled (the default for bare [`crate::MetricsRegistry`]-less
+//! simulation contexts) the guard is a no-op constructed after one
+//! relaxed atomic load — the same fast-path shape as the disarmed
+//! failpoint check in `crates/sim/src/fault.rs`, so the hot statement
+//! path pays effectively nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Destination for span durations and counter bumps. The default
+/// recorder is the registry itself; tests or embedders can install a
+/// custom one (e.g. a printing recorder) via [`Telemetry::set_recorder`].
+pub trait Recorder: std::fmt::Debug + Send + Sync {
+    /// Record that span `name` took `nanos` wall-clock nanoseconds.
+    fn record_span(&self, name: &str, nanos: u64);
+    /// Add `delta` to counter `name`.
+    fn add_counter(&self, name: &str, delta: u64);
+}
+
+impl Recorder for MetricsRegistry {
+    fn record_span(&self, name: &str, nanos: u64) {
+        self.histogram(name).record(nanos);
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+}
+
+#[derive(Debug, Default)]
+struct TelemetryInner {
+    enabled: AtomicBool,
+    registry: MetricsRegistry,
+    sink: RwLock<Option<Arc<dyn Recorder>>>,
+}
+
+/// Shared, cloneable handle to one telemetry domain: an enabled flag, a
+/// [`MetricsRegistry`], and an optional custom [`Recorder`] sink.
+///
+/// Clones share state (`Arc` inside); equality is identity so that
+/// config structs carrying a `Telemetry` can stay `PartialEq`/`Eq`.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl PartialEq for Telemetry {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for Telemetry {}
+
+impl Telemetry {
+    /// A disabled telemetry domain: spans and counters are no-ops until
+    /// [`set_enabled`](Telemetry::set_enabled) flips it on.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled telemetry domain recording into its own registry.
+    pub fn recording() -> Self {
+        let t = Self::default();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Whether spans/counters are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Install (or clear) a custom recorder sink. When `None` (the
+    /// default), samples go to the built-in registry.
+    pub fn set_recorder(&self, recorder: Option<Arc<dyn Recorder>>) {
+        let mut sink = self
+            .inner
+            .sink
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *sink = recorder;
+    }
+
+    /// The built-in registry backing this domain.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Snapshot the built-in registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Start a span named `name`. The returned guard records its
+    /// wall-clock duration when dropped. Disabled telemetry returns an
+    /// inert guard after a single relaxed atomic load — no clock read.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return Span { active: None };
+        }
+        Span {
+            active: Some(ActiveSpan {
+                telemetry: self,
+                name,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Like [`Self::span`], but the guard owns a clone of the telemetry
+    /// handle instead of borrowing it — for instrumenting methods that
+    /// need `&mut self` while the span is live. Disabled telemetry still
+    /// pays only the one relaxed load (no clone, no clock read).
+    pub fn owned_span(&self, name: &'static str) -> OwnedSpan {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return OwnedSpan { active: None };
+        }
+        OwnedSpan {
+            active: Some(OwnedActiveSpan {
+                telemetry: self.clone(),
+                name,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Add `delta` to counter `name` (no-op when disabled).
+    pub fn count(&self, name: &str, delta: u64) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.dispatch_counter(name, delta);
+    }
+
+    /// Record a span duration directly (for pre-measured intervals).
+    pub fn record_span_ns(&self, name: &str, nanos: u64) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.dispatch_span(name, nanos);
+    }
+
+    fn dispatch_span(&self, name: &str, nanos: u64) {
+        let sink = self
+            .inner
+            .sink
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        match sink.as_ref() {
+            Some(r) => r.record_span(name, nanos),
+            None => self.inner.registry.record_span(name, nanos),
+        }
+    }
+
+    fn dispatch_counter(&self, name: &str, delta: u64) {
+        let sink = self
+            .inner
+            .sink
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        match sink.as_ref() {
+            Some(r) => r.add_counter(name, delta),
+            None => self.inner.registry.add_counter(name, delta),
+        }
+    }
+}
+
+struct ActiveSpan<'a> {
+    telemetry: &'a Telemetry,
+    name: &'static str,
+    started: Instant,
+}
+
+/// RAII guard measuring one timed region; see [`Telemetry::span`].
+pub struct Span<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl Span<'_> {
+    /// Whether this span is live (telemetry was enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let nanos = active.started.elapsed().as_nanos();
+            let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+            active.telemetry.dispatch_span(active.name, nanos);
+        }
+    }
+}
+
+struct OwnedActiveSpan {
+    telemetry: Telemetry,
+    name: &'static str,
+    started: Instant,
+}
+
+/// Owning variant of [`Span`]; see [`Telemetry::owned_span`].
+pub struct OwnedSpan {
+    active: Option<OwnedActiveSpan>,
+}
+
+impl OwnedSpan {
+    /// Whether this span is live (telemetry was enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let nanos = active.started.elapsed().as_nanos();
+            let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+            active.telemetry.dispatch_span(active.name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_span_records_and_disabled_is_inert() {
+        let t = Telemetry::recording();
+        drop(t.owned_span("o"));
+        assert_eq!(t.snapshot().histogram("o").map(|h| h.count), Some(1));
+        let off = Telemetry::disabled();
+        assert!(!off.owned_span("o").is_recording());
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let t = Telemetry::disabled();
+        {
+            let s = t.span("x");
+            assert!(!s.is_recording());
+        }
+        t.count("c", 5);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_records_into_registry() {
+        let t = Telemetry::recording();
+        {
+            let s = t.span("stage");
+            assert!(s.is_recording());
+        }
+        t.count("hits", 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.histogram("stage").map(|h| h.count), Some(1));
+        assert_eq!(snap.counter("hits"), 2);
+    }
+
+    #[test]
+    fn toggling_enabled_flag_is_shared_across_clones() {
+        let t = Telemetry::disabled();
+        let t2 = t.clone();
+        t.set_enabled(true);
+        assert!(t2.is_enabled());
+        drop(t2.span("s"));
+        assert_eq!(t.snapshot().histogram("s").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn custom_recorder_receives_samples() {
+        #[derive(Debug, Default)]
+        struct Capture(MetricsRegistry);
+        impl Recorder for Capture {
+            fn record_span(&self, name: &str, nanos: u64) {
+                self.0.histogram(name).record(nanos);
+            }
+            fn add_counter(&self, name: &str, delta: u64) {
+                self.0.counter(name).add(delta);
+            }
+        }
+        let capture = Arc::new(Capture::default());
+        let t = Telemetry::recording();
+        t.set_recorder(Some(Arc::clone(&capture) as Arc<dyn Recorder>));
+        drop(t.span("s"));
+        t.count("c", 1);
+        // Samples went to the custom sink, not the built-in registry.
+        assert!(t.snapshot().is_empty());
+        assert_eq!(capture.0.snapshot().counter("c"), 1);
+        assert_eq!(
+            capture.0.snapshot().histogram("s").map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = Telemetry::recording();
+        let b = a.clone();
+        let c = Telemetry::recording();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

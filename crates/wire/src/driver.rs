@@ -1,7 +1,7 @@
 //! JDBC-like driver abstraction and the native driver.
 
 use resildb_engine::{Database, PreparedStatement, Session};
-use resildb_sim::{failpoints, InjectedFault, Micros};
+use resildb_sim::{failpoints, InjectedFault, MetricsSnapshot, Micros};
 use resildb_sql::Literal;
 
 use crate::error::WireError;
@@ -40,6 +40,20 @@ impl LinkProfile {
 /// from one connection is meaningless on another.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StatementHandle(u64);
+
+impl StatementHandle {
+    /// Wraps a raw slot index as a handle (for connection adapters that
+    /// manage their own statement storage, e.g. the unified `Session`
+    /// trait over a raw engine session).
+    pub fn from_raw(raw: u64) -> Self {
+        StatementHandle(raw)
+    }
+
+    /// The raw slot index inside this handle.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// An open connection executing SQL text.
 pub trait Connection: Send {
@@ -87,6 +101,15 @@ pub trait Connection: Send {
         Err(WireError::Protocol(
             "prepared statements are not supported on this connection".into(),
         ))
+    }
+
+    /// A metrics snapshot for the database behind this connection,
+    /// including any layer-specific counters the connection type folds in
+    /// (e.g. the tracking proxy's rewrite-cache and enforcement stats).
+    ///
+    /// The default returns an empty snapshot: a connection type opts in.
+    fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
     }
 }
 
@@ -219,6 +242,10 @@ impl Connection for NativeConnection {
             .sim()
             .charge_link(self.link.rtt, self.link.per_byte_ns, bytes);
         Ok(response)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.db.metrics()
     }
 }
 

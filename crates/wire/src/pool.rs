@@ -135,6 +135,10 @@ impl Connection for PooledConnection {
             )),
         }
     }
+
+    fn metrics(&self) -> resildb_sim::MetricsSnapshot {
+        self.conn.as_ref().map(|c| c.metrics()).unwrap_or_default()
+    }
 }
 
 impl Drop for PooledConnection {

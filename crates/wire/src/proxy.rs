@@ -14,6 +14,7 @@
 //!   client proxy can be firewalled off from the DBMS port.
 
 use resildb_engine::Database;
+use resildb_sim::MetricsSnapshot;
 
 use crate::driver::{Connection, Driver, LinkProfile, NativeDriver};
 use crate::error::WireError;
@@ -34,6 +35,13 @@ pub trait Interceptor: Send {
         sql: &str,
         downstream: &mut dyn Connection,
     ) -> Result<Response, WireError>;
+
+    /// Folds this interceptor's own counters (e.g. rewrite-cache and
+    /// enforcement stats) into `snap` when the connection's metrics are
+    /// snapshotted. The default folds nothing.
+    fn fold_metrics(&self, snap: &mut MetricsSnapshot) {
+        let _ = snap;
+    }
 }
 
 /// Factory producing one [`Interceptor`] per connection (each connection
@@ -90,6 +98,12 @@ struct InterceptConnection {
 impl Connection for InterceptConnection {
     fn execute(&mut self, sql: &str) -> Result<Response, WireError> {
         self.interceptor.intercept(sql, self.inner.as_mut())
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.metrics();
+        self.interceptor.fold_metrics(&mut snap);
+        snap
     }
 }
 
@@ -160,6 +174,10 @@ impl Connection for DualProxyConnection {
             .sim()
             .charge_link(self.client_link.rtt, self.client_link.per_byte_ns, bytes);
         Ok(response)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.server_conn.metrics()
     }
 }
 
