@@ -239,12 +239,36 @@ fn bench_telemetry(c: &mut Criterion) {
         b.iter(|| recording.owned_span(std::hint::black_box("engine.execute")))
     });
 
+    // The flight recorder's disabled path must match the span guard's:
+    // one relaxed atomic load, no tick allocation, no lock. Within noise
+    // of telemetry_span_disabled.
+    use resildb_core::EventKind;
+    let flight_off = Telemetry::disabled();
+    c.bench_function("flight_recorder_disabled", |b| {
+        b.iter(|| {
+            flight_off
+                .flight()
+                .emit(std::hint::black_box(7), 1, EventKind::TxnBegin)
+        })
+    });
+    let flight_on = Telemetry::disabled();
+    flight_on.flight().set_enabled(true);
+    c.bench_function("flight_recorder_recording", |b| {
+        b.iter(|| {
+            flight_on
+                .flight()
+                .emit(std::hint::black_box(7), 1, EventKind::TxnBegin)
+        })
+    });
+
     // The cached-rewrite hot path with telemetry disabled must look
     // exactly like it did before the instrumentation landed — compare
     // against tracked_select_with_harvest across PRs. ResilientDb enables
-    // recording by default, so flip it off first.
+    // recording by default, so flip it off first (the builder also turns
+    // the flight recorder on; disable that too).
     let (rdb, mut conn) = tracked_db();
     rdb.telemetry().set_enabled(false);
+    rdb.flight_recorder().set_enabled(false);
     conn.execute("SELECT v FROM t WHERE id = 250").unwrap(); // warm cache
     c.bench_function("tracked_select_telemetry_disabled", |b| {
         b.iter(|| conn.execute("SELECT v FROM t WHERE id = 250").unwrap())

@@ -19,7 +19,14 @@ fn main() {
             dot.len(),
             dot.matches("->").count()
         );
-        json::write_report(&path, "fig3", &results, &probe.snapshot()).expect("write json report");
+        json::write_report(
+            &path,
+            "fig3",
+            &results,
+            &probe.snapshot(),
+            &probe.run_meta(),
+        )
+        .expect("write json report");
         eprintln!("JSON report written to {path}");
     }
 }

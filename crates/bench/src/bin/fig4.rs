@@ -1,9 +1,12 @@
 //! Regenerates paper Figure 4: inter-transaction dependency tracking
 //! overhead over the four panels. Pass `--quick` for a reduced run,
 //! `--no-rewrite-cache` to disable the proxy's statement-template cache
-//! (the ablation isolating what cached rewrites buy back), and
+//! (the ablation isolating what cached rewrites buy back),
 //! `--json-out [PATH]` to also emit a machine-readable report (cells plus
-//! per-stage telemetry histograms; default `BENCH_pr4.json`).
+//! per-stage telemetry histograms; default `BENCH_pr4.json`), and
+//! `--trace-out [PATH]` to capture a flight-recorder trace of the run
+//! (Chrome Trace Event Format, Perfetto-loadable; `.jsonl` for JSONL;
+//! default `BENCH_trace.json`). Explore captures with `resildb-trace`.
 
 // Harness target: setup failures panic with context by design.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -43,12 +46,29 @@ fn main() {
         println!("(proxy statement-template rewrite cache DISABLED)");
     }
     let json_out = json::json_out_path(&args);
-    let probe = json_out.as_ref().map(|_| Probe::new());
+    let trace_out = json::trace_out_path(&args);
+    let probe = (json_out.is_some() || trace_out.is_some()).then(Probe::new);
+    if trace_out.is_some() {
+        if let Some(probe) = &probe {
+            probe.enable_tracing();
+        }
+    }
     let cells = run_probed(scale, rewrite_cache, probe.as_ref());
     print!("{}", render(&cells));
-    if let (Some(path), Some(probe)) = (json_out, probe) {
-        json::write_report(&path, "fig4", &cells_json(&cells), &probe.snapshot())
-            .expect("write json report");
+    if let (Some(path), Some(probe)) = (&json_out, &probe) {
+        json::write_report(
+            path,
+            "fig4",
+            &cells_json(&cells),
+            &probe.snapshot(),
+            &probe.run_meta(),
+        )
+        .expect("write json report");
         println!("\nJSON report written to {path}");
+    }
+    if let (Some(path), Some(probe)) = (&trace_out, &probe) {
+        json::write_trace(path, &probe.telemetry().flight().snapshot())
+            .expect("write trace capture");
+        println!("trace capture written to {path}");
     }
 }

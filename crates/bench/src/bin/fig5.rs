@@ -42,8 +42,14 @@ fn main() {
     let points = resildb_bench::fig5::run_probed(&[2, 5], &t_detects, probe.as_ref());
     print!("{}", resildb_bench::fig5::render(&points));
     if let (Some(path), Some(probe)) = (json_out, probe) {
-        json::write_report(&path, "fig5", &points_json(&points), &probe.snapshot())
-            .expect("write json report");
+        json::write_report(
+            &path,
+            "fig5",
+            &points_json(&points),
+            &probe.snapshot(),
+            &probe.run_meta(),
+        )
+        .expect("write json report");
         println!("\nJSON report written to {path}");
     }
 }

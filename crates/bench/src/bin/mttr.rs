@@ -1,6 +1,9 @@
 //! MTTR comparison: selective repair vs restore-backup-and-replay.
 //! Pass `--quick` for a reduced grid; `--json-out [PATH]` additionally
-//! emits a machine-readable report (default `BENCH_pr4.json`).
+//! emits a machine-readable report (default `BENCH_pr4.json`);
+//! `--trace-out [PATH]` captures a flight-recorder trace of the attack,
+//! analysis and repair (Chrome Trace Event Format; `.jsonl` for JSONL;
+//! default `BENCH_trace.json`). Explore captures with `resildb-trace`.
 
 // Harness target: setup failures panic with context by design.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -35,12 +38,29 @@ fn main() {
         vec![50, 100, 200, 400, 700]
     };
     let json_out = json::json_out_path(&args);
-    let probe = json_out.as_ref().map(|_| Probe::new());
+    let trace_out = json::trace_out_path(&args);
+    let probe = (json_out.is_some() || trace_out.is_some()).then(Probe::new);
+    if trace_out.is_some() {
+        if let Some(probe) = &probe {
+            probe.enable_tracing();
+        }
+    }
     let points = resildb_bench::mttr::run_probed(&grid, probe.as_ref());
     print!("{}", resildb_bench::mttr::render(&points));
-    if let (Some(path), Some(probe)) = (json_out, probe) {
-        json::write_report(&path, "mttr", &points_json(&points), &probe.snapshot())
-            .expect("write json report");
+    if let (Some(path), Some(probe)) = (&json_out, &probe) {
+        json::write_report(
+            path,
+            "mttr",
+            &points_json(&points),
+            &probe.snapshot(),
+            &probe.run_meta(),
+        )
+        .expect("write json report");
         println!("\nJSON report written to {path}");
+    }
+    if let (Some(path), Some(probe)) = (&trace_out, &probe) {
+        json::write_trace(path, &probe.telemetry().flight().snapshot())
+            .expect("write trace capture");
+        println!("trace capture written to {path}");
     }
 }

@@ -24,6 +24,9 @@ pub fn render_probed(probe: Option<&Probe>) -> String {
         builder = builder.telemetry(probe.telemetry().clone());
     }
     let pc = builder.build();
+    if let Some(probe) = probe {
+        probe.note_proxy_config(pc.summary());
+    }
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,

@@ -91,6 +91,9 @@ fn throughput(
         builder = builder.telemetry(probe.telemetry().clone());
     }
     let pc = builder.build();
+    if let Some(probe) = probe {
+        probe.note_proxy_config(pc.summary());
+    }
     let mut bench = prepare(flavor, setup, &config, sim, link, Some(pc), 42).expect("prepare");
 
     let mix = match (read_intensive, scale) {

@@ -65,6 +65,9 @@ pub fn run_point_probed(w: u32, t_detect: usize, seed: u64, probe: Option<&Probe
         builder = builder.telemetry(probe.telemetry().clone());
     }
     let pc = builder.build();
+    if let Some(probe) = probe {
+        probe.note_proxy_config(pc.summary());
+    }
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,

@@ -75,6 +75,9 @@ pub fn run_point_probed(t_detect: usize, probe: Option<&Probe>) -> MttrPoint {
         builder = builder.telemetry(probe.telemetry().clone());
     }
     let pc = builder.build();
+    if let Some(probe) = probe {
+        probe.note_proxy_config(pc.summary());
+    }
     let mut bench = prepare(
         Flavor::Postgres,
         Setup::Tracked,

@@ -79,12 +79,13 @@ pub use resildb_proxy::{
     TrackerStatsSnapshot, TrackingGranularity, TrackingProxy,
 };
 pub use resildb_repair::{
-    detect, Analysis, AnomalyRule, DepGraph, Detection, FalseDepRule, RepairError, RepairReport,
-    RepairTool, WhatIfSession,
+    detect, Analysis, AnomalyRule, CausalChain, DepGraph, Detection, FalseDepRule, RepairError,
+    RepairReport, RepairTool, TraceExplorer, WhatIfSession,
 };
 pub use resildb_sim::{
-    failpoints, telemetry, CostModel, FaultAction, FaultPlan, FaultTrigger, HistogramSnapshot,
-    InjectedFault, MetricsSnapshot, Micros, SimContext, Telemetry,
+    failpoints, telemetry, CostModel, EventKind, FaultAction, FaultPlan, FaultTrigger,
+    FlightRecorder, HistogramSnapshot, InjectedFault, MetricsSnapshot, Micros, SimContext,
+    Telemetry, TraceEvent, TraceSnapshot, TraceVerdict,
 };
 pub use resildb_sql::{parse_statement, Literal, Statement};
 pub use resildb_wire::{

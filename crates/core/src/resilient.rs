@@ -114,6 +114,10 @@ impl ResilientDbBuilder {
         // The facade owns the full stack, so it turns telemetry on: one
         // recording domain shared by engine, wire, proxy and repair spans.
         let telemetry = Telemetry::recording();
+        // The flight recorder starts disabled even on recording domains;
+        // the facade turns it on so every instance gets a forensic event
+        // window for free (one relaxed atomic + a ring slot per event).
+        telemetry.flight().set_enabled(true);
         let sim = SimContext::with_telemetry(self.cost, self.pool_pages, telemetry.clone());
         let db = Database::new("resildb", self.flavor, sim);
         let native = NativeDriver::new(db.clone(), LinkProfile::local());
@@ -224,6 +228,17 @@ impl ResilientDb {
         self.rewrite_cache.fold_metrics(&mut snap);
         self.tracker_stats.fold_metrics(&mut snap);
         snap
+    }
+
+    /// The flight recorder every layer of this instance emits trace
+    /// events into: transaction lifecycles, statement rewrites, harvested
+    /// dependencies, WAL commits, fault hits and repair phases. Enabled
+    /// by [`ResilientDbBuilder::build`]; snapshot it and render with
+    /// [`resildb_sim::telemetry::trace::to_jsonl`] or
+    /// [`resildb_sim::telemetry::trace::to_chrome_trace`], then explore
+    /// the capture with `resildb-trace`.
+    pub fn flight_recorder(&self) -> &resildb_sim::FlightRecorder {
+        self.telemetry.flight()
     }
 
     /// A repair tool for this database.

@@ -705,10 +705,15 @@ impl Session {
             self.db.sim().charge_log_force();
         }
         self.db.inner.locks.release_all(txn.id);
-        self.db
-            .sim()
-            .telemetry()
-            .count(span_names::ENGINE_COMMIT_COUNT, 1);
+        let telemetry = self.db.sim().telemetry();
+        telemetry.count(span_names::ENGINE_COMMIT_COUNT, 1);
+        // Flight-record the WAL-side commit under the DBMS-internal id;
+        // the repair tool's correlation step joins it to the proxy id.
+        telemetry.flight().emit(
+            0,
+            0,
+            resildb_sim::EventKind::WalCommit { internal: txn.id.0 },
+        );
         Ok(())
     }
 
@@ -755,6 +760,11 @@ impl Session {
             );
         }
         self.db.inner.locks.release_all(txn.id);
+        self.db.sim().telemetry().flight().emit(
+            0,
+            0,
+            resildb_sim::EventKind::WalAbort { internal: txn.id.0 },
+        );
         Ok(())
     }
 }

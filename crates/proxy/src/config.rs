@@ -169,6 +169,31 @@ impl ProxyConfig {
         self.enforcement = policy;
         self
     }
+
+    /// A compact one-line description of the knobs that shape tracking
+    /// behaviour — stamped into bench `--json-out` reports so every
+    /// `BENCH_*.json` artifact records the configuration that produced it.
+    pub fn summary(&self) -> String {
+        format!(
+            "flavor={} track_reads={} deps_at_commit={} provenance={} ro_deps={} \
+             cache_cap={} granularity={} enforcement={}",
+            self.flavor.name(),
+            self.track_reads,
+            self.record_deps_at_commit,
+            self.record_provenance,
+            self.record_read_only_deps,
+            self.rewrite_cache_capacity,
+            match self.granularity {
+                TrackingGranularity::Row => "row",
+                TrackingGranularity::Column => "column",
+            },
+            match self.enforcement {
+                EnforcementPolicy::Allow => "allow",
+                EnforcementPolicy::Warn => "warn",
+                EnforcementPolicy::Reject => "reject",
+            },
+        )
+    }
 }
 
 /// Builder for [`ProxyConfig`]; see [`ProxyConfig::builder`].

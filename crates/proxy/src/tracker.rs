@@ -7,7 +7,10 @@ use std::sync::Arc;
 
 use resildb_engine::{Database, EngineError, Value};
 use resildb_sim::telemetry::names as span_names;
-use resildb_sim::{failpoints, InjectedFault, MetricsSnapshot, Micros, OwnedSpan, SimContext};
+use resildb_sim::{
+    failpoints, EventKind, InjectedFault, MetricsSnapshot, Micros, OwnedSpan, SimContext,
+    Telemetry, TraceVerdict,
+};
 use resildb_sql::{
     collect_params, parse_template, scan_statement, Expr, SqlTemplate, Statement, StatementScan,
     TRID_PARAM,
@@ -128,6 +131,7 @@ impl TrackingProxy {
         Arc<TrackerStats>,
     ) {
         let counter = Arc::new(AtomicI64::new(1));
+        let sessions = Arc::new(AtomicU64::new(1));
         let cache = Arc::new(RewriteCache::new(config.rewrite_cache_capacity));
         let stats = Arc::new(TrackerStats::default());
         let cache_handle = Arc::clone(&cache);
@@ -136,6 +140,7 @@ impl TrackingProxy {
             Box::new(Tracker {
                 config: config.clone(),
                 counter: Arc::clone(&counter),
+                session: sessions.fetch_add(1, Ordering::Relaxed),
                 cache: Arc::clone(&cache),
                 stats: Arc::clone(&stats),
                 txn: None,
@@ -254,6 +259,8 @@ impl TxnTrack {
 struct Tracker {
     config: ProxyConfig,
     counter: Arc<AtomicI64>,
+    /// Flight-recorder session (connection) id, unique per proxy factory.
+    session: u64,
     /// Statement-shape → rewrite-template cache shared across all
     /// connections of this proxy factory.
     cache: Arc<RewriteCache>,
@@ -302,13 +309,62 @@ impl Tracker {
         self.counter.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Starts a telemetry span: in the domain named by the config when
-    /// set, else the simulation context's domain (disabled by default, so
-    /// this costs one relaxed atomic load on untelemetered deployments).
-    fn tel_span(&self, name: &'static str) -> Option<OwnedSpan> {
+    /// The telemetry domain the tracker reports into: the domain named by
+    /// the config when set, else the simulation context's domain.
+    fn tel(&self) -> Option<&Telemetry> {
         match &self.config.telemetry {
-            Some(t) => Some(t.owned_span(name)),
-            None => self.sim.as_ref().map(|s| s.telemetry().owned_span(name)),
+            Some(t) => Some(t),
+            None => self.sim.as_ref().map(SimContext::telemetry),
+        }
+    }
+
+    /// Starts a telemetry span (disabled by default, so this costs one
+    /// relaxed atomic load on untelemetered deployments).
+    fn tel_span(&self, name: &'static str) -> Option<OwnedSpan> {
+        self.tel().map(|t| t.owned_span(name))
+    }
+
+    /// Whether flight-recorder event tracing is live — the one relaxed
+    /// load guarding every emission site, so callers can skip building
+    /// event payloads (strings) on the disabled path.
+    fn tracing(&self) -> bool {
+        self.tel().is_some_and(|t| t.flight().is_enabled())
+    }
+
+    /// Records one flight-recorder event, stamped with this connection's
+    /// session id.
+    fn trace(&self, txn: i64, kind: EventKind) {
+        if let Some(t) = self.tel() {
+            t.flight().emit(txn, self.session, kind);
+        }
+    }
+
+    /// Records the statement-interception event: rewrite-cache outcome
+    /// plus the enforcement verdict the statement got.
+    fn trace_rewrite(&self, cache_hit: bool, verdict: Option<&Verdict>) {
+        if !self.tracing() {
+            return;
+        }
+        let verdict = match verdict {
+            None => TraceVerdict::Unchecked,
+            Some(Verdict::Sound) => TraceVerdict::Sound,
+            Some(Verdict::Degraded(_)) => TraceVerdict::Degraded,
+            Some(Verdict::Untracked(_)) => {
+                if self.config.enforcement == EnforcementPolicy::Reject {
+                    TraceVerdict::Rejected
+                } else {
+                    TraceVerdict::Untracked
+                }
+            }
+        };
+        let txn = self.txn.as_ref().map_or(0, |t| t.trid);
+        self.trace(txn, EventKind::StmtRewrite { cache_hit, verdict });
+    }
+
+    /// Forgets the open transaction, flight-recording its abort.
+    fn clear_txn(&mut self) {
+        if let Some(t) = self.txn.take() {
+            self.trace(t.trid, EventKind::Abort);
         }
     }
 
@@ -391,7 +447,7 @@ impl Tracker {
     /// on a dead connection or an engine-aborted transaction (deadlock)
     /// there is nothing left to roll back and the attempt fails harmlessly.
     fn abort_txn(&mut self, downstream: &mut dyn Connection) {
-        self.txn = None;
+        self.clear_txn();
         let _ = downstream.execute("ROLLBACK");
     }
 
@@ -458,6 +514,12 @@ impl Tracker {
             "INSERT INTO trans_dep (tr_id, dep_tr_ids) VALUES {}",
             tuples.join(", ")
         ))?;
+        self.trace(
+            t.trid,
+            EventKind::TransDepInsert {
+                deps: u32::try_from(t.deps.len()).unwrap_or(u32::MAX),
+            },
+        );
         self.fault(failpoints::PROXY_AFTER_TRANS_DEP_INSERT)?;
         Ok(())
     }
@@ -524,13 +586,23 @@ impl Tracker {
                 strip[i] = true;
             }
         }
+        let tracing = self.tracing();
+        let mut harvested: Vec<(i64, i64, String)> = Vec::new();
         if let Some(txn) = &mut self.txn {
             for row in &qr.rows {
                 for &(col, k) in &harvest_cols {
                     if let Some(Value::Int(v)) = row.get(col) {
                         let v = *v;
                         if v > 0 && v != txn.trid && txn.deps.insert(v) {
-                            if let Some(src) = plan.harvested.get(k) {
+                            let src = plan.harvested.get(k);
+                            if tracing {
+                                harvested.push((
+                                    txn.trid,
+                                    v,
+                                    src.map(|s| s.table.clone()).unwrap_or_default(),
+                                ));
+                            }
+                            if let Some(src) = src {
                                 txn.prov
                                     .push((v, src.table.clone(), src.read_columns.join(",")));
                             }
@@ -538,6 +610,9 @@ impl Tracker {
                     }
                 }
             }
+        }
+        for (trid, dep, table) in harvested {
+            self.trace(trid, EventKind::DepHarvested { dep, table });
         }
         Ok(Response::Rows(strip_columns(qr, &strip)))
     }
@@ -556,6 +631,7 @@ impl Tracker {
             let annotation = self.next_annotation.take();
             downstream.execute("BEGIN")?;
             self.txn = Some(TxnTrack::new(trid, false, annotation));
+            self.trace(trid, EventKind::TxnBegin);
         }
         let Some(trid) = self.txn.as_ref().map(|t| t.trid) else {
             return Err(WireError::Protocol("transaction state missing".into()));
@@ -581,9 +657,11 @@ impl Tracker {
                     .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT))
                     .and_then(|()| downstream.execute("COMMIT").map(|_| ()));
                     if let Err(e) = finished {
+                        self.trace(t.trid, EventKind::Abort);
                         self.abort_txn(downstream);
                         return Err(e);
                     }
+                    self.trace(t.trid, EventKind::Commit);
                 }
                 Ok(resp)
             }
@@ -594,10 +672,10 @@ impl Tracker {
                 ) {
                     // Engine already rolled the victim back (deadlock), or
                     // the server did when the connection died.
-                    self.txn = None;
+                    self.clear_txn();
                 } else if implicit {
                     let _ = downstream.execute("ROLLBACK");
-                    self.txn = None;
+                    self.clear_txn();
                 }
                 Err(e)
             }
@@ -718,6 +796,7 @@ impl Tracker {
                 let trid = self.alloc_trid();
                 let annotation = self.next_annotation.take();
                 self.txn = Some(TxnTrack::new(trid, true, annotation));
+                self.trace(trid, EventKind::TxnBegin);
                 Ok(resp)
             }
             Statement::Commit => {
@@ -737,21 +816,26 @@ impl Tracker {
                 }
                 .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT));
                 if let Err(e) = recorded {
+                    self.trace(t.trid, EventKind::Abort);
                     self.abort_txn(downstream);
                     return Err(e);
                 }
                 match downstream.execute("COMMIT") {
-                    Ok(resp) => Ok(resp),
+                    Ok(resp) => {
+                        self.trace(t.trid, EventKind::Commit);
+                        Ok(resp)
+                    }
                     Err(e) => {
                         // A COMMIT that fails did not commit; make sure the
                         // engine side is closed too.
+                        self.trace(t.trid, EventKind::Abort);
                         self.abort_txn(downstream);
                         Err(e)
                     }
                 }
             }
             Statement::Rollback => {
-                self.txn = None;
+                self.clear_txn();
                 downstream.execute(sql)
             }
             Statement::CreateTable(ct) => {
@@ -827,7 +911,7 @@ impl Interceptor for Tracker {
             // The server rolls an open transaction back when its peer
             // disappears; mirror that so the proxy never believes in a
             // transaction the engine no longer has.
-            self.txn = None;
+            self.clear_txn();
         }
         result
     }
@@ -857,6 +941,7 @@ impl Tracker {
                 };
                 if let Some(shape) = hit {
                     self.charge_rewrite_cached();
+                    self.trace_rewrite(true, shape.verdict.as_ref());
                     // The verdict was computed once on the cold path; on
                     // hits enforcement costs one enum inspection.
                     if let Some(v) = &shape.verdict {
@@ -880,6 +965,7 @@ impl Tracker {
                     );
                 }
                 drop(rewrite_span);
+                self.trace_rewrite(false, verdict.as_ref());
                 if let Some(v) = &verdict {
                     self.enforce(v)?;
                 }
@@ -893,6 +979,7 @@ impl Tracker {
         self.charge_rewrite();
         let verdict = self.classify_for_enforcement(&stmt);
         drop(rewrite_span);
+        self.trace_rewrite(false, verdict.as_ref());
         if let Some(v) = verdict {
             self.enforce(&v)?;
         }

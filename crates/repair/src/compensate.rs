@@ -8,10 +8,10 @@
 //! repair receive fresh row ids, so an old→new id mapping is maintained
 //! per table and discarded when the row's original INSERT is undone.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use resildb_engine::{Database, InternalTxnId, Lsn, Value};
-use resildb_sim::{failpoints, InjectedFault};
+use resildb_sim::{failpoints, EventKind, InjectedFault};
 use resildb_wire::{Connection, Response, WireError};
 
 use crate::adapters::AddressColumn;
@@ -73,6 +73,26 @@ pub fn run_compensation(
     });
     if result.is_err() {
         let _ = conn.execute("ROLLBACK");
+    }
+    if let Ok(outcome) = &result {
+        // Flight-record the per-transaction compensation tally — one event
+        // per undone proxy transaction, durable only after the sweep's
+        // COMMIT (a rolled-back repair compensated nothing). Transactions
+        // in the undo set whose every record needed no statement (e.g.
+        // no-op updates) still get a zero-count event.
+        let flight = db.sim().telemetry().flight();
+        if flight.is_enabled() {
+            let mut per_txn: BTreeMap<i64, u32> =
+                undo_internal.values().map(|&proxy| (proxy, 0)).collect();
+            for stmt in &outcome.statements {
+                if let Some(n) = per_txn.get_mut(&stmt.proxy_txn) {
+                    *n += 1;
+                }
+            }
+            for (proxy, statements) in per_txn {
+                flight.emit(proxy, 0, EventKind::Compensated { statements });
+            }
+        }
     }
     result
 }

@@ -240,13 +240,46 @@ impl DepGraph {
         out
     }
 
+    /// Every edge `(dependent, dependee)` dismissed by `rules` — the edges
+    /// a false-dependency pruning pass removes before closure computation.
+    pub fn pruned_edges(&self, rules: &[FalseDepRule]) -> BTreeSet<(i64, i64)> {
+        let mut out = BTreeSet::new();
+        for (dependent, dependees) in &self.deps {
+            for dependee in dependees {
+                if !self.edge_survives(*dependent, *dependee, rules) {
+                    out.insert((*dependent, *dependee));
+                }
+            }
+        }
+        out
+    }
+
     /// Renders the graph in GraphViz DOT (paper Figure 3): nodes carry the
     /// `annot` labels, transactions in `highlight` are filled red.
     pub fn to_dot(&self, highlight: &BTreeSet<i64>) -> String {
+        self.to_dot_styled(highlight, None, None)
+    }
+
+    /// Renders the graph in GraphViz DOT with forensic styling on top of
+    /// [`DepGraph::to_dot`]: `highlight` (the attack set) is filled red;
+    /// members of `closure` outside the attack set — transactions damaged
+    /// only transitively — are filled orange; edges in `pruned` (as
+    /// produced by [`DepGraph::pruned_edges`]) are drawn dashed and gray
+    /// with a `pruned` label, so a DBA can see exactly which dependencies
+    /// the false-dependency rules dismissed and which survivors carried
+    /// the damage.
+    pub fn to_dot_styled(
+        &self,
+        highlight: &BTreeSet<i64>,
+        closure: Option<&BTreeSet<i64>>,
+        pruned: Option<&BTreeSet<(i64, i64)>>,
+    ) -> String {
         let mut out = String::from("digraph trans_dep {\n  rankdir=TB;\n  node [shape=ellipse];\n");
         for txn in self.transactions() {
             let style = if highlight.contains(&txn) {
                 ", style=filled, fillcolor=indianred1"
+            } else if closure.is_some_and(|c| c.contains(&txn)) {
+                ", style=filled, fillcolor=orange"
             } else {
                 ""
             };
@@ -256,7 +289,12 @@ impl DepGraph {
             for dependee in dependees {
                 // Edges drawn from dependee to dependent: data flows from
                 // the earlier transaction to the one depending on it.
-                let _ = writeln!(out, "  t{dependee} -> t{dependent};");
+                let style = if pruned.is_some_and(|p| p.contains(&(*dependent, *dependee))) {
+                    " [style=dashed, color=gray, label=\"pruned\"]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  t{dependee} -> t{dependent}{style};");
             }
         }
         out.push_str("}\n");
@@ -456,6 +494,41 @@ mod tests {
         assert!(dot.contains("t2 [label=\"Payment_0_3_0_5\"]"));
         assert!(dot.contains("t1 -> t2;"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn pruned_edges_reports_rule_casualties() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("scratch"));
+        g.add_edge(3, 1, write_edge("real"));
+        let rules = vec![FalseDepRule::IgnoreTable("scratch".into())];
+        assert_eq!(g.pruned_edges(&rules), [(2, 1)].into_iter().collect());
+        assert!(g.pruned_edges(&[]).is_empty());
+    }
+
+    #[test]
+    fn styled_dot_marks_closure_members_and_pruned_edges() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("real"));
+        g.add_edge(3, 1, write_edge("scratch"));
+        let rules = vec![FalseDepRule::IgnoreTable("scratch".into())];
+        let attack: BTreeSet<i64> = [1].into_iter().collect();
+        let closure = g.closure(&[1], &rules);
+        let pruned = g.pruned_edges(&rules);
+        let dot = g.to_dot_styled(&attack, Some(&closure), Some(&pruned));
+        assert!(dot.contains("t1 [label=\"txn_1\", style=filled, fillcolor=indianred1]"));
+        assert!(dot.contains("t2 [label=\"txn_2\", style=filled, fillcolor=orange]"));
+        assert!(dot.contains("t3 [label=\"txn_3\"]"));
+        assert!(dot.contains("t1 -> t2;"));
+        assert!(dot.contains("t1 -> t3 [style=dashed, color=gray, label=\"pruned\"];"));
+    }
+
+    #[test]
+    fn plain_dot_matches_styled_dot_without_extras() {
+        let mut g = DepGraph::new();
+        g.add_edge(2, 1, write_edge("t"));
+        let hl: BTreeSet<i64> = [1].into_iter().collect();
+        assert_eq!(g.to_dot(&hl), g.to_dot_styled(&hl, None, None));
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod compensate;
 mod correlate;
 pub mod detect;
 mod error;
+pub mod explore;
 mod graph;
 mod record;
 mod tool;
@@ -63,6 +64,7 @@ pub use compensate::{run_compensation, CompensatingStatement, CompensationOutcom
 pub use correlate::TxnCorrelation;
 pub use detect::{detect, AnomalyRule, Detection};
 pub use error::RepairError;
+pub use explore::{CausalChain, TraceExplorer};
 pub use graph::{DepGraph, EdgeKind, EdgeProvenance, FalseDepRule};
 pub use record::{NamedRow, RepairOp, RepairRecord, RowAddress};
 pub use tool::{Analysis, RepairReport, RepairTool};

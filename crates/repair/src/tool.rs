@@ -4,6 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use resildb_engine::{Database, Value};
 use resildb_sim::telemetry::names as span_names;
+use resildb_sim::EventKind;
 use resildb_wire::{Driver, LinkProfile, NativeDriver};
 
 use crate::adapters::{adapter_for, LogAdapter};
@@ -37,6 +38,17 @@ impl Analysis {
     /// `highlight` (paper Figure 3).
     pub fn to_dot(&self, highlight: &BTreeSet<i64>) -> String {
         self.graph.to_dot(highlight)
+    }
+
+    /// Renders the dependency graph as forensic DOT: the attack set
+    /// `initial` filled red, the rest of its damage closure under `rules`
+    /// filled orange, and rule-pruned edges dashed gray.
+    pub fn to_dot_forensic(&self, initial: &[i64], rules: &[FalseDepRule]) -> String {
+        let attack: BTreeSet<i64> = initial.iter().copied().collect();
+        let closure = self.graph.closure(initial, rules);
+        let pruned = self.graph.pruned_edges(rules);
+        self.graph
+            .to_dot_styled(&attack, Some(&closure), Some(&pruned))
     }
 
     /// Every tracked (committed, correlated) proxy transaction id.
@@ -102,10 +114,24 @@ impl RepairTool {
             let _span = telemetry.span(span_names::REPAIR_LOG_SCAN);
             self.adapter.scan(&self.db)?
         };
+        telemetry.flight().emit(
+            0,
+            0,
+            EventKind::LogScan {
+                records: records.len() as u64,
+            },
+        );
         let correlation = {
             let _span = telemetry.span(span_names::REPAIR_CORRELATE);
             TxnCorrelation::from_records(&records)
         };
+        telemetry.flight().emit(
+            0,
+            0,
+            EventKind::Correlate {
+                pairs: correlation.len() as u64,
+            },
+        );
         let _span = telemetry.span(span_names::REPAIR_GRAPH_BUILD);
         let mut graph = DepGraph::new();
 
@@ -276,6 +302,14 @@ impl RepairTool {
             let _span = self.db.sim().telemetry().span(span_names::REPAIR_CLOSURE);
             analysis.undo_set(initial, rules)
         };
+        self.db.sim().telemetry().flight().emit(
+            0,
+            0,
+            EventKind::ClosureComputed {
+                initial: u32::try_from(initial.len()).unwrap_or(u32::MAX),
+                nodes: u32::try_from(undo_set.len()).unwrap_or(u32::MAX),
+            },
+        );
         self.repair_with_undo_set(&analysis, &undo_set)
     }
 

@@ -54,7 +54,8 @@ pub use stats::SimStats;
 // domain. Re-exported here so downstream crates need no extra dependency.
 pub use resildb_telemetry as telemetry;
 pub use resildb_telemetry::{
-    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, OwnedSpan, Recorder, Span, Telemetry,
+    EventKind, FlightRecorder, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, OwnedSpan,
+    Recorder, Span, Telemetry, TraceEvent, TraceSnapshot, TraceVerdict,
 };
 
 use std::sync::Arc;
@@ -142,7 +143,20 @@ impl SimContext {
     /// the virtual clock in place; only faults the caller must surface
     /// (error / disconnect) are returned.
     pub fn fault_check(&self, name: &str) -> Option<InjectedFault> {
-        match self.inner.faults.check(name)? {
+        let fault = self.inner.faults.check(name)?;
+        // A fired fault is a forensic landmark: flight-record it (one
+        // relaxed load when tracing is off) before applying its effect.
+        let flight = self.inner.telemetry.flight();
+        if flight.is_enabled() {
+            flight.emit(
+                0,
+                0,
+                EventKind::FaultHit {
+                    failpoint: name.to_string(),
+                },
+            );
+        }
+        match fault {
             InjectedFault::Delay(d) => {
                 self.inner.stats.injected_delays.add(1);
                 self.inner.clock.advance(d);

@@ -191,6 +191,28 @@ mod tests {
         );
     }
 
+    /// Exports are deterministic: two snapshots of the same registry
+    /// state serialize byte-identically (keys in sorted order, stable
+    /// number formatting), so bench artifacts diff cleanly across runs.
+    #[test]
+    fn repeated_exports_are_byte_identical() {
+        let registry = crate::MetricsRegistry::default();
+        registry.counter("proxy.rewrite_cache.hits").add(42);
+        registry.counter("engine.commit.count").add(7);
+        registry.gauge("sim.pool.hit_ratio").set(0.96875);
+        for ns in [900, 1_023, 4_000] {
+            registry.histogram("engine.execute").record(ns);
+        }
+        let (a, b) = (registry.snapshot(), registry.snapshot());
+        assert_eq!(to_text(&a).into_bytes(), to_text(&b).into_bytes());
+        assert_eq!(to_json(&a).into_bytes(), to_json(&b).into_bytes());
+        // Keys appear in sorted order, independent of insertion order.
+        let text = to_text(&a);
+        let engine = text.find("counter engine.commit.count").unwrap();
+        let proxy = text.find("counter proxy.rewrite_cache.hits").unwrap();
+        assert!(engine < proxy);
+    }
+
     #[test]
     fn json_escapes_special_characters() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");

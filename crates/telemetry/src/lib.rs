@@ -10,7 +10,10 @@
 //!   atomic load (mirroring the disarmed-failpoint fast path in
 //!   `crates/sim/src/fault.rs`);
 //! * [`export::to_text`] / [`export::to_json`] — stable exporters that
-//!   serialize a [`MetricsSnapshot`] identically.
+//!   serialize a [`MetricsSnapshot`] identically;
+//! * [`FlightRecorder`] — a bounded ring buffer of typed lifecycle
+//!   [`TraceEvent`]s (see [`trace`]) forming per-transaction causal
+//!   timelines, exportable as JSONL or Chrome Trace Event Format.
 //!
 //! The span taxonomy threaded through the statement and repair
 //! pipelines lives in [`names`]; see DESIGN.md §11 for the full metric
@@ -37,12 +40,16 @@
 pub mod export;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
 pub use span::{OwnedSpan, Recorder, Span, Telemetry};
+pub use trace::{
+    EventKind, FlightRecorder, TraceEvent, TraceSnapshot, TraceVerdict, DEFAULT_TRACE_CAPACITY,
+};
 
 /// The span and counter taxonomy used across the resildb layers.
 ///

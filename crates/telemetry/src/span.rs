@@ -13,6 +13,7 @@ use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::trace::FlightRecorder;
 
 /// Destination for span durations and counter bumps. The default
 /// recorder is the registry itself; tests or embedders can install a
@@ -39,6 +40,7 @@ struct TelemetryInner {
     enabled: AtomicBool,
     registry: MetricsRegistry,
     sink: RwLock<Option<Arc<dyn Recorder>>>,
+    flight: FlightRecorder,
 }
 
 /// Shared, cloneable handle to one telemetry domain: an enabled flag, a
@@ -97,6 +99,14 @@ impl Telemetry {
     /// The built-in registry backing this domain.
     pub fn registry(&self) -> &MetricsRegistry {
         &self.inner.registry
+    }
+
+    /// The flight recorder riding on this domain. Event recording is
+    /// toggled independently of metrics ([`FlightRecorder::set_enabled`]);
+    /// it starts disabled even on a [`Telemetry::recording`] domain, so
+    /// span-only users never pay for event capture.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
     }
 
     /// Snapshot the built-in registry.

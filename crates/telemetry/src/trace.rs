@@ -1,0 +1,1033 @@
+//! Flight-recorder event tracing: a bounded ring buffer of typed
+//! lifecycle events forming per-transaction causal timelines.
+//!
+//! Metrics ([`crate::MetricsRegistry`]) answer *how fast* each layer is;
+//! the flight recorder answers *what happened, in what order, caused by
+//! whom* — the forensic record an operator replays after an intrusion.
+//! Every event is stamped with the proxy transaction id, the proxy
+//! session (connection) id and a monotonic tick, so a capture can be
+//! joined against the `trans_dep` graph to reconstruct which transaction
+//! tainted which.
+//!
+//! The recorder follows the same disabled-path discipline as
+//! [`crate::Telemetry::span`] and the disarmed failpoint check: when
+//! disabled (the default), [`FlightRecorder::emit`] returns after one
+//! relaxed atomic load — no clock read, no lock, no allocation.
+//!
+//! Two exporters ship with the recorder: [`to_jsonl`] (one JSON object
+//! per line, grep-friendly) and [`to_chrome_trace`] (Chrome Trace Event
+//! Format, loadable in Perfetto with transactions as tracks). Both round
+//! trip through [`parse_capture`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::export::json_string;
+
+/// Default ring capacity (events) of a [`FlightRecorder`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Enforcement verdict attached to a [`EventKind::StmtRewrite`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// The classifier was off the statement path (enforcement `Allow`,
+    /// the paper's behaviour) or the statement was exempt.
+    Unchecked,
+    /// Classified fully soundly tracked.
+    Sound,
+    /// Classified degraded (tracked, but coarser).
+    Degraded,
+    /// Classified untracked (dependencies invisible), but forwarded.
+    Untracked,
+    /// Classified untracked and refused by the `Reject` policy.
+    Rejected,
+}
+
+impl TraceVerdict {
+    /// Stable wire name of the verdict.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceVerdict::Unchecked => "unchecked",
+            TraceVerdict::Sound => "sound",
+            TraceVerdict::Degraded => "degraded",
+            TraceVerdict::Untracked => "untracked",
+            TraceVerdict::Rejected => "rejected",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "unchecked" => TraceVerdict::Unchecked,
+            "sound" => TraceVerdict::Sound,
+            "degraded" => TraceVerdict::Degraded,
+            "untracked" => TraceVerdict::Untracked,
+            "rejected" => TraceVerdict::Rejected,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Statement-lifecycle events are emitted by the tracking
+/// proxy (stamped with the proxy transaction id), WAL events by the
+/// engine (stamped with the DBMS-internal id — the repair tool's
+/// correlation step joins the two), fault events by the simulation
+/// substrate, and repair-phase events by the repair pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The proxy allocated a transaction id (explicit `BEGIN` or the
+    /// implicit transaction wrapping a bare write).
+    TxnBegin,
+    /// The proxy intercepted a statement: rewrite-cache outcome and
+    /// enforcement verdict.
+    StmtRewrite {
+        /// Whether the statement shape was served from the rewrite cache.
+        cache_hit: bool,
+        /// The enforcement verdict applied to the statement.
+        verdict: TraceVerdict,
+    },
+    /// A SELECT result row carried another transaction's trid stamp: a
+    /// new read dependency was folded into the current transaction.
+    DepHarvested {
+        /// The depended-on proxy transaction id.
+        dep: i64,
+        /// The mediating table (empty when unknown).
+        table: String,
+    },
+    /// The commit-time `trans_dep` record was written.
+    TransDepInsert {
+        /// Number of distinct dependencies recorded.
+        deps: u32,
+    },
+    /// The proxy transaction committed (tracking rows durable).
+    Commit,
+    /// The proxy transaction aborted or was rolled back.
+    Abort,
+    /// The engine forced a commit record to the WAL.
+    WalCommit {
+        /// DBMS-internal transaction id.
+        internal: u64,
+    },
+    /// The engine rolled a transaction back (abort record appended).
+    WalAbort {
+        /// DBMS-internal transaction id.
+        internal: u64,
+    },
+    /// An armed failpoint fired.
+    FaultHit {
+        /// Failpoint name (see `resildb_sim::failpoints`).
+        failpoint: String,
+    },
+    /// Repair phase: the transaction log was scanned.
+    LogScan {
+        /// Normalized log records recovered.
+        records: u64,
+    },
+    /// Repair phase: proxy ↔ internal transaction ids were correlated.
+    Correlate {
+        /// Correlated id pairs.
+        pairs: u64,
+    },
+    /// Repair phase: the damage closure was computed.
+    ClosureComputed {
+        /// Size of the initial attack set.
+        initial: u32,
+        /// Size of the resulting undo set.
+        nodes: u32,
+    },
+    /// Repair phase: one undone transaction's compensation finished.
+    Compensated {
+        /// Compensating statements executed for this transaction.
+        statements: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable wire name of the event kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TxnBegin => "txn_begin",
+            EventKind::StmtRewrite { .. } => "stmt_rewrite",
+            EventKind::DepHarvested { .. } => "dep_harvested",
+            EventKind::TransDepInsert { .. } => "trans_dep_insert",
+            EventKind::Commit => "commit",
+            EventKind::Abort => "abort",
+            EventKind::WalCommit { .. } => "wal_commit",
+            EventKind::WalAbort { .. } => "wal_abort",
+            EventKind::FaultHit { .. } => "fault_hit",
+            EventKind::LogScan { .. } => "log_scan",
+            EventKind::Correlate { .. } => "correlate",
+            EventKind::ClosureComputed { .. } => "closure_computed",
+            EventKind::Compensated { .. } => "compensated",
+        }
+    }
+
+    /// Extra JSON fields (`,"k":v...`) carried by this kind; empty for
+    /// payload-free kinds.
+    fn detail_json(&self) -> String {
+        match self {
+            EventKind::TxnBegin | EventKind::Commit | EventKind::Abort => String::new(),
+            EventKind::StmtRewrite { cache_hit, verdict } => format!(
+                ",\"cache_hit\":{cache_hit},\"verdict\":\"{}\"",
+                verdict.as_str()
+            ),
+            EventKind::DepHarvested { dep, table } => {
+                format!(",\"dep\":{dep},\"table\":{}", json_string(table))
+            }
+            EventKind::TransDepInsert { deps } => format!(",\"deps\":{deps}"),
+            EventKind::WalCommit { internal } | EventKind::WalAbort { internal } => {
+                format!(",\"internal\":{internal}")
+            }
+            EventKind::FaultHit { failpoint } => {
+                format!(",\"failpoint\":{}", json_string(failpoint))
+            }
+            EventKind::LogScan { records } => format!(",\"records\":{records}"),
+            EventKind::Correlate { pairs } => format!(",\"pairs\":{pairs}"),
+            EventKind::ClosureComputed { initial, nodes } => {
+                format!(",\"initial\":{initial},\"nodes\":{nodes}")
+            }
+            EventKind::Compensated { statements } => format!(",\"statements\":{statements}"),
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    /// Human-readable one-line rendering: the wire name followed by
+    /// `key=value` detail fields (for timeline listings).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::TxnBegin | EventKind::Commit | EventKind::Abort => {
+                write!(f, "{}", self.name())
+            }
+            EventKind::StmtRewrite { cache_hit, verdict } => write!(
+                f,
+                "stmt_rewrite cache_hit={cache_hit} verdict={}",
+                verdict.as_str()
+            ),
+            EventKind::DepHarvested { dep, table } => {
+                write!(f, "dep_harvested dep={dep} table={table}")
+            }
+            EventKind::TransDepInsert { deps } => write!(f, "trans_dep_insert deps={deps}"),
+            EventKind::WalCommit { internal } => write!(f, "wal_commit internal={internal}"),
+            EventKind::WalAbort { internal } => write!(f, "wal_abort internal={internal}"),
+            EventKind::FaultHit { failpoint } => write!(f, "fault_hit failpoint={failpoint}"),
+            EventKind::LogScan { records } => write!(f, "log_scan records={records}"),
+            EventKind::Correlate { pairs } => write!(f, "correlate pairs={pairs}"),
+            EventKind::ClosureComputed { initial, nodes } => {
+                write!(f, "closure_computed initial={initial} nodes={nodes}")
+            }
+            EventKind::Compensated { statements } => {
+                write!(f, "compensated statements={statements}")
+            }
+        }
+    }
+}
+
+/// One recorded event: a monotonic tick, the transaction and session it
+/// belongs to, and [what happened](EventKind).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic tick: allocation order across all threads. Gap-free
+    /// while the recorder is enabled (wraparound drops old events from
+    /// the ring, never ticks).
+    pub seq: u64,
+    /// Proxy transaction id (`0` when no transaction is in scope — e.g.
+    /// engine WAL events, fault hits, repair-phase events).
+    pub txn: i64,
+    /// Proxy session (connection) id (`0` outside the proxy).
+    pub session: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Point-in-time copy of the recorder's window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// The retained events, oldest first (ascending `seq`).
+    pub events: Vec<TraceEvent>,
+    /// Total events evicted by wraparound since creation (monotonic).
+    pub dropped: u64,
+    /// Ring capacity in events.
+    pub capacity: usize,
+}
+
+impl TraceSnapshot {
+    /// Wraps parsed capture events (e.g. from [`parse_capture`]) as a
+    /// snapshot: the window is exactly the events given, nothing is
+    /// known to have been dropped, and capacity equals the window size.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let capacity = events.len();
+        Self {
+            events,
+            dropped: 0,
+            capacity,
+        }
+    }
+
+    /// The events stamped with proxy transaction `txn`, oldest first.
+    pub fn events_for(&self, txn: i64) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.txn == txn).collect()
+    }
+
+    /// Occurrences of `kind` name (e.g. `"commit"`) for `txn`.
+    pub fn count_for(&self, txn: i64, kind_name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.txn == txn && e.kind.name() == kind_name)
+            .count()
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A lock-light bounded ring buffer of [`TraceEvent`]s.
+///
+/// Disabled (the default), [`emit`](Self::emit) costs one relaxed atomic
+/// load. Enabled, it allocates a tick with one `fetch_add` and appends
+/// under a short mutex hold; when the ring is full the oldest event is
+/// dropped and the `dropped` counter advances — recent history always
+/// wins, like an aircraft flight recorder.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A disabled recorder retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start or stop recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Resizes the ring; excess oldest events are dropped (and counted).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut ring = lock(&self.ring);
+        ring.capacity = capacity;
+        while ring.buf.len() > capacity {
+            ring.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one event. No-op (one relaxed load) when disabled.
+    pub fn emit(&self, txn: i64, session: u64, kind: EventKind) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent {
+            seq,
+            txn,
+            session,
+            kind,
+        };
+        let mut ring = lock(&self.ring);
+        if ring.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if ring.buf.len() >= ring.capacity {
+            ring.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.buf.push_back(event);
+    }
+
+    /// Copies the current window out.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = lock(&self.ring);
+        TraceSnapshot {
+            events: ring.buf.iter().cloned().collect(),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            capacity: ring.capacity,
+        }
+    }
+
+    /// Discards every retained event (counters keep advancing).
+    pub fn clear(&self) {
+        lock(&self.ring).buf.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+fn event_jsonl(e: &TraceEvent) -> String {
+    format!(
+        "{{\"seq\":{},\"txn\":{},\"session\":{},\"event\":\"{}\"{}}}",
+        e.seq,
+        e.txn,
+        e.session,
+        e.kind.name(),
+        e.kind.detail_json()
+    )
+}
+
+/// Exports a snapshot as JSONL: one event object per line, ascending
+/// `seq`. Grep-friendly and concatenation-safe across captures.
+pub fn to_jsonl(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.events {
+        out.push_str(&event_jsonl(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Exports a snapshot in Chrome Trace Event Format (a `traceEvents`
+/// array), loadable in Perfetto / `chrome://tracing`. Transactions map to
+/// tracks (`pid` = proxy txn id, `tid` = session id); [`EventKind::TxnBegin`]
+/// opens a duration span that [`EventKind::Commit`]/[`EventKind::Abort`]
+/// closes, and every other kind renders as an instant event. The
+/// monotonic tick doubles as the timestamp, so causality — not
+/// wall-clock — orders the view.
+pub fn to_chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut items: Vec<String> = Vec::with_capacity(snap.events.len());
+    for e in &snap.events {
+        let (name, ph, scope) = match &e.kind {
+            EventKind::TxnBegin => ("txn", "B", ""),
+            EventKind::Commit | EventKind::Abort => ("txn", "E", ""),
+            other => (other.name(), "i", ",\"s\":\"g\""),
+        };
+        items.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"resildb\",\"ph\":\"{ph}\"{scope},\
+             \"ts\":{},\"pid\":{},\"tid\":{},\
+             \"args\":{{\"event\":\"{}\"{}}}}}",
+            e.seq,
+            e.txn,
+            e.session,
+            e.kind.name(),
+            e.kind.detail_json()
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        items.join(",")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Capture parsing (for the `resildb-trace` explorer and round-trip tests)
+// ---------------------------------------------------------------------------
+
+/// A minimal parsed JSON value — enough to read back our own captures
+/// without a serde dependency.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("non-utf8 number: {e}"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume the whole run of plain bytes up to the next
+                    // quote or backslash in one go. Both delimiters are
+                    // ASCII, so they can never split a multi-byte UTF-8
+                    // scalar: the run is a valid UTF-8 slice by itself.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| format!("non-utf8 string: {e}"))?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' in array, found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}' in object, found {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn kind_from_fields(event: &str, detail: &Json) -> Result<EventKind, String> {
+    let u64_field = |k: &str| {
+        detail
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {event:?} missing field {k:?}"))
+    };
+    Ok(match event {
+        "txn_begin" => EventKind::TxnBegin,
+        "commit" => EventKind::Commit,
+        "abort" => EventKind::Abort,
+        "stmt_rewrite" => EventKind::StmtRewrite {
+            cache_hit: detail
+                .get("cache_hit")
+                .and_then(Json::as_bool)
+                .ok_or("stmt_rewrite missing cache_hit")?,
+            verdict: detail
+                .get("verdict")
+                .and_then(Json::as_str)
+                .and_then(TraceVerdict::parse)
+                .ok_or("stmt_rewrite missing verdict")?,
+        },
+        "dep_harvested" => EventKind::DepHarvested {
+            dep: detail
+                .get("dep")
+                .and_then(Json::as_i64)
+                .ok_or("dep_harvested missing dep")?,
+            table: detail
+                .get("table")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        },
+        "trans_dep_insert" => EventKind::TransDepInsert {
+            deps: u64_field("deps")? as u32,
+        },
+        "wal_commit" => EventKind::WalCommit {
+            internal: u64_field("internal")?,
+        },
+        "wal_abort" => EventKind::WalAbort {
+            internal: u64_field("internal")?,
+        },
+        "fault_hit" => EventKind::FaultHit {
+            failpoint: detail
+                .get("failpoint")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        },
+        "log_scan" => EventKind::LogScan {
+            records: u64_field("records")?,
+        },
+        "correlate" => EventKind::Correlate {
+            pairs: u64_field("pairs")?,
+        },
+        "closure_computed" => EventKind::ClosureComputed {
+            initial: u64_field("initial")? as u32,
+            nodes: u64_field("nodes")? as u32,
+        },
+        "compensated" => EventKind::Compensated {
+            statements: u64_field("statements")? as u32,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    })
+}
+
+/// Parses a JSONL capture (the [`to_jsonl`] format) back into events.
+///
+/// # Errors
+///
+/// Malformed JSON or unknown event kinds.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let event = obj
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing event field", i + 1))?
+            .to_string();
+        out.push(TraceEvent {
+            seq: obj.get("seq").and_then(Json::as_u64).unwrap_or(0),
+            txn: obj.get("txn").and_then(Json::as_i64).unwrap_or(0),
+            session: obj.get("session").and_then(Json::as_u64).unwrap_or(0),
+            kind: kind_from_fields(&event, &obj).map_err(|e| format!("line {}: {e}", i + 1))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a Chrome Trace Event Format capture (the [`to_chrome_trace`]
+/// format) back into events. Both the wrapped object form and a bare
+/// `traceEvents` array are accepted.
+///
+/// # Errors
+///
+/// Malformed JSON or unknown event kinds.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let doc = parse_json(text)?;
+    let events = match &doc {
+        Json::Arr(_) => &doc,
+        Json::Obj(_) => doc.get("traceEvents").ok_or("missing traceEvents array")?,
+        _ => return Err("expected object or array".into()),
+    };
+    let Json::Arr(items) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let args = item.get("args").cloned().unwrap_or(Json::Obj(Vec::new()));
+        let event = args
+            .get("event")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .or_else(|| item.get("name").and_then(Json::as_str).map(str::to_string))
+            .ok_or_else(|| format!("traceEvents[{i}]: missing event name"))?;
+        out.push(TraceEvent {
+            seq: item.get("ts").and_then(Json::as_u64).unwrap_or(0),
+            txn: item.get("pid").and_then(Json::as_i64).unwrap_or(0),
+            session: item.get("tid").and_then(Json::as_u64).unwrap_or(0),
+            kind: kind_from_fields(&event, &args).map_err(|e| format!("traceEvents[{i}]: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a capture in either supported format, sniffing the container:
+/// a document containing a `traceEvents` key is treated as Chrome trace,
+/// anything else as JSONL.
+///
+/// # Errors
+///
+/// Malformed JSON or unknown event kinds.
+pub fn parse_capture(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let head: String = text.chars().take(4096).collect();
+    if head.contains("\"traceEvents\"") {
+        parse_chrome_trace(text)
+    } else {
+        parse_jsonl(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<EventKind> {
+        vec![
+            EventKind::TxnBegin,
+            EventKind::StmtRewrite {
+                cache_hit: true,
+                verdict: TraceVerdict::Sound,
+            },
+            EventKind::DepHarvested {
+                dep: 3,
+                table: "account".into(),
+            },
+            EventKind::TransDepInsert { deps: 1 },
+            EventKind::Commit,
+            EventKind::Abort,
+            EventKind::WalCommit { internal: 9 },
+            EventKind::WalAbort { internal: 10 },
+            EventKind::FaultHit {
+                failpoint: "proxy.before_commit".into(),
+            },
+            EventKind::LogScan { records: 31 },
+            EventKind::Correlate { pairs: 7 },
+            EventKind::ClosureComputed {
+                initial: 1,
+                nodes: 4,
+            },
+            EventKind::Compensated { statements: 3 },
+        ]
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = FlightRecorder::default();
+        r.emit(1, 1, EventKind::TxnBegin);
+        let snap = r.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts() {
+        let r = FlightRecorder::with_capacity(4);
+        r.set_enabled(true);
+        for i in 0..10 {
+            r.emit(i, 0, EventKind::TxnBegin);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        assert_eq!(snap.capacity, 4);
+        // The window holds the newest events, in seq order.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // The dropped counter is monotonic: more wraparound, higher count.
+        r.emit(10, 0, EventKind::TxnBegin);
+        assert_eq!(r.snapshot().dropped, 7);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_oldest() {
+        let r = FlightRecorder::with_capacity(8);
+        r.set_enabled(true);
+        for i in 0..8 {
+            r.emit(i, 0, EventKind::TxnBegin);
+        }
+        r.set_capacity(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.dropped, 5);
+        assert_eq!(snap.events[0].seq, 5);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_in_window_events() {
+        use std::sync::Arc;
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 250;
+        let r = Arc::new(FlightRecorder::with_capacity(
+            (THREADS * PER_THREAD) as usize,
+        ));
+        r.set_enabled(true);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.emit(t as i64, t, EventKind::TransDepInsert { deps: i as u32 });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), (THREADS * PER_THREAD) as usize);
+        assert_eq!(snap.dropped, 0);
+        // Ticks are unique and the window is seq-sorted.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seqs.len());
+        assert_eq!(seqs, sorted, "ring must preserve tick order");
+        // Every thread's full event sequence is present.
+        for t in 0..THREADS {
+            assert_eq!(
+                snap.events_for(t as i64).len() as u64,
+                PER_THREAD,
+                "thread {t} lost events"
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let r = FlightRecorder::default();
+        r.set_enabled(true);
+        for (i, kind) in sample_events().into_iter().enumerate() {
+            r.emit(i as i64, 42, kind);
+        }
+        let snap = r.snapshot();
+        let jsonl = to_jsonl(&snap);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, snap.events);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_has_spans() {
+        let r = FlightRecorder::default();
+        r.set_enabled(true);
+        for kind in sample_events() {
+            r.emit(7, 1, kind);
+        }
+        let snap = r.snapshot();
+        let chrome = to_chrome_trace(&snap);
+        assert!(chrome.contains("\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"B\""));
+        assert!(chrome.contains("\"ph\":\"E\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+        let parsed = parse_chrome_trace(&chrome).unwrap();
+        assert_eq!(parsed, snap.events);
+        // parse_capture sniffs the container correctly for both formats.
+        assert_eq!(parse_capture(&chrome).unwrap(), snap.events);
+        assert_eq!(parse_capture(&to_jsonl(&snap)).unwrap(), snap.events);
+    }
+
+    #[test]
+    fn string_fields_escape_and_round_trip() {
+        let r = FlightRecorder::default();
+        r.set_enabled(true);
+        r.emit(
+            1,
+            0,
+            EventKind::DepHarvested {
+                dep: 2,
+                table: "we\"ird\\táble\n".into(),
+            },
+        );
+        let snap = r.snapshot();
+        assert_eq!(parse_jsonl(&to_jsonl(&snap)).unwrap(), snap.events);
+        assert_eq!(
+            parse_chrome_trace(&to_chrome_trace(&snap)).unwrap(),
+            snap.events
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("{\"event\":\"nonsense\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":42}").is_err());
+    }
+
+    #[test]
+    fn snapshot_filters_by_txn() {
+        let r = FlightRecorder::default();
+        r.set_enabled(true);
+        r.emit(1, 0, EventKind::TxnBegin);
+        r.emit(2, 0, EventKind::TxnBegin);
+        r.emit(1, 0, EventKind::Commit);
+        let snap = r.snapshot();
+        assert_eq!(snap.events_for(1).len(), 2);
+        assert_eq!(snap.count_for(1, "commit"), 1);
+        assert_eq!(snap.count_for(2, "commit"), 0);
+    }
+}
