@@ -283,6 +283,10 @@ impl TraceSnapshot {
 struct Ring {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
+    /// Next tick to allocate. Lives under the ring mutex so that tick
+    /// allocation and append are one atomic step: the buffer is always
+    /// seq-sorted and wraparound always evicts the oldest event.
+    seq: u64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -292,14 +296,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// A lock-light bounded ring buffer of [`TraceEvent`]s.
 ///
 /// Disabled (the default), [`emit`](Self::emit) costs one relaxed atomic
-/// load. Enabled, it allocates a tick with one `fetch_add` and appends
-/// under a short mutex hold; when the ring is full the oldest event is
-/// dropped and the `dropped` counter advances — recent history always
-/// wins, like an aircraft flight recorder.
+/// load. Enabled, it allocates a tick and appends under one short mutex
+/// hold, so ticks and buffer order always agree; when the ring is full
+/// the oldest event is dropped and the `dropped` counter advances —
+/// recent history always wins, like an aircraft flight recorder.
 #[derive(Debug)]
 pub struct FlightRecorder {
     enabled: AtomicBool,
-    seq: AtomicU64,
     dropped: AtomicU64,
     ring: Mutex<Ring>,
 }
@@ -315,11 +318,11 @@ impl FlightRecorder {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             enabled: AtomicBool::new(false),
-            seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             ring: Mutex::new(Ring {
                 buf: VecDeque::new(),
                 capacity,
+                seq: 0,
             }),
         }
     }
@@ -349,14 +352,15 @@ impl FlightRecorder {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = lock(&self.ring);
+        let seq = ring.seq;
+        ring.seq += 1;
         let event = TraceEvent {
             seq,
             txn,
             session,
             kind,
         };
-        let mut ring = lock(&self.ring);
         if ring.capacity == 0 {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
@@ -825,19 +829,26 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
     Ok(out)
 }
 
-/// Parses a capture in either supported format, sniffing the container:
-/// a document containing a `traceEvents` key is treated as Chrome trace,
-/// anything else as JSONL.
+/// Parses a capture in either supported format, sniffing the container
+/// structurally: the first non-empty line is parsed as standalone JSON.
+/// An array, or an object whose *top-level* keys include `traceEvents`,
+/// means Chrome trace; any other object means JSONL (so event payloads
+/// that merely contain the string `"traceEvents"` are not misrouted);
+/// a line that is not standalone JSON means the document spans multiple
+/// lines — a pretty-printed Chrome trace.
 ///
 /// # Errors
 ///
 /// Malformed JSON or unknown event kinds.
 pub fn parse_capture(text: &str) -> Result<Vec<TraceEvent>, String> {
-    let head: String = text.chars().take(4096).collect();
-    if head.contains("\"traceEvents\"") {
-        parse_chrome_trace(text)
-    } else {
-        parse_jsonl(text)
+    let Some(first_line) = text.lines().map(str::trim).find(|l| !l.is_empty()) else {
+        return Ok(Vec::new());
+    };
+    match parse_json(first_line) {
+        Ok(Json::Arr(_)) => parse_chrome_trace(text),
+        Ok(doc) if doc.get("traceEvents").is_some() => parse_chrome_trace(text),
+        Ok(_) => parse_jsonl(text),
+        Err(_) => parse_chrome_trace(text),
     }
 }
 
@@ -989,6 +1000,44 @@ mod tests {
         // parse_capture sniffs the container correctly for both formats.
         assert_eq!(parse_capture(&chrome).unwrap(), snap.events);
         assert_eq!(parse_capture(&to_jsonl(&snap)).unwrap(), snap.events);
+    }
+
+    #[test]
+    fn capture_sniff_is_structural() {
+        // A JSONL payload containing the literal "traceEvents" must not
+        // be misrouted to the Chrome-trace parser.
+        let r = FlightRecorder::default();
+        r.set_enabled(true);
+        r.emit(
+            1,
+            0,
+            EventKind::DepHarvested {
+                dep: 2,
+                table: "audit_\"traceEvents\"_log".into(),
+            },
+        );
+        r.emit(
+            1,
+            0,
+            EventKind::FaultHit {
+                failpoint: "traceEvents".into(),
+            },
+        );
+        let snap = r.snapshot();
+        assert_eq!(parse_capture(&to_jsonl(&snap)).unwrap(), snap.events);
+        // A pretty-printed Chrome trace (document spans multiple lines,
+        // first line is not standalone JSON) still sniffs as Chrome.
+        let pretty = "{\n  \"traceEvents\": [\n    {\"name\":\"txn\",\"ph\":\"B\",\"ts\":0,\
+                      \"pid\":1,\"tid\":0,\"args\":{\"event\":\"txn_begin\"}}\n  ]\n}\n";
+        let parsed = parse_capture(pretty).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].kind, EventKind::TxnBegin);
+        // A bare traceEvents array (no wrapper object) sniffs as Chrome.
+        let bare = "[{\"name\":\"txn\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0,\
+                     \"args\":{\"event\":\"txn_begin\"}}]";
+        assert_eq!(parse_capture(bare).unwrap(), parsed);
+        // An empty capture parses to no events.
+        assert_eq!(parse_capture("").unwrap(), Vec::new());
     }
 
     #[test]
