@@ -5,11 +5,38 @@
 //! throughput for the three flavors in the local and networked
 //! configurations.
 
+use std::collections::HashMap;
+
 use resildb_core::{Flavor, LinkProfile};
 use resildb_tpcc::{Mix, TpccConfig, TpccRunner};
 
 use crate::json::Probe;
 use crate::{costs, prepare, Setup};
+
+/// Memo of baseline measurements keyed by everything that affects them:
+/// flavor, link configuration, workload mix and footprint. The proxy-side
+/// knobs (rewrite cache on/off) do not reach the baseline, so an ablation
+/// pair shares one baseline measurement instead of paying for two
+/// identical runs.
+#[derive(Debug, Default)]
+pub struct BaseMemo(HashMap<(Flavor, bool, bool, bool), (f64, f64)>);
+
+impl BaseMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Baseline measurements performed so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
 
 /// One bar pair of one panel.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,16 +209,46 @@ pub fn run_cell_probed(
     rewrite_cache: bool,
     probe: Option<&Probe>,
 ) -> Cell {
-    let (base_tps, base_hit_ratio) = throughput(
+    run_cell_memo(
         flavor,
-        Setup::Baseline,
         networked,
         read_intensive,
         large_footprint,
         scale,
         rewrite_cache,
         probe,
-    );
+        &mut BaseMemo::new(),
+    )
+}
+
+/// Runs one cell, measuring the baseline at most once per configuration:
+/// the memo keys on (flavor, link, mix, footprint), so repeat runs of the
+/// same configuration — the rewrite-cache ablation pair in particular —
+/// reuse the earlier baseline instead of re-measuring an identical run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_memo(
+    flavor: Flavor,
+    networked: bool,
+    read_intensive: bool,
+    large_footprint: bool,
+    scale: Scale,
+    rewrite_cache: bool,
+    probe: Option<&Probe>,
+    memo: &mut BaseMemo,
+) -> Cell {
+    let key = (flavor, networked, read_intensive, large_footprint);
+    let (base_tps, base_hit_ratio) = *memo.0.entry(key).or_insert_with(|| {
+        throughput(
+            flavor,
+            Setup::Baseline,
+            networked,
+            read_intensive,
+            large_footprint,
+            scale,
+            true, // proxy-only knob: the baseline never sees the cache
+            probe,
+        )
+    });
     let (proxy_tps, _) = throughput(
         flavor,
         Setup::Tracked,
@@ -224,13 +281,16 @@ pub fn run_with(scale: Scale, rewrite_cache: bool) -> Vec<Cell> {
 }
 
 /// Runs all 24 cells with an optional telemetry probe shared across them.
+/// One [`BaseMemo`] spans the run, so each configuration's baseline is
+/// measured exactly once even if cells repeat.
 pub fn run_probed(scale: Scale, rewrite_cache: bool, probe: Option<&Probe>) -> Vec<Cell> {
     let mut out = Vec::with_capacity(24);
+    let mut memo = BaseMemo::new();
     for read_intensive in [true, false] {
         for large_footprint in [true, false] {
             for flavor in Flavor::ALL {
                 for networked in [false, true] {
-                    out.push(run_cell_probed(
+                    out.push(run_cell_memo(
                         flavor,
                         networked,
                         read_intensive,
@@ -238,6 +298,7 @@ pub fn run_probed(scale: Scale, rewrite_cache: bool, probe: Option<&Probe>) -> V
                         scale,
                         rewrite_cache,
                         probe,
+                        &mut memo,
                     ));
                 }
             }
@@ -331,8 +392,32 @@ mod tests {
 
     #[test]
     fn rewrite_cache_reduces_tracking_overhead() {
-        let on = run_cell_with(Flavor::Postgres, false, true, false, Scale::Quick, true);
-        let off = run_cell_with(Flavor::Postgres, false, true, false, Scale::Quick, false);
+        let mut memo = BaseMemo::new();
+        let on = run_cell_memo(
+            Flavor::Postgres,
+            false,
+            true,
+            false,
+            Scale::Quick,
+            true,
+            None,
+            &mut memo,
+        );
+        let off = run_cell_memo(
+            Flavor::Postgres,
+            false,
+            true,
+            false,
+            Scale::Quick,
+            false,
+            None,
+            &mut memo,
+        );
+        assert_eq!(
+            memo.len(),
+            1,
+            "one configuration means exactly one baseline measurement"
+        );
         assert_eq!(
             on.base_tps, off.base_tps,
             "the baseline has no proxy and must not see the cache knob"

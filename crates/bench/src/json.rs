@@ -15,11 +15,30 @@ use resildb_core::{telemetry::export, telemetry::trace, Connection, MetricsSnaps
 /// Default output path of `--json-out` when no explicit path follows.
 pub const DEFAULT_JSON_PATH: &str = "BENCH_pr4.json";
 
+/// Default `--json-out` path in threaded mode (`fig4 --threads N`), whose
+/// document carries the wall-clock scaling curve instead of the cells.
+pub const DEFAULT_THREADS_JSON_PATH: &str = "BENCH_pr6.json";
+
+/// Parses `--threads N` from a binary's argument list. Returns `None`
+/// when the flag is absent; panics on a missing or malformed count (a
+/// usage error worth failing loudly on in a harness binary).
+pub fn threads_arg(args: &[String]) -> Option<usize> {
+    let at = args.iter().position(|a| a == "--threads")?;
+    let n = args
+        .get(at + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .expect("--threads requires a positive integer");
+    assert!(n >= 1, "--threads requires a positive integer");
+    Some(n)
+}
+
 /// Default output path of `--trace-out` when no explicit path follows
 /// (Chrome Trace Event Format — loadable in Perfetto).
 pub const DEFAULT_TRACE_PATH: &str = "BENCH_trace.json";
 
-fn flag_path(args: &[String], flag: &str, default: &str) -> Option<String> {
+/// Parses `flag [PATH]` from a binary's argument list: `None` when the
+/// flag is absent, `default` when it is last or followed by another flag.
+pub fn flag_path(args: &[String], flag: &str, default: &str) -> Option<String> {
     let at = args.iter().position(|a| a == flag)?;
     Some(match args.get(at + 1) {
         Some(next) if !next.starts_with("--") => next.clone(),
@@ -174,6 +193,13 @@ impl Probe {
         *self.captured.borrow_mut() = Some(conn.metrics());
     }
 
+    /// Captures an already-assembled snapshot (the threaded runner merges
+    /// its per-worker snapshots with the database fold before handing the
+    /// result over). Replaces any earlier capture, like [`Probe::capture`].
+    pub fn capture_snapshot(&self, snapshot: MetricsSnapshot) {
+        *self.captured.borrow_mut() = Some(snapshot);
+    }
+
     /// The final snapshot: the last capture if any, else the registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.captured
@@ -253,6 +279,16 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_arg_parsing() {
+        assert_eq!(threads_arg(&args(&["fig4"])), None);
+        assert_eq!(threads_arg(&args(&["fig4", "--threads", "4"])), Some(4));
+        assert_eq!(
+            threads_arg(&args(&["fig4", "--threads", "8", "--quick"])),
+            Some(8)
+        );
     }
 
     #[test]

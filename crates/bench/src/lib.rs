@@ -30,6 +30,7 @@ pub mod granularity;
 pub mod json;
 pub mod mttr;
 pub mod table2;
+pub mod threads;
 
 use resildb_core::{
     prepare_database, Connection, CostModel, Database, Driver, Flavor, LinkProfile, NativeDriver,

@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{
-    prepare_database, ProxyConfig, RewriteCache, TrackerStats, TrackingGranularity, TrackingProxy,
+    prepare_database, DepStore, ProxyConfig, RewriteCache, TrackerStats, TrackingGranularity,
+    TrackingProxy,
 };
 use resildb_repair::{Analysis, FalseDepRule, RepairError, RepairReport, RepairTool};
 use resildb_sim::{CostModel, MetricsSnapshot, SimContext, Telemetry};
@@ -128,24 +129,26 @@ impl ResilientDbBuilder {
             .granularity(self.granularity)
             .telemetry(telemetry.clone())
             .build();
-        let (driver, rewrite_cache, tracker_stats): (Box<dyn Driver>, _, _) = match self.placement {
-            ProxyPlacement::Single => {
-                let (driver, cache, stats) =
-                    TrackingProxy::single_proxy_instrumented(db.clone(), self.link, config);
-                (Box::new(driver), cache, stats)
-            }
-            ProxyPlacement::Dual => {
-                let (driver, cache, stats) =
-                    TrackingProxy::dual_proxy_instrumented(db.clone(), self.link, config);
-                (Box::new(driver), cache, stats)
-            }
-        };
+        let (driver, rewrite_cache, tracker_stats, dep_store): (Box<dyn Driver>, _, _, _) =
+            match self.placement {
+                ProxyPlacement::Single => {
+                    let (driver, cache, stats, deps) =
+                        TrackingProxy::single_proxy_instrumented(db.clone(), self.link, config);
+                    (Box::new(driver), cache, stats, deps)
+                }
+                ProxyPlacement::Dual => {
+                    let (driver, cache, stats, deps) =
+                        TrackingProxy::dual_proxy_instrumented(db.clone(), self.link, config);
+                    (Box::new(driver), cache, stats, deps)
+                }
+            };
         Ok(ResilientDb {
             db,
             driver,
             telemetry,
             rewrite_cache,
             tracker_stats,
+            dep_store,
         })
     }
 }
@@ -158,6 +161,7 @@ pub struct ResilientDb {
     telemetry: Telemetry,
     rewrite_cache: Arc<RewriteCache>,
     tracker_stats: Arc<TrackerStats>,
+    dep_store: Arc<DepStore>,
 }
 
 impl std::fmt::Debug for ResilientDb {
@@ -227,6 +231,7 @@ impl ResilientDb {
         let mut snap = self.db.metrics();
         self.rewrite_cache.fold_metrics(&mut snap);
         self.tracker_stats.fold_metrics(&mut snap);
+        self.dep_store.fold_metrics(&mut snap);
         snap
     }
 

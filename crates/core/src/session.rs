@@ -22,7 +22,12 @@ use crate::error::Error;
 
 /// One logical database session: execute SQL, prepare statements, read
 /// metrics — regardless of which layer of the stack carries it.
-pub trait Session {
+///
+/// `Send` is a supertrait: a session is the unit of work a benchmark or
+/// workload driver hands to an OS thread, so every implementation must be
+/// movable across threads (the engine's shared state is `Sync`; the
+/// session itself holds only per-connection state).
+pub trait Session: Send {
     /// Executes one SQL statement.
     ///
     /// # Errors

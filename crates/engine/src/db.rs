@@ -15,15 +15,22 @@ use crate::catalog::{Catalog, TableHandle};
 use crate::error::{EngineError, Result};
 use crate::exec::{exec_statement, ExecOutcome, QueryResult, StmtCtx, UndoAction};
 use crate::flavor::Flavor;
+use crate::group_commit::GroupCommitWal;
 use crate::lock::LockManager;
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
-use crate::wal::{InternalTxnId, LogOp, LogRecord, Wal};
+use crate::wal::{self, InternalTxnId, LogOp, LogRecord};
 
 /// Statement shapes the engine keeps parsed (see
 /// [`Database::stmt_cache_stats`]). Sized for TPC-C-like workloads, whose
 /// working set is a few dozen shapes.
 const STMT_CACHE_CAPACITY: usize = 256;
+
+/// Shards of the parsed-statement cache. Shapes hash uniformly by
+/// fingerprint, so a handful of shards removes cross-session serialization
+/// on the statement hot path while each shard stays big enough
+/// (capacity / shards = 32 shapes) to hold a TPC-C-like working set.
+const STMT_CACHE_SHARDS: usize = 8;
 
 /// A parsed statement template cached by shape fingerprint: the literal
 /// positions hold `?` parameters that are re-bound from the incoming text
@@ -49,10 +56,10 @@ pub(crate) struct DbInner {
     flavor: Flavor,
     sim: SimContext,
     pub(crate) catalog: RwLock<Catalog>,
-    pub(crate) wal: Mutex<Wal>,
+    pub(crate) wal: GroupCommitWal,
     locks: Arc<LockManager>,
     next_txn: AtomicU64,
-    stmt_cache: Mutex<LruMap<u128, Arc<CachedStatement>>>,
+    stmt_cache: Vec<Mutex<LruMap<u128, Arc<CachedStatement>>>>,
     stmt_cache_hits: AtomicU64,
     stmt_cache_misses: AtomicU64,
 }
@@ -91,10 +98,12 @@ impl Database {
                 flavor,
                 sim,
                 catalog: RwLock::new(Catalog::new()),
-                wal: Mutex::new(Wal::new()),
+                wal: GroupCommitWal::new(),
                 locks: LockManager::new(),
                 next_txn: AtomicU64::new(1),
-                stmt_cache: Mutex::new(LruMap::new(STMT_CACHE_CAPACITY)),
+                stmt_cache: (0..STMT_CACHE_SHARDS)
+                    .map(|_| Mutex::new(LruMap::new(STMT_CACHE_CAPACITY / STMT_CACHE_SHARDS)))
+                    .collect(),
                 stmt_cache_hits: AtomicU64::new(0),
                 stmt_cache_misses: AtomicU64::new(0),
             }),
@@ -146,7 +155,7 @@ impl Database {
 
     /// A snapshot copy of the full WAL (what a log-analysis tool reads).
     pub fn wal_records(&self) -> Vec<LogRecord> {
-        self.inner.wal.lock().records().to_vec()
+        self.inner.wal.lock_untimed().records().to_vec()
     }
 
     /// Live row count of `name`.
@@ -226,13 +235,18 @@ impl Database {
     /// scanned from the incoming text, producing the exact AST a cold parse
     /// would; any doubt (unscannable text, kind drift, unparsable literal)
     /// falls through to the cold parser.
+    /// The statement-cache shard a fingerprint hashes to.
+    fn stmt_shard(&self, fingerprint: u128) -> &Mutex<LruMap<u128, Arc<CachedStatement>>> {
+        let h = (fingerprint as u64) ^ ((fingerprint >> 64) as u64);
+        &self.inner.stmt_cache[(h as usize) % self.inner.stmt_cache.len()]
+    }
+
     fn parse_cached(&self, sql: &str) -> Result<Statement> {
         let Some(scan) = scan_statement(sql) else {
             return Ok(resildb_sql::parse_statement(sql)?);
         };
         let cached = self
-            .inner
-            .stmt_cache
+            .stmt_shard(scan.fingerprint)
             .lock()
             .get(&scan.fingerprint)
             .map(Arc::clone);
@@ -247,7 +261,7 @@ impl Database {
         self.inner.stmt_cache_misses.fetch_add(1, Ordering::Relaxed);
         let stmt = resildb_sql::parse_statement(sql)?;
         if let Some(template) = parse_template(sql, &scan) {
-            self.inner.stmt_cache.lock().insert(
+            self.stmt_shard(scan.fingerprint).lock().insert(
                 scan.fingerprint,
                 Arc::new(CachedStatement {
                     template,
@@ -286,7 +300,7 @@ impl Database {
         let records = crate::wal_codec::read_wal(r)?;
         let next_txn = records.iter().map(|rec| rec.txn.0 + 1).max().unwrap_or(1);
         let db = Database::new(name, flavor, sim);
-        db.inner.wal.lock().restore(records);
+        db.inner.wal.lock_untimed().restore(records);
         db.inner.next_txn.store(next_txn, Ordering::Relaxed);
         db.simulate_crash_and_recover()?;
         Ok(db)
@@ -388,6 +402,10 @@ impl PreparedStatement {
 struct TxnState {
     id: InternalTxnId,
     undo: Vec<UndoAction>,
+    /// Redo records staged locally (costs and failpoints already paid via
+    /// [`wal::stage_check`]); published contiguously at commit under the
+    /// group-commit ticket, discarded on rollback.
+    redo: Vec<LogOp>,
     explicit: bool,
 }
 
@@ -518,6 +536,7 @@ impl Session {
                 self.txn = Some(TxnState {
                     id: self.db.alloc_txn(),
                     undo: Vec::new(),
+                    redo: Vec::new(),
                     explicit: true,
                 });
                 Ok(ExecOutcome::TxnControl)
@@ -544,64 +563,34 @@ impl Session {
                 let schema = TableSchema::from_create(ct)?;
                 let ddl_txn = self.db.alloc_txn();
                 self.db.inner.catalog.write().create_table(schema.clone())?;
-                let logged = (|| -> Result<()> {
-                    let mut wal = self.db.inner.wal.lock();
-                    wal.append(
-                        ddl_txn,
-                        LogOp::CreateTable {
-                            schema: schema.clone(),
-                        },
-                        self.db.flavor(),
-                        None,
-                        self.db.sim(),
-                    )?;
-                    wal.append(
-                        ddl_txn,
-                        LogOp::Commit,
-                        self.db.flavor(),
-                        None,
-                        self.db.sim(),
-                    )?;
-                    Ok(())
-                })();
+                let logged = self.publish_ddl(
+                    ddl_txn,
+                    LogOp::CreateTable {
+                        schema: schema.clone(),
+                    },
+                );
                 if let Err(e) = logged {
                     // Unlogged DDL must not survive: take the catalog change
                     // back so memory and log agree.
                     let _ = self.db.inner.catalog.write().drop_table(&schema.name);
                     return Err(e);
                 }
-                self.db.sim().charge_log_force();
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable(dt) => {
                 let ddl_txn = self.db.alloc_txn();
                 let dropped = self.db.inner.catalog.write().drop_table(&dt.name)?;
-                let logged = (|| -> Result<()> {
-                    let mut wal = self.db.inner.wal.lock();
-                    wal.append(
-                        ddl_txn,
-                        LogOp::DropTable {
-                            name: dt.name.to_ascii_lowercase(),
-                        },
-                        self.db.flavor(),
-                        None,
-                        self.db.sim(),
-                    )?;
-                    wal.append(
-                        ddl_txn,
-                        LogOp::Commit,
-                        self.db.flavor(),
-                        None,
-                        self.db.sim(),
-                    )?;
-                    Ok(())
-                })();
+                let logged = self.publish_ddl(
+                    ddl_txn,
+                    LogOp::DropTable {
+                        name: dt.name.to_ascii_lowercase(),
+                    },
+                );
                 if let Err(e) = logged {
                     // Put the table back: the DROP was never made durable.
                     self.db.inner.catalog.write().restore_table(dropped);
                     return Err(e);
                 }
-                self.db.sim().charge_log_force();
                 Ok(ExecOutcome::Ddl)
             }
             dml => self.execute_dml(dml),
@@ -629,6 +618,7 @@ impl Session {
             self.txn = Some(TxnState {
                 id: self.db.alloc_txn(),
                 undo: Vec::new(),
+                redo: Vec::new(),
                 explicit: false,
             });
         }
@@ -638,12 +628,12 @@ impl Session {
             };
             let mut ctx = StmtCtx {
                 catalog: &self.db.inner.catalog,
-                wal: &self.db.inner.wal,
                 locks: &self.db.inner.locks,
                 sim: &self.db.inner.sim,
                 flavor: self.db.inner.flavor,
                 txn: txn.id,
                 undo: &mut txn.undo,
+                redo: &mut txn.redo,
             };
             exec_statement(&mut ctx, stmt)
         };
@@ -666,8 +656,23 @@ impl Session {
         }
     }
 
+    /// Publishes a self-committing DDL record plus its commit record via
+    /// the group-commit writer, staging both first so costs and failpoints
+    /// behave exactly like DML appends.
+    fn publish_ddl(&self, ddl_txn: InternalTxnId, op: LogOp) -> Result<()> {
+        wal::stage_check(&op, self.db.flavor(), None, self.db.sim())?;
+        wal::stage_check(&LogOp::Commit, self.db.flavor(), None, self.db.sim())?;
+        let lsn = self
+            .db
+            .inner
+            .wal
+            .publish_commit(ddl_txn, vec![op], self.db.sim());
+        self.db.inner.wal.force_covering(lsn, self.db.sim());
+        Ok(())
+    }
+
     fn commit_open(&mut self) -> Result<()> {
-        let Some(txn) = self.txn.take() else {
+        let Some(mut txn) = self.txn.take() else {
             return Ok(());
         };
         let _span = self
@@ -685,14 +690,7 @@ impl Session {
                 {
                     return Err(EngineError::Injected(failpoints::ENGINE_WAL_COMMIT.into()));
                 }
-                self.db.inner.wal.lock().append(
-                    txn.id,
-                    LogOp::Commit,
-                    self.db.flavor(),
-                    None,
-                    self.db.sim(),
-                )?;
-                Ok(())
+                wal::stage_check(&LogOp::Commit, self.db.flavor(), None, self.db.sim())
             })();
             if let Err(e) = logged {
                 // A commit that cannot reach the log aborts, as in real
@@ -702,7 +700,16 @@ impl Session {
                 let _ = self.rollback_open();
                 return Err(e);
             }
-            self.db.sim().charge_log_force();
+            // Everything below is failure-free: publish the staged redo
+            // contiguously under the group-commit ticket, then join the
+            // group force covering our commit record.
+            let redo = std::mem::take(&mut txn.redo);
+            let lsn = self
+                .db
+                .inner
+                .wal
+                .publish_commit(txn.id, redo, self.db.sim());
+            self.db.inner.wal.force_covering(lsn, self.db.sim());
         }
         self.db.inner.locks.release_all(txn.id);
         let telemetry = self.db.sim().telemetry();
@@ -750,14 +757,16 @@ impl Session {
         if !txn.undo.is_empty() {
             // The abort record is advisory — recovery treats transactions
             // without a commit record as aborted — so rollback must succeed
-            // (and release its locks) even when the log is failing.
-            let _ = self.db.inner.wal.lock().append(
-                txn.id,
-                LogOp::Abort,
-                self.db.flavor(),
-                None,
-                self.db.sim(),
-            );
+            // (and release its locks) even when the log is failing. The
+            // staged redo is simply discarded: an aborted transaction's row
+            // records never reach the shared log.
+            if wal::stage_check(&LogOp::Abort, self.db.flavor(), None, self.db.sim()).is_ok() {
+                self.db
+                    .inner
+                    .wal
+                    .lock(self.db.sim())
+                    .publish(txn.id, LogOp::Abort);
+            }
         }
         self.db.inner.locks.release_all(txn.id);
         self.db.sim().telemetry().flight().emit(

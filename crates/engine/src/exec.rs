@@ -13,9 +13,9 @@ use crate::lock::{LockManager, ResourceId};
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::value::Value;
-use crate::wal::{InternalTxnId, LogOp, Wal};
+use crate::wal::{stage_check, InternalTxnId, LogOp};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 /// Rows returned by a query.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -101,12 +101,15 @@ pub enum UndoAction {
 /// Everything a statement needs from the database.
 pub(crate) struct StmtCtx<'a> {
     pub catalog: &'a RwLock<Catalog>,
-    pub wal: &'a Mutex<Wal>,
     pub locks: &'a LockManager,
     pub sim: &'a SimContext,
     pub flavor: Flavor,
     pub txn: InternalTxnId,
     pub undo: &'a mut Vec<UndoAction>,
+    /// Transaction-local redo staging: each record pays its byte cost and
+    /// failpoint at statement time via [`stage_check`], then waits here for
+    /// commit-time publication under the group-commit ticket.
+    pub redo: &'a mut Vec<LogOp>,
 }
 
 /// One table visible to a statement, with its binding name.
@@ -917,18 +920,14 @@ fn exec_insert(ctx: &mut StmtCtx<'_>, ins: &resildb_sql::Insert) -> Result<u64> 
             table: schema.name.clone(),
             rowid,
         });
-        ctx.wal.lock().append(
-            ctx.txn,
-            LogOp::Insert {
-                table: schema.name.clone(),
-                rowid,
-                row: stored,
-                loc,
-            },
-            ctx.flavor,
-            Some(&schema),
-            ctx.sim,
-        )?;
+        let op = LogOp::Insert {
+            table: schema.name.clone(),
+            rowid,
+            row: stored,
+            loc,
+        };
+        stage_check(&op, ctx.flavor, Some(&schema), ctx.sim)?;
+        ctx.redo.push(op);
         affected += 1;
     }
     ctx.sim.charge_statement(affected as usize);
@@ -1028,20 +1027,16 @@ fn exec_update(ctx: &mut StmtCtx<'_>, upd: &resildb_sql::Update) -> Result<u64> 
             rowid: rid,
             before: before.clone(),
         });
-        ctx.wal.lock().append(
-            ctx.txn,
-            LogOp::Update {
-                table: schema.name.clone(),
-                rowid: rid,
-                before,
-                after,
-                changed,
-                loc,
-            },
-            ctx.flavor,
-            Some(&schema),
-            ctx.sim,
-        )?;
+        let op = LogOp::Update {
+            table: schema.name.clone(),
+            rowid: rid,
+            before,
+            after,
+            changed,
+            loc,
+        };
+        stage_check(&op, ctx.flavor, Some(&schema), ctx.sim)?;
+        ctx.redo.push(op);
         affected += 1;
     }
     ctx.sim.charge_statement(affected as usize);
@@ -1076,18 +1071,14 @@ fn exec_delete(ctx: &mut StmtCtx<'_>, del: &resildb_sql::Delete) -> Result<u64> 
             rowid: rid,
             row: row.clone(),
         });
-        ctx.wal.lock().append(
-            ctx.txn,
-            LogOp::Delete {
-                table: schema.name.clone(),
-                rowid: rid,
-                row,
-                loc,
-            },
-            ctx.flavor,
-            Some(&schema),
-            ctx.sim,
-        )?;
+        let op = LogOp::Delete {
+            table: schema.name.clone(),
+            rowid: rid,
+            row,
+            loc,
+        };
+        stage_check(&op, ctx.flavor, Some(&schema), ctx.sim)?;
+        ctx.redo.push(op);
         affected += 1;
     }
     ctx.sim.charge_statement(affected as usize);

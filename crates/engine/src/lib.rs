@@ -56,6 +56,7 @@ mod error;
 mod exec;
 mod expr;
 mod flavor;
+mod group_commit;
 mod lock;
 mod page;
 mod row;

@@ -1,12 +1,21 @@
-//! Row-level exclusive locking with deadlock detection.
+//! Striped row-level exclusive locking with deadlock detection.
 //!
 //! Writers (and `SELECT ... FOR UPDATE`) take exclusive row locks held
 //! until commit/rollback (strict two-phase locking). Readers run at
 //! read-committed isolation without locks. Deadlocks are detected by cycle
 //! search over the wait-for graph; the requesting transaction is the victim
 //! and receives [`EngineError::Deadlock`].
+//!
+//! The resource→owner table is split over [`LOCK_STRIPES`] independently
+//! locked stripes keyed by resource hash, so uncontended acquisitions on
+//! different rows never serialize against each other; per-transaction
+//! owned-sets are likewise sharded by transaction id. Only the *blocking*
+//! path — an actual owner conflict — falls back to the single wait-for
+//! graph mutex, whose condvar serializes waiters (DESIGN.md §13 covers the
+//! lock ordering: waiting lock, then stripe lock, never the reverse).
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,6 +24,15 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{EngineError, Result};
 use crate::row::RowId;
 use crate::wal::InternalTxnId;
+
+/// Stripes of the resource→owner table. Row accesses hash uniformly, so a
+/// modest power of two keeps the uncontended fast path collision-free for
+/// the thread counts the bench drives (≤ 16) without bloating the struct.
+const LOCK_STRIPES: usize = 16;
+
+/// Shards of the per-transaction owned-resource sets, keyed by transaction
+/// id — concurrent transactions release in bulk without sharing a lock.
+const OWNED_SHARDS: usize = 16;
 
 /// A lockable resource.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -25,46 +43,69 @@ pub enum ResourceId {
     Table(String),
 }
 
-#[derive(Debug, Default)]
-struct LockState {
-    /// Resource → owning transaction.
-    owners: HashMap<ResourceId, InternalTxnId>,
-    /// Transaction → resources it owns (for bulk release).
-    owned: HashMap<InternalTxnId, HashSet<ResourceId>>,
-    /// Waiter → the owner it waits on (single edge per waiter).
-    waits_for: HashMap<InternalTxnId, InternalTxnId>,
-}
-
-impl LockState {
-    /// True when following wait-edges from `from` reaches `target`.
-    fn reaches(&self, from: InternalTxnId, target: InternalTxnId) -> bool {
-        let mut cur = from;
-        let mut hops = 0;
-        while let Some(&next) = self.waits_for.get(&cur) {
-            if next == target {
-                return true;
-            }
-            cur = next;
-            hops += 1;
-            if hops > self.waits_for.len() {
-                return false; // defensive: malformed graph
-            }
+/// True when following wait-edges from `from` reaches `target`.
+fn reaches(
+    waits_for: &HashMap<InternalTxnId, InternalTxnId>,
+    from: InternalTxnId,
+    target: InternalTxnId,
+) -> bool {
+    let mut cur = from;
+    let mut hops = 0;
+    while let Some(&next) = waits_for.get(&cur) {
+        if next == target {
+            return true;
         }
-        false
+        cur = next;
+        hops += 1;
+        if hops > waits_for.len() {
+            return false; // defensive: malformed graph
+        }
     }
+    false
 }
 
 /// The lock manager shared by all sessions of a database.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockManager {
-    state: Mutex<LockState>,
+    /// Resource → owning transaction, striped by resource hash.
+    stripes: Vec<Mutex<HashMap<ResourceId, InternalTxnId>>>,
+    /// Transaction → resources it owns (for bulk release), sharded by
+    /// transaction id.
+    owned: Vec<Mutex<HashMap<InternalTxnId, HashSet<ResourceId>>>>,
+    /// Waiter → the owner it waits on (single edge per waiter). This is
+    /// the only global lock, taken exclusively on the blocking path.
+    waiting: Mutex<HashMap<InternalTxnId, InternalTxnId>>,
     released: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self {
+            stripes: (0..LOCK_STRIPES).map(|_| Mutex::default()).collect(),
+            owned: (0..OWNED_SHARDS).map(|_| Mutex::default()).collect(),
+            waiting: Mutex::default(),
+            released: Condvar::new(),
+        }
+    }
 }
 
 impl LockManager {
     /// Creates an empty manager.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    fn stripe(&self, res: &ResourceId) -> &Mutex<HashMap<ResourceId, InternalTxnId>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        res.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % self.stripes.len()]
+    }
+
+    fn owned_shard(
+        &self,
+        txn: InternalTxnId,
+    ) -> &Mutex<HashMap<InternalTxnId, HashSet<ResourceId>>> {
+        &self.owned[(txn.0 as usize) % self.owned.len()]
     }
 
     /// Acquires an exclusive lock on `res` for `txn`, blocking while another
@@ -76,50 +117,72 @@ impl LockManager {
     /// the wait-for graph (the caller must roll the transaction back), and
     /// after a generous timeout as a safety net.
     pub fn lock_exclusive(&self, txn: InternalTxnId, res: ResourceId) -> Result<()> {
-        let mut st = self.state.lock();
         loop {
-            match st.owners.get(&res) {
-                None => {
-                    st.owners.insert(res.clone(), txn);
-                    st.owned.entry(txn).or_default().insert(res);
-                    return Ok(());
+            // Fast path: one stripe lock, no global state touched.
+            {
+                let mut stripe = self.stripe(&res).lock();
+                match stripe.get(&res) {
+                    None => {
+                        stripe.insert(res.clone(), txn);
+                        drop(stripe);
+                        // A transaction runs on one thread, so its own
+                        // release_all cannot race this bookkeeping.
+                        self.owned_shard(txn)
+                            .lock()
+                            .entry(txn)
+                            .or_default()
+                            .insert(res);
+                        return Ok(());
+                    }
+                    Some(&owner) if owner == txn => return Ok(()),
+                    Some(_) => {}
                 }
+            }
+            // Blocking path: register a wait-for edge and sleep. The owner
+            // is re-read under the waiting lock so a release between the
+            // fast path and here cannot strand us (release_all clears the
+            // stripe entry *before* taking the waiting lock to notify).
+            let mut waiting = self.waiting.lock();
+            let owner = match self.stripe(&res).lock().get(&res) {
+                None => continue, // released meanwhile: retry the fast path
                 Some(&owner) if owner == txn => return Ok(()),
-                Some(&owner) => {
-                    // Would waiting on `owner` create a cycle back to us?
-                    if owner == txn || st.reaches(owner, txn) {
-                        return Err(EngineError::Deadlock);
-                    }
-                    st.waits_for.insert(txn, owner);
-                    let timed_out = self
-                        .released
-                        .wait_for(&mut st, Duration::from_secs(10))
-                        .timed_out();
-                    st.waits_for.remove(&txn);
-                    if timed_out {
-                        return Err(EngineError::Deadlock);
-                    }
-                }
+                Some(&owner) => owner,
+            };
+            if reaches(&waiting, owner, txn) {
+                return Err(EngineError::Deadlock);
+            }
+            waiting.insert(txn, owner);
+            let timed_out = self
+                .released
+                .wait_for(&mut waiting, Duration::from_secs(10))
+                .timed_out();
+            waiting.remove(&txn);
+            if timed_out {
+                return Err(EngineError::Deadlock);
             }
         }
     }
 
     /// Releases every lock held by `txn` and wakes all waiters.
     pub fn release_all(&self, txn: InternalTxnId) {
-        let mut st = self.state.lock();
-        if let Some(resources) = st.owned.remove(&txn) {
+        let resources = self.owned_shard(txn).lock().remove(&txn);
+        if let Some(resources) = resources {
             for r in resources {
-                st.owners.remove(&r);
+                self.stripe(&r).lock().remove(&r);
             }
         }
-        st.waits_for.remove(&txn);
-        drop(st);
+        let mut waiting = self.waiting.lock();
+        waiting.remove(&txn);
+        drop(waiting);
         self.released.notify_all();
     }
 
     /// Number of locks currently held by `txn` (diagnostics).
     pub fn held_by(&self, txn: InternalTxnId) -> usize {
-        self.state.lock().owned.get(&txn).map_or(0, |s| s.len())
+        self.owned_shard(txn)
+            .lock()
+            .get(&txn)
+            .map_or(0, |s| s.len())
     }
 }
 

@@ -148,6 +148,33 @@ pub struct Wal {
     next_lsn: u64,
 }
 
+/// The statement-time half of a WAL append: runs the `engine.wal_append`
+/// failpoint and charges the record's byte cost to `sim`, without touching
+/// the shared log. Transactions call this once per staged record while they
+/// still hold no WAL lock; the matching [`Wal::publish`] at commit is then
+/// charge-free and failure-free, keeping the group-commit critical section
+/// short.
+///
+/// # Errors
+///
+/// An injected error when the `engine.wal_append` failpoint fires (a full
+/// log disk in miniature: nothing is charged and nothing will be written).
+pub fn stage_check(
+    op: &LogOp,
+    flavor: Flavor,
+    schema: Option<&TableSchema>,
+    sim: &SimContext,
+) -> Result<()> {
+    let _span = sim
+        .telemetry()
+        .span(resildb_sim::telemetry::names::ENGINE_WAL_APPEND);
+    if sim.fault_check(failpoints::ENGINE_WAL_APPEND).is_some() {
+        return Err(EngineError::Injected(failpoints::ENGINE_WAL_APPEND.into()));
+    }
+    sim.charge_log_append(op.logged_bytes(flavor, schema));
+    Ok(())
+}
+
 impl Wal {
     /// Creates an empty log.
     pub fn new() -> Self {
@@ -166,17 +193,25 @@ impl Wal {
         schema: Option<&TableSchema>,
         sim: &SimContext,
     ) -> Result<Lsn> {
-        let _span = sim
-            .telemetry()
-            .span(resildb_sim::telemetry::names::ENGINE_WAL_APPEND);
-        if sim.fault_check(failpoints::ENGINE_WAL_APPEND).is_some() {
-            return Err(EngineError::Injected(failpoints::ENGINE_WAL_APPEND.into()));
-        }
-        sim.charge_log_append(op.logged_bytes(flavor, schema));
+        stage_check(&op, flavor, schema, sim)?;
+        Ok(self.publish(txn, op))
+    }
+
+    /// Appends an already-staged record (see [`stage_check`]), assigning
+    /// the next LSN. Infallible and charge-free: all cost accounting and
+    /// fault injection happened at stage time, so publication is just the
+    /// sequencing step a group-commit writer performs under its ticket.
+    pub fn publish(&mut self, txn: InternalTxnId, op: LogOp) -> Lsn {
         let lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
         self.records.push(LogRecord { lsn, txn, op });
-        Ok(lsn)
+        lsn
+    }
+
+    /// One past the highest assigned LSN — the bound a log force must reach
+    /// to cover every published record.
+    pub fn end_lsn(&self) -> u64 {
+        self.next_lsn
     }
 
     /// All records in LSN order.

@@ -95,11 +95,23 @@ pub struct RewriteCacheStats {
     pub entries: usize,
 }
 
+/// Shards of a full-size rewrite cache. Small caches (capacity below
+/// [`SHARDING_THRESHOLD`]) stay single-sharded so their LRU eviction order
+/// is exact — sharding splits the capacity, which a 4-entry cache cannot
+/// afford, while the default 256-shape cache loses nothing.
+const REWRITE_CACHE_SHARDS: usize = 8;
+
+/// Minimum total capacity before the cache spreads over
+/// [`REWRITE_CACHE_SHARDS`] shards.
+const SHARDING_THRESHOLD: usize = 64;
+
 /// Concurrency-safe statement-shape → rewrite-template cache shared by all
-/// connections of one proxy factory.
+/// connections of one proxy factory. Sharded by fingerprint hash so cache
+/// hits from concurrent sessions never serialize on one lock.
 #[derive(Debug)]
 pub struct RewriteCache {
-    entries: Mutex<LruMap<u128, Arc<CachedShape>>>,
+    shards: Vec<Mutex<LruMap<u128, Arc<CachedShape>>>>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -107,19 +119,34 @@ pub struct RewriteCache {
 
 impl RewriteCache {
     /// Creates a cache holding up to `capacity` statement shapes
-    /// (least-recently-used eviction). Zero capacity disables it.
+    /// (least-recently-used eviction per shard). Zero capacity disables it.
     pub(crate) fn new(capacity: usize) -> Self {
+        let shards = if capacity >= SHARDING_THRESHOLD {
+            REWRITE_CACHE_SHARDS
+        } else {
+            1
+        };
         Self {
-            entries: Mutex::new(LruMap::new(capacity)),
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruMap::new(capacity.div_ceil(shards))))
+                .collect(),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Whether lookups can ever succeed (capacity > 0).
+    /// Whether lookups can ever succeed (capacity > 0). Lock-free: sits on
+    /// every statement's path.
     pub(crate) fn enabled(&self) -> bool {
-        self.entries.lock().capacity() > 0
+        self.capacity > 0
+    }
+
+    /// The shard a fingerprint hashes to.
+    fn shard(&self, fingerprint: u128) -> &Mutex<LruMap<u128, Arc<CachedShape>>> {
+        let h = (fingerprint as u64) ^ ((fingerprint >> 64) as u64);
+        &self.shards[(h as usize) % self.shards.len()]
     }
 
     /// Fetches the entry for `fingerprint` if present and admissible for a
@@ -131,7 +158,7 @@ impl RewriteCache {
         literal_spans: usize,
     ) -> Option<Arc<CachedShape>> {
         let hit = {
-            let mut map = self.entries.lock();
+            let mut map = self.shard(fingerprint).lock();
             map.get(&fingerprint)
                 .filter(|e| e.entry.admits(literal_spans))
                 .map(Arc::clone)
@@ -144,9 +171,13 @@ impl RewriteCache {
     }
 
     /// Stores `entry` under `fingerprint`, evicting the least recently
-    /// used shape if at capacity.
+    /// used shape of its shard if at capacity.
     pub(crate) fn insert(&self, fingerprint: u128, shape: CachedShape) {
-        if self.entries.lock().insert(fingerprint, Arc::new(shape)) {
+        if self
+            .shard(fingerprint)
+            .lock()
+            .insert(fingerprint, Arc::new(shape))
+        {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -157,7 +188,7 @@ impl RewriteCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.entries.lock().len(),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
         }
     }
 

@@ -51,12 +51,14 @@
 
 mod cache;
 mod config;
+mod depstore;
 mod rewrite;
 mod setup;
 mod tracker;
 
 pub use cache::{RewriteCache, RewriteCacheStats};
 pub use config::{EnforcementPolicy, ProxyConfig, ProxyConfigBuilder, TrackingGranularity};
+pub use depstore::{DepStore, DepStoreStats};
 pub use rewrite::{
     is_tracking_column, rewrite_create_table, rewrite_insert, rewrite_select, rewrite_update,
     HarvestSource, SelectOutcome, SelectRewrite, SelectSkip, COLUMN_TRID_PREFIX, IDENTITY_COLUMN,

@@ -24,6 +24,7 @@ use resildb_analyze::{classify_statement, Verdict};
 
 use crate::cache::{CacheEntry, CachedShape, RewriteCache};
 use crate::config::{EnforcementPolicy, ProxyConfig};
+use crate::depstore::DepStore;
 use crate::rewrite::{
     rewrite_create_table, rewrite_insert, rewrite_insert_with, rewrite_select, rewrite_update,
     rewrite_update_with, COLUMN_TRID_PREFIX, HARVEST_ALIAS_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
@@ -129,11 +130,14 @@ impl TrackingProxy {
         Box<dyn InterceptorFactory>,
         Arc<RewriteCache>,
         Arc<TrackerStats>,
+        Arc<DepStore>,
     ) {
         let counter = Arc::new(AtomicI64::new(1));
         let sessions = Arc::new(AtomicU64::new(1));
         let cache = Arc::new(RewriteCache::new(config.rewrite_cache_capacity));
         let stats = Arc::new(TrackerStats::default());
+        let deps = Arc::new(DepStore::new());
+        let deps_handle = Arc::clone(&deps);
         let cache_handle = Arc::clone(&cache);
         let stats_handle = Arc::clone(&stats);
         let factory = Box::new(move || {
@@ -143,12 +147,13 @@ impl TrackingProxy {
                 session: sessions.fetch_add(1, Ordering::Relaxed),
                 cache: Arc::clone(&cache),
                 stats: Arc::clone(&stats),
+                deps: Arc::clone(&deps),
                 txn: None,
                 next_annotation: None,
                 sim: sim.clone(),
             }) as Box<dyn Interceptor>
         });
-        (factory, cache_handle, stats_handle)
+        (factory, cache_handle, stats_handle, deps_handle)
     }
 
     /// Figure 1 deployment: client-side proxy driver over `link`.
@@ -169,7 +174,7 @@ impl TrackingProxy {
         config: ProxyConfig,
     ) -> (InterceptDriver<NativeDriver>, Arc<RewriteCache>) {
         let sim = db.sim().clone();
-        let (factory, cache, _) = Self::factory_inner(config, Some(sim));
+        let (factory, cache, _, _) = Self::factory_inner(config, Some(sim));
         (single_proxy(db, link, factory), cache)
     }
 
@@ -181,14 +186,14 @@ impl TrackingProxy {
         config: ProxyConfig,
     ) -> (InterceptDriver<NativeDriver>, Arc<TrackerStats>) {
         let sim = db.sim().clone();
-        let (factory, _, stats) = Self::factory_inner(config, Some(sim));
+        let (factory, _, stats, _) = Self::factory_inner(config, Some(sim));
         (single_proxy(db, link, factory), stats)
     }
 
-    /// Like [`Self::single_proxy`], additionally returning handles to both
-    /// the shared rewrite cache and the enforcement statistics — what the
-    /// `ResilientDb` facade retains so `metrics()` can fold every proxy
-    /// counter into one snapshot.
+    /// Like [`Self::single_proxy`], additionally returning handles to the
+    /// shared rewrite cache, the enforcement statistics and the in-flight
+    /// dependency store — what the `ResilientDb` facade retains so
+    /// `metrics()` can fold every proxy counter into one snapshot.
     pub fn single_proxy_instrumented(
         db: Database,
         link: LinkProfile,
@@ -197,10 +202,11 @@ impl TrackingProxy {
         InterceptDriver<NativeDriver>,
         Arc<RewriteCache>,
         Arc<TrackerStats>,
+        Arc<DepStore>,
     ) {
         let sim = db.sim().clone();
-        let (factory, cache, stats) = Self::factory_inner(config, Some(sim));
-        (single_proxy(db, link, factory), cache, stats)
+        let (factory, cache, stats, deps) = Self::factory_inner(config, Some(sim));
+        (single_proxy(db, link, factory), cache, stats, deps)
     }
 
     /// Figure 2 deployment: client proxy + server proxy pair; the tracker
@@ -213,8 +219,8 @@ impl TrackingProxy {
         Self::dual_proxy_instrumented(db, link, config).0
     }
 
-    /// Like [`Self::dual_proxy`], additionally returning the rewrite-cache
-    /// and enforcement-stats handles.
+    /// Like [`Self::dual_proxy`], additionally returning the rewrite-cache,
+    /// enforcement-stats and dependency-store handles.
     pub fn dual_proxy_instrumented(
         db: Database,
         link: LinkProfile,
@@ -223,10 +229,11 @@ impl TrackingProxy {
         resildb_wire::DualProxyDriver,
         Arc<RewriteCache>,
         Arc<TrackerStats>,
+        Arc<DepStore>,
     ) {
         let sim = db.sim().clone();
-        let (factory, cache, stats) = Self::factory_inner(config, Some(sim));
-        (dual_proxy(db, link, factory), cache, stats)
+        let (factory, cache, stats, deps) = Self::factory_inner(config, Some(sim));
+        (dual_proxy(db, link, factory), cache, stats, deps)
     }
 }
 
@@ -266,6 +273,8 @@ struct Tracker {
     cache: Arc<RewriteCache>,
     /// Enforcement counters shared across all connections.
     stats: Arc<TrackerStats>,
+    /// Sharded factory-wide ledger of in-flight tracked transactions.
+    deps: Arc<DepStore>,
     txn: Option<TxnTrack>,
     /// Annotation staged by `ANNOTATE` before the transaction begins.
     next_annotation: Option<String>,
@@ -361,9 +370,11 @@ impl Tracker {
         self.trace(txn, EventKind::StmtRewrite { cache_hit, verdict });
     }
 
-    /// Forgets the open transaction, flight-recording its abort.
+    /// Forgets the open transaction, flight-recording its abort and
+    /// retiring it from the dependency ledger without a record.
     fn clear_txn(&mut self) {
         if let Some(t) = self.txn.take() {
+            self.deps.abort(t.trid, self.tel());
             self.trace(t.trid, EventKind::Abort);
         }
     }
@@ -371,7 +382,7 @@ impl Tracker {
     /// Charges the interception/parsing/rewriting cost for one statement.
     fn charge_rewrite(&self) {
         if let Some(sim) = &self.sim {
-            sim.clock().advance(self.config.rewrite_cpu);
+            sim.advance(self.config.rewrite_cpu);
         }
     }
 
@@ -379,14 +390,14 @@ impl Tracker {
     /// (fingerprint hash + literal splice).
     fn charge_rewrite_cached(&self) {
         if let Some(sim) = &self.sim {
-            sim.clock().advance(self.config.rewrite_cached_cpu);
+            sim.advance(self.config.rewrite_cached_cpu);
         }
     }
 
     /// Charges the harvesting/stripping cost for `rows` result rows.
     fn charge_harvest(&self, rows: usize) {
         if let Some(sim) = &self.sim {
-            sim.clock().advance(Micros::from_nanos(
+            sim.advance(Micros::from_nanos(
                 self.config.harvest_per_row_ns * rows as u64,
             ));
         }
@@ -631,6 +642,7 @@ impl Tracker {
             let annotation = self.next_annotation.take();
             downstream.execute("BEGIN")?;
             self.txn = Some(TxnTrack::new(trid, false, annotation));
+            self.deps.begin(trid, self.tel());
             self.trace(trid, EventKind::TxnBegin);
         }
         let Some(trid) = self.txn.as_ref().map(|t| t.trid) else {
@@ -657,10 +669,12 @@ impl Tracker {
                     .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT))
                     .and_then(|()| downstream.execute("COMMIT").map(|_| ()));
                     if let Err(e) = finished {
+                        self.deps.abort(t.trid, self.tel());
                         self.trace(t.trid, EventKind::Abort);
                         self.abort_txn(downstream);
                         return Err(e);
                     }
+                    self.deps.commit(t.trid, t.deps.len(), self.tel());
                     self.trace(t.trid, EventKind::Commit);
                 }
                 Ok(resp)
@@ -796,6 +810,7 @@ impl Tracker {
                 let trid = self.alloc_trid();
                 let annotation = self.next_annotation.take();
                 self.txn = Some(TxnTrack::new(trid, true, annotation));
+                self.deps.begin(trid, self.tel());
                 self.trace(trid, EventKind::TxnBegin);
                 Ok(resp)
             }
@@ -816,18 +831,21 @@ impl Tracker {
                 }
                 .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT));
                 if let Err(e) = recorded {
+                    self.deps.abort(t.trid, self.tel());
                     self.trace(t.trid, EventKind::Abort);
                     self.abort_txn(downstream);
                     return Err(e);
                 }
                 match downstream.execute("COMMIT") {
                     Ok(resp) => {
+                        self.deps.commit(t.trid, t.deps.len(), self.tel());
                         self.trace(t.trid, EventKind::Commit);
                         Ok(resp)
                     }
                     Err(e) => {
                         // A COMMIT that fails did not commit; make sure the
                         // engine side is closed too.
+                        self.deps.abort(t.trid, self.tel());
                         self.trace(t.trid, EventKind::Abort);
                         self.abort_txn(downstream);
                         Err(e)
@@ -919,6 +937,7 @@ impl Interceptor for Tracker {
     fn fold_metrics(&self, snap: &mut MetricsSnapshot) {
         self.cache.fold_metrics(snap);
         self.stats.fold_metrics(snap);
+        self.deps.fold_metrics(snap);
     }
 }
 

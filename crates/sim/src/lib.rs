@@ -58,9 +58,27 @@ pub use resildb_telemetry::{
     Recorder, Span, Telemetry, TraceEvent, TraceSnapshot, TraceVerdict,
 };
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+std::thread_local! {
+    /// Virtual-time charges accrued by this OS thread since it last paid
+    /// them off (realtime mode only). Kept thread-local so accrual never
+    /// contends and sleeps are attributable to the thread that incurred
+    /// the cost.
+    static PENDING_WAIT_MICROS: Cell<u64> = const { Cell::new(0) };
+
+    /// Wall-clock time this thread over-slept on earlier payments
+    /// (`thread::sleep` overshoots by scheduler latency). Credited against
+    /// the next payment so the thread's cumulative real wait tracks its
+    /// cumulative virtual charge instead of drifting by one overshoot per
+    /// statement — the drift, not the virtual costs, would otherwise
+    /// dominate wall-clock measurements.
+    static WAIT_CREDIT_MICROS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Shared handle bundling the clock, cost model, buffer pool and counters.
 ///
@@ -80,6 +98,11 @@ struct SimInner {
     stats: SimStats,
     faults: FaultPlan,
     telemetry: Telemetry,
+    /// When set, every virtual-time charge also accrues to the charging
+    /// thread's pending-wait balance (see [`SimContext::pay_pending_wait`])
+    /// so wall-clock benchmarks experience simulated device latencies as
+    /// real, overlappable waits.
+    realtime: AtomicBool,
 }
 
 impl SimContext {
@@ -104,6 +127,7 @@ impl SimContext {
                 stats: SimStats::default(),
                 faults: FaultPlan::new(),
                 telemetry,
+                realtime: AtomicBool::new(false),
             }),
         }
     }
@@ -139,6 +163,65 @@ impl SimContext {
         &self.inner.telemetry
     }
 
+    /// Advances the virtual clock and, in realtime mode, accrues the same
+    /// span to the charging thread's pending-wait balance.
+    fn tick(&self, d: Micros) {
+        self.inner.clock.advance(d);
+        if d != Micros::ZERO && self.inner.realtime.load(Ordering::Relaxed) {
+            PENDING_WAIT_MICROS.with(|w| w.set(w.get() + d.as_micros()));
+        }
+    }
+
+    /// Advances the virtual clock by an explicit amount — used by layers
+    /// with their own cost models (the tracking proxy's rewrite CPU). Flows
+    /// through the same path as every built-in charge, so realtime mode
+    /// accrues it to the calling thread's pending-wait balance too.
+    pub fn advance(&self, d: Micros) {
+        self.tick(d);
+    }
+
+    /// Switches realtime mode on or off. In realtime mode every virtual
+    /// charge is also owed as real wall-clock time by the thread that
+    /// incurred it, to be slept off at a latch-free point via
+    /// [`Self::pay_pending_wait`]. The virtual clock keeps advancing
+    /// exactly as before, so metrics and determinism are unaffected —
+    /// realtime mode only adds wall-clock realism on top.
+    pub fn set_realtime(&self, on: bool) {
+        self.inner.realtime.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether realtime mode is on.
+    pub fn is_realtime(&self) -> bool {
+        self.inner.realtime.load(Ordering::Relaxed)
+    }
+
+    /// Sleeps off the calling thread's accrued virtual-time balance (no-op
+    /// when nothing is owed or realtime mode is off). Callers must hold no
+    /// engine latches: the wire layer invokes this once per statement,
+    /// after the engine has released its short-term locks, which is what
+    /// lets concurrent sessions overlap their simulated device waits the
+    /// way real OLTP threads overlap I/O.
+    pub fn pay_pending_wait(&self) {
+        let owed = PENDING_WAIT_MICROS.with(Cell::take);
+        if owed == 0 || !self.inner.realtime.load(Ordering::Relaxed) {
+            return;
+        }
+        // Settle against earlier overshoot first: `thread::sleep` runs
+        // long by the scheduler's timer slack, and thousands of small
+        // sleeps would otherwise accumulate that slack into a drift that
+        // swamps the virtual costs being simulated.
+        let credit = WAIT_CREDIT_MICROS.with(Cell::take);
+        if credit >= owed {
+            WAIT_CREDIT_MICROS.with(|c| c.set(credit - owed));
+            return;
+        }
+        let target = owed - credit;
+        let start = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_micros(target));
+        let slept = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        WAIT_CREDIT_MICROS.with(|c| c.set(c.get() + slept.saturating_sub(target)));
+    }
+
     /// Evaluates failpoint `name`, applying [`FaultAction::Delay`] faults to
     /// the virtual clock in place; only faults the caller must surface
     /// (error / disconnect) are returned.
@@ -159,7 +242,7 @@ impl SimContext {
         match fault {
             InjectedFault::Delay(d) => {
                 self.inner.stats.injected_delays.add(1);
-                self.inner.clock.advance(d);
+                self.tick(d);
                 None
             }
             other => Some(other),
@@ -188,14 +271,14 @@ impl SimContext {
         let cost = &self.inner.cost;
         if access.hit {
             self.inner.stats.page_hits.add(1);
-            self.inner.clock.advance(cost.buffer_hit);
+            self.tick(cost.buffer_hit);
         } else {
             self.inner.stats.page_misses.add(1);
-            self.inner.clock.advance(cost.page_read);
+            self.tick(cost.page_read);
         }
         if access.evicted_dirty {
             self.inner.stats.pages_written.add(1);
-            self.inner.clock.advance(cost.page_write);
+            self.tick(cost.page_write);
         }
     }
 
@@ -204,7 +287,7 @@ impl SimContext {
     /// via [`Self::charge_log_force`].
     pub fn charge_log_append(&self, bytes: usize) {
         self.inner.stats.log_bytes.add(bytes as u64);
-        self.inner.clock.advance(Micros::from_nanos(
+        self.tick(Micros::from_nanos(
             self.inner.cost.log_append_per_byte_ns * bytes as u64,
         ));
     }
@@ -212,7 +295,7 @@ impl SimContext {
     /// Charges the synchronous log force performed at commit.
     pub fn charge_log_force(&self) {
         self.inner.stats.log_forces.add(1);
-        self.inner.clock.advance(self.inner.cost.log_force);
+        self.tick(self.inner.cost.log_force);
     }
 
     /// Charges fixed per-statement CPU cost plus per-row processing for
@@ -221,9 +304,7 @@ impl SimContext {
         self.inner.stats.statements.add(1);
         self.inner.stats.rows_touched.add(rows as u64);
         let c = &self.inner.cost;
-        self.inner
-            .clock
-            .advance(c.cpu_per_statement + c.cpu_per_row * rows as u64);
+        self.tick(c.cpu_per_statement + c.cpu_per_row * rows as u64);
     }
 
     /// Charges one client↔server round trip carrying `bytes` bytes.
@@ -231,9 +312,7 @@ impl SimContext {
         self.inner.stats.round_trips.add(1);
         self.inner.stats.network_bytes.add(bytes as u64);
         let c = &self.inner.cost;
-        self.inner
-            .clock
-            .advance(c.network_rtt + Micros::from_nanos(c.network_per_byte_ns * bytes as u64));
+        self.tick(c.network_rtt + Micros::from_nanos(c.network_per_byte_ns * bytes as u64));
     }
 
     /// Charges one round trip over an explicitly described link — used by
@@ -242,9 +321,7 @@ impl SimContext {
     pub fn charge_link(&self, rtt: Micros, per_byte_ns: u64, bytes: usize) {
         self.inner.stats.round_trips.add(1);
         self.inner.stats.network_bytes.add(bytes as u64);
-        self.inner
-            .clock
-            .advance(rtt + Micros::from_nanos(per_byte_ns * bytes as u64));
+        self.tick(rtt + Micros::from_nanos(per_byte_ns * bytes as u64));
     }
 
     /// Drops every cached page (e.g. between benchmark phases).

@@ -86,4 +86,13 @@ pub mod names {
     pub const REPAIR_CLOSURE: &str = "repair.closure";
     /// Repair phase: executing the compensation sweep.
     pub const REPAIR_COMPENSATE: &str = "repair.compensate";
+    /// Lock-contention histogram: time a committing transaction waits for
+    /// the WAL group-commit ticket (the WAL mutex at publication).
+    pub const ENGINE_GROUP_COMMIT_WAIT: &str = "engine.wal.group_commit_wait";
+    /// Lock-contention histogram: time a committing transaction waits as a
+    /// group-commit follower for the leader's log force to cover its LSN.
+    pub const ENGINE_GROUP_FORCE_WAIT: &str = "engine.wal.group_force_wait";
+    /// Lock-contention histogram: time spent waiting for a `trans_dep`
+    /// dependency-store shard lock in the tracking proxy.
+    pub const PROXY_TRANS_DEP_SHARD_WAIT: &str = "proxy.trans_dep.shard_wait";
 }

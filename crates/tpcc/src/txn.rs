@@ -59,6 +59,11 @@ pub struct TpccRunner {
     rng: StdRng,
     seq: u64,
     annotate: bool,
+    /// When set, every transaction targets this warehouse instead of a
+    /// random one — the multi-threaded benchmark pins each worker to its
+    /// own warehouse so threads contend on the lock manager's machinery,
+    /// not on the same rows.
+    home_warehouse: Option<u32>,
     /// Statistics since construction.
     pub stats: TxnStats,
 }
@@ -71,6 +76,7 @@ impl TpccRunner {
             rng: StdRng::seed_from_u64(seed),
             seq: 0,
             annotate: true,
+            home_warehouse: None,
             stats: TxnStats::default(),
         }
     }
@@ -82,6 +88,21 @@ impl TpccRunner {
         self
     }
 
+    /// Pins every transaction to `warehouse` (1-based, clamped to the
+    /// configured warehouse count). Threaded benchmark workers each take a
+    /// distinct home warehouse so their row footprints are disjoint.
+    pub fn with_home_warehouse(mut self, warehouse: u32) -> Self {
+        self.home_warehouse = Some(warehouse.clamp(1, self.config.warehouses));
+        self
+    }
+
+    fn pick_warehouse(&mut self) -> u32 {
+        match self.home_warehouse {
+            Some(w) => w,
+            None => self.rng.gen_range(1..=self.config.warehouses),
+        }
+    }
+
     /// The most recently used annotation label (for locating the txn in
     /// the dependency graph).
     pub fn last_label(&self) -> String {
@@ -89,7 +110,7 @@ impl TpccRunner {
     }
 
     fn pick_wdc(&mut self) -> (u32, u32, u32) {
-        let w = self.rng.gen_range(1..=self.config.warehouses);
+        let w = self.pick_warehouse();
         let d = self.rng.gen_range(1..=self.config.districts_per_warehouse);
         let c = self.rng.gen_range(1..=self.config.customers_per_district);
         (w, d, c)
@@ -257,7 +278,7 @@ impl TpccRunner {
 
     /// TPC-C Delivery: delivers the oldest undelivered order per district.
     pub fn delivery(&mut self, conn: &mut dyn Connection) -> Result<(), WireError> {
-        let w = self.rng.gen_range(1..=self.config.warehouses);
+        let w = self.pick_warehouse();
         let carrier = self.rng.gen_range(1..=10);
         self.begin(conn, TxnKind::Delivery, w, 0, 0)?;
         for d in 1..=self.config.districts_per_warehouse {
@@ -359,7 +380,7 @@ impl TpccRunner {
     /// items below a threshold, joining client-side so the reads remain
     /// visible to the tracking proxy.
     pub fn stock_level(&mut self, conn: &mut dyn Connection) -> Result<(), WireError> {
-        let w = self.rng.gen_range(1..=self.config.warehouses);
+        let w = self.pick_warehouse();
         let d = self.rng.gen_range(1..=self.config.districts_per_warehouse);
         let threshold = self.rng.gen_range(10..=20);
         self.begin(conn, TxnKind::StockLevel, w, d, 0)?;

@@ -203,6 +203,10 @@ impl Connection for NativeConnection {
         self.db
             .sim()
             .charge_link(self.link.rtt, self.link.per_byte_ns, bytes);
+        // In wall-clock mode, sleep off the virtual time this statement
+        // accrued — outside every engine latch, so concurrent sessions
+        // overlap their waits.
+        self.db.sim().pay_pending_wait();
         Ok(response)
     }
 
@@ -215,6 +219,7 @@ impl Connection for NativeConnection {
         self.db
             .sim()
             .charge_link(self.link.rtt, self.link.per_byte_ns, sql.len() + 8);
+        self.db.sim().pay_pending_wait();
         Ok(StatementHandle((self.prepared.len() - 1) as u64))
     }
 
@@ -241,6 +246,7 @@ impl Connection for NativeConnection {
         self.db
             .sim()
             .charge_link(self.link.rtt, self.link.per_byte_ns, bytes);
+        self.db.sim().pay_pending_wait();
         Ok(response)
     }
 

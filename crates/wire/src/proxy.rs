@@ -173,6 +173,9 @@ impl Connection for DualProxyConnection {
         self.db
             .sim()
             .charge_link(self.client_link.rtt, self.client_link.per_byte_ns, bytes);
+        // Wall-clock mode: sleep off virtual time accrued on this hop (the
+        // inner connection already paid its own share).
+        self.db.sim().pay_pending_wait();
         Ok(response)
     }
 
