@@ -672,15 +672,22 @@ impl Session {
     }
 
     fn commit_open(&mut self) -> Result<()> {
-        let Some(mut txn) = self.txn.take() else {
+        if self.txn.is_none() {
             return Ok(());
-        };
+        }
         let _span = self
             .db
             .sim()
             .telemetry()
             .owned_span(span_names::ENGINE_COMMIT);
-        if !txn.undo.is_empty() {
+        // The fallible (and panic-capable: injected `FaultAction::Panic`)
+        // steps run while the transaction still sits in `self.txn`. Taking
+        // it out first would mean an unwind drops the undo chain — the
+        // eagerly-applied writes would survive as if committed and the
+        // transaction's locks would never be released (a torn mid-commit
+        // state the scenario fuzzer caught). Left in place, an unwind is
+        // safe: `Session::drop` rolls the open transaction back.
+        if self.txn.as_ref().is_some_and(|t| !t.undo.is_empty()) {
             let logged = (|| -> Result<()> {
                 if self
                     .db
@@ -694,12 +701,16 @@ impl Session {
             })();
             if let Err(e) = logged {
                 // A commit that cannot reach the log aborts, as in real
-                // DBMSs: reinstate the transaction and roll it back so no
-                // unlogged writes survive and the locks are released.
-                self.txn = Some(txn);
+                // DBMSs: roll the transaction back so no unlogged writes
+                // survive and the locks are released.
                 let _ = self.rollback_open();
                 return Err(e);
             }
+        }
+        let Some(mut txn) = self.txn.take() else {
+            return Ok(());
+        };
+        if !txn.undo.is_empty() {
             // Everything below is failure-free: publish the staged redo
             // contiguously under the group-commit ticket, then join the
             // group force covering our commit record.
@@ -735,11 +746,16 @@ impl Session {
                 UndoAction::UnInsert { table, rowid } => {
                     catalog.get(table)?.write().delete(*rowid, sim)?;
                 }
-                UndoAction::ReInsert { table, rowid, row } => {
+                UndoAction::ReInsert {
+                    table,
+                    rowid,
+                    row,
+                    loc,
+                } => {
                     catalog
                         .get(table)?
                         .write()
-                        .insert_with_rowid(*rowid, row.clone(), sim)?;
+                        .restore_at(*rowid, row.clone(), *loc, sim)?;
                 }
                 UndoAction::UnUpdate {
                     table,

@@ -78,7 +78,11 @@ pub enum UndoAction {
         /// Row to remove.
         rowid: RowId,
     },
-    /// Undo a delete: re-insert the saved image under its original id.
+    /// Undo a delete: re-insert the saved image under its original id, at
+    /// the physical slot it occupied. Restoring the exact location matters:
+    /// an aborted transaction publishes no log records, so any layout
+    /// change it left behind would be invisible to the Sybase offset
+    /// recovery of paper §4.3.
     ReInsert {
         /// Table name.
         table: String,
@@ -86,6 +90,8 @@ pub enum UndoAction {
         rowid: RowId,
         /// Saved pre-delete image.
         row: Row,
+        /// Physical location the row occupied before the delete.
+        loc: crate::table::RowLocation,
     },
     /// Undo an update: restore the before-image.
     UnUpdate {
@@ -1070,6 +1076,7 @@ fn exec_delete(ctx: &mut StmtCtx<'_>, del: &resildb_sql::Delete) -> Result<u64> 
             table: schema.name.clone(),
             rowid: rid,
             row: row.clone(),
+            loc,
         });
         let op = LogOp::Delete {
             table: schema.name.clone(),

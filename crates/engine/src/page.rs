@@ -75,6 +75,51 @@ impl Page {
         offset
     }
 
+    /// Splices a row image back in at a specific `offset` — the exact
+    /// inverse of [`Self::delete`]. Rows at or past `offset` migrate up to
+    /// make room, restoring the layout that existed before the matching
+    /// delete. Transaction rollback needs this: an aborted transaction
+    /// leaves no log records, so it must also leave the physical layout
+    /// untouched or the Sybase offset-recovery algorithm (paper §4.3)
+    /// would resolve logged offsets against a silently shuffled page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit or `offset` is past the end of the
+    /// packed region — both indicate a corrupted undo record.
+    pub fn insert_at(&mut self, rowid: RowId, image: &[u8], offset: usize) {
+        assert!(
+            image.len() <= self.free_space(),
+            "page overflow: {} > {}",
+            image.len(),
+            self.free_space()
+        );
+        assert!(
+            offset <= self.bytes.len(),
+            "insert_at offset {offset} past packed region {}",
+            self.bytes.len()
+        );
+        self.bytes.splice(offset..offset, image.iter().copied());
+        for s in &mut self.slots {
+            if s.offset >= offset {
+                s.offset += image.len();
+            }
+        }
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.offset > offset)
+            .unwrap_or(self.slots.len());
+        self.slots.insert(
+            idx,
+            Slot {
+                rowid,
+                offset,
+                len: image.len(),
+            },
+        );
+    }
+
     /// Removes `rowid`, compacting the page per the Sybase migration rule.
     /// Returns the slot the row occupied *before* removal.
     pub fn delete(&mut self, rowid: RowId) -> Option<Slot> {
@@ -153,6 +198,35 @@ mod tests {
         assert_eq!(p.read_at(10, 5).unwrap(), &img(3, 5)[..]);
         // No gaps: total bytes = 15.
         assert_eq!(p.free_space(), PAGE_SIZE - 15);
+    }
+
+    #[test]
+    fn insert_at_is_the_inverse_of_delete() {
+        let mut p = Page::new();
+        p.insert(RowId(1), &img(1, 10));
+        p.insert(RowId(2), &img(2, 20));
+        p.insert(RowId(3), &img(3, 5));
+        let before: Vec<Slot> = p.slots().to_vec();
+        let removed = p.delete(RowId(2)).unwrap();
+        p.insert_at(RowId(2), &img(2, 20), removed.offset);
+        assert_eq!(p.slots(), &before[..]);
+        assert_eq!(p.image_of(RowId(2)).unwrap(), &img(2, 20)[..]);
+        assert_eq!(p.image_of(RowId(3)).unwrap(), &img(3, 5)[..]);
+        assert_eq!(p.free_space(), PAGE_SIZE - 35);
+    }
+
+    #[test]
+    fn insert_at_end_matches_plain_insert() {
+        let mut p = Page::new();
+        p.insert(RowId(1), &img(1, 10));
+        p.insert_at(RowId(2), &img(2, 8), 10);
+        assert_eq!(p.slot_of(RowId(2)).unwrap().offset, 10);
+        assert_eq!(p.row_count(), 2);
+        let mut expect = 0;
+        for s in p.slots() {
+            assert_eq!(s.offset, expect);
+            expect += s.len;
+        }
     }
 
     #[test]

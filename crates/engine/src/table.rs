@@ -255,6 +255,61 @@ impl Table {
         })
     }
 
+    /// Restores a deleted row at the *exact* physical location it occupied
+    /// before the delete — the rollback path. Unlike
+    /// [`Self::insert_with_rowid`], which appends to the last page, this
+    /// splices the image back where it was so an aborted transaction's
+    /// page churn is fully reversed. Required by the Sybase repair
+    /// algorithm (paper §4.3): it resolves logged offsets against the
+    /// current page, and a rolled-back transaction — which left no log
+    /// records — must therefore leave no physical footprint either.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `rowid` is already live, the primary key collides, the
+    /// image width differs from the recorded slot, or `loc` no longer
+    /// names a valid splice point.
+    pub fn restore_at(
+        &mut self,
+        rowid: RowId,
+        row: Row,
+        loc: RowLocation,
+        sim: &SimContext,
+    ) -> Result<()> {
+        if self.directory.contains_key(&rowid) {
+            return Err(EngineError::Internal(format!("{rowid} already live")));
+        }
+        if let Some(key) = self.pk_key(&row) {
+            if self.pk_index.contains_key(&key) {
+                return Err(EngineError::DuplicateKey(format!(
+                    "{} primary key {key:?}",
+                    self.schema.name
+                )));
+            }
+        }
+        let image = encode_row(&self.schema, &row)?;
+        if image.len() != loc.len {
+            return Err(EngineError::Internal(format!(
+                "restore_at image width {} != recorded {}",
+                image.len(),
+                loc.len
+            )));
+        }
+        let page = self
+            .pages
+            .get_mut(loc.page as usize)
+            .ok_or_else(|| EngineError::Internal(format!("restore_at page {} gone", loc.page)))?;
+        page.insert_at(rowid, &image, loc.offset);
+        self.next_rowid = self.next_rowid.max(rowid.0 + 1);
+        self.directory.insert(rowid, loc.page);
+        if let Some(key) = self.pk_key(&row) {
+            self.pk_index.insert(key, rowid);
+        }
+        self.row_count += 1;
+        sim.charge_page_write(PageKey::new(self.object_id, loc.page));
+        Ok(())
+    }
+
     /// Reads the current contents of `rowid` (charging a page read).
     pub fn get(&self, rowid: RowId, sim: &SimContext) -> Result<Option<Row>> {
         let Some(&page_no) = self.directory.get(&rowid) else {

@@ -263,6 +263,56 @@ impl TxnTrack {
     }
 }
 
+/// Retires a transaction from the dependency ledger if the commit path
+/// unwinds before reaching a regular retirement.
+///
+/// The commit-time tracking writes and the downstream COMMIT both
+/// traverse failpoints that can panic ([`resildb_sim::FaultAction::Panic`]
+/// on `proxy.*` or `engine.wal_commit`), and a panic skips every
+/// statement after the failpoint — including the `DepStore` retirement.
+/// Without this guard the ledger keeps the entry forever and the
+/// `proxy.trans_dep.inflight` gauge leaks a permanently-stuck count. The
+/// guard owns clones of the shared handles (no borrows of the tracker),
+/// so the regular paths `defuse` it and retire explicitly; only an unwind
+/// reaches its `Drop`.
+struct RetireOnUnwind {
+    deps: Arc<DepStore>,
+    tel: Option<Telemetry>,
+    trid: i64,
+    session: u64,
+    armed: bool,
+}
+
+impl RetireOnUnwind {
+    fn arm(deps: Arc<DepStore>, tel: Option<Telemetry>, trid: i64, session: u64) -> Self {
+        Self {
+            deps,
+            tel,
+            trid,
+            session,
+            armed: true,
+        }
+    }
+
+    /// The regular paths retire the transaction themselves; defusing
+    /// hands responsibility back to them.
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for RetireOnUnwind {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.deps.abort(self.trid, self.tel.as_ref());
+        if let Some(t) = &self.tel {
+            t.flight().emit(self.trid, self.session, EventKind::Abort);
+        }
+    }
+}
+
 struct Tracker {
     config: ProxyConfig,
     counter: Arc<AtomicI64>,
@@ -661,6 +711,15 @@ impl Tracker {
                     let Some(t) = self.txn.take() else {
                         return Err(WireError::Protocol("transaction state missing".into()));
                     };
+                    // As in the explicit COMMIT arm: a panic out of a
+                    // failpoint or the engine commit would skip the
+                    // retirement below, so the guard covers the unwind.
+                    let mut guard = RetireOnUnwind::arm(
+                        Arc::clone(&self.deps),
+                        self.tel().cloned(),
+                        t.trid,
+                        self.session,
+                    );
                     let finished = if self.should_record(&t) {
                         self.write_tracking_rows(&t, downstream)
                     } else {
@@ -668,6 +727,7 @@ impl Tracker {
                     }
                     .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT))
                     .and_then(|()| downstream.execute("COMMIT").map(|_| ()));
+                    guard.defuse();
                     if let Err(e) = finished {
                         self.deps.abort(t.trid, self.tel());
                         self.trace(t.trid, EventKind::Abort);
@@ -824,6 +884,12 @@ impl Tracker {
                 // it must be rolled back; returning the error with the
                 // proxy state cleared but the engine transaction open would
                 // leave the two permanently diverged.
+                let mut guard = RetireOnUnwind::arm(
+                    Arc::clone(&self.deps),
+                    self.tel().cloned(),
+                    t.trid,
+                    self.session,
+                );
                 let recorded = if self.should_record(&t) {
                     self.write_tracking_rows(&t, downstream)
                 } else {
@@ -831,6 +897,7 @@ impl Tracker {
                 }
                 .and_then(|()| self.fault(failpoints::PROXY_BEFORE_COMMIT));
                 if let Err(e) = recorded {
+                    guard.defuse();
                     self.deps.abort(t.trid, self.tel());
                     self.trace(t.trid, EventKind::Abort);
                     self.abort_txn(downstream);
@@ -838,6 +905,7 @@ impl Tracker {
                 }
                 match downstream.execute("COMMIT") {
                     Ok(resp) => {
+                        guard.defuse();
                         self.deps.commit(t.trid, t.deps.len(), self.tel());
                         self.trace(t.trid, EventKind::Commit);
                         Ok(resp)
@@ -845,6 +913,7 @@ impl Tracker {
                     Err(e) => {
                         // A COMMIT that fails did not commit; make sure the
                         // engine side is closed too.
+                        guard.defuse();
                         self.deps.abort(t.trid, self.tel());
                         self.trace(t.trid, EventKind::Abort);
                         self.abort_txn(downstream);
@@ -898,6 +967,18 @@ impl Tracker {
             // reconstructed from the log at repair time (§3.2).
             Statement::Delete(_) => self.execute_write(downstream, |_| sql.to_string()),
         }
+    }
+}
+
+/// A connection dropped with a transaction still open must retire that
+/// transaction from the factory-wide dependency ledger — the engine side
+/// already rolls its session back on drop, and a ledger entry with no
+/// surviving connection could never be retired by anyone else (the
+/// `proxy.trans_dep.inflight` gauge would report a phantom transaction
+/// forever).
+impl Drop for Tracker {
+    fn drop(&mut self) {
+        self.clear_txn();
     }
 }
 

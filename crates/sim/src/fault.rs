@@ -135,6 +135,34 @@ struct FailpointState {
     fired: u64,
 }
 
+impl FailpointState {
+    /// The trigger decision, as one indivisible step over this point's
+    /// counters: count the hit, evaluate the script against the counters,
+    /// and — when it fires — advance `fired` before the decision escapes.
+    /// The caller holds the registry lock for the whole call, so two
+    /// threads racing the same failpoint serialize on the full
+    /// read-decide-update sequence: `Once` cannot fire twice and
+    /// `Times(n)` cannot overshoot, no matter how many sessions hit the
+    /// point at once.
+    fn decide(&mut self) -> Option<FaultAction> {
+        self.hits += 1;
+        let (action, trigger) = self.armed?;
+        self.hits_since_armed += 1;
+        let fire = match trigger {
+            FaultTrigger::Always => true,
+            FaultTrigger::Once => self.fired == 0,
+            FaultTrigger::OnHit(n) => self.hits_since_armed == n,
+            FaultTrigger::Times(n) => self.fired < n,
+            FaultTrigger::Never => false,
+        };
+        if !fire {
+            return None;
+        }
+        self.fired += 1;
+        Some(action)
+    }
+}
+
 /// A registry of named failpoints shared by every layer of one simulation.
 ///
 /// Disarmed evaluation is one relaxed atomic load — cheap enough to leave
@@ -229,21 +257,13 @@ impl FaultPlan {
             return None; // fast path: fully disarmed plan
         }
         let mut points = self.points.lock();
-        let state = points.entry(name.to_string()).or_default();
-        state.hits += 1;
-        let (action, trigger) = state.armed?;
-        state.hits_since_armed += 1;
-        let fire = match trigger {
-            FaultTrigger::Always => true,
-            FaultTrigger::Once => state.fired == 0,
-            FaultTrigger::OnHit(n) => state.hits_since_armed == n,
-            FaultTrigger::Times(n) => state.fired < n,
-            FaultTrigger::Never => false,
-        };
-        if !fire {
-            return None;
+        // Keyed by owned String but probed by &str: only a name's first
+        // hit allocates; every later check reuses the existing entry.
+        if !points.contains_key(name) {
+            points.insert(name.to_string(), FailpointState::default());
         }
-        state.fired += 1;
+        let state = points.get_mut(name)?;
+        let action = state.decide()?;
         match action {
             FaultAction::Error => Some(InjectedFault::Error),
             FaultAction::Disconnect => Some(InjectedFault::Disconnect),
@@ -356,6 +376,52 @@ mod tests {
         assert!(caught.is_err());
         assert!(!plan.active(), "panic disarms its failpoint");
         assert!(plan.check("p").is_none());
+    }
+
+    /// Hammers one armed failpoint from `threads` OS threads, `checks`
+    /// evaluations each, and returns how many evaluations fired.
+    fn fired_under_contention(plan: &FaultPlan, threads: usize, checks: usize) -> usize {
+        use std::sync::Barrier;
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (plan, barrier) = (&*plan, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        (0..checks).filter(|_| plan.check("p").is_some()).count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+        })
+    }
+
+    #[test]
+    fn once_fires_exactly_once_across_threads() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::Once);
+        let fired = fired_under_contention(&plan, 8, 200);
+        assert_eq!(fired, 1, "Once must fire exactly once under contention");
+        assert_eq!(plan.fired("p"), 1);
+        assert_eq!(plan.hits("p"), 8 * 200, "every evaluation is counted");
+    }
+
+    #[test]
+    fn times_never_overshoots_across_threads() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::Times(5));
+        let fired = fired_under_contention(&plan, 8, 200);
+        assert_eq!(fired, 5, "Times(5) must fire exactly 5 times");
+        assert_eq!(plan.fired("p"), 5);
+    }
+
+    #[test]
+    fn on_hit_fires_exactly_once_across_threads() {
+        let plan = FaultPlan::new();
+        plan.arm("p", FaultAction::Error, FaultTrigger::OnHit(37));
+        let fired = fired_under_contention(&plan, 8, 200);
+        assert_eq!(fired, 1, "OnHit(n) is a single hit, even when racing");
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod clock;
 mod cost;
 mod fault;
 mod lru;
+mod rng;
 mod stats;
 
 pub use buffer::{BufferPool, PageAccess, PageKey};
@@ -47,6 +48,7 @@ pub use clock::{Micros, VirtualClock};
 pub use cost::CostModel;
 pub use fault::{failpoints, FaultAction, FaultPlan, FaultTrigger, InjectedFault};
 pub use lru::LruMap;
+pub use rng::DetRng;
 pub use stats::SimStats;
 
 // Telemetry (spans, histograms, metric registry) rides on the simulation

@@ -1,0 +1,236 @@
+//! `resildb-vopr` — the scenario fuzzer's command-line driver.
+//!
+//! ```text
+//! resildb-vopr --seeds 300                 # fuzz seeds 1..=300
+//! resildb-vopr --seed 0x00000000000000ff   # reproduce one seed
+//! resildb-vopr --corpus ci/vopr-corpus.txt # replay the checked-in corpus
+//! resildb-vopr --seeds 50 --threads 4      # real-thread schedules
+//! resildb-vopr --seeds 50 --canary skip-final-attack --expect-fail
+//! ```
+//!
+//! Every failure reproduces from its seed alone. On failure the driver
+//! shrinks the scenario and writes three artifacts to `--dump-dir`
+//! (default `target/vopr-failures`): the flight-recorder capture
+//! (JSONL), the shrunk schedule dump, and a ready-to-paste corpus line.
+
+use std::process::ExitCode;
+
+use resildb_vopr::corpus::{corpus_line, parse_corpus, seeds_from_proptest_regressions};
+use resildb_vopr::shrink::shrink;
+use resildb_vopr::{generate, run_scenario, Canary, RunOptions};
+
+const USAGE: &str = "\
+resildb-vopr — deterministic scenario fuzzer for resildb
+
+USAGE:
+    resildb-vopr [OPTIONS]
+
+OPTIONS:
+    --seeds <N>          fuzz N sequential seeds (default 20)
+    --start <SEED>       first sequential seed (default 1; hex 0x.. ok)
+    --seed <SEED>        run one explicit seed (repeatable; disables --seeds)
+    --corpus <FILE>      replay seeds from a corpus or proptest-regressions
+                         file (repeatable; disables --seeds)
+    --threads <N>        workload worker threads (default 1)
+    --canary <NAME>      inject a harness bug: skip-final-attack
+    --expect-fail        exit 0 only if at least one seed FAILS
+    --dump-dir <DIR>     failure artifact directory (default target/vopr-failures)
+    --shrink-budget <N>  max candidate runs while shrinking (default 200)
+    -h, --help           this text
+";
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    explicit: Vec<u64>,
+    threads: usize,
+    canary: Canary,
+    expect_fail: bool,
+    dump_dir: String,
+    shrink_budget: usize,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    }
+    .map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        seeds: 20,
+        start: 1,
+        explicit: Vec::new(),
+        threads: 1,
+        canary: Canary::None,
+        expect_fail: false,
+        dump_dir: "target/vopr-failures".into(),
+        shrink_budget: 200,
+    };
+    let mut sequential = true;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = parse_u64(&value("--seeds")?)?,
+            "--start" => args.start = parse_u64(&value("--start")?)?,
+            "--seed" => {
+                args.explicit.push(parse_u64(&value("--seed")?)?);
+                sequential = false;
+            }
+            "--corpus" => {
+                let path = value("--corpus")?;
+                let content = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                if content.lines().any(|l| l.trim_start().starts_with("cc ")) {
+                    args.explicit
+                        .extend(seeds_from_proptest_regressions(&content));
+                } else {
+                    args.explicit.extend(parse_corpus(&content)?);
+                }
+                sequential = false;
+            }
+            "--threads" => {
+                args.threads = parse_u64(&value("--threads")?)? as usize;
+                if args.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--canary" => {
+                args.canary = match value("--canary")?.as_str() {
+                    "skip-final-attack" => Canary::SkipFinalAttack,
+                    other => return Err(format!("unknown canary: {other:?}")),
+                }
+            }
+            "--expect-fail" => args.expect_fail = true,
+            "--dump-dir" => args.dump_dir = value("--dump-dir")?,
+            "--shrink-budget" => {
+                args.shrink_budget = parse_u64(&value("--shrink-budget")?)? as usize
+            }
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown flag: {other:?} (see --help)")),
+        }
+    }
+    if sequential {
+        args.explicit = (0..args.seeds)
+            .map(|i| args.start.wrapping_add(i))
+            .collect();
+    }
+    Ok(Some(args))
+}
+
+/// Runs one seed; on failure shrinks it, dumps artifacts, and returns the
+/// failure headline.
+fn run_one(seed: u64, args: &Args, opts: &RunOptions) -> Option<String> {
+    let scenario = generate(seed);
+    let report = run_scenario(&scenario, opts);
+    if report.passed() {
+        return None;
+    }
+
+    let headline = report
+        .failures
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "unknown failure".into());
+    eprintln!("seed 0x{seed:016x} FAILED: {headline}");
+    for extra in report.failures.iter().skip(1) {
+        eprintln!("    also: {extra}");
+    }
+
+    eprintln!("    shrinking (budget {})...", args.shrink_budget);
+    let shrunk = shrink(&scenario, report, opts, args.shrink_budget);
+    eprintln!(
+        "    shrunk to {} txns / {} faults in {} runs",
+        shrunk.scenario.txns.len(),
+        shrunk.scenario.faults.len(),
+        shrunk.runs,
+    );
+
+    let dir = std::path::Path::new(&args.dump_dir);
+    let write = |name: String, content: &str| {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("    (could not write {}: {e})", path.display());
+        } else {
+            eprintln!("    wrote {}", path.display());
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("    (could not create {}: {e})", dir.display());
+    } else {
+        let mut dump = shrunk.scenario.describe();
+        dump.push_str("\nfailures:\n");
+        for f in &shrunk.report.failures {
+            dump.push_str("  - ");
+            dump.push_str(f);
+            dump.push('\n');
+        }
+        write(format!("seed-0x{seed:016x}.scenario.txt"), &dump);
+        if let Some(capture) = &shrunk.report.capture {
+            write(format!("seed-0x{seed:016x}.capture.jsonl"), capture);
+        }
+        write(
+            format!("seed-0x{seed:016x}.corpus-line.txt"),
+            &format!("{}\n", corpus_line(seed, &headline)),
+        );
+    }
+    Some(headline)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("resildb-vopr: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = RunOptions {
+        threads: args.threads,
+        canary: args.canary,
+    };
+
+    let total = args.explicit.len();
+    println!(
+        "resildb-vopr: {total} seed(s), threads={}, canary={:?}",
+        opts.threads, opts.canary
+    );
+    let mut failed: Vec<(u64, String)> = Vec::new();
+    for (i, &seed) in args.explicit.iter().enumerate() {
+        if let Some(headline) = run_one(seed, &args, &opts) {
+            failed.push((seed, headline));
+        }
+        let done = i + 1;
+        if done % 50 == 0 || done == total {
+            println!("  {done}/{total} seeds, {} failure(s)", failed.len());
+        }
+    }
+
+    if args.expect_fail {
+        if failed.is_empty() {
+            eprintln!("expected at least one failure (canary run?), but every seed passed");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "expected failure observed ({} seed(s)) — the oracle battery is alive",
+            failed.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if failed.is_empty() {
+        println!("all {total} seed(s) passed");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("{} failing seed(s):", failed.len());
+    for (seed, headline) in &failed {
+        eprintln!("  {}", corpus_line(*seed, headline));
+    }
+    ExitCode::FAILURE
+}

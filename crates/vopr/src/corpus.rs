@@ -1,0 +1,103 @@
+//! Corpus files: seed lines checked into the repository.
+//!
+//! The fuzzer's own corpus (`ci/vopr-corpus.txt`) is one seed per line —
+//! `0xHEX` or decimal, with an optional `# why this seed matters`
+//! comment. Failures reproduce from the seed alone, so the corpus is the
+//! entire regression suite: CI replays every line on every run.
+//!
+//! Proptest's `*.proptest-regressions` files are also accepted as seed
+//! sources: each `cc <hash> # shrinks to seed = N, ...` line's recorded
+//! numbers are folded into one deterministic `u64`, so the schedules
+//! proptest once found interesting keep exercising the fuzzer too.
+
+/// Parses one corpus line into a seed. Returns `None` for blanks and
+/// pure comments, `Err` for a malformed seed.
+fn parse_line(line: &str) -> Option<Result<u64, String>> {
+    let body = line.split('#').next().unwrap_or("").trim();
+    if body.is_empty() {
+        return None;
+    }
+    let parsed = match body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => body.parse::<u64>(),
+    };
+    Some(parsed.map_err(|_| format!("corpus: unparseable seed line: {line:?}")))
+}
+
+/// Parses a vopr corpus file (see module docs).
+///
+/// # Errors
+///
+/// Any non-comment line that is not a hex or decimal `u64`.
+pub fn parse_corpus(content: &str) -> Result<Vec<u64>, String> {
+    content.lines().filter_map(parse_line).collect()
+}
+
+/// Renders the checked-in corpus line for a failing seed.
+#[must_use]
+pub fn corpus_line(seed: u64, note: &str) -> String {
+    format!("0x{seed:016x}  # {note}")
+}
+
+/// Extracts deterministic vopr seeds from a `*.proptest-regressions`
+/// file: every number recorded on a `cc` line (`seed = N`, `txn_count =
+/// N`, ...) is folded into one `u64` via splitmix64 steps, one seed per
+/// regression line.
+#[must_use]
+pub fn seeds_from_proptest_regressions(content: &str) -> Vec<u64> {
+    fn mix(mut h: u64, v: u64) -> u64 {
+        h = h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+    content
+        .lines()
+        .filter(|l| l.trim_start().starts_with("cc "))
+        .map(|l| {
+            let comment = l.split('#').nth(1).unwrap_or("");
+            let mut h = 0x5EED_u64;
+            // Every `name = value` pair contributes; non-numeric tokens
+            // are ignored so format drift degrades gracefully.
+            for token in comment.split(|c: char| !c.is_ascii_digit()) {
+                if let Ok(v) = token.parse::<u64>() {
+                    h = mix(h, v);
+                }
+            }
+            h
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hex_decimal_comments_and_blanks() {
+        let content = "# header\n0x00000000000000ff  # note\n\n42\n";
+        assert_eq!(parse_corpus(content), Ok(vec![0xFF, 42]));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        assert!(parse_corpus("not-a-seed\n").is_err());
+    }
+
+    #[test]
+    fn corpus_line_roundtrips() {
+        let line = corpus_line(0xFF, "closure divergence");
+        assert_eq!(parse_corpus(&line), Ok(vec![0xFF]));
+    }
+
+    #[test]
+    fn proptest_regressions_yield_stable_seeds() {
+        let content =
+            "# header\ncc abc123 # shrinks to seed = 3209, txn_count = 3, attack_idx = 0\n";
+        let a = seeds_from_proptest_regressions(content);
+        let b = seeds_from_proptest_regressions(content);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_ne!(a[0], 0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Scenario execution: track → attack → repair → clean replay, with the
+//! oracle battery evaluated at the end.
+//!
+//! The harness runs a [`Scenario`] against a fresh [`ResilientDb`]
+//! ("world A"): loads the scaled TPC-C footprint, executes the schedule
+//! (optionally across real OS threads), disarms the fault plan, repairs
+//! from the committed malicious transactions, and then builds a second
+//! fresh instance ("world B") that replays only the clean survivors.
+//! Every oracle in [`crate::oracle`] is then checked; a non-empty failure
+//! list is a fuzzer finding.
+//!
+//! Per-transaction outcomes are *recorded, not assumed*: a scenario's
+//! faults decide which transactions commit, and under `threads > 1` that
+//! decision is scheduling-dependent — so the oracles compare against what
+//! actually happened, never against the schedule's intent.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+use resildb_core::{Connection, ResilientDb};
+use resildb_sim::telemetry::trace::to_jsonl;
+use resildb_sim::TraceSnapshot;
+use resildb_tpcc::Loader;
+use resildb_wire::WireError;
+
+use crate::oracle;
+use crate::scenario::{generate, tpcc_config, Scenario, ScenarioTxn};
+
+/// What happened to one scheduled transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// COMMIT succeeded end-to-end.
+    Committed,
+    /// Any failure: statement error, disconnect, injected panic, rollback.
+    Aborted,
+}
+
+/// Deliberately-injected harness bugs, used to prove the oracle battery
+/// actually catches what it claims to catch (CI runs one and requires the
+/// fuzzer to fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Canary {
+    /// No canary: honest run.
+    #[default]
+    None,
+    /// Omit the last committed malicious transaction from the repair's
+    /// initial set — an incomplete damage closure, which the
+    /// repair-equals-clean-replay oracle must flag.
+    SkipFinalAttack,
+}
+
+/// Knobs for one run (everything else comes from the scenario).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads for the workload phase. 1 = deterministic schedule
+    /// order; N > 1 = real concurrency (crash points are skipped).
+    pub threads: usize,
+    /// Injected harness bug, if any.
+    pub canary: Canary,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            canary: Canary::None,
+        }
+    }
+}
+
+/// Everything a run produced: outcomes, oracle failures, forensics.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The generating seed.
+    pub seed: u64,
+    /// Per-schedule-index outcome.
+    pub outcomes: Vec<Outcome>,
+    /// Oracle failures; empty means the run passed.
+    pub failures: Vec<String>,
+    /// Labels of the transactions the repair undid.
+    pub undo_labels: BTreeSet<String>,
+    /// Flight-recorder capture (JSONL), kept when the run failed.
+    pub capture: Option<String>,
+}
+
+impl RunReport {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn harness_error(seed: u64, msg: String) -> Self {
+        Self {
+            seed,
+            outcomes: Vec::new(),
+            failures: vec![msg],
+            undo_labels: BTreeSet::new(),
+            capture: None,
+        }
+    }
+}
+
+/// Generates and runs the scenario for `seed`.
+pub fn run_seed(seed: u64, opts: &RunOptions) -> RunReport {
+    run_scenario(&generate(seed), opts)
+}
+
+/// Injected `FaultAction::Panic` unwinds are caught and *expected*; the
+/// default panic hook would still print a backtrace for each, drowning a
+/// fuzz run's output. Installed once: swallows exactly those, delegates
+/// everything else.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected panic at failpoint"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs an explicit scenario (the shrinker edits scenarios directly).
+pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> RunReport {
+    silence_injected_panics();
+    match try_run(scenario, opts) {
+        Ok(report) => report,
+        Err(e) => RunReport::harness_error(scenario.seed, format!("harness error: {e}")),
+    }
+}
+
+/// Executes one scheduled transaction over a possibly-dead connection
+/// slot, reconnecting as needed. Panics unwinding out of injected
+/// failpoints are contained here; the connection is discarded after one
+/// (its engine session rolls back on drop) and the transaction counts as
+/// aborted.
+fn exec_txn(
+    rdb: &ResilientDb,
+    conn: &mut Option<Box<dyn Connection>>,
+    txn: &ScenarioTxn,
+    index: usize,
+    commit_order: &Mutex<Vec<usize>>,
+) -> Outcome {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), WireError> {
+        if conn.is_none() {
+            *conn = Some(rdb.connect()?);
+        }
+        let Some(c) = conn.as_mut() else {
+            return Err(WireError::Protocol("connection slot empty".into()));
+        };
+        c.execute(&format!("ANNOTATE {}", txn.label))?;
+        c.execute("BEGIN")?;
+        for s in &txn.statements {
+            c.execute(s)?;
+        }
+        // The lock is held *across* COMMIT so the recorded order is a valid
+        // serialization order: a transaction that read this one's writes
+        // acquires its row locks only after this engine commit released
+        // them, hence reaches its own COMMIT — and this lock — later.
+        // World B replays survivors in exactly this order.
+        let mut order = commit_order.lock();
+        c.execute("COMMIT")?;
+        order.push(index);
+        Ok(())
+    }));
+    match result {
+        Ok(Ok(())) => Outcome::Committed,
+        Ok(Err(e)) => {
+            if matches!(e, WireError::ConnectionDropped) {
+                *conn = None; // severed; a fresh one is made on demand
+            } else if let Some(c) = conn.as_mut() {
+                // Best-effort: close whatever transaction is still open on
+                // either side. Harmless when the commit path already did.
+                let _ = c.execute("ROLLBACK");
+            }
+            Outcome::Aborted
+        }
+        Err(_) => {
+            *conn = None; // injected panic: discard the wedged connection
+            Outcome::Aborted
+        }
+    }
+}
+
+/// Arms every fault event scheduled before transaction `i`.
+fn arm_faults(rdb: &ResilientDb, scenario: &Scenario, i: usize) {
+    for f in scenario.faults.iter().filter(|f| f.before_txn == i) {
+        rdb.database()
+            .sim()
+            .faults()
+            .arm(f.failpoint, f.action, f.trigger);
+    }
+}
+
+fn run_workload(
+    rdb: &Arc<ResilientDb>,
+    scenario: &Scenario,
+    opts: &RunOptions,
+) -> Result<(Vec<Outcome>, Vec<usize>), String> {
+    let n = scenario.txns.len();
+    let commit_order = Mutex::new(Vec::with_capacity(n));
+    if opts.threads <= 1 {
+        let mut outcomes = vec![Outcome::Aborted; n];
+        let mut conn: Option<Box<dyn Connection>> = None;
+        for (i, txn) in scenario.txns.iter().enumerate() {
+            if scenario.crash_before == Some(i) {
+                conn = None; // crash severs every client
+                rdb.database()
+                    .simulate_crash_and_recover()
+                    .map_err(|e| format!("crash-recovery failed: {e}"))?;
+            }
+            arm_faults(rdb, scenario, i);
+            outcomes[i] = exec_txn(rdb, &mut conn, txn, i, &commit_order);
+        }
+        return Ok((outcomes, commit_order.into_inner()));
+    }
+
+    // Threaded: worker t owns schedule indices i ≡ t (mod threads), in
+    // order. Crash points are skipped (in-place recovery cannot run under
+    // concurrent sessions); everything else is identical.
+    let outcomes = Mutex::new(vec![Outcome::Aborted; n]);
+    let barrier = Barrier::new(opts.threads);
+    std::thread::scope(|scope| {
+        for t in 0..opts.threads {
+            let (rdb, outcomes, barrier, commit_order) =
+                (Arc::clone(rdb), &outcomes, &barrier, &commit_order);
+            scope.spawn(move || {
+                let mut conn: Option<Box<dyn Connection>> = None;
+                barrier.wait();
+                for (i, txn) in scenario
+                    .txns
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % opts.threads == t)
+                {
+                    arm_faults(&rdb, scenario, i);
+                    let o = exec_txn(&rdb, &mut conn, txn, i, commit_order);
+                    outcomes.lock()[i] = o;
+                }
+            });
+        }
+    });
+    Ok((outcomes.into_inner(), commit_order.into_inner()))
+}
+
+fn try_run(scenario: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
+    let cfg = tpcc_config();
+
+    // --- world A: track → attack -------------------------------------
+    let rdb = Arc::new(ResilientDb::new(scenario.flavor).map_err(|e| e.to_string())?);
+    {
+        let mut conn = rdb.connect().map_err(|e| e.to_string())?;
+        Loader::new(cfg.clone(), scenario.seed)
+            .load(&mut *conn)
+            .map_err(|e| format!("load failed: {e}"))?;
+    }
+
+    let (outcomes, commit_order) = run_workload(&rdb, scenario, opts)?;
+    rdb.database().sim().faults().disarm_all();
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Capture the label → proxy-trid mapping NOW: a successful repair
+    // compensates away the tracking rows (annot, trans_dep) of everything
+    // it undoes — they were INSERTs inside the undone transaction — so
+    // after repair the labels of undone transactions resolve to nothing.
+    // Every committed write transaction must be resolvable here; a miss
+    // is itself an oracle failure (an untraceable transaction).
+    let mut label_trids: BTreeMap<String, i64> = BTreeMap::new();
+    for (i, txn) in scenario.txns.iter().enumerate() {
+        if outcomes[i] != Outcome::Committed || !txn.wrote {
+            continue;
+        }
+        match rdb.txn_id_by_label(&txn.label) {
+            Ok(Some(trid)) => {
+                label_trids.insert(txn.label.clone(), trid);
+            }
+            Ok(None) => failures.push(format!(
+                "committed write txn {} left no annot row (untraceable)",
+                txn.label
+            )),
+            Err(e) => failures.push(format!("annot lookup failed for {}: {e}", txn.label)),
+        }
+    }
+
+    // Committed malicious transactions form the repair's initial set.
+    let mut initial: Vec<i64> = scenario
+        .txns
+        .iter()
+        .enumerate()
+        .filter(|(i, txn)| txn.malicious && outcomes[*i] == Outcome::Committed)
+        .filter_map(|(_, txn)| label_trids.get(&txn.label).copied())
+        .collect();
+    if opts.canary == Canary::SkipFinalAttack {
+        initial.pop(); // the injected bug: one attack goes unrepaired
+    }
+
+    // Analysis first (the dependency graph must be read before the
+    // repair's own compensating writes enter the log), then repair.
+    let mut undo_labels: BTreeSet<String> = BTreeSet::new();
+    if !initial.is_empty() {
+        let analysis = rdb.analyze().map_err(|e| format!("analysis failed: {e}"))?;
+        for id in analysis.undo_set(&initial, &[]) {
+            undo_labels.insert(analysis.graph.label(id));
+        }
+        // A scenario may script a repair-phase fault: the first attempt
+        // is then expected to fail (and must roll back cleanly — the
+        // byte-equality oracle would expose any leaked compensation);
+        // the retry after disarming must succeed.
+        if let Some(site) = scenario.repair_fault {
+            rdb.database().sim().faults().arm(
+                site,
+                resildb_sim::FaultAction::Error,
+                resildb_sim::FaultTrigger::Once,
+            );
+            let first = rdb.repair(&initial, &[]);
+            rdb.database().sim().faults().disarm_all();
+            if first.is_err() {
+                rdb.repair(&initial, &[])
+                    .map_err(|e| format!("repair retry failed: {e}"))?;
+            }
+        } else {
+            rdb.repair(&initial, &[])
+                .map_err(|e| format!("repair failed: {e}"))?;
+        }
+    }
+
+    // --- world B: clean replay (malicious elided, undo set elided) ----
+    let rdb_b = ResilientDb::new(scenario.flavor).map_err(|e| e.to_string())?;
+    {
+        let mut conn = rdb_b.connect().map_err(|e| e.to_string())?;
+        Loader::new(cfg, scenario.seed)
+            .load(&mut *conn)
+            .map_err(|e| format!("replay load failed: {e}"))?;
+        // Replay in the recorded *commit* order — world A's serialization
+        // order. Under threads it can differ from schedule order, and
+        // replaying conflicting survivors out of order would diverge for
+        // reasons that are not bugs.
+        for &i in &commit_order {
+            let txn = &scenario.txns[i];
+            let survived = outcomes[i] == Outcome::Committed
+                && !txn.malicious
+                && !undo_labels.contains(&txn.label);
+            if !survived {
+                continue;
+            }
+            let replayed = (|| -> Result<(), WireError> {
+                conn.execute(&format!("ANNOTATE {}", txn.label))?;
+                conn.execute("BEGIN")?;
+                for s in &txn.statements {
+                    conn.execute(s)?;
+                }
+                conn.execute("COMMIT")?;
+                Ok(())
+            })();
+            if let Err(e) = replayed {
+                failures.push(format!("clean replay of {} failed: {e}", txn.label));
+            }
+        }
+    }
+
+    // --- oracles ------------------------------------------------------
+    let flight: TraceSnapshot = rdb.flight_recorder().snapshot();
+    if opts.threads <= 1 {
+        // Full-state equality and the ground-truth closure both assume the
+        // history is equivalent to the schedule order — true only when one
+        // thread ran it. The engine is read-committed (readers take no
+        // locks), so a threaded history need not match *any* serial replay.
+        failures.extend(oracle::byte_equality(&rdb, &rdb_b));
+        failures.extend(oracle::closure_matches_ground_truth(
+            scenario,
+            &outcomes,
+            &undo_labels,
+        ));
+    }
+    failures.extend(oracle::attack_eradicated(&rdb, &rdb_b));
+    failures.extend(oracle::trans_dep_exactly_once(
+        &rdb,
+        scenario,
+        &outcomes,
+        &undo_labels,
+        &label_trids,
+    ));
+    failures.extend(oracle::inflight_drained(&rdb, "world A"));
+    failures.extend(oracle::inflight_drained(&rdb_b, "world B"));
+    failures.extend(oracle::flight_lifecycle(
+        &flight,
+        scenario,
+        &outcomes,
+        &label_trids,
+    ));
+
+    let capture = (!failures.is_empty()).then(|| to_jsonl(&flight));
+    Ok(RunReport {
+        seed: scenario.seed,
+        outcomes,
+        failures,
+        undo_labels,
+        capture,
+    })
+}

@@ -1,0 +1,347 @@
+//! The machine-verifiable invariants every run is checked against.
+//!
+//! Each oracle returns a list of human-readable failures (empty = held):
+//!
+//! 1. **Byte equality** (single-threaded runs) — after repair, world A's
+//!    client-visible TPC-C state equals world B's, where B replayed only
+//!    the clean survivors (committed, not malicious, not undone) in commit
+//!    order. This is the paper's central promise, and the
+//!    Ultraverse-style replay check of PAPERS.md. Threaded runs check the
+//!    schedule-independent **attack eradicated** oracle instead.
+//! 2. **Closure ground truth** (single-threaded runs) — the repair's undo
+//!    set equals the closure the *generator* computes from its own
+//!    read/write sets. Byte equality alone cannot see a missed closure
+//!    member whose SQL happens to produce identical bytes; this oracle
+//!    can.
+//! 3. **Exactly-one `trans_dep` row** per committed write transaction,
+//!    none for aborted ones (§3.3's bookkeeping invariant).
+//! 4. **Dependency ledger drains** — `proxy.trans_dep.inflight` is zero
+//!    once every connection is gone, in both worlds.
+//! 5. **Flight-recorder lifecycle** — each committed write transaction
+//!    shows exactly one `txn_begin` and one `commit` and no `abort`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use resildb_core::{ResilientDb, Response, Value};
+use resildb_sim::TraceSnapshot;
+use resildb_tpcc::TPCC_TABLES;
+
+use crate::harness::Outcome;
+use crate::scenario::{RowKey, Scenario};
+
+/// Client-visible rows of `table`, sorted — the unit of byte comparison.
+fn table_rows(rdb: &ResilientDb, table: &str) -> Result<Vec<String>, String> {
+    let mut conn = rdb
+        .connect()
+        .map_err(|e| format!("oracle connect failed: {e}"))?;
+    match conn
+        .execute(&format!("SELECT * FROM {table}"))
+        .map_err(|e| format!("oracle SELECT * FROM {table} failed: {e}"))?
+    {
+        Response::Rows(qr) => {
+            let mut rows: Vec<String> = qr.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows.insert(0, format!("{:?}", qr.columns));
+            Ok(rows)
+        }
+        other => Err(format!(
+            "SELECT * FROM {table}: expected rows, got {other:?}"
+        )),
+    }
+}
+
+/// Oracle 1: repaired world A byte-equals clean-replay world B on every
+/// TPC-C table, through tracked connections (hidden columns stripped, so
+/// the differing proxy txn ids of the two worlds are invisible — exactly
+/// the client's view).
+pub fn byte_equality(a: &ResilientDb, b: &ResilientDb) -> Vec<String> {
+    let mut failures = Vec::new();
+    for table in TPCC_TABLES {
+        match (table_rows(a, table), table_rows(b, table)) {
+            (Ok(ra), Ok(rb)) => {
+                if ra != rb {
+                    let diff = ra
+                        .iter()
+                        .filter(|r| !rb.contains(r))
+                        .chain(rb.iter().filter(|r| !ra.contains(r)))
+                        .take(4)
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(" | ");
+                    failures.push(format!(
+                        "byte-equality: table {table} diverges between repaired state \
+                         and clean replay ({} vs {} rows; e.g. {diff})",
+                        ra.len() - 1,
+                        rb.len() - 1,
+                    ));
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => failures.push(e),
+        }
+    }
+    failures
+}
+
+/// Oracle 1b: the attack is *eradicated* — valid under any interleaving,
+/// so this is the state oracle for threaded runs, where byte equality
+/// against a serial replay is unsound (the engine runs read-committed:
+/// readers take no locks, so a concurrent history need not be equivalent
+/// to any serial one).
+///
+/// Two schedule-independent facts about the generator's attack shapes:
+/// - Malicious writes plant monetary values ≥ 999 999 (absolute overwrite
+///   or +1 000 000 delta) in `warehouse.w_ytd`, `district.d_ytd` or
+///   `customer.c_balance`. Legitimate TPC-C traffic moves those fields by
+///   at most a few thousand, so any such value after repair — including
+///   one a survivor stacked a legitimate delta onto — is surviving damage.
+/// - Only malicious transactions ever *write* the `item` table, so after
+///   repair it must byte-equal the clean replay's regardless of how the
+///   legitimate workload interleaved.
+pub fn attack_eradicated(a: &ResilientDb, b: &ResilientDb) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (table, col) in [
+        ("warehouse", "w_ytd"),
+        ("district", "d_ytd"),
+        ("customer", "c_balance"),
+    ] {
+        let poisoned = (|| -> Result<usize, String> {
+            let mut conn = a
+                .connect()
+                .map_err(|e| format!("oracle connect failed: {e}"))?;
+            match conn
+                .execute(&format!("SELECT {col} FROM {table}"))
+                .map_err(|e| format!("oracle SELECT {col} FROM {table} failed: {e}"))?
+            {
+                Response::Rows(qr) => Ok(qr
+                    .rows
+                    .iter()
+                    .filter(|r| match r.first() {
+                        Some(Value::Int(v)) => *v >= 999_999,
+                        Some(Value::Float(v)) => *v >= 999_999.0,
+                        _ => false,
+                    })
+                    .count()),
+                other => Err(format!("SELECT {col}: expected rows, got {other:?}")),
+            }
+        })();
+        match poisoned {
+            Ok(0) => {}
+            Ok(n) => failures.push(format!(
+                "eradication: {n} {table}.{col} value(s) ≥ 999999 survived repair"
+            )),
+            Err(e) => failures.push(e),
+        }
+    }
+    match (table_rows(a, "item"), table_rows(b, "item")) {
+        (Ok(ra), Ok(rb)) if ra != rb => failures.push(
+            "eradication: item table (written only by malicious txns) \
+             diverges from clean replay"
+                .into(),
+        ),
+        (Err(e), _) | (_, Err(e)) => failures.push(e),
+        _ => {}
+    }
+    failures
+}
+
+/// The generator-side damage closure: forward taint propagation over the
+/// committed schedule using the ground-truth row sets. A committed write
+/// transaction is tainted if it is malicious, or if any row it read or
+/// overwrote was last written by a tainted transaction. Read-only
+/// transactions never enter the closure (they record no tracking rows and
+/// have nothing to undo) — matching the repair tool's graph by design.
+pub fn ground_truth_closure(scenario: &Scenario, outcomes: &[Outcome]) -> BTreeSet<String> {
+    let mut last_writer: BTreeMap<RowKey, usize> = BTreeMap::new();
+    let mut tainted: BTreeSet<usize> = BTreeSet::new();
+    for (i, txn) in scenario.txns.iter().enumerate() {
+        if outcomes[i] != Outcome::Committed {
+            continue;
+        }
+        let mut taint = txn.malicious;
+        for row in txn.reads.iter().chain(txn.preimages.iter()) {
+            if let Some(w) = last_writer.get(row) {
+                if tainted.contains(w) {
+                    taint = true;
+                }
+            }
+        }
+        if taint && txn.wrote {
+            tainted.insert(i);
+        }
+        for row in &txn.writes {
+            last_writer.insert(row.clone(), i);
+        }
+        for row in &txn.deletes {
+            last_writer.remove(row);
+        }
+    }
+    tainted
+        .into_iter()
+        .map(|i| scenario.txns[i].label.clone())
+        .collect()
+}
+
+/// Oracle 2: the repair's undo set equals the ground-truth closure.
+/// Single-threaded runs only — under real threads the engine's row-lock
+/// ordering (not the schedule order) decides who read whose write.
+pub fn closure_matches_ground_truth(
+    scenario: &Scenario,
+    outcomes: &[Outcome],
+    undo_labels: &BTreeSet<String>,
+) -> Vec<String> {
+    let expected = ground_truth_closure(scenario, outcomes);
+    if expected == *undo_labels {
+        return Vec::new();
+    }
+    let missed: Vec<_> = expected.difference(undo_labels).cloned().collect();
+    let extra: Vec<_> = undo_labels.difference(&expected).cloned().collect();
+    vec![format!(
+        "closure: undo set diverges from ground truth \
+         (missed: [{}], unexpected: [{}])",
+        missed.join(", "),
+        extra.join(", "),
+    )]
+}
+
+/// Oracle 3: exactly-once dependency bookkeeping, checked post-repair.
+///
+/// - A committed write transaction the repair did *not* undo has exactly
+///   one `trans_dep` row and its `annot` row intact.
+/// - A committed write transaction the repair *did* undo has neither —
+///   its tracking rows were INSERTs inside the undone transaction, and
+///   the compensation sweep deletes them with everything else it wrote.
+/// - Aborted and read-only transactions never have tracking rows.
+///
+/// `label_trids` is the label → proxy-trid mapping the harness captured
+/// *before* repair (afterwards the undone labels resolve to nothing).
+pub fn trans_dep_exactly_once(
+    rdb: &ResilientDb,
+    scenario: &Scenario,
+    outcomes: &[Outcome],
+    undo_labels: &BTreeSet<String>,
+    label_trids: &BTreeMap<String, i64>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+    let trids = (|| -> Result<Vec<i64>, String> {
+        let mut conn = rdb
+            .connect_untracked()
+            .map_err(|e| format!("untracked connect failed: {e}"))?;
+        match conn
+            .execute("SELECT tr_id FROM trans_dep")
+            .map_err(|e| format!("trans_dep scan failed: {e}"))?
+        {
+            Response::Rows(qr) => Ok(qr
+                .rows
+                .iter()
+                .filter_map(|row| match row.first() {
+                    Some(Value::Int(id)) => Some(*id),
+                    _ => None,
+                })
+                .collect()),
+            other => Err(format!("trans_dep scan: expected rows, got {other:?}")),
+        }
+    })();
+    let trids = match trids {
+        Ok(t) => t,
+        Err(e) => return vec![e],
+    };
+    for id in &trids {
+        *counts.entry(*id).or_insert(0) += 1;
+    }
+
+    for (i, txn) in scenario.txns.iter().enumerate() {
+        let annot_now = match rdb.txn_id_by_label(&txn.label) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("annot lookup failed for {}: {e}", txn.label));
+                continue;
+            }
+        };
+        let committed_write = outcomes[i] == Outcome::Committed && txn.wrote;
+        if !committed_write {
+            if annot_now.is_some() {
+                failures.push(format!(
+                    "trans_dep: {} txn {} unexpectedly left tracking rows",
+                    if outcomes[i] == Outcome::Committed {
+                        "read-only"
+                    } else {
+                        "aborted"
+                    },
+                    txn.label
+                ));
+            }
+            continue;
+        }
+        let Some(&trid) = label_trids.get(&txn.label) else {
+            continue; // the harness already reported the missing annot row
+        };
+        let n = counts.get(&trid).copied().unwrap_or(0);
+        if undo_labels.contains(&txn.label) {
+            if annot_now.is_some() || n != 0 {
+                failures.push(format!(
+                    "trans_dep: repair left tracking rows for undone txn {} \
+                     (trid {trid}: annot={}, trans_dep={n})",
+                    txn.label,
+                    annot_now.is_some(),
+                ));
+            }
+        } else if annot_now != Some(trid) || n != 1 {
+            failures.push(format!(
+                "trans_dep: surviving committed txn {} (trid {trid}) has \
+                 annot={annot_now:?} and {n} trans_dep record(s), want exactly 1 of each",
+                txn.label
+            ));
+        }
+    }
+    failures
+}
+
+/// Oracle 4: the dependency ledger has drained once every workload
+/// connection is gone — a nonzero gauge is a permanently-stuck entry.
+pub fn inflight_drained(rdb: &ResilientDb, world: &str) -> Vec<String> {
+    match rdb.metrics().gauge("proxy.trans_dep.inflight") {
+        Some(0.0) => Vec::new(),
+        Some(v) => vec![format!(
+            "dep-store: {world} proxy.trans_dep.inflight = {v}, want 0 \
+             (stuck ledger entry)"
+        )],
+        None => vec![format!("dep-store: {world} inflight gauge missing")],
+    }
+}
+
+/// Oracle 5: the flight recorder shows exactly one `txn_begin` and one
+/// `commit` — and no `abort` — for every committed write transaction.
+/// Skipped when the ring wrapped (the window would lie about counts).
+pub fn flight_lifecycle(
+    flight: &TraceSnapshot,
+    scenario: &Scenario,
+    outcomes: &[Outcome],
+    label_trids: &BTreeMap<String, i64>,
+) -> Vec<String> {
+    if flight.dropped > 0 {
+        return Vec::new();
+    }
+    let mut failures = Vec::new();
+    for (i, txn) in scenario.txns.iter().enumerate() {
+        if outcomes[i] != Outcome::Committed || !txn.wrote {
+            continue;
+        }
+        let Some(&trid) = label_trids.get(&txn.label) else {
+            continue; // the harness already reported the missing annot row
+        };
+        let (begins, commits, aborts) = (
+            flight.count_for(trid, "txn_begin"),
+            flight.count_for(trid, "commit"),
+            flight.count_for(trid, "abort"),
+        );
+        if (begins, commits, aborts) != (1, 1, 0) {
+            failures.push(format!(
+                "flight: committed txn {} (trid {trid}) has lifecycle \
+                 begin={begins} commit={commits} abort={aborts}, want 1/1/0",
+                txn.label
+            ));
+        }
+    }
+    failures
+}

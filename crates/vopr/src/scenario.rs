@@ -1,0 +1,638 @@
+//! Seed → scenario: the deterministic generator.
+//!
+//! A [`Scenario`] is everything one fuzzer run needs, derived from a
+//! single `u64` seed: the engine flavor, a schedule of fully-materialized
+//! TPC-C-shaped transactions (legitimate and malicious, interleaved), the
+//! failpoint arms scripted between them, an optional crash-recovery
+//! point, and an optional repair-phase fault. The SQL text of every
+//! statement is fixed at generation time — nothing in a run feeds back
+//! into the schedule — so a scenario re-generated from its seed is
+//! byte-identical, which is what makes "reproduces from the seed alone"
+//! true by construction.
+//!
+//! Two generator rules keep the oracles airtight:
+//!
+//! - every predicate names exact primary keys, and every numeric write is
+//!   either an increment by a whole number or a fresh-key insert/delete —
+//!   so the legitimate workload commutes, and the final state is
+//!   interleaving-independent under `--threads N`;
+//! - primary keys are never reused after a delete, so "row absent" means
+//!   the same thing in the run, the ground-truth dependency model, and
+//!   the clean replay.
+
+use resildb_engine::Flavor;
+use resildb_sim::{failpoints, DetRng, FaultAction, FaultTrigger, Micros};
+use resildb_tpcc::TpccConfig;
+
+/// Identity of one logical row, for the generator-side ground-truth
+/// read/write sets (the closure oracle's input).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowKey {
+    /// Table name.
+    pub table: &'static str,
+    /// Primary-key rendering, e.g. `"w1/d2/c3"`.
+    pub key: String,
+}
+
+impl RowKey {
+    fn new(table: &'static str, key: impl Into<String>) -> Self {
+        Self {
+            table,
+            key: key.into(),
+        }
+    }
+}
+
+/// One transaction of the schedule: its label (also its `ANNOTATE`
+/// annotation), the materialized statements between `BEGIN` and `COMMIT`,
+/// and the generator's ground-truth row sets.
+#[derive(Debug, Clone)]
+pub struct ScenarioTxn {
+    /// Unique label; also the `annot` row committed write transactions
+    /// leave behind (how the harness learns their proxy txn ids).
+    pub label: String,
+    /// Whether this is an injected malicious transaction.
+    pub malicious: bool,
+    /// Whether the transaction writes (read-only ones leave no tracking
+    /// rows by design).
+    pub wrote: bool,
+    /// SQL statements between `BEGIN` and `COMMIT`.
+    pub statements: Vec<String>,
+    /// Rows read (SELECT) — each contributes a read dependency on the
+    /// row's last committed writer, when the row exists.
+    pub reads: Vec<RowKey>,
+    /// Rows written (UPDATE/INSERT). Updates additionally depend on the
+    /// row's last committed writer via the pre-image.
+    pub writes: Vec<RowKey>,
+    /// Rows updated or deleted (pre-image dependencies). Inserts of fresh
+    /// keys carry no pre-image.
+    pub preimages: Vec<RowKey>,
+    /// Rows deleted (removed from the ground-truth live set).
+    pub deletes: Vec<RowKey>,
+}
+
+/// One scripted failpoint arm, applied immediately before the indexed
+/// transaction starts.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Schedule index of the transaction before which to arm.
+    pub before_txn: usize,
+    /// Failpoint name (see [`resildb_sim::failpoints`]).
+    pub failpoint: &'static str,
+    /// Injected action.
+    pub action: FaultAction,
+    /// Firing script.
+    pub trigger: FaultTrigger,
+}
+
+/// A complete generated scenario (see module docs).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// Engine flavor under test.
+    pub flavor: Flavor,
+    /// The schedule, legitimate and malicious transactions interleaved.
+    pub txns: Vec<ScenarioTxn>,
+    /// Scripted failpoint arms.
+    pub faults: Vec<FaultEvent>,
+    /// Crash-and-recover the engine before this schedule index
+    /// (single-threaded runs only; threaded runs skip it).
+    pub crash_before: Option<usize>,
+    /// Arm this repair-phase failpoint (`Error`/`Once`) for a first,
+    /// expected-to-fail repair attempt before the real one.
+    pub repair_fault: Option<&'static str>,
+}
+
+/// The scaled-down TPC-C footprint every scenario runs against. Two
+/// warehouses keep cross-warehouse contention possible while a full
+/// load-run-repair-replay cycle stays in the low milliseconds.
+pub fn tpcc_config() -> TpccConfig {
+    TpccConfig {
+        warehouses: 2,
+        districts_per_warehouse: 2,
+        customers_per_district: 4,
+        items: 8,
+        orders_per_district: 2,
+        max_order_lines: 2,
+    }
+}
+
+/// Per-scenario allocator state: order ids continue after the loader's
+/// initial orders, history rows get synthetic unique keys.
+struct Alloc {
+    cfg: TpccConfig,
+    next_o_id: std::collections::BTreeMap<(u32, u32), u32>,
+    next_h_id: u32,
+    /// Orders created by this scenario: (w, d, o, customer, line_count),
+    /// targets for delivery-shaped transactions.
+    orders: Vec<(u32, u32, u32, u32, u32)>,
+}
+
+impl Alloc {
+    fn new(cfg: TpccConfig) -> Self {
+        Self {
+            next_o_id: std::collections::BTreeMap::new(),
+            next_h_id: 1_000_000,
+            orders: Vec::new(),
+            cfg,
+        }
+    }
+
+    fn order_id(&mut self, w: u32, d: u32) -> u32 {
+        let next = self
+            .next_o_id
+            .entry((w, d))
+            .or_insert(self.cfg.orders_per_district + 1);
+        let o = *next;
+        *next += 1;
+        o
+    }
+
+    fn history_id(&mut self) -> u32 {
+        self.next_h_id += 1;
+        self.next_h_id
+    }
+}
+
+fn pick_wdc(rng: &mut DetRng, cfg: &TpccConfig) -> (u32, u32, u32) {
+    (
+        rng.range(1, u64::from(cfg.warehouses) + 1) as u32,
+        rng.range(1, u64::from(cfg.districts_per_warehouse) + 1) as u32,
+        rng.range(1, u64::from(cfg.customers_per_district) + 1) as u32,
+    )
+}
+
+/// Payment-shaped: whole-number increments on the warehouse, district and
+/// customer rows plus a fresh history row — the workhorse write shape.
+fn payment(rng: &mut DetRng, cfg: &TpccConfig, alloc: &mut Alloc, label: String) -> ScenarioTxn {
+    let (w, d, c) = pick_wdc(rng, cfg);
+    let amount = rng.range(1, 500);
+    let hid = alloc.history_id();
+    ScenarioTxn {
+        label,
+        malicious: false,
+        wrote: true,
+        statements: vec![
+            format!("UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {w}"),
+            format!(
+                "UPDATE district SET d_ytd = d_ytd + {amount} \
+                 WHERE d_w_id = {w} AND d_id = {d}"
+            ),
+            format!(
+                "UPDATE customer SET c_balance = c_balance - {amount} \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+            format!(
+                "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, \
+                 h_date, h_amount, h_data) VALUES ({c}, {d}, {w}, {d}, {w}, {hid}, {amount}, 'vopr')"
+            ),
+        ],
+        reads: vec![],
+        writes: vec![
+            RowKey::new("warehouse", format!("w{w}")),
+            RowKey::new("district", format!("w{w}/d{d}")),
+            RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+            RowKey::new("history", format!("h{hid}")),
+        ],
+        preimages: vec![
+            RowKey::new("warehouse", format!("w{w}")),
+            RowKey::new("district", format!("w{w}/d{d}")),
+            RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+        ],
+        deletes: vec![],
+    }
+}
+
+/// Order-shaped: reads the customer, inserts an order with fresh ids (the
+/// generator allocates order numbers — the schedule never reads
+/// `d_next_o_id`, which would make the workload non-commutative), and
+/// bumps the stock rows it "ships" from.
+fn new_order(rng: &mut DetRng, cfg: &TpccConfig, alloc: &mut Alloc, label: String) -> ScenarioTxn {
+    let (w, d, c) = pick_wdc(rng, cfg);
+    let o = alloc.order_id(w, d);
+    let lines = rng.range(1, u64::from(cfg.max_order_lines) + 1) as u32;
+    let mut statements = vec![
+        format!(
+            "SELECT c_discount FROM customer \
+             WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+        ),
+        format!(
+            "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, \
+             o_carrier_id, o_ol_cnt, o_all_local) VALUES ({o}, {d}, {w}, {c}, 0, 0, {lines}, 1)"
+        ),
+        format!("INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES ({o}, {d}, {w})"),
+    ];
+    let mut reads = vec![RowKey::new("customer", format!("w{w}/d{d}/c{c}"))];
+    let mut writes = vec![
+        RowKey::new("orders", format!("w{w}/d{d}/o{o}")),
+        RowKey::new("new_order", format!("w{w}/d{d}/o{o}")),
+    ];
+    let mut preimages = Vec::new();
+    for l in 1..=lines {
+        let i = rng.range(1, u64::from(cfg.items) + 1) as u32;
+        let qty = rng.range(1, 6);
+        let amount = rng.range(1, 100);
+        statements.push(format!(
+            "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, \
+             ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) \
+             VALUES ({o}, {d}, {w}, {l}, {i}, {w}, 0, {qty}, {amount}, 'vopr')"
+        ));
+        statements.push(format!(
+            "UPDATE stock SET s_ytd = s_ytd + {qty} WHERE s_w_id = {w} AND s_i_id = {i}"
+        ));
+        statements.push(format!("SELECT i_price FROM item WHERE i_id = {i}"));
+        writes.push(RowKey::new("order_line", format!("w{w}/d{d}/o{o}/l{l}")));
+        writes.push(RowKey::new("stock", format!("w{w}/i{i}")));
+        preimages.push(RowKey::new("stock", format!("w{w}/i{i}")));
+        reads.push(RowKey::new("item", format!("i{i}")));
+    }
+    alloc.orders.push((w, d, o, c, lines));
+    ScenarioTxn {
+        label,
+        malicious: false,
+        wrote: true,
+        statements,
+        reads,
+        writes,
+        preimages,
+        deletes: vec![],
+    }
+}
+
+/// Delivery-shaped: consumes an order this scenario placed earlier —
+/// deleting its new-order row, stamping the order, reading its lines and
+/// crediting the customer. If the order's transaction aborted the
+/// statements hit zero rows, which is deterministic and harmless.
+fn delivery(rng: &mut DetRng, alloc: &mut Alloc, label: String) -> Option<ScenarioTxn> {
+    if alloc.orders.is_empty() {
+        return None;
+    }
+    let idx = rng.index(alloc.orders.len());
+    let (w, d, o, c, lines) = alloc.orders.remove(idx);
+    let carrier = rng.range(1, 11);
+    let credit = rng.range(1, 50);
+    let mut reads = Vec::new();
+    for l in 1..=lines {
+        reads.push(RowKey::new("order_line", format!("w{w}/d{d}/o{o}/l{l}")));
+    }
+    Some(ScenarioTxn {
+        label,
+        malicious: false,
+        wrote: true,
+        statements: vec![
+            format!(
+                "DELETE FROM new_order \
+                 WHERE no_w_id = {w} AND no_d_id = {d} AND no_o_id = {o}"
+            ),
+            format!(
+                "UPDATE orders SET o_carrier_id = {carrier} \
+                 WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {o}"
+            ),
+            format!(
+                "SELECT ol_amount FROM order_line \
+                 WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o}"
+            ),
+            format!(
+                "UPDATE customer SET c_balance = c_balance + {credit} \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+        ],
+        reads,
+        writes: vec![
+            RowKey::new("orders", format!("w{w}/d{d}/o{o}")),
+            RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+        ],
+        preimages: vec![
+            RowKey::new("new_order", format!("w{w}/d{d}/o{o}")),
+            RowKey::new("orders", format!("w{w}/d{d}/o{o}")),
+            RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+        ],
+        deletes: vec![RowKey::new("new_order", format!("w{w}/d{d}/o{o}"))],
+    })
+}
+
+/// Read-only: exact-key probes that harvest dependencies without leaving
+/// tracking rows (the proxy records write transactions only).
+fn read_probe(rng: &mut DetRng, cfg: &TpccConfig, label: String) -> ScenarioTxn {
+    let (w, d, c) = pick_wdc(rng, cfg);
+    let i = rng.range(1, u64::from(cfg.items) + 1) as u32;
+    ScenarioTxn {
+        label,
+        malicious: false,
+        wrote: false,
+        statements: vec![
+            format!(
+                "SELECT c_balance FROM customer \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+            format!("SELECT s_quantity FROM stock WHERE s_w_id = {w} AND s_i_id = {i}"),
+            format!("SELECT w_ytd FROM warehouse WHERE w_id = {w}"),
+        ],
+        reads: vec![
+            RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+            RowKey::new("stock", format!("w{w}/i{i}")),
+            RowKey::new("warehouse", format!("w{w}")),
+        ],
+        writes: vec![],
+        preimages: vec![],
+        deletes: vec![],
+    }
+}
+
+/// A malicious transaction, shaped like the §5.3 attack scenarios but
+/// with a unique label so the harness can name each one in the repair's
+/// initial set.
+fn malicious(rng: &mut DetRng, cfg: &TpccConfig, label: String) -> ScenarioTxn {
+    let (w, d, c) = pick_wdc(rng, cfg);
+    let i = rng.range(1, u64::from(cfg.items) + 1) as u32;
+    match rng.index(3) {
+        0 => ScenarioTxn {
+            // Forged payment: damage that spreads through the hottest rows.
+            label,
+            malicious: true,
+            wrote: true,
+            statements: vec![
+                format!("UPDATE warehouse SET w_ytd = w_ytd + 1000000 WHERE w_id = {w}"),
+                format!(
+                    "UPDATE district SET d_ytd = d_ytd + 1000000 \
+                     WHERE d_w_id = {w} AND d_id = {d}"
+                ),
+                format!(
+                    "UPDATE customer SET c_balance = c_balance + 1000000 \
+                     WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+                ),
+            ],
+            reads: vec![],
+            writes: vec![
+                RowKey::new("warehouse", format!("w{w}")),
+                RowKey::new("district", format!("w{w}/d{d}")),
+                RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+            ],
+            preimages: vec![
+                RowKey::new("warehouse", format!("w{w}")),
+                RowKey::new("district", format!("w{w}/d{d}")),
+                RowKey::new("customer", format!("w{w}/d{d}/c{c}")),
+            ],
+            deletes: vec![],
+        },
+        1 => ScenarioTxn {
+            // Balance corruption: an absolute overwrite — everything that
+            // touches the row afterwards is in the damage closure.
+            label,
+            malicious: true,
+            wrote: true,
+            statements: vec![format!(
+                "UPDATE customer SET c_balance = 999999 \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            )],
+            reads: vec![],
+            writes: vec![RowKey::new("customer", format!("w{w}/d{d}/c{c}"))],
+            preimages: vec![RowKey::new("customer", format!("w{w}/d{d}/c{c}"))],
+            deletes: vec![],
+        },
+        _ => ScenarioTxn {
+            // Price corruption: pollutes every later reader of the item.
+            label,
+            malicious: true,
+            wrote: true,
+            statements: vec![format!("UPDATE item SET i_price = 1 WHERE i_id = {i}")],
+            reads: vec![],
+            writes: vec![RowKey::new("item", format!("i{i}"))],
+            preimages: vec![RowKey::new("item", format!("i{i}"))],
+            deletes: vec![],
+        },
+    }
+}
+
+/// Failpoint sites the generator arms, with the actions safe at each.
+/// `Panic` is restricted to sites the stack is known to unwind through
+/// cleanly (proxy commit path and the engine's commit-record append).
+const FAULT_SITES: &[(&str, &[FaultAction])] = &[
+    (failpoints::WIRE_CONN_DROP, &[FaultAction::Disconnect]),
+    (
+        failpoints::WIRE_LATENCY,
+        &[FaultAction::Delay(Micros::new(200))],
+    ),
+    (failpoints::ENGINE_WAL_APPEND, &[FaultAction::Error]),
+    (
+        failpoints::ENGINE_WAL_COMMIT,
+        &[FaultAction::Error, FaultAction::Panic],
+    ),
+    (failpoints::PROXY_BEFORE_REWRITE, &[FaultAction::Error]),
+    (failpoints::PROXY_HARVEST, &[FaultAction::Error]),
+    (
+        failpoints::PROXY_BEFORE_TRANS_DEP_INSERT,
+        &[FaultAction::Error, FaultAction::Panic],
+    ),
+    (
+        failpoints::PROXY_AFTER_TRANS_DEP_INSERT,
+        &[FaultAction::Error, FaultAction::Panic],
+    ),
+    (
+        failpoints::PROXY_BEFORE_COMMIT,
+        &[
+            FaultAction::Error,
+            FaultAction::Disconnect,
+            FaultAction::Panic,
+        ],
+    ),
+];
+
+/// Generates the scenario for `seed` (see module docs for the rules).
+pub fn generate(seed: u64) -> Scenario {
+    let cfg = tpcc_config();
+    let root = DetRng::new(seed);
+
+    let flavor = *root
+        .fork("flavor")
+        .pick(&[Flavor::Postgres, Flavor::Sybase, Flavor::Oracle]);
+
+    // Legitimate schedule: 4–16 transactions.
+    let mut wrng = root.fork("workload");
+    let n_legit = wrng.range(4, 17) as usize;
+    let mut alloc = Alloc::new(cfg.clone());
+    let mut txns: Vec<ScenarioTxn> = Vec::new();
+    for k in 0..n_legit {
+        let label = format!("t{k}");
+        let txn = match wrng.index(10) {
+            0..=3 => payment(&mut wrng, &cfg, &mut alloc, label),
+            4..=6 => new_order(&mut wrng, &cfg, &mut alloc, label),
+            7..=8 => delivery(&mut wrng, &mut alloc, label.clone())
+                .unwrap_or_else(|| payment(&mut wrng, &cfg, &mut alloc, label)),
+            _ => read_probe(&mut wrng, &cfg, label),
+        };
+        txns.push(txn);
+    }
+
+    // 1–3 malicious transactions spliced into the schedule.
+    let mut mrng = root.fork("malicious");
+    let n_mal = mrng.range(1, 4) as usize;
+    for k in 0..n_mal {
+        let txn = malicious(&mut mrng, &cfg, format!("mal{k}"));
+        let pos = mrng.index(txns.len() + 1);
+        txns.insert(pos, txn);
+    }
+
+    // 0–4 scripted failpoint arms. Triggers are bounded (no `Always`) so
+    // a fault disturbs the run without flattening it.
+    let mut frng = root.fork("faults");
+    let n_faults = frng.index(5);
+    let mut faults = Vec::new();
+    for _ in 0..n_faults {
+        let (failpoint, actions) = frng.pick(FAULT_SITES);
+        let action = *frng.pick(actions);
+        let trigger = match frng.index(10) {
+            0..=4 => FaultTrigger::Once,
+            5..=7 => FaultTrigger::OnHit(frng.range(1, 7)),
+            _ => FaultTrigger::Times(frng.range(1, 3)),
+        };
+        faults.push(FaultEvent {
+            before_txn: frng.index(txns.len()),
+            failpoint,
+            action,
+            trigger,
+        });
+    }
+    faults.sort_by_key(|f| f.before_txn);
+
+    // One crash-recovery point in a quarter of scenarios.
+    let mut crng = root.fork("crash");
+    let crash_before = crng
+        .chance(1, 4)
+        .then(|| crng.range(1, txns.len() as u64) as usize);
+
+    // A repair-phase fault (first repair attempt fails, harness retries)
+    // in ~15% of scenarios.
+    let mut rrng = root.fork("repairfault");
+    let repair_fault = rrng.chance(3, 20).then(|| {
+        *rrng.pick(&[
+            failpoints::REPAIR_MID_SWEEP,
+            failpoints::REPAIR_BEFORE_COMMIT,
+        ])
+    });
+
+    Scenario {
+        seed,
+        flavor,
+        txns,
+        faults,
+        crash_before,
+        repair_fault,
+    }
+}
+
+impl Scenario {
+    /// A human-readable schedule dump, written next to failing captures.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario seed=0x{:016x} flavor={:?} txns={} faults={} crash={:?} repair_fault={:?}",
+            self.seed,
+            self.flavor,
+            self.txns.len(),
+            self.faults.len(),
+            self.crash_before,
+            self.repair_fault,
+        );
+        for (i, t) in self.txns.iter().enumerate() {
+            let kind = if t.malicious {
+                "MALICIOUS"
+            } else if t.wrote {
+                "write"
+            } else {
+                "read-only"
+            };
+            for f in self.faults.iter().filter(|f| f.before_txn == i) {
+                let _ = writeln!(
+                    out,
+                    "  [arm {} {:?} {:?}]",
+                    f.failpoint, f.action, f.trigger
+                );
+            }
+            if self.crash_before == Some(i) {
+                let _ = writeln!(out, "  [crash + recover]");
+            }
+            let _ = writeln!(out, "  #{i} {} ({kind})", t.label);
+            for s in &t.statements {
+                let _ = writeln!(out, "      {s}");
+            }
+        }
+        out
+    }
+
+    /// The scenario without transaction `i`, fault targets re-aimed — the
+    /// shrinker's txn-removal step.
+    pub fn without_txn(&self, i: usize) -> Scenario {
+        let mut s = self.clone();
+        s.txns.remove(i);
+        if s.txns.is_empty() {
+            s.faults.clear();
+            s.crash_before = None;
+            return s;
+        }
+        let last = s.txns.len() - 1;
+        s.faults.retain_mut(|f| {
+            if f.before_txn > i {
+                f.before_txn -= 1;
+            }
+            f.before_txn = f.before_txn.min(last);
+            true
+        });
+        s.crash_before = s.crash_before.and_then(|c| {
+            let c = if c > i { c - 1 } else { c };
+            (c <= last).then_some(c)
+        });
+        s
+    }
+
+    /// The scenario without fault `j` — the shrinker's fault-removal step.
+    pub fn without_fault(&self, j: usize) -> Scenario {
+        let mut s = self.clone();
+        s.faults.remove(j);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0xDEAD_BEEF);
+        let b = generate(0xDEAD_BEEF);
+        assert_eq!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn every_seed_has_at_least_one_malicious_txn() {
+        for seed in 0..50 {
+            let s = generate(seed);
+            assert!(s.txns.iter().any(|t| t.malicious), "seed {seed}");
+            assert!(s.txns.len() >= 5, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let s = generate(7);
+        let mut labels: Vec<_> = s.txns.iter().map(|t| t.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), s.txns.len());
+    }
+
+    #[test]
+    fn without_txn_keeps_fault_targets_in_range() {
+        let s = generate(3);
+        for i in 0..s.txns.len() {
+            let shrunk = s.without_txn(i);
+            for f in &shrunk.faults {
+                assert!(f.before_txn < shrunk.txns.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Greedy scenario minimization.
+//!
+//! A failing seed reproduces from the seed alone — the shrunk scenario is
+//! a *diagnostic*, not the reproducer. The shrinker repeatedly tries to
+//! remove one ingredient (a transaction, a fault arm, the crash point,
+//! the repair-phase fault) and keeps the removal whenever the run still
+//! fails any oracle. Removal passes repeat until a full pass removes
+//! nothing or the run budget is spent.
+//!
+//! Removing a transaction legitimately changes *which* oracle fails —
+//! any failure counts as "still failing", which is what keeps shrinking
+//! aggressive. The final report's failure list always describes the
+//! returned scenario.
+
+use crate::harness::{run_scenario, RunOptions, RunReport};
+use crate::scenario::Scenario;
+
+/// The result of a shrink: the smallest still-failing scenario found, the
+/// report of its run, and how many candidate runs were spent.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// Minimal still-failing scenario.
+    pub scenario: Scenario,
+    /// Oracle report for `scenario` (always failing).
+    pub report: RunReport,
+    /// Candidate runs executed (≤ the budget).
+    pub runs: usize,
+}
+
+/// Candidate edits, coarsest first: drop the repair fault, drop the
+/// crash, drop one fault arm, drop one transaction.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if s.repair_fault.is_some() {
+        let mut c = s.clone();
+        c.repair_fault = None;
+        out.push(c);
+    }
+    if s.crash_before.is_some() {
+        let mut c = s.clone();
+        c.crash_before = None;
+        out.push(c);
+    }
+    for j in (0..s.faults.len()).rev() {
+        out.push(s.without_fault(j));
+    }
+    for i in (0..s.txns.len()).rev() {
+        if s.txns.len() > 1 {
+            out.push(s.without_txn(i));
+        }
+    }
+    out
+}
+
+/// Shrinks a failing scenario under a run budget (`max_runs` candidate
+/// executions). `scenario` must already fail under `opts`; its report is
+/// passed in so the caller's original run is not repeated.
+pub fn shrink(
+    scenario: &Scenario,
+    original: RunReport,
+    opts: &RunOptions,
+    max_runs: usize,
+) -> Shrunk {
+    let mut best = scenario.clone();
+    let mut best_report = original;
+    let mut runs = 0;
+
+    'passes: loop {
+        for candidate in candidates(&best) {
+            if runs >= max_runs {
+                break 'passes;
+            }
+            runs += 1;
+            let report = run_scenario(&candidate, opts);
+            if !report.passed() {
+                best = candidate;
+                best_report = report;
+                continue 'passes; // restart from the smaller scenario
+            }
+        }
+        break; // full pass removed nothing: local minimum
+    }
+
+    Shrunk {
+        scenario: best,
+        report: best_report,
+        runs,
+    }
+}

@@ -574,3 +574,139 @@ fn organic_repair_failure_is_atomic() {
         "sanity: the tampered snapshot still holds attack 2's row"
     );
 }
+
+// --- dependency-ledger retirement under panics, disconnects and drops ----
+
+/// The `proxy.trans_dep.inflight` gauge after every connection has
+/// finished; any nonzero value is a permanently-stuck ledger entry.
+fn inflight(rdb: &ResilientDb) -> f64 {
+    rdb.metrics()
+        .gauge("proxy.trans_dep.inflight")
+        .unwrap_or(f64::NAN)
+}
+
+/// A panic unwinding out of the commit path (here: at the §3.3-critical
+/// `trans_dep` insert) skips the tracker's regular retirement statements.
+/// The unwind guard must retire the ledger entry anyway — before the fix
+/// the gauge reported a phantom in-flight transaction forever.
+#[test]
+fn panic_mid_commit_cannot_leak_an_inflight_ledger_entry() {
+    let rdb = setup();
+    assert_eq!(inflight(&rdb), 0.0);
+    let mut conn = rdb.connect().unwrap();
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_BEFORE_TRANS_DEP_INSERT,
+        FaultAction::Panic,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (70, 70)")
+        .unwrap();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = conn.execute("COMMIT");
+    }));
+    assert!(caught.is_err(), "panic failpoint must unwind");
+    drop(conn);
+
+    assert_eq!(
+        inflight(&rdb),
+        0.0,
+        "panicked commit left a stuck dependency-ledger entry"
+    );
+    // The factory is still serviceable: a fresh connection tracks normally.
+    let before = counts(&rdb);
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (71, 71)")
+        .unwrap();
+    assert_eq!(counts(&rdb).1, before.1 + 1, "fresh transaction is tracked");
+    assert_eq!(inflight(&rdb), 0.0);
+}
+
+/// Same invariant when the panic fires inside the *engine's* commit (WAL
+/// commit record append), i.e. below the proxy entirely.
+#[test]
+fn engine_commit_panic_cannot_leak_an_inflight_ledger_entry() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+
+    rdb.database().sim().faults().arm(
+        failpoints::ENGINE_WAL_COMMIT,
+        FaultAction::Panic,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (72, 72)")
+        .unwrap();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = conn.execute("COMMIT");
+    }));
+    assert!(caught.is_err(), "panic failpoint must unwind");
+    drop(conn);
+    assert_eq!(
+        inflight(&rdb),
+        0.0,
+        "engine-level commit panic left a stuck ledger entry"
+    );
+}
+
+/// A connection severed mid-commit (between the tracking writes and the
+/// COMMIT) must retire its ledger entry through the error path.
+#[test]
+fn mid_commit_disconnect_retires_the_inflight_entry() {
+    let rdb = setup();
+    let mut conn = rdb.connect().unwrap();
+    let aborted_before = rdb.metrics().counter("proxy.trans_dep.aborted");
+
+    rdb.database().sim().faults().arm(
+        failpoints::PROXY_BEFORE_COMMIT,
+        FaultAction::Disconnect,
+        FaultTrigger::Once,
+    );
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (73, 73)")
+        .unwrap();
+    let err = conn.execute("COMMIT").unwrap_err();
+    assert!(matches!(err, WireError::ConnectionDropped), "got {err}");
+    drop(conn);
+
+    assert_eq!(inflight(&rdb), 0.0, "disconnected commit leaked its entry");
+    assert_eq!(
+        rdb.metrics().counter("proxy.trans_dep.aborted"),
+        aborted_before + 1,
+        "the severed transaction must be retired as aborted, exactly once"
+    );
+}
+
+/// Dropping a connection with a transaction still open (client crash, or
+/// a harness giving up on a wedged session) retires the entry via the
+/// tracker's Drop — nobody else holds that transaction id.
+#[test]
+fn dropped_connection_with_open_txn_retires_its_ledger_entry() {
+    let rdb = setup();
+    let aborted_before = rdb.metrics().counter("proxy.trans_dep.aborted");
+
+    let mut conn = rdb.connect().unwrap();
+    conn.execute("BEGIN").unwrap();
+    conn.execute("INSERT INTO t (id, v) VALUES (74, 74)")
+        .unwrap();
+    assert_eq!(inflight(&rdb), 1.0, "sanity: the open txn is in flight");
+    drop(conn);
+
+    assert_eq!(
+        inflight(&rdb),
+        0.0,
+        "dropping a connection mid-transaction leaked its ledger entry"
+    );
+    assert_eq!(
+        rdb.metrics().counter("proxy.trans_dep.aborted"),
+        aborted_before + 1
+    );
+    // The engine side rolled back too: the row never became visible.
+    let mut check = rdb.connect().unwrap();
+    let rows = check.execute("SELECT v FROM t WHERE id = 74").unwrap();
+    assert!(
+        matches!(rows, Response::Rows(ref r) if r.rows.is_empty()),
+        "open transaction's write must not survive the connection drop"
+    );
+}

@@ -1,0 +1,100 @@
+//! Tier-1 gate for the scenario fuzzer: replay the checked-in regression
+//! corpus and the historical proptest failure seeds, single-threaded and
+//! under real threads, and require identical verdicts (all passing — every
+//! corpus seed pins a fixed bug).
+
+use std::path::{Path, PathBuf};
+
+use resildb_vopr::corpus::{parse_corpus, seeds_from_proptest_regressions};
+use resildb_vopr::{run_seed, Canary, RunOptions, RunReport};
+
+fn repo_file(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn read_repo_file(rel: &str) -> String {
+    let path = repo_file(rel);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("cannot read {}: {e}", path.display()),
+    }
+}
+
+fn run(seed: u64, threads: usize) -> RunReport {
+    run_seed(
+        seed,
+        &RunOptions {
+            threads,
+            canary: Canary::None,
+        },
+    )
+}
+
+fn assert_seed_passes(seed: u64, threads: usize) {
+    let report = run(seed, threads);
+    assert!(
+        report.passed(),
+        "seed 0x{seed:016x} (threads={threads}) failed:\n  {}",
+        report.failures.join("\n  ")
+    );
+}
+
+/// Replays a seed list at one and four threads and asserts the verdicts
+/// agree — and, since every checked-in seed pins a *fixed* bug, pass.
+fn assert_verdicts_identical(source: &str, seeds: &[u64]) {
+    assert!(!seeds.is_empty(), "{source}: no seeds parsed");
+    for &seed in seeds {
+        let single = run(seed, 1);
+        let threaded = run(seed, 4);
+        assert_eq!(
+            single.passed(),
+            threaded.passed(),
+            "{source} seed 0x{seed:016x}: verdict differs between threads=1 \
+             ({:?}) and threads=4 ({:?})",
+            single.failures,
+            threaded.failures
+        );
+        assert!(
+            single.passed(),
+            "{source} seed 0x{seed:016x} regressed:\n  {}",
+            single.failures.join("\n  ")
+        );
+    }
+}
+
+#[test]
+fn smoke_seeds_pass_single_threaded() {
+    for seed in 1..=10 {
+        assert_seed_passes(seed, 1);
+    }
+}
+
+#[test]
+fn smoke_seeds_pass_with_threads() {
+    for seed in 1..=10 {
+        assert_seed_passes(seed, 4);
+    }
+}
+
+#[test]
+fn corpus_replays_clean_in_both_modes() {
+    let text = read_repo_file("ci/vopr-corpus.txt");
+    let seeds = match parse_corpus(&text) {
+        Ok(s) => s,
+        Err(e) => panic!("ci/vopr-corpus.txt is malformed: {e}"),
+    };
+    assert_verdicts_identical("corpus", &seeds);
+}
+
+#[test]
+fn proptest_regression_seeds_replay_clean_in_both_modes() {
+    for rel in [
+        "tests/property_repair.proptest-regressions",
+        "tests/proxy_transparency.proptest-regressions",
+    ] {
+        let seeds = seeds_from_proptest_regressions(&read_repo_file(rel));
+        assert_verdicts_identical(rel, &seeds);
+    }
+}
