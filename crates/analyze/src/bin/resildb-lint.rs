@@ -6,6 +6,11 @@
 //! built-in TPC-C corpus is linted, which is what the CI coverage gate
 //! runs.
 //!
+//! The `blast-radius` subcommand lifts the analysis from statements to
+//! transaction profiles: it computes the static inter-profile conflict
+//! graph and, per profile, the worst-case transitive damage closure a
+//! compromise of that profile could cause (see DESIGN.md §15).
+//!
 //! ```text
 //! resildb-lint [OPTIONS] [FILE...]
 //!
@@ -18,14 +23,29 @@
 //!   --min-coverage <f>   fail (exit 1) if sound coverage < f (0..=1)
 //!   --baseline <file>    read the minimum coverage from a baseline file
 //!                        (first non-comment line, a fraction in 0..=1)
+//!
+//! resildb-lint blast-radius [OPTIONS] [FILE...]
+//!
+//!   FILE                 workload file as above; transactions are grouped
+//!                        at BEGIN/COMMIT boundaries. Omitted = built-in
+//!                        TPC-C corpus with its five transaction classes.
+//!   --json               machine-readable closure report on stdout
+//!                        (also the CI baseline format)
+//!   --dot                styled Graphviz conflict graph on stdout
+//!   --seed <profile>     highlight <profile>'s damage closure in --dot
+//!   --verbose            add per-profile footprints and the edge list
+//!   --baseline <file>    gate closures against a JSON baseline: exit 1
+//!                        on closure growth, exit 2 if the baseline is
+//!                        missing or unparseable (never silently skipped)
 //! ```
 //!
 //! Exit status: 0 on success, 1 when coverage falls below the requested
-//! minimum, 2 on usage or I/O errors.
+//! minimum or a closure grew beyond the baseline, 2 on usage or I/O
+//! errors (including unreadable baselines).
 
 use std::process::ExitCode;
 
-use resildb_analyze::{Analyzer, CoverageReport, Granularity};
+use resildb_analyze::{group_transactions, Analyzer, BlastRadius, CoverageReport, Granularity};
 
 struct Options {
     files: Vec<String>,
@@ -123,7 +143,126 @@ fn load_workload(path: &str) -> Result<Vec<String>, String> {
         .collect())
 }
 
+struct BlastOptions {
+    files: Vec<String>,
+    json: bool,
+    dot: bool,
+    seed: Option<String>,
+    verbose: bool,
+    baseline: Option<String>,
+}
+
+fn blast_usage() -> String {
+    "usage: resildb-lint blast-radius [--json] [--dot] [--seed <profile>] \
+     [--verbose] [--baseline <file>] [FILE...]"
+        .to_string()
+}
+
+fn parse_blast_args(args: &[String]) -> Result<BlastOptions, String> {
+    let mut opts = BlastOptions {
+        files: Vec::new(),
+        json: false,
+        dot: false,
+        seed: None,
+        verbose: false,
+        baseline: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--dot" => opts.dot = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--seed needs a profile".to_string())?;
+                opts.seed = Some(v.clone());
+            }
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--baseline needs a file".to_string())?;
+                opts.baseline = Some(v.clone());
+            }
+            "--help" | "-h" => return Err(blast_usage()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{}", blast_usage()))
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_blast(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_blast_args(args)?;
+    let (groups, corpus) = if opts.files.is_empty() {
+        // Built-in corpus: the five TPC-C transaction classes, plus the
+        // DDL so schema reconstruction and derivability inference work.
+        (
+            resildb_tpcc::profiled_corpus(),
+            resildb_tpcc::statement_corpus(),
+        )
+    } else {
+        let mut flat = Vec::new();
+        for f in &opts.files {
+            flat.extend(load_workload(f)?);
+        }
+        let (groups, _ambient) = group_transactions(&flat);
+        (groups, flat)
+    };
+    if groups.is_empty() {
+        return Err("no transactions found (BEGIN/COMMIT blocks or built-in corpus)".to_string());
+    }
+    let blast = BlastRadius::compute(&groups, &corpus);
+    if let Some(seed) = &opts.seed {
+        if blast.graph.profile(seed).is_none() {
+            return Err(format!("--seed: no profile named `{seed}`"));
+        }
+    }
+    if opts.dot {
+        let seeds: std::collections::BTreeSet<String> = opts.seed.iter().cloned().collect();
+        let closure = opts
+            .seed
+            .as_ref()
+            .map(|s| blast.graph.closure(&[s.as_str()], true));
+        print!("{}", blast.graph.to_dot(&seeds, closure.as_ref()));
+    } else if opts.json {
+        print!("{}", blast.render_json());
+    } else {
+        print!("{}", blast.render_text(opts.verbose));
+    }
+    if let Some(path) = &opts.baseline {
+        // A missing or corrupt baseline must fail loudly (exit 2): a gate
+        // that silently skips itself is worse than no gate.
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let verdict = blast
+            .check_baseline(&text)
+            .map_err(|e| format!("baseline {path}: {e}"))?;
+        for w in &verdict.warnings {
+            eprintln!("warning: {w}");
+        }
+        if !verdict.passed() {
+            for e in &verdict.errors {
+                eprintln!("FAIL: {e}");
+            }
+            eprintln!(
+                "blast radius grew beyond {path}; review the new closure and regenerate \
+                 the baseline with `resildb-lint blast-radius --json`"
+            );
+            return Ok(ExitCode::from(1));
+        }
+        eprintln!("OK: blast radius within baseline {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("blast-radius") {
+        return run_blast(&args[1..]);
+    }
     let opts = parse_args(args)?;
     let corpus: Vec<String> = if opts.files.is_empty() {
         resildb_tpcc::statement_corpus()

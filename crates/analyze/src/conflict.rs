@@ -1,0 +1,427 @@
+//! The static inter-profile conflict graph and worst-case damage closure.
+//!
+//! Nodes are [`TxnProfile`]s; an edge `Q → P` ("Q depends on P") exists
+//! whenever a concrete transaction of class Q *could* pick up a
+//! dependency on a committed transaction of class P — the static
+//! over-approximation of the dynamic `trans_dep` graph the repair tool
+//! reconstructs at intrusion time:
+//!
+//! * **Read-write**: Q `SELECT`s from a table P writes (the proxy's
+//!   online harvest edge);
+//! * **Write-write**: Q updates or deletes in a table P writes (the log
+//!   pre-image edge — Q's pure inserts create no pre-image, exactly as
+//!   the dynamic tracker sees them).
+//!
+//! Both are row-conservative: any write to a table is assumed to reach
+//! any read of it. False-dependency pruning mirrors the repair tool's
+//! [`IgnoreDerivedColumns`] rule, but *strictly more weakly*: an edge
+//! provenance is pruned only when the writer profile provably changes
+//! nothing beyond derivable columns of the table (no inserts, no
+//! deletes, resolvable update targets) and — for read edges — the
+//! reader's resolved columns are disjoint from them. Since a profile's
+//! footprint over-approximates every concrete transaction, every edge
+//! the dynamic graph keeps has a static counterpart that is kept too;
+//! the closure computed here bounds the runtime damage closure from
+//! above. The VOPR soundness oracle checks that inclusion on every
+//! fuzzed scenario.
+//!
+//! [`IgnoreDerivedColumns`]: crate::infer_derivable_columns
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dot::{DotBuilder, EdgeStyle, FILL_ATTACK, FILL_CLOSURE};
+use crate::profile::TxnProfile;
+use crate::{is_tracking_column, ColumnSet, DerivableColumn};
+
+/// How a static conflict edge arises (mirror of the dynamic
+/// `EdgeKind`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// The dependent profile `SELECT`s from the mediating table.
+    Read {
+        /// Columns the dependent reads there.
+        read: ColumnSet,
+    },
+    /// The dependent profile updates or deletes in the mediating table.
+    Write,
+}
+
+/// One table-level reason an edge exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictProvenance {
+    /// Mediating table.
+    pub table: String,
+    /// Conflict shape.
+    pub kind: ConflictKind,
+    /// Whether the derivable-column rules dismiss this provenance.
+    pub pruned: bool,
+}
+
+/// One edge of the conflict graph: `dependent` depends on `dependee`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEdge {
+    /// The profile that would pick up the dependency (Q).
+    pub dependent: String,
+    /// The profile whose writes it would depend on (P).
+    pub dependee: String,
+    /// Every table-level reason for the edge.
+    pub provenances: Vec<ConflictProvenance>,
+    /// Whether every provenance is pruned (the edge vanishes under
+    /// false-dependency rules).
+    pub pruned: bool,
+}
+
+impl ProfileEdge {
+    /// The mediating tables, deduplicated in order.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        self.provenances
+            .iter()
+            .filter(|p| seen.insert(p.table.as_str()))
+            .map(|p| p.table.as_str())
+            .collect()
+    }
+}
+
+/// The static conflict graph over a set of transaction profiles.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    profiles: Vec<TxnProfile>,
+    /// (dependee index, dependent index) → edge, key-ordered for
+    /// deterministic iteration.
+    edges: BTreeMap<(usize, usize), ProfileEdge>,
+    /// table → derivable columns (lower-cased), the pruning vocabulary.
+    derivable: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Whether profile `p` provably changes nothing beyond `derivable`
+/// columns in `table` — the static analog of the dynamic rule's
+/// writer-side condition.
+fn writer_prunable(
+    p: &TxnProfile,
+    table: &str,
+    derivable: &BTreeMap<String, BTreeSet<String>>,
+) -> bool {
+    let Some(fp) = p.writes.get(table) else {
+        return false;
+    };
+    if fp.inserts || fp.deletes {
+        return false; // inserted/deleted rows are real dependencies
+    }
+    let Some(cols) = fp.updated.as_ref().and_then(ColumnSet::columns) else {
+        return false; // unresolvable update targets: assume every column
+    };
+    let Some(derived) = derivable.get(table) else {
+        return false;
+    };
+    cols.iter()
+        .filter(|c| !is_tracking_column(c))
+        .all(|c| derived.contains(c.as_str()))
+}
+
+impl ConflictGraph {
+    /// Builds the graph over `profiles`, pruning against `derivable`
+    /// (typically [`crate::infer_derivable_columns`] over the same
+    /// corpus the profiles came from).
+    pub fn build(profiles: Vec<TxnProfile>, derivable: &[DerivableColumn]) -> ConflictGraph {
+        let mut derived: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for c in derivable {
+            derived
+                .entry(c.table.to_ascii_lowercase())
+                .or_default()
+                .insert(c.column.to_ascii_lowercase());
+        }
+
+        let mut edges = BTreeMap::new();
+        for (pi, p) in profiles.iter().enumerate() {
+            for table in p.writes.keys() {
+                let w_prunable = writer_prunable(p, table, &derived);
+                let derived_cols = derived.get(table);
+                for (qi, q) in profiles.iter().enumerate() {
+                    if qi == pi {
+                        continue;
+                    }
+                    let mut provs: Vec<ConflictProvenance> = Vec::new();
+                    if let Some(read) = q.reads.get(table) {
+                        let read_prunable = read.columns().is_some_and(|cols| {
+                            !cols.is_empty()
+                                && derived_cols
+                                    .is_some_and(|d| cols.iter().all(|c| !d.contains(c.as_str())))
+                        });
+                        provs.push(ConflictProvenance {
+                            table: table.clone(),
+                            kind: ConflictKind::Read { read: read.clone() },
+                            pruned: w_prunable && read_prunable,
+                        });
+                    }
+                    if let Some(fq) = q.writes.get(table) {
+                        if fq.updated.is_some() || fq.deletes {
+                            provs.push(ConflictProvenance {
+                                table: table.clone(),
+                                kind: ConflictKind::Write,
+                                pruned: w_prunable,
+                            });
+                        }
+                    }
+                    if provs.is_empty() {
+                        continue;
+                    }
+                    let edge = edges.entry((pi, qi)).or_insert_with(|| ProfileEdge {
+                        dependent: q.name.clone(),
+                        dependee: p.name.clone(),
+                        provenances: Vec::new(),
+                        pruned: true,
+                    });
+                    edge.provenances.extend(provs);
+                    edge.pruned = edge.provenances.iter().all(|p| p.pruned);
+                }
+            }
+        }
+        ConflictGraph {
+            profiles,
+            edges,
+            derivable: derived,
+        }
+    }
+
+    /// The profiles (graph nodes), in name order.
+    pub fn profiles(&self) -> &[TxnProfile] {
+        &self.profiles
+    }
+
+    /// The profile named `name`, if present.
+    pub fn profile(&self, name: &str) -> Option<&TxnProfile> {
+        self.profiles.iter().find(|p| p.name == name)
+    }
+
+    /// Every edge, in deterministic (dependee, dependent) order.
+    pub fn edges(&self) -> impl Iterator<Item = &ProfileEdge> {
+        self.edges.values()
+    }
+
+    /// Count of edges dismissed entirely by the derivable-column rules.
+    pub fn pruned_edge_count(&self) -> usize {
+        self.edges.values().filter(|e| e.pruned).count()
+    }
+
+    /// The derivable columns the graph was pruned against, as
+    /// `table → columns`.
+    pub fn derivable(&self) -> &BTreeMap<String, BTreeSet<String>> {
+        &self.derivable
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.profiles.iter().position(|p| p.name == name)
+    }
+
+    /// The worst-case transitive damage closure: `seeds` plus every
+    /// profile reachable over dependent edges. With `use_rules`, edges
+    /// fully dismissed by the derivable-column rules are skipped —
+    /// mirroring a repair run with false-dependency pruning enabled;
+    /// without, every edge counts (the bound for an unpruned repair).
+    /// Seed names not in the graph are kept in the result (closure of an
+    /// unknown profile is itself), matching the dynamic graph's closure
+    /// semantics for disconnected nodes.
+    pub fn closure<S: AsRef<str>>(&self, seeds: &[S], use_rules: bool) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = seeds.iter().map(|s| s.as_ref().to_string()).collect();
+        let mut frontier: Vec<usize> = seeds
+            .iter()
+            .filter_map(|s| self.index_of(s.as_ref()))
+            .collect();
+        let mut visited: BTreeSet<usize> = frontier.iter().copied().collect();
+        while let Some(pi) = frontier.pop() {
+            for ((dependee, dependent), edge) in &self.edges {
+                if *dependee != pi || visited.contains(dependent) {
+                    continue;
+                }
+                if use_rules && edge.pruned {
+                    continue;
+                }
+                visited.insert(*dependent);
+                out.insert(self.profiles[*dependent].name.clone());
+                frontier.push(*dependent);
+            }
+        }
+        out
+    }
+
+    /// The damaged surface of a closure: every `table.column` the
+    /// closure's profiles can write, `table.*` where a profile touches
+    /// whole rows (inserts, deletes, unresolvable updates). Tracking
+    /// bookkeeping columns are excluded — they are the mechanism, not
+    /// client data.
+    pub fn damage_surface(&self, closure: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in self.profiles.iter().filter(|p| closure.contains(&p.name)) {
+            for (table, fp) in &p.writes {
+                match fp.damaged_columns() {
+                    Some(cols) => out.extend(
+                        cols.iter()
+                            .filter(|c| !is_tracking_column(c))
+                            .map(|c| format!("{table}.{c}")),
+                    ),
+                    None => {
+                        out.insert(format!("{table}.*"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the graph in the workspace's styled DOT vocabulary:
+    /// `seeds` red, other `closure` members orange, edges labelled with
+    /// their mediating tables, rule-dismissed edges dashed gray
+    /// `pruned`. Edges are drawn dependee → dependent (the dataflow
+    /// direction, as in the repair tool's exports).
+    pub fn to_dot(&self, seeds: &BTreeSet<String>, closure: Option<&BTreeSet<String>>) -> String {
+        let mut dot = DotBuilder::new("conflict_profiles");
+        for (i, p) in self.profiles.iter().enumerate() {
+            let fill = if seeds.contains(&p.name) {
+                Some(FILL_ATTACK)
+            } else if closure.is_some_and(|c| c.contains(&p.name)) {
+                Some(FILL_CLOSURE)
+            } else {
+                None
+            };
+            dot.node(&format!("p{i}"), &p.name, fill);
+        }
+        for ((dependee, dependent), edge) in &self.edges {
+            let style = if edge.pruned {
+                EdgeStyle::pruned()
+            } else {
+                EdgeStyle::labelled(edge.tables().join(","))
+            };
+            dot.edge(
+                &format!("p{dependee}"),
+                &format!("p{dependent}"),
+                Some(&style),
+            );
+        }
+        dot.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TxnProfile;
+
+    fn profile(name: &str, statements: &[&str]) -> TxnProfile {
+        TxnProfile::from_sql(name, statements)
+    }
+
+    fn derivable(pairs: &[(&str, &str)]) -> Vec<DerivableColumn> {
+        pairs
+            .iter()
+            .map(|(t, c)| DerivableColumn {
+                table: t.to_string(),
+                column: c.to_string(),
+            })
+            .collect()
+    }
+
+    fn graph() -> ConflictGraph {
+        // The paper's scenario in miniature: Payment only bumps w_ytd;
+        // NewOrder reads w_tax (a false dependency); Report reads w_ytd
+        // (a true one); Audit deletes warehouse rows.
+        let profiles = vec![
+            profile("Audit", &["DELETE FROM warehouse WHERE w_id = 9"]),
+            profile(
+                "NewOrder",
+                &[
+                    "SELECT w_tax FROM warehouse WHERE w_id = 1",
+                    "INSERT INTO orders (o_id) VALUES (1)",
+                ],
+            ),
+            profile(
+                "Payment",
+                &["UPDATE warehouse SET w_ytd = w_ytd + 5 WHERE w_id = 1"],
+            ),
+            profile("Report", &["SELECT w_ytd FROM warehouse WHERE w_id = 1"]),
+        ];
+        ConflictGraph::build(profiles, &derivable(&[("warehouse", "w_ytd")]))
+    }
+
+    fn closure_of(g: &ConflictGraph, seed: &str, rules: bool) -> BTreeSet<String> {
+        g.closure(&[seed], rules)
+    }
+
+    #[test]
+    fn read_write_edges_exist_and_prune_matches_dynamic_rule() {
+        let g = graph();
+        // Unpruned: Payment's warehouse write reaches both readers.
+        let c = closure_of(&g, "Payment", false);
+        assert!(c.contains("NewOrder") && c.contains("Report"));
+        // With rules: the w_tax read is a false dependency, the w_ytd
+        // read a true one.
+        let c = closure_of(&g, "Payment", true);
+        assert!(!c.contains("NewOrder"), "{c:?}");
+        assert!(c.contains("Report"));
+    }
+
+    #[test]
+    fn deleting_writer_is_never_prunable() {
+        let g = graph();
+        let c = closure_of(&g, "Audit", true);
+        // Audit deletes whole rows: both readers stay dependent, and so
+        // does Payment (write-write on warehouse).
+        assert!(c.contains("NewOrder") && c.contains("Report") && c.contains("Payment"));
+    }
+
+    #[test]
+    fn write_write_edges_skip_pure_inserters() {
+        let g = graph();
+        // Payment updates warehouse; Audit deletes there → WW edge.
+        assert!(g
+            .edges()
+            .any(|e| e.dependent == "Audit" && e.dependee == "Payment"));
+        // NewOrder only *inserts* into orders; nobody else touches
+        // orders, and NewOrder's warehouse contact is read-only → no
+        // edge NewOrder → NewOrder-style WW artifacts.
+        assert!(!g.edges().any(|e| e.dependent == "NewOrder"
+            && e.provenances
+                .iter()
+                .any(|p| p.table == "orders" && matches!(p.kind, ConflictKind::Write))));
+    }
+
+    #[test]
+    fn unknown_seed_closure_is_itself() {
+        let g = graph();
+        let c = closure_of(&g, "Nope", true);
+        assert_eq!(c, ["Nope".to_string()].into_iter().collect());
+    }
+
+    #[test]
+    fn damage_surface_lists_columns_and_whole_tables() {
+        let g = graph();
+        let c = closure_of(&g, "Payment", false);
+        let s = g.damage_surface(&c);
+        assert!(s.contains("warehouse.w_ytd"));
+        assert!(s.contains("orders.*")); // NewOrder's insert
+        assert!(!s.iter().any(|x| x.starts_with("item.")));
+    }
+
+    #[test]
+    fn wildcard_reader_edges_survive_rules() {
+        let profiles = vec![
+            profile("Payment", &["UPDATE warehouse SET w_ytd = w_ytd + 5"]),
+            profile("Scan", &["SELECT * FROM warehouse"]),
+        ];
+        let g = ConflictGraph::build(profiles, &derivable(&[("warehouse", "w_ytd")]));
+        let c = g.closure(&["Payment"], true);
+        assert!(c.contains("Scan"));
+    }
+
+    #[test]
+    fn dot_export_styles_seeds_closure_and_pruned_edges() {
+        let g = graph();
+        let seeds: BTreeSet<String> = ["Payment".to_string()].into_iter().collect();
+        let closure = g.closure(&["Payment"], true);
+        let dot = g.to_dot(&seeds, Some(&closure));
+        assert!(dot.contains("label=\"Payment\", style=filled, fillcolor=indianred1"));
+        assert!(dot.contains("label=\"Report\", style=filled, fillcolor=orange"));
+        assert!(dot.contains("[style=dashed, color=gray, label=\"pruned\"]"));
+        assert!(dot.contains("label=\"warehouse\""));
+    }
+}

@@ -25,16 +25,29 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod blast;
 mod classify;
 mod columns;
+mod conflict;
 mod derive;
+mod dot;
+mod jsonish;
+mod profile;
 mod report;
 mod verdict;
 
+pub use blast::{BaselineVerdict, BlastRadius, ProfileClosure};
 pub use classify::{
     classify_statement, columns_read_for, select_has_aggregate, Analyzer, SchemaSnapshot,
 };
 pub use columns::{is_tracking_column, COLUMN_TRID_PREFIX, IDENTITY_COLUMN, TRID_COLUMN};
+pub use conflict::{ConflictGraph, ConflictKind, ConflictProvenance, ProfileEdge};
 pub use derive::{infer_derivable_columns, DerivableColumn};
+pub use dot::{DotBuilder, EdgeStyle, FILL_ATTACK, FILL_CLOSURE};
+pub use jsonish::{parse_json, JsonValue};
+pub use profile::{group_transactions, profiles_from_groups, TxnProfile, WriteFootprint};
 pub use report::{escape_json, CoverageReport, StatementReport};
+// Re-exported so profile consumers can inspect footprints without a
+// direct dependency on the SQL crate.
+pub use resildb_sql::ColumnSet;
 pub use verdict::{Granularity, Reason, Verdict};

@@ -1,0 +1,128 @@
+//! End-to-end regression tests for the `resildb-lint` binary — above all
+//! that both baseline gates fail *loudly* (exit 2) when their baseline
+//! file is missing or unparseable, instead of silently skipping the gate.
+
+// Test crate: unwrap/expect are the idiomatic assertion style here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_resildb-lint"))
+        .args(args)
+        .output()
+        .expect("spawn resildb-lint")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_file(name: &str, content: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("resildb-lint-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn coverage_baseline_missing_file_is_a_loud_error() {
+    let out = lint(&["--baseline", "/nonexistent/coverage-baseline.txt"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("cannot read baseline"));
+}
+
+#[test]
+fn coverage_baseline_garbage_is_a_loud_error() {
+    let path = tmp_file("garbage.txt", "not a fraction\n");
+    let out = lint(&["--baseline", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("invalid fraction"));
+}
+
+#[test]
+fn blast_radius_reports_tpcc_reachability() {
+    let out = lint(&["blast-radius"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    // The paper-expected TPC-C shape: a malicious Payment reaches the
+    // downstream write profiles and its surface carries w_ytd, while the
+    // item table (never written by any profile) stays out of every
+    // closure's surface.
+    let payment = text
+        .split("\nprofile ")
+        .find(|s| s.starts_with("Payment"))
+        .expect("Payment section");
+    assert!(
+        payment.contains("NewOrder") && payment.contains("Delivery"),
+        "{payment}"
+    );
+    assert!(payment.contains("warehouse.w_ytd"), "{payment}");
+    assert!(!payment.contains("item"), "{payment}");
+}
+
+#[test]
+fn blast_radius_baseline_missing_file_is_a_loud_error() {
+    let out = lint(&["blast-radius", "--baseline", "/nonexistent/blast.json"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("cannot read baseline"));
+}
+
+#[test]
+fn blast_radius_baseline_garbage_is_a_loud_error() {
+    let path = tmp_file("blast-garbage.json", "{ not json");
+    let out = lint(&["blast-radius", "--baseline", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("not valid JSON"));
+}
+
+#[test]
+fn blast_radius_gates_against_its_own_json() {
+    let json = lint(&["blast-radius", "--json"]);
+    assert_eq!(json.status.code(), Some(0), "{}", stderr_of(&json));
+    let path = tmp_file("blast-self.json", &String::from_utf8_lossy(&json.stdout));
+    let out = lint(&["blast-radius", "--baseline", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("OK: blast radius within baseline"));
+}
+
+#[test]
+fn blast_radius_closure_growth_fails_the_gate() {
+    // A baseline claiming every closure is just the profile itself: the
+    // real TPC-C graph is denser, so the gate must report growth.
+    let baseline = r#"{"closures": {
+        "Delivery": {"profiles": ["Delivery"], "surface": []},
+        "NewOrder": {"profiles": ["NewOrder"], "surface": []},
+        "OrderStatus": {"profiles": ["OrderStatus"], "surface": []},
+        "Payment": {"profiles": ["Payment"], "surface": []},
+        "StockLevel": {"profiles": ["StockLevel"], "surface": []}
+    }}"#;
+    let path = tmp_file("blast-stale.json", baseline);
+    let out = lint(&["blast-radius", "--baseline", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("grew beyond baseline"));
+}
+
+#[test]
+fn blast_radius_dot_highlights_the_seed_closure() {
+    let out = lint(&["blast-radius", "--dot", "--seed", "Payment"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let dot = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(dot.starts_with("digraph conflict_profiles {"), "{dot}");
+    assert!(
+        dot.contains("label=\"Payment\", style=filled, fillcolor=indianred1"),
+        "{dot}"
+    );
+    assert!(dot.contains("fillcolor=orange"), "{dot}");
+}
+
+#[test]
+fn blast_radius_unknown_seed_is_an_error() {
+    let out = lint(&["blast-radius", "--dot", "--seed", "NoSuchProfile"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+}

@@ -3,7 +3,8 @@
 //! Figure 3).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::fmt::Write as _;
+
+use resildb_analyze::{DotBuilder, EdgeStyle, FILL_ATTACK, FILL_CLOSURE};
 
 /// How a dependency edge arose.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,31 +275,29 @@ impl DepGraph {
         closure: Option<&BTreeSet<i64>>,
         pruned: Option<&BTreeSet<(i64, i64)>>,
     ) -> String {
-        let mut out = String::from("digraph trans_dep {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+        let mut dot = DotBuilder::new("trans_dep");
         for txn in self.transactions() {
-            let style = if highlight.contains(&txn) {
-                ", style=filled, fillcolor=indianred1"
+            let fill = if highlight.contains(&txn) {
+                Some(FILL_ATTACK)
             } else if closure.is_some_and(|c| c.contains(&txn)) {
-                ", style=filled, fillcolor=orange"
+                Some(FILL_CLOSURE)
             } else {
-                ""
+                None
             };
-            let _ = writeln!(out, "  t{} [label=\"{}\"{}];", txn, self.label(txn), style);
+            dot.node(&format!("t{txn}"), &self.label(txn), fill);
         }
+        let pruned_style = EdgeStyle::pruned();
         for (dependent, dependees) in &self.deps {
             for dependee in dependees {
                 // Edges drawn from dependee to dependent: data flows from
                 // the earlier transaction to the one depending on it.
-                let style = if pruned.is_some_and(|p| p.contains(&(*dependent, *dependee))) {
-                    " [style=dashed, color=gray, label=\"pruned\"]"
-                } else {
-                    ""
-                };
-                let _ = writeln!(out, "  t{dependee} -> t{dependent}{style};");
+                let style = pruned
+                    .is_some_and(|p| p.contains(&(*dependent, *dependee)))
+                    .then_some(&pruned_style);
+                dot.edge(&format!("t{dependee}"), &format!("t{dependent}"), style);
             }
         }
-        out.push_str("}\n");
-        out
+        dot.finish()
     }
 }
 

@@ -47,6 +47,7 @@ mod error;
 mod lexer;
 mod parser;
 mod printer;
+mod rw;
 mod template;
 mod token;
 
@@ -58,6 +59,7 @@ pub use ast::{
 pub use error::ParseError;
 pub use lexer::Lexer;
 pub use parser::Parser;
+pub use rw::{statement_access, ColumnSet, StatementAccess, TableRead, TableWrite, WriteKind};
 pub use template::{
     bind_statement, collect_params, parse_span_literal, parse_template, scan_statement, BindError,
     LiteralKind, LiteralSpan, SqlTemplate, StatementScan, TemplateSlot,

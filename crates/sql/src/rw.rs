@@ -1,0 +1,331 @@
+//! Static read/write-set extraction on the AST.
+//!
+//! Computes, for one statement, which tables it reads via `SELECT`
+//! (the dependencies the tracking proxy harvests online) and which
+//! tables it mutates (the dependencies the repair tool reconstructs from
+//! log pre-images) — each at column granularity where the text allows,
+//! falling back to "all columns" wherever resolution would have to
+//! guess. The fallback direction matters: downstream consumers (the
+//! transaction-profile abstract interpreter in `resildb-analyze`) treat
+//! [`ColumnSet::All`] as "assume every column", so an imprecise
+//! extraction can only widen a static damage bound, never shrink it.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Select, SelectItem, Statement};
+
+/// A set of columns of one table, as resolvable from statement text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnSet {
+    /// Exactly these columns (never empty — a reference that resolves no
+    /// columns degrades to [`ColumnSet::All`], because "none resolved"
+    /// means *unknown*, not "touches nothing").
+    Known(BTreeSet<String>),
+    /// Every column, or an unresolvable reference (wildcard projection,
+    /// `SELECT 1 FROM t`-style contact without column names).
+    All,
+}
+
+impl ColumnSet {
+    /// An empty known set (the identity for [`ColumnSet::union`]; public
+    /// consumers never observe it because unions that stay empty degrade
+    /// to [`ColumnSet::All`] at statement level).
+    fn empty() -> ColumnSet {
+        ColumnSet::Known(BTreeSet::new())
+    }
+
+    /// Builds a known set, lower-casing for the dialect's case-insensitive
+    /// identifier comparison; degrades to [`ColumnSet::All`] when empty.
+    pub fn known<I: IntoIterator<Item = String>>(cols: I) -> ColumnSet {
+        let set: BTreeSet<String> = cols.into_iter().map(|c| c.to_ascii_lowercase()).collect();
+        if set.is_empty() {
+            ColumnSet::All
+        } else {
+            ColumnSet::Known(set)
+        }
+    }
+
+    /// Whether the set is the conservative "everything" element.
+    pub fn is_all(&self) -> bool {
+        matches!(self, ColumnSet::All)
+    }
+
+    /// Union in place: `All` absorbs everything.
+    pub fn union(&mut self, other: &ColumnSet) {
+        match (&mut *self, other) {
+            (ColumnSet::All, _) => {}
+            (_, ColumnSet::All) => *self = ColumnSet::All,
+            (ColumnSet::Known(a), ColumnSet::Known(b)) => a.extend(b.iter().cloned()),
+        }
+    }
+
+    /// Whether the set certainly contains `col` (for `All`, yes).
+    pub fn contains(&self, col: &str) -> bool {
+        match self {
+            ColumnSet::All => true,
+            ColumnSet::Known(s) => s.contains(&col.to_ascii_lowercase()),
+        }
+    }
+
+    /// The known columns, or `None` for [`ColumnSet::All`].
+    pub fn columns(&self) -> Option<&BTreeSet<String>> {
+        match self {
+            ColumnSet::All => None,
+            ColumnSet::Known(s) => Some(s),
+        }
+    }
+}
+
+/// One table a statement reads via a `SELECT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRead {
+    /// Table name (lower-cased).
+    pub table: String,
+    /// Columns of the table the statement references.
+    pub columns: ColumnSet,
+}
+
+/// The write shape of a data-modifying statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// `INSERT` — creates rows; no pre-image dependency.
+    Insert,
+    /// `UPDATE` — overwrites the assigned columns of existing rows.
+    Update,
+    /// `DELETE` — removes whole rows (every column is affected).
+    Delete,
+}
+
+/// One table a statement mutates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableWrite {
+    /// Table name (lower-cased).
+    pub table: String,
+    /// Write shape.
+    pub kind: WriteKind,
+    /// Columns written: assignment targets for updates, the column list
+    /// for inserts (`All` for positional inserts), `All` for deletes.
+    pub columns: ColumnSet,
+}
+
+/// The read/write footprint of one statement.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatementAccess {
+    /// `SELECT` reads, one entry per `FROM` table.
+    pub reads: Vec<TableRead>,
+    /// Mutations, one entry per target table.
+    pub writes: Vec<TableWrite>,
+}
+
+/// Columns of `sel` attributable to the `FROM` entry named `binding`
+/// (alias-aware): qualified references matching the binding, plus every
+/// unqualified reference (conservatively charged to all tables — the
+/// dialect has no schema here to disambiguate with).
+fn select_columns_for(sel: &Select, binding: &str) -> ColumnSet {
+    let mut cols = ColumnSet::empty();
+    let mut wildcard = false;
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => wildcard = true,
+            SelectItem::QualifiedWildcard(t) => {
+                if t.eq_ignore_ascii_case(binding) {
+                    wildcard = true;
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                for c in expr.referenced_columns() {
+                    if c.table
+                        .as_deref()
+                        .is_none_or(|t| t.eq_ignore_ascii_case(binding))
+                    {
+                        cols.union(&ColumnSet::known([c.column]));
+                    }
+                }
+            }
+        }
+    }
+    let mut clause_exprs: Vec<&crate::ast::Expr> = Vec::new();
+    clause_exprs.extend(sel.where_clause.as_ref());
+    clause_exprs.extend(sel.group_by.iter());
+    clause_exprs.extend(sel.order_by.iter().map(|o| &o.expr));
+    for expr in clause_exprs {
+        for c in expr.referenced_columns() {
+            if c.table
+                .as_deref()
+                .is_none_or(|t| t.eq_ignore_ascii_case(binding))
+            {
+                cols.union(&ColumnSet::known([c.column]));
+            }
+        }
+    }
+    if wildcard {
+        return ColumnSet::All;
+    }
+    match cols {
+        // No columns resolved for this table at all: the contact is real
+        // (the table is scanned) but untyped — degrade to All.
+        ColumnSet::Known(s) if s.is_empty() => ColumnSet::All,
+        other => other,
+    }
+}
+
+/// Extracts the read/write footprint of `stmt`.
+///
+/// `SELECT`s contribute [`StatementAccess::reads`]; `INSERT`/`UPDATE`/
+/// `DELETE` contribute [`StatementAccess::writes`] (the expressions inside
+/// an `UPDATE`'s `SET`/`WHERE` clauses are *not* counted as reads — the
+/// dynamic tracker models update-on-existing-row dependence through the
+/// log pre-image, which the write entry covers). Transaction-control and
+/// DDL statements have an empty footprint.
+pub fn statement_access(stmt: &Statement) -> StatementAccess {
+    let mut acc = StatementAccess::default();
+    match stmt {
+        Statement::Select(sel) => {
+            for table in &sel.from {
+                acc.reads.push(TableRead {
+                    table: table.name.to_ascii_lowercase(),
+                    columns: select_columns_for(sel, table.binding_name()),
+                });
+            }
+        }
+        Statement::Insert(ins) => {
+            let columns = if ins.columns.is_empty() {
+                ColumnSet::All // positional insert: all columns in schema order
+            } else {
+                ColumnSet::known(ins.columns.iter().cloned())
+            };
+            acc.writes.push(TableWrite {
+                table: ins.table.to_ascii_lowercase(),
+                kind: WriteKind::Insert,
+                columns,
+            });
+        }
+        Statement::Update(upd) => {
+            acc.writes.push(TableWrite {
+                table: upd.table.to_ascii_lowercase(),
+                kind: WriteKind::Update,
+                columns: ColumnSet::known(upd.assignments.iter().map(|a| a.column.clone())),
+            });
+        }
+        Statement::Delete(del) => {
+            acc.writes.push(TableWrite {
+                table: del.table.to_ascii_lowercase(),
+                kind: WriteKind::Delete,
+                columns: ColumnSet::All,
+            });
+        }
+        Statement::CreateTable(_)
+        | Statement::DropTable(_)
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback => {}
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    fn access(sql: &str) -> StatementAccess {
+        statement_access(&parse_statement(sql).unwrap())
+    }
+
+    fn known(cols: &[&str]) -> ColumnSet {
+        ColumnSet::known(cols.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn select_reads_projection_and_where() {
+        let a = access("SELECT c_discount FROM customer WHERE c_w_id = 1 AND c_id = 3");
+        assert_eq!(
+            a.reads,
+            vec![TableRead {
+                table: "customer".into(),
+                columns: known(&["c_discount", "c_w_id", "c_id"]),
+            }]
+        );
+        assert!(a.writes.is_empty());
+    }
+
+    #[test]
+    fn qualified_references_stay_with_their_binding() {
+        let a = access("SELECT w.w_tax, d.d_tax FROM warehouse w, district d WHERE w.w_id = 1");
+        assert_eq!(a.reads[0].columns, known(&["w_tax", "w_id"]));
+        assert_eq!(a.reads[1].columns, known(&["d_tax"]));
+    }
+
+    #[test]
+    fn unqualified_references_charge_every_table() {
+        let a = access("SELECT a FROM t1, t2");
+        assert_eq!(a.reads[0].columns, known(&["a"]));
+        assert_eq!(a.reads[1].columns, known(&["a"]));
+    }
+
+    #[test]
+    fn wildcard_and_columnless_selects_degrade_to_all() {
+        assert_eq!(access("SELECT * FROM t").reads[0].columns, ColumnSet::All);
+        assert_eq!(
+            access("SELECT t.* FROM t, u").reads[0].columns,
+            ColumnSet::All
+        );
+        assert_eq!(access("SELECT 1 FROM t").reads[0].columns, ColumnSet::All);
+    }
+
+    #[test]
+    fn update_writes_assignment_targets_only() {
+        let a = access("UPDATE warehouse SET w_ytd = w_ytd + 5 WHERE w_id = 1");
+        assert!(a.reads.is_empty());
+        assert_eq!(
+            a.writes,
+            vec![TableWrite {
+                table: "warehouse".into(),
+                kind: WriteKind::Update,
+                columns: known(&["w_ytd"]),
+            }]
+        );
+    }
+
+    #[test]
+    fn insert_write_shape() {
+        let a = access("INSERT INTO history (h_w_id, h_amount) VALUES (1, 2)");
+        assert_eq!(a.writes[0].kind, WriteKind::Insert);
+        assert_eq!(a.writes[0].columns, known(&["h_w_id", "h_amount"]));
+        let positional = access("INSERT INTO t VALUES (1, 2)");
+        assert_eq!(positional.writes[0].columns, ColumnSet::All);
+    }
+
+    #[test]
+    fn delete_writes_all_columns() {
+        let a = access("DELETE FROM new_order WHERE no_o_id = 7");
+        assert_eq!(
+            a.writes,
+            vec![TableWrite {
+                table: "new_order".into(),
+                kind: WriteKind::Delete,
+                columns: ColumnSet::All,
+            }]
+        );
+    }
+
+    #[test]
+    fn control_and_ddl_have_empty_footprint() {
+        for sql in ["BEGIN", "COMMIT", "ROLLBACK", "CREATE TABLE t (a INT)"] {
+            let a = access(sql);
+            assert!(a.reads.is_empty() && a.writes.is_empty(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn column_set_union_and_contains() {
+        let mut s = known(&["a"]);
+        s.union(&known(&["b"]));
+        assert_eq!(s, known(&["a", "b"]));
+        assert!(s.contains("A"));
+        assert!(!s.contains("c"));
+        s.union(&ColumnSet::All);
+        assert!(s.is_all());
+        assert!(s.contains("anything"));
+    }
+}

@@ -73,13 +73,7 @@ pub fn record_corpus(rounds: usize, seed: u64) -> Vec<String> {
     // talks to the engine directly, so they are disabled here.
     let mut runner = TpccRunner::new(config, seed).without_annotations();
     for _ in 0..rounds {
-        for kind in [
-            TxnKind::NewOrder,
-            TxnKind::Payment,
-            TxnKind::Delivery,
-            TxnKind::OrderStatus,
-            TxnKind::StockLevel,
-        ] {
+        for kind in TxnKind::ALL {
             runner
                 .run(&mut recorder, kind)
                 .expect("tpcc transaction on fresh tiny load");
@@ -92,6 +86,55 @@ pub fn record_corpus(rounds: usize, seed: u64) -> Vec<String> {
 /// schema DDL, from a fixed seed.
 pub fn statement_corpus() -> Vec<String> {
     record_corpus(3, 42)
+}
+
+/// Records the same deterministic run as [`record_corpus`], but grouped by
+/// transaction class: one `(class name, statements)` group per transaction
+/// executed, in execution order, named after the [`TxnKind`] that produced
+/// it. The schema DDL is *not* included — pair with [`ddl_statements`]
+/// when a schema snapshot is needed. This is the input shape of the
+/// blast-radius analyzer, which merges same-named groups into one
+/// [`resildb_analyze::TxnProfile`](../resildb_analyze) per class.
+///
+/// # Panics
+///
+/// Only if the bundled engine cannot execute its own workload, which
+/// would be a bug in this crate.
+#[allow(clippy::expect_used)]
+pub fn record_profiled_corpus(rounds: usize, seed: u64) -> Vec<(String, Vec<String>)> {
+    let db = Database::in_memory(Flavor::Postgres);
+    let driver = NativeDriver::new(db, LinkProfile::local());
+    let config = TpccConfig::tiny();
+    {
+        let mut conn = driver.connect().expect("in-memory connect");
+        Loader::new(config.clone(), seed)
+            .load(&mut *conn)
+            .expect("tpcc load");
+    }
+    let mut recorder = RecordingConnection {
+        inner: driver.connect().expect("in-memory connect"),
+        recorded: Vec::new(),
+    };
+    let mut runner = TpccRunner::new(config, seed).without_annotations();
+    let mut groups = Vec::new();
+    for _ in 0..rounds {
+        for kind in TxnKind::ALL {
+            runner
+                .run(&mut recorder, kind)
+                .expect("tpcc transaction on fresh tiny load");
+            groups.push((
+                kind.class_name().to_string(),
+                std::mem::take(&mut recorder.recorded),
+            ));
+        }
+    }
+    groups
+}
+
+/// The default profiled corpus: the same run as [`statement_corpus`],
+/// grouped by transaction class.
+pub fn profiled_corpus() -> Vec<(String, Vec<String>)> {
+    record_profiled_corpus(3, 42)
 }
 
 #[cfg(test)]
@@ -107,5 +150,26 @@ mod tests {
         assert_eq!(&a[..9], ddl_statements());
         assert!(a.iter().any(|s| s.contains("w_ytd = w_ytd +")));
         assert!(a.iter().skip(9).any(|s| s.starts_with("BEGIN")));
+    }
+
+    #[test]
+    fn profiled_corpus_matches_flat_corpus() {
+        let grouped = profiled_corpus();
+        assert_eq!(grouped.len(), 15, "3 rounds x 5 transaction classes");
+        let names: Vec<&str> = grouped.iter().take(5).map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "NewOrder",
+                "Payment",
+                "Delivery",
+                "OrderStatus",
+                "StockLevel"
+            ]
+        );
+        // Flattening the groups reproduces the flat corpus minus DDL: the
+        // two recorders observe the same deterministic run.
+        let flat: Vec<String> = grouped.into_iter().flat_map(|(_, stmts)| stmts).collect();
+        assert_eq!(flat, statement_corpus()[9..]);
     }
 }

@@ -47,7 +47,9 @@ mod txn;
 
 pub use attack::{Attack, AttackKind, ATTACK_LABEL};
 pub use config::TpccConfig;
-pub use corpus::{ddl_statements, record_corpus, statement_corpus};
+pub use corpus::{
+    ddl_statements, profiled_corpus, record_corpus, record_profiled_corpus, statement_corpus,
+};
 pub use loader::Loader;
 pub use mix::{Mix, MixKind};
 pub use schema::{create_tables, TPCC_TABLES};

@@ -25,6 +25,16 @@ pub enum TxnKind {
 }
 
 impl TxnKind {
+    /// Every transaction type, in the canonical round-robin order the
+    /// corpus recorders use.
+    pub const ALL: [TxnKind; 5] = [
+        TxnKind::NewOrder,
+        TxnKind::Payment,
+        TxnKind::Delivery,
+        TxnKind::OrderStatus,
+        TxnKind::StockLevel,
+    ];
+
     /// The label prefix used in dependency-graph annotations, matching the
     /// paper's Figure 3 (`Order`, `Payment`, `Deliv`, ...).
     pub fn label_prefix(self) -> &'static str {
@@ -34,6 +44,18 @@ impl TxnKind {
             TxnKind::Delivery => "Deliv",
             TxnKind::OrderStatus => "Status",
             TxnKind::StockLevel => "Stock",
+        }
+    }
+
+    /// The transaction-class name used by the profiled corpus and the
+    /// blast-radius reports (`NewOrder`, `Payment`, ...).
+    pub fn class_name(self) -> &'static str {
+        match self {
+            TxnKind::NewOrder => "NewOrder",
+            TxnKind::Payment => "Payment",
+            TxnKind::Delivery => "Delivery",
+            TxnKind::OrderStatus => "OrderStatus",
+            TxnKind::StockLevel => "StockLevel",
         }
     }
 }

@@ -305,11 +305,15 @@ fn try_run(scenario: &Scenario, opts: &RunOptions) -> Result<RunReport, String> 
     // Analysis first (the dependency graph must be read before the
     // repair's own compensating writes enter the log), then repair.
     let mut undo_labels: BTreeSet<String> = BTreeSet::new();
+    let mut analysis = None;
     if !initial.is_empty() {
-        let analysis = rdb.analyze().map_err(|e| format!("analysis failed: {e}"))?;
-        for id in analysis.undo_set(&initial, &[]) {
-            undo_labels.insert(analysis.graph.label(id));
+        let a = rdb.analyze().map_err(|e| format!("analysis failed: {e}"))?;
+        for id in a.undo_set(&initial, &[]) {
+            undo_labels.insert(a.graph.label(id));
         }
+        // Kept for the static-soundness oracle: the graph snapshot must
+        // predate the repair's own compensating writes.
+        analysis = Some(a);
         // A scenario may script a repair-phase fault: the first attempt
         // is then expected to fail (and must roll back cleanly — the
         // byte-equality oracle would expose any leaked compensation);
@@ -387,6 +391,13 @@ fn try_run(scenario: &Scenario, opts: &RunOptions) -> Result<RunReport, String> 
         &outcomes,
         &undo_labels,
         &label_trids,
+    ));
+    failures.extend(oracle::static_soundness(
+        scenario,
+        &outcomes,
+        analysis.as_ref(),
+        &initial,
+        &undo_labels,
     ));
     failures.extend(oracle::inflight_drained(&rdb, "world A"));
     failures.extend(oracle::inflight_drained(&rdb_b, "world B"));

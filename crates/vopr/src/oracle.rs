@@ -19,10 +19,20 @@
 //!    once every connection is gone, in both worlds.
 //! 5. **Flight-recorder lifecycle** — each committed write transaction
 //!    shows exactly one `txn_begin` and one `commit` and no `abort`.
+//! 6. **Static blast-radius soundness** — every transaction the repair
+//!    undid lies inside the static conflict-graph closure of the
+//!    committed malicious profiles (DESIGN.md §15), checked both without
+//!    rules and with the derivable-column false-dependency rules applied
+//!    on both sides. Valid under any interleaving: the static graph is
+//!    order-agnostic.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use resildb_core::{ResilientDb, Response, Value};
+use resildb_analyze::{profiles_from_groups, ConflictGraph};
+use resildb_core::{
+    infer_derivable_columns, parse_statement, Analysis, FalseDepRule, ResilientDb, Response,
+    SchemaSnapshot, Value,
+};
 use resildb_sim::TraceSnapshot;
 use resildb_tpcc::TPCC_TABLES;
 
@@ -292,6 +302,90 @@ pub fn trans_dep_exactly_once(
                  annot={annot_now:?} and {n} trans_dep record(s), want exactly 1 of each",
                 txn.label
             ));
+        }
+    }
+    failures
+}
+
+/// Oracle 6: static blast-radius soundness. The static analyzer promises
+/// that its per-profile damage closure *over-approximates* any concrete
+/// damage closure a compromise of that profile can cause. This oracle
+/// machine-checks the promise against the run that just happened: every
+/// label the repair actually undid must lie inside the static conflict
+/// graph's closure of the committed malicious transactions' profiles,
+/// where each committed transaction is its own profile (label = class).
+///
+/// Two inclusions are checked, matching the two pruning regimes:
+/// - the rule-free repair closure (what the harness repairs with) against
+///   the unpruned static closure, and
+/// - the repair closure under [`FalseDepRule::from_derivable_columns`]
+///   against the rule-pruned static closure, with *the same* derivable
+///   set feeding both sides.
+///
+/// The seed set is the full committed-malicious label set regardless of
+/// the `SkipFinalAttack` canary — a static bound computed from a superset
+/// of the repair's initial set is still a valid upper bound, so the
+/// canary cannot make this oracle fail spuriously.
+pub fn static_soundness(
+    scenario: &Scenario,
+    outcomes: &[Outcome],
+    analysis: Option<&Analysis>,
+    initial: &[i64],
+    undo_labels: &BTreeSet<String>,
+) -> Vec<String> {
+    let committed: Vec<(String, Vec<String>)> = scenario
+        .txns
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| outcomes[*i] == Outcome::Committed)
+        .map(|(_, t)| (t.label.clone(), t.statements.clone()))
+        .collect();
+    let seeds: Vec<&str> = scenario
+        .txns
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| t.malicious && outcomes[*i] == Outcome::Committed)
+        .map(|(_, t)| t.label.as_str())
+        .collect();
+    if seeds.is_empty() {
+        // Nothing committed maliciously: the repair had nothing to undo.
+        return Vec::new();
+    }
+    // The same inputs a pre-deployment run of the analyzer would see: the
+    // schema DDL plus the workload's statements.
+    let stmts: Vec<_> = resildb_tpcc::ddl_statements()
+        .iter()
+        .map(ToString::to_string)
+        .chain(committed.iter().flat_map(|(_, ss)| ss.iter().cloned()))
+        .filter_map(|sql| parse_statement(&sql).ok())
+        .collect();
+    let schema = SchemaSnapshot::from_statements(&stmts);
+    let derivable = infer_derivable_columns(&stmts, Some(&schema));
+    let graph = ConflictGraph::build(profiles_from_groups(&committed), &derivable);
+
+    let mut failures = Vec::new();
+    let bound = graph.closure(&seeds, false);
+    for label in undo_labels {
+        if !bound.contains(label) {
+            failures.push(format!(
+                "static-soundness: repair undid {label} but the unpruned static \
+                 blast radius of [{}] excludes it",
+                seeds.join(", ")
+            ));
+        }
+    }
+    if let Some(analysis) = analysis {
+        let rules = FalseDepRule::from_derivable_columns(&derivable);
+        let pruned_bound = graph.closure(&seeds, true);
+        for id in analysis.undo_set(initial, &rules) {
+            let label = analysis.graph.label(id);
+            if !pruned_bound.contains(&label) {
+                failures.push(format!(
+                    "static-soundness: rule-pruned repair closure contains {label} \
+                     but the rule-pruned static blast radius of [{}] excludes it",
+                    seeds.join(", ")
+                ));
+            }
         }
     }
     failures

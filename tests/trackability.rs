@@ -5,10 +5,17 @@
 // Test crate: unwrap/expect are the idiomatic assertion style here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use proptest::prelude::*;
-use resildb_analyze::{Analyzer, Granularity};
+use resildb_analyze::{
+    is_tracking_column, profiles_from_groups, Analyzer, Granularity, TxnProfile,
+};
+use resildb_core::ResilientDb;
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{prepare_database, EnforcementPolicy, ProxyConfig, TrackingProxy};
+use resildb_repair::RepairOp;
+use resildb_tpcc::{record_profiled_corpus, Loader, TpccConfig, TpccRunner, TxnKind};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, WireError};
 
 /// A tracking proxy plus its statistics handle over a fresh database.
@@ -176,6 +183,150 @@ fn deps_of(db: &Database, reader: i64) -> Vec<i64> {
         other => panic!("{other:?}"),
     })
     .collect()
+}
+
+/// The TPC-C transaction class of a runner label (`Order_0_3_0_4` →
+/// `NewOrder`), or `None` for unlabeled transactions (the loader).
+fn class_of(label: &str) -> Option<&'static str> {
+    let prefix = label.split('_').next()?;
+    TxnKind::ALL
+        .iter()
+        .find(|k| k.label_prefix() == prefix)
+        .map(|k| k.class_name())
+}
+
+/// Per-table dynamic write footprint harvested from the repair log.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct DynFootprint {
+    inserts: bool,
+    deletes: bool,
+    updated: BTreeSet<String>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Static-vs-dynamic write-set agreement on the TPC-C corpus: the
+    /// blast-radius analyzer's per-class write footprints must bound what
+    /// a real tracked run of the *same deterministic workload* stamped in
+    /// the engine log (static ⊇ dynamic for every class, every seed), and
+    /// be *exact* for classes whose every statement the analyzer calls
+    /// sound — over-approximation there would mean false conflict edges.
+    #[test]
+    fn static_write_sets_bound_dynamic_footprints(seed in 1u64..1000) {
+        // Static side: profiles of the deterministic run for `seed`.
+        let groups = record_profiled_corpus(1, seed);
+        let profiles = profiles_from_groups(&groups);
+        let by_class: BTreeMap<&str, &TxnProfile> =
+            profiles.iter().map(|p| (p.name.as_str(), p)).collect();
+
+        // Dynamic side: the same run, behind the tracking proxy.
+        let rdb = ResilientDb::new(Flavor::Postgres).unwrap();
+        let cfg = TpccConfig::tiny();
+        let mut conn = rdb.connect().unwrap();
+        Loader::new(cfg.clone(), seed).load(&mut *conn).unwrap();
+        let mut runner = TpccRunner::new(cfg, seed);
+        for kind in TxnKind::ALL {
+            runner.run(&mut *conn, kind).unwrap();
+        }
+        drop(conn);
+        let analysis = rdb.analyze().unwrap();
+
+        // Harvest per-class footprints from the log, skipping the proxy's
+        // own bookkeeping tables and hidden tracking columns.
+        let mut dynamic: BTreeMap<&str, BTreeMap<String, DynFootprint>> = BTreeMap::new();
+        for rec in &analysis.records {
+            if rec.table.is_empty()
+                || resildb_proxy::TRACKING_TABLES.contains(&rec.table.as_str())
+            {
+                continue;
+            }
+            let Some(&trid) = analysis.correlation.proxy_of.get(&rec.internal_txn) else {
+                continue;
+            };
+            let label = analysis.graph.label(trid);
+            let Some(class) = class_of(&label) else {
+                continue; // loader transaction
+            };
+            let fp = dynamic
+                .entry(class)
+                .or_default()
+                .entry(rec.table.clone())
+                .or_default();
+            match &rec.op {
+                RepairOp::Insert { .. } => fp.inserts = true,
+                RepairOp::Delete { .. } => fp.deletes = true,
+                RepairOp::Update { .. } => fp.updated.extend(
+                    rec.changed_columns()
+                        .into_iter()
+                        .filter(|c| !is_tracking_column(c)),
+                ),
+                _ => {}
+            }
+        }
+
+        // Soundness: every dynamic write lies inside the static profile.
+        for (class, tables) in &dynamic {
+            let profile = by_class[class];
+            for (table, fp) in tables {
+                let stat = profile.writes.get(table).unwrap_or_else(|| {
+                    panic!("{class} dynamically wrote {table}, statically never")
+                });
+                prop_assert!(!fp.inserts || stat.inserts, "{class}/{table}: insert escaped");
+                prop_assert!(!fp.deletes || stat.deletes, "{class}/{table}: delete escaped");
+                for col in &fp.updated {
+                    prop_assert!(
+                        stat.updated.as_ref().is_some_and(|u| u.contains(col)),
+                        "{class} dynamically updated {table}.{col}, statically never"
+                    );
+                }
+            }
+        }
+
+        // Exactness on all-sound classes: the statically claimed write
+        // footprint was fully exercised — table set, insert/delete flags
+        // and updated-column sets all match the log.
+        let analyzer = Analyzer::new(Granularity::Row);
+        for kind in TxnKind::ALL {
+            let class = kind.class_name();
+            let all_sound = groups
+                .iter()
+                .filter(|(name, _)| name == class)
+                .flat_map(|(_, stmts)| stmts)
+                .all(|sql| analyzer.classify_sql(sql).is_sound());
+            if !all_sound {
+                continue;
+            }
+            let profile = by_class[class];
+            let empty = BTreeMap::new();
+            let dyn_tables = dynamic.get(class).unwrap_or(&empty);
+            prop_assert_eq!(
+                profile.writes.keys().collect::<Vec<_>>(),
+                dyn_tables.keys().collect::<Vec<_>>(),
+                "{} writes different table sets statically vs dynamically",
+                class
+            );
+            for (table, stat) in &profile.writes {
+                let fp = &dyn_tables[table];
+                prop_assert_eq!(
+                    (stat.inserts, stat.deletes),
+                    (fp.inserts, fp.deletes),
+                    "{}/{} insert/delete shape mismatch",
+                    class,
+                    table
+                );
+                if let Some(cols) = stat.updated.as_ref().and_then(|u| u.columns()) {
+                    prop_assert_eq!(
+                        cols,
+                        &fp.updated,
+                        "{}/{} updated-column mismatch",
+                        class,
+                        table
+                    );
+                }
+            }
+        }
+    }
 }
 
 proptest! {
