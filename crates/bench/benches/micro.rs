@@ -153,7 +153,7 @@ fn bench_repair_analysis(c: &mut Criterion) {
         .unwrap();
         conn.execute("COMMIT").unwrap();
     }
-    let tool = rdb.repair_tool();
+    let tool = rdb.repair_controller();
     c.bench_function("repair_analyze_200_txns", |b| {
         b.iter(|| tool.analyze().unwrap())
     });

@@ -1,14 +1,17 @@
 //! MTTR comparison: selective repair vs restore-backup-and-replay.
-//! Pass `--quick` for a reduced grid; `--json-out [PATH]` additionally
-//! emits a machine-readable report (default `BENCH_pr4.json`);
-//! `--trace-out [PATH]` captures a flight-recorder trace of the attack,
-//! analysis and repair (Chrome Trace Event Format; `.jsonl` for JSONL;
-//! default `BENCH_trace.json`). Explore captures with `resildb-trace`.
+//! Pass `--quick` for a reduced grid; `--live` measures *online* repair
+//! instead — clean traffic served while the sweep runs behind the
+//! containment fence; `--json-out [PATH]` additionally emits a
+//! machine-readable report (default `BENCH_pr4.json`, or `BENCH_pr9.json`
+//! under `--live`); `--trace-out [PATH]` captures a flight-recorder
+//! trace of the attack, analysis and repair (Chrome Trace Event Format;
+//! `.jsonl` for JSONL; default `BENCH_trace.json`). Explore captures
+//! with `resildb-trace`.
 
 // Harness target: setup failures panic with context by design.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_bench::json::{self, Probe};
-use resildb_bench::mttr::MttrPoint;
+use resildb_bench::mttr::{LiveMttrPoint, MttrPoint};
 
 fn points_json(points: &[MttrPoint]) -> String {
     let items: Vec<String> = points
@@ -29,21 +32,67 @@ fn points_json(points: &[MttrPoint]) -> String {
     format!("[{}]", items.join(","))
 }
 
+fn live_points_json(points: &[LiveMttrPoint]) -> String {
+    let items: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"t_detect\":{},\"repair_wall_us\":{},\"attempted\":{},\
+                 \"served\":{},\"fenced\":{},\"availability\":{},\
+                 \"fenced_tables\":{},\"fenced_rows\":{},\
+                 \"extension_rounds\":{},\"undo_set\":{}}}",
+                p.t_detect,
+                p.repair_wall.as_micros(),
+                p.attempted,
+                p.served,
+                p.fenced,
+                json::json_f64(p.availability()),
+                p.fenced_tables,
+                p.fenced_rows,
+                p.extension_rounds,
+                p.undo_set,
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let live = args.iter().any(|a| a == "--live");
     let grid: Vec<usize> = if quick {
         vec![30]
     } else {
         vec![50, 100, 200, 400, 700]
     };
-    let json_out = json::json_out_path(&args);
+    let json_out = if live {
+        json::flag_path(&args, "--json-out", "BENCH_pr9.json")
+    } else {
+        json::json_out_path(&args)
+    };
     let trace_out = json::trace_out_path(&args);
     let probe = (json_out.is_some() || trace_out.is_some()).then(Probe::new);
     if trace_out.is_some() {
         if let Some(probe) = &probe {
             probe.enable_tracing();
         }
+    }
+    if live {
+        let points = resildb_bench::mttr::run_live_probed(&grid, probe.as_ref());
+        print!("{}", resildb_bench::mttr::render_live(&points));
+        if let (Some(path), Some(probe)) = (&json_out, &probe) {
+            json::write_report(
+                path,
+                "mttr-live",
+                &live_points_json(&points),
+                &probe.snapshot(),
+                &probe.run_meta(),
+            )
+            .expect("write json report");
+            println!("\nJSON report written to {path}");
+        }
+        return;
     }
     let points = resildb_bench::mttr::run_probed(&grid, probe.as_ref());
     print!("{}", resildb_bench::mttr::render(&points));

@@ -71,7 +71,7 @@ fn main() {
     drop(conn);
     let db = bench.db;
 
-    let tool = resildb_core::RepairTool::new(db.clone());
+    let tool = resildb_core::RepairController::new(db.clone());
     let analysis = tool.analyze().expect("analyze");
     let mut session = WhatIfSession::new(&analysis);
     // Pre-seed with the known attack so `closure` is interesting at once.
@@ -150,7 +150,10 @@ fn main() {
             }),
             ["repair"] => {
                 let undo = session.undo_set();
-                match tool.repair_with_undo_set(&analysis, &undo) {
+                match tool.execute(
+                    &analysis,
+                    &resildb_core::RepairPlan::with_undo_set(&[], undo),
+                ) {
                     Ok(report) => println!(
                         "repaired: {} compensating statements, {}/{} transactions saved",
                         report.outcome.statements.len(),

@@ -42,7 +42,7 @@ pub fn render_probed(probe: Option<&Probe>) -> String {
         .run(&mut runner, &mut *bench.conn)
         .expect("mix");
 
-    let analysis = resildb_core::RepairTool::new(bench.db.clone())
+    let analysis = resildb_core::RepairController::new(bench.db.clone())
         .analyze()
         .expect("analyze");
     // Highlight the closure of the first Order transaction, as a stand-in

@@ -99,7 +99,7 @@ pub fn run_point_probed(w: u32, t_detect: usize, seed: u64, probe: Option<&Probe
         .run(&mut runner, &mut *bench.conn)
         .expect("post-attack load");
 
-    let tool = resildb_core::RepairTool::new(bench.db.clone());
+    let tool = resildb_core::RepairController::new(bench.db.clone());
     let analysis = tool.analyze().expect("analyze");
     let attack_id = {
         let mut s = bench.db.session();

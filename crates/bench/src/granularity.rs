@@ -126,7 +126,7 @@ fn run_accuracy(granularity: TrackingGranularity, t_detect: usize) -> (usize, us
         .run(&mut runner, &mut *bench.conn)
         .expect("load");
 
-    let analysis = resildb_core::RepairTool::new(bench.db.clone())
+    let analysis = resildb_core::RepairController::new(bench.db.clone())
         .analyze()
         .expect("analyze");
     let attack_id = {

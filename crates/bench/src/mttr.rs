@@ -12,7 +12,12 @@
 //!   population) and re-run every legitimate transaction committed since,
 //!   which is what a DBA without dependency tracking must do.
 
-use resildb_core::{Driver as _, Flavor, LinkProfile, Micros, ProxyConfig, SimContext};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use resildb_core::{
+    ContainmentPolicy, Driver as _, FenceAction, Flavor, LinkProfile, Micros, ProxyConfig,
+    ResilientDb, SimContext, WireError,
+};
 use resildb_tpcc::{Attack, AttackKind, Loader, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
 
 use crate::json::Probe;
@@ -91,7 +96,7 @@ pub fn run_point_probed(t_detect: usize, probe: Option<&Probe>) -> MttrPoint {
     let mut runner = TpccRunner::new(config.clone(), 9);
     workload(&mut runner, &mut *bench.conn, t_detect);
 
-    let tool = resildb_core::RepairTool::new(bench.db.clone());
+    let tool = resildb_core::RepairController::new(bench.db.clone());
     let t0 = bench.db.sim().clock().now();
     let analysis = tool.analyze().expect("analyze");
     let attack = {
@@ -110,7 +115,8 @@ pub fn run_point_probed(t_detect: usize, probe: Option<&Probe>) -> MttrPoint {
         }
     };
     let undo = analysis.undo_set(&[attack], &crate::fig5::ytd_rules());
-    let report = tool.repair_with_undo_set(&analysis, &undo).expect("repair");
+    let plan = resildb_core::RepairPlan::with_undo_set(&[attack], undo);
+    let report = tool.execute(&analysis, &plan).expect("repair");
     let selective_repair = bench.db.sim().clock().now() - t0;
     if let Some(probe) = probe {
         probe.capture(&*bench.conn);
@@ -180,6 +186,197 @@ pub fn render(points: &[MttrPoint]) -> String {
     out
 }
 
+/// One measured live-repair availability point: how much clean traffic
+/// the database kept serving *while* the repair sweep ran behind the
+/// containment fence — the number a quiesced repair pins at zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveMttrPoint {
+    /// Transactions committed between intrusion and detection.
+    pub t_detect: usize,
+    /// Wall-clock duration of the live repair (fence raise → lift).
+    pub repair_wall: std::time::Duration,
+    /// Clean transactions attempted while the repair was in flight.
+    pub attempted: usize,
+    /// Of those, committed (served despite the repair).
+    pub served: usize,
+    /// Of those, refused by the containment fence.
+    pub fenced: usize,
+    /// Tables fenced by the initial static raise.
+    pub fenced_tables: usize,
+    /// Rows individually fenced after the shrink.
+    pub fenced_rows: usize,
+    /// Fence-extension rounds the closure needed to converge.
+    pub extension_rounds: usize,
+    /// Transactions the repair undid.
+    pub undo_set: usize,
+}
+
+impl LiveMttrPoint {
+    /// Fraction of in-repair transaction attempts that were served.
+    pub fn availability(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Runs one live-availability point.
+pub fn run_live_point(t_detect: usize) -> LiveMttrPoint {
+    run_live_point_probed(t_detect, None)
+}
+
+/// Like [`run_live_point`], with an optional telemetry probe: the final
+/// metrics fold (including the `proxy.fence.*` counters and the
+/// `repair.live.fence_size` gauge) is captured into it.
+pub fn run_live_point_probed(t_detect: usize, probe: Option<&Probe>) -> LiveMttrPoint {
+    let config = TpccConfig::scaled(2);
+    let rdb = ResilientDb::builder(Flavor::Postgres)
+        .containment(ContainmentPolicy::FenceDynamic(FenceAction::Reject))
+        .build()
+        .expect("build");
+    {
+        let mut conn = rdb.connect().expect("connect");
+        Loader::new(config.clone(), 5)
+            .load(&mut *conn)
+            .expect("load");
+        let mut runner = TpccRunner::new(config.clone(), 9);
+        workload(&mut runner, &mut *conn, t_detect);
+    }
+    let attack = rdb
+        .txn_id_by_label(ATTACK_LABEL)
+        .expect("annot lookup")
+        .expect("attack tracked");
+
+    // A worker keeps submitting clean transactions throughout: reads on
+    // `item` (the attack closure never touches it) alternating with
+    // payments against warehouse 2 (the forged payment hits warehouse 1).
+    // Only attempts made while the repair is in flight are counted.
+    let in_repair = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    let (attempted, served, fenced) = (
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    );
+    let (wall, report) = std::thread::scope(|scope| {
+        let (rdb_w, in_repair, done) = (&rdb, &in_repair, &done);
+        let (attempted, served, fenced) = (&attempted, &served, &fenced);
+        scope.spawn(move || {
+            let Ok(mut conn) = rdb_w.connect() else {
+                return;
+            };
+            let mut i = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                i += 1;
+                let stmt = if i.is_multiple_of(2) {
+                    "SELECT i_price FROM item WHERE i_id = 1".to_string()
+                } else {
+                    "UPDATE warehouse SET w_ytd = w_ytd + 1.0 WHERE w_id = 2".to_string()
+                };
+                let result = (|| -> Result<(), WireError> {
+                    conn.execute("BEGIN")?;
+                    conn.execute(&stmt)?;
+                    conn.execute("COMMIT")?;
+                    Ok(())
+                })();
+                if result.is_err() {
+                    let _ = conn.execute("ROLLBACK");
+                }
+                if !in_repair.load(Ordering::Relaxed) {
+                    continue;
+                }
+                attempted.fetch_add(1, Ordering::Relaxed);
+                match result {
+                    Ok(()) => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) if e.to_string().contains("containment fence") => {
+                        fenced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
+                }
+                std::thread::yield_now();
+            }
+        });
+        let t0 = std::time::Instant::now();
+        in_repair.store(true, Ordering::Relaxed);
+        let report = rdb
+            .repair_controller_with(rdb.live_repair_options())
+            .repair(&[attack])
+            .expect("live repair");
+        in_repair.store(false, Ordering::Relaxed);
+        let wall = t0.elapsed();
+        done.store(true, Ordering::Relaxed);
+        (wall, report)
+    });
+    if let Some(probe) = probe {
+        probe.capture_snapshot(rdb.metrics());
+    }
+
+    let stats = report.live.expect("live execution reports live stats");
+    LiveMttrPoint {
+        t_detect,
+        repair_wall: wall,
+        attempted: attempted.into_inner(),
+        served: served.into_inner(),
+        fenced: fenced.into_inner(),
+        fenced_tables: stats.fenced_tables,
+        fenced_rows: stats.fenced_rows,
+        extension_rounds: stats.extension_rounds,
+        undo_set: report.undo_set.len(),
+    }
+}
+
+/// Runs the live-availability sweep.
+pub fn run_live(t_detects: &[usize]) -> Vec<LiveMttrPoint> {
+    run_live_probed(t_detects, None)
+}
+
+/// Runs the live-availability sweep with an optional shared probe.
+pub fn run_live_probed(t_detects: &[usize], probe: Option<&Probe>) -> Vec<LiveMttrPoint> {
+    t_detects
+        .iter()
+        .map(|&t| run_live_point_probed(t, probe))
+        .collect()
+}
+
+/// Renders the live-availability table.
+pub fn render_live(points: &[LiveMttrPoint]) -> String {
+    let mut out = String::from(
+        "Live repair availability: clean traffic served during the sweep \
+         (W=2, forged payment, FenceDynamic/Reject)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>9} {:>12} {:>10} {:>8} {:>8} {:>13} {:>11} {:>9} {:>6}\n",
+        "T_detect",
+        "repair (ms)",
+        "attempted",
+        "served",
+        "fenced",
+        "availability",
+        "fence rows",
+        "ext.rnds",
+        "undo"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>9} {:>12.2} {:>10} {:>8} {:>8} {:>12.1}% {:>11} {:>9} {:>6}\n",
+            p.t_detect,
+            p.repair_wall.as_secs_f64() * 1e3,
+            p.attempted,
+            p.served,
+            p.fenced,
+            p.availability() * 100.0,
+            p.fenced_rows,
+            p.extension_rounds,
+            p.undo_set,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +391,17 @@ mod tests {
             p.restore_and_replay
         );
         assert!(p.compensating_statements > 0);
+    }
+
+    #[test]
+    fn live_repair_serves_clean_traffic_mid_sweep() {
+        let p = run_live_point(20);
+        assert!(p.attempted > 0, "worker never ran during repair: {p:?}");
+        assert!(
+            p.served > 0,
+            "no clean transaction served during live repair: {p:?}"
+        );
+        assert!(p.fenced_tables >= 1);
+        assert!(p.undo_set >= 1);
     }
 }

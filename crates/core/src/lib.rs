@@ -75,12 +75,14 @@ pub use resildb_engine::{
     Session as EngineSession, StmtCacheStats, Value,
 };
 pub use resildb_proxy::{
-    prepare_database, EnforcementPolicy, ProxyConfig, ProxyConfigBuilder, TrackerStats,
-    TrackerStatsSnapshot, TrackingGranularity, TrackingProxy,
+    prepare_database, ContainmentPolicy, EnforcementPolicy, Fence, FenceAction, FenceStats,
+    ProxyConfig, ProxyConfigBuilder, ProxyRuntime, TrackerStats, TrackerStatsSnapshot,
+    TrackingGranularity, TrackingProxy, TRACKING_TABLES,
 };
 pub use resildb_repair::{
-    detect, Analysis, AnomalyRule, CausalChain, DepGraph, Detection, FalseDepRule, RepairError,
-    RepairReport, RepairTool, TraceExplorer, WhatIfSession,
+    detect, Analysis, AnomalyRule, CausalChain, DepGraph, Detection, FalseDepRule, LiveRepairStats,
+    RepairController, RepairError, RepairMode, RepairOptions, RepairPlan, RepairReport,
+    TraceExplorer, WhatIfSession,
 };
 pub use resildb_sim::{
     failpoints, telemetry, CostModel, EventKind, FaultAction, FaultPlan, FaultTrigger,

@@ -4,10 +4,12 @@ use std::sync::Arc;
 
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{
-    prepare_database, DepStore, ProxyConfig, RewriteCache, TrackerStats, TrackingGranularity,
-    TrackingProxy,
+    prepare_database, ContainmentPolicy, DepStore, ProxyConfig, ProxyRuntime, RewriteCache,
+    TrackerStats, TrackingGranularity, TrackingProxy,
 };
-use resildb_repair::{Analysis, FalseDepRule, RepairError, RepairReport, RepairTool};
+use resildb_repair::{
+    Analysis, FalseDepRule, RepairController, RepairError, RepairOptions, RepairReport,
+};
 use resildb_sim::{CostModel, MetricsSnapshot, SimContext, Telemetry};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, WireError};
 
@@ -50,6 +52,7 @@ pub struct ResilientDbBuilder {
     track_reads: bool,
     record_deps_at_commit: bool,
     granularity: TrackingGranularity,
+    containment: ContainmentPolicy,
 }
 
 impl ResilientDbBuilder {
@@ -63,6 +66,7 @@ impl ResilientDbBuilder {
             track_reads: true,
             record_deps_at_commit: true,
             granularity: TrackingGranularity::Row,
+            containment: ContainmentPolicy::default(),
         }
     }
 
@@ -105,6 +109,14 @@ impl ResilientDbBuilder {
         self
     }
 
+    /// Sets the containment policy live repair fences traffic under
+    /// (default [`ContainmentPolicy::Off`]: statements are never fenced
+    /// and repair requires a quiesced database).
+    pub fn containment(mut self, policy: ContainmentPolicy) -> Self {
+        self.containment = policy;
+        self
+    }
+
     /// Creates the database, installs the tracking tables and builds the
     /// proxy driver.
     ///
@@ -127,21 +139,27 @@ impl ResilientDbBuilder {
             .track_reads(self.track_reads)
             .record_deps_at_commit(self.record_deps_at_commit)
             .granularity(self.granularity)
+            .containment(self.containment)
             .telemetry(telemetry.clone())
             .build();
-        let (driver, rewrite_cache, tracker_stats, dep_store): (Box<dyn Driver>, _, _, _) =
-            match self.placement {
-                ProxyPlacement::Single => {
-                    let (driver, cache, stats, deps) =
-                        TrackingProxy::single_proxy_instrumented(db.clone(), self.link, config);
-                    (Box::new(driver), cache, stats, deps)
-                }
-                ProxyPlacement::Dual => {
-                    let (driver, cache, stats, deps) =
-                        TrackingProxy::dual_proxy_instrumented(db.clone(), self.link, config);
-                    (Box::new(driver), cache, stats, deps)
-                }
-            };
+        let (driver, rewrite_cache, tracker_stats, dep_store, runtime): (
+            Box<dyn Driver>,
+            _,
+            _,
+            _,
+            _,
+        ) = match self.placement {
+            ProxyPlacement::Single => {
+                let (driver, cache, stats, deps, runtime) =
+                    TrackingProxy::single_proxy_instrumented(db.clone(), self.link, config);
+                (Box::new(driver), cache, stats, deps, runtime)
+            }
+            ProxyPlacement::Dual => {
+                let (driver, cache, stats, deps, runtime) =
+                    TrackingProxy::dual_proxy_instrumented(db.clone(), self.link, config);
+                (Box::new(driver), cache, stats, deps, runtime)
+            }
+        };
         Ok(ResilientDb {
             db,
             driver,
@@ -149,6 +167,8 @@ impl ResilientDbBuilder {
             rewrite_cache,
             tracker_stats,
             dep_store,
+            runtime,
+            containment: self.containment,
         })
     }
 }
@@ -162,6 +182,8 @@ pub struct ResilientDb {
     rewrite_cache: Arc<RewriteCache>,
     tracker_stats: Arc<TrackerStats>,
     dep_store: Arc<DepStore>,
+    runtime: Arc<ProxyRuntime>,
+    containment: ContainmentPolicy,
 }
 
 impl std::fmt::Debug for ResilientDb {
@@ -232,6 +254,7 @@ impl ResilientDb {
         self.rewrite_cache.fold_metrics(&mut snap);
         self.tracker_stats.fold_metrics(&mut snap);
         self.dep_store.fold_metrics(&mut snap);
+        self.runtime.fence().fold_metrics(&mut snap);
         snap
     }
 
@@ -246,31 +269,55 @@ impl ResilientDb {
         self.telemetry.flight()
     }
 
-    /// A repair tool for this database.
-    pub fn repair_tool(&self) -> RepairTool {
-        RepairTool::new(self.db.clone())
+    /// A quiesced-mode repair controller for this database.
+    pub fn repair_controller(&self) -> RepairController {
+        RepairController::new(self.db.clone())
+    }
+
+    /// A repair controller with explicit [`RepairOptions`] (e.g.
+    /// [`Self::live_repair_options`] for online repair).
+    pub fn repair_controller_with(&self, options: RepairOptions) -> RepairController {
+        RepairController::with_options(self.db.clone(), options)
+    }
+
+    /// Live-repair options wired to this instance's proxy runtime and
+    /// configured containment policy; refine with the
+    /// [`RepairOptions`] builder methods before passing to
+    /// [`Self::repair_controller_with`].
+    pub fn live_repair_options(&self) -> RepairOptions {
+        RepairOptions::live(self.runtime.clone(), self.containment)
+    }
+
+    /// The proxy control surface (containment fence, transaction-id
+    /// watermark, in-flight drain predicate) live repair drives.
+    pub fn proxy_runtime(&self) -> &Arc<ProxyRuntime> {
+        &self.runtime
     }
 
     /// Runs the analysis phase (log scan + dependency graph).
     ///
     /// # Errors
     ///
-    /// See [`RepairTool::analyze`].
+    /// See [`RepairController::analyze`].
     pub fn analyze(&self) -> Result<Analysis, RepairError> {
-        self.repair_tool().analyze()
+        self.repair_controller().analyze()
     }
 
-    /// Full repair from an initial attack set under `rules`.
+    /// Full quiesced repair from an initial attack set under `rules`.
     ///
     /// # Errors
     ///
-    /// See [`RepairTool::repair`].
+    /// See [`RepairController::repair`].
     pub fn repair(
         &self,
         initial: &[i64],
         rules: &[FalseDepRule],
     ) -> Result<RepairReport, RepairError> {
-        self.repair_tool().repair(initial, rules)
+        RepairController::with_options(
+            self.db.clone(),
+            RepairOptions::quiesced().rules(rules.iter().cloned()),
+        )
+        .repair(initial)
     }
 
     /// Persists the database (data, tracking tables, full log) to `w`;

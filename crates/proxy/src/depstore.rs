@@ -126,6 +126,18 @@ impl DepStore {
         }
     }
 
+    /// Whether any transaction that began *before* the id watermark is
+    /// still in flight. Live repair raises its fence, snapshots the trid
+    /// allocator as the watermark, and drains on this predicate: once it
+    /// returns `false`, every transaction the pre-fence world admitted has
+    /// committed or aborted, so the log analysis that follows sees a
+    /// complete prefix.
+    pub fn any_inflight_below(&self, watermark: i64) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.lock().keys().any(|&trid| trid < watermark))
+    }
+
     /// Current counters.
     pub fn stats(&self) -> DepStoreStats {
         DepStoreStats {
@@ -173,6 +185,22 @@ mod tests {
         // Aborting an unknown transaction is harmless.
         store.abort(99, None);
         assert_eq!(store.stats().aborted, 1);
+    }
+
+    #[test]
+    fn inflight_watermark_sees_only_older_transactions() {
+        let store = DepStore::new();
+        store.begin(3, None);
+        store.begin(8, None);
+        assert!(store.any_inflight_below(4), "txn 3 is below the watermark");
+        assert!(!store.any_inflight_below(3), "3 itself is not below 3");
+        store.commit(3, 0, None);
+        assert!(
+            !store.any_inflight_below(4),
+            "only txn 8 remains, above the watermark"
+        );
+        store.abort(8, None);
+        assert!(!store.any_inflight_below(i64::MAX));
     }
 
     #[test]

@@ -52,17 +52,24 @@
 mod cache;
 mod config;
 mod depstore;
+mod fence;
 mod rewrite;
 mod setup;
 mod tracker;
 
 pub use cache::{RewriteCache, RewriteCacheStats};
-pub use config::{EnforcementPolicy, ProxyConfig, ProxyConfigBuilder, TrackingGranularity};
+pub use config::{
+    ContainmentPolicy, EnforcementPolicy, FenceAction, ProxyConfig, ProxyConfigBuilder,
+    TrackingGranularity,
+};
 pub use depstore::{DepStore, DepStoreStats};
+pub use fence::{
+    canon_value, composite_key, Fence, FenceDecision, FenceStats, RowFence, FENCE_DEFER_BUDGET,
+};
 pub use rewrite::{
     is_tracking_column, rewrite_create_table, rewrite_insert, rewrite_select, rewrite_update,
     HarvestSource, SelectOutcome, SelectRewrite, SelectSkip, COLUMN_TRID_PREFIX, IDENTITY_COLUMN,
     TRID_COLUMN,
 };
 pub use setup::{prepare_database, ANNOT_TABLE, PROV_TABLE, TRACKING_TABLES, TRANS_DEP_TABLE};
-pub use tracker::{ProxyTxnId, TrackerStats, TrackerStatsSnapshot, TrackingProxy};
+pub use tracker::{ProxyRuntime, ProxyTxnId, TrackerStats, TrackerStatsSnapshot, TrackingProxy};

@@ -25,6 +25,7 @@ use resildb_analyze::{classify_statement, Verdict};
 use crate::cache::{CacheEntry, CachedShape, RewriteCache};
 use crate::config::{EnforcementPolicy, ProxyConfig};
 use crate::depstore::DepStore;
+use crate::fence::{Fence, FenceDecision};
 use crate::rewrite::{
     rewrite_create_table, rewrite_insert, rewrite_insert_with, rewrite_select, rewrite_update,
     rewrite_update_with, COLUMN_TRID_PREFIX, HARVEST_ALIAS_PREFIX, IDENTITY_COLUMN, TRID_COLUMN,
@@ -103,6 +104,50 @@ pub struct TrackerStatsSnapshot {
     pub rejected: u64,
 }
 
+/// The live-repair control surface of one proxy factory: the containment
+/// [`Fence`] every connection consults, plus the in-flight state the
+/// repair controller needs to raise it *safely* — the transaction-id
+/// allocator (for the drain watermark) and the in-flight ledger (to wait
+/// until every pre-fence transaction has finished, so the log analysis
+/// that follows sees a complete prefix).
+#[derive(Debug)]
+pub struct ProxyRuntime {
+    fence: Fence,
+    counter: Arc<AtomicI64>,
+    deps: Arc<DepStore>,
+}
+
+impl ProxyRuntime {
+    /// The shared containment fence.
+    pub fn fence(&self) -> &Fence {
+        &self.fence
+    }
+
+    /// The next transaction id the allocator would hand out. Every
+    /// transaction that began before this call has a smaller id, so this
+    /// is the drain watermark to pair with [`Self::any_inflight_below`].
+    pub fn trid_watermark(&self) -> i64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Whether any transaction with an id below `watermark` is still in
+    /// flight (see [`DepStore::any_inflight_below`]).
+    pub fn any_inflight_below(&self, watermark: i64) -> bool {
+        self.deps.any_inflight_below(watermark)
+    }
+}
+
+/// A driver (or factory) plus the shared handles behind it that the
+/// `ResilientDb` facade retains: rewrite cache, enforcement statistics,
+/// in-flight dependency ledger, and the live-repair runtime.
+pub type Instrumented<D> = (
+    D,
+    Arc<RewriteCache>,
+    Arc<TrackerStats>,
+    Arc<DepStore>,
+    Arc<ProxyRuntime>,
+);
+
 /// Constructors for tracking-proxy drivers.
 ///
 /// The proxy id sequence is shared by every connection made through one
@@ -126,20 +171,21 @@ impl TrackingProxy {
     fn factory_inner(
         config: ProxyConfig,
         sim: Option<SimContext>,
-    ) -> (
-        Box<dyn InterceptorFactory>,
-        Arc<RewriteCache>,
-        Arc<TrackerStats>,
-        Arc<DepStore>,
-    ) {
+    ) -> Instrumented<Box<dyn InterceptorFactory>> {
         let counter = Arc::new(AtomicI64::new(1));
         let sessions = Arc::new(AtomicU64::new(1));
         let cache = Arc::new(RewriteCache::new(config.rewrite_cache_capacity));
         let stats = Arc::new(TrackerStats::default());
         let deps = Arc::new(DepStore::new());
+        let runtime = Arc::new(ProxyRuntime {
+            fence: Fence::new(),
+            counter: Arc::clone(&counter),
+            deps: Arc::clone(&deps),
+        });
         let deps_handle = Arc::clone(&deps);
         let cache_handle = Arc::clone(&cache);
         let stats_handle = Arc::clone(&stats);
+        let runtime_handle = Arc::clone(&runtime);
         let factory = Box::new(move || {
             Box::new(Tracker {
                 config: config.clone(),
@@ -148,12 +194,19 @@ impl TrackingProxy {
                 cache: Arc::clone(&cache),
                 stats: Arc::clone(&stats),
                 deps: Arc::clone(&deps),
+                runtime: Arc::clone(&runtime),
                 txn: None,
                 next_annotation: None,
                 sim: sim.clone(),
             }) as Box<dyn Interceptor>
         });
-        (factory, cache_handle, stats_handle, deps_handle)
+        (
+            factory,
+            cache_handle,
+            stats_handle,
+            deps_handle,
+            runtime_handle,
+        )
     }
 
     /// Figure 1 deployment: client-side proxy driver over `link`.
@@ -174,7 +227,7 @@ impl TrackingProxy {
         config: ProxyConfig,
     ) -> (InterceptDriver<NativeDriver>, Arc<RewriteCache>) {
         let sim = db.sim().clone();
-        let (factory, cache, _, _) = Self::factory_inner(config, Some(sim));
+        let (factory, cache, _, _, _) = Self::factory_inner(config, Some(sim));
         (single_proxy(db, link, factory), cache)
     }
 
@@ -186,27 +239,24 @@ impl TrackingProxy {
         config: ProxyConfig,
     ) -> (InterceptDriver<NativeDriver>, Arc<TrackerStats>) {
         let sim = db.sim().clone();
-        let (factory, _, stats, _) = Self::factory_inner(config, Some(sim));
+        let (factory, _, stats, _, _) = Self::factory_inner(config, Some(sim));
         (single_proxy(db, link, factory), stats)
     }
 
     /// Like [`Self::single_proxy`], additionally returning handles to the
-    /// shared rewrite cache, the enforcement statistics and the in-flight
-    /// dependency store — what the `ResilientDb` facade retains so
-    /// `metrics()` can fold every proxy counter into one snapshot.
+    /// shared rewrite cache, the enforcement statistics, the in-flight
+    /// dependency store and the live-repair runtime (fence + drain state)
+    /// — what the `ResilientDb` facade retains so `metrics()` can fold
+    /// every proxy counter into one snapshot and live repair can drive
+    /// the fence.
     pub fn single_proxy_instrumented(
         db: Database,
         link: LinkProfile,
         config: ProxyConfig,
-    ) -> (
-        InterceptDriver<NativeDriver>,
-        Arc<RewriteCache>,
-        Arc<TrackerStats>,
-        Arc<DepStore>,
-    ) {
+    ) -> Instrumented<InterceptDriver<NativeDriver>> {
         let sim = db.sim().clone();
-        let (factory, cache, stats, deps) = Self::factory_inner(config, Some(sim));
-        (single_proxy(db, link, factory), cache, stats, deps)
+        let (factory, cache, stats, deps, runtime) = Self::factory_inner(config, Some(sim));
+        (single_proxy(db, link, factory), cache, stats, deps, runtime)
     }
 
     /// Figure 2 deployment: client proxy + server proxy pair; the tracker
@@ -220,20 +270,15 @@ impl TrackingProxy {
     }
 
     /// Like [`Self::dual_proxy`], additionally returning the rewrite-cache,
-    /// enforcement-stats and dependency-store handles.
+    /// enforcement-stats, dependency-store and live-repair runtime handles.
     pub fn dual_proxy_instrumented(
         db: Database,
         link: LinkProfile,
         config: ProxyConfig,
-    ) -> (
-        resildb_wire::DualProxyDriver,
-        Arc<RewriteCache>,
-        Arc<TrackerStats>,
-        Arc<DepStore>,
-    ) {
+    ) -> Instrumented<resildb_wire::DualProxyDriver> {
         let sim = db.sim().clone();
-        let (factory, cache, stats, deps) = Self::factory_inner(config, Some(sim));
-        (dual_proxy(db, link, factory), cache, stats, deps)
+        let (factory, cache, stats, deps, runtime) = Self::factory_inner(config, Some(sim));
+        (dual_proxy(db, link, factory), cache, stats, deps, runtime)
     }
 }
 
@@ -325,6 +370,9 @@ struct Tracker {
     stats: Arc<TrackerStats>,
     /// Sharded factory-wide ledger of in-flight tracked transactions.
     deps: Arc<DepStore>,
+    /// Live-repair control surface (containment fence + drain state)
+    /// shared across all connections of this factory.
+    runtime: Arc<ProxyRuntime>,
     txn: Option<TxnTrack>,
     /// Annotation staged by `ANNOTATE` before the transaction begins.
     next_annotation: Option<String>,
@@ -1019,16 +1067,50 @@ impl Interceptor for Tracker {
         self.cache.fold_metrics(snap);
         self.stats.fold_metrics(snap);
         self.deps.fold_metrics(snap);
+        self.runtime.fence().fold_metrics(snap);
     }
 }
 
 impl Tracker {
+    /// Presents `sql` to the containment fence when one is up. Statements
+    /// aimed at the proxy's own tracking tables are never fenced (fence
+    /// membership is user tables only), and a statement the proxy cannot
+    /// parse falls through — the regular path rejects it with a parse
+    /// error anyway.
+    fn check_fence(&self, sql: &str) -> Result<(), WireError> {
+        let Ok(stmt) = resildb_sql::parse_statement(sql) else {
+            return Ok(());
+        };
+        match self
+            .runtime
+            .fence()
+            .admit(&stmt, self.config.containment.action())
+        {
+            FenceDecision::Pass => Ok(()),
+            FenceDecision::Reject => {
+                let table = stmt
+                    .referenced_tables()
+                    .first()
+                    .map_or_else(String::new, |t| format!(" on {t}"));
+                Err(WireError::Protocol(format!(
+                    "statement refused by containment fence{table}: data quarantined during live repair"
+                )))
+            }
+        }
+    }
+
     fn intercept_statement(
         &mut self,
         sql: &str,
         downstream: &mut dyn Connection,
     ) -> Result<Response, WireError> {
         self.fault(failpoints::PROXY_BEFORE_REWRITE)?;
+
+        // Containment fast path: one relaxed load while no repair is in
+        // flight; the full parse-and-check only runs under a raised fence.
+        if self.config.containment.is_enabled() && self.runtime.fence().is_active() {
+            self.check_fence(sql)?;
+        }
 
         // Template fast path: statements whose shape is already cached are
         // replayed with a fingerprint lookup plus literal splice instead of

@@ -19,6 +19,8 @@
 //!   --ignore-table <t>   false-dependency rule: dismiss dependencies
 //!                        mediated by table <t> (repeatable)
 //!   --list               list every transaction in the capture
+//!   --repair             print the repair/containment timeline (fence
+//!                        raise/shrink/extend/lift and sweep phases)
 //! ```
 //!
 //! With no option beyond the capture, prints a summary (window size,
@@ -37,11 +39,13 @@ struct Options {
     txn: Option<i64>,
     dot: bool,
     list: bool,
+    repair: bool,
     rules: Vec<FalseDepRule>,
 }
 
 fn usage() -> String {
-    "usage: resildb-trace <capture> [--txn <id>] [--dot] [--ignore-table <t>] [--list]".to_string()
+    "usage: resildb-trace <capture> [--txn <id>] [--dot] [--ignore-table <t>] [--list] [--repair]"
+        .to_string()
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -51,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         txn: None,
         dot: false,
         list: false,
+        repair: false,
         rules: Vec::new(),
     };
     let mut it = args.iter();
@@ -65,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--dot" => opts.dot = true,
             "--list" => opts.list = true,
+            "--repair" => opts.repair = true,
             "--ignore-table" => {
                 let t = it
                     .next()
@@ -92,6 +98,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if opts.dot {
         print!("{}", explorer.to_dot(opts.txn, &opts.rules));
+        return Ok(());
+    }
+    if opts.repair {
+        print!("{}", explorer.repair_timeline());
         return Ok(());
     }
     if opts.list {

@@ -52,25 +52,33 @@ fn sql_literal(v: &Value) -> String {
 /// (already translated from the proxy-level undo set), with the proxy id
 /// attached for reporting.
 ///
+/// `skip_before` holds proxy transaction ids a *previous* sweep already
+/// compensated (live repair's fence-extension rounds). A record whose
+/// before-image was written by one of them is not restored: the row
+/// already holds the older, repaired value, and restoring the image
+/// would re-plant the very damage the first sweep removed.
+///
 /// # Errors
 ///
 /// Propagates SQL failures and inconsistencies such as a compensating
 /// statement affecting an unexpected number of rows. The sweep runs inside
 /// one transaction: on any error the database is rolled back to its
 /// pre-repair state — a half-applied repair is worse than no repair.
-pub fn run_compensation(
+pub(crate) fn run_compensation(
     db: &Database,
     conn: &mut dyn Connection,
     records: &[RepairRecord],
     undo_internal: &HashMap<InternalTxnId, i64>,
     address: AddressColumn,
+    skip_before: &std::collections::BTreeSet<i64>,
 ) -> Result<CompensationOutcome, RepairError> {
     conn.execute("BEGIN")?;
-    let result = sweep(db, conn, records, undo_internal, address).and_then(|outcome| {
-        repair_fault(db, failpoints::REPAIR_BEFORE_COMMIT)?;
-        conn.execute("COMMIT")?;
-        Ok(outcome)
-    });
+    let result =
+        sweep(db, conn, records, undo_internal, address, skip_before).and_then(|outcome| {
+            repair_fault(db, failpoints::REPAIR_BEFORE_COMMIT)?;
+            conn.execute("COMMIT")?;
+            Ok(outcome)
+        });
     if result.is_err() {
         let _ = conn.execute("ROLLBACK");
     }
@@ -115,6 +123,7 @@ fn sweep(
     records: &[RepairRecord],
     undo_internal: &HashMap<InternalTxnId, i64>,
     address: AddressColumn,
+    skip_before: &std::collections::BTreeSet<i64>,
 ) -> Result<CompensationOutcome, RepairError> {
     let mut outcome = CompensationOutcome::default();
     // Per-table old→new address remapping.
@@ -134,6 +143,13 @@ fn sweep(
         let Some(&proxy) = undo_internal.get(&rec.internal_txn) else {
             continue;
         };
+        // Extension-round rule (see run_compensation docs): a before-image
+        // written by an already-compensated transaction must not be
+        // restored or re-inserted — the sweep that undid its writer
+        // already put the older value (or absence) in place.
+        if rec.before_trid().is_some_and(|t| skip_before.contains(&t)) {
+            continue;
+        }
         if !outcome.statements.is_empty() {
             repair_fault(db, failpoints::REPAIR_MID_SWEEP)?;
         }

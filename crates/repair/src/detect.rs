@@ -6,12 +6,12 @@
 //! Detection here is deliberately simple and DBA-configurable: rules run
 //! over the *normalized log records* the repair analysis already produces,
 //! so anything a rule flags can be handed straight to
-//! [`crate::RepairTool::repair`] as the initial attack set.
+//! [`crate::RepairController::repair`] as the initial attack set.
 
 use resildb_engine::{Lsn, Value};
 
+use crate::controller::Analysis;
 use crate::record::{RepairOp, RepairRecord};
-use crate::tool::Analysis;
 
 /// A DBA-supplied anomaly rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,7 +191,7 @@ mod tests {
             .unwrap();
         conn.execute("COMMIT").unwrap();
 
-        let analysis = crate::RepairTool::new(db.clone()).analyze().unwrap();
+        let analysis = crate::RepairController::new(db.clone()).analyze().unwrap();
         let hits = detect(
             &analysis,
             &[AnomalyRule::ValueSpike {
@@ -203,8 +203,8 @@ mod tests {
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert!(hits[0].reason.contains("acct.bal"));
         // And the hit feeds straight into repair.
-        let report = crate::RepairTool::new(db.clone())
-            .repair(&[hits[0].proxy_txn], &[])
+        let report = crate::RepairController::new(db.clone())
+            .repair(&[hits[0].proxy_txn])
             .unwrap();
         assert!(report.undo_set.contains(&hits[0].proxy_txn));
     }
@@ -220,7 +220,7 @@ mod tests {
         }
         // The blanket update touches every row in one transaction.
         conn.execute("UPDATE t SET v = 1").unwrap();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let hits = detect(&analysis, &[AnomalyRule::LargeWriteSet { max_rows: 5 }]);
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert!(hits[0].reason.contains("exceeds 5"));
@@ -234,7 +234,7 @@ mod tests {
         conn.execute("INSERT INTO audit (id) VALUES (1)").unwrap();
         conn.execute("INSERT INTO audit (id) VALUES (2)").unwrap();
         conn.execute("COMMIT").unwrap();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let hits = detect(
             &analysis,
             &[AnomalyRule::ForbiddenTableWrite {
@@ -252,7 +252,7 @@ mod tests {
         conn.execute("INSERT INTO t (id, v) VALUES (1, 1.0)")
             .unwrap();
         conn.execute("UPDATE t SET v = 2.0 WHERE id = 1").unwrap();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let rules = vec![
             AnomalyRule::ValueSpike {
                 table: "t".into(),

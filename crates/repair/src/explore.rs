@@ -176,6 +176,33 @@ impl TraceExplorer {
         out
     }
 
+    /// The repair timeline: every repair-phase and containment-fence
+    /// event in tick order, one line each. This is the live-repair view —
+    /// `fence_raised → fence_shrunk → compensated… → fence_lifted`
+    /// interleaved with analysis phases — reconstructed from the capture.
+    pub fn repair_timeline(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.snapshot.events {
+            if matches!(
+                ev.kind,
+                EventKind::LogScan { .. }
+                    | EventKind::Correlate { .. }
+                    | EventKind::ClosureComputed { .. }
+                    | EventKind::Compensated { .. }
+                    | EventKind::FenceRaised { .. }
+                    | EventKind::FenceShrunk { .. }
+                    | EventKind::FenceExtended { .. }
+                    | EventKind::FenceLifted
+            ) {
+                let _ = writeln!(out, "#{:<8} {}", ev.seq, ev.kind);
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no repair events in capture window)\n");
+        }
+        out
+    }
+
     /// Renders the reconstructed graph as forensic DOT. With a focus
     /// transaction, that transaction is filled red and its damage closure
     /// under `rules` orange; edges dismissed by `rules` are dashed gray.

@@ -2,7 +2,7 @@
 //! DSN 2004 intrusion-resilience framework.
 //!
 //! Given an initial set of malicious/erroneous transactions identified by
-//! the DBA, the repair tool:
+//! the DBA, the [`RepairController`] (phased: `analyze → plan → execute`):
 //!
 //! 1. reads the DBMS transaction log through a flavor-specific
 //!    [`adapters::LogAdapter`] (Oracle LogMiner SQL parsing, the
@@ -16,7 +16,8 @@
 //! 4. computes the damage closure, optionally discarding DBA-declared
 //!    false dependencies ([`FalseDepRule`], paper §5.3),
 //! 5. walks the log backwards executing compensating statements with
-//!    old→new row-id remapping ([`run_compensation`]),
+//!    old→new row-id remapping — against a quiesced database, or *live*
+//!    behind the proxy's containment fence ([`RepairMode::Live`]),
 //! 6. and can render the graph in GraphViz DOT (paper Figure 3).
 //!
 //! # Examples
@@ -24,7 +25,7 @@
 //! ```
 //! use resildb_engine::{Database, Flavor};
 //! use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
-//! use resildb_repair::RepairTool;
+//! use resildb_repair::RepairController;
 //! use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +39,7 @@
 //! conn.execute("INSERT INTO t (id, v) VALUES (1, 10)")?; // proxy txn 1
 //!
 //! // Undo proxy transaction 1 (and everything depending on it).
-//! let report = resildb_repair::RepairTool::new(db.clone()).repair(&[1], &[])?;
+//! let report = RepairController::new(db.clone()).repair(&[1])?;
 //! assert!(report.undo_set.contains(&1));
 //! assert_eq!(db.row_count("t")?, 0);
 //! # Ok(())
@@ -51,23 +52,26 @@
 
 pub mod adapters;
 mod compensate;
+mod controller;
 mod correlate;
 pub mod detect;
 mod error;
 pub mod explore;
 mod graph;
 mod record;
-mod tool;
 mod whatif;
 
-pub use compensate::{run_compensation, CompensatingStatement, CompensationOutcome};
+pub use compensate::{CompensatingStatement, CompensationOutcome};
+pub use controller::{
+    Analysis, LiveRepairStats, RepairController, RepairMode, RepairOptions, RepairPlan,
+    RepairReport,
+};
 pub use correlate::TxnCorrelation;
 pub use detect::{detect, AnomalyRule, Detection};
 pub use error::RepairError;
 pub use explore::{CausalChain, TraceExplorer};
 pub use graph::{DepGraph, EdgeKind, EdgeProvenance, FalseDepRule};
 pub use record::{NamedRow, RepairOp, RepairRecord, RowAddress};
-pub use tool::{Analysis, RepairReport, RepairTool};
 pub use whatif::WhatIfSession;
 
 /// Whether `name` is one of the proxy's tracking tables (their rows are

@@ -10,8 +10,8 @@
 
 use std::collections::BTreeSet;
 
+use crate::controller::Analysis;
 use crate::graph::FalseDepRule;
-use crate::tool::Analysis;
 
 /// An interactive what-if session over one [`Analysis`].
 ///
@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn closure_recomputes_after_each_decision() {
         let (db, attack, dependent, independent) = scenario();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         assert!(wi.undo_set().is_empty());
         wi.add_initial(attack);
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn force_include_pulls_in_dependents_too() {
         let (db, attack, dependent, independent) = scenario();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         // The DBA knows `attack` is bad but starts from the independent
         // one; forcing the attack in also drags its dependent in.
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn force_exclude_spares_a_single_transaction() {
         let (db, attack, dependent, _) = scenario();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         wi.add_initial(attack);
         wi.force_exclude(dependent);
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn include_and_exclude_are_mutually_exclusive() {
         let (db, attack, _, _) = scenario();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         wi.force_exclude(attack);
         wi.force_include(attack);
@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn summary_and_dot_render() {
         let (db, attack, _, _) = scenario();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         wi.add_initial(attack);
         assert!(wi.summary().contains("undo 2 of 3"));
@@ -358,7 +358,7 @@ mod tests {
             ["warehouse.w_ytd"]
         );
 
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         wi.add_initial(payment_id);
         assert!(
@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn rules_apply_and_clear() {
         let (db, attack, _, _) = scenario();
-        let analysis = crate::RepairTool::new(db).analyze().unwrap();
+        let analysis = crate::RepairController::new(db).analyze().unwrap();
         let mut wi = WhatIfSession::new(&analysis);
         wi.add_initial(attack);
         let before = wi.undo_set().len();

@@ -1,0 +1,230 @@
+//! Live (online) repair end-to-end: fence lifecycle, reject/pass
+//! semantics through a tracked connection, equivalence with quiesced
+//! repair, and fence teardown on the error and panic exit paths.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeSet;
+use std::panic::AssertUnwindSafe;
+
+use resildb_core::{
+    failpoints, ContainmentPolicy, FaultAction, FaultTrigger, FenceAction, Flavor, ResilientDb,
+    Value,
+};
+use resildb_proxy::RowFence;
+
+/// Loads three accounts, commits an attack on row 1, a dependent
+/// transaction that reads it and writes row 2, and an independent
+/// survivor on row 3. Returns the attack's proxy transaction id.
+fn workload(rdb: &ResilientDb) -> i64 {
+    let mut c = rdb.connect().unwrap();
+    let run = |c: &mut Box<dyn resildb_core::Connection>, sql: &str| {
+        c.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    };
+    run(
+        &mut c,
+        "CREATE TABLE acct (id INTEGER PRIMARY KEY, bal FLOAT)",
+    );
+    run(
+        &mut c,
+        "INSERT INTO acct (id, bal) VALUES (1, 100.0), (2, 50.0), (3, 75.0)",
+    );
+    run(&mut c, "ANNOTATE attack");
+    run(&mut c, "BEGIN");
+    run(&mut c, "UPDATE acct SET bal = 1000000.0 WHERE id = 1");
+    run(&mut c, "COMMIT");
+    run(&mut c, "ANNOTATE dependent");
+    run(&mut c, "BEGIN");
+    run(&mut c, "SELECT bal FROM acct WHERE id = 1");
+    run(&mut c, "UPDATE acct SET bal = bal + 10.0 WHERE id = 2");
+    run(&mut c, "COMMIT");
+    run(&mut c, "ANNOTATE survivor");
+    run(&mut c, "BEGIN");
+    run(&mut c, "UPDATE acct SET bal = bal + 1.0 WHERE id = 3");
+    run(&mut c, "COMMIT");
+    rdb.txn_id_by_label("attack").unwrap().unwrap()
+}
+
+fn balances(rdb: &ResilientDb) -> Vec<(i64, f64)> {
+    let mut s = rdb.database().session();
+    let r = s.query("SELECT id, bal FROM acct ORDER BY id").unwrap();
+    r.rows
+        .iter()
+        .map(|row| match (&row[0], &row[1]) {
+            (Value::Int(id), Value::Float(b)) => (*id, *b),
+            other => panic!("unexpected row {other:?}"),
+        })
+        .collect()
+}
+
+fn live_rdb() -> ResilientDb {
+    ResilientDb::builder(Flavor::Postgres)
+        .containment(ContainmentPolicy::FenceDynamic(FenceAction::Reject))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn live_repair_matches_quiesced_and_reports_fence_stats() {
+    // Quiesced reference world.
+    let quiesced = ResilientDb::new(Flavor::Postgres).unwrap();
+    let attack_q = workload(&quiesced);
+    quiesced.repair(&[attack_q], &[]).unwrap();
+
+    // Live world: identical history, repaired online.
+    let live = live_rdb();
+    let attack = workload(&live);
+    let report = live
+        .repair_controller_with(live.live_repair_options())
+        .repair(&[attack])
+        .unwrap();
+
+    assert_eq!(balances(&live), balances(&quiesced));
+    assert_eq!(balances(&live), vec![(1, 100.0), (2, 50.0), (3, 76.0)]);
+    assert_eq!(report.undo_set.len(), 2, "attack + dependent undone");
+
+    let stats = report.live.expect("live execution reports live stats");
+    assert!(stats.fenced_tables >= 1, "static raise fenced acct");
+    assert_eq!(stats.extension_rounds, 0, "no traffic: closure converges");
+
+    let snap = live.metrics();
+    assert_eq!(
+        snap.gauge("repair.live.fence_size"),
+        Some(0.0),
+        "fence lifted after repair"
+    );
+    let json = resildb_core::telemetry::export::to_json(&snap);
+    for key in [
+        "proxy.fence.rejected",
+        "proxy.fence.deferred",
+        "proxy.fence.passed",
+    ] {
+        assert!(json.contains(key), "{key} missing from metrics");
+    }
+
+    let flight = live.flight_recorder().snapshot();
+    for name in ["fence_raised", "fence_shrunk", "fence_lifted"] {
+        assert!(
+            flight.events.iter().any(|e| e.kind.name() == name),
+            "flight recorder missing {name}"
+        );
+    }
+}
+
+#[test]
+fn fence_rejects_intersecting_and_passes_disjoint_statements() {
+    let rdb = live_rdb();
+    workload(&rdb);
+
+    // Drive the fence exactly as a mid-sweep live repair would: acct
+    // shrunk to a single-row quarantine on id = 1.
+    let fence = rdb.proxy_runtime().fence();
+    fence.raise(vec!["acct".to_string()]);
+    let mut rows = std::collections::HashMap::new();
+    rows.insert(
+        "acct".to_string(),
+        RowFence {
+            key_columns: vec!["id".to_string()],
+            keys: ["1".to_string()].into_iter().collect(),
+        },
+    );
+    fence.shrink(BTreeSet::new(), rows);
+
+    let mut conn = rdb.connect().unwrap();
+    let poisoned = conn.execute("UPDATE acct SET bal = 0.0 WHERE id = 1");
+    let msg = poisoned
+        .expect_err("statement on the fenced row")
+        .to_string();
+    assert!(msg.contains("containment fence"), "unexpected error: {msg}");
+
+    // A full-table scan may touch the quarantined row: refused too.
+    assert!(conn.execute("SELECT * FROM acct").is_err());
+
+    // A provably-disjoint statement flows through mid-repair.
+    conn.execute("UPDATE acct SET bal = bal + 1.0 WHERE id = 2")
+        .expect("disjoint statement passes the row fence");
+
+    fence.lift();
+    conn.execute("SELECT * FROM acct")
+        .expect("everything passes once the fence is down");
+
+    let stats = fence.stats();
+    assert!(stats.rejected >= 2 && stats.passed >= 1);
+}
+
+#[test]
+fn failed_live_repair_lifts_fence_and_retry_succeeds() {
+    let rdb = live_rdb();
+    let attack = workload(&rdb);
+
+    // First attempt errors at the pre-sweep failpoint: no compensation
+    // ran, and the fence must come down with the error.
+    let failing = rdb.live_repair_options().fault(
+        failpoints::REPAIR_LIVE_BEFORE_SHRINK,
+        FaultAction::Error,
+        FaultTrigger::Once,
+    );
+    rdb.repair_controller_with(failing)
+        .repair(&[attack])
+        .expect_err("armed failpoint aborts the live repair");
+    assert_eq!(rdb.metrics().gauge("repair.live.fence_size"), Some(0.0));
+    assert_eq!(
+        balances(&rdb)[0],
+        (1, 1_000_000.0),
+        "failed attempt rolled back before compensating"
+    );
+
+    // The fault was Once; the retry repairs and lifts cleanly.
+    let report = rdb
+        .repair_controller_with(rdb.live_repair_options())
+        .repair(&[attack])
+        .unwrap();
+    assert!(report.live.is_some());
+    assert_eq!(balances(&rdb), vec![(1, 100.0), (2, 50.0), (3, 76.0)]);
+    assert_eq!(rdb.metrics().gauge("repair.live.fence_size"), Some(0.0));
+}
+
+#[test]
+fn panicking_live_repair_still_lifts_fence() {
+    let rdb = live_rdb();
+    let attack = workload(&rdb);
+
+    let exploding = rdb.live_repair_options().fault(
+        failpoints::REPAIR_LIVE_BEFORE_SHRINK,
+        FaultAction::Panic,
+        FaultTrigger::Once,
+    );
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let _ = rdb.repair_controller_with(exploding).repair(&[attack]);
+    }));
+    assert!(result.is_err(), "the armed failpoint panics");
+    assert_eq!(
+        rdb.metrics().gauge("repair.live.fence_size"),
+        Some(0.0),
+        "drop guard lifted the fence through the unwind"
+    );
+
+    // The database remains fully serviceable and repairable.
+    let report = rdb
+        .repair_controller_with(rdb.live_repair_options())
+        .repair(&[attack])
+        .unwrap();
+    assert_eq!(report.undo_set.len(), 2);
+    assert_eq!(balances(&rdb), vec![(1, 100.0), (2, 50.0), (3, 76.0)]);
+}
+
+#[test]
+fn static_policy_keeps_whole_tables_fenced() {
+    let rdb = ResilientDb::builder(Flavor::Postgres)
+        .containment(ContainmentPolicy::FenceStatic(FenceAction::Reject))
+        .build()
+        .unwrap();
+    let attack = workload(&rdb);
+    let report = rdb
+        .repair_controller_with(rdb.live_repair_options())
+        .repair(&[attack])
+        .unwrap();
+    assert!(report.live.is_some());
+    assert_eq!(balances(&rdb), vec![(1, 100.0), (2, 50.0), (3, 76.0)]);
+    assert_eq!(rdb.metrics().gauge("repair.live.fence_size"), Some(0.0));
+}

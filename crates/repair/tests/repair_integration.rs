@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
-use resildb_repair::{FalseDepRule, RepairTool};
+use resildb_repair::{FalseDepRule, RepairController, RepairPlan};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver};
 
 struct Fixture {
@@ -98,7 +98,7 @@ fn selective_undo_scenario(flavor: Flavor) {
     let dependent = fx.txn_id("dependent");
     let independent = fx.txn_id("independent");
 
-    let tool = RepairTool::new(fx.db.clone());
+    let tool = RepairController::new(fx.db.clone());
     let analysis = tool.analyze().unwrap();
     let undo = analysis.undo_set(&[attack], &[]);
     assert!(undo.contains(&attack));
@@ -108,7 +108,9 @@ fn selective_undo_scenario(flavor: Flavor) {
     );
     assert!(!undo.contains(&independent), "unrelated txn must be spared");
 
-    let report = tool.repair_with_undo_set(&analysis, &undo).unwrap();
+    let report = tool
+        .execute(&analysis, &RepairPlan::with_undo_set(&[], undo.clone()))
+        .unwrap();
     assert_eq!(report.undo_set, undo);
 
     // Attack effect gone, dependent effect gone, independent kept.
@@ -166,8 +168,8 @@ fn insert_update_delete_chain(flavor: Flavor) {
     );
 
     let attack = fx.txn_id("attack");
-    let tool = RepairTool::new(fx.db.clone());
-    let report = tool.repair(&[attack], &[]).unwrap();
+    let tool = RepairController::new(fx.db.clone());
+    let report = tool.repair(&[attack]).unwrap();
     assert_eq!(report.undo_set.len(), 3, "{flavor}: attack + 2 dependents");
 
     // Evil row gone; legit row restored (via compensating INSERT).
@@ -215,11 +217,12 @@ fn sybase_modify_offset_adjustment_with_later_deletes() {
 
     let attack = fx.txn_id("attack");
     let cleanup = fx.txn_id("cleanup");
-    let tool = RepairTool::new(fx.db.clone());
+    let tool = RepairController::new(fx.db.clone());
     let analysis = tool.analyze().unwrap();
     let undo = analysis.undo_set(&[attack], &[]);
     assert!(!undo.contains(&cleanup), "cleanup touched other rows only");
-    tool.repair_with_undo_set(&analysis, &undo).unwrap();
+    tool.execute(&analysis, &RepairPlan::with_undo_set(&[], undo.clone()))
+        .unwrap();
 
     let mut s = fx.db.session();
     let r = s.query("SELECT v FROM t WHERE id = 3").unwrap();
@@ -245,8 +248,8 @@ fn sybase_modify_of_row_deleted_later() {
         &["SELECT v FROM t WHERE id = 2", "DELETE FROM t WHERE id = 2"],
     );
     let attack = fx.txn_id("attack");
-    let tool = RepairTool::new(fx.db.clone());
-    let report = tool.repair(&[attack], &[]).unwrap();
+    let tool = RepairController::new(fx.db.clone());
+    let report = tool.repair(&[attack]).unwrap();
     assert_eq!(report.undo_set.len(), 2);
     let mut s = fx.db.session();
     let r = s.query("SELECT v FROM t WHERE id = 2").unwrap();
@@ -279,7 +282,7 @@ fn false_dependency_rule_shrinks_undo_set() {
     let neworder = fx.txn_id("neworder");
     let audit = fx.txn_id("audit");
 
-    let tool = RepairTool::new(fx.db.clone());
+    let tool = RepairController::new(fx.db.clone());
     let analysis = tool.analyze().unwrap();
 
     let all = analysis.undo_set(&[attack], &[]);
@@ -308,8 +311,8 @@ fn repair_removes_tracking_rows_of_undone_transactions() {
     fx.txn("attack", &["INSERT INTO t (a) VALUES (666)"]);
     let attack = fx.txn_id("attack");
     let before = fx.db.row_count("trans_dep").unwrap();
-    RepairTool::new(fx.db.clone())
-        .repair(&[attack], &[])
+    RepairController::new(fx.db.clone())
+        .repair(&[attack])
         .unwrap();
     let after = fx.db.row_count("trans_dep").unwrap();
     assert_eq!(after, before - 1, "undone txn's trans_dep row removed");
@@ -327,7 +330,7 @@ fn dot_export_labels_nodes_like_figure_3() {
         "Payment_0_3_0_5",
         &["SELECT a FROM t", "UPDATE t SET a = 2"],
     );
-    let tool = RepairTool::new(fx.db.clone());
+    let tool = RepairController::new(fx.db.clone());
     let analysis = tool.analyze().unwrap();
     let order = fx.txn_id("Order_0_3_0_4");
     let highlight: BTreeSet<i64> = [order].into_iter().collect();
@@ -348,7 +351,7 @@ fn log_reconstructed_update_dependency_without_select() {
     fx.txn("t2", &["UPDATE t SET v = v + 1 WHERE id = 1"]);
     let t1 = fx.txn_id("t1");
     let t2 = fx.txn_id("t2");
-    let analysis = RepairTool::new(fx.db.clone()).analyze().unwrap();
+    let analysis = RepairController::new(fx.db.clone()).analyze().unwrap();
     // trans_dep knows nothing...
     let mut s = fx.db.session();
     let r = s
@@ -377,7 +380,7 @@ fn repairing_full_history_restores_empty_tables() {
     );
     fx.txn("c", &["DELETE FROM t WHERE id = 2"]);
     let a = fx.txn_id("a");
-    let report = RepairTool::new(fx.db.clone()).repair(&[a], &[]).unwrap();
+    let report = RepairController::new(fx.db.clone()).repair(&[a]).unwrap();
     assert_eq!(report.undo_set.len(), 3, "everything depends on the loader");
     assert_eq!(fx.db.row_count("t").unwrap(), 0);
     assert_eq!(report.saved, 0);
@@ -401,7 +404,7 @@ fn what_if_analysis_with_ignore_table() {
     let attack = fx.txn_id("attack");
     let via_scratch = fx.txn_id("via_scratch");
     let via_data = fx.txn_id("via_data");
-    let analysis = RepairTool::new(fx.db.clone()).analyze().unwrap();
+    let analysis = RepairController::new(fx.db.clone()).analyze().unwrap();
     let rules = vec![FalseDepRule::IgnoreTable("scratch".into())];
     let undo = analysis.undo_set(&[attack], &rules);
     assert!(!undo.contains(&via_scratch));

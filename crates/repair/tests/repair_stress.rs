@@ -6,7 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use resildb_engine::{Database, Flavor, Value};
 use resildb_proxy::{prepare_database, ProxyConfig, TrackingProxy};
-use resildb_repair::RepairTool;
+use resildb_repair::{RepairController, RepairPlan};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver};
 
 fn tracked(flavor: Flavor) -> (Database, Box<dyn Connection>) {
@@ -60,7 +60,7 @@ fn aborted_transactions_do_not_confuse_analysis_or_repair() {
     conn.execute("ROLLBACK").unwrap();
 
     let attack = txn_id(&db, "attack");
-    let tool = RepairTool::new(db.clone());
+    let tool = RepairController::new(db.clone());
     let analysis = tool.analyze().unwrap();
     // Aborted transactions are uncorrelated and absent from the graph.
     for rec in &analysis.records {
@@ -68,7 +68,7 @@ fn aborted_transactions_do_not_confuse_analysis_or_repair() {
             assert!(analysis.tracked_transactions().contains(&p));
         }
     }
-    let report = tool.repair(&[attack], &[]).unwrap();
+    let report = tool.repair(&[attack]).unwrap();
     assert_eq!(report.undo_set.len(), 1);
     let mut s = db.session();
     assert_eq!(
@@ -124,14 +124,15 @@ fn sybase_offset_adjustment_across_many_pages_and_deletes() {
 
     let attack = txn_id(&db, "attack");
     let cleanup = txn_id(&db, "cleanup");
-    let tool = RepairTool::new(db.clone());
+    let tool = RepairController::new(db.clone());
     let analysis = tool.analyze().unwrap();
     let undo = analysis.undo_set(&[attack], &[]);
     assert!(
         !undo.contains(&cleanup),
         "cleanup deleted untouched rows only"
     );
-    tool.repair_with_undo_set(&analysis, &undo).unwrap();
+    tool.execute(&analysis, &RepairPlan::with_undo_set(&[], undo.clone()))
+        .unwrap();
 
     let mut s = db.session();
     for i in [3, 37, 71, 105] {
@@ -167,11 +168,13 @@ fn deep_dependency_chain_closure_and_repair() {
         conn.execute("COMMIT").unwrap();
     }
     let t0 = txn_id(&db, "t0");
-    let tool = RepairTool::new(db.clone());
+    let tool = RepairController::new(db.clone());
     let analysis = tool.analyze().unwrap();
     let undo = analysis.undo_set(&[t0], &[]);
     assert_eq!(undo.len(), 81, "the whole chain is transitively corrupted");
-    let report = tool.repair_with_undo_set(&analysis, &undo).unwrap();
+    let report = tool
+        .execute(&analysis, &RepairPlan::with_undo_set(&[], undo.clone()))
+        .unwrap();
     // 81 chain inserts plus each undone transaction's tracking rows.
     assert!(report.outcome.rows_deleted >= 81, "{report:?}");
     assert_eq!(db.row_count("chain").unwrap(), 0);
@@ -194,11 +197,11 @@ fn mid_chain_attack_spares_the_prefix() {
         conn.execute("COMMIT").unwrap();
     }
     let mid = txn_id(&db, "t10");
-    let analysis = RepairTool::new(db.clone()).analyze().unwrap();
+    let analysis = RepairController::new(db.clone()).analyze().unwrap();
     let undo = analysis.undo_set(&[mid], &[]);
     assert_eq!(undo.len(), 11, "t10..t20");
-    RepairTool::new(db.clone())
-        .repair_with_undo_set(&analysis, &undo)
+    RepairController::new(db.clone())
+        .execute(&analysis, &RepairPlan::with_undo_set(&[], undo.clone()))
         .unwrap();
     assert_eq!(db.row_count("chain").unwrap(), 10, "rows 0..9 survive");
 }
@@ -237,7 +240,7 @@ fn concurrent_tracked_clients_share_the_proxy_id_sequence() {
     }
     // 40 tracked transactions with 40 distinct proxy ids (DDL through the
     // proxy is auto-committed by the engine and not a tracked write txn).
-    let analysis = RepairTool::new(db.clone()).analyze().unwrap();
+    let analysis = RepairController::new(db.clone()).analyze().unwrap();
     assert_eq!(analysis.tracked_transactions().len(), 40);
 }
 
@@ -259,7 +262,7 @@ fn repair_restores_multi_table_transactions_atomically() {
     conn.execute("COMMIT").unwrap();
 
     let attack = txn_id(&db, "attack");
-    RepairTool::new(db.clone()).repair(&[attack], &[]).unwrap();
+    RepairController::new(db.clone()).repair(&[attack]).unwrap();
     let mut s = db.session();
     assert_eq!(
         s.query("SELECT v FROM a WHERE id = 1").unwrap().rows[0][0],

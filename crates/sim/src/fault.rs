@@ -75,6 +75,11 @@ pub mod failpoints {
     /// Repair: after the last compensating statement, before the sweep's
     /// enclosing transaction commits.
     pub const REPAIR_BEFORE_COMMIT: &str = "repair.before_commit";
+    /// Live repair: after drain + re-analysis, before the fence shrinks
+    /// from the static table surface to the row-level closure.
+    pub const REPAIR_LIVE_BEFORE_SHRINK: &str = "repair.live.before_shrink";
+    /// Live repair: after the closure converged, before the fence lifts.
+    pub const REPAIR_LIVE_BEFORE_LIFT: &str = "repair.live.before_lift";
 }
 
 /// What an armed failpoint does when its trigger fires.

@@ -141,6 +141,28 @@ pub enum EventKind {
         /// Compensating statements executed for this transaction.
         statements: u32,
     },
+    /// Live repair: the containment fence was raised over the static
+    /// blast-radius surface (whole-table quarantine).
+    FenceRaised {
+        /// Number of wholly-fenced tables.
+        tables: u32,
+    },
+    /// Live repair: correlation caught up and the fence shrank from the
+    /// static table surface to the dynamic row-level closure.
+    FenceShrunk {
+        /// Tables still wholly fenced (no usable primary key).
+        tables: u32,
+        /// Individually fenced rows.
+        rows: u32,
+    },
+    /// Live repair: re-analysis found new closure members and the fence
+    /// grew to cover their rows mid-sweep.
+    FenceExtended {
+        /// Rows added to the fence.
+        rows: u32,
+    },
+    /// Live repair: the sweep finished and the fence was lifted.
+    FenceLifted,
 }
 
 impl EventKind {
@@ -160,6 +182,10 @@ impl EventKind {
             EventKind::Correlate { .. } => "correlate",
             EventKind::ClosureComputed { .. } => "closure_computed",
             EventKind::Compensated { .. } => "compensated",
+            EventKind::FenceRaised { .. } => "fence_raised",
+            EventKind::FenceShrunk { .. } => "fence_shrunk",
+            EventKind::FenceExtended { .. } => "fence_extended",
+            EventKind::FenceLifted => "fence_lifted",
         }
     }
 
@@ -188,6 +214,12 @@ impl EventKind {
                 format!(",\"initial\":{initial},\"nodes\":{nodes}")
             }
             EventKind::Compensated { statements } => format!(",\"statements\":{statements}"),
+            EventKind::FenceRaised { tables } => format!(",\"tables\":{tables}"),
+            EventKind::FenceShrunk { tables, rows } => {
+                format!(",\"tables\":{tables},\"rows\":{rows}")
+            }
+            EventKind::FenceExtended { rows } => format!(",\"rows\":{rows}"),
+            EventKind::FenceLifted => String::new(),
         }
     }
 }
@@ -220,6 +252,12 @@ impl std::fmt::Display for EventKind {
             EventKind::Compensated { statements } => {
                 write!(f, "compensated statements={statements}")
             }
+            EventKind::FenceRaised { tables } => write!(f, "fence_raised tables={tables}"),
+            EventKind::FenceShrunk { tables, rows } => {
+                write!(f, "fence_shrunk tables={tables} rows={rows}")
+            }
+            EventKind::FenceExtended { rows } => write!(f, "fence_extended rows={rows}"),
+            EventKind::FenceLifted => write!(f, "fence_lifted"),
         }
     }
 }
@@ -761,6 +799,17 @@ fn kind_from_fields(event: &str, detail: &Json) -> Result<EventKind, String> {
         "compensated" => EventKind::Compensated {
             statements: u64_field("statements")? as u32,
         },
+        "fence_raised" => EventKind::FenceRaised {
+            tables: u64_field("tables")? as u32,
+        },
+        "fence_shrunk" => EventKind::FenceShrunk {
+            tables: u64_field("tables")? as u32,
+            rows: u64_field("rows")? as u32,
+        },
+        "fence_extended" => EventKind::FenceExtended {
+            rows: u64_field("rows")? as u32,
+        },
+        "fence_lifted" => EventKind::FenceLifted,
         other => return Err(format!("unknown event kind {other:?}")),
     })
 }
@@ -882,6 +931,13 @@ mod tests {
                 nodes: 4,
             },
             EventKind::Compensated { statements: 3 },
+            EventKind::FenceRaised { tables: 6 },
+            EventKind::FenceShrunk {
+                tables: 1,
+                rows: 12,
+            },
+            EventKind::FenceExtended { rows: 2 },
+            EventKind::FenceLifted,
         ]
     }
 

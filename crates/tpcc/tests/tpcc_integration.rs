@@ -186,8 +186,8 @@ fn attack_then_repair_preserves_independent_work() {
         Some(Value::Int(v)) => v,
         other => panic!("attack not found: {other:?}"),
     };
-    let tool = resildb_repair::RepairTool::new(db.clone());
-    let report = tool.repair(&[attack_id], &[]).unwrap();
+    let tool = resildb_repair::RepairController::new(db.clone());
+    let report = tool.repair(&[attack_id]).unwrap();
     assert!(report.undo_set.contains(&attack_id));
     assert!(
         report.saved > 0,

@@ -16,13 +16,16 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
-use resildb_core::{Connection, ResilientDb};
+use resildb_core::{
+    Connection, ContainmentPolicy, FenceAction, ResilientDb, Response, TRACKING_TABLES,
+};
 use resildb_sim::telemetry::trace::to_jsonl;
 use resildb_sim::TraceSnapshot;
-use resildb_tpcc::Loader;
+use resildb_tpcc::{Loader, TPCC_TABLES};
 use resildb_wire::WireError;
 
 use crate::oracle;
@@ -407,6 +410,16 @@ fn try_run(scenario: &Scenario, opts: &RunOptions) -> Result<RunReport, String> 
         &outcomes,
         &label_trids,
     ));
+    // Oracle 8: live repair ≡ quiesced repair. Runs its own pair of
+    // deterministic worlds, so it holds under `--threads N` too. A
+    // harness-level breakage inside it is reported as a failure (not an
+    // error) so the shrinker can minimize it like any other finding.
+    if scenario.txns.iter().any(|t| t.malicious) {
+        match live_vs_quiesced(scenario, opts.canary) {
+            Ok(f) => failures.extend(f),
+            Err(e) => failures.push(format!("live-repair harness error: {e}")),
+        }
+    }
 
     let capture = (!failures.is_empty()).then(|| to_jsonl(&flight));
     Ok(RunReport {
@@ -416,4 +429,263 @@ fn try_run(scenario: &Scenario, opts: &RunOptions) -> Result<RunReport, String> 
         undo_labels,
         capture,
     })
+}
+
+/// A deterministic world: the instance, its per-transaction outcomes,
+/// and the proxy trids of its committed malicious transactions.
+type World = (Arc<ResilientDb>, Vec<Outcome>, Vec<i64>);
+
+/// Replays the full scenario single-threaded against a fresh instance
+/// built with `containment`, and returns the world together with its
+/// outcomes and the proxy trids of its committed malicious transactions.
+/// Single-threaded replay is deterministic, so two such worlds reach
+/// byte-identical pre-repair states — trid columns included.
+fn replay_deterministic(
+    scenario: &Scenario,
+    containment: ContainmentPolicy,
+) -> Result<World, String> {
+    let rdb = Arc::new(
+        ResilientDb::builder(scenario.flavor)
+            .containment(containment)
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    {
+        let mut conn = rdb.connect().map_err(|e| e.to_string())?;
+        Loader::new(tpcc_config(), scenario.seed)
+            .load(&mut *conn)
+            .map_err(|e| format!("load failed: {e}"))?;
+    }
+    let opts = RunOptions {
+        threads: 1,
+        canary: Canary::None,
+    };
+    let (outcomes, _) = run_workload(&rdb, scenario, &opts)?;
+    rdb.database().sim().faults().disarm_all();
+
+    let mut initial = Vec::new();
+    for (i, txn) in scenario.txns.iter().enumerate() {
+        if !(txn.malicious && outcomes[i] == Outcome::Committed) {
+            continue;
+        }
+        match rdb.txn_id_by_label(&txn.label) {
+            Ok(Some(trid)) => initial.push(trid),
+            Ok(None) => {
+                return Err(format!("committed attack {} left no annot row", txn.label));
+            }
+            Err(e) => return Err(format!("annot lookup failed for {}: {e}", txn.label)),
+        }
+    }
+    Ok((rdb, outcomes, initial))
+}
+
+/// Runs a repair attempt honoring the scenario's scripted repair-phase
+/// fault the same way world A does: with a fault scheduled, the first
+/// attempt runs with it armed `Once` and is expected to fail (rolling
+/// back cleanly — the equality oracle exposes any leaked compensation, a
+/// live attempt must also drop its fence); the retry after disarming must
+/// succeed.
+fn scripted_repair(
+    scenario: &Scenario,
+    rdb: &ResilientDb,
+    initial: &[i64],
+    attempt: impl Fn(&[i64]) -> Result<(), String>,
+) -> Result<(), String> {
+    let Some(site) = scenario.repair_fault else {
+        return attempt(initial);
+    };
+    rdb.database().sim().faults().arm(
+        site,
+        resildb_sim::FaultAction::Error,
+        resildb_sim::FaultTrigger::Once,
+    );
+    let first = attempt(initial);
+    rdb.database().sim().faults().disarm_all();
+    if first.is_err() {
+        return attempt(initial).map_err(|e| format!("repair retry failed: {e}"));
+    }
+    Ok(())
+}
+
+/// Raw rows of `table` through an untracked connection — hidden `trid`
+/// columns *included*, since the two deterministic worlds allocate
+/// identical proxy transaction ids.
+fn raw_table_rows(rdb: &ResilientDb, table: &str) -> Result<Vec<String>, String> {
+    let mut conn = rdb
+        .connect_untracked()
+        .map_err(|e| format!("untracked connect failed: {e}"))?;
+    match conn
+        .execute(&format!("SELECT * FROM {table}"))
+        .map_err(|e| format!("SELECT * FROM {table} failed: {e}"))?
+    {
+        Response::Rows(qr) => {
+            let mut rows: Vec<String> = qr.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows.insert(0, format!("{:?}", qr.columns));
+            Ok(rows)
+        }
+        other => Err(format!(
+            "SELECT * FROM {table}: expected rows, got {other:?}"
+        )),
+    }
+}
+
+/// Oracle 8: **live repair ≡ quiesced repair**. Two more fresh worlds
+/// replay the full scenario single-threaded (identical pre-repair states
+/// by determinism). World Q repairs quiesced — the reference. World L
+/// repairs *online*: containment fence up over the scenario's written
+/// tables, `FenceDynamic(Reject)`, while a probe thread keeps reading a
+/// table no scheduled transaction ever writes. Checked:
+///
+/// - L's final state is byte-identical to Q's — raw rows of every TPC-C
+///   table *and* the tracking tables, hidden trid columns included;
+/// - no probe on the clean table (outside every fence, static or
+///   dynamic) is ever refused;
+/// - the live report actually fenced something, the fence was lifted
+///   (`repair.live.fence_size` back to 0), and the flight recorder shows
+///   the `fence_raised`/`fence_lifted` lifecycle.
+///
+/// The [`Canary::SkipFinalAttack`] bug is injected into world L's
+/// initial set only (Q stays the correct reference), so a canary run
+/// must trip the equality check — proving this oracle is alive.
+fn live_vs_quiesced(scenario: &Scenario, canary: Canary) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+
+    // Tables any scheduled transaction writes: a sound static fence
+    // surface (damage spreads only through writes), whose complement
+    // yields a provably-clean probe table.
+    let written: BTreeSet<&str> = scenario
+        .txns
+        .iter()
+        .flat_map(|t| {
+            t.writes
+                .iter()
+                .chain(t.preimages.iter())
+                .chain(t.deletes.iter())
+        })
+        .map(|r| r.table)
+        .collect();
+    let probe_table = TPCC_TABLES.iter().copied().find(|t| !written.contains(t));
+
+    let (rdb_q, outcomes_q, initial_q) = replay_deterministic(scenario, ContainmentPolicy::Off)?;
+    if initial_q.is_empty() {
+        return Ok(failures); // every attack aborted: nothing to repair
+    }
+    scripted_repair(scenario, &rdb_q, &initial_q, |init| {
+        rdb_q
+            .repair(init, &[])
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    })?;
+
+    let (rdb_l, outcomes_l, mut initial_l) = replay_deterministic(
+        scenario,
+        ContainmentPolicy::FenceDynamic(FenceAction::Reject),
+    )?;
+    if outcomes_l != outcomes_q {
+        return Err("deterministic replays diverged between live and quiesced worlds".into());
+    }
+    if canary == Canary::SkipFinalAttack {
+        initial_l.pop();
+    }
+
+    let surface: Vec<String> = written.iter().map(|t| (*t).to_string()).collect();
+    let probe_failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let last_report = Mutex::new(None);
+    let done = AtomicBool::new(false);
+    let repair_result = std::thread::scope(|scope| {
+        if let Some(table) = probe_table {
+            let (rdb_l, done, probe_failures) = (&rdb_l, &done, &probe_failures);
+            scope.spawn(move || {
+                let Ok(mut conn) = rdb_l.connect() else {
+                    return;
+                };
+                while !done.load(Ordering::Relaxed) {
+                    if let Err(e) = conn.execute(&format!("SELECT * FROM {table}")) {
+                        let msg = e.to_string();
+                        if msg.contains("containment fence") {
+                            let mut pf = probe_failures.lock();
+                            if pf.len() < 3 {
+                                pf.push(format!(
+                                    "live-repair: clean probe on {table} (a table no \
+                                     scheduled txn writes) was refused: {msg}"
+                                ));
+                            }
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let result = scripted_repair(scenario, &rdb_l, &initial_l, |init| {
+            let options = rdb_l
+                .live_repair_options()
+                .static_surface(surface.iter().cloned());
+            let report = rdb_l
+                .repair_controller_with(options)
+                .repair(init)
+                .map_err(|e| e.to_string())?;
+            *last_report.lock() = Some(report);
+            Ok(())
+        });
+        done.store(true, Ordering::Relaxed);
+        result
+    });
+    repair_result?;
+    failures.append(&mut probe_failures.into_inner());
+
+    match last_report.into_inner() {
+        None => failures.push("live-repair: live execute never succeeded".into()),
+        Some(report) => match report.live {
+            None => failures.push("live-repair: RepairMode::Live produced no live stats".into()),
+            Some(stats) if stats.fenced_tables == 0 => {
+                failures.push("live-repair: report says no table was ever fenced".into());
+            }
+            Some(_) => {}
+        },
+    }
+    if rdb_l.metrics().gauge("repair.live.fence_size") != Some(0.0) {
+        failures.push(
+            "live-repair: fence not lifted (repair.live.fence_size != 0 after repair)".into(),
+        );
+    }
+    let flight = rdb_l.flight_recorder().snapshot();
+    if flight.dropped == 0 {
+        for name in ["fence_raised", "fence_lifted"] {
+            if !flight.events.iter().any(|e| e.kind.name() == name) {
+                failures.push(format!(
+                    "live-repair: flight recorder shows no {name} event"
+                ));
+            }
+        }
+    }
+
+    for table in TPCC_TABLES
+        .iter()
+        .copied()
+        .chain(TRACKING_TABLES.iter().copied())
+    {
+        match (raw_table_rows(&rdb_l, table), raw_table_rows(&rdb_q, table)) {
+            (Ok(rl), Ok(rq)) => {
+                if rl != rq {
+                    let diff = rl
+                        .iter()
+                        .filter(|r| !rq.contains(r))
+                        .chain(rq.iter().filter(|r| !rl.contains(r)))
+                        .take(4)
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(" | ");
+                    failures.push(format!(
+                        "live-repair: table {table} diverges between live and quiesced \
+                         repair ({} vs {} rows; e.g. {diff})",
+                        rl.len() - 1,
+                        rq.len() - 1,
+                    ));
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => failures.push(e),
+        }
+    }
+    Ok(failures)
 }

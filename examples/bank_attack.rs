@@ -93,7 +93,10 @@ fn main() -> Result<(), Error> {
     // hand (the \"what if\" workflow) and repairs.
     let mut undo = closure.clone();
     undo.insert(t2);
-    let report = rdb.repair_tool().repair_with_undo_set(&analysis, &undo)?;
+    let report = rdb.repair_controller().execute(
+        &analysis,
+        &resildb_core::RepairPlan::with_undo_set(&[], undo),
+    )?;
     println!(
         "manual repair rolled back {} transactions ({} compensating statements)",
         report.undo_set.len(),

@@ -71,9 +71,10 @@ fn main() -> Result<(), Error> {
 
     // Repair with the filtered set and verify the forged money is gone.
     let before = w_ytd(&rdb)?;
-    let report = rdb
-        .repair_tool()
-        .repair_with_undo_set(&analysis, &filtered)?;
+    let report = rdb.repair_controller().execute(
+        &analysis,
+        &resildb_core::RepairPlan::with_undo_set(&[], filtered.clone()),
+    )?;
     let after = w_ytd(&rdb)?;
     println!(
         "repair executed {} compensating statements; w_ytd {before:.2} -> {after:.2}",

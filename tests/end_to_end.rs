@@ -57,8 +57,13 @@ fn tpcc_attack_analysis_and_repair_pipeline() {
     assert!(dot.contains("ATTACK"));
 
     // Execute the repair with the filtered set.
-    let tool = rdb.repair_tool();
-    let report = tool.repair_with_undo_set(&analysis, &filtered).unwrap();
+    let tool = rdb.repair_controller();
+    let report = tool
+        .execute(
+            &analysis,
+            &resildb_core::RepairPlan::with_undo_set(&[], filtered.clone()),
+        )
+        .unwrap();
     assert!(report.saved > 0, "legitimate work survives: {report:?}");
 
     // The forged w_ytd inflation is gone: w_ytd is consistent with the

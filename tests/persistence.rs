@@ -76,7 +76,7 @@ fn repair_still_works_after_reopen() {
         std::fs::File::open(&path).unwrap(),
     )
     .unwrap();
-    let tool = resildb_core::RepairTool::new(db.clone());
+    let tool = resildb_core::RepairController::new(db.clone());
     let analysis = tool.analyze().unwrap();
     let mut s = db.session();
     let attack = match s
@@ -88,7 +88,11 @@ fn repair_still_works_after_reopen() {
         ref other => panic!("{other:?}"),
     };
     let undo = analysis.undo_set(&[attack], &[]);
-    tool.repair_with_undo_set(&analysis, &undo).unwrap();
+    tool.execute(
+        &analysis,
+        &resildb_core::RepairPlan::with_undo_set(&[attack], undo),
+    )
+    .unwrap();
     let r = s.query("SELECT bal FROM acct ORDER BY id").unwrap();
     assert_eq!(r.rows[0][0], Value::Float(100.0));
     assert_eq!(r.rows[1][0], Value::Float(51.0));

@@ -134,8 +134,11 @@ fn check_repair_matches_replay(seed: u64, txn_count: usize, attack_idx: usize, f
     let undone_labels: std::collections::HashSet<String> =
         undo.iter().map(|id| analysis.graph.label(*id)).collect();
     world_a
-        .repair_tool()
-        .repair_with_undo_set(&analysis, &undo)
+        .repair_controller()
+        .execute(
+            &analysis,
+            &resildb_core::RepairPlan::with_undo_set(&[], undo.clone()),
+        )
         .unwrap();
 
     // World B: replay only the surviving transactions.
