@@ -13,10 +13,11 @@
 //!   which is what a DBA without dependency tracking must do.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use resildb_core::{
-    ContainmentPolicy, Driver as _, FenceAction, Flavor, LinkProfile, Micros, ProxyConfig,
-    ResilientDb, SimContext, WireError,
+    ContainmentPolicy, Driver as _, FenceAction, Flavor, IncidentRecord, IncidentTimeline,
+    LinkProfile, Micros, ProxyConfig, RepairProgress, ResilientDb, SimContext, WireError,
 };
 use resildb_tpcc::{Attack, AttackKind, Loader, Mix, TpccConfig, TpccRunner, ATTACK_LABEL};
 
@@ -43,7 +44,12 @@ impl MttrPoint {
     }
 }
 
-fn workload(runner: &mut TpccRunner, conn: &mut dyn resildb_core::Connection, t_detect: usize) {
+fn workload(
+    runner: &mut TpccRunner,
+    conn: &mut dyn resildb_core::Connection,
+    t_detect: usize,
+    timeline: Option<&IncidentTimeline>,
+) {
     Mix::standard(25, 11).run(runner, conn).expect("warmup");
     Attack {
         kind: AttackKind::ForgedPayment,
@@ -53,6 +59,12 @@ fn workload(runner: &mut TpccRunner, conn: &mut dyn resildb_core::Connection, t_
     }
     .execute(conn)
     .expect("attack");
+    // Ground truth for the incident timeline: the driver knows exactly
+    // when the attack committed, so MTTD can be measured rather than
+    // assumed zero.
+    if let Some(timeline) = timeline {
+        timeline.note_attack();
+    }
     Mix::standard(t_detect, 12)
         .run(runner, conn)
         .expect("post-attack");
@@ -94,7 +106,8 @@ pub fn run_point_probed(t_detect: usize, probe: Option<&Probe>) -> MttrPoint {
     )
     .expect("prepare");
     let mut runner = TpccRunner::new(config.clone(), 9);
-    workload(&mut runner, &mut *bench.conn, t_detect);
+    let timeline = bench.db.sim().telemetry().timeline();
+    workload(&mut runner, &mut *bench.conn, t_detect, Some(timeline));
 
     let tool = resildb_core::RepairController::new(bench.db.clone());
     let t0 = bench.db.sim().clock().now();
@@ -209,6 +222,9 @@ pub struct LiveMttrPoint {
     pub extension_rounds: usize,
     /// Transactions the repair undid.
     pub undo_set: usize,
+    /// The incident this point's repair recorded on its timeline —
+    /// attack/detect/fence marks plus the MTTD/MTTC/MTTR decomposition.
+    pub incident: Option<IncidentRecord>,
 }
 
 impl LiveMttrPoint {
@@ -222,27 +238,59 @@ impl LiveMttrPoint {
     }
 }
 
+/// Shared observation slot for the metrics endpoint: the live instance
+/// being measured and the progress handle of its repair controller.
+/// `mttr --live --serve` installs each point here before the repair
+/// starts, and the endpoint's route closures read whatever is current.
+pub type ObserveSlot = Mutex<Option<(Arc<ResilientDb>, RepairProgress)>>;
+
+/// Lock an [`ObserveSlot`], surviving a poisoned mutex (a panicking
+/// bench point must not take the endpoint down with it).
+pub fn lock_slot(
+    slot: &ObserveSlot,
+) -> std::sync::MutexGuard<'_, Option<(Arc<ResilientDb>, RepairProgress)>> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Runs one live-availability point.
 pub fn run_live_point(t_detect: usize) -> LiveMttrPoint {
-    run_live_point_probed(t_detect, None)
+    run_live_point_observed(t_detect, None, None)
 }
 
 /// Like [`run_live_point`], with an optional telemetry probe: the final
 /// metrics fold (including the `proxy.fence.*` counters and the
 /// `repair.live.fence_size` gauge) is captured into it.
 pub fn run_live_point_probed(t_detect: usize, probe: Option<&Probe>) -> LiveMttrPoint {
+    run_live_point_observed(t_detect, probe, None)
+}
+
+/// Like [`run_live_point_probed`], additionally publishing the instance
+/// and its repair progress into `observe` for a concurrently running
+/// metrics endpoint.
+pub fn run_live_point_observed(
+    t_detect: usize,
+    probe: Option<&Probe>,
+    observe: Option<&ObserveSlot>,
+) -> LiveMttrPoint {
     let config = TpccConfig::scaled(2);
-    let rdb = ResilientDb::builder(Flavor::Postgres)
-        .containment(ContainmentPolicy::FenceDynamic(FenceAction::Reject))
-        .build()
-        .expect("build");
+    let rdb = Arc::new(
+        ResilientDb::builder(Flavor::Postgres)
+            .containment(ContainmentPolicy::FenceDynamic(FenceAction::Reject))
+            .build()
+            .expect("build"),
+    );
     {
         let mut conn = rdb.connect().expect("connect");
         Loader::new(config.clone(), 5)
             .load(&mut *conn)
             .expect("load");
         let mut runner = TpccRunner::new(config.clone(), 9);
-        workload(&mut runner, &mut *conn, t_detect);
+        workload(
+            &mut runner,
+            &mut *conn,
+            t_detect,
+            Some(rdb.telemetry().timeline()),
+        );
     }
     let attack = rdb
         .txn_id_by_label(ATTACK_LABEL)
@@ -260,6 +308,12 @@ pub fn run_live_point_probed(t_detect: usize, probe: Option<&Probe>) -> LiveMttr
         AtomicUsize::new(0),
         AtomicUsize::new(0),
     );
+    // Build the controller before the repair starts so the endpoint can
+    // watch the whole episode, Idle phase included.
+    let controller = rdb.repair_controller_with(rdb.live_repair_options());
+    if let Some(slot) = observe {
+        *lock_slot(slot) = Some((Arc::clone(&rdb), controller.progress()));
+    }
     let (wall, report) = std::thread::scope(|scope| {
         let (rdb_w, in_repair, done) = (&rdb, &in_repair, &done);
         let (attempted, served, fenced) = (&attempted, &served, &fenced);
@@ -302,10 +356,7 @@ pub fn run_live_point_probed(t_detect: usize, probe: Option<&Probe>) -> LiveMttr
         });
         let t0 = std::time::Instant::now();
         in_repair.store(true, Ordering::Relaxed);
-        let report = rdb
-            .repair_controller_with(rdb.live_repair_options())
-            .repair(&[attack])
-            .expect("live repair");
+        let report = controller.repair(&[attack]).expect("live repair");
         in_repair.store(false, Ordering::Relaxed);
         let wall = t0.elapsed();
         done.store(true, Ordering::Relaxed);
@@ -326,6 +377,7 @@ pub fn run_live_point_probed(t_detect: usize, probe: Option<&Probe>) -> LiveMttr
         fenced_rows: stats.fenced_rows,
         extension_rounds: stats.extension_rounds,
         undo_set: report.undo_set.len(),
+        incident: rdb.telemetry().timeline().snapshot().pop(),
     }
 }
 
@@ -336,9 +388,19 @@ pub fn run_live(t_detects: &[usize]) -> Vec<LiveMttrPoint> {
 
 /// Runs the live-availability sweep with an optional shared probe.
 pub fn run_live_probed(t_detects: &[usize], probe: Option<&Probe>) -> Vec<LiveMttrPoint> {
+    run_live_observed(t_detects, probe, None)
+}
+
+/// Runs the live-availability sweep, publishing each point into
+/// `observe` for a concurrently running metrics endpoint.
+pub fn run_live_observed(
+    t_detects: &[usize],
+    probe: Option<&Probe>,
+    observe: Option<&ObserveSlot>,
+) -> Vec<LiveMttrPoint> {
     t_detects
         .iter()
-        .map(|&t| run_live_point_probed(t, probe))
+        .map(|&t| run_live_point_observed(t, probe, observe))
         .collect()
 }
 
@@ -403,5 +465,20 @@ mod tests {
         );
         assert!(p.fenced_tables >= 1);
         assert!(p.undo_set >= 1);
+
+        // The point carries its incident timeline: closed, ground-truth
+        // attack mark first, one fence pair, decomposition exact.
+        let incident = p.incident.expect("live point records an incident");
+        assert!(!incident.open, "incident left open: {incident:?}");
+        use resildb_core::IncidentPhase;
+        assert_eq!(
+            incident.marks.first().map(|m| m.phase),
+            Some(IncidentPhase::AttackCommitted)
+        );
+        assert_eq!(incident.count(IncidentPhase::FenceRaised), 1);
+        assert_eq!(incident.count(IncidentPhase::FenceLifted), 1);
+        let d = incident.decomposition();
+        assert!(d.mttd_ns > 0, "attack→detect should take time: {d:?}");
+        assert_eq!(d.mttd_ns + d.mttc_ns + d.mttr_ns, d.wall_ns);
     }
 }

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use resildb_engine::{Database, Value};
 use resildb_proxy::{canon_value, composite_key, ContainmentPolicy, ProxyRuntime, RowFence};
 use resildb_sim::telemetry::names as span_names;
-use resildb_sim::{failpoints, EventKind, FaultAction, FaultTrigger};
+use resildb_sim::{failpoints, EventKind, FaultAction, FaultTrigger, IncidentPhase};
 use resildb_wire::{Connection, Driver, LinkProfile, NativeDriver, Response};
 
 use crate::adapters::{adapter_for, LogAdapter};
@@ -40,6 +40,7 @@ use crate::compensate::{run_compensation, CompensationOutcome};
 use crate::correlate::TxnCorrelation;
 use crate::error::RepairError;
 use crate::graph::{DepGraph, EdgeKind, EdgeProvenance, FalseDepRule};
+use crate::progress::{PhaseDone, RepairPhase, RepairProgress};
 use crate::record::{NamedRow, RepairOp, RepairRecord, RowAddress};
 
 /// Everything the analysis phase learns from the database and its log.
@@ -298,6 +299,7 @@ pub struct RepairController {
     db: Database,
     adapter: Box<dyn LogAdapter>,
     options: RepairOptions,
+    progress: RepairProgress,
 }
 
 impl std::fmt::Debug for RepairController {
@@ -338,12 +340,21 @@ impl RepairController {
             db,
             adapter,
             options,
+            progress: RepairProgress::default(),
         }
     }
 
     /// The options this controller executes under.
     pub fn options(&self) -> &RepairOptions {
         &self.options
+    }
+
+    /// A cloneable handle observing this controller's live repair
+    /// progress (phase, compensated/total, fence size, extension
+    /// rounds). Poll it from another thread — e.g. the metrics
+    /// endpoint's `/ready` predicate and `resildb-top` both do.
+    pub fn progress(&self) -> RepairProgress {
+        self.progress.clone()
     }
 
     /// Phase 1: reads the log and tracking tables and builds the
@@ -354,6 +365,20 @@ impl RepairController {
     /// Log introspection or tracking-table read failures.
     pub fn analyze(&self) -> Result<Analysis, RepairError> {
         let telemetry = self.db.sim().telemetry();
+        // Analysis is the detection step of an incident: open one on the
+        // timeline unless a repair episode is already in flight (the live
+        // protocol re-analyzes several times per incident).
+        let timeline = telemetry.timeline();
+        if timeline.current().is_none() {
+            let incident = timeline.open_incident();
+            timeline.mark(IncidentPhase::Detected);
+            telemetry
+                .flight()
+                .emit(0, 0, EventKind::IncidentDetected { incident });
+        }
+        if self.progress.is_executing() {
+            self.progress.set_phase(RepairPhase::Analyze);
+        }
         let records = {
             let _span = telemetry.span(span_names::REPAIR_LOG_SCAN);
             self.adapter.scan(&self.db)?
@@ -536,6 +561,7 @@ impl RepairController {
             let _span = self.db.sim().telemetry().span(span_names::REPAIR_CLOSURE);
             analysis.undo_set(initial, &self.options.rules)
         };
+        self.progress.set_closure(undo_set.len() as u64);
         self.db.sim().telemetry().flight().emit(
             0,
             0,
@@ -577,6 +603,25 @@ impl RepairController {
                 })
                 .collect(),
         };
+        // Progress lands on `Done` and the incident closes on every exit
+        // path — success, error, or a panic unwinding out of a
+        // failpoint. For live mode the incident's `fence_lifted` mark is
+        // placed by the inner `FenceLift` guard, which drops first.
+        self.progress.begin(plan.undo_set.len() as u64);
+        let _done = PhaseDone {
+            progress: self.progress.clone(),
+        };
+        struct CloseIncident<'a> {
+            timeline: &'a resildb_sim::IncidentTimeline,
+        }
+        impl Drop for CloseIncident<'_> {
+            fn drop(&mut self) {
+                self.timeline.close_incident();
+            }
+        }
+        let _close = CloseIncident {
+            timeline: self.db.sim().telemetry().timeline(),
+        };
         match self.options.mode {
             RepairMode::Quiesced => self.execute_quiesced(analysis, &plan.undo_set),
             RepairMode::Live => self.execute_live(analysis, plan),
@@ -601,11 +646,9 @@ impl RepairController {
         analysis: &Analysis,
         undo_set: &BTreeSet<i64>,
     ) -> Result<RepairReport, RepairError> {
-        let _span = self
-            .db
-            .sim()
-            .telemetry()
-            .span(span_names::REPAIR_COMPENSATE);
+        let telemetry = self.db.sim().telemetry();
+        let _span = telemetry.span(span_names::REPAIR_COMPENSATE);
+        self.progress.set_phase(RepairPhase::Sweep);
         let undo_internal = internal_map(analysis, undo_set);
         let driver = NativeDriver::new(self.db.clone(), LinkProfile::local());
         let mut conn = driver.connect()?;
@@ -617,6 +660,11 @@ impl RepairController {
             self.adapter.address_column(),
             &BTreeSet::new(),
         )?;
+        self.progress.add_compensated(undo_set.len() as u64);
+        telemetry.timeline().mark(IncidentPhase::SweepComplete);
+        telemetry
+            .flight()
+            .emit(0, 0, EventKind::SweepComplete { rounds: 0 });
         Ok(build_report(analysis, undo_set.clone(), outcome, None))
     }
 
@@ -649,6 +697,8 @@ impl RepairController {
                 .collect(),
         };
         let tables = fence.raise(surface);
+        self.progress.set_fence_tables(tables as u64);
+        telemetry.timeline().mark(IncidentPhase::FenceRaised);
         telemetry.flight().emit(
             0,
             0,
@@ -667,6 +717,7 @@ impl RepairController {
         impl Drop for FenceLift<'_> {
             fn drop(&mut self) {
                 self.fence.lift();
+                self.telemetry.timeline().mark(IncidentPhase::FenceLifted);
                 self.telemetry.flight().emit(0, 0, EventKind::FenceLifted);
             }
         }
@@ -703,6 +754,7 @@ impl RepairController {
         // 2. Drain: every transaction admitted before the fence went up
         //    must commit or abort before analysis, so the log prefix the
         //    closure is computed from is complete.
+        self.progress.set_phase(RepairPhase::Drain);
         let drain_start = Instant::now();
         let watermark = runtime.trid_watermark();
         let deadline = drain_start + self.options.drain_timeout;
@@ -719,6 +771,8 @@ impl RepairController {
         // 3. Fresh analysis behind the fence, and the real closure.
         let mut analysis = self.analyze()?;
         let mut undo = adjust(analysis.undo_set(&plan.initial, &self.options.rules));
+        self.progress.set_closure(undo.len() as u64);
+        self.progress.set_total(undo.len() as u64);
         telemetry.flight().emit(
             0,
             0,
@@ -742,6 +796,8 @@ impl RepairController {
             (closure_tables(&analysis, &undo), HashMap::new())
         };
         let (shrunk_tables, fenced_rows) = fence.shrink(whole.clone(), rows.clone());
+        self.progress.set_fence_rows(fenced_rows as u64);
+        telemetry.timeline().mark(IncidentPhase::QuarantineShrunk);
         telemetry.flight().emit(
             0,
             0,
@@ -764,6 +820,7 @@ impl RepairController {
         loop {
             if !current.is_empty() {
                 let _span = telemetry.span(span_names::REPAIR_COMPENSATE);
+                self.progress.set_phase(RepairPhase::Sweep);
                 let undo_internal = internal_map(&analysis, &current);
                 let round = run_compensation(
                     &self.db,
@@ -775,15 +832,27 @@ impl RepairController {
                 )?;
                 merge_outcome(&mut outcome, round);
                 undone.extend(current.iter().copied());
+                self.progress.add_compensated(current.len() as u64);
             }
 
             analysis = self.analyze()?;
             undo = adjust(analysis.undo_set(&plan.initial, &self.options.rules));
             let fresh: BTreeSet<i64> = undo.difference(&undone).copied().collect();
             if fresh.is_empty() {
+                telemetry.timeline().mark(IncidentPhase::SweepComplete);
+                telemetry.flight().emit(
+                    0,
+                    0,
+                    EventKind::SweepComplete {
+                        rounds: u32::try_from(extension_rounds).unwrap_or(u32::MAX),
+                    },
+                );
                 break;
             }
             extension_rounds += 1;
+            self.progress.set_phase(RepairPhase::Extend);
+            self.progress.set_extension_rounds(extension_rounds as u64);
+            self.progress.set_total((undone.len() + fresh.len()) as u64);
             if extension_rounds > self.options.max_extension_rounds {
                 return Err(RepairError::Analysis(format!(
                     "live repair closure still growing after {} extension rounds",
@@ -812,6 +881,7 @@ impl RepairController {
                 added_rows += entry.keys.len() - before;
             }
             fence.shrink(whole.clone(), rows.clone());
+            telemetry.timeline().mark(IncidentPhase::FenceExtended);
             telemetry.flight().emit(
                 0,
                 0,

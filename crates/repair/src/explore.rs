@@ -189,6 +189,8 @@ impl TraceExplorer {
                     | EventKind::Correlate { .. }
                     | EventKind::ClosureComputed { .. }
                     | EventKind::Compensated { .. }
+                    | EventKind::IncidentDetected { .. }
+                    | EventKind::SweepComplete { .. }
                     | EventKind::FenceRaised { .. }
                     | EventKind::FenceShrunk { .. }
                     | EventKind::FenceExtended { .. }

@@ -58,6 +58,7 @@ pub mod detect;
 mod error;
 pub mod explore;
 mod graph;
+mod progress;
 mod record;
 mod whatif;
 
@@ -71,6 +72,7 @@ pub use detect::{detect, AnomalyRule, Detection};
 pub use error::RepairError;
 pub use explore::{CausalChain, TraceExplorer};
 pub use graph::{DepGraph, EdgeKind, EdgeProvenance, FalseDepRule};
+pub use progress::{RepairPhase, RepairProgress};
 pub use record::{NamedRow, RepairOp, RepairRecord, RowAddress};
 pub use whatif::WhatIfSession;
 

@@ -204,6 +204,16 @@ fn panicking_live_repair_still_lifts_fence() {
         "drop guard lifted the fence through the unwind"
     );
 
+    // The incident timeline is well-formed through the unwind too: the
+    // aborted episode is closed with its fence pair matched, because the
+    // drop guards mark FenceLifted and close the incident in order.
+    use resildb_core::IncidentPhase as P;
+    let incidents = rdb.telemetry().timeline().snapshot();
+    assert_eq!(incidents.len(), 1);
+    assert!(!incidents[0].open, "panic teardown closed the incident");
+    assert_eq!(incidents[0].count(P::FenceRaised), 1);
+    assert_eq!(incidents[0].count(P::FenceLifted), 1);
+
     // The database remains fully serviceable and repairable.
     let report = rdb
         .repair_controller_with(rdb.live_repair_options())
@@ -211,6 +221,136 @@ fn panicking_live_repair_still_lifts_fence() {
         .unwrap();
     assert_eq!(report.undo_set.len(), 2);
     assert_eq!(balances(&rdb), vec![(1, 100.0), (2, 50.0), (3, 76.0)]);
+
+    // The retry is its own incident with its own matched fence pair.
+    let incidents = rdb.telemetry().timeline().snapshot();
+    assert_eq!(incidents.len(), 2);
+    for incident in &incidents {
+        assert!(!incident.open);
+        assert_eq!(
+            incident.count(P::FenceRaised),
+            incident.count(P::FenceLifted)
+        );
+        let d = incident.decomposition();
+        assert_eq!(d.mttd_ns + d.mttc_ns + d.mttr_ns, d.wall_ns);
+    }
+}
+
+/// Minimal HTTP GET against the observability endpoint; returns the
+/// status code and body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect endpoint");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn ready_endpoint_flips_across_fence_raise_and_lift() {
+    use resildb_core::{MetricsServer, ServerRoutes};
+
+    let rdb = std::sync::Arc::new(live_rdb());
+    workload(&rdb);
+
+    // Wire /ready to the real containment fence, exactly as `mttr --live
+    // --serve` does, and drive the fence through its lifecycle.
+    let ready_rdb = std::sync::Arc::clone(&rdb);
+    let snapshot_rdb = std::sync::Arc::clone(&rdb);
+    let incidents_rdb = std::sync::Arc::clone(&rdb);
+    let routes = ServerRoutes::new()
+        .ready(move || !ready_rdb.proxy_runtime().fence().is_active())
+        .metrics(move || snapshot_rdb.metrics())
+        .incidents(move || incidents_rdb.telemetry().timeline().to_json());
+    let server = MetricsServer::serve("127.0.0.1:0", routes).expect("bind endpoint");
+    let fence = rdb.proxy_runtime().fence();
+
+    let (status, _) = http_get(server.addr(), "/ready");
+    assert_eq!(status, 200, "no fence: ready");
+    let (status, body) = http_get(server.addr(), "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("resildb_"), "prometheus body: {body:.60}");
+    let (status, _) = http_get(server.addr(), "/health");
+    assert_eq!(status, 200, "health is unconditional");
+
+    fence.raise(vec!["acct".to_string()]);
+    let (status, _) = http_get(server.addr(), "/ready");
+    assert_eq!(status, 503, "fence raised: not ready");
+    let (status, _) = http_get(server.addr(), "/health");
+    assert_eq!(status, 200, "still healthy while fenced");
+
+    fence.lift();
+    let (status, _) = http_get(server.addr(), "/ready");
+    assert_eq!(status, 200, "fence lifted: ready again");
+
+    // /incidents serves the timeline JSON envelope even when empty.
+    let (status, body) = http_get(server.addr(), "/incidents");
+    assert_eq!(status, 200);
+    assert!(
+        body.starts_with("{\"incidents\":["),
+        "incidents json: {body}"
+    );
+}
+
+#[test]
+fn incident_timeline_decomposes_live_repair() {
+    let rdb = live_rdb();
+    let attack = workload(&rdb);
+    rdb.repair_controller_with(rdb.live_repair_options())
+        .repair(&[attack])
+        .unwrap();
+
+    let incidents = rdb.telemetry().timeline().snapshot();
+    assert_eq!(incidents.len(), 1, "one repair episode, one incident");
+    let incident = &incidents[0];
+    assert!(!incident.open, "execute() closed the incident");
+    use resildb_core::IncidentPhase as P;
+    for phase in [
+        P::Detected,
+        P::FenceRaised,
+        P::QuarantineShrunk,
+        P::SweepComplete,
+        P::FenceLifted,
+    ] {
+        assert_eq!(incident.count(phase), 1, "{} marked once", phase.name());
+    }
+    // Marks are strictly monotonic and the decomposition is exact.
+    for w in incident.marks.windows(2) {
+        assert!(w[1].at_ns > w[0].at_ns, "marks strictly ordered");
+    }
+    let d = incident.decomposition();
+    assert_eq!(d.mttd_ns + d.mttc_ns + d.mttr_ns, d.wall_ns);
+
+    // The flight recorder saw the same story: every timeline phase with a
+    // flight twin appears in the capture, so `resildb-trace --repair`
+    // and `/incidents` agree on what happened.
+    let flight = rdb.flight_recorder().snapshot();
+    for name in [
+        "incident_detected",
+        "fence_raised",
+        "fence_shrunk",
+        "sweep_complete",
+        "fence_lifted",
+    ] {
+        assert!(
+            flight.events.iter().any(|e| e.kind.name() == name),
+            "flight capture missing {name}"
+        );
+    }
 }
 
 #[test]

@@ -56,8 +56,10 @@ pub use stats::SimStats;
 // domain. Re-exported here so downstream crates need no extra dependency.
 pub use resildb_telemetry as telemetry;
 pub use resildb_telemetry::{
-    EventKind, FlightRecorder, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, OwnedSpan,
-    Recorder, Span, Telemetry, TraceEvent, TraceSnapshot, TraceVerdict,
+    EventKind, FlightRecorder, HistogramSnapshot, IncidentDecomposition, IncidentMark,
+    IncidentPhase, IncidentRecord, IncidentTimeline, MetricsRegistry, MetricsServer,
+    MetricsSnapshot, OwnedSpan, Recorder, Sample, SampleRates, Sampler, SamplerHandle,
+    ServerRoutes, Span, Telemetry, TraceEvent, TraceSnapshot, TraceVerdict,
 };
 
 use std::cell::Cell;

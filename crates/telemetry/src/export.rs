@@ -120,6 +120,7 @@ mod tests {
                 p50_ns: 1_023,
                 p95_ns: 4_000,
                 p99_ns: 4_000,
+                ..Default::default()
             },
         );
         snap

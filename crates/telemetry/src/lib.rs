@@ -13,7 +13,13 @@
 //!   serialize a [`MetricsSnapshot`] identically;
 //! * [`FlightRecorder`] — a bounded ring buffer of typed lifecycle
 //!   [`TraceEvent`]s (see [`trace`]) forming per-transaction causal
-//!   timelines, exportable as JSONL or Chrome Trace Event Format.
+//!   timelines, exportable as JSONL or Chrome Trace Event Format;
+//! * the live observability plane (DESIGN.md §17):
+//!   [`IncidentTimeline`] phase marks with an MTTD/MTTC/MTTR
+//!   decomposition per incident, a background [`Sampler`] ring with
+//!   delta/rate queries, the [`prometheus`] text-format exporter, and
+//!   the dependency-free [`http`] pull endpoint serving `/metrics`,
+//!   `/health`, `/ready` and `/incidents`.
 //!
 //! The span taxonomy threaded through the statement and repair
 //! pipelines lives in [`names`]; see DESIGN.md §11 for the full metric
@@ -38,15 +44,25 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod http;
 mod metrics;
+pub mod prometheus;
+pub mod sampler;
 mod span;
+pub mod timeline;
 pub mod trace;
 
+pub use http::{MetricsServer, ServerRoutes};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use prometheus::to_prometheus;
+pub use sampler::{Sample, SampleRates, Sampler, SamplerHandle, DEFAULT_SAMPLER_CAPACITY};
 pub use span::{OwnedSpan, Recorder, Span, Telemetry};
+pub use timeline::{
+    IncidentDecomposition, IncidentMark, IncidentPhase, IncidentRecord, IncidentTimeline,
+};
 pub use trace::{
     EventKind, FlightRecorder, TraceEvent, TraceSnapshot, TraceVerdict, DEFAULT_TRACE_CAPACITY,
 };

@@ -93,8 +93,9 @@ fn bucket_index(nanos: u64) -> usize {
     idx.min(HISTOGRAM_BUCKETS - 1)
 }
 
-/// Upper bound (inclusive) of bucket `i`, used as the quantile estimate.
-fn bucket_upper(idx: usize) -> u64 {
+/// Upper bound (inclusive) of bucket `idx`, in nanoseconds — used as the
+/// quantile estimate and as the `le` bound in the Prometheus exporter.
+pub fn bucket_upper(idx: usize) -> u64 {
     if idx + 1 >= 64 {
         u64::MAX
     } else {
@@ -121,11 +122,8 @@ impl Histogram {
         let count = self.count.load(Ordering::Relaxed);
         let sum_ns = self.sum_ns.load(Ordering::Relaxed);
         let max_ns = self.max_ns.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let buckets: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
@@ -150,12 +148,13 @@ impl Histogram {
             p50_ns: quantile(0.50),
             p95_ns: quantile(0.95),
             p99_ns: quantile(0.99),
+            buckets,
         }
     }
 }
 
 /// Point-in-time view of a [`Histogram`], with bucket-resolution quantiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of samples recorded.
     pub count: u64,
@@ -169,6 +168,23 @@ pub struct HistogramSnapshot {
     pub p95_ns: u64,
     /// Estimated 99th-percentile latency (bucket upper bound), ns.
     pub p99_ns: u64,
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))` ns);
+    /// feeds the cumulative `le` buckets of the Prometheus exporter.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
 }
 
 impl HistogramSnapshot {

@@ -1,0 +1,324 @@
+//! Background metrics sampling: a bounded ring of timestamped
+//! [`MetricsSnapshot`]s plus delta/rate computation between them.
+//!
+//! The [`Sampler`] itself is passive — [`Sampler::sample_with`] pulls a
+//! snapshot from a caller-supplied closure only while enabled, so the
+//! disabled path is one relaxed atomic load and the (expensive)
+//! snapshot closure never runs. [`SamplerHandle::spawn`] drives a
+//! sampler from a background thread on a fixed interval; dropping the
+//! handle stops and joins the thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Default number of samples retained in the ring (two minutes at the
+/// default one-second interval).
+pub const DEFAULT_SAMPLER_CAPACITY: usize = 120;
+
+/// One timestamped sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Nanoseconds since the sampler's first sample.
+    pub at_ns: u64,
+    /// The snapshot taken at that instant.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Rates derived from the two most recent samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleRates {
+    /// Seconds between the two samples.
+    pub interval_s: f64,
+    /// Engine commits per second (`engine.commit.count` delta).
+    pub commits_per_s: f64,
+    /// Containment-fence rejections per second (`proxy.fence.rejected`).
+    pub fence_rejects_per_s: f64,
+    /// Change in `engine.execute` p99 latency, nanoseconds (signed).
+    pub p99_drift_ns: i64,
+}
+
+#[derive(Debug, Default)]
+struct SamplerState {
+    epoch: Option<Instant>,
+    samples: VecDeque<Sample>,
+}
+
+/// A bounded ring of metrics samples with delta/rate queries.
+#[derive(Debug)]
+pub struct Sampler {
+    enabled: AtomicBool,
+    capacity: usize,
+    inner: Mutex<SamplerState>,
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Sampler::new(DEFAULT_SAMPLER_CAPACITY)
+    }
+}
+
+impl Sampler {
+    /// Create a disabled sampler retaining at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        Sampler {
+            enabled: AtomicBool::new(false),
+            capacity: capacity.max(2),
+            inner: Mutex::new(SamplerState::default()),
+        }
+    }
+
+    /// True while sampling is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn sampling on or off. Existing samples are retained.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Take one sample from `source` if enabled. Disabled, this is one
+    /// relaxed atomic load and `source` is never called (the
+    /// `sampler_disabled` criterion guard pins that cost). Returns
+    /// whether a sample was recorded.
+    pub fn sample_with(&self, source: impl FnOnce() -> MetricsSnapshot) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let snapshot = source();
+        let mut state = self.lock();
+        let epoch = *state.epoch.get_or_insert_with(Instant::now);
+        let at_ns = epoch.elapsed().as_nanos() as u64;
+        if state.samples.len() == self.capacity {
+            state.samples.pop_front();
+        }
+        state.samples.push_back(Sample { at_ns, snapshot });
+        true
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<Sample> {
+        self.lock().samples.back().cloned()
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().samples.len()
+    }
+
+    /// True when no sample has been taken.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Per-second rate of counter `name` between the two most recent
+    /// samples (`None` with fewer than two samples or a zero interval).
+    pub fn counter_rate(&self, name: &str) -> Option<f64> {
+        let (prev, last, dt) = self.last_pair()?;
+        let delta = last
+            .snapshot
+            .counter(name)
+            .saturating_sub(prev.snapshot.counter(name));
+        Some(delta as f64 / dt)
+    }
+
+    /// Signed change of histogram `name`'s p99 between the two most
+    /// recent samples, in nanoseconds.
+    pub fn p99_drift_ns(&self, name: &str) -> Option<i64> {
+        let (prev, last, _) = self.last_pair()?;
+        let a = prev.snapshot.histogram(name).map_or(0, |h| h.p99_ns);
+        let b = last.snapshot.histogram(name).map_or(0, |h| h.p99_ns);
+        Some(b as i64 - a as i64)
+    }
+
+    /// The standard rate bundle (commits/s, fence rejects/s, p99 drift
+    /// of `engine.execute`) from the two most recent samples.
+    pub fn rates(&self) -> Option<SampleRates> {
+        let (prev, last, dt) = self.last_pair()?;
+        let rate = |name: &str| {
+            last.snapshot
+                .counter(name)
+                .saturating_sub(prev.snapshot.counter(name)) as f64
+                / dt
+        };
+        let p99 = |s: &Sample| {
+            s.snapshot
+                .histogram("engine.execute")
+                .map_or(0, |h| h.p99_ns)
+        };
+        Some(SampleRates {
+            interval_s: dt,
+            commits_per_s: rate("engine.commit.count"),
+            fence_rejects_per_s: rate("proxy.fence.rejected"),
+            p99_drift_ns: p99(&last) as i64 - p99(&prev) as i64,
+        })
+    }
+
+    /// Drop every retained sample (the epoch is kept).
+    pub fn clear(&self) {
+        self.lock().samples.clear();
+    }
+
+    fn last_pair(&self) -> Option<(Sample, Sample, f64)> {
+        let state = self.lock();
+        let n = state.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let prev = state.samples[n - 2].clone();
+        let last = state.samples[n - 1].clone();
+        let dt = (last.at_ns.saturating_sub(prev.at_ns)) as f64 / 1e9;
+        if dt <= 0.0 {
+            return None;
+        }
+        Some((prev, last, dt))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SamplerState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A background thread driving a [`Sampler`] on a fixed interval.
+/// Dropping the handle stops sampling and joins the thread.
+#[derive(Debug)]
+pub struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Enable `sampler` and start a thread calling `source` every
+    /// `interval` (clamped to ≥ 1 ms).
+    pub fn spawn(
+        sampler: Arc<Sampler>,
+        interval: Duration,
+        source: impl Fn() -> MetricsSnapshot + Send + 'static,
+    ) -> SamplerHandle {
+        sampler.set_enabled(true);
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut next = Instant::now();
+            while !stop_flag.load(Ordering::Relaxed) {
+                sampler.sample_with(&source);
+                next += interval;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now >= next {
+                        break;
+                    }
+                    // Sleep in short slices so drop() stops us promptly.
+                    std::thread::sleep((next - now).min(Duration::from_millis(20)));
+                }
+            }
+        });
+        SamplerHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the sampling thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(commits: u64, p99_sample_ns: u64) -> MetricsSnapshot {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("engine.commit.count").add(commits);
+        reg.counter("proxy.fence.rejected").add(commits / 2);
+        reg.histogram("engine.execute").record(p99_sample_ns);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn disabled_sampler_never_calls_source() {
+        let sampler = Sampler::new(8);
+        let sampled = sampler.sample_with(|| unreachable!("source ran while disabled"));
+        assert!(!sampled);
+        assert!(sampler.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let sampler = Sampler::new(4);
+        sampler.set_enabled(true);
+        for i in 0..10 {
+            assert!(sampler.sample_with(|| snap_with(i, 100)));
+        }
+        assert_eq!(sampler.len(), 4);
+        let latest = sampler.latest().unwrap();
+        assert_eq!(latest.snapshot.counter("engine.commit.count"), 9);
+    }
+
+    #[test]
+    fn rates_derive_from_last_two_samples() {
+        let sampler = Sampler::new(8);
+        sampler.set_enabled(true);
+        sampler.sample_with(|| snap_with(100, 1_000));
+        std::thread::sleep(Duration::from_millis(5));
+        sampler.sample_with(|| snap_with(200, 1_000_000));
+        let rates = sampler.rates().expect("two samples present");
+        assert!(rates.interval_s > 0.0);
+        assert!(rates.commits_per_s > 0.0);
+        let expected = 100.0 / rates.interval_s;
+        assert!((rates.commits_per_s - expected).abs() < 1e-6);
+        assert!(rates.p99_drift_ns > 0, "p99 grew: {rates:?}");
+        assert_eq!(
+            sampler.counter_rate("engine.commit.count"),
+            Some(rates.commits_per_s)
+        );
+    }
+
+    #[test]
+    fn rates_need_two_samples() {
+        let sampler = Sampler::new(8);
+        sampler.set_enabled(true);
+        assert_eq!(sampler.rates(), None);
+        sampler.sample_with(|| snap_with(1, 10));
+        assert_eq!(sampler.rates(), None);
+    }
+
+    #[test]
+    fn background_thread_samples_and_stops_on_drop() {
+        let sampler = Arc::new(Sampler::new(64));
+        let handle = SamplerHandle::spawn(Arc::clone(&sampler), Duration::from_millis(2), || {
+            snap_with(1, 10)
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sampler.len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(sampler.len() >= 3, "background sampler never ran");
+        drop(handle);
+        let after = sampler.len();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(sampler.len(), after, "thread kept sampling after drop");
+    }
+}

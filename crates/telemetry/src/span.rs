@@ -13,6 +13,7 @@ use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::timeline::IncidentTimeline;
 use crate::trace::FlightRecorder;
 
 /// Destination for span durations and counter bumps. The default
@@ -41,6 +42,7 @@ struct TelemetryInner {
     registry: MetricsRegistry,
     sink: RwLock<Option<Arc<dyn Recorder>>>,
     flight: FlightRecorder,
+    timeline: IncidentTimeline,
 }
 
 /// Shared, cloneable handle to one telemetry domain: an enabled flag, a
@@ -109,9 +111,20 @@ impl Telemetry {
         &self.inner.flight
     }
 
-    /// Snapshot the built-in registry.
+    /// The incident timeline riding on this domain. Marks arrive only a
+    /// handful of times per repair episode (pushed by the repair
+    /// controller), so recording is always on.
+    pub fn timeline(&self) -> &IncidentTimeline {
+        &self.inner.timeline
+    }
+
+    /// Snapshot the built-in registry, plus the flight recorder's ring
+    /// health (`telemetry.trace.{dropped,occupancy,capacity}`) so every
+    /// exported snapshot reports eviction pressure.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.registry.snapshot()
+        let mut snap = self.inner.registry.snapshot();
+        self.inner.flight.fold_metrics(&mut snap);
+        snap
     }
 
     /// Start a span named `name`. The returned guard records its
@@ -265,7 +278,11 @@ mod tests {
             assert!(!s.is_recording());
         }
         t.count("c", 5);
-        assert!(t.snapshot().is_empty());
+        // Only the flight recorder's ring-health fold appears: no span
+        // histograms and no counted counters.
+        let snap = t.snapshot();
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.counter("c"), 0);
     }
 
     #[test]
@@ -308,8 +325,11 @@ mod tests {
         t.set_recorder(Some(Arc::clone(&capture) as Arc<dyn Recorder>));
         drop(t.span("s"));
         t.count("c", 1);
-        // Samples went to the custom sink, not the built-in registry.
-        assert!(t.snapshot().is_empty());
+        // Samples went to the custom sink, not the built-in registry
+        // (whose snapshot holds only the flight-recorder ring fold).
+        let snap = t.snapshot();
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.counter("c"), 0);
         assert_eq!(capture.0.snapshot().counter("c"), 1);
         assert_eq!(
             capture.0.snapshot().histogram("s").map(|h| h.count),

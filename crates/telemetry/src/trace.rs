@@ -141,6 +141,18 @@ pub enum EventKind {
         /// Compensating statements executed for this transaction.
         statements: u32,
     },
+    /// Repair phase: an incident was opened for analysis — the
+    /// detection mark on the incident timeline.
+    IncidentDetected {
+        /// 1-based incident id on the [`crate::IncidentTimeline`].
+        incident: u64,
+    },
+    /// Repair phase: the compensation sweep converged (no fresh closure
+    /// members left) — the sweep-complete mark on the incident timeline.
+    SweepComplete {
+        /// Sweep rounds executed (1 when no mid-sweep growth occurred).
+        rounds: u32,
+    },
     /// Live repair: the containment fence was raised over the static
     /// blast-radius surface (whole-table quarantine).
     FenceRaised {
@@ -182,6 +194,8 @@ impl EventKind {
             EventKind::Correlate { .. } => "correlate",
             EventKind::ClosureComputed { .. } => "closure_computed",
             EventKind::Compensated { .. } => "compensated",
+            EventKind::IncidentDetected { .. } => "incident_detected",
+            EventKind::SweepComplete { .. } => "sweep_complete",
             EventKind::FenceRaised { .. } => "fence_raised",
             EventKind::FenceShrunk { .. } => "fence_shrunk",
             EventKind::FenceExtended { .. } => "fence_extended",
@@ -214,6 +228,8 @@ impl EventKind {
                 format!(",\"initial\":{initial},\"nodes\":{nodes}")
             }
             EventKind::Compensated { statements } => format!(",\"statements\":{statements}"),
+            EventKind::IncidentDetected { incident } => format!(",\"incident\":{incident}"),
+            EventKind::SweepComplete { rounds } => format!(",\"rounds\":{rounds}"),
             EventKind::FenceRaised { tables } => format!(",\"tables\":{tables}"),
             EventKind::FenceShrunk { tables, rows } => {
                 format!(",\"tables\":{tables},\"rows\":{rows}")
@@ -252,6 +268,10 @@ impl std::fmt::Display for EventKind {
             EventKind::Compensated { statements } => {
                 write!(f, "compensated statements={statements}")
             }
+            EventKind::IncidentDetected { incident } => {
+                write!(f, "incident_detected incident={incident}")
+            }
+            EventKind::SweepComplete { rounds } => write!(f, "sweep_complete rounds={rounds}"),
             EventKind::FenceRaised { tables } => write!(f, "fence_raised tables={tables}"),
             EventKind::FenceShrunk { tables, rows } => {
                 write!(f, "fence_shrunk tables={tables} rows={rows}")
@@ -408,6 +428,32 @@ impl FlightRecorder {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.buf.push_back(event);
+    }
+
+    /// Total events evicted by wraparound since creation (monotonic).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently retained in the ring.
+    pub fn occupancy(&self) -> usize {
+        lock(&self.ring).buf.len()
+    }
+
+    /// Current ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        lock(&self.ring).capacity
+    }
+
+    /// Fold the recorder's health into a metrics snapshot: the
+    /// `telemetry.trace.dropped` eviction counter plus
+    /// `telemetry.trace.occupancy`/`telemetry.trace.capacity` gauges —
+    /// so silent trace data loss is visible on the metrics plane.
+    pub fn fold_metrics(&self, snap: &mut crate::MetricsSnapshot) {
+        snap.set_counter("telemetry.trace.dropped", self.dropped());
+        let ring = lock(&self.ring);
+        snap.set_gauge("telemetry.trace.occupancy", ring.buf.len() as f64);
+        snap.set_gauge("telemetry.trace.capacity", ring.capacity as f64);
     }
 
     /// Copies the current window out.
@@ -799,6 +845,12 @@ fn kind_from_fields(event: &str, detail: &Json) -> Result<EventKind, String> {
         "compensated" => EventKind::Compensated {
             statements: u64_field("statements")? as u32,
         },
+        "incident_detected" => EventKind::IncidentDetected {
+            incident: u64_field("incident")?,
+        },
+        "sweep_complete" => EventKind::SweepComplete {
+            rounds: u64_field("rounds")? as u32,
+        },
         "fence_raised" => EventKind::FenceRaised {
             tables: u64_field("tables")? as u32,
         },
@@ -931,6 +983,8 @@ mod tests {
                 nodes: 4,
             },
             EventKind::Compensated { statements: 3 },
+            EventKind::IncidentDetected { incident: 1 },
+            EventKind::SweepComplete { rounds: 2 },
             EventKind::FenceRaised { tables: 6 },
             EventKind::FenceShrunk {
                 tables: 1,
@@ -1121,6 +1175,23 @@ mod tests {
         assert!(parse_jsonl("{\"event\":\"nonsense\"}").is_err());
         assert!(parse_jsonl("not json").is_err());
         assert!(parse_chrome_trace("{\"traceEvents\":42}").is_err());
+    }
+
+    #[test]
+    fn fold_metrics_exposes_ring_health() {
+        let r = FlightRecorder::with_capacity(2);
+        r.set_enabled(true);
+        for i in 0..5 {
+            r.emit(i, 0, EventKind::TxnBegin);
+        }
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.occupancy(), 2);
+        assert_eq!(r.capacity(), 2);
+        let mut snap = crate::MetricsSnapshot::default();
+        r.fold_metrics(&mut snap);
+        assert_eq!(snap.counter("telemetry.trace.dropped"), 3);
+        assert_eq!(snap.gauge("telemetry.trace.occupancy"), Some(2.0));
+        assert_eq!(snap.gauge("telemetry.trace.capacity"), Some(2.0));
     }
 
     #[test]

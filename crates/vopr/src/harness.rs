@@ -410,6 +410,13 @@ fn try_run(scenario: &Scenario, opts: &RunOptions) -> Result<RunReport, String> 
         &outcomes,
         &label_trids,
     ));
+    // Oracle 9: world A repairs quiesced, so its incidents must be
+    // closed, strictly monotonic, decomposition-exact and fence-free.
+    failures.extend(oracle::timeline_well_formed(
+        "world A",
+        &rdb.telemetry().timeline().snapshot(),
+        false,
+    ));
     // Oracle 8: live repair ≡ quiesced repair. Runs its own pair of
     // deterministic worlds, so it holds under `--threads N` too. A
     // harness-level breakage inside it is reported as a failure (not an
@@ -659,6 +666,20 @@ fn live_vs_quiesced(scenario: &Scenario, canary: Canary) -> Result<Vec<String>, 
             }
         }
     }
+    // Oracle 9 on both repair styles: Q's incidents must be fence-free,
+    // L's must each carry exactly one fence_raised/fence_lifted pair —
+    // including the failed first attempt of a scripted repair fault,
+    // whose fence the drop guard lifts on the error path.
+    failures.extend(oracle::timeline_well_formed(
+        "world Q",
+        &rdb_q.telemetry().timeline().snapshot(),
+        false,
+    ));
+    failures.extend(oracle::timeline_well_formed(
+        "world L",
+        &rdb_l.telemetry().timeline().snapshot(),
+        true,
+    ));
 
     for table in TPCC_TABLES
         .iter()

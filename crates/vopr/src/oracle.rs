@@ -25,6 +25,12 @@
 //!    rules and with the derivable-column false-dependency rules applied
 //!    on both sides. Valid under any interleaving: the static graph is
 //!    order-agnostic.
+//! 9. **Incident-timeline well-formedness** — every incident the repair
+//!    episode recorded is closed, its phase marks are strictly
+//!    monotonic, its MTTD/MTTC/MTTR decomposition sums exactly to the
+//!    incident's wall time, and containment fences pair up: a live
+//!    incident has exactly one `fence_raised`/`fence_lifted` pair, a
+//!    quiesced one has none.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -33,7 +39,7 @@ use resildb_core::{
     infer_derivable_columns, parse_statement, Analysis, FalseDepRule, ResilientDb, Response,
     SchemaSnapshot, Value,
 };
-use resildb_sim::TraceSnapshot;
+use resildb_sim::{IncidentPhase, IncidentRecord, TraceSnapshot};
 use resildb_tpcc::TPCC_TABLES;
 
 use crate::harness::Outcome;
@@ -436,6 +442,83 @@ pub fn flight_lifecycle(
                 txn.label
             ));
         }
+    }
+    failures
+}
+
+/// Oracle 9: incident-timeline well-formedness after a repair episode.
+///
+/// Every incident must be closed (the controller's close-on-drop guard
+/// runs on success, error *and* unwind), its marks must be strictly
+/// monotonic, and its MTTD/MTTC/MTTR decomposition must sum exactly to
+/// its wall time (the decomposition is derived from the same marks, so a
+/// mismatch means the arithmetic itself broke). Fence marks must pair:
+/// with `live` each incident carries exactly one
+/// `fence_raised`/`fence_lifted` pair (the drop guard lifts even when a
+/// failpoint unwinds the sweep), and at least one incident was fenced;
+/// without it no incident may carry fence marks at all.
+pub fn timeline_well_formed(world: &str, incidents: &[IncidentRecord], live: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut fenced = 0usize;
+    for inc in incidents {
+        if inc.open {
+            failures.push(format!(
+                "timeline: {world} incident #{} still open after repair",
+                inc.id
+            ));
+        }
+        if inc.marks.is_empty() {
+            failures.push(format!(
+                "timeline: {world} incident #{} has no marks",
+                inc.id
+            ));
+            continue;
+        }
+        for w in inc.marks.windows(2) {
+            if w[1].at_ns <= w[0].at_ns {
+                failures.push(format!(
+                    "timeline: {world} incident #{} marks not strictly monotonic \
+                     ({} @{} then {} @{})",
+                    inc.id,
+                    w[0].phase.name(),
+                    w[0].at_ns,
+                    w[1].phase.name(),
+                    w[1].at_ns,
+                ));
+            }
+        }
+        let d = inc.decomposition();
+        if d.mttd_ns + d.mttc_ns + d.mttr_ns != d.wall_ns {
+            failures.push(format!(
+                "timeline: {world} incident #{} decomposition {}+{}+{} != wall {}",
+                inc.id, d.mttd_ns, d.mttc_ns, d.mttr_ns, d.wall_ns
+            ));
+        }
+        let raised = inc.count(IncidentPhase::FenceRaised);
+        let lifted = inc.count(IncidentPhase::FenceLifted);
+        if raised != lifted || raised > 1 {
+            failures.push(format!(
+                "timeline: {world} incident #{} has {raised} fence_raised / \
+                 {lifted} fence_lifted marks, want one matched pair at most",
+                inc.id
+            ));
+        }
+        if !live && raised != 0 {
+            failures.push(format!(
+                "timeline: {world} incident #{} carries fence marks in a \
+                 quiesced-only world",
+                inc.id
+            ));
+        }
+        if raised == 1 {
+            fenced += 1;
+        }
+    }
+    if live && !incidents.is_empty() && fenced == 0 {
+        failures.push(format!(
+            "timeline: {world} recorded {} incident(s) but none was ever fenced",
+            incidents.len()
+        ));
     }
     failures
 }
